@@ -1,0 +1,55 @@
+// Ablation — what the quire actually buys (the design choice behind
+// Section V's "fused dot product" machinery).
+//
+// Error growth of an N-term dot product: naive posit16 accumulation vs
+// the exact quire vs binary16 and bfloat16 accumulation, over rising N.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "core/format_traits.hpp"
+#include "posit/posit.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace nga;
+
+int main() {
+  std::printf("== ablation: quire vs naive accumulation ==\n\n");
+  util::Table t({"terms", "posit16 naive", "posit16 quire", "float16",
+                 "bfloat16"});
+  for (const int n : {8, 32, 128, 512, 2048}) {
+    util::RunningStats naive, quire_s, half_s, bf_s;
+    for (int trial = 0; trial < 12; ++trial) {
+      util::Xoshiro256 rng(util::u64(n * 100 + trial));
+      std::vector<double> x(std::size_t(n), 0.0), y(std::size_t(n), 0.0);
+      for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+      for (auto& v : y) v = rng.uniform(-1.0, 1.0);
+      double exact = 0;
+      ps::quire<16, 1> q;
+      for (int i = 0; i < n; ++i) {
+        exact += x[std::size_t(i)] * y[std::size_t(i)];
+        q.add_product(ps::posit16::from_double(x[std::size_t(i)]),
+                      ps::posit16::from_double(y[std::size_t(i)]));
+      }
+      const double scale = std::max(1e-6, std::fabs(exact));
+      naive.add(std::fabs(core::dot_error<ps::posit16>(x, y)));
+      quire_s.add(std::fabs(q.to_posit().to_double() - exact) / scale);
+      half_s.add(core::dot_error<sf::half>(x, y));
+      bf_s.add(core::dot_error<sf::bfloat16_t>(x, y));
+    }
+    char c1[24], c2[24], c3[24], c4[24];
+    std::snprintf(c1, sizeof c1, "%.2e", naive.mean());
+    std::snprintf(c2, sizeof c2, "%.2e", quire_s.mean());
+    std::snprintf(c3, sizeof c3, "%.2e", half_s.mean());
+    std::snprintf(c4, sizeof c4, "%.2e", bf_s.mean());
+    t.add_row({util::cell(n), c1, c2, c3, c4});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nReading: naive accumulation error grows with N in every 16-bit\n"
+      "format; the quire's error is one final rounding regardless of N —\n"
+      "the reason the posit standard mandates it.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 2 — bit-heap-centric operator generation.
+//
+// The figure's claim: decoupling "what is summed" from "how it is
+// summed" lets one description target different compression backends.
+// We build the same sum-of-products heap and synthesize it three ways,
+// reporting area/depth/compressor mix.
+#include <cstdio>
+#include <iostream>
+
+#include "bitheap/bitheap.hpp"
+#include "util/table.hpp"
+
+using namespace nga;
+
+namespace {
+
+struct Result {
+  hw::CostReport cost;
+  bh::CompressionStats stats;
+};
+
+Result synth(unsigned w, unsigned k, bh::Strategy s) {
+  hw::Netlist nl;
+  bh::BitHeap heap(nl);
+  for (unsigned t = 0; t < k; ++t) {
+    std::vector<int> a(w), b(w);
+    for (auto& x : a) x = nl.add_input();
+    for (auto& x : b) x = nl.add_input();
+    heap.add_product(0, a, b);
+  }
+  auto sum = heap.compress(s);
+  for (int bit : sum) nl.mark_output(bit);
+  return {nl.cost(), heap.stats()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 2: one bit heap, several hardware backends ==\n\n");
+  for (const auto& [w, k] : {std::pair{8u, 4u}, {6u, 8u}, {12u, 2u}}) {
+    std::printf("-- sum of %u products of %ux%u bits --\n", k, w, w);
+    util::Table t({"backend", "NAND2 area", "depth", "FA", "HA", "6:3 GPC",
+                   "stages", "final adder bits"});
+    const char* names[] = {"ripple adder tree (no heap)",
+                           "compressor tree (ASIC)",
+                           "6-LUT GPC tree (FPGA)"};
+    const bh::Strategy strategies[] = {bh::Strategy::kRippleTree,
+                                       bh::Strategy::kCompressorTree,
+                                       bh::Strategy::kLut6Tree};
+    for (int i = 0; i < 3; ++i) {
+      const auto r = synth(w, k, strategies[i]);
+      t.add_row({names[i], util::cell(r.cost.nand2_area, 0),
+                 util::cell(r.cost.depth), util::cell(r.stats.full_adders),
+                 util::cell(r.stats.half_adders),
+                 util::cell(r.stats.lut6_compressors),
+                 util::cell(r.stats.stages),
+                 util::cell(r.stats.final_adder_width)});
+    }
+    t.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check: compressor trees flatten the ripple tree's depth by\n"
+      "several x at comparable area — the reason bit heaps exist.\n");
+  return 0;
+}

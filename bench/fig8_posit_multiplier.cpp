@@ -1,0 +1,57 @@
+// Fig. 8 — the 8-bit posit multiplier, and the fair hardware-cost
+// comparison of Section V.
+//
+// Prints gate-level area/depth for: the posit<8,0> multiplier, the
+// {1,4,3} float multiplier with normals-only (FTZ) hardware, and the
+// same format with full IEEE-754 semantics; plus the comparison units.
+// Every netlist is exhaustively verified in tests/core/.
+#include <cstdio>
+#include <iostream>
+
+#include "core/hwmult.hpp"
+#include "util/table.hpp"
+
+using namespace nga;
+using namespace nga::core;
+
+int main() {
+  std::printf("== Fig. 8: 8-bit posit multiplier vs float multipliers ==\n\n");
+  const auto posit_nl = build_posit8_multiplier();
+  const auto ftz_nl = build_float8_multiplier(FloatHw::kNormalsOnly);
+  const auto ieee_nl = build_float8_multiplier(FloatHw::kFullIEEE);
+
+  util::Table t({"multiplier", "gates", "NAND2 area", "depth",
+                 "significand bits", "area / sig bit"});
+  auto row = [&](const char* name, const hw::Netlist& nl, int sig_bits) {
+    const auto c = nl.cost();
+    t.add_row({name, util::cell(c.gate_count), util::cell(c.nand2_area, 0),
+               util::cell(c.depth), util::cell(sig_bits),
+               util::cell(c.nand2_area / sig_bits, 0)});
+  };
+  row("posit<8,0> (2 exceptions, tapered)", posit_nl, 6);
+  row("float{1,4,3} normals-only (FTZ)", ftz_nl, 4);
+  row("float{1,4,3} full IEEE 754", ieee_nl, 4);
+  t.print(std::cout);
+
+  std::printf("\n-- comparison units --\n");
+  util::Table c({"comparator", "gates", "NAND2 area", "depth"});
+  const auto pl = build_posit8_less();
+  const auto fl = build_float8_less();
+  c.add_row({"posit < (integer comparator)", util::cell(pl.cost().gate_count),
+             util::cell(pl.cost().nand2_area, 0),
+             util::cell(pl.cost().depth)});
+  c.add_row({"IEEE < (sign/NaN/-0 logic)", util::cell(fl.cost().gate_count),
+             util::cell(fl.cost().nand2_area, 0),
+             util::cell(fl.cost().depth)});
+  c.print(std::cout);
+
+  std::printf(
+      "\nPaper checks: full IEEE costs ~3x the normals-only hardware most\n"
+      "comparisons actually build; the posit multiplier (which carries up\n"
+      "to 5 fraction bits + 16 orders of dynamic range vs the float's\n"
+      "fixed 3 + saturating range) sits near full-IEEE cost in absolute\n"
+      "terms and beats it per significand bit; posit comparison reuses\n"
+      "the integer comparator. See EXPERIMENTS.md for the width-scaling\n"
+      "discussion.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 9 — decimal accuracy as a function of magnitude for the 16-bit
+// formats: fixed16 (Q7.8), IEEE binary16, bfloat16, posit<16,1>.
+//
+// Prints the four curves as a decade-sampled table (full CSV to stdout
+// with --csv) plus the shape checks: fixed ramp, float trapezoid,
+// bfloat low plateau, posit isosceles triangle peaking around |x|=1.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "accuracy/accuracy.hpp"
+#include "util/table.hpp"
+
+using namespace nga;
+
+namespace {
+
+double acc_at(const std::vector<acc::AccuracyPoint>& c, double v) {
+  if (c.empty() || v < c.front().value || v > c.back().value) return 0.0;
+  auto it = std::lower_bound(
+      c.begin(), c.end(), v,
+      [](const acc::AccuracyPoint& p, double x) { return p.value < x; });
+  return it == c.end() ? 0.0 : it->accuracy;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+  const auto fixed = acc::accuracy_curve_fixed(16, 8);
+  const auto half = acc::accuracy_curve_float<5, 10>();
+  const auto bf16 = acc::accuracy_curve_float<8, 7>();
+  const auto posit = acc::accuracy_curve_posit<16, 1>();
+
+  if (csv) {
+    std::printf("log10x,fixed16,float16,bfloat16,posit16\n");
+    for (double lg = -9.0; lg <= 9.0001; lg += 0.05) {
+      const double v = std::pow(10.0, lg);
+      std::printf("%.2f,%.4f,%.4f,%.4f,%.4f\n", lg, acc_at(fixed, v),
+                  acc_at(half, v), acc_at(bf16, v), acc_at(posit, v));
+    }
+    return 0;
+  }
+
+  std::printf("== Fig. 9: decimal accuracy vs magnitude (16-bit) ==\n\n");
+  util::Table t({"log10|x|", "fixed16 Q7.8", "float16", "bfloat16",
+                 "posit<16,1>"});
+  for (double lg = -9.0; lg <= 9.0001; lg += 1.0) {
+    const double v = std::pow(10.0, lg);
+    t.add_row({util::cell(lg, 0), util::cell(acc_at(fixed, v), 2),
+               util::cell(acc_at(half, v), 2), util::cell(acc_at(bf16, v), 2),
+               util::cell(acc_at(posit, v), 2)});
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nShape checks (paper): fixed = rising ramp cut off at ~10^2.5;\n"
+      "float16 = flat trapezoid over its 9-decade normal range with a\n"
+      "subnormal taper; bfloat16 = long low plateau (~2.4 decimals over\n"
+      "~76 orders); posit16 = isosceles triangle centred at |x|=1, ABOVE\n"
+      "float16 within ~[1/16,16] and below it outside. Run with --csv\n"
+      "for the full curves.\n");
+  return 0;
+}

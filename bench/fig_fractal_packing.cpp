@@ -1,0 +1,50 @@
+// Section III — Fractal Synthesis carry-chain packing.
+//
+// Regenerates the utilization narrative: standard fitting leaves soft
+// arithmetic at 60-70% logic use; seeded exhaustive re-synthesis packs
+// to ~100%; the Brainwave composite lands at ~92%+.
+#include <cstdio>
+#include <iostream>
+
+#include "fpga/fractal.hpp"
+#include "util/table.hpp"
+
+using namespace nga;
+
+int main() {
+  std::printf("== Fractal Synthesis packing (Section III) ==\n\n");
+  util::Table t({"segments", "LABs", "fitter", "placed", "failed",
+                 "logic use [%]", "arith density [%]", "splits", "seeds"});
+  for (const int count : {200, 500, 1000, 3000}) {
+    const auto segs = fpga::ai_datapath_segments(count, util::u64(count));
+    int total = 0;
+    for (const auto& s : segs) total += s.len;
+    const int labs = total / 8;  // sized to demand ~80% fill
+    const auto ff = fpga::pack_first_fit(segs, 10, labs);
+    const auto fr = fpga::pack_fractal(segs, 10, labs, 24);
+    auto row = [&](const char* name, const fpga::PackResult& r) {
+      t.add_row({util::cell(count), util::cell(labs), name,
+                 util::cell(r.placed_segments), util::cell(r.failed_segments),
+                 util::pct_cell(r.utilization(), 1),
+                 util::pct_cell(r.functional_density(), 1),
+                 util::cell(r.splits), util::cell(r.iterations)});
+    };
+    row("standard (seq. first-fit)", ff);
+    row("fractal (seeded exhaustive)", fr);
+  }
+  t.print(std::cout);
+
+  std::printf("\n-- Brainwave validation point --\n");
+  util::Table b({"component", "share [%]", "packing [%]"});
+  b.add_row({"control", "20.0", "80.0"});
+  b.add_row({"datapath", "80.0", "97.0"});
+  b.add_row({"composite", "100.0",
+             util::pct_cell(fpga::brainwave_composite(), 1)});
+  b.print(std::cout);
+  std::printf(
+      "\nShape check: standard fitting sits in the 60-75%% band; fractal\n"
+      "reaches ~100%% logic use ('92%% logic utilization was achieved' in\n"
+      "Brainwave). Only seeds + final metrics are kept across iterations,\n"
+      "reproducing the paper's memory/runtime trick.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Table II — the ten approximate 8x8 multipliers: exhaustive error
+// metrics + gate-level switching-energy savings.
+//
+// Paper columns: Multiplier | MRE [%] | MAE | Energy Saving [%].
+// (Our designs substitute for the EvoApprox8B netlists — see DESIGN.md;
+// the MRE spread 0.03..19.45% and the error/energy trade-off shape are
+// the reproduction targets.)
+#include <cstdio>
+#include <iostream>
+
+#include "approx/multipliers.hpp"
+#include "util/table.hpp"
+
+using namespace nga;
+
+int main() {
+  std::printf("== Table II: approximate multipliers ==\n\n");
+  util::Table t({"Multiplier", "MRE [%]", "MAE", "WCE", "Error rate [%]",
+                 "Energy Saving [%]", "NAND2 area", "depth"});
+  for (const auto& m : ax::table2_multipliers()) {
+    const auto e = ax::measure_error(*m);
+    const double save = ax::energy_saving_percent(*m, 1500);
+    const auto cost = m->netlist().cost();
+    t.add_row({m->name(), util::cell(e.mre_percent, 2), util::cell(e.mae, 1),
+               util::cell(e.wce, 0), util::cell(100.0 * e.error_rate, 1),
+               util::cell(save, 2), util::cell(cost.nand2_area, 0),
+               util::cell(cost.depth)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nPaper Table II for reference (EvoApprox picks):\n"
+      "  MRE 0.03..19.45%%, MAE 0.2..343.9, energy saving 0.02..68.08%%.\n"
+      "Shape check: MRE-ordered rows, energy saving grows with error\n"
+      "(structural multipliers like DRUM pay shifter overhead, hence\n"
+      "their lower savings at equal MRE — same effect as the paper's\n"
+      "non-monotone rows 435/24/195).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Example: choosing a 16-bit number format for an edge DSP kernel.
+//
+// Runs the same dot-product and FIR workloads through fixed16, float16,
+// bfloat16 and posit16 (plus the posit quire), reporting relative
+// errors — the "fixed vs float vs posit" decision of Section V made
+// executable.
+#include <cstdio>
+
+#include "core/format_traits.hpp"
+#include "posit/posit.hpp"
+#include "util/rng.hpp"
+
+using namespace nga;
+using namespace nga::core;
+
+int main() {
+  std::printf("== 16-bit format shoot-out on DSP kernels ==\n\n");
+  util::Xoshiro256 rng(11);
+
+  // Workload 1: a well-scaled dot product (values near 1).
+  std::vector<double> x(256), y(256);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : y) v = rng.uniform(-1.0, 1.0);
+
+  // Workload 2: a lowpass FIR over a mixed-amplitude signal.
+  std::vector<double> taps = {0.02, 0.07, 0.12, 0.18, 0.22,
+                              0.18, 0.12, 0.07, 0.02};
+  std::vector<double> signal(512);
+  for (std::size_t i = 0; i < signal.size(); ++i)
+    signal[i] = std::sin(0.07 * double(i)) + 0.1 * rng.normal();
+
+  using fixed16 = fx::fixed16;
+  using half = sf::half;
+  using bf16 = sf::bfloat16_t;
+  using p16 = ps::posit16;
+
+  std::printf("%-14s %18s %18s\n", "format", "dot rel. error",
+              "FIR rel. RMS error");
+  auto report = [&](auto tag) {
+    using F = decltype(tag);
+    std::printf("%-14s %18.3e %18.3e\n",
+                format_traits<F>::name().c_str(), dot_error<F>(x, y),
+                fir_error<F>(taps, signal));
+  };
+  report(fixed16{});
+  report(half{});
+  report(bf16{});
+  report(p16{});
+
+  // The posit killer feature: the quire makes the dot product exact.
+  ps::quire<16, 1> q;
+  double exact = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    q.add_product(p16::from_double(x[i]), p16::from_double(y[i]));
+    exact += x[i] * y[i];
+  }
+  const double got = q.to_posit().to_double();
+  std::printf("%-14s %18.3e %18s\n", "posit16+quire",
+              std::fabs((got - exact) / exact), "(fused, 1 rounding)");
+
+  std::printf(
+      "\nReading: posits beat float16/bfloat16 on these near-1 workloads\n"
+      "(the Fig. 9 accuracy hump); the quire removes accumulation error\n"
+      "entirely; fixed16 is competitive only while the signal fits its\n"
+      "4.8-decade window.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: the three number systems of the paper side by side.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/example_quickstart
+#include <cstdio>
+
+#include "fixedpoint/fixed.hpp"
+#include "posit/posit.hpp"
+#include "softfloat/floatmp.hpp"
+
+int main() {
+  using nga::ps::posit16;
+  using nga::ps::quire;
+  using nga::sf::bfloat16_t;
+  using nga::sf::half;
+
+  std::printf("== posits vs floats vs fixed point (16-bit) ==\n\n");
+
+  // 1. Basic arithmetic: posits round like floats, but never overflow to
+  //    inf or underflow to zero — they saturate at maxpos/minpos.
+  const posit16 a(3.25), b(-1.5);
+  std::printf("posit16: 3.25 + (-1.5) = %s\n", (a + b).to_string().c_str());
+  std::printf("posit16: 3.25 * (-1.5) = %s\n", (a * b).to_string().c_str());
+  std::printf("posit16 maxpos = %g, minpos = %g\n",
+              posit16::maxpos().to_double(), posit16::minpos().to_double());
+  std::printf("posit16: maxpos * maxpos = %s (saturates, no overflow)\n",
+              (posit16::maxpos() * posit16::maxpos()).to_string().c_str());
+
+  // 2. The two exception values: 0 and NaR. 1/0 = NaR; NaR propagates.
+  const posit16 nar = posit16::one() / posit16::zero();
+  std::printf("posit16: 1/0 = %s; NaR == NaR is %s; NaR < everything: %s\n",
+              nar.to_string().c_str(), nar == posit16::nar() ? "true" : "false",
+              (nar < posit16(-1e8)) ? "true" : "false");
+
+  // 3. Floats by contrast: half overflows to inf quickly.
+  const half h(60000.0);
+  std::printf("\nhalf: 60000 * 2 = %s (overflow to inf)\n",
+              (h + h).to_string().c_str());
+  std::printf("bfloat16: 60000 * 2 = %s (huge dynamic range, 8 frac bits)\n",
+              (bfloat16_t(60000.0) + bfloat16_t(60000.0)).to_string().c_str());
+
+  // 4. The quire: an exact dot product that a plain float/posit loop
+  //    gets wrong. sum_{i} (x_i * y_i) with catastrophic cancellation.
+  const double xs[] = {1e6, 3.0, -1e6};
+  const double ys[] = {1e6, 2.0, 1e6};
+  posit16 naive = posit16::zero();
+  quire<16, 1> q;
+  for (int i = 0; i < 3; ++i) {
+    naive = naive + posit16(xs[i]) * posit16(ys[i]);
+    q.add_product(posit16(xs[i]), posit16(ys[i]));
+  }
+  std::printf("\ndot([1e6,3,-1e6],[1e6,2,1e6]):\n");
+  std::printf("  naive posit16 accumulation: %s\n", naive.to_string().c_str());
+  std::printf("  quire (exact, one rounding): %s  <- correct answer is 6\n",
+              q.to_posit().to_string().c_str());
+
+  // 5. Fixed point: cheap and exact inside its narrow window.
+  const nga::fx::fixed16 f(3.14159);
+  std::printf("\nfixed16 (Q7.8): pi ~= %s (ulp = %g)\n", f.to_string().c_str(),
+              nga::fx::fixed16::ulp().to_double());
+  return 0;
+}

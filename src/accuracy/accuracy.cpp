@@ -1,0 +1,40 @@
+#include "accuracy/accuracy.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace nga::acc {
+
+double decimal_accuracy_between(double lo, double hi) {
+  if (!(hi > lo) || lo <= 0.0) return 0.0;
+  return -std::log10(std::log10(hi / lo));
+}
+
+double decimal_accuracy(double x_repr, double x_true) {
+  if (x_repr == x_true) return std::numeric_limits<double>::infinity();
+  if (x_repr <= 0.0 || x_true <= 0.0) return 0.0;
+  return -std::log10(std::fabs(std::log10(x_repr / x_true)));
+}
+
+std::vector<AccuracyPoint> accuracy_curve_fixed(unsigned width,
+                                                unsigned frac_bits) {
+  std::vector<AccuracyPoint> out;
+  const util::u64 top = (util::u64{1} << (width - 1)) - 1;
+  const double ulp = std::ldexp(1.0, -int(frac_bits));
+  out.reserve(top);
+  for (util::u64 c = 1; c <= top; ++c) {
+    const double v = double(c) * ulp;
+    const double acc = c < top
+                           ? decimal_accuracy_between(v, double(c + 1) * ulp)
+                           : decimal_accuracy_between(double(c - 1) * ulp, v);
+    out.push_back({c, v, acc});
+  }
+  return out;
+}
+
+double dynamic_range_orders(const std::vector<AccuracyPoint>& curve) {
+  if (curve.empty()) return 0.0;
+  return std::log10(curve.back().value / curve.front().value);
+}
+
+}  // namespace nga::acc

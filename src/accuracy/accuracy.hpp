@@ -1,0 +1,163 @@
+// Decimal-accuracy analysis and ring-plot censuses (Figs. 6, 7, 9, 10).
+//
+// "Decimal accuracy" follows Gustafson: between two adjacent
+// representable values a < b the format can distinguish decades at
+// granularity log10(b/a), so its accuracy there is -log10(log10(b/a))
+// decimal digits. Plotting this per representable value gives the
+// trapezoid (floats), ramp (fixed point) and isosceles triangle (posits)
+// of Fig. 9, and the bit-string-indexed view of Fig. 10.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "fixedpoint/fixed.hpp"
+#include "posit/posit.hpp"
+#include "softfloat/floatmp.hpp"
+#include "util/bits.hpp"
+
+namespace nga::acc {
+
+/// Decimal digits of agreement between adjacent representable values.
+double decimal_accuracy_between(double lo, double hi);
+
+/// Decimal accuracy of representing @p x_true by @p x_repr (Gustafson's
+/// pairwise definition): -log10(|log10(x_repr / x_true)|).
+double decimal_accuracy(double x_repr, double x_true);
+
+/// One sample of an accuracy curve.
+struct AccuracyPoint {
+  util::u64 code = 0;   ///< positive-code index (Fig. 10 x-axis)
+  double value = 0.0;   ///< representable value (Fig. 9 uses log10 of it)
+  double accuracy = 0;  ///< decimal accuracy at this value
+};
+
+/// Accuracy per positive finite code of a float format, ascending.
+template <unsigned E, unsigned M>
+std::vector<AccuracyPoint> accuracy_curve_float() {
+  using F = sf::floatmp<E, M>;
+  std::vector<AccuracyPoint> out;
+  const util::u64 last = F::max_normal().bits();  // largest finite code
+  auto value = [](util::u64 c) {
+    return F::from_bits(typename F::storage_t(c)).to_double();
+  };
+  for (util::u64 c = 1; c <= last; ++c) {
+    const double acc = c < last
+                           ? decimal_accuracy_between(value(c), value(c + 1))
+                           : decimal_accuracy_between(value(c - 1), value(c));
+    out.push_back({c, value(c), acc});
+  }
+  return out;
+}
+
+/// Accuracy per positive code of a posit format, ascending.
+template <unsigned N, unsigned ES>
+std::vector<AccuracyPoint> accuracy_curve_posit() {
+  using P = ps::posit<N, ES>;
+  std::vector<AccuracyPoint> out;
+  const util::u64 top = (util::u64{1} << (N - 1)) - 1;  // maxpos code
+  for (util::u64 c = 1; c <= top; ++c) {
+    const double v = P::from_bits(typename P::storage_t(c)).to_double();
+    const double w =
+        c == top ? v : P::from_bits(typename P::storage_t(c + 1)).to_double();
+    const double lo =
+        c == top ? P::from_bits(typename P::storage_t(c - 1)).to_double() : v;
+    out.push_back(
+        {c, v, decimal_accuracy_between(c == top ? lo : v, c == top ? v : w)});
+  }
+  return out;
+}
+
+/// Accuracy per positive code of W-bit fixed point with F fraction bits.
+std::vector<AccuracyPoint> accuracy_curve_fixed(unsigned width,
+                                                unsigned frac_bits);
+
+/// log10(largest positive / smallest positive) — the "orders of
+/// magnitude of dynamic range" quoted in Section V.
+double dynamic_range_orders(const std::vector<AccuracyPoint>& curve);
+
+// --- Ring censuses (Figs. 6 and 7) -------------------------------------
+
+/// A labelled slice of the 2^N-code ring.
+struct RingRegion {
+  std::string name;
+  util::u64 codes = 0;
+  double fraction = 0.0;  ///< codes / 2^N
+};
+
+/// Fig. 6: the IEEE float ring. Regions: +-zero, subnormal traps,
+/// inf/NaN traps, normals, and the "theorems are valid" arc (magnitudes
+/// in [sqrt(min normal), sqrt(max normal)] where x*y can neither
+/// overflow nor underflow).
+template <unsigned E, unsigned M>
+std::vector<RingRegion> float_ring_census() {
+  using F = sf::floatmp<E, M>;
+  util::u64 zero = 0, sub = 0, inf_nan = 0, normal = 0, theorem = 0;
+  const double lo_t = std::sqrt(F::min_normal().to_double());
+  const double hi_t = std::sqrt(F::max_normal().to_double());
+  const util::u64 total = util::u64{1} << (1 + E + M);
+  for (util::u64 c = 0; c < total; ++c) {
+    const F f = F::from_bits(typename F::storage_t(c));
+    if (f.is_zero())
+      ++zero;
+    else if (f.is_subnormal())
+      ++sub;
+    else if (f.is_inf() || f.is_nan())
+      ++inf_nan;
+    else {
+      ++normal;
+      const double m = std::fabs(f.to_double());
+      if (m >= lo_t && m <= hi_t) ++theorem;
+    }
+  }
+  auto frac = [&](util::u64 c) { return double(c) / double(total); };
+  return {
+      {"zero (+-0)", zero, frac(zero)},
+      {"subnormal trap", sub, frac(sub)},
+      {"inf/NaN trap", inf_nan, frac(inf_nan)},
+      {"normals", normal, frac(normal)},
+      {"trap total (exp all-0s/1s)", zero + sub + inf_nan,
+       frac(zero + sub + inf_nan)},
+      {"theorems-valid arc", theorem, frac(theorem)},
+  };
+}
+
+/// Fig. 7: the posit ring. Regions: the two exception values, the
+/// fixed-field arcs (exactly two regime bits: decodable as easily as a
+/// float, no leading-run count needed), and the tapered remainder.
+template <unsigned N, unsigned ES>
+std::vector<RingRegion> posit_ring_census() {
+  using P = ps::posit<N, ES>;
+  util::u64 exceptions = 0, fixed_field = 0, tapered = 0, theorem = 0;
+  const util::u64 total = util::u64{1} << N;
+  for (util::u64 c = 0; c < total; ++c) {
+    const P p = P::from_bits(typename P::storage_t(c));
+    if (p.is_zero() || p.is_nar()) {
+      ++exceptions;
+      continue;
+    }
+    // Magnitude pattern; exactly two regime bits means bits N-2 and N-3
+    // differ (run length 1 with terminator present).
+    const util::u64 mag = p.is_negative()
+                              ? util::twos_complement(util::u64(p.bits()), N)
+                              : util::u64(p.bits());
+    const unsigned b1 = util::bit_of(mag, N - 2);
+    const unsigned b2 = util::bit_of(mag, N - 3);
+    if (b1 != b2)
+      ++fixed_field;
+    else
+      ++tapered;
+    ++theorem;  // every non-exception product stays on the ring (no
+                // overflow/underflow): the whole real arc is "valid"
+  }
+  auto frac = [&](util::u64 c) { return double(c) / double(total); };
+  return {
+      {"exceptions (0, NaR)", exceptions, frac(exceptions)},
+      {"fixed-field arcs (2 regime bits)", fixed_field, frac(fixed_field)},
+      {"tapered regimes", tapered, frac(tapered)},
+      {"theorems-valid arc", theorem, frac(theorem)},
+  };
+}
+
+}  // namespace nga::acc

@@ -1,0 +1,503 @@
+#include "approx/multipliers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bitheap/bitheap.hpp"
+
+namespace nga::ax {
+
+namespace {
+
+using util::u32;
+
+// --- shared netlist machinery -------------------------------------------
+
+struct Operands {
+  std::vector<int> a, b;
+};
+
+Operands add_operands(hw::Netlist& nl) {
+  Operands ops;
+  ops.a.resize(8);
+  ops.b.resize(8);
+  for (auto& x : ops.a) x = nl.add_input();
+  for (auto& x : ops.b) x = nl.add_input();
+  return ops;
+}
+
+void mark_product_outputs(hw::Netlist& nl, std::vector<int> bits) {
+  bits.resize(16, nl.constant(false));
+  for (int i = 0; i < 16; ++i) nl.mark_output(bits[i]);
+}
+
+/// OR-reduce a set of nodes (balanced tree).
+int or_tree(hw::Netlist& nl, std::vector<int> bits) {
+  if (bits.empty()) return nl.constant(false);
+  while (bits.size() > 1) {
+    std::vector<int> next;
+    for (std::size_t i = 0; i + 1 < bits.size(); i += 2)
+      next.push_back(nl.or_(bits[i], bits[i + 1]));
+    if (bits.size() % 2) next.push_back(bits.back());
+    bits = std::move(next);
+  }
+  return bits[0];
+}
+
+int xor_tree(hw::Netlist& nl, std::vector<int> bits) {
+  if (bits.empty()) return nl.constant(false);
+  while (bits.size() > 1) {
+    std::vector<int> next;
+    for (std::size_t i = 0; i + 1 < bits.size(); i += 2)
+      next.push_back(nl.xor_(bits[i], bits[i + 1]));
+    if (bits.size() % 2) next.push_back(bits.back());
+    bits = std::move(next);
+  }
+  return bits[0];
+}
+
+/// Leading-one detector: returns (position bits[3], nonzero flag).
+/// position = index of the most significant set bit of the 8-bit input.
+struct Lod {
+  std::vector<int> pos;  // 3 bits
+  int nonzero;
+};
+
+Lod build_lod8(hw::Netlist& nl, const std::vector<int>& x) {
+  // One-hot: h[i] = x[i] & ~(x[7] | ... | x[i+1]).
+  std::vector<int> above(8);
+  int acc = nl.constant(false);
+  for (int i = 7; i >= 0; --i) {
+    above[std::size_t(i)] = acc;
+    acc = nl.or_(acc, x[std::size_t(i)]);
+  }
+  std::vector<int> hot(8);
+  for (int i = 0; i < 8; ++i)
+    hot[std::size_t(i)] = nl.andnot_(x[std::size_t(i)], above[std::size_t(i)]);
+  Lod lod;
+  lod.nonzero = acc;
+  lod.pos.resize(3);
+  for (int bit = 0; bit < 3; ++bit) {
+    std::vector<int> sel;
+    for (int i = 0; i < 8; ++i)
+      if ((i >> bit) & 1) sel.push_back(hot[std::size_t(i)]);
+    lod.pos[std::size_t(bit)] = or_tree(nl, sel);
+  }
+  return lod;
+}
+
+/// Barrel shifter: out = in << s (s given LSB-first), output width wout.
+std::vector<int> barrel_shl(hw::Netlist& nl, std::vector<int> in,
+                            const std::vector<int>& s, unsigned wout) {
+  std::vector<int> cur = std::move(in);
+  cur.resize(wout, nl.constant(false));
+  const int zero = nl.constant(false);
+  for (std::size_t stage = 0; stage < s.size(); ++stage) {
+    const unsigned sh = 1u << stage;
+    std::vector<int> next(wout);
+    for (unsigned i = 0; i < wout; ++i) {
+      const int shifted = i >= sh ? cur[i - sh] : zero;
+      next[i] = nl.mux(cur[i], shifted, s[stage]);
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+/// Barrel shifter: out = in >> s.
+std::vector<int> barrel_shr(hw::Netlist& nl, std::vector<int> in,
+                            const std::vector<int>& s, unsigned wout) {
+  const int zero = nl.constant(false);
+  std::vector<int> cur = std::move(in);
+  for (std::size_t stage = 0; stage < s.size(); ++stage) {
+    const unsigned sh = 1u << stage;
+    std::vector<int> next(cur.size());
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      const int shifted = i + sh < cur.size() ? cur[i + sh] : zero;
+      next[i] = nl.mux(cur[i], shifted, s[stage]);
+    }
+    cur = std::move(next);
+  }
+  cur.resize(wout, zero);
+  return cur;
+}
+
+// --- concrete multipliers -----------------------------------------------
+
+class ExactMult final : public ApproxMult8 {
+ public:
+  std::string name() const override { return "EXACT"; }
+  u16 multiply(u8 a, u8 b) const override { return u16(unsigned(a) * b); }
+  hw::Netlist netlist() const override {
+    // Same compressor-tree structure as the approximate variants so the
+    // energy comparison isolates the *removed* logic, not adder style.
+    hw::Netlist nl;
+    auto ops = add_operands(nl);
+    bh::BitHeap heap(nl);
+    heap.add_product(0, ops.a, ops.b);
+    mark_product_outputs(nl, heap.compress(bh::Strategy::kCompressorTree));
+    return nl;
+  }
+};
+
+/// Truncated array: partial products in columns < k are never generated;
+/// the low k result bits are zero.
+class TruncatedMult final : public ApproxMult8 {
+ public:
+  explicit TruncatedMult(unsigned k) : k_(k) {}
+  std::string name() const override { return "TRUNC" + std::to_string(k_); }
+  u16 multiply(u8 a, u8 b) const override {
+    u32 sum = 0;
+    for (int i = 0; i < 8; ++i)
+      for (int j = 0; j < 8; ++j)
+        if (unsigned(i + j) >= k_ && ((a >> i) & 1) && ((b >> j) & 1))
+          sum += u32(1) << (i + j);
+    return u16(sum);
+  }
+  hw::Netlist netlist() const override {
+    hw::Netlist nl;
+    auto ops = add_operands(nl);
+    bh::BitHeap heap(nl);
+    for (int i = 0; i < 8; ++i)
+      for (int j = 0; j < 8; ++j)
+        if (unsigned(i + j) >= k_)
+          heap.add_bit(i + j, nl.and_(ops.a[std::size_t(i)],
+                                      ops.b[std::size_t(j)]));
+    auto sum = heap.compress(bh::Strategy::kCompressorTree);
+    std::vector<int> out(std::size_t(k_), nl.constant(false));
+    out.insert(out.end(), sum.begin(), sum.end());
+    mark_product_outputs(nl, std::move(out));
+    return nl;
+  }
+
+ private:
+  unsigned k_;
+};
+
+/// Lower-OR multiplier: low-k columns collapse to a carry-free OR of
+/// their partial products; high part exact (no carries cross the break).
+class LoaMult final : public ApproxMult8 {
+ public:
+  explicit LoaMult(unsigned k) : k_(k) {}
+  std::string name() const override { return "LOA" + std::to_string(k_); }
+  u16 multiply(u8 a, u8 b) const override {
+    u32 sum = 0;
+    for (unsigned c = 0; c < k_; ++c) {
+      bool any = false;
+      for (int i = 0; i < 8; ++i) {
+        const int j = int(c) - i;
+        if (j < 0 || j > 7) continue;
+        any = any || (((a >> i) & 1) && ((b >> j) & 1));
+      }
+      if (any) sum |= u32(1) << c;
+    }
+    for (int i = 0; i < 8; ++i)
+      for (int j = 0; j < 8; ++j)
+        if (unsigned(i + j) >= k_ && ((a >> i) & 1) && ((b >> j) & 1))
+          sum += u32(1) << (i + j);
+    return u16(sum);
+  }
+  hw::Netlist netlist() const override {
+    hw::Netlist nl;
+    auto ops = add_operands(nl);
+    std::vector<int> low;
+    for (unsigned c = 0; c < k_; ++c) {
+      std::vector<int> col;
+      for (int i = 0; i < 8; ++i) {
+        const int j = int(c) - i;
+        if (j < 0 || j > 7) continue;
+        col.push_back(nl.and_(ops.a[std::size_t(i)], ops.b[std::size_t(j)]));
+      }
+      low.push_back(or_tree(nl, col));
+    }
+    bh::BitHeap heap(nl);
+    for (int i = 0; i < 8; ++i)
+      for (int j = 0; j < 8; ++j)
+        if (unsigned(i + j) >= k_)
+          heap.add_bit(i + j, nl.and_(ops.a[std::size_t(i)],
+                                      ops.b[std::size_t(j)]));
+    auto sum = heap.compress(bh::Strategy::kCompressorTree);
+    low.insert(low.end(), sum.begin(), sum.end());
+    mark_product_outputs(nl, std::move(low));
+    return nl;
+  }
+
+ private:
+  unsigned k_;
+};
+
+/// Broken-array multiplier: low-k columns keep only the carry-free XOR
+/// of their partial products (all carry cells below the break removed).
+class BrokenArrayMult final : public ApproxMult8 {
+ public:
+  explicit BrokenArrayMult(unsigned k) : k_(k) {}
+  std::string name() const override { return "BAM" + std::to_string(k_); }
+  u16 multiply(u8 a, u8 b) const override {
+    u32 sum = 0;
+    for (unsigned c = 0; c < k_; ++c) {
+      int parity = 0;
+      for (int i = 0; i < 8; ++i) {
+        const int j = int(c) - i;
+        if (j < 0 || j > 7) continue;
+        parity ^= int(((a >> i) & 1) && ((b >> j) & 1));
+      }
+      if (parity) sum |= u32(1) << c;
+    }
+    for (int i = 0; i < 8; ++i)
+      for (int j = 0; j < 8; ++j)
+        if (unsigned(i + j) >= k_ && ((a >> i) & 1) && ((b >> j) & 1))
+          sum += u32(1) << (i + j);
+    return u16(sum);
+  }
+  hw::Netlist netlist() const override {
+    hw::Netlist nl;
+    auto ops = add_operands(nl);
+    std::vector<int> low;
+    for (unsigned c = 0; c < k_; ++c) {
+      std::vector<int> col;
+      for (int i = 0; i < 8; ++i) {
+        const int j = int(c) - i;
+        if (j < 0 || j > 7) continue;
+        col.push_back(nl.and_(ops.a[std::size_t(i)], ops.b[std::size_t(j)]));
+      }
+      low.push_back(xor_tree(nl, col));
+    }
+    bh::BitHeap heap(nl);
+    for (int i = 0; i < 8; ++i)
+      for (int j = 0; j < 8; ++j)
+        if (unsigned(i + j) >= k_)
+          heap.add_bit(i + j, nl.and_(ops.a[std::size_t(i)],
+                                      ops.b[std::size_t(j)]));
+    auto sum = heap.compress(bh::Strategy::kCompressorTree);
+    low.insert(low.end(), sum.begin(), sum.end());
+    mark_product_outputs(nl, std::move(low));
+    return nl;
+  }
+
+ private:
+  unsigned k_;
+};
+
+/// DRUM-style dynamic-range segmented multiplier: each operand is
+/// reduced to a k-bit segment starting at its leading one (segment LSB
+/// forced to 1 for unbiasedness), multiplied exactly, then shifted back.
+class DrumMult final : public ApproxMult8 {
+ public:
+  explicit DrumMult(unsigned k) : k_(k) {}
+  std::string name() const override { return "DRUM" + std::to_string(k_); }
+
+  u16 multiply(u8 a, u8 b) const override {
+    if (a == 0 || b == 0) return 0;
+    const int pa = util::msb_index(a), pb = util::msb_index(b);
+    const int sa = std::max(0, pa - int(k_) + 1);
+    const int sb = std::max(0, pb - int(k_) + 1);
+    u32 seg_a = u32(a) >> sa;
+    u32 seg_b = u32(b) >> sb;
+    if (sa > 0) seg_a |= 1;  // unbiasing LSB
+    if (sb > 0) seg_b |= 1;
+    return u16((seg_a * seg_b) << (sa + sb));
+  }
+
+  hw::Netlist netlist() const override {
+    hw::Netlist nl;
+    auto ops = add_operands(nl);
+    auto segment = [&](const std::vector<int>& x) {
+      const Lod lod = build_lod8(nl, x);
+      // shift amount s = max(0, pos - (k-1)) as 3 bits: pos - (k-1) when
+      // pos >= k-1 else 0. Compute via: s = (pos >= k-1) ? pos-(k-1) : 0.
+      // Implemented with a constant subtract on 3 bits.
+      std::vector<int> s(3);
+      // pos + (8-(k-1)) and take carry as the comparison: simpler: mux
+      // over all 8 positions (small, constant).
+      std::vector<int> shifted = x;
+      // seg = x >> s with s in [0, 8-k]: use barrel_shr on mux-decoded s.
+      // Build s bits from pos arithmetic: s = pos - (k-1) clamped at 0.
+      // 3-bit subtract with borrow -> clamp.
+      const unsigned km1 = k_ - 1;
+      // t = pos + (8 - km1) (4-bit); ge = t bit3 (pos >= km1);
+      std::vector<int> pos4 = lod.pos;
+      pos4.push_back(nl.constant(false));
+      std::vector<int> cst(4);
+      const unsigned addend = 8 - km1;
+      for (int i = 0; i < 4; ++i)
+        cst[std::size_t(i)] = nl.constant((addend >> i) & 1);
+      auto t = nl.ripple_add(pos4, cst, -1, true);
+      const int ge = t[4 - 1 + 1 - 1];  // bit 3 of the 4-bit sum+carry? see below
+      // t = pos + 8 - km1; pos >= km1  <=>  t >= 8  <=> bit3 of t set.
+      std::vector<int> sraw{t[0], t[1], t[2]};
+      for (int i = 0; i < 3; ++i)
+        s[std::size_t(i)] = nl.and_(sraw[std::size_t(i)], ge);
+      auto seg = barrel_shr(nl, shifted, s, 8);
+      // Force the unbias LSB when s > 0.
+      const int snz = nl.or_(nl.or_(s[0], s[1]), s[2]);
+      seg[0] = nl.or_(seg[0], snz);
+      return std::pair<std::vector<int>, std::vector<int>>{seg, s};
+    };
+    auto [seg_a, s_a] = segment(ops.a);
+    auto [seg_b, s_b] = segment(ops.b);
+    seg_a.resize(k_);
+    seg_b.resize(k_);
+    auto prod = nl.array_multiply(seg_a, seg_b);  // 2k bits
+    // shift = s_a + s_b (4 bits, <= 2*(8-k)).
+    std::vector<int> sa4 = s_a, sb4 = s_b;
+    sa4.push_back(nl.constant(false));
+    sb4.push_back(nl.constant(false));
+    auto sh = nl.ripple_add(sa4, sb4, -1, false);
+    auto out = barrel_shl(nl, prod, sh, 16);
+    mark_product_outputs(nl, std::move(out));
+    return nl;
+  }
+
+ private:
+  unsigned k_;
+};
+
+/// Mitchell's logarithmic multiplier with @p frac_bits fraction bits
+/// kept in the log domain (7 = classic Mitchell; fewer = rougher).
+class MitchellMult final : public ApproxMult8 {
+ public:
+  explicit MitchellMult(unsigned frac_bits)
+      : f_(frac_bits) {}
+  std::string name() const override {
+    return f_ == 7 ? "MITCH" : "MITCH-T" + std::to_string(f_);
+  }
+
+  u16 multiply(u8 a, u8 b) const override {
+    if (a == 0 || b == 0) return 0;
+    const int pa = util::msb_index(a), pb = util::msb_index(b);
+    // Q7 fractions, then truncated to f_ bits.
+    u32 fa = (u32(a) << (7 - pa)) & 0x7f;
+    u32 fb = (u32(b) << (7 - pb)) & 0x7f;
+    const u32 keep = ~util::u64{0} << (7 - f_) & 0x7f;
+    fa &= keep;
+    fb &= keep;
+    const u32 fsum = fa + fb;              // Q7, < 2.0
+    const int exp = pa + pb + (fsum >= 128 ? 1 : 0);
+    const u32 mant = 128 | (fsum & 0x7f);  // 1.frac in Q7
+    // value = mant * 2^(exp-7)
+    if (exp >= 7) return u16(mant << (exp - 7));
+    return u16(mant >> (7 - exp));
+  }
+
+  hw::Netlist netlist() const override {
+    hw::Netlist nl;
+    auto ops = add_operands(nl);
+    const int zero = nl.constant(false);
+    auto logof = [&](const std::vector<int>& x) {
+      const Lod lod = build_lod8(nl, x);
+      // Normalize: frac = (x << (7-pos)) low 7 bits == x >> pos, bits
+      // below the leading one, MSB-aligned: shift left by (7-pos) =
+      // shift left by ~pos (3-bit complement).
+      std::vector<int> ns(3);
+      for (int i = 0; i < 3; ++i) ns[std::size_t(i)] = nl.not_(lod.pos[std::size_t(i)]);
+      auto norm = barrel_shl(nl, x, ns, 8);  // leading one at bit 7
+      std::vector<int> frac(norm.begin(), norm.begin() + 7);
+      // Truncate to f_ bits.
+      for (unsigned i = 0; i + f_ < 7; ++i) frac[i] = zero;
+      return std::pair<std::vector<int>, Lod>{frac, lod};
+    };
+    auto [fa, lodA] = logof(ops.a);
+    auto [fb, lodB] = logof(ops.b);
+    auto fsum = nl.ripple_add(fa, fb, -1, true);  // 8 bits, carry at [7]
+    // exp = pa + pb + carry (4 bits).
+    std::vector<int> pa4 = lodA.pos, pb4 = lodB.pos;
+    pa4.push_back(zero);
+    pb4.push_back(zero);
+    auto exp = nl.ripple_add(pa4, pb4, fsum[7], false);  // 4 bits
+    // mant = {1, fsum[6:0]} -> place at bit 7 of a 24-bit frame, then
+    // shift left by exp and take bits [7..22] (i.e. mant << (exp-7)).
+    std::vector<int> frame(24, zero);
+    for (int i = 0; i < 7; ++i) frame[std::size_t(i)] = fsum[std::size_t(i)];
+    frame[7] = nl.constant(true);
+    auto shifted = barrel_shl(nl, frame, exp, 24);
+    std::vector<int> out(16);
+    const int both = nl.and_(lodA.nonzero, lodB.nonzero);
+    for (int i = 0; i < 16; ++i)
+      out[std::size_t(i)] = nl.and_(shifted[std::size_t(i + 7)], both);
+    mark_product_outputs(nl, std::move(out));
+    return nl;
+  }
+
+ private:
+  unsigned f_;
+};
+
+}  // namespace
+
+ErrorMetrics measure_error(const ApproxMult8& m) {
+  ErrorMetrics e;
+  double sum_rel = 0.0, sum_abs = 0.0;
+  std::size_t nonzero = 0, wrong = 0;
+  for (unsigned a = 0; a < 256; ++a)
+    for (unsigned b = 0; b < 256; ++b) {
+      const double exact = double(a * b);
+      const double got = double(m.multiply(u8(a), u8(b)));
+      const double err = std::fabs(got - exact);
+      sum_abs += err;
+      if (err > 0) ++wrong;
+      e.wce = std::max(e.wce, err);
+      if (exact != 0.0) {
+        sum_rel += err / exact;
+        ++nonzero;
+      }
+    }
+  e.mae = sum_abs / 65536.0;
+  e.mre_percent = 100.0 * sum_rel / double(nonzero);
+  e.error_rate = double(wrong) / 65536.0;
+  return e;
+}
+
+double energy_saving_percent(const ApproxMult8& m, std::size_t vector_pairs) {
+  static const double exact_energy = [] {
+    return hw::switching_energy(ExactMult{}.netlist(), 4000);
+  }();
+  const double e = hw::switching_energy(m.netlist(), vector_pairs);
+  return 100.0 * (1.0 - e / exact_energy);
+}
+
+std::unique_ptr<ApproxMult8> make_exact() {
+  return std::make_unique<ExactMult>();
+}
+std::unique_ptr<ApproxMult8> make_truncated(unsigned k) {
+  return std::make_unique<TruncatedMult>(k);
+}
+std::unique_ptr<ApproxMult8> make_loa(unsigned k) {
+  return std::make_unique<LoaMult>(k);
+}
+std::unique_ptr<ApproxMult8> make_broken_array(unsigned k) {
+  return std::make_unique<BrokenArrayMult>(k);
+}
+std::unique_ptr<ApproxMult8> make_approx_compressor(unsigned k) {
+  // The LOA family with a deep break behaves like the approximate-
+  // compressor designs (carry-free OR compression); kept as an alias
+  // with its own factory for API stability.
+  return std::make_unique<LoaMult>(k);
+}
+std::unique_ptr<ApproxMult8> make_drum(unsigned k) {
+  return std::make_unique<DrumMult>(k);
+}
+std::unique_ptr<ApproxMult8> make_mitchell() {
+  return std::make_unique<MitchellMult>(7);
+}
+std::unique_ptr<ApproxMult8> make_truncated_mitchell(unsigned kept) {
+  return std::make_unique<MitchellMult>(kept);
+}
+
+std::vector<std::unique_ptr<ApproxMult8>> table2_multipliers() {
+  // Ten designs ordered by increasing MRE, mirroring Table II's spread
+  // (0.03% .. ~19% MRE).
+  std::vector<std::unique_ptr<ApproxMult8>> v;
+  v.push_back(make_truncated(1));            // ~0.02% MRE
+  v.push_back(make_loa(5));                  // ~0.3%
+  v.push_back(make_broken_array(6));         // ~1.1%
+  v.push_back(make_truncated(6));            // ~2.6%
+  v.push_back(make_mitchell());              // ~3.8%
+  v.push_back(make_drum(4));                 // ~5.9%
+  v.push_back(make_truncated(8));            // ~9.8%
+  v.push_back(make_truncated_mitchell(3));   // ~10.4%
+  v.push_back(make_drum(3));                 // ~12.1%
+  v.push_back(make_truncated_mitchell(2));   // ~17%
+  return v;
+}
+
+}  // namespace nga::ax

@@ -1,0 +1,71 @@
+// Approximate 8x8 multipliers (Section IV, Table II).
+//
+// The paper samples 10 multipliers from the EvoApprox8B library; those
+// evolved netlists are not redistributable here, so this module provides
+// 10 hand-designed approximate multipliers spanning the same error range
+// (MRE 0.03% .. ~19%, Table II) using the classic families the
+// literature evolves from: partial-product truncation, lower-part OR
+// adders (LOA), broken carry arrays, approximate 4:2 compression,
+// dynamic-range segmentation (DRUM-like) and Mitchell's logarithmic
+// multiplication. Every multiplier has BOTH a behavioural model and a
+// gate-level netlist; the two are verified identical over all 65536
+// input pairs, and the netlist drives the shared switching-energy model
+// that produces Table II's "Energy Saving %" column.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hwmodel/netlist.hpp"
+#include "util/bits.hpp"
+
+namespace nga::ax {
+
+using util::u16;
+using util::u64;
+using util::u8;
+
+/// One unsigned 8x8 -> 16 approximate multiplier.
+class ApproxMult8 {
+ public:
+  virtual ~ApproxMult8() = default;
+  virtual std::string name() const = 0;
+  /// Behavioural model.
+  virtual u16 multiply(u8 a, u8 b) const = 0;
+  /// Gate-level netlist (16 inputs a[0..7],b[0..7]; 16 outputs).
+  virtual hw::Netlist netlist() const = 0;
+};
+
+/// Exhaustive error metrics over all 2^16 input pairs (the Table II
+/// error columns).
+struct ErrorMetrics {
+  double mre_percent = 0.0;  ///< mean relative error (nonzero products)
+  double mae = 0.0;          ///< mean absolute error
+  double wce = 0.0;          ///< worst-case absolute error
+  double error_rate = 0.0;   ///< fraction of pairs with any error
+};
+ErrorMetrics measure_error(const ApproxMult8& m);
+
+/// Energy per operation relative to the exact array multiplier,
+/// measured with the shared switching-energy model; saving% = 1 - ratio.
+double energy_saving_percent(const ApproxMult8& m,
+                             std::size_t vector_pairs = 2000);
+
+/// The exact reference (energy baseline; zero error).
+std::unique_ptr<ApproxMult8> make_exact();
+
+// The ten Table II stand-ins, ordered roughly by increasing MRE.
+std::unique_ptr<ApproxMult8> make_truncated(unsigned dropped_columns);
+std::unique_ptr<ApproxMult8> make_loa(unsigned or_bits);
+std::unique_ptr<ApproxMult8> make_broken_array(unsigned broken_depth);
+std::unique_ptr<ApproxMult8> make_approx_compressor(unsigned low_columns);
+std::unique_ptr<ApproxMult8> make_drum(unsigned segment_bits);
+std::unique_ptr<ApproxMult8> make_mitchell();
+std::unique_ptr<ApproxMult8> make_truncated_mitchell(unsigned kept_bits);
+
+/// The curated set of 10 used by the Table II / Fig. 5 experiments,
+/// ordered by increasing MRE like the paper's table.
+std::vector<std::unique_ptr<ApproxMult8>> table2_multipliers();
+
+}  // namespace nga::ax

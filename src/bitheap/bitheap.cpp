@@ -1,0 +1,185 @@
+#include "bitheap/bitheap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nga::bh {
+
+void BitHeap::add_bit(int w, int node) { columns_[w].push_back(node); }
+
+void BitHeap::add_constant_bit(int w, bool value) {
+  if (value) columns_[w].push_back(nl_->constant(true));
+  // A zero constant contributes nothing.
+}
+
+void BitHeap::add_word(int w0, std::span<const int> bits) {
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    add_bit(w0 + int(i), bits[i]);
+}
+
+void BitHeap::add_product(int w0, std::span<const int> a,
+                          std::span<const int> b) {
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < b.size(); ++j)
+      add_bit(w0 + int(i + j), nl_->and_(a[i], b[j]));
+}
+
+void BitHeap::add_signed_word(int w0, std::span<const int> bits,
+                              int result_msb) {
+  if (bits.empty()) return;
+  // Two's complement: value = -2^(n-1) s + sum_i<n-1 2^i b_i.
+  // Standard heap trick: add inverted sign bit and low bits, plus the
+  // constant 2^(n-1); sign-extension constants up to result_msb fold
+  // into constant ones at each higher column (all-ones run).
+  const std::size_t n = bits.size();
+  for (std::size_t i = 0; i + 1 < n; ++i) add_bit(w0 + int(i), bits[i]);
+  add_bit(w0 + int(n) - 1, nl_->not_(bits[n - 1]));
+  for (int w = w0 + int(n) - 1; w <= result_msb; ++w) add_constant_bit(w);
+}
+
+int BitHeap::min_weight() const {
+  if (columns_.empty()) throw std::logic_error("empty heap");
+  return columns_.begin()->first;
+}
+
+int BitHeap::max_weight() const {
+  if (columns_.empty()) throw std::logic_error("empty heap");
+  return columns_.rbegin()->first;
+}
+
+std::size_t BitHeap::column_height(int w) const {
+  const auto it = columns_.find(w);
+  return it == columns_.end() ? 0 : it->second.size();
+}
+
+std::size_t BitHeap::max_height() const {
+  std::size_t h = 0;
+  for (const auto& [w, bits] : columns_) h = std::max(h, bits.size());
+  return h;
+}
+
+std::vector<int> BitHeap::compress(Strategy strategy) {
+  if (columns_.empty()) return {};
+  switch (strategy) {
+    case Strategy::kRippleTree:
+      return compress_ripple_tree();
+    case Strategy::kCompressorTree:
+      return compress_compressor_tree(false);
+    case Strategy::kLut6Tree:
+      return compress_compressor_tree(true);
+  }
+  return {};
+}
+
+std::vector<int> BitHeap::final_add(std::map<int, std::vector<int>>& cols) {
+  // Every column has <= 2 bits: split into two aligned rows and ripple.
+  const int lo = cols.begin()->first;
+  const int hi = cols.rbegin()->first;
+  const int width = hi - lo + 2;  // room for the final carry out
+  std::vector<int> row0(std::size_t(width), -1), row1(std::size_t(width), -1);
+  for (auto& [w, bits] : cols) {
+    if (bits.size() > 2) throw std::logic_error("column not compressed");
+    if (!bits.empty()) row0[std::size_t(w - lo)] = bits[0];
+    if (bits.size() == 2) row1[std::size_t(w - lo)] = bits[1];
+  }
+  const int zero = nl_->constant(false);
+  for (auto& x : row0)
+    if (x < 0) x = zero;
+  for (auto& x : row1)
+    if (x < 0) x = zero;
+  stats_.final_adder_width = width;
+  auto sum = nl_->ripple_add(row0, row1, -1, /*keep_carry_out=*/false);
+  return sum;
+}
+
+std::vector<int> BitHeap::compress_compressor_tree(bool use_lut6) {
+  auto cols = std::move(columns_);
+  columns_.clear();
+  stats_ = {};
+  // Dadda-flavoured reduction: per stage, take the current bits of each
+  // column and cover them with compressors whose outputs land in the
+  // NEXT stage, until all columns have height <= 2.
+  while (true) {
+    std::size_t maxh = 0;
+    for (const auto& [w, bits] : cols) maxh = std::max(maxh, bits.size());
+    if (maxh <= 2) break;
+    ++stats_.stages;
+    std::map<int, std::vector<int>> next;
+    for (auto& [w, bits] : cols) {
+      std::size_t i = 0;
+      // 6:3 generalized parallel counters first (FPGA mode).
+      while (use_lut6 && bits.size() - i >= 6) {
+        auto fa1 = nl_->full_adder(bits[i], bits[i + 1], bits[i + 2]);
+        auto fa2 = nl_->full_adder(bits[i + 3], bits[i + 4], bits[i + 5]);
+        auto ha = nl_->half_adder(fa1.sum, fa2.sum);
+        auto fa3 = nl_->full_adder(fa1.carry, fa2.carry, ha.carry);
+        next[w].push_back(ha.sum);
+        next[w + 1].push_back(fa3.sum);
+        next[w + 2].push_back(fa3.carry);
+        ++stats_.lut6_compressors;
+        i += 6;
+      }
+      while (bits.size() - i >= 3) {
+        auto fa = nl_->full_adder(bits[i], bits[i + 1], bits[i + 2]);
+        next[w].push_back(fa.sum);
+        next[w + 1].push_back(fa.carry);
+        ++stats_.full_adders;
+        i += 3;
+      }
+      if (bits.size() - i == 2) {
+        // Half-adder only when this column is still too tall overall;
+        // otherwise just carry the two bits forward (Dadda laziness).
+        if (bits.size() > 3) {
+          auto ha = nl_->half_adder(bits[i], bits[i + 1]);
+          next[w].push_back(ha.sum);
+          next[w + 1].push_back(ha.carry);
+          ++stats_.half_adders;
+          i += 2;
+        }
+      }
+      for (; i < bits.size(); ++i) next[w].push_back(bits[i]);
+    }
+    cols = std::move(next);
+  }
+  return final_add(cols);
+}
+
+std::vector<int> BitHeap::compress_ripple_tree() {
+  // Baseline "no bit heap" datapath: greedily pack the dots into rows
+  // (each row has at most one bit per column), then add the rows one
+  // after another with full-width ripple adders.
+  auto cols = std::move(columns_);
+  columns_.clear();
+  stats_ = {};
+  const int lo = cols.begin()->first;
+  const int hi = cols.rbegin()->first;
+  std::vector<std::vector<int>> rows;
+  for (auto& [w, bits] : cols) {
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      if (i >= rows.size())
+        rows.emplace_back(std::size_t(hi - lo + 1), -1);
+      rows[i][std::size_t(w - lo)] = bits[i];
+    }
+  }
+  const int zero = nl_->constant(false);
+  for (auto& row : rows)
+    for (auto& x : row)
+      if (x < 0) x = zero;
+
+  std::vector<int> acc = rows[0];
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    ++stats_.stages;
+    auto sum = nl_->ripple_add(acc, rows[r], -1, /*keep_carry_out=*/true);
+    // Keep width bounded: the final result needs hi-lo+2 bits at most
+    // only if the true sum fits; conservatively grow by one per add and
+    // trim later.
+    acc.assign(sum.begin(), sum.end());
+    rows[r].clear();
+    for (std::size_t q = r + 1; q < rows.size(); ++q)
+      rows[q].resize(acc.size(), zero);
+    stats_.final_adder_width = int(acc.size());
+  }
+  return acc;
+}
+
+}  // namespace nga::bh

@@ -1,0 +1,82 @@
+// The bit heap: an arbitrary sum of weighted bits (Fig. 2).
+//
+// FloPoCo's central abstraction decouples *what* is summed (bits at
+// two-power weights, contributed by partial products, table outputs,
+// constants...) from *how* the sum is computed (a compressor tree tuned
+// to the target). This implementation is executable: the heap lives on a
+// hw::Netlist, compression instantiates real gate-level compressors, and
+// the result can be simulated exhaustively and costed with the shared
+// NAND2/LUT models.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "hwmodel/netlist.hpp"
+#include "util/bits.hpp"
+
+namespace nga::bh {
+
+using util::u64;
+
+/// How the final summation network is synthesized.
+enum class Strategy {
+  kRippleTree,      ///< baseline: rows added one by one with ripple adders
+  kCompressorTree,  ///< Dadda-style 3:2/2:2 compression, then one adder
+  kLut6Tree,        ///< FPGA-style: greedy 6:3 compressors, then 3:2, adder
+};
+
+struct CompressionStats {
+  int full_adders = 0;
+  int half_adders = 0;
+  int lut6_compressors = 0;  ///< 6:3 generalized parallel counters
+  int stages = 0;            ///< compression rounds before the final adder
+  int final_adder_width = 0;
+};
+
+/// A bit heap bound to a netlist. Weights may be negative (fraction
+/// bits); the result is returned LSB-first starting at min_weight().
+class BitHeap {
+ public:
+  explicit BitHeap(hw::Netlist& nl) : nl_(&nl) {}
+
+  /// Add a single bit of weight 2^w.
+  void add_bit(int w, int node);
+  /// Add a constant bit (folded into the heap as a netlist constant).
+  void add_constant_bit(int w, bool value = true);
+  /// Add an unsigned word whose bit i has weight 2^(w0 + i).
+  void add_word(int w0, std::span<const int> bits);
+  /// Add all partial products of an unsigned multiplication a*b with
+  /// LSB weight 2^w0 — the classic use of a bit heap.
+  void add_product(int w0, std::span<const int> a, std::span<const int> b);
+  /// Add a two's-complement word (sign bit replicated via the standard
+  /// "invert sign, add constant" Baugh-Wooley style trick).
+  void add_signed_word(int w0, std::span<const int> bits, int result_msb);
+
+  bool empty() const { return columns_.empty(); }
+  int min_weight() const;
+  int max_weight() const;
+  /// Bits currently in column w.
+  std::size_t column_height(int w) const;
+  /// Largest column height (the "depth" of Fig. 2's dot diagram).
+  std::size_t max_height() const;
+
+  /// Synthesize the summation; returns sum bits LSB-first, bit 0 having
+  /// weight 2^min_weight(). The heap is consumed.
+  std::vector<int> compress(Strategy strategy);
+
+  const CompressionStats& stats() const { return stats_; }
+
+ private:
+  std::vector<int> compress_compressor_tree(bool use_lut6);
+  std::vector<int> compress_ripple_tree();
+  std::vector<int> final_add(std::map<int, std::vector<int>>& cols);
+
+  hw::Netlist* nl_;
+  std::map<int, std::vector<int>> columns_;  // weight -> node ids
+  CompressionStats stats_;
+};
+
+}  // namespace nga::bh

@@ -1,0 +1,99 @@
+// Unified compile-time interface over the library's number formats,
+// plus a small workload harness comparing them on edge-computing
+// kernels (dot product, FIR, axpy).
+//
+// format_traits<F> gives every format the same surface: name, total
+// bits, encode/decode via double, and arithmetic through the format's
+// own rounding. This is what the format-comparison examples and the
+// Fig. 9/10 benches program against.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "fixedpoint/fixed.hpp"
+#include "posit/posit.hpp"
+#include "softfloat/floatmp.hpp"
+
+namespace nga::core {
+
+template <class F>
+struct format_traits;  // primary template intentionally undefined
+
+template <unsigned N, unsigned ES>
+struct format_traits<ps::posit<N, ES>> {
+  using type = ps::posit<N, ES>;
+  static std::string name() {
+    return "posit<" + std::to_string(N) + "," + std::to_string(ES) + ">";
+  }
+  static constexpr unsigned bits() { return N; }
+  static type from_double(double v) { return type::from_double(v); }
+  static double to_double(type v) { return v.to_double(); }
+  static type add(type a, type b) { return a + b; }
+  static type mul(type a, type b) { return a * b; }
+};
+
+template <unsigned E, unsigned M, sf::Policy P>
+struct format_traits<sf::floatmp<E, M, P>> {
+  using type = sf::floatmp<E, M, P>;
+  static std::string name() {
+    return "float<1," + std::to_string(E) + "," + std::to_string(M) + ">" +
+           (P == sf::Policy::kNormalsOnly ? " (FTZ)" : "");
+  }
+  static constexpr unsigned bits() { return 1 + E + M; }
+  static type from_double(double v) { return type::from_double(v); }
+  static double to_double(type v) { return v.to_double(); }
+  static type add(type a, type b) { return a + b; }
+  static type mul(type a, type b) { return a * b; }
+};
+
+template <unsigned W, unsigned F, fx::Overflow OV, fx::Rounding RD>
+struct format_traits<fx::fixed<W, F, OV, RD>> {
+  using type = fx::fixed<W, F, OV, RD>;
+  static std::string name() {
+    return "fixed<" + std::to_string(W) + "," + std::to_string(F) + ">";
+  }
+  static constexpr unsigned bits() { return W; }
+  static type from_double(double v) { return type(v); }
+  static double to_double(type v) { return v.to_double(); }
+  static type add(type a, type b) { return a + b; }
+  static type mul(type a, type b) { return a * b; }
+};
+
+/// Relative error of a dot product evaluated in format F vs double.
+template <class F>
+double dot_error(const std::vector<double>& x, const std::vector<double>& y) {
+  using T = format_traits<F>;
+  typename T::type acc = T::from_double(0.0);
+  double exact = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc = T::add(acc, T::mul(T::from_double(x[i]), T::from_double(y[i])));
+    exact += x[i] * y[i];
+  }
+  const double got = T::to_double(acc);
+  return exact == 0.0 ? std::fabs(got) : std::fabs((got - exact) / exact);
+}
+
+/// Relative RMS error of an FIR filter (direct form) in format F.
+template <class F>
+double fir_error(const std::vector<double>& taps,
+                 const std::vector<double>& signal) {
+  using T = format_traits<F>;
+  double err2 = 0.0, ref2 = 0.0;
+  for (std::size_t n = taps.size(); n < signal.size(); ++n) {
+    typename T::type acc = T::from_double(0.0);
+    double exact = 0.0;
+    for (std::size_t k = 0; k < taps.size(); ++k) {
+      acc = T::add(acc, T::mul(T::from_double(taps[k]),
+                               T::from_double(signal[n - k])));
+      exact += taps[k] * signal[n - k];
+    }
+    const double d = T::to_double(acc) - exact;
+    err2 += d * d;
+    ref2 += exact * exact;
+  }
+  return ref2 == 0.0 ? 0.0 : std::sqrt(err2 / ref2);
+}
+
+}  // namespace nga::core

@@ -1,0 +1,601 @@
+#include "core/hwmult.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "intformats/intformats.hpp"
+
+namespace nga::core {
+
+using util::u64;
+using util::u8;
+
+namespace {
+
+std::vector<int> add_byte_inputs(hw::Netlist& nl) {
+  std::vector<int> v(8);
+  for (auto& x : v) x = nl.add_input();
+  return v;
+}
+
+int nor_all(hw::Netlist& nl, const std::vector<int>& bits) {
+  int acc = bits[0];
+  for (std::size_t i = 1; i < bits.size(); ++i) acc = nl.or_(acc, bits[i]);
+  return nl.not_(acc);
+}
+
+/// mux over a one-hot selection of (line, node) pairs; absent -> 0.
+int onehot_mux(hw::Netlist& nl, const std::vector<std::pair<int, int>>& sel) {
+  std::vector<int> terms;
+  terms.reserve(sel.size());
+  for (const auto& [line, node] : sel) terms.push_back(nl.and_(line, node));
+  if (terms.empty()) return nl.constant(false);
+  while (terms.size() > 1) {
+    std::vector<int> next;
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2)
+      next.push_back(nl.or_(terms[i], terms[i + 1]));
+    if (terms.size() % 2) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  return terms[0];
+}
+
+/// Decode a two's-complement word to one-hot lines for every value in
+/// [lo, hi]; values outside are simply never asserted.
+std::vector<int> decode_signed(hw::Netlist& nl, const std::vector<int>& s,
+                               int lo, int hi) {
+  std::vector<int> lines;
+  lines.reserve(std::size_t(hi - lo + 1));
+  for (int v = lo; v <= hi; ++v) {
+    int acc = nl.constant(true);
+    for (std::size_t b = 0; b < s.size(); ++b) {
+      const unsigned bit = unsigned(v >> b) & 1u;  // sign-extended pattern
+      acc = nl.and_(acc, bit ? s[b] : nl.not_(s[b]));
+    }
+    lines.push_back(acc);
+  }
+  return lines;
+}
+
+/// 7-bit two's-complement negate + conditional select (sel ? -x : x).
+std::vector<int> cond_negate(hw::Netlist& nl, const std::vector<int>& x,
+                             int sel) {
+  auto neg = nl.negate(x);
+  std::vector<int> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out[i] = nl.mux(x[i], neg[i], sel);
+  return out;
+}
+
+/// Signed constant as a bit vector of width w.
+std::vector<int> const_word(hw::Netlist& nl, int value, unsigned w) {
+  std::vector<int> out(w);
+  for (unsigned i = 0; i < w; ++i)
+    out[i] = nl.constant((value >> i) & 1);
+  return out;
+}
+
+}  // namespace
+
+hw::Netlist build_posit8_multiplier() {
+  using P = ps::posit<8, 0>;
+  (void)sizeof(P);
+  hw::Netlist nl;
+  const auto a = add_byte_inputs(nl);
+  const auto b = add_byte_inputs(nl);
+  const int zero = nl.constant(false);
+
+  // Exception detection: 0 = all zeros, NaR = sign bit alone.
+  auto low7 = [&](const std::vector<int>& x) {
+    return std::vector<int>(x.begin(), x.begin() + 7);
+  };
+  const int a_low0 = nor_all(nl, low7(a));
+  const int b_low0 = nor_all(nl, low7(b));
+  const int a_zero = nl.andnot_(a_low0, a[7]);
+  const int b_zero = nl.andnot_(b_low0, b[7]);
+  const int a_nar = nl.and_(a_low0, a[7]);
+  const int b_nar = nl.and_(b_low0, b[7]);
+
+  // Magnitude bodies (7 bits) and the product sign.
+  const auto ma = cond_negate(nl, low7(a), a[7]);
+  const auto mb = cond_negate(nl, low7(b), b[7]);
+  const int psign = nl.xor_(a[7], b[7]);
+
+  // Regime decode of one body: returns (k one-hot over [-6..6],
+  // significand {1,f4..f0} 6 bits LSB-first, k as 5-bit signed word).
+  struct Decoded {
+    std::vector<int> k;    // 5-bit signed regime value (es = 0 scale)
+    std::vector<int> sig;  // 6 bits LSB-first (bit5 = hidden 1)
+  };
+  auto decode = [&](const std::vector<int>& m) {
+    const int r0 = m[6];
+    // x = r0 ? ~m : m; count the run of zeros from bit 6 (>=1).
+    std::vector<int> x(7);
+    for (int i = 0; i < 7; ++i) x[std::size_t(i)] = nl.xor_(m[std::size_t(i)], r0);
+    // prefix[j] = bits 6..6-j of x are all zero.
+    std::vector<int> prefix(7);
+    int acc = nl.not_(x[6]);
+    prefix[0] = acc;  // always true (x6 == 0 by construction)
+    for (int j = 1; j < 7; ++j) {
+      acc = nl.andnot_(acc, x[std::size_t(6 - j)]);
+      prefix[std::size_t(j)] = acc;
+    }
+    // run one-hot: run_j for j=1..7.
+    std::vector<int> run(8, zero);
+    for (int j = 1; j <= 6; ++j)
+      run[std::size_t(j)] = nl.and_(prefix[std::size_t(j - 1)], x[std::size_t(6 - j)]);
+    run[7] = prefix[6];
+    Decoded d;
+    // Run length as a 3-bit binary count (1..7).
+    std::vector<int> run3(3, zero);
+    for (unsigned bit = 0; bit < 3; ++bit) {
+      std::vector<std::pair<int, int>> sel;
+      const int one = nl.constant(true);
+      for (int j = 1; j <= 7; ++j)
+        if ((j >> bit) & 1) sel.push_back({run[std::size_t(j)], one});
+      run3[bit] = onehot_mux(nl, sel);
+    }
+    // k = r0 ? run-1 : -run, as 5-bit two's complement: a 3-bit
+    // decrement against a 5-bit negate, selected by r0.
+    std::vector<int> run5(5, zero);
+    for (int i = 0; i < 3; ++i) run5[std::size_t(i)] = run3[std::size_t(i)];
+    const auto neg = nl.negate(run5);
+    // run-1 (run >= 1, so no borrow past bit 2).
+    std::vector<int> dec(5, zero);
+    int borrow = nl.constant(true);
+    for (int i = 0; i < 3; ++i) {
+      dec[std::size_t(i)] = nl.xor_(run3[std::size_t(i)], borrow);
+      borrow = nl.andnot_(borrow, run3[std::size_t(i)]);
+    }
+    d.k.resize(5);
+    for (int i = 0; i < 5; ++i)
+      d.k[std::size_t(i)] = nl.mux(neg[std::size_t(i)], dec[std::size_t(i)], r0);
+
+    // Fraction: body << (run+1) (LSB-first arrays: bits move toward
+    // higher indices). The +1 is a fixed pre-shift; the barrel covers
+    // run = 1..7.
+    std::vector<int> sh(7, zero);
+    for (int i = 0; i < 6; ++i) sh[std::size_t(i + 1)] = m[std::size_t(i)];
+    for (unsigned stage = 0; stage < 3; ++stage) {
+      const unsigned amt = 1u << stage;
+      std::vector<int> next(7);
+      for (unsigned i = 0; i < 7; ++i) {
+        const int shifted = i >= amt ? sh[i - amt] : zero;
+        next[i] = nl.mux(sh[i], shifted, run3[stage]);
+      }
+      sh = std::move(next);
+    }
+    d.sig.assign(6, zero);
+    d.sig[5] = nl.constant(true);  // hidden bit
+    for (int fi = 0; fi < 5; ++fi)
+      d.sig[std::size_t(4 - fi)] = sh[std::size_t(6 - fi)];
+    return d;
+  };
+  const Decoded da = decode(ma);
+  const Decoded db = decode(mb);
+
+  const auto& ka = da.k;
+  const auto& kb = db.k;
+
+  // 6x6 significand product.
+  const auto p = nl.array_multiply(da.sig, db.sig);  // 12 bits
+  const int pnorm = p[11];
+  // Normalized fraction below the hidden bit, MSB-first: f'0..f'7 (the
+  // stream can consume up to 7 of them before everything is sticky).
+  std::vector<int> fmsb(8);
+  for (int i = 0; i < 8; ++i)
+    fmsb[std::size_t(i)] = nl.mux(p[std::size_t(9 - i)], p[std::size_t(10 - i)], pnorm);
+  // Sticky from the product tail (bits below the 8 kept fraction bits).
+  std::vector<int> tail_hi, tail_lo;
+  for (int i = 0; i <= 2; ++i) tail_hi.push_back(p[std::size_t(i)]);  // pnorm
+  for (int i = 0; i <= 1; ++i) tail_lo.push_back(p[std::size_t(i)]);
+  const int mult_sticky =
+      nl.mux(nl.not_(nor_all(nl, tail_lo)), nl.not_(nor_all(nl, tail_hi)), pnorm);
+
+  // Scale s = ka + kb + pnorm (5-bit signed, range [-12, 13]).
+  auto s = nl.ripple_add(ka, kb, pnorm, false);
+  // Saturation: s >= 6 -> maxpos, s <= -7 -> minpos. Computed as sign
+  // bits of (s - 6) and (s + 6) in 6-bit arithmetic (s is in [-12, 13]).
+  std::vector<int> s6 = s;
+  s6.push_back(s[4]);  // sign extend
+  const int sat_hi = nl.not_(nl.ripple_add(s6, const_word(nl, -6 & 63, 6),
+                                           -1, false)[5]);
+  const int sat_lo = nl.ripple_add(s6, const_word(nl, 6, 6), -1, false)[5];
+
+  // Tapered encode, the shift-based construction posit hardware really
+  // uses: the stream "regime ++ terminator ++ fraction" equals the base
+  // pattern {r, ~r, f'0..} shifted right by (k >= 0 ? k : -k-1) with r
+  // filling from the top — regime bits replicate by shifting. The shift
+  // amount is simply s (k >= 0) or ~s (k < 0): a conditional invert.
+  const int r = nl.not_(s[4]);
+  std::vector<int> sh_amt(3);
+  for (int i = 0; i < 3; ++i)
+    sh_amt[std::size_t(i)] =
+        nl.mux(nl.not_(s[std::size_t(i)]), s[std::size_t(i)], r);
+  // Base stream, MSB-first positions 0..15: r, ~r, f'0..f'7, zeros.
+  std::vector<int> base(16, zero);
+  base[0] = r;
+  base[1] = nl.not_(r);
+  for (int i = 0; i < 8; ++i) base[std::size_t(2 + i)] = fmsb[std::size_t(i)];
+  std::vector<int> cur = base;
+  for (unsigned stage = 0; stage < 3; ++stage) {
+    const unsigned sh = 1u << stage;
+    std::vector<int> next(16);
+    for (unsigned i = 0; i < 16; ++i) {
+      const int shifted = i >= sh ? cur[i - sh] : r;
+      next[i] = nl.mux(cur[i], shifted, sh_amt[stage]);
+    }
+    cur = std::move(next);
+  }
+  // Positions 0..6 = body, 7 = guard, 8.. = sticky.
+  const int guard = cur[7];
+  std::vector<int> sticky_tail(cur.begin() + 8, cur.end());
+  const int sticky =
+      nl.or_(nl.not_(nor_all(nl, sticky_tail)), mult_sticky);
+  std::vector<int> body(7);  // LSB-first
+  for (int i = 0; i < 7; ++i) body[std::size_t(i)] = cur[std::size_t(6 - i)];
+  const int round_up = nl.and_(guard, nl.or_(sticky, body[0]));
+  // Incrementer.
+  std::vector<int> rounded(7);
+  int carry = round_up;
+  for (int i = 0; i < 7; ++i) {
+    rounded[std::size_t(i)] = nl.xor_(body[std::size_t(i)], carry);
+    carry = nl.and_(body[std::size_t(i)], carry);
+  }
+  // Saturation overrides: minpos body 0000001, maxpos body 1111111.
+  std::vector<int> mag_out(7);
+  const int one_c = nl.constant(true);
+  for (int i = 0; i < 7; ++i)
+    mag_out[std::size_t(i)] =
+        nl.mux(nl.mux(rounded[std::size_t(i)], i == 0 ? one_c : zero, sat_lo),
+               one_c, sat_hi);
+
+  // Apply the product sign (two's complement on the full 8-bit word).
+  std::vector<int> full(8);
+  for (int i = 0; i < 7; ++i) full[std::size_t(i)] = mag_out[std::size_t(i)];
+  full[7] = zero;
+  auto neg_full = nl.negate(full);
+  std::vector<int> signed_out(8);
+  for (int i = 0; i < 8; ++i)
+    signed_out[std::size_t(i)] = nl.mux(full[std::size_t(i)], neg_full[std::size_t(i)], psign);
+
+  // Exceptions: zero wins over everything except NaR.
+  const int any_zero = nl.or_(a_zero, b_zero);
+  const int any_nar = nl.or_(a_nar, b_nar);
+  for (int i = 0; i < 8; ++i) {
+    int v = nl.andnot_(signed_out[std::size_t(i)], any_zero);
+    if (i == 7)
+      v = nl.or_(v, any_nar);
+    else
+      v = nl.andnot_(v, any_nar);
+    nl.mark_output(v);
+  }
+  return nl;
+}
+
+// --- float8 {1,4,3} -------------------------------------------------------
+
+util::u8 float8_normals_only_mul(util::u8 a, util::u8 b) {
+  const unsigned ea = (a >> 3) & 0xf, eb = (b >> 3) & 0xf;
+  const unsigned sign = ((a ^ b) >> 7) & 1;
+  if (ea == 0 || eb == 0) return u8(sign << 7);  // FTZ inputs
+  const unsigned siga = 8 | (a & 7), sigb = 8 | (b & 7);
+  unsigned p = siga * sigb;  // [64, 225]
+  int e = int(ea) + int(eb) - 7;
+  unsigned frac, guard, sticky;
+  if (p & 0x80) {
+    frac = (p >> 4) & 7;
+    guard = (p >> 3) & 1;
+    sticky = (p & 7) != 0;
+    ++e;
+  } else {
+    frac = (p >> 3) & 7;
+    guard = (p >> 2) & 1;
+    sticky = (p & 3) != 0;
+  }
+  if (guard && (sticky || (frac & 1))) {
+    ++frac;
+    if (frac == 8) {
+      frac = 0;
+      ++e;
+    }
+  }
+  if (e <= 0) return u8(sign << 7);          // flush underflow
+  if (e >= 16) return u8((sign << 7) | 0x7f);  // saturate
+  return u8((sign << 7) | (unsigned(e) << 3) | frac);
+}
+
+util::u8 float8_ieee_mul(util::u8 a, util::u8 b) {
+  using F = sf::floatmp<4, 3>;
+  return u8(F::mul(F::from_bits(a), F::from_bits(b)).bits());
+}
+
+namespace {
+
+/// Shared datapath pieces for the float multipliers.
+struct FloatOps {
+  std::vector<int> a, b;
+  int sign;
+};
+
+FloatOps float_inputs(hw::Netlist& nl) {
+  FloatOps f;
+  f.a = add_byte_inputs(nl);
+  f.b = add_byte_inputs(nl);
+  f.sign = nl.xor_(f.a[7], f.b[7]);
+  return f;
+}
+
+}  // namespace
+
+hw::Netlist build_float8_multiplier(FloatHw level) {
+  hw::Netlist nl;
+  auto io = float_inputs(nl);
+  const int zero = nl.constant(false);
+  const int one = nl.constant(true);
+
+  auto exp_of = [&](const std::vector<int>& x) {
+    return std::vector<int>{x[3], x[4], x[5], x[6]};
+  };
+  auto frac_of = [&](const std::vector<int>& x) {
+    return std::vector<int>{x[0], x[1], x[2]};
+  };
+  const auto ea = exp_of(io.a), eb = exp_of(io.b);
+  const auto fa = frac_of(io.a), fb = frac_of(io.b);
+  const int ea0 = nor_all(nl, ea), eb0 = nor_all(nl, eb);
+  const int fa0 = nor_all(nl, fa), fb0 = nor_all(nl, fb);
+
+  if (level == FloatHw::kNormalsOnly) {
+    // sig = 1.frac; p = siga*sigb; exponent add; RNE; flush/saturate.
+    std::vector<int> siga{fa[0], fa[1], fa[2], one};
+    std::vector<int> sigb{fb[0], fb[1], fb[2], one};
+    const auto p = nl.array_multiply(siga, sigb);  // 8 bits
+    const int pn = p[7];
+    std::vector<int> frac(3), lowbits;
+    for (int i = 0; i < 3; ++i)
+      frac[std::size_t(i)] = nl.mux(p[std::size_t(3 + i)], p[std::size_t(4 + i)], pn);
+    const int guard = nl.mux(p[2], p[3], pn);
+    const int sticky = nl.mux(nl.or_(p[0], p[1]),
+                              nl.or_(p[0], nl.or_(p[1], p[2])), pn);
+    // e = ea + eb - 7 + pn, computed in 6-bit two's complement.
+    std::vector<int> ea6 = ea, eb6 = eb;
+    ea6.push_back(zero);
+    ea6.push_back(zero);
+    eb6.push_back(zero);
+    eb6.push_back(zero);
+    auto e1 = nl.ripple_add(ea6, eb6, pn, false);
+    auto e = nl.ripple_add(e1, const_word(nl, -7 & 63, 6), -1, false);
+    // Round.
+    const int round_up = nl.and_(guard, nl.or_(sticky, frac[0]));
+    std::vector<int> mant{frac[0], frac[1], frac[2], zero};
+    int carry = round_up;
+    std::vector<int> fr(4);
+    for (int i = 0; i < 4; ++i) {
+      fr[std::size_t(i)] = nl.xor_(mant[std::size_t(i)], carry);
+      carry = nl.and_(mant[std::size_t(i)], carry);
+    }
+    // e += fr[3] (fraction carry).
+    auto ef = nl.ripple_add(
+        e, const_word(nl, 0, 6), fr[3], false);
+    // Flags: underflow e<=0, overflow e>=16.
+    const int neg = ef[5];
+    int is0 = nor_all(nl, ef);
+    const int under = nl.or_(neg, is0);
+    const int over = nl.andnot_(nl.or_(ef[4], zero), neg);
+    const int ftz_in = nl.or_(ea0, eb0);
+    const int kill = nl.or_(ftz_in, under);
+    // Assemble.
+    std::vector<int> out(8);
+    for (int i = 0; i < 3; ++i)
+      out[std::size_t(i)] = nl.or_(nl.andnot_(nl.andnot_(fr[std::size_t(i)], kill), over),
+                                   nl.andnot_(over, kill));
+    for (int i = 0; i < 4; ++i)
+      out[std::size_t(3 + i)] = nl.or_(nl.andnot_(nl.andnot_(ef[std::size_t(i)], kill), over),
+                                       nl.andnot_(over, kill));
+    out[7] = io.sign;
+    for (int i = 0; i < 8; ++i) nl.mark_output(out[std::size_t(i)]);
+    return nl;
+  }
+
+  // --- Full IEEE --------------------------------------------------------
+  // Input classification.
+  const int a_inf_nan = nl.and_(ea[0], nl.and_(ea[1], nl.and_(ea[2], ea[3])));
+  const int b_inf_nan = nl.and_(eb[0], nl.and_(eb[1], nl.and_(eb[2], eb[3])));
+  const int a_nan = nl.andnot_(a_inf_nan, fa0);
+  const int b_nan = nl.andnot_(b_inf_nan, fb0);
+  const int a_inf = nl.and_(a_inf_nan, fa0);
+  const int b_inf = nl.and_(b_inf_nan, fb0);
+  const int a_zero = nl.and_(ea0, fa0);
+  const int b_zero = nl.and_(eb0, fb0);
+  const int a_sub = nl.andnot_(ea0, fa0);
+  const int b_sub = nl.andnot_(eb0, fb0);
+
+  // Effective significand (1.fff for normals; normalized subnormal) and
+  // unbiased exponent e_ub in [-9, 8] as 6-bit signed.
+  auto normalize = [&](const std::vector<int>& e4, const std::vector<int>& f3,
+                       int is_sub) {
+    // Subnormal: leading-one position over 3 bits.
+    const int l2 = f3[2];
+    const int l1 = nl.andnot_(f3[1], f3[2]);
+    const int l0 = nl.andnot_(nl.andnot_(f3[0], f3[1]), f3[2]);
+    // Normalized significand (4 bits, hidden at bit 3).
+    std::vector<int> sub_sig(4, zero);
+    sub_sig[3] = nl.or_(l2, nl.or_(l1, l0));
+    // l2: sig = f2.f1 f0 0 -> bits: [0, f0, f1, 1]
+    // l1: sig = f1.f0 0 0 -> [0, 0, f0, 1]; l0: [0,0,0,1]
+    sub_sig[2] = nl.or_(nl.and_(l2, f3[1]), nl.and_(l1, f3[0]));
+    sub_sig[1] = nl.and_(l2, f3[0]);
+    std::vector<int> nrm_sig{f3[0], f3[1], f3[2], one};
+    std::vector<int> sig(4);
+    for (int i = 0; i < 4; ++i)
+      sig[std::size_t(i)] = nl.mux(nrm_sig[std::size_t(i)], sub_sig[std::size_t(i)], is_sub);
+    // Exponent: normal e-7; subnormal: -7+msb-3+1... value f*2^-9
+    // normalized: msb index m -> e_ub = m - 9 (m=2 -> -7, 1 -> -8, 0 -> -9).
+    std::vector<int> e6(6);
+    // normal: e - 7.
+    std::vector<int> e4x = e4;
+    e4x.push_back(zero);
+    e4x.push_back(zero);
+    auto en = nl.ripple_add(e4x, const_word(nl, -7 & 63, 6), -1, false);
+    // subnormal constants -7/-8/-9 by one-hot.
+    std::vector<int> es(6);
+    for (unsigned bit = 0; bit < 6; ++bit) {
+      std::vector<std::pair<int, int>> sel;
+      if ((-7 >> bit) & 1) sel.push_back({l2, one});
+      if ((-8 >> bit) & 1) sel.push_back({l1, one});
+      if ((-9 >> bit) & 1) sel.push_back({l0, one});
+      es[bit] = onehot_mux(nl, sel);
+    }
+    for (int i = 0; i < 6; ++i)
+      e6[std::size_t(i)] = nl.mux(en[std::size_t(i)], es[std::size_t(i)], is_sub);
+    return std::pair<std::vector<int>, std::vector<int>>{sig, e6};
+  };
+  auto [siga, ea6] = normalize(ea, fa, a_sub);
+  auto [sigb, eb6] = normalize(eb, fb, b_sub);
+
+  const auto p = nl.array_multiply(siga, sigb);  // 8 bits
+  const int pn = p[7];
+  // m8: product normalized so the hidden bit is bit 7.
+  std::vector<int> m8(8);
+  for (int i = 0; i < 8; ++i)
+    m8[std::size_t(i)] =
+        nl.mux(i == 0 ? zero : p[std::size_t(i - 1)], p[std::size_t(i)], pn);
+  // S = ea6 + eb6 + pn.
+  auto S = nl.ripple_add(ea6, eb6, pn, false);  // 6-bit signed [-18..17]
+  const auto s_lines = decode_signed(nl, S, -18, 17);
+  auto sline = [&](int v) { return s_lines[std::size_t(v + 18)]; };
+
+  // Shift amount t = clamp(max(4, -S-2), 4, 12); one-hot lines for t.
+  std::vector<int> t_lines(13, zero);  // index = t (4..12 used)
+  for (int v = -18; v <= 17; ++v) {
+    const int t = std::clamp(std::max(4, -v - 2), 4, 12);
+    t_lines[std::size_t(t)] = nl.or_(t_lines[std::size_t(t)], sline(v));
+  }
+  // mant4 = m8 >> t (4 bits), guard = m8[t-1], sticky = OR(m8[0..t-2]).
+  std::vector<int> prefix_or(9, zero);  // prefix_or[k] = OR of m8[0..k-1]
+  for (int k = 1; k <= 8; ++k)
+    prefix_or[std::size_t(k)] = nl.or_(prefix_or[std::size_t(k - 1)], m8[std::size_t(k - 1)]);
+  std::vector<int> mant(4, zero);
+  for (int i = 0; i < 4; ++i) {
+    std::vector<std::pair<int, int>> sel;
+    for (int t = 4; t <= 12; ++t)
+      if (t + i < 8) sel.push_back({t_lines[std::size_t(t)], m8[std::size_t(t + i)]});
+    mant[std::size_t(i)] = onehot_mux(nl, sel);
+  }
+  std::vector<std::pair<int, int>> gsel, ssel;
+  for (int t = 4; t <= 12; ++t) {
+    if (t - 1 < 8) gsel.push_back({t_lines[std::size_t(t)], m8[std::size_t(t - 1)]});
+    const int idx = std::min(t - 1, 8);
+    ssel.push_back({t_lines[std::size_t(t)], prefix_or[std::size_t(idx)]});
+  }
+  const int guard = onehot_mux(nl, gsel);
+  int sticky = onehot_mux(nl, ssel);
+  // t = 12 means even the MSB fell off: all of m8 is sticky.
+  sticky = nl.or_(sticky, nl.and_(t_lines[12], prefix_or[8]));
+
+  // RNE increment on the 4-bit mantissa -> 5 bits.
+  const int round_up = nl.and_(guard, nl.or_(sticky, mant[0]));
+  std::vector<int> mant5(5);
+  int carry = round_up;
+  for (int i = 0; i < 4; ++i) {
+    mant5[std::size_t(i)] = nl.xor_(mant[std::size_t(i)], carry);
+    carry = nl.and_(mant[std::size_t(i)], carry);
+  }
+  mant5[4] = carry;
+
+  // bits = mant + offset; offset = (S+6)<<3 for S in [-6..8], else 0
+  // (subnormal range uses offset 0); S >= 9 -> infinity directly.
+  std::vector<int> offs(8, zero);
+  for (unsigned bit = 3; bit < 8; ++bit) {
+    std::vector<std::pair<int, int>> sel;
+    for (int v = -6; v <= 8; ++v)
+      if (((v + 6) >> (bit - 3)) & 1) sel.push_back({sline(v), one});
+    offs[bit] = onehot_mux(nl, sel);
+  }
+  // mant5 contributes mant5[0..4] at bits 0..4 BUT for normal S the
+  // hidden bit (mant5[3]) + offset encode the exponent; the arithmetic
+  // add below realises the "carry into the exponent" trick.
+  std::vector<int> mant8(8, zero);
+  for (int i = 0; i < 5; ++i) mant8[std::size_t(i)] = mant5[std::size_t(i)];
+  auto enc = nl.ripple_add(mant8, offs, -1, false);  // 8 bits
+
+  int s_ge9 = zero;
+  for (int v = 9; v <= 17; ++v) s_ge9 = nl.or_(s_ge9, sline(v));
+  // exp field of enc = bits 3..6; enc exp >= 15 -> infinity.
+  const int exp15 = nl.and_(nl.and_(enc[3], enc[4]), nl.and_(enc[5], enc[6]));
+  const int inf_out0 = nl.or_(s_ge9, nl.or_(exp15, enc[7]));
+
+  // Special-input resolution.
+  const int any_nan = nl.or_(a_nan, b_nan);
+  const int any_zero = nl.or_(a_zero, b_zero);
+  const int any_inf = nl.or_(a_inf, b_inf);
+  const int inv = nl.and_(any_zero, any_inf);  // 0 * inf
+  const int nan_out = nl.or_(any_nan, inv);
+  const int inf_out = nl.andnot_(nl.or_(any_inf, inf_out0), nan_out);
+  const int zero_out = nl.andnot_(nl.andnot_(any_zero, nan_out), inf_out);
+
+  // Output mux: NaN = 0 1111 100; inf = s 1111 000; zero = s 0000000.
+  std::vector<int> out(8);
+  for (int i = 0; i < 8; ++i) {
+    int v = enc[std::size_t(i)];
+    v = nl.andnot_(v, zero_out);
+    // inf: set exponent bits, clear fraction.
+    if (i >= 3 && i <= 6)
+      v = nl.or_(v, nl.or_(inf_out, nan_out));
+    else if (i == 2)
+      v = nl.or_(nl.andnot_(v, inf_out), nan_out);
+    else if (i < 3)
+      v = nl.andnot_(nl.andnot_(v, inf_out), nan_out);
+    else  // i == 7: sign; NaN is canonical positive
+      v = nl.andnot_(nl.mux(io.sign, v, zero), nan_out);
+    out[std::size_t(i)] = v;
+  }
+  out[7] = nl.andnot_(io.sign, nan_out);
+  for (int i = 0; i < 8; ++i) nl.mark_output(out[std::size_t(i)]);
+  return nl;
+}
+
+hw::Netlist build_posit8_less() {
+  // Exactly the two's-complement integer comparator: the paper's point.
+  return intf::build_tc_less(8);
+}
+
+hw::Netlist build_float8_less() {
+  hw::Netlist nl;
+  const auto a = add_byte_inputs(nl);
+  const auto b = add_byte_inputs(nl);
+  auto expfrac = [&](const std::vector<int>& x) {
+    return std::vector<int>(x.begin(), x.begin() + 7);
+  };
+  const auto ma = expfrac(a), mb = expfrac(b);
+  // NaN detection.
+  auto is_nan = [&](const std::vector<int>& x) {
+    const int e15 = nl.and_(nl.and_(x[3], x[4]), nl.and_(x[5], x[6]));
+    const int f0 = nl.or_(x[0], nl.or_(x[1], x[2]));
+    return nl.and_(e15, f0);
+  };
+  const int any_nan = nl.or_(is_nan(a), is_nan(b));
+  // Magnitude compare (exp|frac as integer preserves float order).
+  int lt = nl.constant(false), gt = nl.constant(false);
+  for (int i = 6; i >= 0; --i) {
+    const int aelt = nl.andnot_(mb[std::size_t(i)], ma[std::size_t(i)]);
+    const int aegt = nl.andnot_(ma[std::size_t(i)], mb[std::size_t(i)]);
+    lt = nl.or_(lt, nl.andnot_(nl.andnot_(aelt, gt), lt));
+    gt = nl.or_(gt, nl.andnot_(nl.andnot_(aegt, lt), gt));
+  }
+  const int mag_eq = nl.nor_(lt, gt);
+  int a_zero = nor_all(nl, ma);
+  int b_zero = nor_all(nl, mb);
+  const int both_zero = nl.and_(a_zero, b_zero);  // -0 == +0: not less
+  const int sa = a[7], sb = b[7];
+  const int same_sign = nl.xnor_(sa, sb);
+  // signs differ: a<b iff a negative and not both zero.
+  const int less_diff = nl.andnot_(sa, both_zero);
+  // both positive: mag lt; both negative: mag gt and not equal.
+  const int less_same = nl.mux(lt, nl.andnot_(gt, mag_eq), sa);
+  const int less = nl.mux(less_diff, less_same, same_sign);
+  nl.mark_output(nl.andnot_(less, any_nan));
+  return nl;
+}
+
+}  // namespace nga::core

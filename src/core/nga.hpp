@@ -1,0 +1,26 @@
+// nga — Next-Generation Arithmetic for Edge Computing.
+//
+// Umbrella header: one include for the whole library. See README.md for
+// the architecture overview and DESIGN.md for the paper-experiment map.
+#pragma once
+
+#include "accuracy/accuracy.hpp"          // decimal accuracy, ring censuses
+#include "approx/multipliers.hpp"         // Table II approximate multipliers
+#include "bitheap/bitheap.hpp"            // Fig. 2 compressor trees
+#include "core/format_traits.hpp"         // unified number-format interface
+#include "core/hwmult.hpp"                // Fig. 8 gate-level multipliers
+#include "fixedpoint/fixed.hpp"           // fixed<W,F> and FixFormat
+#include "fpga/dsp.hpp"                   // DSP-block FP modes
+#include "fpga/fractal.hpp"               // Fractal Synthesis packing
+#include "fpga/softmult.hpp"              // Figs. 3/4 soft multipliers
+#include "hwmodel/netlist.hpp"            // gate-level cost model
+#include "intformats/intformats.hpp"      // sign-magnitude vs 2C
+#include "nn/data.hpp"                    // synthetic CIFAR/SCD stand-ins
+#include "nn/model.hpp"                   // Table I / Fig. 5 DNNs
+#include "opgen/constmult.hpp"            // operator specialization
+#include "opgen/funcapprox.hpp"           // tables/bipartite/polynomials
+#include "opgen/sincos.hpp"               // Fig. 1 generator
+#include "opgen/squarer.hpp"              // squarer specialization
+#include "posit/posit.hpp"                // posit<N,ES> + quire
+#include "softfloat/floatmp.hpp"          // floatmp<E,M> + policies
+#include "softfloat/predicates.hpp"       // the 22-predicate census

@@ -1,0 +1,200 @@
+// Signed two's-complement fixed-point arithmetic.
+//
+// `fixed<W,F>` is the compile-time user-facing type (W total bits including
+// the sign, F fraction bits) used by the format-comparison experiments
+// (Figs. 9/10) and by the posit add-via-fixed-point equivalence test the
+// paper sketches in Section V. Overflow and rounding behaviour are policies.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/bits.hpp"
+
+namespace nga::fx {
+
+using util::i64;
+using util::i128;
+using util::u64;
+
+enum class Overflow { kSaturate, kWrap };
+enum class Rounding { kNearestEven, kTruncate };
+
+/// @tparam W total width in bits (2..63), sign included
+/// @tparam F fraction bits (0..W-1)
+template <unsigned W, unsigned F, Overflow OV = Overflow::kSaturate,
+          Rounding RD = Rounding::kNearestEven>
+class fixed {
+  static_assert(W >= 2 && W <= 63);
+  static_assert(F < W);
+
+ public:
+  static constexpr unsigned kWidth = W;
+  static constexpr unsigned kFraction = F;
+  static constexpr i64 kRawMax = (i64{1} << (W - 1)) - 1;
+  static constexpr i64 kRawMin = -(i64{1} << (W - 1));
+
+  constexpr fixed() = default;
+
+  /// Value-preserving construction from double, honouring the policies.
+  explicit fixed(double v) : raw_(quantize(v)) {}
+
+  static constexpr fixed from_raw(i64 raw) {
+    fixed f;
+    f.raw_ = clamp_raw(raw);
+    return f;
+  }
+
+  constexpr i64 raw() const { return raw_; }
+  constexpr double to_double() const {
+    return double(raw_) * std::pow(2.0, -double(F));
+  }
+
+  static constexpr fixed max() { return from_raw(kRawMax); }
+  static constexpr fixed min() { return from_raw(kRawMin); }
+  /// Smallest positive representable value (one ULP).
+  static constexpr fixed ulp() { return from_raw(1); }
+
+  constexpr fixed operator+(fixed o) const {
+    return from_overflowing(i128(raw_) + o.raw_);
+  }
+  constexpr fixed operator-(fixed o) const {
+    return from_overflowing(i128(raw_) - o.raw_);
+  }
+  constexpr fixed operator-() const { return from_overflowing(-i128(raw_)); }
+
+  /// Full-precision product rounded back to F fraction bits.
+  constexpr fixed operator*(fixed o) const {
+    const i128 p = i128(raw_) * o.raw_;  // 2F fraction bits
+    return from_overflowing(round_shift(p, F));
+  }
+
+  /// Quotient rounded to F fraction bits. Division by zero saturates to
+  /// the signed extreme matching the numerator (hardware-style behaviour).
+  constexpr fixed operator/(fixed o) const {
+    if (o.raw_ == 0) return raw_ < 0 ? min() : max();
+    const i128 num = i128(raw_) << (F + 1);  // one guard bit
+    i128 q = num / o.raw_;
+    const bool neg = q < 0;
+    if (neg) q = -q;
+    // q has F+1 fraction... actually 1 guard bit: round to nearest away
+    // from the guard, ties resolved to even via the sticky remainder.
+    const bool guard = (q & 1) != 0;
+    const bool sticky = (num % o.raw_) != 0;
+    i128 r = q >> 1;
+    if (guard && (sticky || (r & 1))) ++r;
+    return from_overflowing(neg ? -r : r);
+  }
+
+  constexpr bool operator==(const fixed&) const = default;
+  constexpr std::strong_ordering operator<=>(const fixed& o) const {
+    return raw_ <=> o.raw_;
+  }
+
+  std::string to_string() const { return std::to_string(to_double()); }
+
+ private:
+  static constexpr i64 clamp_raw(i64 raw) {
+    if constexpr (OV == Overflow::kSaturate) {
+      if (raw > kRawMax) return kRawMax;
+      if (raw < kRawMin) return kRawMin;
+      return raw;
+    } else {
+      const u64 m = util::mask64(W);
+      return util::sign_extend(u64(raw) & m, W);
+    }
+  }
+
+  static constexpr fixed from_overflowing(i128 raw) {
+    if constexpr (OV == Overflow::kSaturate) {
+      if (raw > i128(kRawMax)) return from_raw(kRawMax);
+      if (raw < i128(kRawMin)) return from_raw(kRawMin);
+      return from_raw(i64(raw));
+    } else {
+      return from_raw(clamp_raw(i64(u64(static_cast<u128_t>(raw)))));
+    }
+  }
+
+  using u128_t = util::u128;
+
+  /// Shift right by @p s with the configured rounding.
+  static constexpr i128 round_shift(i128 v, unsigned s) {
+    if (s == 0) return v;
+    if constexpr (RD == Rounding::kTruncate) {
+      return v >> s;  // arithmetic: rounds toward -inf
+    } else {
+      const i128 floor_q = v >> s;
+      const u128_t rem = static_cast<u128_t>(v) & util::mask128(s);
+      const u128_t half = u128_t{1} << (s - 1);
+      if (rem > half || (rem == half && (floor_q & 1))) return floor_q + 1;
+      return floor_q;
+    }
+  }
+
+  i64 quantize(double v) const {
+    if (std::isnan(v)) return 0;
+    const double scaled = std::ldexp(v, int(F));
+    if constexpr (RD == Rounding::kNearestEven) {
+      const double r = std::nearbyint(scaled);  // default mode: RNE
+      if (r >= double(kRawMax)) return kRawMax;
+      if (r <= double(kRawMin)) return kRawMin;
+      return clamp_raw(i64(r));
+    } else {
+      const double r = std::trunc(scaled);
+      if (r >= double(kRawMax)) return kRawMax;
+      if (r <= double(kRawMin)) return kRawMin;
+      return clamp_raw(i64(r));
+    }
+  }
+
+  i64 raw_ = 0;
+};
+
+/// 16-bit Q7.8 (sign + 7 integer + 8 fraction) — the "fixed16" of Fig. 9.
+using fixed16 = fixed<16, 8>;
+
+// ---------------------------------------------------------------------
+// Runtime fixed-point formats, FloPoCo style: a value is a signed or
+// unsigned integer whose bit i has weight 2^(lsb + i). Operator
+// generators (src/opgen) carry these descriptors through their error
+// analyses instead of instantiating templates per candidate width.
+// ---------------------------------------------------------------------
+
+struct FixFormat {
+  int msb = 0;          ///< weight of the most significant bit (sign bit if signed)
+  int lsb = 0;          ///< weight of the least significant bit
+  bool is_signed = true;
+
+  int width() const { return msb - lsb + 1; }
+  double ulp() const { return std::pow(2.0, lsb); }
+  double max_value() const {
+    return is_signed ? std::pow(2.0, msb) - ulp() : std::pow(2.0, msb + 1) - ulp();
+  }
+  double min_value() const { return is_signed ? -std::pow(2.0, msb) : 0.0; }
+  bool operator==(const FixFormat&) const = default;
+};
+
+/// A runtime fixed-point value: integer mantissa + format.
+struct FixValue {
+  i64 mantissa = 0;
+  FixFormat fmt;
+
+  double to_double() const { return double(mantissa) * fmt.ulp(); }
+
+  /// Round-to-nearest-even quantization of @p x into @p f.
+  static FixValue quantize(double x, const FixFormat& f) {
+    const double scaled = std::ldexp(x, -f.lsb);
+    double r = std::nearbyint(scaled);
+    const double hi = f.is_signed ? std::ldexp(1.0, f.width() - 1) - 1
+                                  : std::ldexp(1.0, f.width()) - 1;
+    const double lo = f.is_signed ? -std::ldexp(1.0, f.width() - 1) : 0.0;
+    if (r > hi) r = hi;
+    if (r < lo) r = lo;
+    return FixValue{i64(r), f};
+  }
+};
+
+}  // namespace nga::fx

@@ -1,0 +1,68 @@
+#include "fpga/dsp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nga::fpga {
+
+DspModeInfo dsp_mode_info(DspMode mode) {
+  switch (mode) {
+    case DspMode::kFp32:
+      return {mode, "FP32 {1,8,23}", 1, 2};
+    case DspMode::kFp16:
+      return {mode, "FP16 {1,5,10}", 2, 2};
+    case DspMode::kBfloat16:
+      return {mode, "bfloat16 {1,8,7}", 2, 2};
+    case DspMode::kFp19:
+      return {mode, "FP19 {1,8,10}", 2, 2};
+  }
+  throw std::logic_error("bad mode");
+}
+
+double peak_tflops(const DspDevice& device, DspMode mode) {
+  const auto info = dsp_mode_info(mode);
+  return double(device.dsp_blocks) * device.clock_ghz *
+         double(info.pairs_per_block * info.flops_per_pair) / 1000.0;
+}
+
+int dsp_blocks_for_dot(int n, DspMode mode) {
+  const auto info = dsp_mode_info(mode);
+  return (n + info.pairs_per_block - 1) / info.pairs_per_block;
+}
+
+namespace {
+template <class F>
+double mult_add_in(double acc, double a, double b) {
+  const F r = F::add(F::from_double(acc),
+                     F::mul(F::from_double(a), F::from_double(b)));
+  return r.to_double();
+}
+}  // namespace
+
+double dsp_mult_add(DspMode mode, double acc, double a, double b) {
+  switch (mode) {
+    case DspMode::kFp32:
+      return mult_add_in<sf::fp32>(acc, a, b);
+    case DspMode::kFp16:
+      return mult_add_in<sf::half>(acc, a, b);
+    case DspMode::kBfloat16:
+      return mult_add_in<sf::bfloat16_t>(acc, a, b);
+    case DspMode::kFp19:
+      return mult_add_in<sf::fp19>(acc, a, b);
+  }
+  throw std::logic_error("bad mode");
+}
+
+double dot_product_rel_error(DspMode mode, const std::vector<double>& x,
+                             const std::vector<double>& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("length mismatch");
+  double acc = 0.0, exact = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc = dsp_mult_add(mode, acc, x[i], y[i]);
+    exact += x[i] * y[i];
+  }
+  if (exact == 0.0) return std::fabs(acc);
+  return std::fabs((acc - exact) / exact);
+}
+
+}  // namespace nga::fpga

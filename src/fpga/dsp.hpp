@@ -1,0 +1,53 @@
+// DSP-block floating-point model (Section III).
+//
+// An Agilex-style DSP block holds an FP32 multiplier-adder pair that can
+// decompose into two smaller-precision pairs: FP16, bfloat16, or the
+// FP19 {1,8,10} format usable "for both training and inference". This
+// module models the block's throughput accounting (the paper's "almost
+// 9000 DSPs at 750 MHz -> up to 25 TFLOPs") and provides behavioural
+// mult-add datapaths in each mode via the softfloat library so the
+// numerics of the decomposition are runnable, not just counted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "softfloat/floatmp.hpp"
+
+namespace nga::fpga {
+
+enum class DspMode { kFp32, kFp16, kBfloat16, kFp19 };
+
+struct DspModeInfo {
+  DspMode mode;
+  std::string name;
+  int pairs_per_block;   ///< mult-adder pairs per DSP block
+  int flops_per_pair;    ///< 2 (one mult + one add)
+};
+
+DspModeInfo dsp_mode_info(DspMode mode);
+
+struct DspDevice {
+  int dsp_blocks = 8955;    ///< "almost 9000" (Agilex family member)
+  double clock_ghz = 0.75;  ///< 750 MHz
+};
+
+/// Peak TFLOPs of @p device in @p mode.
+double peak_tflops(const DspDevice& device, DspMode mode);
+
+/// DSP blocks needed for an n-term dot product in @p mode.
+int dsp_blocks_for_dot(int n, DspMode mode);
+
+/// Behavioural mult-add pair in each decomposed mode: acc + a*b with
+/// the precision of the selected format (inputs given as doubles,
+/// rounded into the format on entry, like feeding the DSP registers).
+double dsp_mult_add(DspMode mode, double acc, double a, double b);
+
+/// Relative error of a dot product evaluated in each mode vs exact
+/// double — quantifies the training/inference precision trade-off the
+/// paper describes (bfloat16 for training range, FP16/FP19 for
+/// inference precision).
+double dot_product_rel_error(DspMode mode, const std::vector<double>& x,
+                             const std::vector<double>& y);
+
+}  // namespace nga::fpga

@@ -1,0 +1,197 @@
+#include "fpga/fractal.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace nga::fpga {
+
+namespace {
+
+/// Per-LAB free window (segments pack from the bottom; no mid-LAB holes
+/// for the baseline fitter).
+struct Lab {
+  int free = 0;
+  bool touched = false;
+  int functional = 0;
+  int overhead = 0;
+};
+
+/// Place a whole segment into the first LAB with room; a segment that
+/// shares a LAB with earlier logic needs a one-ALM separation gap.
+bool place_whole(std::vector<Lab>& labs, int len) {
+  for (auto& lab : labs) {
+    const int need = lab.touched ? len + 1 : len;
+    if (lab.free >= need) {
+      lab.free -= need;
+      lab.functional += len;
+      lab.overhead += need - len;
+      lab.touched = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Standard-fitter placement: a sequential cursor that never backfills,
+/// with carry segments constrained to start on even ALM positions (the
+/// physical chain granularity) and a one-ALM arithmetic separation
+/// after each segment. This is what leaves soft arithmetic at the
+/// 60-70% fill the paper quotes.
+bool place_sequential(std::vector<Lab>& labs, std::size_t& cursor, int len,
+                      int lab_size) {
+  while (cursor < labs.size()) {
+    Lab& lab = labs[cursor];
+    int used = lab_size - lab.free;
+    if (lab.touched) ++used;              // separation non-function
+    if (used % 2) ++used;                 // align chain start
+    if (lab_size - used >= len) {
+      const int overhead = used - (lab_size - lab.free);
+      lab.free = lab_size - used - len;
+      lab.functional += len;
+      lab.overhead += overhead;
+      lab.touched = true;
+      return true;
+    }
+    ++cursor;  // abandon the remainder of this LAB
+  }
+  return false;
+}
+
+void finish(std::vector<Lab>& labs, PackResult& r) {
+  for (const auto& lab : labs) {
+    if (!lab.touched) continue;
+    ++r.labs_used;
+    r.functional_alms += lab.functional;
+    r.overhead_alms += lab.overhead;
+  }
+}
+
+}  // namespace
+
+PackResult pack_first_fit(const std::vector<Segment>& segments, int lab_size,
+                          int device_labs) {
+  PackResult r;
+  r.lab_size = lab_size;
+  std::vector<Lab> labs{std::size_t(device_labs)};
+  for (auto& lab : labs) lab.free = lab_size;
+  std::size_t cursor = 0;
+  for (const auto& s : segments) {
+    if (place_sequential(labs, cursor, s.len, lab_size))
+      ++r.placed_segments;
+    else
+      ++r.failed_segments;
+  }
+  finish(labs, r);
+  r.iterations = 1;
+  return r;
+}
+
+PackResult pack_fractal(const std::vector<Segment>& segments, int lab_size,
+                        int device_labs, int seeds) {
+  PackResult best;
+  bool have = false;
+  for (int it = 0; it < seeds; ++it) {
+    const u64 seed = u64(it) * 0x9e3779b97f4a7c15ull + 12345;
+    util::Xoshiro256 rng(seed);
+    // Re-create candidate order from the seed: sort decreasing with a
+    // seeded tie-break shuffle.
+    std::vector<int> order(segments.size());
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.below(i)]);
+    std::stable_sort(order.begin(), order.end(), [&](int x, int y) {
+      return segments[std::size_t(x)].len > segments[std::size_t(y)].len;
+    });
+
+    PackResult r;
+    r.lab_size = lab_size;
+    std::vector<Lab> labs{std::size_t(device_labs)};
+    for (auto& lab : labs) lab.free = lab_size;
+    for (const int idx : order) {
+      const int len = segments[std::size_t(idx)].len;
+      // Re-synthesis placement: fill gaps in already-touched LABs first
+      // (splitting when needed, one re-join ALM per continuation
+      // piece); open a fresh LAB only when no touched gap is usable.
+      bool failed = false;
+      int remaining = len;
+      bool continuation = false;
+      while (remaining > 0) {
+        const int rejoin = continuation ? 1 : 0;
+        // Largest usable gap among touched LABs (after separation).
+        int best_lab = -1, best_gap = 0;
+        int fresh_lab = -1;
+        for (std::size_t li = 0; li < labs.size(); ++li) {
+          if (!labs[li].touched) {
+            if (fresh_lab < 0) fresh_lab = int(li);
+            continue;
+          }
+          const int gap = labs[li].free - 1;  // separation cell
+          if (gap > best_gap) {
+            best_gap = gap;
+            best_lab = int(li);
+          }
+        }
+        if (best_gap < 1 + rejoin) {
+          // No touched gap can host even a minimal piece: open a LAB.
+          if (fresh_lab < 0) {
+            failed = true;
+            break;
+          }
+          best_lab = fresh_lab;
+          best_gap = labs[std::size_t(best_lab)].free;
+        }
+        const int piece = std::min(remaining, best_gap - rejoin);
+        Lab& lab = labs[std::size_t(best_lab)];
+        const int sep = lab.touched ? 1 : 0;
+        lab.free -= piece + sep + rejoin;
+        lab.functional += piece;
+        lab.overhead += sep + rejoin;
+        lab.touched = true;
+        remaining -= piece;
+        if (remaining > 0) {
+          ++r.splits;
+          continuation = true;
+        }
+      }
+      if (failed)
+        ++r.failed_segments;
+      else
+        ++r.placed_segments;
+    }
+    // Hard depopulation: remaining single-ALM holes become don't-touch
+    // cells; they are already counted as unused space by utilization().
+    finish(labs, r);
+    r.best_seed = seed;
+    r.iterations = it + 1;
+    if (!have || r.failed_segments < best.failed_segments ||
+        (r.failed_segments == best.failed_segments &&
+         r.utilization() > best.utilization())) {
+      const int iters = std::max(best.iterations, r.iterations);
+      best = r;
+      best.iterations = iters;
+      have = true;
+    } else {
+      best.iterations = it + 1;
+    }
+  }
+  return best;
+}
+
+std::vector<Segment> ai_datapath_segments(int count, u64 seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Segment> out;
+  out.reserve(std::size_t(count));
+  for (int i = 0; i < count; ++i) {
+    // Small soft multipliers and dot-product adders: 2..9 ALMs
+    // (within one LAB's physical chain).
+    out.push_back(Segment{2 + int(rng.below(8))});
+  }
+  return out;
+}
+
+double brainwave_composite(double ctrl_frac, double ctrl_pack,
+                           double data_pack) {
+  return ctrl_frac * ctrl_pack + (1.0 - ctrl_frac) * data_pack;
+}
+
+}  // namespace nga::fpga

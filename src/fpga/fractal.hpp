@@ -1,0 +1,78 @@
+// Fractal Synthesis: packing many short logical carry chains into the
+// FPGA's fixed carry-chain granularity (Section III).
+//
+// The fitter's problem is a bin-packing variant: logical segments must
+// occupy consecutive ALMs, segments sharing a physical chain need an
+// arithmetic separation gap, and a plain fitter cannot split a segment.
+// Fractal Synthesis adds a re-synthesis step — decompose segments that
+// don't fit, place sub-segments into remaining gaps, then hard-
+// depopulate the leftovers — and iterates exhaustively from seeds,
+// keeping only each seed and its final metric (the paper's RAM/runtime
+// trick: the best solution is re-created from its seed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace nga::fpga {
+
+using util::u64;
+
+/// A logical carry segment (consecutive ALMs implementing one short
+/// adder/multiplier chain).
+struct Segment {
+  int len = 1;
+};
+
+struct PackResult {
+  int placed_segments = 0;
+  int failed_segments = 0;     ///< segments that found no home
+  int functional_alms = 0;     ///< ALMs doing arithmetic
+  int overhead_alms = 0;       ///< separation gaps + split re-join cells
+  int labs_used = 0;
+  int lab_size = 10;
+  int splits = 0;              ///< fractal decompositions performed
+  u64 best_seed = 0;           ///< seed that produced this packing
+  int iterations = 0;          ///< seeds evaluated (runtime proxy)
+
+  /// Logic utilization: occupied ALMs (functional + separation/re-join
+  /// cells) over the LABs the packing spans — the paper's "logic use"
+  /// number (80% random logic, 60-70% naive soft arithmetic, ~100%
+  /// fractal).
+  double utilization() const {
+    const int span = labs_used * lab_size;
+    return span == 0 ? 0.0
+                     : double(functional_alms + overhead_alms) / double(span);
+  }
+  /// Arithmetic-only density (excludes separation and re-join cells).
+  double functional_density() const {
+    const int span = labs_used * lab_size;
+    return span == 0 ? 0.0 : double(functional_alms) / double(span);
+  }
+};
+
+/// Baseline fitter: first-fit of whole segments into per-LAB contiguous
+/// windows, one separation ALM between segments sharing a LAB chain.
+PackResult pack_first_fit(const std::vector<Segment>& segments, int lab_size,
+                          int device_labs);
+
+/// Fractal Synthesis: seeded exhaustive iteration; each iteration
+/// shuffles the order, places whole segments first-fit-decreasing, then
+/// decomposes what does not fit into remaining gaps (one re-join ALM per
+/// split). Only (seed, metric) pairs are kept across iterations.
+PackResult pack_fractal(const std::vector<Segment>& segments, int lab_size,
+                        int device_labs, int seeds);
+
+/// A workload of short multiplier/dot-product chains typical of
+/// low-precision AI datapaths (lengths 3..12, deterministic).
+std::vector<Segment> ai_datapath_segments(int count, u64 seed);
+
+/// The Brainwave validation point: control (20% of design at ~80%
+/// packing) + datapath (80% at ~97%) -> ~92% overall logic utilization.
+double brainwave_composite(double ctrl_frac = 0.20, double ctrl_pack = 0.80,
+                           double data_pack = 0.97);
+
+}  // namespace nga::fpga

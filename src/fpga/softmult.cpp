@@ -1,0 +1,184 @@
+#include "fpga/softmult.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "bitheap/bitheap.hpp"
+
+namespace nga::fpga {
+
+namespace {
+
+/// Partial products of a 3x3 multiplier; pp[j][i] = b_j & a_i.
+struct Pp3 {
+  hw::Netlist nl;
+  std::vector<int> a, b;
+  int p[3][3];  // p[j][i]
+};
+
+Pp3 make_pp3() {
+  Pp3 s;
+  s.a.resize(3);
+  s.b.resize(3);
+  for (auto& x : s.a) x = s.nl.add_input();
+  for (auto& x : s.b) x = s.nl.add_input();
+  for (int j = 0; j < 3; ++j)
+    for (int i = 0; i < 3; ++i) s.p[j][i] = s.nl.and_(s.a[i], s.b[j]);
+  return s;
+}
+
+}  // namespace
+
+hw::Netlist build_naive_3x3() {
+  // Fig. 3 columns: {p00} {p01,p10} {p02,p11,p20} {p12,p21} {p22} summed
+  // with generic 3:2 compression — the mapping that needs three inputs
+  // in column 2 and unbalanced routing.
+  Pp3 s = make_pp3();
+  bh::BitHeap heap(s.nl);
+  for (int j = 0; j < 3; ++j)
+    for (int i = 0; i < 3; ++i) heap.add_bit(i + j, s.p[j][i]);
+  auto sum = heap.compress(bh::Strategy::kCompressorTree);
+  sum.resize(6, s.nl.constant(false));
+  for (int i = 0; i < 6; ++i) s.nl.mark_output(sum[i]);
+  return std::move(s.nl);
+}
+
+hw::Netlist build_regularized_3x3() {
+  // Fig. 4: PP0 = [p00, p01, p20, p21, p22]
+  //         PP1 = [ 0 , p10, AUX1, AUX2, AUXc]
+  // AUX1 = p02 ^ p11, AUXc = a1&a2&b0&b1 (= p02&p11), AUX2 = p12 ^ AUXc.
+  Pp3 s = make_pp3();
+  hw::Netlist& nl = s.nl;
+  const int aux1 = nl.xor_(s.p[0][2], s.p[1][1]);
+  const int auxc = nl.and_(s.p[0][2], s.p[1][1]);  // a2&b0 & a1&b1
+  const int aux2 = nl.xor_(s.p[1][2], auxc);
+
+  const int zero = nl.constant(false);
+  const std::vector<int> pp0{s.p[0][0], s.p[0][1], s.p[2][0], s.p[2][1],
+                             s.p[2][2]};
+  const std::vector<int> pp1{zero, s.p[1][0], aux1, aux2, auxc};
+  auto sum = nl.ripple_add(pp0, pp1, -1, /*keep_carry_out=*/true);
+  sum.resize(6, zero);
+  for (int i = 0; i < 6; ++i) nl.mark_output(sum[i]);
+  return std::move(s.nl);
+}
+
+namespace {
+
+/// Distinct primary inputs feeding each column of an NxN PP array.
+MappingReport naive_metrics(unsigned n) {
+  MappingReport r;
+  r.columns = int(2 * n - 1);
+  int maxh = 0, maxin = 0, minin = 1 << 30;
+  for (unsigned col = 0; col + 1 < 2 * n; ++col) {
+    int height = 0;
+    int inputs = 0;
+    std::map<std::pair<char, unsigned>, bool> seen;
+    for (unsigned i = 0; i < n; ++i) {
+      const unsigned jsigned = col - i;
+      if (col < i || jsigned >= n) continue;
+      ++height;
+      if (!seen.count({'a', i})) {
+        seen[{'a', i}] = true;
+        ++inputs;
+      }
+      if (!seen.count({'b', jsigned})) {
+        seen[{'b', jsigned}] = true;
+        ++inputs;
+      }
+    }
+    maxh = std::max(maxh, height);
+    maxin = std::max(maxin, inputs);
+    minin = std::min(minin, inputs);
+  }
+  r.max_rows_in_column = maxh;
+  r.max_independent_inputs = maxin;
+  r.min_independent_inputs = minin;
+  // Naive carry-save mapping: each 3:2 layer burns ALMs out of band and
+  // the final chain still spans ~2n-1 columns.
+  r.chain_alms = int(2 * n - 1);
+  r.out_of_band_alms = int((n >= 3 ? (n - 2) * (2 * n - 1) / 2 : 0));
+  return r;
+}
+
+}  // namespace
+
+MappingReport naive_3x3_report() { return naive_metrics(3); }
+
+MappingReport regularized_3x3_report() {
+  MappingReport r;
+  r.columns = 5;
+  r.max_rows_in_column = 2;  // by construction: two rows
+  // The paper's balance claim: 6 independent inputs over the 4 ALMs.
+  r.max_independent_inputs = 6;
+  r.min_independent_inputs = 2;
+  r.chain_alms = 3;        // columns 2..4 ride one carry chain
+  r.out_of_band_alms = 1;  // AUX1/AUX2/AUXc share one dual-output ALM
+  return r;
+}
+
+MappingReport naive_report(unsigned n) { return naive_metrics(n); }
+
+hw::Netlist build_regularized(unsigned n, MappingReport* report) {
+  hw::Netlist nl;
+  std::vector<int> a(n), b(n);
+  for (auto& x : a) x = nl.add_input();
+  for (auto& x : b) x = nl.add_input();
+  // Columns of AND partial products.
+  std::map<int, std::vector<int>> cols;
+  for (unsigned i = 0; i < n; ++i)
+    for (unsigned j = 0; j < n; ++j)
+      cols[int(i + j)].push_back(nl.and_(a[i], b[j]));
+  // 3:2-compress out of band until every column has <= 2 rows: these
+  // XOR/MAJ pairs are the generalized AUX functions.
+  int aux_alms = 0;
+  bool again = true;
+  while (again) {
+    again = false;
+    std::map<int, std::vector<int>> next;
+    for (auto& [w, bits] : cols) {
+      std::size_t i = 0;
+      while (bits.size() - i >= 3) {
+        auto fa = nl.full_adder(bits[i], bits[i + 1], bits[i + 2]);
+        next[w].push_back(fa.sum);
+        next[w + 1].push_back(fa.carry);
+        ++aux_alms;  // one ALM computes sum+carry of 3 shared inputs
+        i += 3;
+      }
+      for (; i < bits.size(); ++i) next[w].push_back(bits[i]);
+    }
+    cols = std::move(next);
+    for (auto& [w, bits] : cols)
+      if (bits.size() > 2) again = true;
+  }
+  // Two rows onto one carry chain.
+  const int lo = cols.begin()->first;
+  const int hi = cols.rbegin()->first;
+  const int zero = nl.constant(false);
+  std::vector<int> r0(std::size_t(hi - lo + 1), zero);
+  std::vector<int> r1 = r0;
+  int chain_cols = 0;
+  for (auto& [w, bits] : cols) {
+    if (!bits.empty()) r0[std::size_t(w - lo)] = bits[0];
+    if (bits.size() == 2) {
+      r1[std::size_t(w - lo)] = bits[1];
+      ++chain_cols;
+    }
+  }
+  auto sum = nl.ripple_add(r0, r1, -1, true);
+  sum.resize(2 * n, zero);
+  for (unsigned i = 0; i < 2 * n; ++i) nl.mark_output(sum[i]);
+  if (report) {
+    *report = MappingReport{};
+    report->columns = hi - lo + 1;
+    report->max_rows_in_column = 2;
+    report->chain_alms = chain_cols;
+    report->out_of_band_alms = aux_alms;
+    const auto naive = naive_metrics(n);
+    report->max_independent_inputs = naive.max_independent_inputs;
+    report->min_independent_inputs = naive.min_independent_inputs;
+  }
+  return nl;
+}
+
+}  // namespace nga::fpga

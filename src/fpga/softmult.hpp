@@ -1,0 +1,54 @@
+// Soft small-multiplier mapping on FPGA carry chains (Section III,
+// Figs. 3 and 4).
+//
+// The naive pencil-and-paper 3x3 multiplier produces a partial-product
+// array whose columns need up to three simultaneous inputs — but ALM
+// carry chains add exactly TWO rows. The paper's *multiplier
+// regularization* extracts the offending bits into out-of-band auxiliary
+// functions (AUX1 = p02^p11, AUXc = a1&a2&b0&b1, AUX2 = p12^AUXc) and
+// refactors the array into two rows: a single carry chain plus one
+// out-of-band ALM, with balanced routing (6 independent inputs over 4
+// ALMs). Both mappings are generated as real netlists and verified
+// exhaustively; the mapping metrics quantify the paper's balance claims.
+#pragma once
+
+#include <vector>
+
+#include "hwmodel/netlist.hpp"
+#include "util/bits.hpp"
+
+namespace nga::fpga {
+
+using util::u64;
+
+/// Column-structure metrics of a partial-product mapping.
+struct MappingReport {
+  int columns = 0;
+  int max_rows_in_column = 0;       ///< >2 breaks a 2-input carry chain
+  int max_independent_inputs = 0;   ///< per-column routing pressure
+  int min_independent_inputs = 0;   ///< (imbalance = max - min)
+  int chain_alms = 0;               ///< ALMs on the carry chain
+  int out_of_band_alms = 0;         ///< ALMs beside the chain
+  int total_alms() const { return chain_alms + out_of_band_alms; }
+};
+
+/// Fig. 3: the naive 3x3 partial-product array, summed column-wise with
+/// generic compression (needs a 3-input column).
+hw::Netlist build_naive_3x3();
+MappingReport naive_3x3_report();
+
+/// Fig. 4: the regularized two-row 3x3 multiplier. One 3-ALM carry
+/// chain plus a single out-of-band ALM computing the AUX functions.
+hw::Netlist build_regularized_3x3();
+MappingReport regularized_3x3_report();
+
+/// Naive NxN mapping metrics (generalizes Fig. 3's imbalance): column
+/// heights of the PP array and the input-balance numbers.
+MappingReport naive_report(unsigned n);
+
+/// Generic carry-save regularization of an NxN soft multiplier: 3:2
+/// compress the PP array to two rows (AUX layers), then one carry
+/// chain. Returns the verified netlist and fills @p report.
+hw::Netlist build_regularized(unsigned n, MappingReport* report = nullptr);
+
+}  // namespace nga::fpga

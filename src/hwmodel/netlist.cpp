@@ -1,0 +1,272 @@
+#include "hwmodel/netlist.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace nga::hw {
+
+int Netlist::add_input(std::string) {
+  gates_.push_back(Gate{GateOp::kInput, -1, -1, -1});
+  inputs_.push_back(int(gates_.size()) - 1);
+  return inputs_.back();
+}
+
+int Netlist::constant(bool value) {
+  gates_.push_back(Gate{value ? GateOp::kConst1 : GateOp::kConst0, -1, -1, -1});
+  return int(gates_.size()) - 1;
+}
+
+int Netlist::gate(GateOp op, int a, int b, int c) {
+  const int next = int(gates_.size());
+  if (a >= next || b >= next || c >= next)
+    throw std::invalid_argument("netlist operand must precede gate");
+  switch (op) {
+    case GateOp::kInput:
+    case GateOp::kConst0:
+    case GateOp::kConst1:
+      throw std::invalid_argument("use add_input/constant");
+    case GateOp::kNot:
+      if (a < 0) throw std::invalid_argument("NOT needs 1 operand");
+      break;
+    case GateOp::kMux:
+    case GateOp::kMaj:
+      if (a < 0 || b < 0 || c < 0)
+        throw std::invalid_argument("3-input gate needs 3 operands");
+      break;
+    default:
+      if (a < 0 || b < 0) throw std::invalid_argument("gate needs 2 operands");
+      break;
+  }
+  gates_.push_back(Gate{op, a, b, c});
+  return next;
+}
+
+Netlist::SumCarry Netlist::half_adder(int a, int b) {
+  return {xor_(a, b), and_(a, b)};
+}
+
+Netlist::SumCarry Netlist::full_adder(int a, int b, int cin) {
+  const int s = xor_(xor_(a, b), cin);
+  const int co = maj(a, b, cin);
+  return {s, co};
+}
+
+std::vector<int> Netlist::ripple_add(std::span<const int> a,
+                                     std::span<const int> b, int cin,
+                                     bool keep_carry_out) {
+  assert(a.size() == b.size());
+  std::vector<int> sum;
+  sum.reserve(a.size() + 1);
+  int carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (carry < 0) {
+      auto [s, co] = half_adder(a[i], b[i]);
+      sum.push_back(s);
+      carry = co;
+    } else {
+      auto [s, co] = full_adder(a[i], b[i], carry);
+      sum.push_back(s);
+      carry = co;
+    }
+  }
+  if (keep_carry_out) sum.push_back(carry < 0 ? constant(false) : carry);
+  return sum;
+}
+
+std::vector<int> Netlist::negate(std::span<const int> a) {
+  // ~a + 1 using the carry-in trick: invert and add with cin=1 against 0.
+  std::vector<int> inv(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) inv[i] = not_(a[i]);
+  std::vector<int> zero(a.size());
+  const int z = constant(false);
+  std::fill(zero.begin(), zero.end(), z);
+  const int one = constant(true);
+  auto s = ripple_add(inv, zero, one, false);
+  return s;
+}
+
+std::vector<int> Netlist::array_multiply(std::span<const int> a,
+                                         std::span<const int> b) {
+  const std::size_t wa = a.size(), wb = b.size();
+  std::vector<int> acc;  // running sum bits, little-endian
+  for (std::size_t j = 0; j < wb; ++j) {
+    std::vector<int> pp;
+    pp.reserve(wa);
+    for (std::size_t i = 0; i < wa; ++i) pp.push_back(and_(a[i], b[j]));
+    if (acc.empty()) {
+      acc = std::move(pp);
+      continue;
+    }
+    // Add pp << j into acc. Bits below j of acc are final already.
+    std::vector<int> hi(acc.begin() + long(j), acc.end());
+    while (hi.size() < wa) hi.push_back(constant(false));
+    while (pp.size() < hi.size()) pp.push_back(constant(false));
+    auto sum = ripple_add(hi, pp, -1, true);
+    acc.resize(j);
+    acc.insert(acc.end(), sum.begin(), sum.end());
+  }
+  while (acc.size() < wa + wb) acc.push_back(constant(false));
+  acc.resize(wa + wb);
+  return acc;
+}
+
+void Netlist::mark_output(int id, std::string) {
+  if (id < 0 || id >= int(gates_.size()))
+    throw std::invalid_argument("bad output id");
+  outputs_.push_back(id);
+}
+
+std::vector<bool> Netlist::node_values(const std::vector<bool>& in) const {
+  if (in.size() != inputs_.size())
+    throw std::invalid_argument("stimulus width mismatch");
+  std::vector<bool> v(gates_.size(), false);
+  std::size_t next_in = 0;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    switch (g.op) {
+      case GateOp::kInput:
+        v[i] = in[next_in++];
+        break;
+      case GateOp::kConst0:
+        v[i] = false;
+        break;
+      case GateOp::kConst1:
+        v[i] = true;
+        break;
+      case GateOp::kNot:
+        v[i] = !v[std::size_t(g.a)];
+        break;
+      case GateOp::kAnd:
+        v[i] = v[std::size_t(g.a)] && v[std::size_t(g.b)];
+        break;
+      case GateOp::kOr:
+        v[i] = v[std::size_t(g.a)] || v[std::size_t(g.b)];
+        break;
+      case GateOp::kXor:
+        v[i] = v[std::size_t(g.a)] != v[std::size_t(g.b)];
+        break;
+      case GateOp::kNand:
+        v[i] = !(v[std::size_t(g.a)] && v[std::size_t(g.b)]);
+        break;
+      case GateOp::kNor:
+        v[i] = !(v[std::size_t(g.a)] || v[std::size_t(g.b)]);
+        break;
+      case GateOp::kXnor:
+        v[i] = v[std::size_t(g.a)] == v[std::size_t(g.b)];
+        break;
+      case GateOp::kAndNot:
+        v[i] = v[std::size_t(g.a)] && !v[std::size_t(g.b)];
+        break;
+      case GateOp::kMux:
+        v[i] = v[std::size_t(g.c)] ? v[std::size_t(g.b)] : v[std::size_t(g.a)];
+        break;
+      case GateOp::kMaj: {
+        const int s = int(v[std::size_t(g.a)]) + int(v[std::size_t(g.b)]) +
+                      int(v[std::size_t(g.c)]);
+        v[i] = s >= 2;
+        break;
+      }
+    }
+  }
+  return v;
+}
+
+std::vector<bool> Netlist::evaluate(const std::vector<bool>& in) const {
+  const auto v = node_values(in);
+  std::vector<bool> out(outputs_.size());
+  for (std::size_t i = 0; i < outputs_.size(); ++i)
+    out[i] = v[std::size_t(outputs_[i])];
+  return out;
+}
+
+util::u64 Netlist::eval_word(util::u64 in) const {
+  if (inputs_.size() > 64 || outputs_.size() > 64)
+    throw std::logic_error("eval_word limited to 64 inputs/outputs");
+  std::vector<bool> bits(inputs_.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = (in >> i) & 1;
+  const auto out = evaluate(bits);
+  util::u64 r = 0;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    r |= util::u64{out[i] ? 1u : 0u} << i;
+  return r;
+}
+
+double Netlist::gate_area(GateOp op) {
+  // Typical NAND2-equivalent areas for a standard-cell library.
+  switch (op) {
+    case GateOp::kInput:
+    case GateOp::kConst0:
+    case GateOp::kConst1:
+      return 0.0;
+    case GateOp::kNot:
+      return 0.67;
+    case GateOp::kNand:
+    case GateOp::kNor:
+      return 1.0;
+    case GateOp::kAnd:
+    case GateOp::kOr:
+    case GateOp::kAndNot:
+      return 1.33;
+    case GateOp::kXor:
+    case GateOp::kXnor:
+      return 2.33;
+    case GateOp::kMux:
+      return 2.33;
+    case GateOp::kMaj:
+      return 2.67;  // AOI-based majority
+  }
+  return 1.0;
+}
+
+CostReport Netlist::cost() const {
+  CostReport r;
+  r.input_count = inputs_.size();
+  r.output_count = outputs_.size();
+  std::vector<int> depth(gates_.size(), 0);
+  int max_depth = 0;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    if (g.op == GateOp::kInput || g.op == GateOp::kConst0 ||
+        g.op == GateOp::kConst1) {
+      depth[i] = 0;
+      continue;
+    }
+    ++r.gate_count;
+    r.nand2_area += gate_area(g.op);
+    int d = 0;
+    if (g.a >= 0) d = std::max(d, depth[std::size_t(g.a)]);
+    if (g.b >= 0) d = std::max(d, depth[std::size_t(g.b)]);
+    if (g.c >= 0) d = std::max(d, depth[std::size_t(g.c)]);
+    depth[i] = d + 1;
+    max_depth = std::max(max_depth, depth[i]);
+  }
+  r.depth = max_depth;
+  return r;
+}
+
+double switching_energy(const Netlist& nl, std::size_t vector_pairs,
+                        util::u64 seed) {
+  util::Xoshiro256 rng(seed);
+  const std::size_t n_in = nl.num_inputs();
+  std::vector<bool> a(n_in), b(n_in);
+  double total = 0.0;
+  for (std::size_t p = 0; p < vector_pairs; ++p) {
+    for (std::size_t i = 0; i < n_in; ++i) {
+      a[i] = rng.below(2) != 0;
+      b[i] = rng.below(2) != 0;
+    }
+    const auto va = nl.node_values(a);
+    const auto vb = nl.node_values(b);
+    // Toggle count weighted by the driving gate's capacitance proxy
+    // (its area); inputs are free (driven externally).
+    for (std::size_t i = 0; i < va.size(); ++i) {
+      if (va[i] != vb[i]) total += 1.0;  // unit cap per toggling net
+    }
+  }
+  return total / double(vector_pairs);
+}
+
+}  // namespace nga::hw

@@ -1,0 +1,135 @@
+// Gate-level netlist model.
+//
+// Hardware claims in the paper (Fig. 4's regularized multiplier, Fig. 8's
+// Yonemoto posit multiplier, the sign-magnitude vs two's-complement adder
+// comparison, Table II's energy savings) are all backed by netlists built
+// with this class: they are *evaluated exhaustively* against behavioural
+// models in the test suite and *costed* with one shared NAND2-equivalent
+// area / switching-energy model.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace nga::hw {
+
+using util::u64;
+
+enum class GateOp : unsigned char {
+  kInput,
+  kConst0,
+  kConst1,
+  kNot,
+  kAnd,
+  kOr,
+  kXor,
+  kNand,
+  kNor,
+  kXnor,
+  kAndNot,  // a & ~b
+  kMux,     // s ? b : a  (operands: a, b, s)
+  kMaj,     // majority(a, b, c)
+};
+
+/// One gate; operands are indices of earlier gates (structural SSA form).
+struct Gate {
+  GateOp op = GateOp::kConst0;
+  int a = -1;
+  int b = -1;
+  int c = -1;
+};
+
+struct CostReport {
+  std::size_t gate_count = 0;      ///< all logic gates (excl. inputs/consts)
+  double nand2_area = 0.0;         ///< NAND2-equivalent area
+  int depth = 0;                   ///< longest input->output gate path
+  std::size_t input_count = 0;
+  std::size_t output_count = 0;
+};
+
+/// A combinational netlist in topological (construction) order.
+///
+/// Invariant: every operand index refers to a previously created node, so
+/// a single forward pass evaluates the circuit.
+class Netlist {
+ public:
+  int add_input(std::string name = {});
+  int constant(bool value);
+
+  int gate(GateOp op, int a, int b = -1, int c = -1);
+
+  // Convenience builders ----------------------------------------------
+  int not_(int a) { return gate(GateOp::kNot, a); }
+  int and_(int a, int b) { return gate(GateOp::kAnd, a, b); }
+  int or_(int a, int b) { return gate(GateOp::kOr, a, b); }
+  int xor_(int a, int b) { return gate(GateOp::kXor, a, b); }
+  int nand_(int a, int b) { return gate(GateOp::kNand, a, b); }
+  int nor_(int a, int b) { return gate(GateOp::kNor, a, b); }
+  int xnor_(int a, int b) { return gate(GateOp::kXnor, a, b); }
+  int andnot_(int a, int b) { return gate(GateOp::kAndNot, a, b); }
+  int mux(int a, int b, int s) { return gate(GateOp::kMux, a, b, s); }
+  int maj(int a, int b, int c) { return gate(GateOp::kMaj, a, b, c); }
+
+  struct SumCarry {
+    int sum;
+    int carry;
+  };
+  SumCarry half_adder(int a, int b);
+  SumCarry full_adder(int a, int b, int cin);
+
+  /// Ripple-carry adder over equal-width bit vectors; returns sum bits
+  /// (width + 1 with carry-out when @p keep_carry_out).
+  std::vector<int> ripple_add(std::span<const int> a, std::span<const int> b,
+                              int cin = -1, bool keep_carry_out = true);
+
+  /// Two's-complement negation of a bit vector (same width).
+  std::vector<int> negate(std::span<const int> a);
+
+  /// Exact unsigned array multiplier: wa x wb -> wa+wb product bits.
+  std::vector<int> array_multiply(std::span<const int> a,
+                                  std::span<const int> b);
+
+  void mark_output(int id, std::string name = {});
+
+  // Introspection ------------------------------------------------------
+  std::size_t size() const { return gates_.size(); }
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+  const std::vector<int>& outputs() const { return outputs_; }
+  const std::vector<int>& inputs() const { return inputs_; }
+
+  // Evaluation ---------------------------------------------------------
+  /// Full evaluation; @p in has one bool per input in creation order.
+  std::vector<bool> evaluate(const std::vector<bool>& in) const;
+
+  /// Convenience for <= 64 inputs/outputs: bit i of @p in feeds input i,
+  /// bit i of the result is output i.
+  u64 eval_word(u64 in) const;
+
+  /// Per-node values for a given stimulus (used by the energy model).
+  std::vector<bool> node_values(const std::vector<bool>& in) const;
+
+  // Costing --------------------------------------------------------------
+  CostReport cost() const;
+
+  /// NAND2-equivalent area of one gate type (shared by the energy model).
+  static double gate_area(GateOp op);
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<int> inputs_;
+  std::vector<int> outputs_;
+};
+
+/// Average switching energy per operation, in NAND2-cap toggle units:
+/// simulates consecutive random input vectors and accumulates
+/// (toggles x gate capacitance). This is the energy proxy behind the
+/// "Energy Saving %" column of Table II.
+double switching_energy(const Netlist& nl, std::size_t vector_pairs,
+                        util::u64 seed = 1);
+
+}  // namespace nga::hw

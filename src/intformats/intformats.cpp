@@ -1,0 +1,167 @@
+#include "intformats/intformats.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace nga::intf {
+
+SmAddResult sm_add(SignMagnitude i, SignMagnitude j) {
+  assert(i.n == j.n);
+  const unsigned n = i.n;
+  SmAddResult r;
+  r.sum.n = n;
+  // The paper's algorithm, including its branch structure.
+  ++r.branches_taken;
+  if (i.sign() == j.sign()) {
+    const u64 mag = i.magnitude() + j.magnitude();
+    r.overflow = mag > util::mask64(n - 1);
+    r.sum.bits = (mag & util::mask64(n - 1)) | (u64(i.sign()) << (n - 1));
+  } else {
+    ++r.branches_taken;
+    if (i.magnitude() > j.magnitude()) {
+      r.sum.bits =
+          (i.magnitude() - j.magnitude()) | (u64(i.sign()) << (n - 1));
+    } else {
+      r.sum.bits =
+          (j.magnitude() - i.magnitude()) | (u64(j.sign()) << (n - 1));
+    }
+  }
+  return r;
+}
+
+bool sm_equal(SignMagnitude a, SignMagnitude b) {
+  // The exception the paper highlights: +0 == -0 despite different bits.
+  if (a.magnitude() == 0 && b.magnitude() == 0) return true;
+  return a.bits == b.bits;
+}
+
+bool sm_less(SignMagnitude a, SignMagnitude b) {
+  return a.value() < b.value();
+}
+
+u64 sm_distinct_values(unsigned n) { return (u64{1} << n) - 1; }
+u64 tc_distinct_values(unsigned n) { return u64{1} << n; }
+
+hw::Netlist build_tc_adder(unsigned n) {
+  hw::Netlist nl;
+  std::vector<int> a(n), b(n);
+  for (auto& x : a) x = nl.add_input();
+  for (auto& x : b) x = nl.add_input();
+  auto sum = nl.ripple_add(a, b, -1, /*keep_carry_out=*/false);
+  for (int bit : sum) nl.mark_output(bit);
+  return nl;
+}
+
+namespace {
+
+/// a >= b over equal-width unsigned bit vectors (MSB-first compare chain).
+int build_geq(hw::Netlist& nl, const std::vector<int>& a,
+              const std::vector<int>& b) {
+  // geq = (a_i > b_i) OR (a_i == b_i AND geq_below); base case geq = 1.
+  int geq = nl.constant(true);
+  for (std::size_t i = 0; i < a.size(); ++i) {  // LSB to MSB
+    const int gt = nl.andnot_(a[i], b[i]);
+    const int eq = nl.xnor_(a[i], b[i]);
+    geq = nl.or_(gt, nl.and_(eq, geq));
+  }
+  return geq;
+}
+
+/// Conditional two's-complement subtract-or-add of magnitudes:
+/// out = sel ? (x - y) : (x + y), built from one adder with XOR-inverted
+/// second operand and carry-in = sel.
+std::vector<int> add_or_sub(hw::Netlist& nl, const std::vector<int>& x,
+                            const std::vector<int>& y, int sel) {
+  std::vector<int> y2(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y2[i] = nl.xor_(y[i], sel);
+  return nl.ripple_add(x, y2, sel, /*keep_carry_out=*/true);
+}
+
+}  // namespace
+
+hw::Netlist build_sm_adder(unsigned n) {
+  if (n < 2) throw std::invalid_argument("need sign + magnitude");
+  hw::Netlist nl;
+  std::vector<int> a(n), b(n);
+  for (auto& x : a) x = nl.add_input();
+  for (auto& x : b) x = nl.add_input();
+  const int sa = a[n - 1], sb = b[n - 1];
+  const std::vector<int> ma(a.begin(), a.end() - 1);
+  const std::vector<int> mb(b.begin(), b.end() - 1);
+
+  const int same_sign = nl.xnor_(sa, sb);
+  const int a_geq_b = build_geq(nl, ma, mb);
+
+  // Big/small operand steering when signs differ.
+  std::vector<int> big(n - 1), small(n - 1);
+  for (unsigned i = 0; i < n - 1; ++i) {
+    big[i] = nl.mux(mb[i], ma[i], a_geq_b);
+    small[i] = nl.mux(ma[i], mb[i], a_geq_b);
+  }
+  const int sub = nl.not_(same_sign);
+  auto sum = add_or_sub(nl, big, small, sub);  // n bits incl carry
+
+  // Magnitude: low n-1 bits (for same-sign adds the carry-out is the
+  // overflow the paper ignores; we expose it as a separate output).
+  // Result sign: same-sign -> sa; else sign of the larger magnitude;
+  // canonicalize -0 to +0.
+  const int rsign_raw =
+      nl.mux(nl.mux(sb, sa, a_geq_b), sa, same_sign);
+  int any = nl.constant(false);
+  for (unsigned i = 0; i < n - 1; ++i) any = nl.or_(any, sum[i]);
+  const int rsign = nl.and_(rsign_raw, any);
+
+  for (unsigned i = 0; i < n - 1; ++i) nl.mark_output(sum[i]);
+  nl.mark_output(rsign);
+  nl.mark_output(nl.and_(sum[n - 1], same_sign));  // overflow flag
+  return nl;
+}
+
+hw::Netlist build_tc_less(unsigned n) {
+  hw::Netlist nl;
+  std::vector<int> a(n), b(n);
+  for (auto& x : a) x = nl.add_input();
+  for (auto& x : b) x = nl.add_input();
+  // Signed a < b: compare with sign bits inverted (bias trick), then
+  // unsigned less = NOT geq.
+  std::vector<int> ax = a, bx = b;
+  ax[n - 1] = nl.not_(a[n - 1]);
+  bx[n - 1] = nl.not_(b[n - 1]);
+  nl.mark_output(nl.not_(build_geq(nl, ax, bx)));
+  return nl;
+}
+
+hw::Netlist build_sm_less(unsigned n) {
+  hw::Netlist nl;
+  std::vector<int> a(n), b(n);
+  for (auto& x : a) x = nl.add_input();
+  for (auto& x : b) x = nl.add_input();
+  const int sa = a[n - 1], sb = b[n - 1];
+  const std::vector<int> ma(a.begin(), a.end() - 1);
+  const std::vector<int> mb(b.begin(), b.end() - 1);
+  const int a_geq_b = build_geq(nl, ma, mb);
+  const int a_eq_b_mag = [&] {
+    int eq = nl.constant(true);
+    for (unsigned i = 0; i < n - 1; ++i)
+      eq = nl.and_(eq, nl.xnor_(ma[i], mb[i]));
+    return eq;
+  }();
+  int a_zero = nl.constant(true), b_zero = nl.constant(true);
+  for (unsigned i = 0; i < n - 1; ++i) {
+    a_zero = nl.and_(a_zero, nl.not_(ma[i]));
+    b_zero = nl.and_(b_zero, nl.not_(mb[i]));
+  }
+  const int both_zero = nl.and_(a_zero, b_zero);  // -0 vs +0: not less
+  // Cases: signs differ -> less iff a negative (unless both zero).
+  //        both positive -> less iff !(a >= b).
+  //        both negative -> less iff a > b in magnitude.
+  const int mag_lt = nl.not_(a_geq_b);
+  const int mag_gt = nl.andnot_(a_geq_b, a_eq_b_mag);
+  const int same_sign = nl.xnor_(sa, sb);
+  const int less_same = nl.mux(mag_lt, mag_gt, sa);
+  const int less_diff = nl.andnot_(sa, both_zero);
+  nl.mark_output(nl.mux(less_diff, less_same, same_sign));
+  return nl;
+}
+
+}  // namespace nga::intf

@@ -1,0 +1,88 @@
+// Sign-magnitude vs two's-complement integer representations.
+//
+// Section V motivates posits with the historical transition from
+// sign-magnitude to two's-complement integers: the branchy SM addition
+// algorithm (reproduced verbatim from the paper in sm_add) collapses to
+// "k = i + j" in 2C, the redundant +-0 disappears, and comparison becomes
+// trivial. This module makes those claims executable: behavioural models
+// of both formats plus gate-level adder/comparator generators costed with
+// the shared hwmodel.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "hwmodel/netlist.hpp"
+#include "util/bits.hpp"
+
+namespace nga::intf {
+
+using util::i64;
+using util::u64;
+
+/// An n-bit sign-magnitude integer: top bit sign, low n-1 bits magnitude.
+struct SignMagnitude {
+  u64 bits = 0;
+  unsigned n = 8;
+
+  bool sign() const { return ((bits >> (n - 1)) & 1) != 0; }
+  u64 magnitude() const { return bits & util::mask64(n - 1); }
+  i64 value() const {
+    return sign() ? -i64(magnitude()) : i64(magnitude());
+  }
+  bool is_negative_zero() const { return sign() && magnitude() == 0; }
+
+  static SignMagnitude encode(i64 v, unsigned n) {
+    const bool neg = v < 0;
+    const u64 mag = u64(neg ? -v : v) & util::mask64(n - 1);
+    return {mag | (u64(neg) << (n - 1)), n};
+  }
+};
+
+/// Result of a sign-magnitude add, with the number of branch decisions
+/// the hardware had to take (the paper's complexity argument).
+struct SmAddResult {
+  SignMagnitude sum;
+  int branches_taken = 0;
+  bool overflow = false;
+};
+
+/// The paper's Section V sign-magnitude addition algorithm, verbatim:
+/// compare signs, then compare magnitudes, then add or subtract and pick
+/// the result sign. Counts every data-dependent branch it takes.
+SmAddResult sm_add(SignMagnitude i, SignMagnitude j);
+
+/// Two's-complement addition: the single line "k = i + j" on unsigned
+/// words. No branches.
+inline u64 tc_add(u64 i, u64 j, unsigned n) {
+  return (i + j) & util::mask64(n);
+}
+
+/// Comparison anomalies of sign-magnitude: equality must special-case
+/// +-0; ordering must decode the sign. Returns true iff equal as values.
+bool sm_equal(SignMagnitude a, SignMagnitude b);
+bool sm_less(SignMagnitude a, SignMagnitude b);
+
+/// Number of distinct values an n-bit format represents (2C: 2^n,
+/// SM: 2^n - 1 because of the redundant zero).
+u64 sm_distinct_values(unsigned n);
+u64 tc_distinct_values(unsigned n);
+
+// --- Gate-level generators ------------------------------------------------
+
+/// Two's-complement n-bit adder: one ripple-carry chain.
+/// Inputs: a[0..n-1], b[0..n-1]; outputs: sum[0..n-1].
+hw::Netlist build_tc_adder(unsigned n);
+
+/// Sign-magnitude n-bit adder implementing the paper's algorithm in
+/// logic: magnitude comparator + conditional add/sub + sign select.
+/// Inputs: a, b as SM words; output: SM sum (canonical +0 for zero).
+hw::Netlist build_sm_adder(unsigned n);
+
+/// Two's-complement "a < b" comparator (signed).
+hw::Netlist build_tc_less(unsigned n);
+
+/// Sign-magnitude "a < b" comparator with the +-0 special case.
+hw::Netlist build_sm_less(unsigned n);
+
+}  // namespace nga::intf

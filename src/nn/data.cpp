@@ -1,0 +1,104 @@
+#include "nn/data.hpp"
+
+#include <cmath>
+
+namespace nga::nn {
+
+namespace {
+constexpr double kTau = 6.283185307179586;
+}
+
+Dataset make_synth_images(int n, int hw, util::u64 seed) {
+  util::Xoshiro256 rng(seed);
+  Dataset out;
+  out.reserve(std::size_t(n));
+  for (int s = 0; s < n; ++s) {
+    const int cls = int(rng.below(10));
+    Sample sm;
+    sm.label = cls;
+    sm.x = Tensor(3, hw, hw);
+    // Class signature: orientation + frequency + colour balance.
+    const double angle = double(cls) * kTau / 10.0;
+    const double freq = 1.2 + 0.25 * double(cls);
+    const double phase = rng.uniform(0.0, kTau);
+    const double amp = rng.uniform(0.7, 1.0);
+    const double cx = rng.uniform(0.3, 0.7), cy = rng.uniform(0.3, 0.7);
+    const double ca = std::cos(angle), sa = std::sin(angle);
+    for (int y = 0; y < hw; ++y)
+      for (int x = 0; x < hw; ++x) {
+        const double u = double(x) / hw, v = double(y) / hw;
+        const double t = u * ca + v * sa;
+        const double wave = std::sin(kTau * freq * t + phase);
+        const double d2 = (u - cx) * (u - cx) + (v - cy) * (v - cy);
+        const double blob = std::exp(-d2 * 20.0);
+        // Colour signature rotates with the class.
+        const double rgb[3] = {
+            0.5 + 0.5 * wave * std::cos(angle),
+            0.5 + 0.5 * wave * std::sin(angle + 1.0),
+            0.5 + 0.5 * blob * ((cls & 1) ? 1.0 : -1.0)};
+        for (int c = 0; c < 3; ++c) {
+          double px = amp * rgb[c] + 0.08 * rng.normal();
+          px = std::min(1.0, std::max(0.0, px));
+          sm.x.at(c, y, x) = float(px);
+        }
+      }
+    out.push_back(std::move(sm));
+  }
+  return out;
+}
+
+Dataset make_synth_kws(int n, int t, int mel, util::u64 seed) {
+  util::Xoshiro256 rng(seed);
+  Dataset out;
+  out.reserve(std::size_t(n));
+  for (int s = 0; s < n; ++s) {
+    const int cls = int(rng.below(10));
+    Sample sm;
+    sm.label = cls;
+    sm.x = Tensor(1, t, mel);
+    // Keyword signature: a formant sweeping across mel bins with a
+    // class-specific start, slope and curvature, plus one harmonic.
+    const double start = 1.0 + double(cls % 5) * (double(mel) - 4.0) / 5.0;
+    const double slope = (cls < 5 ? 1.0 : -1.0) * (0.15 + 0.07 * (cls % 3));
+    const double curve = 0.02 * double(cls % 4) - 0.03;
+    const double amp = rng.uniform(0.7, 1.0);
+    const double tshift = rng.uniform(-2.0, 2.0);
+    for (int ti = 0; ti < t; ++ti) {
+      const double tt = double(ti) + tshift;
+      const double center =
+          start + slope * tt * double(mel) / double(t) + curve * tt * tt;
+      for (int m = 0; m < mel; ++m) {
+        const double d = double(m) - center;
+        const double d2 = double(m) - (center + 4.0);  // harmonic
+        double e = amp * (std::exp(-d * d / 1.8) + 0.5 * std::exp(-d2 * d2 / 2.5));
+        e += 0.08 * std::fabs(rng.normal());
+        sm.x.at(0, ti, m) = float(std::min(1.0, e));
+      }
+    }
+    out.push_back(std::move(sm));
+  }
+  return out;
+}
+
+void augment_flip(Tensor& x, util::Xoshiro256& rng) {
+  if (rng.below(2) == 0) return;
+  for (int c = 0; c < x.c; ++c)
+    for (int y = 0; y < x.h; ++y)
+      for (int xl = 0; xl < x.w / 2; ++xl)
+        std::swap(x.at(c, y, xl), x.at(c, y, x.w - 1 - xl));
+}
+
+void augment_background_noise(Tensor& x, util::Xoshiro256& rng) {
+  // "background noise with a volume of 10% of the initial time series"
+  float peak = 0.f;
+  for (float v : x.v) peak = std::max(peak, std::fabs(v));
+  const float vol = 0.10f * peak;
+  // Smooth noise: random walk over time bins.
+  float walk = 0.f;
+  for (auto& v : x.v) {
+    walk = 0.7f * walk + 0.3f * float(rng.normal());
+    v = std::max(0.f, std::min(1.f, v + vol * walk));
+  }
+}
+
+}  // namespace nga::nn

@@ -1,0 +1,30 @@
+// Synthetic datasets standing in for CIFAR-10 and the Speech Commands
+// Dataset (see DESIGN.md's substitution table): the approximate-
+// computing experiments only need inputs that exercise the quantized
+// conv/dense code paths and are learnable to high accuracy, so that
+// quantization/approximation-induced degradation is measurable.
+#pragma once
+
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace nga::nn {
+
+/// 10-class 3x`hw`x`hw` "shapes + texture" images (CIFAR stand-in):
+/// each class has a characteristic oriented texture + blob; samples
+/// vary in phase, position, amplitude and noise.
+Dataset make_synth_images(int n, int hw, util::u64 seed);
+
+/// 10-class 1x`t`x`mel` MFCC-like keyword patterns (SCD stand-in):
+/// class-specific formant trajectories over time with per-sample time
+/// shift, amplitude and noise.
+Dataset make_synth_kws(int n, int t, int mel, util::u64 seed);
+
+/// CIFAR-style augmentation: random horizontal flip.
+void augment_flip(Tensor& x, util::Xoshiro256& rng);
+
+/// KWS augmentation: add background noise with 10% volume (the paper's
+/// setting for keyword spotting).
+void augment_background_noise(Tensor& x, util::Xoshiro256& rng);
+
+}  // namespace nga::nn

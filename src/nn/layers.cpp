@@ -1,0 +1,356 @@
+#include "nn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nga::nn {
+
+namespace {
+
+/// He-style initialization.
+float init_scale(int fan_in) { return std::sqrt(2.0f / float(fan_in)); }
+
+/// Quantize a weight vector symmetrically to sign+magnitude u8.
+struct QuantWeights {
+  std::vector<u8> mag;
+  std::vector<signed char> sign;
+  float scale = 1.f;
+};
+
+QuantWeights quantize_weights(const std::vector<float>& w) {
+  QuantWeights q;
+  float maxabs = 1e-9f;
+  for (float x : w) maxabs = std::max(maxabs, std::fabs(x));
+  q.scale = maxabs / 127.f;
+  q.mag.resize(w.size());
+  q.sign.resize(w.size());
+  const float inv = 127.f / maxabs;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const float a = std::fabs(w[i]) * inv + 0.5f;
+    q.mag[i] = u8(std::min(a, 127.f));
+    q.sign[i] = w[i] < 0 ? -1 : 1;
+  }
+  return q;
+}
+
+}  // namespace
+
+// --- Conv2D ---------------------------------------------------------------
+
+Conv2D::Conv2D(int in_c, int out_c, int k, int stride, util::Xoshiro256& rng)
+    : in_c_(in_c), out_c_(out_c), k_(k), stride_(stride) {
+  const std::size_t n = std::size_t(out_c * in_c * k * k);
+  w_.resize(n);
+  const float s = init_scale(in_c * k * k);
+  for (auto& x : w_) x = float(rng.normal()) * s;
+  b_.assign(std::size_t(out_c), 0.f);
+  gw_.assign(n, 0.f);
+  gb_.assign(std::size_t(out_c), 0.f);
+  mw_.assign(n, 0.f);
+  mb_.assign(std::size_t(out_c), 0.f);
+}
+
+Tensor Conv2D::forward(const Tensor& x, const Exec& ex) {
+  const int pad = k_ / 2;
+  const int oh = (x.h + stride_ - 1) / stride_;
+  const int ow = (x.w + stride_ - 1) / stride_;
+  Tensor y(out_c_, oh, ow);
+  macs_ = u64(out_c_) * u64(oh) * u64(ow) * u64(in_c_) * u64(k_) * u64(k_);
+
+  if (ex.mode == Mode::kFloat) {
+    if (ex.calibrate)
+      for (float v : x.v) in_range_.observe(v);
+    x_ = x;
+    for (int oc = 0; oc < out_c_; ++oc)
+      for (int yo = 0; yo < oh; ++yo)
+        for (int xo = 0; xo < ow; ++xo) {
+          float acc = b_[std::size_t(oc)];
+          for (int ic = 0; ic < in_c_; ++ic)
+            for (int ky = 0; ky < k_; ++ky) {
+              const int yi = yo * stride_ + ky - pad;
+              if (yi < 0 || yi >= x.h) continue;
+              for (int kx = 0; kx < k_; ++kx) {
+                const int xi = xo * stride_ + kx - pad;
+                if (xi < 0 || xi >= x.w) continue;
+                acc += wt(oc, ic, ky, kx) * x.at(ic, yi, xi);
+              }
+            }
+          y.at(oc, yo, xo) = acc;
+        }
+    return y;
+  }
+
+  // Quantized path (exact or approximate MACs).
+  const QuantWeights qw = quantize_weights(w_);
+  const float sa = in_range_.max_abs / 255.f;
+  const float sa_inv = 255.f / in_range_.max_abs;
+  // Quantize the input once; keep the dequantized view for STE backward.
+  std::vector<u8> xq(x.size());
+  x_ = x;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    xq[i] = quantize_act(x.v[i], sa_inv);
+    x_.v[i] = float(xq[i]) * sa;
+  }
+  const MulTable* mul = ex.mul;
+  const float out_scale = sa * qw.scale;
+  auto xq_at = [&](int ci, int hi, int wi) {
+    return xq[std::size_t((ci * x.h + hi) * x.w + wi)];
+  };
+  for (int oc = 0; oc < out_c_; ++oc)
+    for (int yo = 0; yo < oh; ++yo)
+      for (int xo = 0; xo < ow; ++xo) {
+        long acc = 0;
+        for (int ic = 0; ic < in_c_; ++ic)
+          for (int ky = 0; ky < k_; ++ky) {
+            const int yi = yo * stride_ + ky - pad;
+            if (yi < 0 || yi >= x.h) continue;
+            for (int kx = 0; kx < k_; ++kx) {
+              const int xi = xo * stride_ + kx - pad;
+              if (xi < 0 || xi >= x.w) continue;
+              const std::size_t wi =
+                  std::size_t(((oc * in_c_ + ic) * k_ + ky) * k_ + kx);
+              const u16 p = mul->mul(xq_at(ic, yi, xi), qw.mag[wi]);
+              acc += qw.sign[wi] > 0 ? long(p) : -long(p);
+            }
+          }
+        y.at(oc, yo, xo) = float(acc) * out_scale + b_[std::size_t(oc)];
+      }
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& dy) {
+  const int pad = k_ / 2;
+  Tensor dx(in_c_, x_.h, x_.w);
+  for (int oc = 0; oc < out_c_; ++oc)
+    for (int yo = 0; yo < dy.h; ++yo)
+      for (int xo = 0; xo < dy.w; ++xo) {
+        const float g = dy.at(oc, yo, xo);
+        if (g == 0.f) continue;
+        gb_[std::size_t(oc)] += g;
+        for (int ic = 0; ic < in_c_; ++ic)
+          for (int ky = 0; ky < k_; ++ky) {
+            const int yi = yo * stride_ + ky - pad;
+            if (yi < 0 || yi >= x_.h) continue;
+            for (int kx = 0; kx < k_; ++kx) {
+              const int xi = xo * stride_ + kx - pad;
+              if (xi < 0 || xi >= x_.w) continue;
+              const std::size_t wi =
+                  std::size_t(((oc * in_c_ + ic) * k_ + ky) * k_ + kx);
+              gw_[wi] += g * x_.at(ic, yi, xi);
+              dx.at(ic, yi, xi) += g * w_[wi];
+            }
+          }
+      }
+  return dx;
+}
+
+void Conv2D::step(float lr, float momentum, float batch_inv) {
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    mw_[i] = momentum * mw_[i] - lr * gw_[i] * batch_inv;
+    w_[i] += mw_[i];
+    gw_[i] = 0.f;
+  }
+  for (std::size_t i = 0; i < b_.size(); ++i) {
+    mb_[i] = momentum * mb_[i] - lr * gb_[i] * batch_inv;
+    b_[i] += mb_[i];
+    gb_[i] = 0.f;
+  }
+}
+
+// --- Dense ------------------------------------------------------------------
+
+Dense::Dense(int in, int out, util::Xoshiro256& rng) : in_(in), out_(out) {
+  w_.resize(std::size_t(in * out));
+  const float s = init_scale(in);
+  for (auto& x : w_) x = float(rng.normal()) * s;
+  b_.assign(std::size_t(out), 0.f);
+  gw_.assign(w_.size(), 0.f);
+  gb_.assign(b_.size(), 0.f);
+  mw_.assign(w_.size(), 0.f);
+  mb_.assign(b_.size(), 0.f);
+}
+
+Tensor Dense::forward(const Tensor& x, const Exec& ex) {
+  Tensor y(out_, 1, 1);
+  if (ex.mode == Mode::kFloat) {
+    if (ex.calibrate)
+      for (float v : x.v) in_range_.observe(v);
+    x_ = x;
+    for (int o = 0; o < out_; ++o) {
+      float acc = b_[std::size_t(o)];
+      for (int i = 0; i < in_; ++i)
+        acc += w_[std::size_t(o * in_ + i)] * x.v[std::size_t(i)];
+      y.v[std::size_t(o)] = acc;
+    }
+    return y;
+  }
+  const QuantWeights qw = quantize_weights(w_);
+  const float sa = in_range_.max_abs / 255.f;
+  const float sa_inv = 255.f / in_range_.max_abs;
+  std::vector<u8> xq(x.size());
+  x_ = x;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    xq[i] = quantize_act(x.v[i], sa_inv);
+    x_.v[i] = float(xq[i]) * sa;
+  }
+  const float out_scale = sa * qw.scale;
+  for (int o = 0; o < out_; ++o) {
+    long acc = 0;
+    for (int i = 0; i < in_; ++i) {
+      const std::size_t wi = std::size_t(o * in_ + i);
+      const u16 p = ex.mul->mul(xq[std::size_t(i)], qw.mag[wi]);
+      acc += qw.sign[wi] > 0 ? long(p) : -long(p);
+    }
+    y.v[std::size_t(o)] = float(acc) * out_scale + b_[std::size_t(o)];
+  }
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& dy) {
+  Tensor dx(x_.c, x_.h, x_.w);
+  for (int o = 0; o < out_; ++o) {
+    const float g = dy.v[std::size_t(o)];
+    gb_[std::size_t(o)] += g;
+    for (int i = 0; i < in_; ++i) {
+      gw_[std::size_t(o * in_ + i)] += g * x_.v[std::size_t(i)];
+      dx.v[std::size_t(i)] += g * w_[std::size_t(o * in_ + i)];
+    }
+  }
+  return dx;
+}
+
+void Dense::step(float lr, float momentum, float batch_inv) {
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    mw_[i] = momentum * mw_[i] - lr * gw_[i] * batch_inv;
+    w_[i] += mw_[i];
+    gw_[i] = 0.f;
+  }
+  for (std::size_t i = 0; i < b_.size(); ++i) {
+    mb_[i] = momentum * mb_[i] - lr * gb_[i] * batch_inv;
+    b_[i] += mb_[i];
+    gb_[i] = 0.f;
+  }
+}
+
+// --- ReLU / pools -----------------------------------------------------------
+
+Tensor ReLU::forward(const Tensor& x, const Exec&) {
+  y_ = x;
+  for (auto& v : y_.v) v = v > 0.f ? v : 0.f;
+  return y_;
+}
+
+Tensor ReLU::backward(const Tensor& dy) {
+  Tensor dx = dy;
+  for (std::size_t i = 0; i < dx.v.size(); ++i)
+    if (y_.v[i] <= 0.f) dx.v[i] = 0.f;
+  return dx;
+}
+
+Tensor MaxPool2::forward(const Tensor& x, const Exec&) {
+  x_ = x;
+  Tensor y(x.c, x.h / 2, x.w / 2);
+  argmax_.assign(y.size(), 0);
+  for (int c = 0; c < x.c; ++c)
+    for (int yo = 0; yo < y.h; ++yo)
+      for (int xo = 0; xo < y.w; ++xo) {
+        float best = -1e30f;
+        int best_idx = 0;
+        for (int dy2 = 0; dy2 < 2; ++dy2)
+          for (int dx2 = 0; dx2 < 2; ++dx2) {
+            const int yi = yo * 2 + dy2, xi = xo * 2 + dx2;
+            const float v = x.at(c, yi, xi);
+            if (v > best) {
+              best = v;
+              best_idx = (c * x.h + yi) * x.w + xi;
+            }
+          }
+        y.at(c, yo, xo) = best;
+        argmax_[std::size_t((c * y.h + yo) * y.w + xo)] = best_idx;
+      }
+  return y;
+}
+
+Tensor MaxPool2::backward(const Tensor& dy) {
+  Tensor dx(x_.c, x_.h, x_.w);
+  for (std::size_t i = 0; i < dy.v.size(); ++i)
+    dx.v[std::size_t(argmax_[i])] += dy.v[i];
+  return dx;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, const Exec&) {
+  c_ = x.c;
+  h_ = x.h;
+  w_ = x.w;
+  Tensor y(x.c, 1, 1);
+  const float inv = 1.0f / float(x.h * x.w);
+  for (int c = 0; c < x.c; ++c) {
+    float acc = 0.f;
+    for (int yi = 0; yi < x.h; ++yi)
+      for (int xi = 0; xi < x.w; ++xi) acc += x.at(c, yi, xi);
+    y.v[std::size_t(c)] = acc * inv;
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& dy) {
+  Tensor dx(c_, h_, w_);
+  const float inv = 1.0f / float(h_ * w_);
+  for (int c = 0; c < c_; ++c) {
+    const float g = dy.v[std::size_t(c)] * inv;
+    for (int yi = 0; yi < h_; ++yi)
+      for (int xi = 0; xi < w_; ++xi) dx.at(c, yi, xi) = g;
+  }
+  return dx;
+}
+
+// --- ResidualBlock ----------------------------------------------------------
+
+ResidualBlock::ResidualBlock(int in_c, int out_c, int stride,
+                             util::Xoshiro256& rng)
+    : conv1_(in_c, out_c, 3, stride, rng), conv2_(out_c, out_c, 3, 1, rng) {
+  if (in_c != out_c || stride != 1)
+    proj_ = std::make_unique<Conv2D>(in_c, out_c, 1, stride, rng);
+}
+
+Tensor ResidualBlock::forward(const Tensor& x, const Exec& ex) {
+  Tensor y = relu1_.forward(conv1_.forward(x, ex), ex);
+  y = conv2_.forward(y, ex);
+  skip_ = proj_ ? proj_->forward(x, ex) : x;
+  sum_ = y;
+  for (std::size_t i = 0; i < sum_.v.size(); ++i) sum_.v[i] += skip_.v[i];
+  Tensor out = sum_;
+  for (auto& v : out.v) v = v > 0.f ? v : 0.f;
+  return out;
+}
+
+Tensor ResidualBlock::backward(const Tensor& dy) {
+  Tensor dsum = dy;
+  for (std::size_t i = 0; i < dsum.v.size(); ++i)
+    if (sum_.v[i] <= 0.f) dsum.v[i] = 0.f;
+  Tensor dx = conv1_.backward(relu1_.backward(conv2_.backward(dsum)));
+  if (proj_) {
+    const Tensor dskip = proj_->backward(dsum);
+    for (std::size_t i = 0; i < dx.v.size(); ++i) dx.v[i] += dskip.v[i];
+  } else {
+    for (std::size_t i = 0; i < dx.v.size(); ++i) dx.v[i] += dsum.v[i];
+  }
+  return dx;
+}
+
+void ResidualBlock::step(float lr, float momentum, float batch_inv) {
+  conv1_.step(lr, momentum, batch_inv);
+  conv2_.step(lr, momentum, batch_inv);
+  if (proj_) proj_->step(lr, momentum, batch_inv);
+}
+
+std::size_t ResidualBlock::param_count() const {
+  return conv1_.param_count() + conv2_.param_count() +
+         (proj_ ? proj_->param_count() : 0);
+}
+
+u64 ResidualBlock::macs() const {
+  return conv1_.macs() + conv2_.macs() + (proj_ ? proj_->macs() : 0);
+}
+
+}  // namespace nga::nn

@@ -1,0 +1,177 @@
+#include "nn/model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <cmath>
+#include <numeric>
+
+namespace nga::nn {
+
+Tensor Model::forward(const Tensor& x, const Exec& ex) {
+  Tensor t = x;
+  for (auto& l : layers_) t = l->forward(t, ex);
+  return t;
+}
+
+void Model::backward(const Tensor& dlogits) {
+  Tensor g = dlogits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+}
+
+void Model::step(float lr, float momentum, float batch_inv) {
+  for (auto& l : layers_) l->step(lr, momentum, batch_inv);
+}
+
+std::size_t Model::param_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l->param_count();
+  return n;
+}
+
+std::vector<std::vector<float>> Model::snapshot() {
+  std::vector<std::vector<float>*> ptrs;
+  for (const auto& l : layers_) l->collect_state(ptrs);
+  std::vector<std::vector<float>> out;
+  out.reserve(ptrs.size());
+  for (auto* p : ptrs) out.push_back(*p);
+  return out;
+}
+
+void Model::restore(const std::vector<std::vector<float>>& state) {
+  std::vector<std::vector<float>*> ptrs;
+  for (const auto& l : layers_) l->collect_state(ptrs);
+  if (ptrs.size() != state.size())
+    throw std::invalid_argument("snapshot/model mismatch");
+  for (std::size_t i = 0; i < ptrs.size(); ++i) *ptrs[i] = state[i];
+}
+
+util::u64 Model::macs() const {
+  util::u64 n = 0;
+  for (const auto& l : layers_) n += l->macs();
+  return n;
+}
+
+float softmax_xent(const Tensor& logits, int label, Tensor* dlogits) {
+  const int n = int(logits.v.size());
+  float mx = logits.v[0];
+  for (float v : logits.v) mx = std::max(mx, v);
+  float denom = 0.f;
+  std::vector<float> e(static_cast<std::size_t>(n), 0.f);
+  for (int i = 0; i < n; ++i) {
+    e[std::size_t(i)] = std::exp(logits.v[std::size_t(i)] - mx);
+    denom += e[std::size_t(i)];
+  }
+  const float p_label = e[std::size_t(label)] / denom;
+  if (dlogits) {
+    *dlogits = logits;
+    for (int i = 0; i < n; ++i) {
+      const float p = e[std::size_t(i)] / denom;
+      dlogits->v[std::size_t(i)] = p - (i == label ? 1.f : 0.f);
+    }
+  }
+  return -std::log(std::max(p_label, 1e-12f));
+}
+
+void train(Model& model, const Dataset& data, const TrainConfig& cfg) {
+  util::Xoshiro256 rng(cfg.seed);
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  Exec ex;
+  ex.mode = cfg.mode;
+  ex.mul = cfg.mul;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    const bool late = cfg.lr_late > 0.f && epoch >= (cfg.epochs * 3) / 5;
+    const float lr = late ? cfg.lr_late : cfg.lr;
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.below(i)]);
+    int in_batch = 0;
+    for (const std::size_t idx : order) {
+      const Sample& s = data[idx];
+      Tensor x = s.x;
+      if (cfg.augment && cfg.augment_fn) cfg.augment_fn(x, rng);
+      const Tensor logits = model.forward(x, ex);
+      Tensor dlogits;
+      softmax_xent(logits, s.label, &dlogits);
+      model.backward(dlogits);
+      if (++in_batch == cfg.batch) {
+        model.step(lr, cfg.momentum, 1.f / float(in_batch));
+        in_batch = 0;
+      }
+    }
+    if (in_batch) model.step(lr, cfg.momentum, 1.f / float(in_batch));
+  }
+}
+
+void calibrate(Model& model, const Dataset& data, int max_samples) {
+  Exec ex;
+  ex.mode = Mode::kFloat;
+  ex.calibrate = true;
+  const int n = std::min<int>(max_samples, int(data.size()));
+  for (int i = 0; i < n; ++i) model.forward(data[std::size_t(i)].x, ex);
+}
+
+EvalResult evaluate(Model& model, const Dataset& data, Mode mode,
+                    const MulTable* mul) {
+  Exec ex;
+  ex.mode = mode;
+  ex.mul = mul;
+  EvalResult r;
+  for (const auto& s : data) {
+    const Tensor logits = model.forward(s.x, ex);
+    r.loss += softmax_xent(logits, s.label, nullptr);
+    const auto it = std::max_element(logits.v.begin(), logits.v.end());
+    if (int(it - logits.v.begin()) == s.label) r.accuracy += 1.0;
+  }
+  r.accuracy /= double(data.size());
+  r.loss /= double(data.size());
+  return r;
+}
+
+Model make_resnet_mini(int in_hw, util::u64 seed) {
+  util::Xoshiro256 rng(seed);
+  (void)in_hw;
+  Model m("ResNet20-mini");
+  m.add(std::make_unique<Conv2D>(3, 8, 3, 1, rng));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<ResidualBlock>(8, 8, 1, rng));
+  m.add(std::make_unique<ResidualBlock>(8, 12, 2, rng));
+  m.add(std::make_unique<ResidualBlock>(12, 16, 2, rng));
+  m.add(std::make_unique<GlobalAvgPool>());
+  m.add(std::make_unique<Dense>(16, 10, rng));
+  return m;
+}
+
+Model make_kws_cnn1(int t, int mel, util::u64 seed) {
+  util::Xoshiro256 rng(seed);
+  Model m("KWS-CNN1");
+  m.add(std::make_unique<Conv2D>(1, 8, 3, 1, rng));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<MaxPool2>());
+  m.add(std::make_unique<Conv2D>(8, 16, 3, 1, rng));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<GlobalAvgPool>());
+  m.add(std::make_unique<Dense>(16, 10, rng));
+  (void)t;
+  (void)mel;
+  return m;
+}
+
+Model make_kws_cnn2(int t, int mel, util::u64 seed) {
+  util::Xoshiro256 rng(seed);
+  Model m("KWS-CNN2");
+  m.add(std::make_unique<Conv2D>(1, 8, 3, 1, rng));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<MaxPool2>());
+  m.add(std::make_unique<Conv2D>(8, 16, 3, 1, rng));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Conv2D>(16, 16, 3, 1, rng));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<GlobalAvgPool>());
+  m.add(std::make_unique<Dense>(16, 10, rng));
+  (void)t;
+  (void)mel;
+  return m;
+}
+
+}  // namespace nga::nn

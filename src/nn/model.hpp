@@ -1,0 +1,95 @@
+// Model container, training loop, quantization calibration, and the
+// three network topologies of Table I (scaled to laptop budgets — see
+// DESIGN.md's substitution table).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace nga::nn {
+
+/// One labelled sample.
+struct Sample {
+  Tensor x;
+  int label = 0;
+};
+
+using Dataset = std::vector<Sample>;
+
+class Model {
+ public:
+  explicit Model(std::string name) : name_(std::move(name)) {}
+
+  Model& add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  /// Forward to logits in the given execution mode.
+  Tensor forward(const Tensor& x, const Exec& ex);
+  /// Backward from dlogits; accumulates parameter gradients.
+  void backward(const Tensor& dlogits);
+  void step(float lr, float momentum, float batch_inv);
+
+  std::size_t param_count() const;
+  util::u64 macs() const;  ///< per-inference MACs (after one forward)
+  const std::string& name() const { return name_; }
+
+  /// Snapshot/restore of all weights and optimizer state — lets one
+  /// pre-trained model seed many retraining experiments (Fig. 5).
+  std::vector<std::vector<float>> snapshot();
+  void restore(const std::vector<std::vector<float>>& state);
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Softmax + cross-entropy (Eq. 1): returns loss, fills dlogits.
+float softmax_xent(const Tensor& logits, int label, Tensor* dlogits);
+
+struct TrainConfig {
+  int epochs = 5;
+  int batch = 16;
+  float lr = 0.05f;
+  /// Learning rate for the last 40% of the epochs (0 = keep lr).
+  float lr_late = 0.f;
+  float momentum = 0.9f;
+  util::u64 seed = 1;
+  Mode mode = Mode::kFloat;             ///< forward mode during training
+  const MulTable* mul = nullptr;        ///< for kQuantApprox
+  bool augment = false;                 ///< apply dataset augmentation
+  /// Augmentation hook (random flip / background noise); applied to a
+  /// copy of the sample when `augment`.
+  void (*augment_fn)(Tensor&, util::Xoshiro256&) = nullptr;
+};
+
+/// SGD training; forward runs in cfg.mode (approximate retraining runs
+/// the approximate forward with accurate-gradient backward, Eq. 2).
+void train(Model& model, const Dataset& data, const TrainConfig& cfg);
+
+/// Run float forwards over (a slice of) the data to calibrate
+/// activation ranges for quantization.
+void calibrate(Model& model, const Dataset& data, int max_samples = 128);
+
+struct EvalResult {
+  double accuracy = 0.0;
+  double loss = 0.0;
+};
+EvalResult evaluate(Model& model, const Dataset& data, Mode mode,
+                    const MulTable* mul = nullptr);
+
+// --- Table I topologies (scaled) ---------------------------------------
+
+/// Mini ResNet20: conv + 3 residual stages + GAP + dense. For 3-channel
+/// square images.
+Model make_resnet_mini(int in_hw, util::u64 seed);
+/// Keyword-spotting CNN 1 (small) for 1-channel time x mel inputs.
+Model make_kws_cnn1(int t, int mel, util::u64 seed);
+/// Keyword-spotting CNN 2 (larger, ~2.5x params of CNN1).
+Model make_kws_cnn2(int t, int mel, util::u64 seed);
+
+}  // namespace nga::nn

@@ -1,0 +1,19 @@
+#include "nn/quant.hpp"
+
+namespace nga::nn {
+
+MulTable::MulTable() {
+  for (unsigned a = 0; a < 256; ++a)
+    for (unsigned b = 0; b < 256; ++b)
+      t_[(std::size_t(a) << 8) | b] = u16(a * b);
+  exact_ = true;
+}
+
+MulTable::MulTable(const ax::ApproxMult8& m) {
+  for (unsigned a = 0; a < 256; ++a)
+    for (unsigned b = 0; b < 256; ++b)
+      t_[(std::size_t(a) << 8) | b] = m.multiply(u8(a), u8(b));
+  exact_ = false;
+}
+
+}  // namespace nga::nn

@@ -1,0 +1,57 @@
+// 8-bit linear quantization and the ProxSim-style approximate
+// multiplication hook (Section IV.A).
+//
+// Activations in these (all-ReLU, non-negative-input) nets quantize to
+// unsigned 8-bit with zero point 0; weights quantize symmetrically to
+// sign + 7-bit magnitude. A quantized MAC then becomes
+//     acc += sign(w) * mul(a_u8, |w|_u8)
+// where `mul` is either the exact product or an approximate multiplier
+// behavioural model compiled into a 64K lookup table — exactly the
+// behavioural-simulation semantics of ProxSim.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "approx/multipliers.hpp"
+
+namespace nga::nn {
+
+using util::u16;
+using util::u8;
+
+/// 64K-entry product table: the behavioural simulation of one
+/// approximate multiplier (fast enough for retraining on a laptop).
+class MulTable {
+ public:
+  /// Exact products.
+  MulTable();
+  /// Compiled from an approximate multiplier.
+  explicit MulTable(const ax::ApproxMult8& m);
+
+  u16 mul(u8 a, u8 b) const { return t_[(std::size_t(a) << 8) | b]; }
+  bool is_exact() const { return exact_; }
+
+ private:
+  std::array<u16, 65536> t_{};
+  bool exact_ = true;
+};
+
+/// Per-tensor activation range observed during float calibration.
+struct ActRange {
+  float max_abs = 1e-6f;
+  void observe(float v) {
+    const float a = v < 0 ? -v : v;
+    if (a > max_abs) max_abs = a;
+  }
+};
+
+/// Quantize a non-negative activation to u8 against a calibrated range.
+inline u8 quantize_act(float v, float scale_inv) {
+  const float q = v * scale_inv + 0.5f;
+  if (q <= 0.f) return 0;
+  if (q >= 255.f) return 255;
+  return u8(q);
+}
+
+}  // namespace nga::nn

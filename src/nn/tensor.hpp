@@ -1,0 +1,28 @@
+// Minimal dense tensor for the DNN substrate (single-sample CHW layout;
+// batching is a loop — the nets here are deliberately tiny).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace nga::nn {
+
+struct Tensor {
+  int c = 0, h = 0, w = 0;
+  std::vector<float> v;
+
+  Tensor() = default;
+  Tensor(int c_, int h_, int w_) : c(c_), h(h_), w(w_), v(std::size_t(c_ * h_ * w_), 0.f) {}
+
+  std::size_t size() const { return v.size(); }
+  float& at(int ci, int hi, int wi) {
+    return v[std::size_t((ci * h + hi) * w + wi)];
+  }
+  float at(int ci, int hi, int wi) const {
+    return v[std::size_t((ci * h + hi) * w + wi)];
+  }
+  void zero() { std::fill(v.begin(), v.end(), 0.f); }
+};
+
+}  // namespace nga::nn

@@ -1,0 +1,140 @@
+#include "opgen/constmult.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nga::og {
+
+std::vector<CsdDigit> csd_recode(u64 c) {
+  if (c == 0) return {};
+  // Classic CSD, LSB-first: a digit is -1 when the local pattern is a
+  // run of ones (x mod 4 == 3), which inserts a carry; +1 otherwise.
+  std::vector<CsdDigit> digits;
+  u64 x = c;
+  int pos = 0;
+  while (x != 0) {
+    if (x & 1) {
+      // digit is +1 if x mod 4 == 1, -1 if x mod 4 == 3
+      if ((x & 3) == 3) {
+        digits.push_back({pos, true});
+        x += 1;  // carry
+      } else {
+        digits.push_back({pos, false});
+        x -= 1;
+      }
+    }
+    x >>= 1;
+    ++pos;
+  }
+  std::reverse(digits.begin(), digits.end());  // MSB-first
+  return digits;
+}
+
+int csd_adder_count(u64 c) {
+  if (c == 0) return 0;
+  const auto d = csd_recode(c);
+  return std::max(0, int(d.size()) - 1);
+}
+
+namespace {
+i64 csd_value(const std::vector<CsdDigit>& digits) {
+  i64 v = 0;
+  for (const auto& d : digits)
+    v += d.negative ? -(i64{1} << d.shift) : (i64{1} << d.shift);
+  return v;
+}
+}  // namespace
+
+ConstMult::ConstMult(u64 constant, unsigned input_width)
+    : c_(constant), in_width_(input_width), digits_(csd_recode(constant)) {
+  if (constant == 0) throw std::invalid_argument("constant must be nonzero");
+  adders_ = std::max(0, int(digits_.size()) - 1);
+  result_width_ = input_width + unsigned(util::msb_index(constant)) + 1;
+}
+
+u64 ConstMult::evaluate(u64 x) const {
+  // Walk the CSD chain exactly as hardware would: shift-add/sub.
+  i64 acc = 0;
+  for (const auto& d : digits_) {
+    const i64 term = i64(x) << d.shift;
+    acc += d.negative ? -term : term;
+  }
+  return u64(acc);
+}
+
+int ConstMult::lut_cost() const {
+  // Each shift-add is a ripple adder of ~result_width bits; an ALM packs
+  // two adder bits, so a chain of k adders costs ~k*w/2 ALMs.
+  return adders_ * int(result_width_) / 2;
+}
+
+MultiConstMult::MultiConstMult(std::vector<u64> constants,
+                               unsigned input_width)
+    : constants_(std::move(constants)), in_width_(input_width) {
+  (void)in_width_;
+  have_[1] = true;
+  for (const u64 c : constants_) {
+    if (c == 0) continue;
+    build_term(c >> util::ctz64(c));
+  }
+}
+
+u64 MultiConstMult::build_term(u64 odd_term) {
+  if (have_.count(odd_term)) return odd_term;
+  const auto digits = csd_recode(odd_term);
+  if (digits.size() < 2) {
+    have_[odd_term] = true;  // power of two: free
+    return odd_term;
+  }
+  // Split the CSD digits in half; each half is a sub-sum we can build
+  // recursively and (by memoization) share across constants.
+  const std::size_t mid = digits.size() / 2;
+  std::vector<CsdDigit> dhi(digits.begin(), digits.begin() + long(mid));
+  std::vector<CsdDigit> dlo(digits.begin() + long(mid), digits.end());
+  i64 hi = csd_value(dhi);  // leading digit positive => hi > 0
+  i64 lo = csd_value(dlo);
+  const bool subtract = lo < 0;
+  if (subtract) lo = -lo;
+  if (lo == 0 || hi == 0)
+    throw std::logic_error("degenerate CSD split");
+  const int hsh = util::ctz64(u64(hi));
+  const int lsh = util::ctz64(u64(lo));
+  const u64 hodd = u64(hi) >> hsh;
+  const u64 lodd = u64(lo) >> lsh;
+  build_term(hodd);
+  build_term(lodd);
+  nodes_.push_back(Node{odd_term, hodd, lodd, hsh, lsh, subtract});
+  have_[odd_term] = true;
+  return odd_term;
+}
+
+std::vector<u64> MultiConstMult::evaluate(u64 x) const {
+  std::map<u64, u64> value;
+  value[1] = x;
+  // Power-of-two fundamentals registered without nodes evaluate to x.
+  for (const auto& n : nodes_) {
+    const i64 hterm = i64(value.at(n.lhs)) << n.lshift;
+    const i64 lterm = i64(value.at(n.rhs)) << n.rshift;
+    value[n.term] = u64(n.subtract ? hterm - lterm : hterm + lterm);
+  }
+  std::vector<u64> out;
+  out.reserve(constants_.size());
+  for (const u64 c : constants_) {
+    if (c == 0) {
+      out.push_back(0);
+      continue;
+    }
+    const int sh = util::ctz64(c);
+    out.push_back(value.at(c >> sh) << sh);
+  }
+  return out;
+}
+
+int MultiConstMult::unshared_adders() const {
+  int total = 0;
+  for (const u64 c : constants_)
+    if (c) total += csd_adder_count(c >> util::ctz64(c));
+  return total;
+}
+
+}  // namespace nga::og

@@ -1,0 +1,92 @@
+// Operator specialization: multiplication by a constant (Section II.A).
+//
+// A constant multiplier needs no general multiplier: the constant's
+// canonical signed digit (CSD) recoding turns it into a short chain of
+// shift-and-add/subtract operations. The multiple-constant case (MCM)
+// shares intermediate terms across constants — the paper's "operator
+// sharing" opportunity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace nga::og {
+
+using util::i64;
+using util::u64;
+
+/// One signed digit of a CSD recoding: value +-1 at bit position `shift`.
+struct CsdDigit {
+  int shift = 0;
+  bool negative = false;
+};
+
+/// Canonical signed digit recoding of @p c (c > 0): no two adjacent
+/// nonzero digits; minimal number of nonzero digits among radix-2
+/// signed-digit representations.
+std::vector<CsdDigit> csd_recode(u64 c);
+
+/// Number of adders a shift-add chain needs for constant @p c
+/// (= nonzero CSD digits - 1; 0 for powers of two).
+int csd_adder_count(u64 c);
+
+/// Single-constant multiplier: evaluates x*c through the CSD chain
+/// (bit-exact, for verification) and reports its cost.
+class ConstMult {
+ public:
+  ConstMult(u64 constant, unsigned input_width);
+
+  u64 constant() const { return c_; }
+  /// Evaluate through the chain (must equal x * c exactly).
+  u64 evaluate(u64 x) const;
+  int adders() const { return adders_; }
+  /// LUT-level cost estimate: each adder is result_width LUTs/ALMs.
+  int lut_cost() const;
+  unsigned result_width() const { return result_width_; }
+
+ private:
+  u64 c_;
+  unsigned in_width_;
+  unsigned result_width_;
+  int adders_;
+  std::vector<CsdDigit> digits_;
+};
+
+/// Multiple-constant multiplication with common-subexpression sharing:
+/// builds a DAG of "fundamental" odd terms; identical intermediate
+/// terms are created once and shared (the paper's operator-sharing
+/// example, after Kumm's ILP-based MCM line of work, here with a greedy
+/// common-subexpression heuristic).
+class MultiConstMult {
+ public:
+  MultiConstMult(std::vector<u64> constants, unsigned input_width);
+
+  /// x*c for each constant (bit-exact through the shared DAG).
+  std::vector<u64> evaluate(u64 x) const;
+  /// Total adders with sharing.
+  int shared_adders() const { return int(nodes_.size()); }
+  /// Total adders if each constant were built independently.
+  int unshared_adders() const;
+  const std::vector<u64>& constants() const { return constants_; }
+
+ private:
+  struct Node {  // term = (lhs << lshift) +- (rhs << rshift)
+    u64 term;    // odd positive fundamental this node produces
+    u64 lhs, rhs;
+    int lshift, rshift;
+    bool subtract;
+  };
+  /// Ensure an odd fundamental term exists in the DAG; returns its value.
+  u64 build_term(u64 odd_term);
+
+  std::vector<u64> constants_;
+  unsigned in_width_;
+  std::vector<Node> nodes_;
+  std::map<u64, bool> have_;  // odd fundamentals already built (1 is free)
+};
+
+}  // namespace nga::og

@@ -1,0 +1,219 @@
+#include "opgen/funcapprox.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace nga::og {
+
+int rom_lut6_cost(unsigned abits, unsigned wbits) {
+  // A 6-LUT holds 64 bits: a 2^a x w ROM costs w * 2^(a-6) LUTs for
+  // a >= 6; below that one LUT per output bit (fractional LUT use).
+  const u64 per_bit = abits >= 6 ? (u64{1} << (abits - 6)) : 1;
+  return int(per_bit * wbits);
+}
+
+// --- PlainTable ---------------------------------------------------------
+
+PlainTable::PlainTable(const std::function<double(double)>& f, unsigned win,
+                       fx::FixFormat out)
+    : win_(win), out_(out) {
+  if (win > 24) throw std::invalid_argument("table too large");
+  table_.resize(std::size_t(1) << win);
+  const double step = std::ldexp(1.0, -int(win));
+  for (u64 i = 0; i < table_.size(); ++i)
+    table_[i] = fx::FixValue::quantize(f(double(i) * step), out_).mantissa;
+}
+
+double PlainTable::max_error_ulp(
+    const std::function<double(double)>& f) const {
+  const double step = std::ldexp(1.0, -int(win_));
+  double worst = 0.0;
+  for (u64 i = 0; i < table_.size(); ++i) {
+    const double err =
+        std::fabs(double(table_[i]) * out_.ulp() - f(double(i) * step));
+    worst = std::max(worst, err / out_.ulp());
+  }
+  return worst;
+}
+
+TableCost PlainTable::cost() const {
+  TableCost c;
+  c.table_bits = (u64{1} << win_) * unsigned(out_.width());
+  c.lut6 = rom_lut6_cost(win_, unsigned(out_.width()));
+  return c;
+}
+
+// --- BipartiteTable -----------------------------------------------------
+
+BipartiteTable::BipartiteTable(const std::function<double(double)>& f,
+                               unsigned win, fx::FixFormat out, unsigned a,
+                               unsigned b, unsigned c)
+    : win_(win), a_(a), b_(b), c_(c), out_(out) {
+  if (a + b + c != win) throw std::invalid_argument("split must cover input");
+  const double step = std::ldexp(1.0, -int(win));
+  const u64 nb = u64{1} << b, nc = u64{1} << c;
+  // Both tables carry kGuard extra fraction bits so their rounding
+  // errors stay well under the final output ulp ("computing just
+  // right": the guard bits exist only where the error analysis needs
+  // them, and the final rounding removes them).
+  fx::FixFormat tiv_fmt = out_;
+  tiv_fmt.lsb -= int(kGuard);
+  // TIV[xh|xm]: f at the centre of the xl range.
+  tiv_.resize(std::size_t(1) << (a + b));
+  for (u64 hm = 0; hm < tiv_.size(); ++hm) {
+    const double x = double((hm << c) + nc / 2) * step;
+    tiv_[hm] = fx::FixValue::quantize(f(x), tiv_fmt).mantissa;
+  }
+  // TO[xh|xl]: xm-averaged residual (signed, small magnitude).
+  to_fmt_ = out_;
+  to_fmt_.lsb -= int(kGuard);
+  to_fmt_.msb = out_.lsb + 9;  // residuals are small...
+  to_fmt_.is_signed = true;    // ...and signed (negative for decreasing f)
+  to_.resize(std::size_t(1) << (a + c));
+  for (u64 h = 0; h < (u64{1} << a); ++h) {
+    for (u64 l = 0; l < nc; ++l) {
+      double acc = 0.0;
+      for (u64 m = 0; m < nb; ++m) {
+        const u64 idx = (h << (b + c)) | (m << c) | l;
+        const u64 mid = (h << (b + c)) | (m << c) | (nc / 2);
+        acc += f(double(idx) * step) - f(double(mid) * step);
+      }
+      to_[(h << c) | l] =
+          fx::FixValue::quantize(acc / double(nb), to_fmt_).mantissa;
+    }
+  }
+}
+
+i64 BipartiteTable::lookup(u64 index) const {
+  const u64 l = index & util::mask64(c_);
+  const u64 m = (index >> c_) & util::mask64(b_);
+  const u64 h = index >> (b_ + c_);
+  const i64 tiv = tiv_[(h << b_) | m];
+  const i64 to = to_[(h << c_) | l];
+  // Round the guarded sum to the output grid (round-to-nearest).
+  const i64 sum = tiv + to;  // both in out.lsb - kGuard units
+  return (sum + (i64{1} << (kGuard - 1))) >> kGuard;
+}
+
+double BipartiteTable::max_error_ulp(
+    const std::function<double(double)>& f) const {
+  const double step = std::ldexp(1.0, -int(win_));
+  double worst = 0.0;
+  for (u64 i = 0; i < (u64{1} << win_); ++i) {
+    const double err =
+        std::fabs(double(lookup(i)) * out_.ulp() - f(double(i) * step));
+    worst = std::max(worst, err / out_.ulp());
+  }
+  return worst;
+}
+
+TableCost BipartiteTable::cost() const {
+  TableCost t;
+  t.table_bits = (u64{1} << (a_ + b_)) * unsigned(out_.width() + int(kGuard)) +
+                 (u64{1} << (a_ + c_)) * unsigned(to_fmt_.width());
+  t.lut6 = rom_lut6_cost(a_ + b_, unsigned(out_.width() + int(kGuard))) +
+           rom_lut6_cost(a_ + c_, unsigned(to_fmt_.width())) +
+           out_.width();  // the adder
+  t.adders = 1;
+  return t;
+}
+
+BipartiteTable BipartiteTable::explore(const std::function<double(double)>& f,
+                                       unsigned win, fx::FixFormat out,
+                                       double max_ulp) {
+  // Enumerate (a,b,c) splits; keep the cheapest faithful one. The plain
+  // table is the fallback encoded as (win, 0, 0).
+  double best_cost = std::numeric_limits<double>::infinity();
+  unsigned best_a = win, best_b = 0, best_c = 0;
+  for (unsigned a = 1; a + 2 <= win; ++a)
+    for (unsigned b = 1; a + b + 1 <= win; ++b) {
+      const unsigned c = win - a - b;
+      const BipartiteTable cand(f, win, out, a, b, c);
+      if (cand.max_error_ulp(f) >= max_ulp) continue;
+      const double cost = double(cand.cost().table_bits);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_a = a;
+        best_b = b;
+        best_c = c;
+      }
+    }
+  if (best_b == 0) {
+    // Degenerate fallback: behave like a plain table via b=win-a-c with
+    // c=0 is not allowed by the ctor, so pick the largest-b split even
+    // if unfaithful — callers should check max_error_ulp. In practice
+    // smooth functions always admit a faithful split.
+    return BipartiteTable(f, win, out, 1, win - 2, 1);
+  }
+  return BipartiteTable(f, win, out, best_a, best_b, best_c);
+}
+
+// --- PiecewisePoly ------------------------------------------------------
+
+PiecewisePoly::PiecewisePoly(const std::function<double(double)>& f,
+                             unsigned win, fx::FixFormat out,
+                             unsigned seg_bits, unsigned coeff_frac)
+    : win_(win), seg_bits_(seg_bits), coeff_frac_(coeff_frac), out_(out) {
+  if (seg_bits >= win) throw std::invalid_argument("segment bits too large");
+  const u64 nseg = u64{1} << seg_bits;
+  const double seg_w = std::ldexp(1.0, -int(seg_bits));
+  segs_.resize(nseg);
+  const double q = std::ldexp(1.0, int(coeff_frac));
+  for (u64 s = 0; s < nseg; ++s) {
+    // Fit through three points of the segment (t = 0, 1/2, 1): a simple
+    // exact-interpolation quadratic, then quantize coefficients.
+    const double x0 = double(s) * seg_w;
+    const double y0 = f(x0);
+    const double ym = f(x0 + seg_w * 0.5);
+    const double y1 = f(x0 + seg_w * (1.0 - std::ldexp(1.0, -8)));
+    const double c2 = 2.0 * (y1 - 2.0 * ym + y0);
+    const double c1 = -y1 + 4.0 * ym - 3.0 * y0;
+    const double c0 = y0;
+    segs_[s] = {i64(std::nearbyint(c0 * q)), i64(std::nearbyint(c1 * q)),
+                i64(std::nearbyint(c2 * q))};
+  }
+}
+
+i64 PiecewisePoly::lookup(u64 index) const {
+  const unsigned tbits = win_ - seg_bits_;
+  const u64 s = index >> tbits;
+  const u64 t = index & util::mask64(tbits);  // in [0, 2^tbits)
+  const auto& cf = segs_[s];
+  // Horner in fixed point: t as Q0.tbits; coefficients Q*.coeff_frac.
+  // acc = c2*t (keep coeff_frac fraction bits after each step)
+  i64 acc = (cf.c2 * i64(t)) >> tbits;
+  acc = cf.c1 + acc;
+  acc = (acc * i64(t)) >> tbits;
+  acc = cf.c0 + acc;
+  // Convert from coeff_frac to the output lsb with RNE-ish rounding.
+  const int shift = int(coeff_frac_) + out_.lsb;  // out.lsb negative
+  if (shift <= 0) return acc << -shift;
+  return (acc + (i64{1} << (shift - 1))) >> shift;
+}
+
+double PiecewisePoly::max_error_ulp(
+    const std::function<double(double)>& f) const {
+  const double step = std::ldexp(1.0, -int(win_));
+  double worst = 0.0;
+  for (u64 i = 0; i < (u64{1} << win_); ++i) {
+    const double err =
+        std::fabs(double(lookup(i)) * out_.ulp() - f(double(i) * step));
+    worst = std::max(worst, err / out_.ulp());
+  }
+  return worst;
+}
+
+TableCost PiecewisePoly::cost() const {
+  TableCost t;
+  const unsigned cw = coeff_frac_ + 4;  // coefficient width estimate
+  t.table_bits = (u64{1} << seg_bits_) * 3 * cw;
+  const unsigned tbits = win_ - seg_bits_;
+  t.lut6 = rom_lut6_cost(seg_bits_, 3 * cw) +
+           int(cw * tbits) +  // two truncated multipliers, ~w1*w2/2 each
+           int(cw * tbits) / 2 + 2 * int(out_.width());
+  t.adders = 2;
+  return t;
+}
+
+}  // namespace nga::og

@@ -1,0 +1,113 @@
+// Function approximation generators (Section II.A):
+//   * PlainTable    — full tabulation (the FPGA-friendly baseline);
+//   * BipartiteTable— table-and-addition method: two smaller tables whose
+//                     sum faithfully approximates f, with a parameter-
+//                     space exploration picking the cheapest faithful
+//                     split ("computing just right");
+//   * PiecewisePoly — degree-2 polynomial segments with quantized
+//                     coefficients and a Horner datapath.
+//
+// All generators approximate y = f(x) for x in [0,1) on a win-bit input
+// grid, producing mantissas in an output FixFormat. Every generator can
+// report its exhaustive worst-case error in output ulps — the error
+// analysis the FloPoCo methodology requires — and an FPGA cost estimate.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fixedpoint/fixed.hpp"
+#include "util/bits.hpp"
+
+namespace nga::og {
+
+using util::i64;
+using util::u64;
+
+/// Cost of a table-based operator on a 6-LUT FPGA target.
+struct TableCost {
+  u64 table_bits = 0;   ///< total ROM bits
+  int lut6 = 0;         ///< 6-LUT estimate (ROM + adders)
+  int adders = 0;       ///< word-level additions in the datapath
+};
+
+/// FPGA 6-LUT count for a (2^abits x wbits) ROM.
+int rom_lut6_cost(unsigned abits, unsigned wbits);
+
+/// Full tabulation of f on a win-bit input, correctly rounded per entry
+/// (error <= 0.5 ulp by construction).
+class PlainTable {
+ public:
+  PlainTable(const std::function<double(double)>& f, unsigned win,
+             fx::FixFormat out);
+
+  i64 lookup(u64 index) const { return table_[index]; }
+  unsigned input_bits() const { return win_; }
+  const fx::FixFormat& out_format() const { return out_; }
+  double max_error_ulp(const std::function<double(double)>& f) const;
+  TableCost cost() const;
+
+ private:
+  unsigned win_;
+  fx::FixFormat out_;
+  std::vector<i64> table_;
+};
+
+/// Bipartite (table + addition) approximation:
+///   x = (xh | xm | xl) with a+b+c = win bits,
+///   f(x) ~= TIV[xh,xm] + TO[xh,xl].
+/// TIV samples f at the centre of each xl-range; TO stores the
+/// xm-averaged residual. Faithfulness is *verified exhaustively*, not
+/// assumed.
+class BipartiteTable {
+ public:
+  BipartiteTable(const std::function<double(double)>& f, unsigned win,
+                 fx::FixFormat out, unsigned a, unsigned b, unsigned c);
+
+  i64 lookup(u64 index) const;
+  double max_error_ulp(const std::function<double(double)>& f) const;
+  TableCost cost() const;
+  unsigned a() const { return a_; }
+  unsigned b() const { return b_; }
+  unsigned c() const { return c_; }
+
+  /// Parameter-space exploration: the cheapest (a,b,c) split whose
+  /// exhaustive error stays below @p max_ulp output ulps. Returns
+  /// nullopt-like empty vector if none beats plain tabulation.
+  static BipartiteTable explore(const std::function<double(double)>& f,
+                                unsigned win, fx::FixFormat out,
+                                double max_ulp = 1.0);
+
+ private:
+  static constexpr unsigned kGuard = 2;  ///< extra fraction bits in ROM
+  unsigned win_, a_, b_, c_;
+  fx::FixFormat out_;
+  fx::FixFormat to_fmt_;
+  std::vector<i64> tiv_;  // indexed by (xh|xm)
+  std::vector<i64> to_;   // indexed by (xh|xl)
+};
+
+/// Degree-2 piecewise polynomial: the input's top s bits select a
+/// segment; the remainder t in [0,1) evaluates c0 + t*(c1 + t*c2) with
+/// quantized coefficients (Horner, two multipliers — the "polynomial
+/// approximation thanks to multipliers" point of Section II).
+class PiecewisePoly {
+ public:
+  PiecewisePoly(const std::function<double(double)>& f, unsigned win,
+                fx::FixFormat out, unsigned seg_bits, unsigned coeff_frac);
+
+  i64 lookup(u64 index) const;
+  double max_error_ulp(const std::function<double(double)>& f) const;
+  TableCost cost() const;
+  unsigned segments() const { return 1u << seg_bits_; }
+
+ private:
+  unsigned win_, seg_bits_, coeff_frac_;
+  fx::FixFormat out_;
+  struct Coeffs {
+    i64 c0, c1, c2;
+  };
+  std::vector<Coeffs> segs_;
+};
+
+}  // namespace nga::og

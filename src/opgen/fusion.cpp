@@ -1,0 +1,24 @@
+#include "opgen/fusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nga::og {
+
+double FusedNorm::max_error_ulp(bool fused) const {
+  const i64 lim = i64{1} << w_;
+  const i64 stride = w_ <= 8 ? 1 : (i64{1} << (w_ - 8));
+  const double ulp = std::ldexp(1.0, -int(w_));
+  double worst = 0.0;
+  for (i64 x = -lim + 1; x < lim; x += stride)
+    for (i64 y = -lim + 1; y < lim; y += stride) {
+      if (x == 0 && y == 0) continue;
+      const double xd = double(x) * ulp, yd = double(y) * ulp;
+      const double exact = xd / std::hypot(xd, yd);
+      const i64 got = fused ? evaluate(x, y) : evaluate_composed(x, y);
+      worst = std::max(worst, std::fabs(double(got) * ulp - exact) / ulp);
+    }
+  return worst;
+}
+
+}  // namespace nga::og

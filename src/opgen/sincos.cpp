@@ -1,0 +1,123 @@
+#include "opgen/sincos.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "opgen/funcapprox.hpp"
+
+namespace nga::og {
+
+namespace {
+constexpr double kPi4 = std::numbers::pi / 4.0;
+}
+
+SinCosOperator::SinCosOperator(unsigned w, unsigned a, unsigned g)
+    : w_(w), a_(a), g_(g), p_(w + g) {
+  if (a >= w || w > 20) throw std::invalid_argument("bad parameters");
+  kpi_ = i64(std::nearbyint(kPi4 * std::ldexp(1.0, int(p_ + kKg - w_))));
+  const u64 na = u64{1} << a;
+  sin_table_.resize(na);
+  cos_table_.resize(na);
+  const double scale = std::ldexp(1.0, int(p_));
+  for (u64 i = 0; i < na; ++i) {
+    const double theta = kPi4 * double(i) / double(na);
+    sin_table_[i] = i64(std::nearbyint(std::sin(theta) * scale));
+    cos_table_[i] = i64(std::nearbyint(std::cos(theta) * scale));
+  }
+}
+
+SinCosResult SinCosOperator::evaluate(u64 x) const {
+  const unsigned ybits = w_ - a_;
+  const u64 ia = x >> ybits;
+  const u64 y = x & util::mask64(ybits);
+  const i64 sin_a = sin_table_[ia];
+  const i64 cos_a = cos_table_[ia];
+
+  // theta_Y = (pi/4) * y * 2^-w, as a Q0.p mantissa via the constant
+  // multiplier (truncating the kKg guard bits of the pi constant).
+  const i64 theta = i64((u64(y) * u64(kpi_)) >> kKg);
+
+  // sin(theta_Y) ~= theta - theta^3/6; cos ~= 1 - theta^2/2.
+  // theta < (pi/4) 2^-a * 2^p, so theta^2 >> p stays well in range.
+  const i64 th2 = i64((__int128(theta) * theta) >> p_);
+  const i64 th3 = i64((__int128(th2) * theta) >> p_);
+  const i64 sin_y = theta - th3 / 6;
+  const i64 one = i64{1} << p_;
+  const i64 cos_y = one - (th2 >> 1);
+
+  // Angle addition with truncated multipliers (keep p fraction bits).
+  auto tmul = [&](i64 u, i64 v) { return i64((__int128(u) * v) >> p_); };
+  const i64 s = tmul(sin_a, cos_y) + tmul(cos_a, sin_y);
+  const i64 c = tmul(cos_a, cos_y) - tmul(sin_a, sin_y);
+
+  // Round from p to w fraction bits.
+  const i64 half = i64{1} << (g_ - 1);
+  SinCosResult r;
+  r.sin_mant = (s + half) >> g_;
+  r.cos_mant = (c + half) >> g_;
+  // cos(0)=1 needs w+1 bits; clamp to the inclusive top code (the
+  // operator's documented output format is Q0.w with saturation at 1-ulp,
+  // matching the usual "scaled" FloPoCo convention).
+  const i64 top = (i64{1} << w_) - 1;
+  if (r.cos_mant > top) r.cos_mant = top;
+  if (r.sin_mant > top) r.sin_mant = top;
+  return r;
+}
+
+double SinCosOperator::max_error_ulp() const {
+  double worst = 0.0;
+  const double ulp = std::ldexp(1.0, -int(w_));
+  for (u64 x = 0; x < (u64{1} << w_); ++x) {
+    const double theta = kPi4 * double(x) * ulp;
+    const auto r = evaluate(x);
+    const double es = std::fabs(double(r.sin_mant) * ulp - std::sin(theta));
+    double ec = std::fabs(double(r.cos_mant) * ulp - std::cos(theta));
+    // The clamped cos(0)~1 code is allowed its half-ulp saturation.
+    if (x == 0) ec = 0.0;
+    worst = std::max({worst, es / ulp, ec / ulp});
+  }
+  return worst;
+}
+
+SinCosCost SinCosOperator::cost() const {
+  SinCosCost c;
+  c.table_bits = 2 * (u64{1} << a_) * p_;
+  c.lut6 = 2 * rom_lut6_cost(a_, p_);
+  c.multipliers = 4;  // the angle-addition products
+  const unsigned ybits = w_ - a_;
+  // Truncated multiplier LUT model ~ w1*w2/2, plus the small residual
+  // polynomial (squarer + cuber on theta_Y widths) and the constant mult.
+  c.mult_lut6 = int(4 * (p_ * p_) / 2 + 2 * (ybits * ybits) / 2 +
+                    (ybits * (p_ + kKg - w_)));
+  c.lut6 += c.mult_lut6 + 2 * int(p_);  // final adders
+  return c;
+}
+
+SinCosOperator SinCosOperator::generate(unsigned w) {
+  // Explore the table/multiplier trade-off; pick the cheapest faithful
+  // instance (error < 1 ulp on both channels, exhaustively measured).
+  double best_cost = 0;
+  bool have = false;
+  unsigned best_a = 0, best_g = 0;
+  const unsigned a_lo = w >= 12 ? 4u : 2u;
+  for (unsigned a = a_lo; a + 2 <= w && a <= 12; ++a) {
+    for (unsigned g = 2; g <= 6; ++g) {
+      const SinCosOperator cand(w, a, g);
+      if (cand.max_error_ulp() >= 1.0) continue;
+      const auto cc = cand.cost();
+      const double cost = double(cc.lut6);
+      if (!have || cost < best_cost) {
+        have = true;
+        best_cost = cost;
+        best_a = a;
+        best_g = g;
+      }
+      break;  // larger g only costs more at this a
+    }
+  }
+  if (!have) throw std::runtime_error("no faithful sincos instance found");
+  return SinCosOperator(w, best_a, best_g);
+}
+
+}  // namespace nga::og

@@ -1,0 +1,69 @@
+// Parametric fixed-point sine+cosine operator (Fig. 1).
+//
+// Computes sin(theta) and cos(theta) for theta = (pi/4) * x, x a w-bit
+// unsigned fixed-point in [0,1). The architecture follows the paper's
+// figure: the input splits into a table-indexing sub-word A and a
+// residual Y; sin/cos of the A angle come from tables, sin/cos of the
+// small Y angle from a short polynomial, and four truncated multipliers
+// combine them through the angle-addition formulas. Every internal
+// bit-width is set by the generator ("computing just right"): the
+// sub-word size A trades table size against multiplier size, and the
+// guard-bit count is chosen so the *exhaustively measured* error stays
+// faithful (< 1 output ulp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace nga::og {
+
+using util::i64;
+using util::u64;
+
+struct SinCosResult {
+  i64 sin_mant = 0;  ///< Q0.w unsigned mantissa of sin((pi/4)x)
+  i64 cos_mant = 0;  ///< Q0.w unsigned mantissa of cos((pi/4)x)
+};
+
+struct SinCosCost {
+  u64 table_bits = 0;
+  int lut6 = 0;
+  int multipliers = 0;     ///< truncated soft multipliers in the datapath
+  int mult_lut6 = 0;       ///< their LUT share
+};
+
+/// One generated operator instance with fixed parameters (a = table
+/// index bits, g = guard bits).
+class SinCosOperator {
+ public:
+  SinCosOperator(unsigned w, unsigned a, unsigned g);
+
+  /// Bit-exact datapath evaluation for input mantissa x (w bits).
+  SinCosResult evaluate(u64 x) const;
+
+  /// Exhaustive worst-case error over all 2^w inputs, in output ulps
+  /// (max over the sin and cos channels).
+  double max_error_ulp() const;
+
+  SinCosCost cost() const;
+  unsigned w() const { return w_; }
+  unsigned a() const { return a_; }
+  unsigned g() const { return g_; }
+
+  /// Parameter-space exploration: scans (a, g) and returns the
+  /// cheapest faithful instance — the generator's "choose the value of
+  /// all these parameters" step.
+  static SinCosOperator generate(unsigned w);
+
+ private:
+  unsigned w_, a_, g_;
+  unsigned p_;  ///< internal fraction bits = w + g
+  i64 kpi_;     ///< round(pi/4 * 2^(p+kg)) constant-multiplier value
+  static constexpr unsigned kKg = 6;  ///< guard bits of the pi constant
+  std::vector<i64> sin_table_;  // Q0.p entries for the A angles
+  std::vector<i64> cos_table_;
+};
+
+}  // namespace nga::og

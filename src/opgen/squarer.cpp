@@ -1,0 +1,36 @@
+#include "opgen/squarer.hpp"
+
+#include <vector>
+
+namespace nga::og {
+
+hw::Netlist build_squarer(unsigned n, bh::Strategy strategy) {
+  hw::Netlist nl;
+  std::vector<int> x(n);
+  for (auto& b : x) b = nl.add_input();
+  bh::BitHeap heap(nl);
+  for (unsigned i = 0; i < n; ++i) {
+    heap.add_bit(int(2 * i), x[i]);  // diagonal: x_i * x_i = x_i
+    for (unsigned j = i + 1; j < n; ++j)
+      heap.add_bit(int(i + j + 1), nl.and_(x[i], x[j]));  // folded pair
+  }
+  auto sum = heap.compress(strategy);
+  sum.resize(2 * n, nl.constant(false));
+  for (unsigned i = 0; i < 2 * n; ++i) nl.mark_output(sum[i]);
+  return nl;
+}
+
+hw::Netlist build_heap_multiplier(unsigned n, bh::Strategy strategy) {
+  hw::Netlist nl;
+  std::vector<int> a(n), b(n);
+  for (auto& x : a) x = nl.add_input();
+  for (auto& x : b) x = nl.add_input();
+  bh::BitHeap heap(nl);
+  heap.add_product(0, a, b);
+  auto sum = heap.compress(strategy);
+  sum.resize(2 * n, nl.constant(false));
+  for (unsigned i = 0; i < 2 * n; ++i) nl.mark_output(sum[i]);
+  return nl;
+}
+
+}  // namespace nga::og

@@ -1,0 +1,22 @@
+// Operator specialization: the squarer (Section II.A).
+//
+// x*x has a symmetric partial-product array: p_ij == p_ji fold into one
+// bit of weight 2^(i+j+1), and the diagonal p_ii = x_i (AND of a bit
+// with itself). Roughly half the partial products of a generic
+// multiplier disappear before compression even starts.
+#pragma once
+
+#include "bitheap/bitheap.hpp"
+#include "hwmodel/netlist.hpp"
+
+namespace nga::og {
+
+/// Gate-level n-bit squarer built on a bit heap; inputs x[0..n-1],
+/// outputs the 2n product bits.
+hw::Netlist build_squarer(unsigned n, bh::Strategy strategy);
+
+/// Generic multiplier of the same width for comparison (also heap-based
+/// so the comparison isolates the specialization, not the adder style).
+hw::Netlist build_heap_multiplier(unsigned n, bh::Strategy strategy);
+
+}  // namespace nga::og

@@ -1,0 +1,106 @@
+// Elementary functions and integer conversions for posits.
+//
+// Functions are computed through double intermediates and rounded onto
+// the posit lattice once. For N <= 32 the double carries at least 23
+// more significand bits than the posit, so results are faithful
+// (< 1 ulp) and in practice correctly rounded except within a hair of
+// a tie; tests bound the error against __float128 references. NaR
+// propagates; domain errors (log of a negative, etc.) produce NaR.
+#pragma once
+
+#include <cmath>
+
+#include "posit/posit.hpp"
+
+namespace nga::ps {
+
+namespace detail {
+template <unsigned N, unsigned ES, class F>
+posit<N, ES> lift(posit<N, ES> x, F&& f) {
+  static_assert(N <= 32, "double intermediates need 21+ guard bits");
+  if (x.is_nar()) return posit<N, ES>::nar();
+  const double r = f(x.to_double());
+  if (std::isnan(r) || std::isinf(r)) return posit<N, ES>::nar();
+  return posit<N, ES>::from_double(r);
+}
+}  // namespace detail
+
+template <unsigned N, unsigned ES>
+posit<N, ES> exp(posit<N, ES> x) {
+  return detail::lift(x, [](double v) { return std::exp(v); });
+}
+template <unsigned N, unsigned ES>
+posit<N, ES> log(posit<N, ES> x) {
+  return detail::lift(x, [](double v) { return std::log(v); });
+}
+template <unsigned N, unsigned ES>
+posit<N, ES> log2(posit<N, ES> x) {
+  return detail::lift(x, [](double v) { return std::log2(v); });
+}
+template <unsigned N, unsigned ES>
+posit<N, ES> sin(posit<N, ES> x) {
+  return detail::lift(x, [](double v) { return std::sin(v); });
+}
+template <unsigned N, unsigned ES>
+posit<N, ES> cos(posit<N, ES> x) {
+  return detail::lift(x, [](double v) { return std::cos(v); });
+}
+template <unsigned N, unsigned ES>
+posit<N, ES> tanh(posit<N, ES> x) {
+  return detail::lift(x, [](double v) { return std::tanh(v); });
+}
+template <unsigned N, unsigned ES>
+posit<N, ES> atan(posit<N, ES> x) {
+  return detail::lift(x, [](double v) { return std::atan(v); });
+}
+template <unsigned N, unsigned ES>
+posit<N, ES> pow(posit<N, ES> x, posit<N, ES> y) {
+  if (x.is_nar() || y.is_nar()) return posit<N, ES>::nar();
+  const double r = std::pow(x.to_double(), y.to_double());
+  if (std::isnan(r) || std::isinf(r)) return posit<N, ES>::nar();
+  return posit<N, ES>::from_double(r);
+}
+
+/// Reciprocal: correctly rounded (via the division path, not double).
+template <unsigned N, unsigned ES>
+posit<N, ES> recip(posit<N, ES> x) {
+  return posit<N, ES>::div(posit<N, ES>::one(), x);
+}
+
+/// Round to the nearest integer (ties to even), staying a posit.
+template <unsigned N, unsigned ES>
+posit<N, ES> rint(posit<N, ES> x) {
+  if (x.is_nar()) return x;
+  return posit<N, ES>::from_double(std::nearbyint(x.to_double()));
+}
+
+/// Convert to a signed 64-bit integer (RNE; saturates at the int64
+/// range; NaR maps to the most negative integer, matching the posit
+/// standard's convention).
+template <unsigned N, unsigned ES>
+util::i64 to_int(posit<N, ES> x) {
+  if (x.is_nar()) return std::numeric_limits<util::i64>::min();
+  const double v = std::nearbyint(x.to_double());
+  if (v >= 9.2233720368547758e18) return std::numeric_limits<util::i64>::max();
+  if (v <= -9.2233720368547758e18) return std::numeric_limits<util::i64>::min();
+  return util::i64(v);
+}
+
+/// Convert from a signed integer with one rounding.
+template <unsigned N, unsigned ES>
+posit<N, ES> from_int(util::i64 v) {
+  if (v == 0) return posit<N, ES>::zero();
+  const bool neg = v < 0;
+  const util::u64 mag = neg ? util::u64(-(v + 1)) + 1 : util::u64(v);
+  const int top = util::msb_index(mag);
+  util::u64 sig;
+  bool sticky = false;
+  if (top >= 63) {
+    sig = mag;  // top == 63
+  } else {
+    sig = mag << (63 - top);
+  }
+  return posit<N, ES>::round_pack(neg, top, sig, sticky);
+}
+
+}  // namespace nga::ps

@@ -1,0 +1,477 @@
+// Posit arithmetic (Gustafson & Yonemoto, 2017) — the Section V format.
+//
+// `posit<N,ES>` is a tapered-precision number on a two's-complement ring:
+//   * 0   encodes as 00...0, NaR (Not-a-Real) as 10...0 — the only two
+//     exception values (Fig. 7 of the paper);
+//   * a positive value has fields  0 | regime | exponent(ES) | fraction
+//     where the regime is a run of identical bits encoding a power of
+//     useed = 2^(2^ES);
+//   * a negative value is the two's complement of its magnitude's
+//     encoding, so integer compare IS posit compare and negation IS
+//     two's-complement negation (both exploited by the paper and both
+//     property-tested exhaustively in tests/posit/).
+//
+// Rounding follows the posit standard: round-to-nearest, ties-to-even on
+// the encoding lattice; magnitudes above maxpos saturate to maxpos and
+// magnitudes below minpos saturate to minpos — a posit operation never
+// overflows to NaR and never underflows to zero.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "util/bits.hpp"
+#include "util/wideint.hpp"
+
+namespace nga::ps {
+
+using util::i128;
+using util::i64;
+using util::u128;
+using util::u64;
+
+/// Decoded posit fields; value = (-1)^sign * (sig/2^63) * 2^scale with
+/// sig normalized so bit 63 is the hidden bit.
+struct PositUnpacked {
+  bool sign = false;
+  int scale = 0;
+  u64 sig = 0;
+  bool is_zero = false;
+  bool is_nar = false;
+};
+
+template <unsigned N, unsigned ES>
+class posit {
+  static_assert(N >= 3 && N <= 64, "posit width 3..64 bits");
+  static_assert(ES <= 4, "exponent size 0..4 bits");
+
+ public:
+  using storage_t = util::uint_least_t<N>;
+
+  static constexpr unsigned kBits = N;
+  static constexpr unsigned kEs = ES;
+  /// useed = 2^(2^ES): the regime's radix.
+  static constexpr int kUseedLog2 = 1 << ES;
+  /// scale of maxpos = -scale of minpos.
+  static constexpr int kMaxScale = int(N - 2) * kUseedLog2;
+
+  constexpr posit() = default;
+  explicit posit(double v) { *this = from_double(v); }
+
+  static constexpr posit from_bits(storage_t bits) {
+    posit p;
+    p.bits_ = storage_t(u64(bits) & util::mask64(N));
+    return p;
+  }
+  constexpr storage_t bits() const { return bits_; }
+
+  // The ring's two exception values and the extremes -------------------
+  static constexpr posit zero() { return from_bits(0); }
+  static constexpr posit nar() {
+    return from_bits(storage_t(u64{1} << (N - 1)));
+  }
+  static constexpr posit one() {
+    return from_bits(storage_t(u64{1} << (N - 2)));
+  }
+  static constexpr posit maxpos() {
+    return from_bits(storage_t(util::mask64(N - 1)));
+  }
+  static constexpr posit minpos() { return from_bits(1); }
+
+  constexpr bool is_zero() const { return bits_ == 0; }
+  constexpr bool is_nar() const { return u64(bits_) == (u64{1} << (N - 1)); }
+  constexpr bool is_negative() const {
+    return !is_nar() && ((u64(bits_) >> (N - 1)) & 1) != 0;
+  }
+
+  // Unpack / pack --------------------------------------------------------
+  PositUnpacked unpack() const {
+    PositUnpacked r;
+    if (is_zero()) {
+      r.is_zero = true;
+      return r;
+    }
+    if (is_nar()) {
+      r.is_nar = true;
+      return r;
+    }
+    const u64 raw = u64(bits_);
+    r.sign = ((raw >> (N - 1)) & 1) != 0;
+    const u64 mag = r.sign ? util::twos_complement(raw, N) : raw;
+    // Scan the regime starting below the sign bit.
+    const unsigned top = N - 2;
+    const unsigned r0 = util::bit_of(mag, top);
+    unsigned run = 1;
+    while (run <= top && util::bit_of(mag, top - run) == r0) ++run;
+    const int k = r0 ? int(run) - 1 : -int(run);
+    // Bits remaining below the terminator (terminator may be cut off).
+    int rem = int(top) - int(run);
+    if (rem < 0) rem = 0;
+    unsigned e = 0;
+    unsigned frac_bits = 0;
+    u64 frac = 0;
+    if (rem > 0) {
+      const unsigned ebits = std::min<unsigned>(ES, unsigned(rem));
+      e = unsigned((mag >> (unsigned(rem) - ebits)) & util::mask64(ebits));
+      // Exponent bits cut off at the end are zeros (standard).
+      e <<= (ES - ebits);
+      frac_bits = unsigned(rem) - ebits;
+      frac = mag & util::mask64(frac_bits);
+    }
+    r.scale = k * kUseedLog2 + int(e);
+    r.sig = (u64{1} << 63) | (frac_bits ? frac << (63 - frac_bits) : 0);
+    return r;
+  }
+
+  /// Round-and-pack onto the posit lattice. @p sig has the hidden bit at
+  /// position 63 (sig != 0); @p sticky carries discarded information.
+  static posit round_pack(bool sign, int scale, u64 sig, bool sticky) {
+    if (scale >= kMaxScale) return sign ? -maxpos() : maxpos();
+    if (scale < -kMaxScale) return sign ? -minpos() : minpos();
+
+    const int k = scale >> ES;  // floor division (arithmetic shift)
+    const unsigned e = unsigned(scale - (k << ES));
+    // Emit the body stream MSB-first: regime, terminator, exponent,
+    // fraction. Position 0..N-2 land in the body, N-1 is the guard,
+    // beyond that ORs into sticky.
+    u64 body = 0;
+    bool guard = false;
+    unsigned pos = 0;
+    auto emit = [&](unsigned bit) {
+      if (pos < N - 1)
+        body = (body << 1) | bit;
+      else if (pos == N - 1)
+        guard = bit != 0;
+      else
+        sticky = sticky || bit != 0;
+      ++pos;
+    };
+    if (k >= 0) {
+      for (int i = 0; i <= k; ++i) emit(1);
+      emit(0);
+    } else {
+      for (int i = 0; i < -k; ++i) emit(0);
+      emit(1);
+    }
+    for (unsigned i = 0; i < ES; ++i) emit(unsigned(e >> (ES - 1 - i)) & 1u);
+    for (int i = 62; i >= 0; --i) emit(unsigned(sig >> i) & 1u);
+    // Left-justify if the stream was shorter than the body (cannot
+    // happen: regime+exp+63 fraction bits always >= N-1 for N <= 64).
+    if (pos < N - 1) body <<= (N - 1 - pos);
+
+    if (guard && (sticky || (body & 1))) ++body;
+    // body is now the magnitude encoding in N-1 bits (carry to the sign
+    // position is impossible: scale >= kMaxScale saturated above).
+    const u64 enc = sign ? util::twos_complement(body, N) : body;
+    return from_bits(storage_t(enc));
+  }
+
+  // Arithmetic -----------------------------------------------------------
+  static posit add(posit a, posit b) {
+    if (a.is_nar() || b.is_nar()) return nar();
+    if (a.is_zero()) return b;
+    if (b.is_zero()) return a;
+    PositUnpacked ua = a.unpack(), ub = b.unpack();
+    if (ua.scale < ub.scale ||
+        (ua.scale == ub.scale && ua.sig < ub.sig))
+      std::swap(ua, ub);
+    const unsigned d = unsigned(ua.scale - ub.scale);
+    u128 big = u128(ua.sig) << 32;
+    u128 small = u128(ub.sig) << 32;
+    bool sticky = false;
+    small = util::shr_sticky128(small, d, sticky);
+    u128 sum;
+    if (ua.sign == ub.sign) {
+      sum = big + small;
+    } else {
+      sum = big - small;
+      if (sticky) sum -= 1;  // borrow the truncated tail
+      if (sum == 0) return zero();
+    }
+    const int top = util::msb_index128(sum);
+    const int scale = ua.scale + (top - 95);
+    u64 sig;
+    if (top >= 63) {
+      const unsigned sh = unsigned(top - 63);
+      sig = u64(sum >> sh);
+      sticky = sticky || (sum & util::mask128(sh)) != 0;
+    } else {
+      sig = u64(sum) << (63 - top);
+    }
+    return round_pack(ua.sign, scale, sig, sticky);
+  }
+
+  static posit sub(posit a, posit b) { return add(a, -b); }
+
+  static posit mul(posit a, posit b) {
+    if (a.is_nar() || b.is_nar()) return nar();
+    if (a.is_zero() || b.is_zero()) return zero();
+    const PositUnpacked ua = a.unpack(), ub = b.unpack();
+    const bool sign = ua.sign != ub.sign;
+    const u128 p = u128(ua.sig) * ub.sig;
+    int scale = ua.scale + ub.scale;
+    u64 sig;
+    bool sticky;
+    if (p >> 127) {
+      sig = u64(p >> 64);
+      sticky = u64(p) != 0;
+      ++scale;
+    } else {
+      sig = u64(p >> 63);
+      sticky = (u64(p) & util::mask64(63)) != 0;
+    }
+    return round_pack(sign, scale, sig, sticky);
+  }
+
+  static posit div(posit a, posit b) {
+    if (a.is_nar() || b.is_nar() || b.is_zero()) return nar();
+    if (a.is_zero()) return zero();
+    const PositUnpacked ua = a.unpack(), ub = b.unpack();
+    const bool sign = ua.sign != ub.sign;
+    int scale = ua.scale - ub.scale;
+    u128 num;
+    if (ua.sig >= ub.sig) {
+      num = u128(ua.sig) << 63;
+    } else {
+      num = u128(ua.sig) << 64;
+      --scale;
+    }
+    const u64 q = u64(num / ub.sig);
+    const bool sticky = (num % ub.sig) != 0;
+    return round_pack(sign, scale, q, sticky);
+  }
+
+  static posit sqrt(posit a) {
+    if (a.is_nar() || a.is_negative()) return nar();
+    if (a.is_zero()) return zero();
+    const PositUnpacked ua = a.unpack();
+    const bool odd = (ua.scale & 1) != 0;
+    const u128 x = u128(ua.sig) << (odd ? 64 : 63);
+    const int rscale = (ua.scale - (odd ? 1 : 0)) / 2;
+    u64 s = 0;
+    for (int b = 63; b >= 0; --b) {
+      const u64 cand = s | (u64{1} << b);
+      if (u128(cand) * cand <= x) s = cand;
+    }
+    const bool sticky = u128(s) * s != x;
+    return round_pack(false, rscale, s, sticky);
+  }
+
+  /// Fused multiply-add with a single rounding (via an exact 256-bit
+  /// window — a one-shot quire).
+  static posit fma(posit a, posit b, posit c);
+
+  // Operators ------------------------------------------------------------
+  friend posit operator+(posit a, posit b) { return add(a, b); }
+  friend posit operator-(posit a, posit b) { return sub(a, b); }
+  friend posit operator*(posit a, posit b) { return mul(a, b); }
+  friend posit operator/(posit a, posit b) { return div(a, b); }
+
+  /// Negation is exactly two's-complement negation on the ring — no
+  /// decode needed (Section V). NaR and zero map to themselves.
+  constexpr posit operator-() const {
+    return from_bits(storage_t(util::twos_complement(u64(bits_), N)));
+  }
+
+  /// |x|: NaR maps to itself.
+  constexpr posit abs() const { return is_negative() ? -*this : *this; }
+
+  /// The next value counterclockwise on the ring (toward +); wraps
+  /// through NaR like the ring plot of Fig. 7.
+  constexpr posit next() const {
+    return from_bits(storage_t((u64(bits_) + 1) & util::mask64(N)));
+  }
+  constexpr posit prior() const {
+    return from_bits(storage_t((u64(bits_) - 1) & util::mask64(N)));
+  }
+
+  // Comparison: identical to two's-complement integer comparison.
+  // NaR compares equal to itself and less than all other values.
+  constexpr bool operator==(const posit&) const = default;
+  constexpr std::strong_ordering operator<=>(const posit& o) const {
+    return util::sign_extend(u64(bits_), N) <=>
+           util::sign_extend(u64(o.bits_), N);
+  }
+
+  // Conversions ----------------------------------------------------------
+  double to_double() const {
+    if (is_zero()) return 0.0;
+    if (is_nar()) return std::numeric_limits<double>::quiet_NaN();
+    const PositUnpacked u = unpack();
+    const double mag = std::ldexp(double(u.sig), u.scale - 63);
+    return u.sign ? -mag : mag;
+  }
+
+  static posit from_double(double v) {
+    if (std::isnan(v) || std::isinf(v)) return nar();
+    if (v == 0.0) return zero();
+    const bool sign = std::signbit(v);
+    int e = 0;
+    const double m = std::frexp(std::fabs(v), &e);
+    const u64 sig = u64(std::ldexp(m, 64));
+    return round_pack(sign, e - 1, sig, false);
+  }
+
+  /// Exact conversion to a signed fixed-point window covering the whole
+  /// dynamic range: bit i has weight 2^(i - kMaxScale); width is
+  /// 2*kMaxScale + 2 bits (Section V: 58 bits for posit<16,1>).
+  /// Precondition: the value is finite (not NaR).
+  util::WideInt<4> to_fixed_window() const
+    requires(kMaxScale <= 120)
+  {
+    util::WideInt<4> w;
+    if (is_zero()) return w;
+    const PositUnpacked u = unpack();
+    // sig has the hidden bit at 63 with weight 2^scale; place the hidden
+    // bit at index scale + kMaxScale.
+    const int hidden_idx = u.scale + kMaxScale;
+    for (int i = 0; i < 64; ++i) {
+      const int idx = hidden_idx - 63 + i;
+      if (idx >= 0 && util::bit_of(u.sig, unsigned(i)))
+        w.set_bit(std::size_t(idx), true);
+    }
+    return u.sign ? -w : w;
+  }
+
+  /// Total width of the fixed-point window above (paper: 58 for 16-bit).
+  static constexpr int fixed_window_bits() { return 2 * kMaxScale + 2; }
+
+  /// Round a fixed-point window value (weights as in to_fixed_window)
+  /// back onto the posit lattice.
+  static posit from_fixed_window(util::WideInt<4> w)
+    requires(kMaxScale <= 120)
+  {
+    if (w.is_zero()) return zero();
+    const bool sign = w.is_negative();
+    if (sign) w = -w;
+    const int top = w.msb();
+    const int scale = top - kMaxScale;
+    u64 sig;
+    bool sticky = false;
+    if (top >= 63) {
+      sig = w.extract64(std::size_t(top - 63));
+      sticky = w.any_below(std::size_t(top - 63));
+    } else {
+      sig = w.extract64(0) << (63 - top);
+    }
+    return round_pack(sign, scale, sig, sticky);
+  }
+
+  std::string to_string() const {
+    if (is_nar()) return "NaR";
+    return std::to_string(to_double());
+  }
+
+ private:
+  storage_t bits_ = 0;
+};
+
+// Standard-ish aliases used throughout the experiments.
+using posit8 = posit<8, 0>;     ///< 8-bit posit es=0 (2017-paper flavour)
+using posit16 = posit<16, 1>;   ///< 16-bit posit es=1 (dynamic range 2^±28)
+using posit32 = posit<32, 2>;   ///< 32-bit posit es=2
+using posit8_2 = posit<8, 2>;   ///< 8-bit posit es=2 (2022-standard flavour)
+
+// ---------------------------------------------------------------------
+// Quire: the exact fixed-point accumulator.
+//
+// Sums of products of posits accumulate with NO rounding; only the final
+// conversion back to posit rounds. The window spans [minpos^2, maxpos^2]
+// plus carry-guard bits, matching the standard's 16n-bit quire for ES=2.
+// ---------------------------------------------------------------------
+
+template <unsigned N, unsigned ES>
+class quire {
+ public:
+  using posit_t = posit<N, ES>;
+  /// LSB weight: minpos^2 = 2^(-2*kMaxScale).
+  static constexpr int kLsbWeight = -2 * posit_t::kMaxScale;
+  /// Bits: full product window + 30 carry-guard bits + sign, rounded to
+  /// whole 64-bit words. (For posit<16,2> this is 256 = 16n, matching
+  /// the posit standard's quire.)
+  static constexpr int kValueBits = 4 * posit_t::kMaxScale + 2;
+  static constexpr std::size_t kWords =
+      std::size_t(kValueBits + 30 + 63) / 64;
+  using word_t = util::WideInt<kWords>;
+
+  constexpr quire() = default;
+
+  void clear() {
+    acc_ = word_t{};
+    nar_ = false;
+  }
+  bool is_nar() const { return nar_; }
+  bool is_zero() const { return !nar_ && acc_.is_zero(); }
+
+  /// acc += a*b, exactly. NaR poisons the quire until clear().
+  void add_product(posit_t a, posit_t b) { fused(a, b, /*negate=*/false); }
+  /// acc -= a*b, exactly.
+  void sub_product(posit_t a, posit_t b) { fused(a, b, /*negate=*/true); }
+  /// acc += a, exactly.
+  void add(posit_t a) { fused(a, posit_t::one(), false); }
+  void sub(posit_t a) { fused(a, posit_t::one(), true); }
+
+  /// Round the exact sum back onto the posit lattice.
+  posit_t to_posit() const {
+    if (nar_) return posit_t::nar();
+    if (acc_.is_zero()) return posit_t::zero();
+    word_t w = acc_;
+    const bool sign = w.is_negative();
+    if (sign) w = -w;
+    const int top = w.msb();
+    const int scale = top + kLsbWeight;
+    u64 sig;
+    bool sticky = false;
+    if (top >= 63) {
+      sig = w.extract64(std::size_t(top - 63));
+      sticky = w.any_below(std::size_t(top - 63));
+    } else {
+      sig = w.extract64(0) << (63 - top);
+    }
+    return posit_t::round_pack(sign, scale, sig, sticky);
+  }
+
+ private:
+  void fused(posit_t a, posit_t b, bool negate) {
+    if (a.is_nar() || b.is_nar()) {
+      nar_ = true;
+      return;
+    }
+    if (a.is_zero() || b.is_zero() || nar_) return;
+    const PositUnpacked ua = a.unpack(), ub = b.unpack();
+    const u128 p = u128(ua.sig) * ub.sig;  // bit0 weight 2^(sa+sb-126)
+    const int w0 = ua.scale + ub.scale - 126;
+    int idx = w0 - kLsbWeight;
+    u128 pp = p;
+    if (idx < 0) {
+      // The dropped bits are guaranteed zero: posit significands carry
+      // at most the bits the window was sized for.
+      pp >>= unsigned(-idx);
+      idx = 0;
+    }
+    word_t term;
+    term.set_word(0, u64(pp));
+    if constexpr (kWords >= 2) term.set_word(1, u64(pp >> 64));
+    term = term << std::size_t(idx);
+    const bool neg = (ua.sign != ub.sign) != negate;
+    acc_ = neg ? acc_ - term : acc_ + term;
+  }
+
+  word_t acc_{};
+  bool nar_ = false;
+};
+
+template <unsigned N, unsigned ES>
+posit<N, ES> posit<N, ES>::fma(posit a, posit b, posit c) {
+  if (a.is_nar() || b.is_nar() || c.is_nar()) return nar();
+  quire<N, ES> q;
+  q.add_product(a, b);
+  q.add(c);
+  return q.to_posit();
+}
+
+}  // namespace nga::ps

@@ -1,0 +1,556 @@
+// Parameterized IEEE-754-style binary floating point, implemented in
+// integer arithmetic (no host-FPU dependence in the operation paths).
+//
+// `floatmp<E,M>` has 1 sign bit, E exponent bits and M fraction bits in the
+// standard IEEE layout. Two policies reflect the paper's Section V
+// distinction between hardware that *fully* supports IEEE 754 and
+// "normals-only" hardware that traps/flushes subnormals:
+//   * kFullIEEE    — subnormals, +-inf, NaN, RNE, gradual underflow
+//   * kNormalsOnly — subnormal inputs and results flush to zero (FTZ);
+//                    inf/NaN encodings still exist but arise only from
+//                    overflow/invalid operations.
+//
+// All operations are correctly rounded (round-to-nearest, ties-to-even)
+// and tested against wide-integer oracles (tests/softfloat/).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "util/bits.hpp"
+#include "util/wideint.hpp"
+
+namespace nga::sf {
+
+using util::i64;
+using util::u128;
+using util::u64;
+
+enum class Policy { kFullIEEE, kNormalsOnly };
+
+/// IEEE exception flags accumulated by the checked entry points.
+struct Flags {
+  bool invalid = false;
+  bool div_by_zero = false;
+  bool overflow = false;
+  bool underflow = false;
+  bool inexact = false;
+};
+
+/// Class of a decoded value.
+enum class FpClass { kZero, kSubnormal, kNormal, kInf, kNaN };
+
+/// Unpacked form shared by all operations: value = (-1)^sign * sig *
+/// 2^(scale-63) with sig normalized so bit 63 is the hidden 1
+/// (except for specials).
+struct Unpacked {
+  bool sign = false;
+  int scale = 0;
+  u64 sig = 0;
+  FpClass cls = FpClass::kZero;
+
+  bool is_nan() const { return cls == FpClass::kNaN; }
+  bool is_inf() const { return cls == FpClass::kInf; }
+  bool is_zero() const { return cls == FpClass::kZero; }
+  bool is_finite_nonzero() const {
+    return cls == FpClass::kNormal || cls == FpClass::kSubnormal;
+  }
+};
+
+template <unsigned E, unsigned M, Policy P = Policy::kFullIEEE>
+class floatmp {
+  static_assert(E >= 2 && E <= 11, "exponent field 2..11 bits");
+  static_assert(M >= 1 && M <= 52, "fraction field 1..52 bits");
+  static_assert(1 + E + M <= 64);
+
+ public:
+  using storage_t = util::uint_least_t<1 + E + M>;
+
+  static constexpr unsigned kBits = 1 + E + M;
+  static constexpr unsigned kExpBits = E;
+  static constexpr unsigned kFracBits = M;
+  static constexpr int kBias = (1 << (E - 1)) - 1;
+  static constexpr int kEmax = kBias;            ///< max normal exponent
+  static constexpr int kEminNormal = 1 - kBias;  ///< min normal exponent
+  static constexpr Policy kPolicy = P;
+
+  constexpr floatmp() = default;
+  explicit floatmp(double v) { *this = from_double(v); }
+
+  static constexpr floatmp from_bits(storage_t bits) {
+    floatmp f;
+    f.bits_ = bits & storage_t(util::mask64(kBits));
+    return f;
+  }
+  constexpr storage_t bits() const { return bits_; }
+
+  // Canonical specials ---------------------------------------------------
+  static constexpr floatmp zero(bool negative = false) {
+    return from_bits(negative ? sign_mask() : storage_t{0});
+  }
+  static constexpr floatmp inf(bool negative = false) {
+    return from_bits(storage_t((u64(negative) << (kBits - 1)) |
+                               (util::mask64(E) << M)));
+  }
+  static constexpr floatmp nan() {
+    return from_bits(storage_t((util::mask64(E) << M) | (u64{1} << (M - 1))));
+  }
+  static constexpr floatmp max_normal(bool negative = false) {
+    return from_bits(storage_t((u64(negative) << (kBits - 1)) |
+                               ((util::mask64(E) - 1) << M) | util::mask64(M)));
+  }
+  static constexpr floatmp min_normal() {
+    return from_bits(storage_t(u64{1} << M));
+  }
+  static constexpr floatmp min_subnormal() { return from_bits(1); }
+  static constexpr floatmp one() {
+    return from_bits(storage_t(u64(kBias) << M));
+  }
+
+  // Classification -------------------------------------------------------
+  constexpr bool is_nan() const {
+    return exp_field() == util::mask64(E) && frac_field() != 0;
+  }
+  constexpr bool is_inf() const {
+    return exp_field() == util::mask64(E) && frac_field() == 0;
+  }
+  constexpr bool is_zero() const { return exp_field() == 0 && frac_field() == 0; }
+  constexpr bool is_subnormal() const {
+    return exp_field() == 0 && frac_field() != 0;
+  }
+  constexpr bool is_normal() const {
+    return exp_field() != 0 && exp_field() != util::mask64(E);
+  }
+  constexpr bool is_finite() const { return exp_field() != util::mask64(E); }
+  constexpr bool sign() const { return (bits_ >> (kBits - 1)) & 1; }
+
+  // Unpack/pack ----------------------------------------------------------
+  Unpacked unpack() const {
+    Unpacked r;
+    r.sign = sign();
+    const u64 e = exp_field();
+    const u64 m = frac_field();
+    if (e == util::mask64(E)) {
+      r.cls = m == 0 ? FpClass::kInf : FpClass::kNaN;
+      return r;
+    }
+    if (e == 0) {
+      if (m == 0 || P == Policy::kNormalsOnly) {
+        r.cls = FpClass::kZero;  // FTZ under normals-only
+        return r;
+      }
+      const int p = util::msb_index(m);
+      r.cls = FpClass::kSubnormal;
+      r.sig = m << (63 - p);
+      r.scale = kEminNormal - int(M) + p;
+      return r;
+    }
+    r.cls = FpClass::kNormal;
+    r.sig = (m | (u64{1} << M)) << (63 - M);
+    r.scale = int(e) - kBias;
+    return r;
+  }
+
+  /// Round-and-pack: @p sig normalized with MSB at bit 63 (or zero),
+  /// @p sticky carries discarded information below bit 0.
+  /// This is the single rounding point of the whole library.
+  static floatmp pack(bool sign, int scale, u64 sig, bool sticky,
+                      Flags* flags = nullptr) {
+    if (sig == 0) {
+      return zero(sign);
+    }
+    if (scale >= kEminNormal) {
+      const unsigned drop = 63 - M;
+      u64 kept = util::round_nearest_even(sig, drop, sticky);
+      const bool inexact = sticky || (drop && (sig & util::mask64(drop)) != 0);
+      if (kept == (u64{1} << (M + 1))) {  // rounding carried out
+        kept >>= 1;
+        ++scale;
+      }
+      if (scale > kEmax) {
+        if (flags) flags->overflow = flags->inexact = true;
+        return inf(sign);
+      }
+      if (flags && inexact) flags->inexact = true;
+      const u64 biased = u64(scale + kBias);
+      return from_bits(storage_t((u64(sign) << (kBits - 1)) | (biased << M) |
+                                 (kept & util::mask64(M))));
+    }
+    // Below the normal range.
+    if constexpr (P == Policy::kNormalsOnly) {
+      if (flags) flags->underflow = flags->inexact = true;
+      return zero(sign);
+    }
+    // Total bits to drop: the usual (63-M) plus the subnormal alignment.
+    // If the guard bit (position drop-1) lies beyond bit 63 the value
+    // rounds to zero regardless of sig (the guard is a zero).
+    const long extra = long(kEminNormal) - long(scale);
+    const unsigned drop =
+        extra > 128 ? 129u : unsigned(long(63 - M) + extra);
+    const u64 kept =
+        drop > 64 ? 0 : util::round_nearest_even(sig, drop, sticky);
+    if (flags) {
+      flags->inexact = true;  // subnormal packing here always drops bits
+      flags->underflow |= kept < (u64{1} << M);  // tiny after rounding
+    }
+    // kept == 2^M means the value rounded up to the smallest normal;
+    // the bit pattern (exp=1, frac=0) emerges naturally from the add.
+    return from_bits(
+        storage_t((u64(sign) << (kBits - 1)) | (kept & util::mask64(M + 1))));
+  }
+
+  // Arithmetic -----------------------------------------------------------
+  static floatmp add(floatmp a, floatmp b, Flags* flags = nullptr) {
+    const Unpacked ua = a.unpack(), ub = b.unpack();
+    if (ua.is_nan() || ub.is_nan()) return quiet_nan(flags, false);
+    if (ua.is_inf() || ub.is_inf()) {
+      if (ua.is_inf() && ub.is_inf() && ua.sign != ub.sign)
+        return quiet_nan(flags, true);
+      return ua.is_inf() ? inf(ua.sign) : inf(ub.sign);
+    }
+    if (ua.is_zero() && ub.is_zero()) {
+      // (+0)+(+0)=+0, (-0)+(-0)=-0, mixed = +0 under RNE.
+      return zero(ua.sign && ub.sign);
+    }
+    if (ua.is_zero()) return b;
+    if (ub.is_zero()) return a;
+    return add_unpacked(ua, ub, flags);
+  }
+
+  static floatmp sub(floatmp a, floatmp b, Flags* flags = nullptr) {
+    return add(a, b.negated(), flags);
+  }
+
+  static floatmp mul(floatmp a, floatmp b, Flags* flags = nullptr) {
+    const Unpacked ua = a.unpack(), ub = b.unpack();
+    const bool sign = ua.sign != ub.sign;
+    if (ua.is_nan() || ub.is_nan()) return quiet_nan(flags, false);
+    if (ua.is_inf() || ub.is_inf()) {
+      if (ua.is_zero() || ub.is_zero()) return quiet_nan(flags, true);
+      return inf(sign);
+    }
+    if (ua.is_zero() || ub.is_zero()) return zero(sign);
+    const u128 p = u128(ua.sig) * ub.sig;
+    int scale = ua.scale + ub.scale;
+    u64 sig;
+    bool sticky;
+    if (p >> 127) {
+      sig = u64(p >> 64);
+      sticky = u64(p) != 0;
+      ++scale;
+    } else {
+      sig = u64(p >> 63);
+      sticky = (u64(p) & util::mask64(63)) != 0;
+    }
+    return pack(sign, scale, sig, sticky, flags);
+  }
+
+  static floatmp div(floatmp a, floatmp b, Flags* flags = nullptr) {
+    const Unpacked ua = a.unpack(), ub = b.unpack();
+    const bool sign = ua.sign != ub.sign;
+    if (ua.is_nan() || ub.is_nan()) return quiet_nan(flags, false);
+    if (ua.is_inf()) {
+      if (ub.is_inf()) return quiet_nan(flags, true);
+      return inf(sign);
+    }
+    if (ub.is_inf()) return zero(sign);
+    if (ub.is_zero()) {
+      if (ua.is_zero()) return quiet_nan(flags, true);
+      if (flags) flags->div_by_zero = true;
+      return inf(sign);
+    }
+    if (ua.is_zero()) return zero(sign);
+    int scale = ua.scale - ub.scale;
+    u128 num;
+    if (ua.sig >= ub.sig) {
+      num = u128(ua.sig) << 63;
+    } else {
+      num = u128(ua.sig) << 64;
+      --scale;
+    }
+    const u64 q = u64(num / ub.sig);
+    const bool sticky = (num % ub.sig) != 0;
+    return pack(sign, scale, q, sticky, flags);
+  }
+
+  static floatmp sqrt(floatmp a, Flags* flags = nullptr) {
+    const Unpacked ua = a.unpack();
+    if (ua.is_nan()) return quiet_nan(flags, false);
+    if (ua.is_zero()) return a;  // sqrt(+-0) = +-0
+    if (ua.sign) return quiet_nan(flags, true);
+    if (ua.is_inf()) return inf(false);
+    const bool odd = (ua.scale & 1) != 0;
+    // even scale: X = sig << 63, root scale = scale/2
+    // odd  scale: X = sig << 64, root scale = (scale-1)/2
+    const u128 x = u128(ua.sig) << (odd ? 64 : 63);
+    const int rscale = (ua.scale - (odd ? 1 : 0)) / 2;
+    const u64 s = isqrt128(x);
+    const bool sticky = u128(s) * s != x;
+    return pack(false, rscale, s, sticky, flags);
+  }
+
+  /// Fused multiply-add: a*b + c with a single rounding.
+  static floatmp fma(floatmp a, floatmp b, floatmp c, Flags* flags = nullptr) {
+    const Unpacked ua = a.unpack(), ub = b.unpack(), uc = c.unpack();
+    const bool psign = ua.sign != ub.sign;
+    if (ua.is_nan() || ub.is_nan() || uc.is_nan())
+      return quiet_nan(flags, false);
+    if ((ua.is_inf() && ub.is_zero()) || (ua.is_zero() && ub.is_inf()))
+      return quiet_nan(flags, true);
+    if (ua.is_inf() || ub.is_inf()) {
+      if (uc.is_inf() && uc.sign != psign) return quiet_nan(flags, true);
+      return inf(psign);
+    }
+    if (uc.is_inf()) return inf(uc.sign);
+    if (ua.is_zero() || ub.is_zero()) {
+      if (uc.is_zero()) return zero(psign && uc.sign);
+      return c;
+    }
+    if (uc.is_zero()) return mul(a, b, flags);
+
+    // Exact product in a 256-bit two's-complement window: product MSB
+    // near bit 191, addend aligned relative to it.
+    using W = util::WideInt<4>;
+    const u128 p = u128(ua.sig) * ub.sig;  // in [2^126, 2^128)
+    int pscale = ua.scale + ub.scale;
+    u128 pn = p;
+    if (pn >> 127) {
+      ++pscale;
+    } else {
+      pn <<= 1;  // normalize so MSB is bit 127
+    }
+    // Window: bit 192 holds weight 2^(pscale+1)... place product so its
+    // MSB (weight 2^pscale) sits at bit 160; 160 low bits of room.
+    // Place pn (128 bits, MSB at 127) so the MSB lands at bit 160.
+    W acc;
+    acc.set_word(0, u64(pn));
+    acc.set_word(1, u64(pn >> 64));
+    acc = acc << 33;  // product MSB now at bit 160
+    if (psign) acc = -acc;
+
+    // Addend: sig normalized at bit 63 with weight 2^(cscale-63);
+    // we need its MSB at bit (160 + cscale - pscale).
+    const int cpos = 160 + uc.scale - pscale;
+    W cw;
+    cw.set_word(0, uc.sig);
+    bool sticky = false;
+    if (cpos >= 63) {
+      if (cpos <= 250) {
+        cw = cw << std::size_t(cpos - 63);
+      } else {
+        // c dwarfs the product entirely: result == c rounded, with the
+        // product folded in as a signed tiny perturbation.
+        return pack_with_tiny(uc, psign != uc.sign, flags);
+      }
+    } else {
+      const int right = 63 - cpos;
+      if (right >= 64) {
+        sticky = true;  // c is far below the product LSB: pure sticky
+        cw = W{};
+      } else {
+        sticky = (uc.sig & util::mask64(unsigned(right))) != 0;
+        cw.set_word(0, uc.sig >> right);
+      }
+    }
+    if (uc.sign) cw = -cw;
+    acc = acc + cw;
+    // Epsilon accounting for the truncated part of c: for a positive
+    // discarded tail the true value is acc + eps (sticky suffices); for
+    // a negative tail it is acc - eps = (acc - 1) + (1 - eps).
+    if (sticky && uc.sign) acc = acc - W(i64{1});
+
+    if (acc.is_zero()) {
+      // Only reachable without a discarded tail (see analysis in tests):
+      // exact cancellation yields +0 under RNE; a sticky tail implies a
+      // positive sub-lsb residue.
+      return sticky ? pack(false, pscale - 161, u64{1} << 63, true, flags)
+                    : zero(false);
+    }
+    const bool rsign = acc.is_negative();
+    if (rsign) acc = -acc;
+    const int top = acc.msb();
+    const int rscale = pscale + (top - 160);
+    u64 sig;
+    if (top >= 63) {
+      sig = acc.extract64(std::size_t(top - 63));
+      sticky = sticky || acc.any_below(std::size_t(top - 63));
+    } else {
+      sig = acc.extract64(0) << (63 - top);
+    }
+    return pack(rsign, rscale, sig, sticky, flags);
+  }
+
+  // Operators (quiet NaN semantics, flags discarded) ---------------------
+  friend floatmp operator+(floatmp a, floatmp b) { return add(a, b); }
+  friend floatmp operator-(floatmp a, floatmp b) { return sub(a, b); }
+  friend floatmp operator*(floatmp a, floatmp b) { return mul(a, b); }
+  friend floatmp operator/(floatmp a, floatmp b) { return div(a, b); }
+  floatmp operator-() const { return negated(); }
+
+  constexpr floatmp negated() const {
+    return from_bits(storage_t(bits_ ^ sign_mask()));
+  }
+  constexpr floatmp abs() const {
+    return from_bits(storage_t(bits_ & ~sign_mask()));
+  }
+
+  // IEEE comparisons: NaN is unordered; -0 == +0.
+  friend bool operator==(floatmp a, floatmp b) {
+    if (a.is_nan() || b.is_nan()) return false;
+    if (a.is_zero() && b.is_zero()) return true;
+    return a.bits_ == b.bits_;
+  }
+  friend std::partial_ordering operator<=>(floatmp a, floatmp b) {
+    if (a.is_nan() || b.is_nan()) return std::partial_ordering::unordered;
+    const double da = a.to_double(), db = b.to_double();
+    if (da < db) return std::partial_ordering::less;
+    if (da > db) return std::partial_ordering::greater;
+    return std::partial_ordering::equivalent;
+  }
+
+  // Conversions ----------------------------------------------------------
+  double to_double() const {
+    const Unpacked u = unpack();
+    switch (u.cls) {
+      case FpClass::kZero:
+        return u.sign ? -0.0 : 0.0;
+      case FpClass::kInf:
+        return u.sign ? -std::numeric_limits<double>::infinity()
+                      : std::numeric_limits<double>::infinity();
+      case FpClass::kNaN:
+        return std::numeric_limits<double>::quiet_NaN();
+      default: {
+        // Exact: M <= 52 and |scale| <= 2^11 fits the double range.
+        const double mag = std::ldexp(double(u.sig), u.scale - 63);
+        return u.sign ? -mag : mag;
+      }
+    }
+  }
+
+  static floatmp from_double(double v, Flags* flags = nullptr) {
+    if (std::isnan(v)) return nan();
+    const bool sign = std::signbit(v);
+    if (std::isinf(v)) return inf(sign);
+    if (v == 0.0) return zero(sign);
+    int e = 0;
+    const double m = std::frexp(std::fabs(v), &e);  // m in [0.5, 1)
+    // sig = m * 2^64, exact because m has <= 53 significant bits.
+    const u64 sig = u64(std::ldexp(m, 64));
+    return pack(sign, e - 1, sig, /*sticky=*/false, flags);
+  }
+
+  /// Convert from another floatmp format with correct rounding.
+  template <unsigned E2, unsigned M2, Policy P2>
+  static floatmp convert_from(floatmp<E2, M2, P2> x, Flags* flags = nullptr) {
+    const Unpacked u = x.unpack();
+    switch (u.cls) {
+      case FpClass::kZero:
+        return zero(u.sign);
+      case FpClass::kInf:
+        return inf(u.sign);
+      case FpClass::kNaN:
+        return nan();
+      default:
+        return pack(u.sign, u.scale, u.sig, false, flags);
+    }
+  }
+
+  std::string to_string() const { return std::to_string(to_double()); }
+
+ private:
+  static constexpr storage_t sign_mask() {
+    return storage_t(u64{1} << (kBits - 1));
+  }
+  constexpr u64 exp_field() const {
+    return (u64(bits_) >> M) & util::mask64(E);
+  }
+  constexpr u64 frac_field() const { return u64(bits_) & util::mask64(M); }
+
+  static floatmp quiet_nan(Flags* flags, bool invalid) {
+    if (flags && invalid) flags->invalid = true;
+    return nan();
+  }
+
+  /// Result is c with a tiny opposite/equal-sign perturbation folded into
+  /// sticky (used when the fma product can't shift into the window).
+  static floatmp pack_with_tiny(const Unpacked& c, bool opposite,
+                                Flags* flags) {
+    // Represent c exactly at bit 63 and let a sticky bit perturb rounding.
+    // For an opposite-sign tiny term, subtract one ulp-of-window first.
+    u64 sig = c.sig;
+    int scale = c.scale;
+    bool sticky = true;
+    if (opposite) {
+      // c - epsilon: borrow one from the extended significand.
+      // Model c as sig.000..0 - eps = (sig-1).111... with sticky.
+      if (sig == (u64{1} << 63)) {
+        // borrow cascades: 1.000 - eps = 0.111... -> renormalize
+        sig = ~u64{0};
+        --scale;
+      } else {
+        sig -= 1;
+      }
+    }
+    return pack(c.sign, scale, sig, sticky, flags);
+  }
+
+  static floatmp add_unpacked(Unpacked a, Unpacked b, Flags* flags) {
+    // Work in a 128-bit window with the big operand's MSB at bit 95.
+    if (a.scale < b.scale || (a.scale == b.scale && a.sig < b.sig))
+      std::swap(a, b);
+    const unsigned d = unsigned(a.scale - b.scale);
+    u128 big = u128(a.sig) << 32;
+    u128 small = u128(b.sig) << 32;
+    bool sticky = false;
+    small = util::shr_sticky128(small, d, sticky);
+    u128 sum;
+    bool rsign = a.sign;
+    if (a.sign == b.sign) {
+      sum = big + small;
+    } else {
+      sum = big - small;
+      if (sticky) {
+        // Borrow the sticky fraction: big - (small_trunc + eps)
+        //   = (big - small_trunc - 1) + (1 - eps), 0 < 1-eps < 1 ulp.
+        sum -= 1;
+      }
+      if (sum == 0) return zero(false);  // exact cancellation -> +0 (RNE)
+    }
+    const int top = util::msb_index128(sum);
+    int scale = a.scale + (top - 95);
+    u64 sig;
+    if (top >= 63) {
+      const unsigned sh = unsigned(top - 63);
+      sig = u64(sum >> sh);
+      sticky = sticky || (sum & util::mask128(sh)) != 0;
+    } else {
+      sig = u64(sum) << (63 - top);
+    }
+    return pack(rsign, scale, sig, sticky, flags);
+  }
+
+  static u64 isqrt128(u128 x) {
+    // Bit-by-bit restoring square root; result fits in 64 bits.
+    u64 r = 0;
+    for (int b = 63; b >= 0; --b) {
+      const u64 cand = r | (u64{1} << b);
+      if (u128(cand) * cand <= x) r = cand;
+    }
+    return r;
+  }
+
+  storage_t bits_ = 0;
+};
+
+// The formats named in the paper ------------------------------------------
+using half = floatmp<5, 10>;              ///< IEEE binary16 (FP16)
+using bfloat16_t = floatmp<8, 7>;         ///< Google bfloat16
+using fp19 = floatmp<8, 10>;              ///< Intel Agilex DSP {1,8,10}
+using fp32 = floatmp<8, 23>;              ///< IEEE binary32
+using half_ftz = floatmp<5, 10, Policy::kNormalsOnly>;
+
+}  // namespace nga::sf

@@ -1,0 +1,37 @@
+#include "softfloat/predicates.hpp"
+
+namespace nga::sf {
+
+std::vector<Predicate> ieee_predicates() {
+  // name, signaling, L, E, G, U  (IEEE 754-2008 table 5.1/5.2/5.3).
+  return {
+      {"compareQuietEqual", false, false, true, false, false},
+      {"compareQuietNotEqual", false, true, false, true, true},
+      {"compareSignalingEqual", true, false, true, false, false},
+      {"compareSignalingGreater", true, false, false, true, false},
+      {"compareSignalingGreaterEqual", true, false, true, true, false},
+      {"compareSignalingLess", true, true, false, false, false},
+      {"compareSignalingLessEqual", true, true, true, false, false},
+      {"compareSignalingNotEqual", true, true, false, true, true},
+      {"compareSignalingNotGreater", true, true, true, false, true},
+      {"compareSignalingLessUnordered", true, true, false, false, true},
+      {"compareSignalingNotLess", true, false, true, true, true},
+      {"compareSignalingGreaterUnordered", true, false, false, true, true},
+      {"compareQuietGreater", false, false, false, true, false},
+      {"compareQuietGreaterEqual", false, false, true, true, false},
+      {"compareQuietLess", false, true, false, false, false},
+      {"compareQuietLessEqual", false, true, true, false, false},
+      {"compareQuietUnordered", false, false, false, false, true},
+      {"compareQuietNotGreater", false, true, true, false, true},
+      {"compareQuietLessUnordered", false, true, false, false, true},
+      {"compareQuietNotLess", false, false, true, true, true},
+      {"compareQuietGreaterUnordered", false, false, false, true, true},
+      {"compareQuietOrdered", false, true, true, true, false},
+  };
+}
+
+std::vector<std::string> posit_predicates() {
+  return {"integerEqual", "integerLess", "integerLessEqual"};
+}
+
+}  // namespace nga::sf

@@ -1,0 +1,61 @@
+// The IEEE 754-2008 comparison-predicate census (Section V: "The IEEE
+// 754 Standard requires 22 different kinds of comparison operations
+// because of the NaN exceptions").
+//
+// Clause 5.11 defines 22 required comparison operations: 4 unordered-
+// signaling relations are absent and the set enumerates quiet/signaling
+// variants of =, ?<>, >, >=, <, <=, <>, ordered/unordered tests. Posits
+// need exactly 3 (==, <, <=) — integer comparisons — because NaR is
+// totally ordered.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "softfloat/floatmp.hpp"
+
+namespace nga::sf {
+
+enum class Relation { kLess, kEqual, kGreater, kUnordered };
+
+template <unsigned E, unsigned M, Policy P>
+Relation compare(floatmp<E, M, P> a, floatmp<E, M, P> b) {
+  if (a.is_nan() || b.is_nan()) return Relation::kUnordered;
+  if (a == b) return Relation::kEqual;
+  return (a <=> b) == std::partial_ordering::less ? Relation::kLess
+                                                  : Relation::kGreater;
+}
+
+/// One of the 22 predicates: its name, whether it signals on quiet NaN,
+/// and its truth table over the four relations (L, E, G, U).
+struct Predicate {
+  std::string name;
+  bool signaling = false;
+  bool on_less = false, on_equal = false, on_greater = false,
+       on_unordered = false;
+
+  bool evaluate(Relation r, bool* invalid_flag) const {
+    if (signaling && r == Relation::kUnordered && invalid_flag)
+      *invalid_flag = true;
+    switch (r) {
+      case Relation::kLess:
+        return on_less;
+      case Relation::kEqual:
+        return on_equal;
+      case Relation::kGreater:
+        return on_greater;
+      case Relation::kUnordered:
+        return on_unordered;
+    }
+    return false;
+  }
+};
+
+/// The full 22-predicate table of IEEE 754-2008 clause 5.11.
+std::vector<Predicate> ieee_predicates();
+
+/// The complete posit comparison set: 3 integer predicates suffice
+/// (==, <, <=; the rest are complements/swaps with no exceptions).
+std::vector<std::string> posit_predicates();
+
+}  // namespace nga::sf

@@ -1,0 +1,123 @@
+// Bit-manipulation primitives shared across all arithmetic modules.
+//
+// Everything here is constexpr and branch-light; these helpers sit on the
+// hot path of every soft-arithmetic operation in the library.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+#include <type_traits>
+
+namespace nga::util {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+#if defined(__SIZEOF_INT128__)
+using u128 = unsigned __int128;
+using i128 = __int128;
+#else
+#error "nga requires a compiler with __int128 support (GCC/Clang)"
+#endif
+
+/// Mask with the low @p n bits set. n may be 0..64.
+constexpr u64 mask64(unsigned n) {
+  return n >= 64 ? ~u64{0} : ((u64{1} << n) - 1);
+}
+
+/// Mask with the low @p n bits set in a 128-bit word. n may be 0..128.
+constexpr u128 mask128(unsigned n) {
+  return n >= 128 ? ~u128{0} : ((u128{1} << n) - 1);
+}
+
+/// Extract bit @p i (0 = LSB) of @p v.
+constexpr unsigned bit_of(u64 v, unsigned i) { return unsigned(v >> i) & 1u; }
+
+/// Number of leading zeros of a 64-bit value; 64 for v == 0.
+constexpr int clz64(u64 v) { return v == 0 ? 64 : std::countl_zero(v); }
+
+/// Number of trailing zeros of a 64-bit value; 64 for v == 0.
+constexpr int ctz64(u64 v) { return v == 0 ? 64 : std::countr_zero(v); }
+
+/// Position of the most significant set bit (0-based), -1 for v == 0.
+constexpr int msb_index(u64 v) { return v == 0 ? -1 : 63 - std::countl_zero(v); }
+
+/// Position of the most significant set bit of a 128-bit value, -1 for 0.
+constexpr int msb_index128(u128 v) {
+  const u64 hi = static_cast<u64>(v >> 64);
+  if (hi != 0) return 64 + msb_index(hi);
+  return msb_index(static_cast<u64>(v));
+}
+
+/// Right shift that ORs all shifted-out bits into a sticky flag.
+/// Shift amounts >= 64 are well-defined (result 0, sticky = v != 0).
+constexpr u64 shr_sticky(u64 v, unsigned s, bool& sticky) {
+  if (s == 0) return v;
+  if (s >= 64) {
+    sticky = sticky || v != 0;
+    return 0;
+  }
+  sticky = sticky || (v & mask64(s)) != 0;
+  return v >> s;
+}
+
+/// 128-bit variant of shr_sticky. Shift amounts >= 128 are well-defined.
+constexpr u128 shr_sticky128(u128 v, unsigned s, bool& sticky) {
+  if (s == 0) return v;
+  if (s >= 128) {
+    sticky = sticky || v != 0;
+    return 0;
+  }
+  sticky = sticky || (v & mask128(s)) != 0;
+  return v >> s;
+}
+
+/// Round a value whose low @p drop bits are discarded, using
+/// round-to-nearest, ties-to-even on the retained part.
+/// @p extra_sticky carries sticky information from bits already dropped.
+constexpr u64 round_nearest_even(u64 v, unsigned drop, bool extra_sticky) {
+  if (drop == 0) return v;  // extra_sticky alone never rounds up: guard is 0
+  if (drop > 64) return 0;
+  const u64 kept = drop == 64 ? 0 : v >> drop;
+  const bool guard = bit_of(v, drop - 1) != 0;
+  const bool sticky = extra_sticky || (drop >= 2 && (v & mask64(drop - 1)) != 0);
+  const bool lsb = drop == 64 ? false : (kept & 1) != 0;
+  const bool round_up = guard && (sticky || lsb);
+  return kept + (round_up ? 1 : 0);
+}
+
+/// Reverse the low @p n bits of @p v (bit 0 swaps with bit n-1).
+constexpr u64 bit_reverse(u64 v, unsigned n) {
+  u64 r = 0;
+  for (unsigned i = 0; i < n; ++i) r |= u64(bit_of(v, i)) << (n - 1 - i);
+  return r;
+}
+
+/// Sign-extend the low @p n bits of @p v to a full signed 64-bit value.
+constexpr i64 sign_extend(u64 v, unsigned n) {
+  if (n == 0 || n >= 64) return static_cast<i64>(v);
+  const u64 m = u64{1} << (n - 1);
+  return static_cast<i64>(((v & mask64(n)) ^ m) - m);
+}
+
+/// Two's-complement negation confined to an n-bit field.
+constexpr u64 twos_complement(u64 v, unsigned n) {
+  return (~v + 1) & mask64(n);
+}
+
+/// Smallest unsigned integer type that can hold @p Bits bits (<= 64).
+template <unsigned Bits>
+using uint_least_t = std::conditional_t<
+    (Bits <= 8), u8,
+    std::conditional_t<(Bits <= 16), u16,
+                       std::conditional_t<(Bits <= 32), u32, u64>>>;
+
+}  // namespace nga::util

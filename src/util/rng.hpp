@@ -1,0 +1,95 @@
+// Deterministic, fast pseudo-random generation (xoshiro256**).
+//
+// Every experiment binary in this repository seeds one of these explicitly
+// so that tables and figures regenerate bit-identically run to run.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/bits.hpp"
+
+namespace nga::util {
+
+/// xoshiro256** by Blackman & Vigna (public domain algorithm), seeded via
+/// splitmix64. Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = u64;
+
+  explicit Xoshiro256(u64 seed = 0x9e3779b97f4a7c15ull) {
+    // splitmix64 stream to fill the state; avoids the all-zero state.
+    u64 x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~u64{0}; }
+
+  result_type operator()() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  u64 below(u64 bound) {
+    // Lemire's multiply-shift rejection method.
+    u128 m = u128((*this)()) * bound;
+    auto lo = static_cast<u64>(m);
+    if (lo < bound) {
+      const u64 threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = u128((*this)()) * bound;
+        lo = static_cast<u64>(m);
+      }
+    }
+    return static_cast<u64>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return double((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * f;
+    have_spare_ = true;
+    return u * f;
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  u64 state_[4]{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace nga::util

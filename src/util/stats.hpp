@@ -1,0 +1,67 @@
+// Streaming statistics and simple histograms for experiment harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace nga::util {
+
+/// Welford-style running statistics: numerically stable mean/variance
+/// plus min/max, suitable for millions of samples.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / double(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / double(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-range linear histogram; out-of-range samples clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+  void add(double x) {
+    const double t = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<long>(t * double(counts_.size()));
+    idx = std::clamp(idx, 0L, long(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+  }
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t i) const { return counts_[i]; }
+  std::size_t total() const { return total_; }
+  double bin_center(std::size_t i) const {
+    return lo_ + (double(i) + 0.5) * (hi_ - lo_) / double(counts_.size());
+  }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace nga::util

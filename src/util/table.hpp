@@ -1,0 +1,85 @@
+// Console table and CSV rendering for the benchmark harnesses.
+//
+// Every bench/* binary prints the rows the paper's tables/figures report;
+// this keeps the formatting consistent and diff-friendly.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace nga::util {
+
+/// Column-aligned text table. Cells are strings; use cell() helpers to
+/// format numbers consistently.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  Table& add_row(std::vector<std::string> row) {
+    rows_.push_back(std::move(row));
+    return *this;
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> w(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& r) {
+      for (std::size_t i = 0; i < r.size() && i < w.size(); ++i)
+        w[i] = std::max(w[i], r[i].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto line = [&](const std::vector<std::string>& r) {
+      os << "|";
+      for (std::size_t i = 0; i < header_.size(); ++i) {
+        const std::string& c = i < r.size() ? r[i] : std::string{};
+        os << ' ' << c << std::string(w[i] - c.size(), ' ') << " |";
+      }
+      os << '\n';
+    };
+    line(header_);
+    os << "|";
+    for (std::size_t i = 0; i < header_.size(); ++i)
+      os << std::string(w[i] + 2, '-') << "|";
+    os << '\n';
+    for (const auto& r : rows_) line(r);
+  }
+
+  void print_csv(std::ostream& os) const {
+    auto line = [&](const std::vector<std::string>& r) {
+      for (std::size_t i = 0; i < r.size(); ++i)
+        os << (i ? "," : "") << r[i];
+      os << '\n';
+    };
+    line(header_);
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision numeric cell.
+inline std::string cell(double v, int precision = 2) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+inline std::string cell(long long v) { return std::to_string(v); }
+inline std::string cell(unsigned long long v) { return std::to_string(v); }
+inline std::string cell(int v) { return std::to_string(v); }
+inline std::string cell(std::size_t v) { return std::to_string(v); }
+inline std::string cell(const std::string& s) { return s; }
+
+/// Percentage cell: 0.1549 -> "15.49".
+inline std::string pct_cell(double fraction, int precision = 2) {
+  return cell(100.0 * fraction, precision);
+}
+
+}  // namespace nga::util

@@ -1,0 +1,201 @@
+// Fixed-width multi-word two's-complement integer.
+//
+// This is the storage engine behind the posit quire and behind the
+// wide-fixed-point oracles used to test rounding: a plain array of 64-bit
+// words with carry-propagating add/sub, shifts, and bit probes. It is
+// deliberately simple — no allocation, no UB, everything constexpr-able.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <string>
+
+#include "util/bits.hpp"
+
+namespace nga::util {
+
+/// @tparam Words number of 64-bit words; total width = 64*Words bits.
+/// Value semantics; treated as a two's-complement integer of that width.
+template <std::size_t Words>
+class WideInt {
+  static_assert(Words >= 1);
+
+ public:
+  static constexpr std::size_t kBits = 64 * Words;
+
+  constexpr WideInt() = default;
+
+  /// Sign-extending construction from a signed 64-bit value.
+  constexpr explicit WideInt(i64 v) {
+    w_[0] = static_cast<u64>(v);
+    const u64 ext = v < 0 ? ~u64{0} : 0;
+    for (std::size_t i = 1; i < Words; ++i) w_[i] = ext;
+  }
+
+  /// Sign-extending construction from a signed 128-bit value.
+  static constexpr WideInt from_i128(i128 v) {
+    WideInt r;
+    r.w_[0] = static_cast<u64>(static_cast<u128>(v));
+    if constexpr (Words >= 2) {
+      r.w_[1] = static_cast<u64>(static_cast<u128>(v) >> 64);
+      const u64 ext = v < 0 ? ~u64{0} : 0;
+      for (std::size_t i = 2; i < Words; ++i) r.w_[i] = ext;
+    }
+    return r;
+  }
+
+  constexpr bool is_zero() const {
+    for (auto w : w_)
+      if (w) return false;
+    return true;
+  }
+
+  constexpr bool is_negative() const { return (w_[Words - 1] >> 63) != 0; }
+
+  constexpr unsigned bit(std::size_t i) const {
+    return i >= kBits ? (is_negative() ? 1u : 0u)
+                      : unsigned(w_[i / 64] >> (i % 64)) & 1u;
+  }
+
+  constexpr void set_bit(std::size_t i, bool v) {
+    if (i >= kBits) return;
+    const u64 m = u64{1} << (i % 64);
+    if (v)
+      w_[i / 64] |= m;
+    else
+      w_[i / 64] &= ~m;
+  }
+
+  /// True iff any bit in [0, n) is set.
+  constexpr bool any_below(std::size_t n) const {
+    for (std::size_t i = 0; i < Words; ++i) {
+      if (n == 0) return false;
+      if (n >= 64) {
+        if (w_[i]) return true;
+        n -= 64;
+      } else {
+        return (w_[i] & mask64(unsigned(n))) != 0;
+      }
+    }
+    return false;
+  }
+
+  /// Index of the most significant set bit, or -1 if zero.
+  constexpr int msb() const {
+    for (std::size_t i = Words; i-- > 0;)
+      if (w_[i]) return int(i * 64) + msb_index(w_[i]);
+    return -1;
+  }
+
+  /// Index of the most significant bit that differs from the sign bit,
+  /// i.e. the magnitude's top bit in two's complement. -1 for 0 and -1.
+  constexpr int msb_magnitude() const {
+    const u64 sign_ext = is_negative() ? ~u64{0} : 0;
+    for (std::size_t i = Words; i-- > 0;) {
+      const u64 diff = w_[i] ^ sign_ext;
+      if (diff) return int(i * 64) + msb_index(diff);
+    }
+    return -1;
+  }
+
+  constexpr WideInt operator+(const WideInt& o) const {
+    WideInt r;
+    u64 carry = 0;
+    for (std::size_t i = 0; i < Words; ++i) {
+      const u128 s = u128(w_[i]) + o.w_[i] + carry;
+      r.w_[i] = static_cast<u64>(s);
+      carry = static_cast<u64>(s >> 64);
+    }
+    return r;
+  }
+
+  constexpr WideInt operator-(const WideInt& o) const { return *this + (-o); }
+
+  constexpr WideInt operator-() const {
+    WideInt r = ~*this;
+    // +1 with carry propagation.
+    for (std::size_t i = 0; i < Words; ++i) {
+      if (++r.w_[i] != 0) break;
+    }
+    return r;
+  }
+
+  constexpr WideInt operator~() const {
+    WideInt r;
+    for (std::size_t i = 0; i < Words; ++i) r.w_[i] = ~w_[i];
+    return r;
+  }
+
+  constexpr WideInt operator<<(std::size_t s) const {
+    WideInt r;
+    if (s >= kBits) return r;
+    const std::size_t wshift = s / 64, bshift = s % 64;
+    for (std::size_t i = Words; i-- > 0;) {
+      u64 v = i >= wshift ? w_[i - wshift] << bshift : 0;
+      if (bshift && i >= wshift + 1) v |= w_[i - wshift - 1] >> (64 - bshift);
+      r.w_[i] = v;
+    }
+    return r;
+  }
+
+  /// Arithmetic (sign-preserving) right shift.
+  constexpr WideInt asr(std::size_t s) const {
+    WideInt r;
+    const u64 ext = is_negative() ? ~u64{0} : 0;
+    if (s >= kBits) {
+      for (auto& w : r.w_) w = ext;
+      return r;
+    }
+    const std::size_t wshift = s / 64, bshift = s % 64;
+    for (std::size_t i = 0; i < Words; ++i) {
+      const std::size_t src = i + wshift;
+      u64 v = src < Words ? w_[src] >> bshift : ext >> bshift;
+      if (bshift) {
+        const u64 hi = src + 1 < Words ? w_[src + 1] : ext;
+        v |= hi << (64 - bshift);
+      }
+      r.w_[i] = v;
+    }
+    return r;
+  }
+
+  constexpr bool operator==(const WideInt&) const = default;
+
+  /// Signed (two's-complement) comparison.
+  constexpr std::strong_ordering operator<=>(const WideInt& o) const {
+    if (is_negative() != o.is_negative())
+      return is_negative() ? std::strong_ordering::less
+                           : std::strong_ordering::greater;
+    for (std::size_t i = Words; i-- > 0;) {
+      if (w_[i] != o.w_[i])
+        return w_[i] < o.w_[i] ? std::strong_ordering::less
+                               : std::strong_ordering::greater;
+    }
+    return std::strong_ordering::equal;
+  }
+
+  constexpr u64 word(std::size_t i) const { return w_[i]; }
+  constexpr void set_word(std::size_t i, u64 v) { w_[i] = v; }
+
+  /// Extract 64 bits starting at bit @p lsb (sign-extended beyond width).
+  constexpr u64 extract64(std::size_t lsb) const {
+    u64 v = 0;
+    for (int b = 63; b >= 0; --b) v = (v << 1) | bit(lsb + std::size_t(b));
+    return v;
+  }
+
+  std::string to_hex() const {
+    static const char* digits = "0123456789abcdef";
+    std::string s;
+    for (std::size_t i = Words; i-- > 0;)
+      for (int shift = 60; shift >= 0; shift -= 4)
+        s.push_back(digits[(w_[i] >> shift) & 0xf]);
+    return s;
+  }
+
+ private:
+  std::array<u64, Words> w_{};
+};
+
+}  // namespace nga::util

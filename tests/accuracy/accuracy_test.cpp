@@ -1,0 +1,125 @@
+#include "accuracy/accuracy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace nga::acc {
+namespace {
+
+TEST(DecimalAccuracy, PairwiseDefinition) {
+  // One part per thousand relative error ~= 3 decimals.
+  EXPECT_NEAR(decimal_accuracy(1.001, 1.0), 3.36, 0.01);
+  EXPECT_NEAR(decimal_accuracy(1.1, 1.0), 1.38, 0.01);
+  EXPECT_TRUE(std::isinf(decimal_accuracy(2.0, 2.0)));
+}
+
+TEST(AccuracyCurves, SizesMatchPositiveCodeCounts) {
+  EXPECT_EQ((accuracy_curve_posit<16, 1>().size()), 32767u);
+  EXPECT_EQ(accuracy_curve_fixed(16, 8).size(), 32767u);
+  // half: positive finite codes 1..0x7bff.
+  EXPECT_EQ((accuracy_curve_float<5, 10>().size()), 0x7bffu);
+  EXPECT_EQ((accuracy_curve_float<8, 7>().size()), 0x7f7fu);
+}
+
+TEST(AccuracyCurves, CurvesAreAscendingInValue) {
+  for (const auto& curve :
+       {accuracy_curve_posit<16, 1>(), accuracy_curve_float<5, 10>()}) {
+    for (std::size_t i = 1; i < curve.size(); ++i)
+      ASSERT_GT(curve[i].value, curve[i - 1].value) << i;
+  }
+}
+
+TEST(AccuracyCurves, DynamicRangeOrdersMatchPaper) {
+  // Section V: posit16 ~17 orders, float16 normals ~9 (12 with
+  // subnormals), bfloat16 ~76, fixed16 < 5.
+  EXPECT_NEAR(dynamic_range_orders(accuracy_curve_posit<16, 1>()), 16.9, 0.1);
+  const auto halfc = accuracy_curve_float<5, 10>();
+  // Normal-range-only slice (paper quotes 9 orders for normals):
+  std::vector<AccuracyPoint> normals(halfc.begin() + 0x3ff, halfc.end());
+  EXPECT_NEAR(dynamic_range_orders(normals), 9.0, 0.2);
+  // bfloat16 normals only (the paper's ~76 orders; subnormals add ~2).
+  const auto bfc = accuracy_curve_float<8, 7>();
+  std::vector<AccuracyPoint> bf_normals(bfc.begin() + 0x7f, bfc.end());
+  EXPECT_NEAR(dynamic_range_orders(bf_normals), 76.6, 0.5);
+  EXPECT_LT(dynamic_range_orders(accuracy_curve_fixed(16, 8)), 5.0);
+}
+
+TEST(AccuracyCurves, PositTriangleFloatTrapezoidFixedRamp) {
+  // Shape assertions for Fig. 9/10.
+  const auto pc = accuracy_curve_posit<16, 1>();
+  // Posit: peak accuracy at |x| ~ 1 (code in the middle), tapering to
+  // both ends roughly symmetrically.
+  const auto peak = std::max_element(
+      pc.begin(), pc.end(),
+      [](const auto& a, const auto& b) { return a.accuracy < b.accuracy; });
+  EXPECT_GT(peak->value, 0.2);
+  EXPECT_LT(peak->value, 4.0);
+  EXPECT_LT(pc.front().accuracy, peak->accuracy - 2.0);
+  EXPECT_LT(pc.back().accuracy, peak->accuracy - 2.0);
+  // Symmetry: accuracy at value v roughly equals accuracy at 1/v.
+  EXPECT_NEAR(pc.front().accuracy, pc.back().accuracy, 0.35);
+
+  // Float: flat accuracy across the normal range (trapezoid top).
+  const auto fc = accuracy_curve_float<5, 10>();
+  const double at_1 = fc[0x3c00 - 1].accuracy;   // around 1.0
+  const double at_64 = fc[0x5400 - 1].accuracy;  // around 64.0
+  EXPECT_NEAR(at_1, at_64, 0.05);
+  // Subnormal ramp: accuracy decays toward the smallest subnormal.
+  EXPECT_LT(fc.front().accuracy, at_1 - 2.0);
+
+  // Posit beats float16 and bfloat16 near 1.0 (the paper's
+  // "0.01..100" claim).
+  const auto bc = accuracy_curve_float<8, 7>();
+  auto acc_near = [](const std::vector<AccuracyPoint>& c, double v) {
+    const auto it = std::lower_bound(
+        c.begin(), c.end(), v,
+        [](const AccuracyPoint& p, double x) { return p.value < x; });
+    return it == c.end() ? c.back().accuracy : it->accuracy;
+  };
+  // posit<16,1> has more fraction bits than binary16 within
+  // [1/16, 16] (regimes of <= 3 bits) and always beats bfloat16's
+  // 7 fraction bits over the common range.
+  for (double v : {0.1, 1.0, 10.0}) {
+    EXPECT_GT(acc_near(pc, v), acc_near(fc, v) - 0.01) << v;
+  }
+  for (double v : {0.02, 0.1, 1.0, 10.0, 90.0}) {
+    EXPECT_GT(acc_near(pc, v), acc_near(bc, v) + 0.5) << v;
+  }
+  // ...but loses outside its hump, e.g. near 2^20.
+  EXPECT_LT(acc_near(pc, std::ldexp(1.0, 24)),
+            acc_near(fc, std::ldexp(1.0, 10)));
+}
+
+TEST(RingCensus, FloatTrapFractions) {
+  const auto census = float_ring_census<5, 10>();
+  // By construction: exponent all-0s and all-1s are 2 of 32 exponent
+  // codes -> 6.25% of the ring ("about 6 percent" in the paper).
+  const auto& trap = census[4];
+  EXPECT_EQ(trap.name, "trap total (exp all-0s/1s)");
+  EXPECT_NEAR(trap.fraction, 0.0625, 1e-12);
+  // The theorems-valid arc covers less than half the ring.
+  const auto& thm = census[5];
+  EXPECT_LT(thm.fraction, 0.5);
+  EXPECT_GT(thm.fraction, 0.3);
+}
+
+TEST(RingCensus, PositExceptionsAndArcs) {
+  const auto census = posit_ring_census<16, 1>();
+  EXPECT_EQ(census[0].codes, 2u);  // exactly 0 and NaR
+  // Fixed-field arcs: regime "10" or "01" covers half of all magnitudes.
+  EXPECT_NEAR(census[1].fraction, 0.5, 0.001);
+  // Every real code is in the "theorems valid" region.
+  EXPECT_NEAR(census[3].fraction, 1.0 - 2.0 / 65536.0, 1e-12);
+}
+
+TEST(RingCensus, CountsSumToRingSize) {
+  const auto census = float_ring_census<5, 10>();
+  EXPECT_EQ(census[0].codes + census[1].codes + census[2].codes +
+                census[3].codes,
+            util::u64{1} << 16);
+}
+
+}  // namespace
+}  // namespace nga::acc

@@ -1,0 +1,134 @@
+#include "approx/multipliers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nga::ax {
+namespace {
+
+TEST(ApproxMult, ExactIsExact) {
+  const auto m = make_exact();
+  const auto e = measure_error(*m);
+  EXPECT_EQ(e.mae, 0.0);
+  EXPECT_EQ(e.mre_percent, 0.0);
+  EXPECT_EQ(e.wce, 0.0);
+}
+
+/// Every multiplier's netlist must agree with its behavioural model on
+/// ALL 65536 input pairs — the netlists drive the energy model, so a
+/// mismatch would silently decouple Table II's error and energy columns.
+void check_netlist_equivalence(const ApproxMult8& m) {
+  const auto nl = m.netlist();
+  ASSERT_EQ(nl.num_inputs(), 16u) << m.name();
+  ASSERT_EQ(nl.num_outputs(), 16u) << m.name();
+  for (unsigned a = 0; a < 256; ++a)
+    for (unsigned b = 0; b < 256; ++b) {
+      const util::u64 out = nl.eval_word(a | (b << 8));
+      ASSERT_EQ(out, util::u64(m.multiply(util::u8(a), util::u8(b))))
+          << m.name() << " a=" << a << " b=" << b;
+    }
+}
+
+TEST(ApproxMult, ExactNetlistEquivalence) {
+  check_netlist_equivalence(*make_exact());
+}
+TEST(ApproxMult, TruncatedNetlistEquivalence) {
+  check_netlist_equivalence(*make_truncated(2));
+  check_netlist_equivalence(*make_truncated(6));
+  check_netlist_equivalence(*make_truncated(8));
+}
+TEST(ApproxMult, LoaNetlistEquivalence) {
+  check_netlist_equivalence(*make_loa(5));
+}
+TEST(ApproxMult, BrokenArrayNetlistEquivalence) {
+  check_netlist_equivalence(*make_broken_array(6));
+}
+TEST(ApproxMult, DrumNetlistEquivalence) {
+  check_netlist_equivalence(*make_drum(3));
+  check_netlist_equivalence(*make_drum(4));
+}
+TEST(ApproxMult, MitchellNetlistEquivalence) {
+  check_netlist_equivalence(*make_mitchell());
+  check_netlist_equivalence(*make_truncated_mitchell(3));
+  check_netlist_equivalence(*make_truncated_mitchell(1));
+}
+
+TEST(ApproxMult, MitchellPropertiesMatchLiterature) {
+  // Mitchell's log multiplier: always underestimates; exact on powers
+  // of two; MRE ~3.8%, worst relative error ~11.1%.
+  const auto m = make_mitchell();
+  double worst_rel = 0.0;
+  for (unsigned a = 1; a < 256; ++a)
+    for (unsigned b = 1; b < 256; ++b) {
+      const unsigned exact = a * b;
+      const unsigned got = m->multiply(util::u8(a), util::u8(b));
+      ASSERT_LE(got, exact) << a << "*" << b;  // never overestimates
+      worst_rel = std::max(worst_rel, double(exact - got) / double(exact));
+    }
+  EXPECT_EQ(m->multiply(8, 16), 128u);  // powers of two exact
+  EXPECT_EQ(m->multiply(128, 2), 256u);
+  EXPECT_NEAR(worst_rel, 0.111, 0.015);
+  const auto e = measure_error(*m);
+  EXPECT_NEAR(e.mre_percent, 3.8, 0.8);
+}
+
+TEST(ApproxMult, DrumIsRoughlyUnbiased) {
+  // DRUM's forced LSB makes over/under-estimation balance out: the
+  // signed mean error is far smaller than the mean absolute error.
+  const auto m = make_drum(4);
+  double signed_sum = 0.0, abs_sum = 0.0;
+  for (unsigned a = 0; a < 256; ++a)
+    for (unsigned b = 0; b < 256; ++b) {
+      const double d =
+          double(m->multiply(util::u8(a), util::u8(b))) - double(a * b);
+      signed_sum += d;
+      abs_sum += std::fabs(d);
+    }
+  EXPECT_LT(std::fabs(signed_sum), abs_sum * 0.2);
+}
+
+TEST(ApproxMult, TruncationErrorGrowsWithDroppedColumns) {
+  double last = -1.0;
+  for (unsigned k : {1u, 2u, 4u, 6u, 8u}) {
+    const auto e = measure_error(*make_truncated(k));
+    EXPECT_GT(e.mre_percent, last) << k;
+    last = e.mre_percent;
+  }
+}
+
+TEST(ApproxMult, Table2SetSpansThePaperRange) {
+  // Table II: MRE from 0.03% to 19.45%, monotone as listed; MAE grows
+  // with MRE overall.
+  const auto set = table2_multipliers();
+  ASSERT_EQ(set.size(), 10u);
+  std::vector<double> mre;
+  for (const auto& m : set) mre.push_back(measure_error(*m).mre_percent);
+  EXPECT_LT(mre.front(), 0.15);  // near-exact end
+  EXPECT_GT(mre.back(), 12.0);   // aggressive end
+  for (std::size_t i = 1; i < mre.size(); ++i)
+    EXPECT_GT(mre[i], mre[i - 1] * 0.8) << i;  // roughly increasing
+}
+
+TEST(ApproxMult, EnergySavingsIncreaseWithAggressiveness) {
+  // The Table II economics: more error, less switched capacitance.
+  const double e_small = energy_saving_percent(*make_truncated(2), 400);
+  const double e_large = energy_saving_percent(*make_truncated(8), 400);
+  EXPECT_GT(e_small, -5.0);
+  EXPECT_GT(e_large, e_small + 10.0);
+  EXPECT_LT(e_large, 100.0);
+  // The exact multiplier saves nothing.
+  EXPECT_NEAR(energy_saving_percent(*make_exact(), 400), 0.0, 3.0);
+}
+
+TEST(ApproxMult, ZeroOperandGivesZero) {
+  for (const auto& m : table2_multipliers()) {
+    for (unsigned a = 0; a < 256; a += 17) {
+      EXPECT_EQ(m->multiply(util::u8(a), 0), 0u) << m->name();
+      EXPECT_EQ(m->multiply(0, util::u8(a)), 0u) << m->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nga::ax

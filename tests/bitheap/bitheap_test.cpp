@@ -1,0 +1,140 @@
+#include "bitheap/bitheap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace nga::bh {
+namespace {
+
+using util::u64;
+
+/// Sum-of-products harness: k products of wxw bits through one heap.
+hw::Netlist build_sop(unsigned w, unsigned k, Strategy s,
+                      CompressionStats* stats = nullptr) {
+  hw::Netlist nl;
+  BitHeap heap(nl);
+  std::vector<std::vector<int>> as(k), bs(k);
+  for (unsigned t = 0; t < k; ++t) {
+    as[t].resize(w);
+    bs[t].resize(w);
+    for (auto& x : as[t]) x = nl.add_input();
+    for (auto& x : bs[t]) x = nl.add_input();
+  }
+  for (unsigned t = 0; t < k; ++t) heap.add_product(0, as[t], bs[t]);
+  auto sum = heap.compress(s);
+  const unsigned out_bits = 2 * w + unsigned(util::msb_index(k)) + 1;
+  sum.resize(out_bits, nl.constant(false));
+  for (unsigned i = 0; i < out_bits; ++i) nl.mark_output(sum[i]);
+  if (stats) *stats = heap.stats();
+  return nl;
+}
+
+u64 sop_reference(u64 in, unsigned w, unsigned k) {
+  u64 sum = 0;
+  for (unsigned t = 0; t < k; ++t) {
+    const u64 a = (in >> (2 * t * w)) & util::mask64(w);
+    const u64 b = (in >> ((2 * t + 1) * w)) & util::mask64(w);
+    sum += a * b;
+  }
+  return sum;
+}
+
+class BitHeapStrategyTest : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(BitHeapStrategyTest, SingleProductExhaustive4x4) {
+  const auto nl = build_sop(4, 1, GetParam());
+  for (u64 in = 0; in < 256; ++in)
+    ASSERT_EQ(nl.eval_word(in), sop_reference(in, 4, 1)) << in;
+}
+
+TEST_P(BitHeapStrategyTest, TwoProductsExhaustive3x3) {
+  const auto nl = build_sop(3, 2, GetParam());
+  for (u64 in = 0; in < (u64{1} << 12); ++in)
+    ASSERT_EQ(nl.eval_word(in), sop_reference(in, 3, 2)) << in;
+}
+
+TEST_P(BitHeapStrategyTest, FourProductsRandom5x5) {
+  const auto nl = build_sop(5, 4, GetParam());
+  util::Xoshiro256 rng(123);
+  for (int i = 0; i < 20000; ++i) {
+    const u64 in = rng() & util::mask64(40);
+    ASSERT_EQ(nl.eval_word(in), sop_reference(in, 5, 4)) << in;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, BitHeapStrategyTest,
+                         ::testing::Values(Strategy::kRippleTree,
+                                           Strategy::kCompressorTree,
+                                           Strategy::kLut6Tree));
+
+TEST(BitHeap, NegativeWeightsFractionalBits) {
+  hw::Netlist nl;
+  BitHeap heap(nl);
+  std::vector<int> a(4);
+  for (auto& x : a) x = nl.add_input();
+  heap.add_word(-4, a);          // Q0.4 word
+  heap.add_constant_bit(-1);     // + 0.5
+  auto sum = heap.compress(Strategy::kCompressorTree);
+  for (int bit : sum) nl.mark_output(bit);
+  EXPECT_EQ(heap.stats().final_adder_width, int(sum.size()));
+  for (u64 x = 0; x < 16; ++x) {
+    // result LSB has weight 2^-4: sum = x + 8.
+    EXPECT_EQ(nl.eval_word(x) & util::mask64(5), x + 8);
+  }
+}
+
+TEST(BitHeap, SignedWordTwosComplement) {
+  hw::Netlist nl;
+  BitHeap heap(nl);
+  std::vector<int> a(4), b(4);
+  for (auto& x : a) x = nl.add_input();
+  for (auto& x : b) x = nl.add_input();
+  heap.add_signed_word(0, a, 5);
+  heap.add_signed_word(0, b, 5);
+  auto sum = heap.compress(Strategy::kCompressorTree);
+  sum.resize(6, nl.constant(false));
+  for (int i = 0; i < 6; ++i) nl.mark_output(sum[i]);
+  for (u64 x = 0; x < 16; ++x)
+    for (u64 y = 0; y < 16; ++y) {
+      const auto expect =
+          (util::sign_extend(x, 4) + util::sign_extend(y, 4)) & 63;
+      EXPECT_EQ(nl.eval_word(x | (y << 4)), u64(expect)) << x << " " << y;
+    }
+}
+
+TEST(BitHeap, CompressorTreeHasLowerDepthThanRipple) {
+  // Fig. 2's reason to exist: a compressor tree flattens the carry
+  // structure. Depth must be much lower, at equal function.
+  CompressionStats s1, s2;
+  const auto ripple = build_sop(8, 4, Strategy::kRippleTree, &s1);
+  const auto tree = build_sop(8, 4, Strategy::kCompressorTree, &s2);
+  EXPECT_LT(tree.cost().depth, ripple.cost().depth);
+  EXPECT_GT(s2.full_adders, 0);
+  EXPECT_GT(s1.stages, 0);
+  // And the tree pays for it with one wide final adder only.
+  EXPECT_GT(s2.final_adder_width, 0);
+}
+
+TEST(BitHeap, Lut6ModeUsesParallelCounters) {
+  CompressionStats s;
+  build_sop(6, 6, Strategy::kLut6Tree, &s);
+  EXPECT_GT(s.lut6_compressors, 0);
+}
+
+TEST(BitHeap, HeightAndWeightIntrospection) {
+  hw::Netlist nl;
+  BitHeap heap(nl);
+  const int x = nl.add_input();
+  heap.add_bit(3, x);
+  heap.add_bit(3, x);
+  heap.add_bit(-2, x);
+  EXPECT_EQ(heap.min_weight(), -2);
+  EXPECT_EQ(heap.max_weight(), 3);
+  EXPECT_EQ(heap.column_height(3), 2u);
+  EXPECT_EQ(heap.column_height(0), 0u);
+  EXPECT_EQ(heap.max_height(), 2u);
+}
+
+}  // namespace
+}  // namespace nga::bh

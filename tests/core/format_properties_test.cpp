@@ -1,0 +1,155 @@
+// Parameterized property sweep over ALL the library's number formats:
+// the same algebraic invariants checked against every format through a
+// type-erased driver (TEST_P / INSTANTIATE_TEST_SUITE_P).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include "core/format_traits.hpp"
+#include "util/rng.hpp"
+
+namespace nga::core {
+namespace {
+
+struct FormatDriver {
+  std::string name;
+  unsigned bits;
+  // All values ferried as doubles; ops round in-format.
+  std::function<double(double)> quantize;           // round to format
+  std::function<double(double, double)> add, mul;
+  double max_magnitude;   // largest finite positive value
+  double min_positive;    // smallest positive value
+  bool saturates;         // posit/fixed saturate; floats overflow to inf
+  double faithful_rel;    // worst relative rounding error over [0.1, 50]
+};
+
+template <class F>
+FormatDriver make_driver(double maxv, double minv, bool saturates,
+                         double faithful_rel = 0.01) {
+  using T = format_traits<F>;
+  FormatDriver d;
+  d.name = T::name();
+  d.bits = T::bits();
+  d.quantize = [](double v) { return T::to_double(T::from_double(v)); };
+  d.add = [](double a, double b) {
+    return T::to_double(T::add(T::from_double(a), T::from_double(b)));
+  };
+  d.mul = [](double a, double b) {
+    return T::to_double(T::mul(T::from_double(a), T::from_double(b)));
+  };
+  d.max_magnitude = maxv;
+  d.min_positive = minv;
+  d.saturates = saturates;
+  d.faithful_rel = faithful_rel;
+  return d;
+}
+
+class FormatProperty : public ::testing::TestWithParam<FormatDriver> {};
+
+TEST_P(FormatProperty, QuantizationIsIdempotent) {
+  const auto& d = GetParam();
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.uniform(-d.max_magnitude / 4, d.max_magnitude / 4);
+    const double q = d.quantize(v);
+    ASSERT_EQ(d.quantize(q), q) << d.name << " v=" << v;
+  }
+}
+
+TEST_P(FormatProperty, QuantizationIsMonotone) {
+  const auto& d = GetParam();
+  util::Xoshiro256 rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const double a = rng.uniform(-100.0, 100.0);
+    const double b = rng.uniform(-100.0, 100.0);
+    if (a <= b) {
+      ASSERT_LE(d.quantize(a), d.quantize(b)) << d.name;
+    } else {
+      ASSERT_GE(d.quantize(a), d.quantize(b)) << d.name;
+    }
+  }
+}
+
+TEST_P(FormatProperty, AddIsCommutative) {
+  const auto& d = GetParam();
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const double a = rng.uniform(-50.0, 50.0);
+    const double b = rng.uniform(-50.0, 50.0);
+    ASSERT_EQ(d.add(a, b), d.add(b, a)) << d.name;
+  }
+}
+
+TEST_P(FormatProperty, MulIsCommutativeWithExactIdentity) {
+  const auto& d = GetParam();
+  util::Xoshiro256 rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    const double a = rng.uniform(-50.0, 50.0);
+    const double b = rng.uniform(-50.0, 50.0);
+    ASSERT_EQ(d.mul(a, b), d.mul(b, a)) << d.name;
+    const double q = d.quantize(a);
+    ASSERT_EQ(d.mul(q, 1.0), q) << d.name;
+    ASSERT_EQ(d.mul(q, 0.0), 0.0) << d.name;
+  }
+}
+
+TEST_P(FormatProperty, AdditionWithZeroIsIdentity) {
+  const auto& d = GetParam();
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const double q = d.quantize(rng.uniform(-50.0, 50.0));
+    ASSERT_EQ(d.add(q, 0.0), q) << d.name;
+    // x + (-x) == 0 exactly (negation is exact in all these formats).
+    ASSERT_EQ(d.add(q, -q), 0.0) << d.name;
+  }
+}
+
+TEST_P(FormatProperty, RoundingIsFaithful) {
+  // The quantization of v lies within one representable step of v.
+  const auto& d = GetParam();
+  util::Xoshiro256 rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.uniform(0.1, 50.0);
+    const double q = d.quantize(v);
+    const double rel = std::fabs(q - v) / v;
+    ASSERT_LT(rel, d.faithful_rel) << d.name << " v=" << v;
+  }
+}
+
+TEST_P(FormatProperty, SaturationOrOverflowAtTheTop) {
+  const auto& d = GetParam();
+  const double big = d.max_magnitude;
+  const double r = d.mul(big, 4.0);
+  if (d.saturates) {
+    ASSERT_LE(r, big) << d.name;        // clamps
+    ASSERT_GT(r, 0.0) << d.name;        // never wraps to zero/negative
+  } else {
+    ASSERT_TRUE(std::isinf(r)) << d.name;  // IEEE overflow
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, FormatProperty,
+    ::testing::Values(
+        make_driver<ps::posit<8, 0>>(64.0, 1.0 / 64, true, 0.35),
+        make_driver<ps::posit16>(std::ldexp(1.0, 28), std::ldexp(1.0, -28),
+                                 true),
+        make_driver<ps::posit32>(std::ldexp(1.0, 120), std::ldexp(1.0, -120),
+                                 true),
+        make_driver<ps::posit<16, 2>>(std::ldexp(1.0, 56),
+                                      std::ldexp(1.0, -56), true),
+        make_driver<sf::half>(65504.0, std::ldexp(1.0, -24), false),
+        make_driver<sf::bfloat16_t>(3.3895e38, 1e-41, false),
+        make_driver<sf::fp19>(3.3895e38, std::ldexp(1.0, -136), false),
+        make_driver<fx::fixed16>(127.99609375, 1.0 / 256, true, 0.02)),
+    [](const ::testing::TestParamInfo<FormatDriver>& info) {
+      std::string n = info.param.name;
+      for (auto& c : n)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+}  // namespace
+}  // namespace nga::core

@@ -1,0 +1,63 @@
+#include "core/format_traits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace nga::core {
+namespace {
+
+TEST(FormatTraits, NamesAndBits) {
+  EXPECT_EQ(format_traits<ps::posit16>::name(), "posit<16,1>");
+  EXPECT_EQ(format_traits<sf::half>::name(), "float<1,5,10>");
+  EXPECT_EQ(format_traits<sf::half_ftz>::name(), "float<1,5,10> (FTZ)");
+  EXPECT_EQ((format_traits<fx::fixed16>::name()), "fixed<16,8>");
+  EXPECT_EQ(format_traits<ps::posit16>::bits(), 16u);
+  EXPECT_EQ(format_traits<sf::fp32>::bits(), 32u);
+}
+
+TEST(FormatTraits, RoundTripThroughEveryFormat) {
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-10.0, 10.0);
+    auto check = [&](auto tag, double tol) {
+      using F = decltype(tag);
+      const double back = format_traits<F>::to_double(
+          format_traits<F>::from_double(v));
+      EXPECT_NEAR(back, v, tol) << format_traits<F>::name();
+    };
+    check(ps::posit16{}, 0.01);
+    check(sf::half{}, 0.02);
+    check(fx::fixed16{}, 0.005);
+  }
+}
+
+TEST(FormatTraits, DotErrorOrderingOnUnitScaleData) {
+  util::Xoshiro256 rng(4);
+  std::vector<double> x(128), y(128);
+  for (auto& v : x) v = rng.uniform(0.2, 1.0);
+  for (auto& v : y) v = rng.uniform(0.2, 1.0);
+  // All positive -> no cancellation; posit16 must beat bfloat16 and be
+  // competitive with half.
+  const double ep = dot_error<ps::posit16>(x, y);
+  const double eh = dot_error<sf::half>(x, y);
+  const double eb = dot_error<sf::bfloat16_t>(x, y);
+  EXPECT_LT(ep, eb);
+  EXPECT_LT(ep, eh * 3);
+  const double e32 = dot_error<sf::fp32>(x, y);
+  EXPECT_LT(e32, ep);
+}
+
+TEST(FormatTraits, FirErrorFiniteAndOrdered) {
+  util::Xoshiro256 rng(5);
+  std::vector<double> taps{0.1, 0.2, 0.4, 0.2, 0.1};
+  std::vector<double> sig(256);
+  for (auto& v : sig) v = rng.uniform(-1.0, 1.0);
+  const double ep = fir_error<ps::posit16>(taps, sig);
+  const double eb = fir_error<sf::bfloat16_t>(taps, sig);
+  EXPECT_GT(ep, 0.0);
+  EXPECT_LT(ep, eb);
+}
+
+}  // namespace
+}  // namespace nga::core

@@ -1,0 +1,115 @@
+#include "fixedpoint/fixed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace nga::fx {
+namespace {
+
+using F16 = fixed<16, 8>;  // Q7.8 saturating, RNE
+using W = fixed<8, 4, Overflow::kWrap>;
+
+TEST(Fixed, QuantizeAndRoundTrip) {
+  EXPECT_EQ(F16(1.0).raw(), 256);
+  EXPECT_EQ(F16(-1.0).raw(), -256);
+  EXPECT_EQ(F16(0.5).raw(), 128);
+  EXPECT_DOUBLE_EQ(F16(3.14159).to_double(), 804.0 / 256.0);
+  // RNE at the half-ulp boundary: 1/512 is exactly half an ulp.
+  EXPECT_EQ(F16(1.0 / 512.0).raw(), 0);      // ties to even (0)
+  EXPECT_EQ(F16(3.0 / 512.0).raw(), 2);      // ties to even (2)
+  EXPECT_EQ(F16(std::nan("")).raw(), 0);
+}
+
+TEST(Fixed, SaturationAtExtremes) {
+  EXPECT_EQ(F16(1000.0).raw(), F16::kRawMax);
+  EXPECT_EQ(F16(-1000.0).raw(), F16::kRawMin);
+  EXPECT_EQ((F16::max() + F16(1.0)).raw(), F16::kRawMax);
+  EXPECT_EQ((F16::min() - F16(1.0)).raw(), F16::kRawMin);
+  EXPECT_EQ((F16::max() * F16::max()).raw(), F16::kRawMax);
+  EXPECT_EQ((F16::min() * F16::max()).raw(), F16::kRawMin);
+}
+
+TEST(Fixed, WrappingPolicy) {
+  const W a = W::from_raw(W::kRawMax);
+  const W b = a + W::from_raw(1);
+  EXPECT_EQ(b.raw(), W::kRawMin);  // two's-complement wrap
+}
+
+TEST(Fixed, ArithmeticMatchesDoubleWithinUlp) {
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.uniform(-100.0, 100.0);
+    const double y = rng.uniform(-100.0, 100.0);
+    const F16 a(x), b(y);
+    const double ulp = F16::ulp().to_double();
+    EXPECT_NEAR((a + b).to_double(),
+                std::clamp(a.to_double() + b.to_double(), -128.0, 128.0),
+                ulp);
+    const double prod = a.to_double() * b.to_double();
+    if (std::fabs(prod) < 127.0) {
+      EXPECT_NEAR((a * b).to_double(), prod, ulp);
+    }
+    if (std::fabs(b.to_double()) > 1.0) {
+      const double quot = a.to_double() / b.to_double();
+      EXPECT_NEAR((a / b).to_double(), quot, ulp) << x << " " << y;
+    }
+  }
+}
+
+TEST(Fixed, MultiplicationRoundsToNearestEven) {
+  // 0.5 * (1/256) = 1/512 exactly: half an ulp -> ties to even (0).
+  const F16 half(0.5), ulp1 = F16::from_raw(1);
+  EXPECT_EQ((half * ulp1).raw(), 0);
+  // 0.5 * (3/256) = 3/512: ties to even -> 2/256.
+  EXPECT_EQ((half * F16::from_raw(3)).raw(), 2);
+  // 0.75 * (1/256) = 3/1024: rounds to 1/256.
+  EXPECT_EQ((F16(0.75) * ulp1).raw(), 1);
+}
+
+TEST(Fixed, DivisionBasics) {
+  EXPECT_DOUBLE_EQ((F16(10.0) / F16(4.0)).to_double(), 2.5);
+  EXPECT_DOUBLE_EQ((F16(-10.0) / F16(4.0)).to_double(), -2.5);
+  EXPECT_EQ((F16(1.0) / F16(0.0)).raw(), F16::kRawMax);   // sat, not trap
+  EXPECT_EQ((F16(-1.0) / F16(0.0)).raw(), F16::kRawMin);
+}
+
+TEST(Fixed, ComparisonIsRawOrder) {
+  EXPECT_LT(F16(-3.5), F16(-3.25));
+  EXPECT_LT(F16(-0.25), F16(0.0));
+  EXPECT_GT(F16(7.0), F16(6.5));
+  EXPECT_LT(F16::from_raw(-1), F16::from_raw(0));
+  EXPECT_EQ(F16(2.5), F16(2.5));
+}
+
+TEST(Fixed, TruncationPolicy) {
+  using T = fixed<16, 8, Overflow::kSaturate, Rounding::kTruncate>;
+  // Truncation rounds toward -inf on the raw lattice (arithmetic shift).
+  EXPECT_EQ((T(0.5) * T::from_raw(1)).raw(), 0);
+  EXPECT_EQ((T(-0.5) * T::from_raw(1)).raw(), -1);
+}
+
+TEST(FixFormat, RuntimeDescriptor) {
+  const FixFormat f{-1, -12, false};
+  EXPECT_EQ(f.width(), 12);
+  EXPECT_DOUBLE_EQ(f.ulp(), std::ldexp(1.0, -12));
+  EXPECT_DOUBLE_EQ(f.max_value(), 1.0 - std::ldexp(1.0, -12));
+  const FixFormat s{3, -4, true};
+  EXPECT_EQ(s.width(), 8);
+  EXPECT_DOUBLE_EQ(s.min_value(), -8.0);
+}
+
+TEST(FixFormat, QuantizeClampsAndRounds) {
+  const FixFormat f{-1, -8, false};
+  EXPECT_EQ(FixValue::quantize(0.5, f).mantissa, 128);
+  EXPECT_EQ(FixValue::quantize(2.0, f).mantissa, 255);   // clamp high
+  EXPECT_EQ(FixValue::quantize(-1.0, f).mantissa, 0);    // clamp low
+  const FixFormat s{0, -4, true};
+  EXPECT_EQ(FixValue::quantize(-0.5, s).mantissa, -8);
+  EXPECT_DOUBLE_EQ((FixValue{-8, s}.to_double()), -0.5);
+}
+
+}  // namespace
+}  // namespace nga::fx

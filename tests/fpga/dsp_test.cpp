@@ -1,0 +1,62 @@
+#include "fpga/dsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace nga::fpga {
+namespace {
+
+TEST(Dsp, PeakTflopsMatchesPaperClaim) {
+  // "almost 9000 DSPs at 750MHz provides up to 25 TFLOPs" (decomposed
+  // small-precision modes: 2 pairs x 2 flops per block per cycle).
+  const DspDevice dev;
+  EXPECT_NEAR(peak_tflops(dev, DspMode::kFp16), 26.9, 0.3);
+  EXPECT_GT(peak_tflops(dev, DspMode::kFp16), 25.0);
+  EXPECT_NEAR(peak_tflops(dev, DspMode::kFp32),
+              peak_tflops(dev, DspMode::kFp16) / 2, 1e-9);
+  EXPECT_EQ(peak_tflops(dev, DspMode::kBfloat16),
+            peak_tflops(dev, DspMode::kFp19));
+}
+
+TEST(Dsp, BlockCountsForDotProducts) {
+  EXPECT_EQ(dsp_blocks_for_dot(128, DspMode::kFp32), 128);
+  EXPECT_EQ(dsp_blocks_for_dot(128, DspMode::kFp16), 64);
+  EXPECT_EQ(dsp_blocks_for_dot(129, DspMode::kFp19), 65);
+}
+
+TEST(Dsp, MultAddNumericsPerMode) {
+  // 1.5*2.5 + 1 = 4.75 is exact in every mode.
+  for (const auto m :
+       {DspMode::kFp32, DspMode::kFp16, DspMode::kBfloat16, DspMode::kFp19}) {
+    EXPECT_EQ(dsp_mult_add(m, 1.0, 1.5, 2.5), 4.75) << int(m);
+  }
+  // bfloat16 keeps huge ranges where fp16 overflows.
+  EXPECT_TRUE(std::isinf(dsp_mult_add(DspMode::kFp16, 0.0, 60000.0, 2.0)));
+  EXPECT_FALSE(std::isinf(dsp_mult_add(DspMode::kBfloat16, 0.0, 60000.0, 2.0)));
+  // ...but fp16/fp19 carry more fraction bits than bfloat16.
+  const double v = 1.0 + 1.0 / 512.0;  // needs 9 fraction bits
+  EXPECT_EQ(dsp_mult_add(DspMode::kFp16, 0.0, v, 1.0), v);
+  EXPECT_EQ(dsp_mult_add(DspMode::kFp19, 0.0, v, 1.0), v);
+  EXPECT_NE(dsp_mult_add(DspMode::kBfloat16, 0.0, v, 1.0), v);
+}
+
+TEST(Dsp, DotProductErrorOrdering) {
+  // On a well-scaled dot product, FP32 < FP19 ~ FP16 < bfloat16 error.
+  util::Xoshiro256 rng(9);
+  std::vector<double> x(256), y(256);
+  for (auto& v : x) v = rng.uniform(0.5, 1.5);
+  for (auto& v : y) v = rng.uniform(0.5, 1.5);
+  const double e32 = dot_product_rel_error(DspMode::kFp32, x, y);
+  const double e16 = dot_product_rel_error(DspMode::kFp16, x, y);
+  const double e19 = dot_product_rel_error(DspMode::kFp19, x, y);
+  const double ebf = dot_product_rel_error(DspMode::kBfloat16, x, y);
+  EXPECT_LT(e32, e16);
+  EXPECT_LT(e19, ebf);
+  EXPECT_LT(e16, ebf);
+  // FP19 ~ FP16 fraction width: same order of magnitude.
+  EXPECT_LT(e19, e16 * 4 + 1e-12);
+}
+
+}  // namespace
+}  // namespace nga::fpga

@@ -1,0 +1,95 @@
+#include "fpga/fractal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nga::fpga {
+namespace {
+
+TEST(Fractal, FirstFitPlacesEverythingOnABigDevice) {
+  const auto segs = ai_datapath_segments(200, 1);
+  const auto r = pack_first_fit(segs, 10, 400);
+  EXPECT_EQ(r.failed_segments, 0);
+  EXPECT_EQ(r.placed_segments, 200);
+  EXPECT_GT(r.functional_alms, 0);
+  EXPECT_GT(r.utilization(), 0.4);
+  EXPECT_LT(r.utilization(), 0.85);  // gaps + fragmentation bite
+}
+
+TEST(Fractal, FractalBeatsFirstFitUtilization) {
+  // The headline: soft arithmetic at 60-70% with standard fitting vs
+  // near-100% with fractal synthesis, same workload, same device.
+  const auto segs = ai_datapath_segments(500, 2);
+  const int labs = 400;
+  const auto ff = pack_first_fit(segs, 10, labs);
+  const auto fr = pack_fractal(segs, 10, labs, 16);
+  EXPECT_EQ(fr.failed_segments, 0);
+  EXPECT_GT(fr.utilization(), ff.utilization() + 0.1);
+  EXPECT_GT(fr.utilization(), 0.95);            // "near 100% logic use"
+  EXPECT_GT(fr.functional_density(), 0.75);
+  EXPECT_LT(ff.utilization(), 0.8);             // the 60-70% regime
+}
+
+TEST(Fractal, TightDeviceNeedsDecomposition) {
+  // Make the device just big enough that whole-segment placement must
+  // fail but decomposition succeeds.
+  const auto segs = ai_datapath_segments(300, 3);
+  int total = 0;
+  for (const auto& s : segs) total += s.len;
+  const int labs = total / 8;  // needs ~80% fill: baseline can't, fractal can
+  const auto ff = pack_first_fit(segs, 10, labs);
+  const auto fr = pack_fractal(segs, 10, labs, 32);
+  EXPECT_GT(ff.failed_segments, 0);
+  EXPECT_LT(fr.failed_segments, ff.failed_segments);
+  EXPECT_GT(fr.splits, 0);
+}
+
+TEST(Fractal, DeterministicAndSeedReproducible) {
+  const auto segs = ai_datapath_segments(100, 4);
+  const auto a = pack_fractal(segs, 10, 100, 8);
+  const auto b = pack_fractal(segs, 10, 100, 8);
+  EXPECT_EQ(a.functional_alms, b.functional_alms);
+  EXPECT_EQ(a.best_seed, b.best_seed);
+  EXPECT_EQ(a.utilization(), b.utilization());
+}
+
+TEST(Fractal, MoreSeedsNeverWorse) {
+  const auto segs = ai_datapath_segments(300, 5);
+  int total = 0;
+  for (const auto& s : segs) total += s.len;
+  const int labs = (total + 30) / 10;
+  const auto few = pack_fractal(segs, 10, labs, 2);
+  const auto many = pack_fractal(segs, 10, labs, 24);
+  EXPECT_LE(many.failed_segments, few.failed_segments);
+}
+
+TEST(Fractal, ConservationOfAlms) {
+  const auto segs = ai_datapath_segments(120, 6);
+  const auto r = pack_fractal(segs, 10, 200, 4);
+  int total_len = 0;
+  for (const auto& s : segs) total_len += s.len;
+  // Every placed ALM is functional exactly once.
+  EXPECT_EQ(r.functional_alms, total_len);
+  EXPECT_LE(r.functional_alms + r.overhead_alms, r.labs_used * r.lab_size);
+}
+
+TEST(Fractal, BrainwaveComposite) {
+  // 20% control at ~80% + 80% datapath at ~97% -> ~93.6% ("92% achieved").
+  EXPECT_NEAR(brainwave_composite(), 0.936, 1e-9);
+  EXPECT_GT(brainwave_composite(), 0.92);
+}
+
+TEST(Fractal, RandomLogicBaselineContrast) {
+  // "Random logic tops 80%": model random logic as 1-ALM segments with
+  // no separation need... approximated here by len-1 segments (gap rule
+  // still applies, so first-fit reaches ~50%; fractal gets ~100% on
+  // pure arithmetic). The contrast quoted in the paper is between
+  // 60-70% (naive arithmetic) and ~100% (fractal), asserted above; this
+  // test just pins the numbers used in the bench table.
+  const auto segs = ai_datapath_segments(400, 7);
+  const auto fr = pack_fractal(segs, 10, 300, 16);
+  EXPECT_GT(fr.utilization(), 0.95);
+  EXPECT_GT(fr.functional_density(), 0.75);
+}
+
+}  // namespace
+}  // namespace nga::fpga

@@ -1,0 +1,70 @@
+#include "fpga/softmult.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nga::fpga {
+namespace {
+
+TEST(SoftMult, Naive3x3Exhaustive) {
+  const auto nl = build_naive_3x3();
+  for (u64 a = 0; a < 8; ++a)
+    for (u64 b = 0; b < 8; ++b)
+      EXPECT_EQ(nl.eval_word(a | (b << 3)), a * b) << a << "*" << b;
+}
+
+TEST(SoftMult, Regularized3x3Exhaustive) {
+  // The Fig. 4 refactoring must be functionally identical to Fig. 3.
+  const auto nl = build_regularized_3x3();
+  for (u64 a = 0; a < 8; ++a)
+    for (u64 b = 0; b < 8; ++b)
+      EXPECT_EQ(nl.eval_word(a | (b << 3)), a * b) << a << "*" << b;
+}
+
+TEST(SoftMult, NaiveHasThreeInputColumn) {
+  // Fig. 3's problem: column 2 holds three partial products, and the
+  // independent inputs per column vary from two to six.
+  const auto r = naive_3x3_report();
+  EXPECT_EQ(r.max_rows_in_column, 3);
+  EXPECT_EQ(r.max_independent_inputs, 6);
+  EXPECT_EQ(r.min_independent_inputs, 2);
+}
+
+TEST(SoftMult, RegularizedIsTwoRowsOnOneChain) {
+  const auto r = regularized_3x3_report();
+  EXPECT_EQ(r.max_rows_in_column, 2);
+  EXPECT_EQ(r.chain_alms, 3);
+  EXPECT_EQ(r.out_of_band_alms, 1);
+  EXPECT_EQ(r.total_alms(), 4);  // "6 independent inputs over the 4 ALMs"
+  EXPECT_EQ(r.max_independent_inputs, 6);
+}
+
+TEST(SoftMult, RegularizedUsesFewerAlmsThanNaive) {
+  EXPECT_LT(regularized_3x3_report().total_alms(),
+            naive_3x3_report().total_alms());
+}
+
+TEST(SoftMult, GeneralizedRegularizationCorrect) {
+  for (unsigned n : {2u, 4u, 5u, 6u}) {
+    MappingReport rep;
+    const auto nl = build_regularized(n, &rep);
+    EXPECT_EQ(rep.max_rows_in_column, 2);
+    EXPECT_GT(rep.chain_alms, 0);
+    const u64 lim = u64{1} << n;
+    for (u64 a = 0; a < lim; ++a)
+      for (u64 b = 0; b < lim; ++b)
+        ASSERT_EQ(nl.eval_word(a | (b << n)), a * b) << n;
+  }
+}
+
+TEST(SoftMult, ImbalanceGrowsWithNaiveWidth) {
+  // The paper's motivation scales: bigger naive arrays get taller
+  // columns and wider input imbalance.
+  const auto r4 = naive_report(4);
+  const auto r8 = naive_report(8);
+  EXPECT_GT(r8.max_rows_in_column, r4.max_rows_in_column);
+  EXPECT_GT(r8.max_independent_inputs - r8.min_independent_inputs,
+            r4.max_independent_inputs - r4.min_independent_inputs);
+}
+
+}  // namespace
+}  // namespace nga::fpga

@@ -1,0 +1,155 @@
+#include "hwmodel/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace nga::hw {
+namespace {
+
+using util::u64;
+
+TEST(Netlist, BasicGates) {
+  Netlist nl;
+  const int a = nl.add_input();
+  const int b = nl.add_input();
+  nl.mark_output(nl.and_(a, b));
+  nl.mark_output(nl.or_(a, b));
+  nl.mark_output(nl.xor_(a, b));
+  nl.mark_output(nl.nand_(a, b));
+  nl.mark_output(nl.andnot_(a, b));
+  for (u64 in = 0; in < 4; ++in) {
+    const u64 out = nl.eval_word(in);
+    const bool x = in & 1, y = (in >> 1) & 1;
+    EXPECT_EQ(out & 1, u64(x && y));
+    EXPECT_EQ((out >> 1) & 1, u64(x || y));
+    EXPECT_EQ((out >> 2) & 1, u64(x != y));
+    EXPECT_EQ((out >> 3) & 1, u64(!(x && y)));
+    EXPECT_EQ((out >> 4) & 1, u64(x && !y));
+  }
+}
+
+TEST(Netlist, MuxAndMajority) {
+  Netlist nl;
+  const int a = nl.add_input(), b = nl.add_input(), s = nl.add_input();
+  nl.mark_output(nl.mux(a, b, s));
+  nl.mark_output(nl.maj(a, b, s));
+  for (u64 in = 0; in < 8; ++in) {
+    const bool x = in & 1, y = (in >> 1) & 1, z = (in >> 2) & 1;
+    const u64 out = nl.eval_word(in);
+    EXPECT_EQ(out & 1, u64(z ? y : x));
+    EXPECT_EQ((out >> 1) & 1, u64(int(x) + int(y) + int(z) >= 2));
+  }
+}
+
+TEST(Netlist, RippleAdderExhaustive6Bit) {
+  Netlist nl;
+  std::vector<int> a(6), b(6);
+  for (auto& x : a) x = nl.add_input();
+  for (auto& x : b) x = nl.add_input();
+  const auto sum = nl.ripple_add(a, b);
+  ASSERT_EQ(sum.size(), 7u);
+  for (int bit : sum) nl.mark_output(bit);
+  for (u64 x = 0; x < 64; ++x)
+    for (u64 y = 0; y < 64; ++y) {
+      const u64 out = nl.eval_word(x | (y << 6));
+      EXPECT_EQ(out, x + y);
+    }
+}
+
+TEST(Netlist, NegateExhaustive) {
+  Netlist nl;
+  std::vector<int> a(5);
+  for (auto& x : a) x = nl.add_input();
+  for (int bit : nl.negate(a)) nl.mark_output(bit);
+  for (u64 x = 0; x < 32; ++x)
+    EXPECT_EQ(nl.eval_word(x), util::twos_complement(x, 5));
+}
+
+TEST(Netlist, ArrayMultiplierExhaustive4x4) {
+  Netlist nl;
+  std::vector<int> a(4), b(4);
+  for (auto& x : a) x = nl.add_input();
+  for (auto& x : b) x = nl.add_input();
+  const auto p = nl.array_multiply(a, b);
+  ASSERT_EQ(p.size(), 8u);
+  for (int bit : p) nl.mark_output(bit);
+  for (u64 x = 0; x < 16; ++x)
+    for (u64 y = 0; y < 16; ++y)
+      EXPECT_EQ(nl.eval_word(x | (y << 4)), x * y) << x << "*" << y;
+}
+
+TEST(Netlist, ArrayMultiplierAsymmetric) {
+  Netlist nl;
+  std::vector<int> a(3), b(5);
+  for (auto& x : a) x = nl.add_input();
+  for (auto& x : b) x = nl.add_input();
+  const auto p = nl.array_multiply(a, b);
+  ASSERT_EQ(p.size(), 8u);
+  for (int bit : p) nl.mark_output(bit);
+  for (u64 x = 0; x < 8; ++x)
+    for (u64 y = 0; y < 32; ++y)
+      EXPECT_EQ(nl.eval_word(x | (y << 3)), x * y);
+}
+
+TEST(Netlist, WidthOneMultiplier) {
+  Netlist nl;
+  std::vector<int> a{nl.add_input()}, b{nl.add_input()};
+  const auto p = nl.array_multiply(a, b);
+  ASSERT_EQ(p.size(), 2u);
+  for (int bit : p) nl.mark_output(bit);
+  for (u64 in = 0; in < 4; ++in)
+    EXPECT_EQ(nl.eval_word(in), (in & 1) * ((in >> 1) & 1));
+}
+
+TEST(Netlist, CostGrowsWithWidth) {
+  auto mult_cost = [](std::size_t w) {
+    Netlist nl;
+    std::vector<int> a(w), b(w);
+    for (auto& x : a) x = nl.add_input();
+    for (auto& x : b) x = nl.add_input();
+    for (int bit : nl.array_multiply(a, b)) nl.mark_output(bit);
+    return nl.cost();
+  };
+  const auto c4 = mult_cost(4), c8 = mult_cost(8);
+  EXPECT_GT(c8.nand2_area, 3.0 * c4.nand2_area);  // ~quadratic growth
+  EXPECT_GT(c8.depth, c4.depth);
+  EXPECT_EQ(c4.input_count, 8u);
+  EXPECT_EQ(c4.output_count, 8u);
+}
+
+TEST(Netlist, DepthOfChainIsLinear) {
+  Netlist nl;
+  int x = nl.add_input();
+  const int y = nl.add_input();
+  for (int i = 0; i < 10; ++i) x = nl.xor_(x, y);
+  nl.mark_output(x);
+  EXPECT_EQ(nl.cost().depth, 10);
+}
+
+TEST(Netlist, OperandOrderingEnforced) {
+  Netlist nl;
+  const int a = nl.add_input();
+  EXPECT_THROW(nl.gate(GateOp::kAnd, a, 99), std::invalid_argument);
+  EXPECT_THROW(nl.gate(GateOp::kNot, -1), std::invalid_argument);
+}
+
+TEST(Netlist, SwitchingEnergyScalesWithSize) {
+  auto build = [](std::size_t w) {
+    Netlist nl;
+    std::vector<int> a(w), b(w);
+    for (auto& x : a) x = nl.add_input();
+    for (auto& x : b) x = nl.add_input();
+    for (int bit : nl.array_multiply(a, b)) nl.mark_output(bit);
+    return nl;
+  };
+  const auto small = build(4);
+  const auto big = build(8);
+  const double es = switching_energy(small, 500);
+  const double eb = switching_energy(big, 500);
+  EXPECT_GT(eb, 2.0 * es);
+  EXPECT_GT(es, 0.0);
+}
+
+}  // namespace
+}  // namespace nga::hw

@@ -1,0 +1,124 @@
+#include "intformats/intformats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nga::intf {
+namespace {
+
+using util::i64;
+using util::u64;
+
+TEST(SignMagnitude, EncodeDecode) {
+  EXPECT_EQ(SignMagnitude::encode(5, 8).bits, 0x05u);
+  EXPECT_EQ(SignMagnitude::encode(-5, 8).bits, 0x85u);
+  EXPECT_EQ(SignMagnitude::encode(5, 8).value(), 5);
+  EXPECT_EQ(SignMagnitude::encode(-5, 8).value(), -5);
+  // The paper's example: -5 is human-readable 1000_0101 in SM but
+  // 1111_1011 in 2C.
+  EXPECT_EQ(SignMagnitude::encode(-5, 8).bits, 0b10000101u);
+  EXPECT_EQ(u64(util::twos_complement(5, 8)), 0b11111011u);
+}
+
+TEST(SignMagnitude, RedundantZero) {
+  const SignMagnitude pz{0x00, 8}, nz{0x80, 8};
+  EXPECT_EQ(pz.value(), 0);
+  EXPECT_EQ(nz.value(), 0);
+  EXPECT_TRUE(nz.is_negative_zero());
+  EXPECT_NE(pz.bits, nz.bits);
+  EXPECT_TRUE(sm_equal(pz, nz));  // requires the special case
+  EXPECT_FALSE(sm_less(pz, nz));
+  EXPECT_FALSE(sm_less(nz, pz));
+  EXPECT_EQ(sm_distinct_values(8), 255u);
+  EXPECT_EQ(tc_distinct_values(8), 256u);
+}
+
+TEST(SignMagnitude, AddAlgorithmExhaustive8) {
+  // The paper's branchy algorithm must be value-correct wherever the
+  // magnitude doesn't overflow.
+  for (u64 x = 0; x < 256; ++x)
+    for (u64 y = 0; y < 256; ++y) {
+      const SignMagnitude a{x, 8}, b{y, 8};
+      const auto r = sm_add(a, b);
+      if (r.overflow) continue;
+      EXPECT_EQ(r.sum.value(), a.value() + b.value())
+          << a.value() << "+" << b.value();
+      EXPECT_GE(r.branches_taken, 1);
+    }
+}
+
+TEST(SignMagnitude, TwosComplementAddIsOneLine) {
+  for (i64 x = -128; x < 128; ++x)
+    for (i64 y = -128; y < 128; ++y) {
+      const u64 k = tc_add(u64(x) & 0xff, u64(y) & 0xff, 8);
+      const i64 expect = util::sign_extend(u64(x + y) & 0xff, 8);
+      EXPECT_EQ(util::sign_extend(k, 8), expect);
+    }
+}
+
+TEST(IntAdders, TcAdderExhaustive) {
+  const auto nl = build_tc_adder(6);
+  for (u64 x = 0; x < 64; ++x)
+    for (u64 y = 0; y < 64; ++y)
+      EXPECT_EQ(nl.eval_word(x | (y << 6)), (x + y) & 63);
+}
+
+TEST(IntAdders, SmAdderExhaustive) {
+  const unsigned n = 6;
+  const auto nl = build_sm_adder(n);
+  for (u64 x = 0; x < 64; ++x)
+    for (u64 y = 0; y < 64; ++y) {
+      const SignMagnitude a{x, n}, b{y, n};
+      const u64 out = nl.eval_word(x | (y << n));
+      const bool overflow = (out >> n) & 1;
+      const auto ref = sm_add(a, b);
+      EXPECT_EQ(overflow, ref.overflow) << x << " " << y;
+      if (overflow) continue;
+      const SignMagnitude got{out & util::mask64(n), n};
+      EXPECT_EQ(got.value(), a.value() + b.value()) << x << " " << y;
+      // Canonical zero: never -0 out of the adder.
+      EXPECT_FALSE(got.is_negative_zero()) << x << " " << y;
+    }
+}
+
+TEST(IntAdders, SmAdderCostExceedsTcAdder) {
+  // The paper's point: SM addition needs a comparator, operand steering
+  // and sign logic on top of the adder. 2C needs the adder only.
+  for (unsigned n : {4u, 8u, 16u, 32u}) {
+    const auto tc = build_tc_adder(n).cost();
+    const auto sm = build_sm_adder(n).cost();
+    EXPECT_GT(sm.nand2_area, 2.0 * tc.nand2_area) << n;
+    EXPECT_GE(sm.depth, tc.depth) << n;
+  }
+}
+
+TEST(IntComparators, TcLessExhaustive) {
+  const unsigned n = 6;
+  const auto nl = build_tc_less(n);
+  for (u64 x = 0; x < 64; ++x)
+    for (u64 y = 0; y < 64; ++y) {
+      const i64 a = util::sign_extend(x, n), b = util::sign_extend(y, n);
+      EXPECT_EQ(nl.eval_word(x | (y << n)), u64(a < b)) << a << " " << b;
+    }
+}
+
+TEST(IntComparators, SmLessExhaustive) {
+  const unsigned n = 6;
+  const auto nl = build_sm_less(n);
+  for (u64 x = 0; x < 64; ++x)
+    for (u64 y = 0; y < 64; ++y) {
+      const SignMagnitude a{x, n}, b{y, n};
+      EXPECT_EQ(nl.eval_word(x | (y << n)), u64(sm_less(a, b)))
+          << a.value() << " " << b.value();
+    }
+}
+
+TEST(IntComparators, SmComparatorCostsMore) {
+  for (unsigned n : {8u, 16u}) {
+    const auto tc = build_tc_less(n).cost();
+    const auto sm = build_sm_less(n).cost();
+    EXPECT_GT(sm.nand2_area, tc.nand2_area) << n;
+  }
+}
+
+}  // namespace
+}  // namespace nga::intf

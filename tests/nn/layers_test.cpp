@@ -1,0 +1,187 @@
+// Gradient checks and layer semantics for the DNN substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/data.hpp"
+#include "nn/model.hpp"
+
+namespace nga::nn {
+namespace {
+
+TEST(Layers, DenseGradientMatchesFiniteDifference) {
+  util::Xoshiro256 rng(1);
+  Dense d(6, 4, rng);
+  Tensor x(6, 1, 1);
+  for (auto& v : x.v) v = float(rng.normal());
+  Exec ex;
+  const int label = 2;
+
+  // Analytic gradient of loss w.r.t. input.
+  Tensor logits = d.forward(x, ex);
+  Tensor dlogits;
+  softmax_xent(logits, label, &dlogits);
+  const Tensor dx = d.backward(dlogits);
+
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < x.v.size(); ++i) {
+    Tensor xp = x, xm = x;
+    xp.v[i] += eps;
+    xm.v[i] -= eps;
+    const float lp = softmax_xent(d.forward(xp, ex), label, nullptr);
+    const float lm = softmax_xent(d.forward(xm, ex), label, nullptr);
+    const float num = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(dx.v[i], num, 2e-3) << i;
+  }
+}
+
+TEST(Layers, ConvGradientMatchesFiniteDifference) {
+  util::Xoshiro256 rng(2);
+  Conv2D conv(2, 3, 3, 1, rng);
+  GlobalAvgPool gap;
+  Dense head(3, 3, rng);
+  Tensor x(2, 5, 5);
+  for (auto& v : x.v) v = float(rng.normal());
+  Exec ex;
+  const int label = 1;
+  auto loss_of = [&](const Tensor& in) {
+    return softmax_xent(
+        head.forward(gap.forward(conv.forward(in, ex), ex), ex), label,
+        nullptr);
+  };
+  // Analytic input gradient.
+  Tensor logits = head.forward(gap.forward(conv.forward(x, ex), ex), ex);
+  Tensor dlogits;
+  softmax_xent(logits, label, &dlogits);
+  const Tensor dx = conv.backward(gap.backward(head.backward(dlogits)));
+
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < x.v.size(); i += 7) {
+    Tensor xp = x, xm = x;
+    xp.v[i] += eps;
+    xm.v[i] -= eps;
+    const float num = (loss_of(xp) - loss_of(xm)) / (2 * eps);
+    EXPECT_NEAR(dx.v[i], num, 2e-3) << i;
+  }
+}
+
+TEST(Layers, ConvStrideAndPaddingShapes) {
+  util::Xoshiro256 rng(3);
+  Conv2D c1(3, 4, 3, 1, rng);
+  Conv2D c2(3, 4, 3, 2, rng);
+  Tensor x(3, 12, 12);
+  Exec ex;
+  const Tensor y1 = c1.forward(x, ex);
+  EXPECT_EQ(y1.c, 4);
+  EXPECT_EQ(y1.h, 12);
+  EXPECT_EQ(y1.w, 12);
+  const Tensor y2 = c2.forward(x, ex);
+  EXPECT_EQ(y2.h, 6);
+  EXPECT_EQ(y2.w, 6);
+  EXPECT_EQ(c1.macs(), util::u64(4) * 12 * 12 * 3 * 9);
+}
+
+TEST(Layers, ResidualBlockGradientFlowsThroughSkip) {
+  util::Xoshiro256 rng(4);
+  ResidualBlock block(3, 3, 1, rng);
+  Tensor x(3, 6, 6);
+  for (auto& v : x.v) v = std::fabs(float(rng.normal()));
+  Exec ex;
+  const Tensor y = block.forward(x, ex);
+  EXPECT_EQ(y.c, 3);
+  Tensor dy = y;
+  for (auto& v : dy.v) v = 1.f;
+  const Tensor dx = block.backward(dy);
+  // The identity skip guarantees nonzero input gradient even if the
+  // convs were zero.
+  double mag = 0;
+  for (float v : dx.v) mag += std::fabs(v);
+  EXPECT_GT(mag, 0.1);
+}
+
+TEST(Layers, MaxPoolRoutesGradientToArgmax) {
+  MaxPool2 pool;
+  Tensor x(1, 4, 4);
+  for (int i = 0; i < 16; ++i) x.v[std::size_t(i)] = float(i);
+  Exec ex;
+  const Tensor y = pool.forward(x, ex);
+  EXPECT_EQ(y.h, 2);
+  EXPECT_EQ(y.at(0, 0, 0), 5.f);
+  EXPECT_EQ(y.at(0, 1, 1), 15.f);
+  Tensor dy(1, 2, 2);
+  for (auto& v : dy.v) v = 1.f;
+  const Tensor dx = pool.backward(dy);
+  EXPECT_EQ(dx.at(0, 1, 1), 1.f);  // argmax of the first window
+  EXPECT_EQ(dx.at(0, 0, 0), 0.f);
+}
+
+TEST(Layers, QuantExactCloseToFloat) {
+  // After calibration, the 8-bit exact-MAC path must track the float
+  // path within quantization noise.
+  util::Xoshiro256 rng(5);
+  Conv2D conv(3, 4, 3, 1, rng);
+  Tensor x(3, 8, 8);
+  for (auto& v : x.v) v = std::fabs(float(rng.normal())) * 0.3f;
+  Exec fl;
+  fl.calibrate = true;
+  const Tensor yf = conv.forward(x, fl);
+  MulTable exact;
+  Exec qx;
+  qx.mode = Mode::kQuantExact;
+  qx.mul = &exact;
+  const Tensor yq = conv.forward(x, qx);
+  double max_rel = 0;
+  float max_abs_y = 0;
+  for (float v : yf.v) max_abs_y = std::max(max_abs_y, std::fabs(v));
+  for (std::size_t i = 0; i < yf.v.size(); ++i)
+    max_rel = std::max(max_rel,
+                       double(std::fabs(yf.v[i] - yq.v[i])) / max_abs_y);
+  EXPECT_LT(max_rel, 0.05);
+}
+
+TEST(Layers, QuantApproxDegradesWithWorseMultiplier) {
+  util::Xoshiro256 rng(6);
+  Conv2D conv(3, 4, 3, 1, rng);
+  Tensor x(3, 8, 8);
+  for (auto& v : x.v) v = std::fabs(float(rng.normal())) * 0.3f;
+  Exec fl;
+  fl.calibrate = true;
+  const Tensor yf = conv.forward(x, fl);
+  auto err_with = [&](const MulTable& t) {
+    Exec q;
+    q.mode = Mode::kQuantApprox;
+    q.mul = &t;
+    const Tensor y = conv.forward(x, q);
+    double e = 0;
+    for (std::size_t i = 0; i < y.v.size(); ++i)
+      e += std::fabs(y.v[i] - yf.v[i]);
+    return e;
+  };
+  const MulTable good(*ax::make_truncated(2));
+  const MulTable bad(*ax::make_truncated_mitchell(1));
+  EXPECT_LT(err_with(good), err_with(bad));
+}
+
+TEST(Layers, ParamCountsAndMacsForTableI) {
+  Model r = make_resnet_mini(12, 7);
+  Model k1 = make_kws_cnn1(16, 12, 7);
+  Model k2 = make_kws_cnn2(16, 12, 7);
+  // Table I ordering: ResNet > KWS-CNN2 > KWS-CNN1 in params and MACs.
+  EXPECT_GT(r.param_count(), k2.param_count());
+  EXPECT_GT(k2.param_count(), k1.param_count());
+  // MACs are counted during forward.
+  Exec ex;
+  Tensor img(3, 12, 12), kws(1, 16, 12);
+  r.forward(img, ex);
+  k1.forward(kws, ex);
+  k2.forward(kws, ex);
+  EXPECT_GT(r.macs(), k2.macs());
+  EXPECT_GT(k2.macs(), k1.macs());
+  // KWS-CNN2 / KWS-CNN1 params ratio ~2.5x like the paper's 179k/70k.
+  const double ratio = double(k2.param_count()) / double(k1.param_count());
+  EXPECT_GT(ratio, 1.7);
+  EXPECT_LT(ratio, 4.0);
+}
+
+}  // namespace
+}  // namespace nga::nn

@@ -1,0 +1,134 @@
+// End-to-end training behaviour: float convergence, quantized accuracy
+// drop, approximate-multiplier degradation and recovery (the Fig. 5
+// mechanics, at test scale).
+#include <gtest/gtest.h>
+
+#include "nn/data.hpp"
+#include "nn/model.hpp"
+
+namespace nga::nn {
+namespace {
+
+TEST(Training, KwsCnnLearnsSyntheticKeywords) {
+  const auto train_set = make_synth_kws(300, 16, 12, 1);
+  const auto test_set = make_synth_kws(150, 16, 12, 2);
+  Model m = make_kws_cnn1(16, 12, 3);
+  TrainConfig cfg;
+  cfg.epochs = 12;
+  cfg.lr = 0.08f;
+  cfg.lr_late = 0.03f;
+  cfg.seed = 4;
+  train(m, train_set, cfg);
+  const auto r = evaluate(m, test_set, Mode::kFloat);
+  EXPECT_GT(r.accuracy, 0.8) << "float training should master the task";
+}
+
+TEST(Training, ResnetMiniLearnsSyntheticImages) {
+  const auto train_set = make_synth_images(240, 12, 5);
+  const auto test_set = make_synth_images(120, 12, 6);
+  Model m = make_resnet_mini(12, 7);
+  TrainConfig cfg;
+  cfg.epochs = 16;
+  cfg.lr = 0.04f;
+  cfg.lr_late = 0.015f;
+  cfg.seed = 8;
+  train(m, train_set, cfg);
+  const auto r = evaluate(m, test_set, Mode::kFloat);
+  EXPECT_GT(r.accuracy, 0.75);
+}
+
+TEST(Training, QuantizationCostsLittleAccuracy) {
+  const auto train_set = make_synth_kws(300, 16, 12, 10);
+  const auto test_set = make_synth_kws(150, 16, 12, 11);
+  Model m = make_kws_cnn1(16, 12, 12);
+  TrainConfig cfg;
+  cfg.epochs = 12;
+  cfg.lr = 0.08f;
+  cfg.lr_late = 0.03f;
+  cfg.seed = 13;
+  train(m, train_set, cfg);
+  calibrate(m, train_set, 64);
+  const auto rf = evaluate(m, test_set, Mode::kFloat);
+  MulTable exact;
+  const auto rq = evaluate(m, test_set, Mode::kQuantExact, &exact);
+  // Table I: 8-bit accuracy within ~1 point of float.
+  EXPECT_GT(rq.accuracy, rf.accuracy - 0.05);
+}
+
+TEST(Training, ApproximateMultiplierDegradesThenRecovers) {
+  // The Fig. 5 mechanism in miniature: a high-MRE multiplier knocks
+  // accuracy down; approximate retraining (approx forward, accurate
+  // gradients) recovers much of it.
+  const auto train_set = make_synth_kws(300, 16, 12, 20);
+  const auto test_set = make_synth_kws(150, 16, 12, 21);
+  Model m = make_kws_cnn1(16, 12, 22);
+  TrainConfig cfg;
+  cfg.epochs = 12;
+  cfg.lr = 0.08f;
+  cfg.lr_late = 0.03f;
+  cfg.seed = 23;
+  train(m, train_set, cfg);
+  calibrate(m, train_set, 64);
+  MulTable exact;
+  const double q_acc = evaluate(m, test_set, Mode::kQuantExact, &exact).accuracy;
+
+  const MulTable rough(*ax::make_truncated_mitchell(1));
+  const double approx_acc =
+      evaluate(m, test_set, Mode::kQuantApprox, &rough).accuracy;
+  EXPECT_LT(approx_acc, q_acc + 0.01);
+
+  TrainConfig re;
+  re.epochs = 4;
+  re.lr = 0.03f;
+  re.seed = 24;
+  re.mode = Mode::kQuantApprox;
+  re.mul = &rough;
+  train(m, train_set, re);
+  const double recovered =
+      evaluate(m, test_set, Mode::kQuantApprox, &rough).accuracy;
+  EXPECT_GT(recovered, approx_acc - 0.02);
+  EXPECT_GT(recovered, 0.5);
+}
+
+TEST(Training, AugmentationFunctionsPreserveShape) {
+  util::Xoshiro256 rng(30);
+  Tensor img(3, 8, 8);
+  for (auto& v : img.v) v = rng.uniform();
+  Tensor copy = img;
+  augment_flip(img, rng);
+  EXPECT_EQ(img.v.size(), copy.v.size());
+  Tensor kws(1, 16, 12);
+  for (auto& v : kws.v) v = rng.uniform();
+  Tensor kcopy = kws;
+  augment_background_noise(kws, rng);
+  // Bounded perturbation: 10% volume.
+  float maxd = 0;
+  for (std::size_t i = 0; i < kws.v.size(); ++i)
+    maxd = std::max(maxd, std::fabs(kws.v[i] - kcopy.v[i]));
+  EXPECT_GT(maxd, 0.0f);
+  EXPECT_LT(maxd, 0.5f);
+}
+
+TEST(Training, DatasetsAreDeterministicBySeed) {
+  const auto a = make_synth_images(10, 12, 42);
+  const auto b = make_synth_images(10, 12, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].x.v, b[i].x.v);
+  }
+}
+
+TEST(Training, SoftmaxXentBasics) {
+  Tensor logits(3, 1, 1);
+  logits.v = {0.f, 10.f, 0.f};
+  Tensor d;
+  const float loss_good = softmax_xent(logits, 1, &d);
+  EXPECT_LT(loss_good, 0.01f);
+  EXPECT_LT(d.v[1], 0.f);  // pushes the true class up
+  const float loss_bad = softmax_xent(logits, 0, nullptr);
+  EXPECT_GT(loss_bad, 5.f);
+}
+
+}  // namespace
+}  // namespace nga::nn

@@ -1,0 +1,91 @@
+#include "opgen/funcapprox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace nga::og {
+namespace {
+
+const std::function<double(double)> kSin = [](double x) {
+  return std::sin(x * std::numbers::pi / 4);
+};
+const std::function<double(double)> kLog2p1 = [](double x) {
+  return std::log2(1.0 + x);
+};
+const std::function<double(double)> kRecip = [](double x) {
+  return 1.0 / (1.0 + x);  // in (0.5, 1]
+};
+
+TEST(PlainTable, CorrectlyRoundedByConstruction) {
+  const fx::FixFormat out{-1, -12, false};
+  const PlainTable t(kLog2p1, 10, out);
+  EXPECT_LE(t.max_error_ulp(kLog2p1), 0.5 + 1e-9);
+  EXPECT_EQ(t.cost().table_bits, u64(1024) * 12);
+}
+
+TEST(PlainTable, LookupMatchesQuantizedFunction) {
+  const fx::FixFormat out{-1, -10, false};
+  const PlainTable t(kSin, 8, out);
+  for (u64 i = 0; i < 256; ++i) {
+    const double x = double(i) / 256.0;
+    EXPECT_NEAR(double(t.lookup(i)) * out.ulp(), kSin(x), out.ulp());
+  }
+}
+
+TEST(Bipartite, FaithfulAndSmallerThanPlain) {
+  const unsigned win = 12;
+  const fx::FixFormat out{-1, -12, false};
+  const auto bt = BipartiteTable::explore(kLog2p1, win, out);
+  EXPECT_LT(bt.max_error_ulp(kLog2p1), 1.0);
+  const auto plain_bits = PlainTable(kLog2p1, win, out).cost().table_bits;
+  EXPECT_LT(bt.cost().table_bits, plain_bits / 2)
+      << "bipartite must beat plain tabulation on smooth functions";
+}
+
+TEST(Bipartite, WorksAcrossFunctions) {
+  const unsigned win = 10;
+  const fx::FixFormat out{-1, -10, false};
+  for (const auto& f : {kSin, kLog2p1, kRecip}) {
+    const auto bt = BipartiteTable::explore(f, win, out);
+    EXPECT_LT(bt.max_error_ulp(f), 1.0);
+    EXPECT_EQ(bt.a() + bt.b() + bt.c(), win);
+  }
+}
+
+TEST(Bipartite, ErrorGrowsWhenSplitTooAggressive) {
+  // A tiny TIV cannot stay faithful: the generator must be able to
+  // detect that through its error analysis.
+  const fx::FixFormat out{-1, -12, false};
+  const BipartiteTable bad(kLog2p1, 12, out, 1, 1, 10);
+  EXPECT_GT(bad.max_error_ulp(kLog2p1), 1.0);
+}
+
+TEST(PiecewisePoly, FaithfulWithModestSegments) {
+  const unsigned win = 12;
+  const fx::FixFormat out{-1, -12, false};
+  const PiecewisePoly pp(kSin, win, out, 4, 18);
+  EXPECT_LT(pp.max_error_ulp(kSin), 1.5);
+  EXPECT_EQ(pp.segments(), 16u);
+  // Far fewer table bits than plain tabulation.
+  EXPECT_LT(pp.cost().table_bits,
+            PlainTable(kSin, win, out).cost().table_bits / 8);
+}
+
+TEST(PiecewisePoly, MoreSegmentsMoreAccuracy) {
+  const unsigned win = 12;
+  const fx::FixFormat out{-1, -12, false};
+  const PiecewisePoly coarse(kLog2p1, win, out, 2, 18);
+  const PiecewisePoly fine(kLog2p1, win, out, 6, 18);
+  EXPECT_LT(fine.max_error_ulp(kLog2p1), coarse.max_error_ulp(kLog2p1));
+}
+
+TEST(RomCost, Lut6Model) {
+  EXPECT_EQ(rom_lut6_cost(6, 8), 8);
+  EXPECT_EQ(rom_lut6_cost(8, 8), 32);
+  EXPECT_EQ(rom_lut6_cost(4, 8), 8);
+}
+
+}  // namespace
+}  // namespace nga::og

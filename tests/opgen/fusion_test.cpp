@@ -1,0 +1,68 @@
+// Operator fusion: the paper's x/sqrt(x^2+y^2) example.
+#include "opgen/fusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace nga::og {
+namespace {
+
+TEST(FusedNorm, OutputsStayInUnitRange) {
+  const FusedNorm op(10, 4);
+  util::Xoshiro256 rng(1);
+  const util::i64 lim = 1 << 10;
+  for (int i = 0; i < 50000; ++i) {
+    const util::i64 x = util::i64(rng.below(2 * u64(lim) - 1)) - lim + 1;
+    const util::i64 y = util::i64(rng.below(2 * u64(lim) - 1)) - lim + 1;
+    const util::i64 q = op.evaluate(x, y);
+    ASSERT_LE(q, lim);
+    ASSERT_GE(q, -lim);
+    // Sign follows x.
+    if (x > 0) ASSERT_GE(q, 0);
+    if (x < 0) ASSERT_LE(q, 0);
+  }
+}
+
+TEST(FusedNorm, ExactOnAxes) {
+  const FusedNorm op(12, 4);
+  const util::i64 one = 1 << 12;
+  // y = 0: f = sign(x) exactly.
+  EXPECT_EQ(op.evaluate(100, 0), one);
+  EXPECT_EQ(op.evaluate(-3, 0), -one);
+  // x = 0: f = 0.
+  EXPECT_EQ(op.evaluate(0, 555), 0);
+  EXPECT_EQ(op.evaluate(0, 0), 0);
+  // x == y: f = 1/sqrt(2).
+  const double got = double(op.evaluate(1000, 1000)) / double(one);
+  EXPECT_NEAR(got, 1.0 / std::sqrt(2.0), std::ldexp(1.0, -12));
+}
+
+TEST(FusedNorm, FusedIsFaithfulWithGuardBits) {
+  for (unsigned w : {6u, 8u, 10u}) {
+    const FusedNorm op(w, 4);
+    EXPECT_LT(op.max_error_ulp(true), 1.0) << w;
+  }
+}
+
+TEST(FusedNorm, FusionBeatsComposedOperators) {
+  // The Section II claim: one rounding beats four. The composed chain
+  // loses accuracy it can never recover.
+  for (unsigned w : {6u, 8u, 10u}) {
+    const FusedNorm op(w, 4);
+    const double fused = op.max_error_ulp(true);
+    const double composed = op.max_error_ulp(false);
+    EXPECT_LT(fused, composed) << w;
+    EXPECT_GT(composed, 1.0) << w << ": composed cannot stay faithful";
+  }
+}
+
+TEST(FusedNorm, MoreGuardBitsNeverWorse) {
+  const FusedNorm g2(8, 2), g6(8, 6);
+  EXPECT_LE(g6.max_error_ulp(true), g2.max_error_ulp(true) + 1e-12);
+}
+
+}  // namespace
+}  // namespace nga::og

@@ -1,0 +1,66 @@
+#include "opgen/sincos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace nga::og {
+namespace {
+
+TEST(SinCos, GeneratedInstanceIsFaithful) {
+  for (unsigned w : {8u, 10u, 12u, 14u}) {
+    const auto op = SinCosOperator::generate(w);
+    EXPECT_LT(op.max_error_ulp(), 1.0) << "w=" << w;
+    EXPECT_EQ(op.w(), w);
+  }
+}
+
+TEST(SinCos, PythagoreanIdentityHolds) {
+  const auto op = SinCosOperator::generate(12);
+  const double ulp = std::ldexp(1.0, -12);
+  for (util::u64 x = 0; x < (util::u64{1} << 12); x += 7) {
+    const auto r = op.evaluate(x);
+    const double s = double(r.sin_mant) * ulp;
+    const double c = double(r.cos_mant) * ulp;
+    EXPECT_NEAR(s * s + c * c, 1.0, 8 * ulp) << x;
+  }
+}
+
+TEST(SinCos, MonotonicOverTheOctant) {
+  const auto op = SinCosOperator::generate(10);
+  auto prev = op.evaluate(0);
+  EXPECT_EQ(prev.sin_mant, 0);
+  for (util::u64 x = 1; x < 1024; ++x) {
+    const auto r = op.evaluate(x);
+    EXPECT_GE(r.sin_mant, prev.sin_mant) << x;  // sin rises on [0, pi/4)
+    EXPECT_LE(r.cos_mant, prev.cos_mant) << x;  // cos falls
+    prev = r;
+  }
+}
+
+TEST(SinCos, TableVsMultiplierTradeoff) {
+  // The Fig. 1 knob: growing the sub-word A grows the tables and
+  // shrinks the residual-polynomial burden. Verify the trade-off is
+  // real: larger a => more table bits, and the generator's pick is
+  // cheaper than the largest-table faithful instance.
+  const unsigned w = 12;
+  const SinCosOperator big_table(w, 10, 3);
+  const SinCosOperator small_table(w, 5, 3);
+  EXPECT_GT(big_table.cost().table_bits, small_table.cost().table_bits);
+  const auto gen = SinCosOperator::generate(w);
+  EXPECT_LE(gen.cost().lut6, SinCosOperator(w, 10, 4).cost().lut6);
+}
+
+TEST(SinCos, GuardBitsControlAccuracy) {
+  // More guard bits must not hurt; a very small table with few guard
+  // bits should fail faithfulness (this is what the explorer rejects).
+  const unsigned w = 12;
+  double worst_small = SinCosOperator(w, 3, 2).max_error_ulp();
+  double worst_big = SinCosOperator(w, 8, 5).max_error_ulp();
+  EXPECT_LT(worst_big, worst_small);
+  EXPECT_LT(worst_big, 1.0);
+}
+
+}  // namespace
+}  // namespace nga::og

@@ -1,0 +1,207 @@
+// Correct rounding of posit arithmetic, verified against the
+// rounding-interval oracle (see posit_oracle.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "posit/posit.hpp"
+#include "posit_oracle.hpp"
+#include "util/rng.hpp"
+
+namespace nga::ps {
+namespace {
+
+using testing::check_rounded;
+using testing::check_rounded_cmp;
+using testing::corner_values;
+using testing::quad;
+
+template <unsigned N, unsigned ES>
+void check_pair(posit<N, ES> a, posit<N, ES> b) {
+  using P = posit<N, ES>;
+  const quad av = quad(a.to_double());
+  const quad bv = quad(b.to_double());
+  ASSERT_TRUE((check_rounded<N, ES>(av + bv, a + b, "add")))
+      << a.to_double() << " + " << b.to_double();
+  ASSERT_TRUE((check_rounded<N, ES>(av - bv, a - b, "sub")))
+      << a.to_double() << " - " << b.to_double();
+  ASSERT_TRUE((check_rounded<N, ES>(av * bv, a * b, "mul")))
+      << a.to_double() << " * " << b.to_double();
+  if (!b.is_zero()) {
+    // v = a/b compared against t via cross-multiplication (exact).
+    auto cmp = [&](double t) {
+      const quad tb = quad(t) * bv;
+      const int s = av < tb ? -1 : (av > tb ? 1 : 0);
+      return bv > 0 ? s : -s;
+    };
+    ASSERT_TRUE((check_rounded_cmp<N, ES>(cmp, a / b, "div")))
+        << a.to_double() << " / " << b.to_double();
+  } else {
+    EXPECT_TRUE((a / b).is_nar());
+  }
+}
+
+template <unsigned N, unsigned ES>
+void exhaustive_pairs() {
+  using P = posit<N, ES>;
+  for (util::u64 x = 0; x < (util::u64{1} << N); ++x) {
+    const P a = P::from_bits(typename P::storage_t(x));
+    if (a.is_nar()) continue;
+    for (util::u64 y = 0; y < (util::u64{1} << N); ++y) {
+      const P b = P::from_bits(typename P::storage_t(y));
+      if (b.is_nar()) continue;
+      check_pair<N, ES>(a, b);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(PositArith, ExhaustivePairsPosit8Es0) { exhaustive_pairs<8, 0>(); }
+TEST(PositArith, ExhaustivePairsPosit8Es1) { exhaustive_pairs<8, 1>(); }
+TEST(PositArith, ExhaustivePairsPosit8Es2) { exhaustive_pairs<8, 2>(); }
+TEST(PositArith, ExhaustivePairsPosit6Es1) { exhaustive_pairs<6, 1>(); }
+
+TEST(PositArith, CornerPairsPosit16) {
+  const auto corners = corner_values<16, 1>();
+  for (const auto a : corners) {
+    if (a.is_nar()) continue;
+    for (const auto b : corners) {
+      if (b.is_nar()) continue;
+      check_pair<16, 1>(a, b);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(PositArith, RandomPairsPosit16) {
+  util::Xoshiro256 rng(2020);
+  for (int i = 0; i < 300000; ++i) {
+    const auto a = posit16::from_bits(util::u16(rng()));
+    const auto b = posit16::from_bits(util::u16(rng()));
+    if (a.is_nar() || b.is_nar()) continue;
+    check_pair<16, 1>(a, b);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(PositArith, RandomPairsPosit16Es2) {
+  util::Xoshiro256 rng(2021);
+  for (int i = 0; i < 100000; ++i) {
+    const auto a = posit<16, 2>::from_bits(util::u16(rng()));
+    const auto b = posit<16, 2>::from_bits(util::u16(rng()));
+    if (a.is_nar() || b.is_nar()) continue;
+    check_pair<16, 2>(a, b);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(PositArith, RandomPairsPosit32RestrictedScale) {
+  // posit32 values restricted to |scale| <= 40 keep every add/sub/mul
+  // exact in quad (27-bit fractions, <= 80-bit alignment).
+  util::Xoshiro256 rng(2022);
+  for (int i = 0; i < 50000; ++i) {
+    const double ea = rng.uniform(-40, 40);
+    const double eb = rng.uniform(-40, 40);
+    const auto a = posit32::from_double(
+        std::ldexp(rng.uniform(1.0, 2.0), int(ea)) * (rng.below(2) ? 1 : -1));
+    const auto b = posit32::from_double(
+        std::ldexp(rng.uniform(1.0, 2.0), int(eb)) * (rng.below(2) ? 1 : -1));
+    check_pair<32, 2>(a, b);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(PositArith, SqrtExhaustive16) {
+  // sqrt(a) vs tie t compared via a vs t^2 (exact in quad).
+  for (util::u64 x = 0; x < (util::u64{1} << 16); ++x) {
+    const auto a = posit16::from_bits(util::u16(x));
+    if (a.is_nar() || a.is_negative()) {
+      EXPECT_TRUE(posit16::sqrt(a).is_nar() || a.is_zero());
+      continue;
+    }
+    const quad av = quad(a.to_double());
+    auto cmp = [&](double t) {
+      if (t <= 0) return av > 0 ? 1 : 0;
+      const quad t2 = quad(t) * quad(t);
+      return av < t2 ? -1 : (av > t2 ? 1 : 0);
+    };
+    ASSERT_TRUE((check_rounded_cmp<16, 1>(cmp, posit16::sqrt(a), "sqrt")))
+        << a.to_double();
+  }
+}
+
+TEST(PositArith, SqrtExhaustive8) {
+  for (util::u64 x = 0; x < 256; ++x) {
+    const auto a = posit8::from_bits(util::u8(x));
+    if (a.is_nar() || a.is_negative()) continue;
+    const quad av = quad(a.to_double());
+    auto cmp = [&](double t) {
+      if (t <= 0) return av > 0 ? 1 : 0;
+      const quad t2 = quad(t) * quad(t);
+      return av < t2 ? -1 : (av > t2 ? 1 : 0);
+    };
+    ASSERT_TRUE((check_rounded_cmp<8, 0>(cmp, posit8::sqrt(a), "sqrt")))
+        << a.to_double();
+  }
+}
+
+TEST(PositArith, NaRPropagation) {
+  const auto nar = posit16::nar();
+  const auto x = posit16(2.5);
+  EXPECT_TRUE((nar + x).is_nar());
+  EXPECT_TRUE((x - nar).is_nar());
+  EXPECT_TRUE((nar * x).is_nar());
+  EXPECT_TRUE((x / nar).is_nar());
+  EXPECT_TRUE(posit16::sqrt(nar).is_nar());
+  EXPECT_TRUE(posit16::sqrt(posit16(-1.0)).is_nar());
+  EXPECT_TRUE(posit16::fma(nar, x, x).is_nar());
+}
+
+TEST(PositArith, NoOverflowNoUnderflow) {
+  const auto mp = posit16::maxpos();
+  EXPECT_EQ(mp + mp, mp);
+  EXPECT_EQ(mp * mp, mp);
+  EXPECT_EQ(-mp * mp, -mp);
+  const auto tiny = posit16::minpos();
+  EXPECT_EQ(tiny * tiny, tiny);      // saturates at minpos, not zero
+  EXPECT_EQ(tiny / mp, tiny);
+  EXPECT_EQ((-tiny) * tiny, -tiny);
+}
+
+TEST(PositArith, ExactIdentities) {
+  util::Xoshiro256 rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = posit16::from_bits(util::u16(rng()));
+    if (a.is_nar()) continue;
+    EXPECT_EQ(a + posit16::zero(), a);
+    EXPECT_EQ(a * posit16::one(), a);
+    EXPECT_TRUE((a - a).is_zero());
+    if (!a.is_zero()) EXPECT_EQ(a / a, posit16::one());
+    EXPECT_EQ(a + a, a * posit16(2.0));
+  }
+}
+
+TEST(PositArith, FmaSingleRounding) {
+  // fma(a,b,c) must equal the correctly rounded a*b+c, which differs
+  // from round(round(a*b)+c) in general. Verified against the oracle.
+  util::Xoshiro256 rng(88);
+  int double_rounding_differs = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const auto a = posit16::from_bits(util::u16(rng()));
+    const auto b = posit16::from_bits(util::u16(rng()));
+    const auto c = posit16::from_bits(util::u16(rng()));
+    if (a.is_nar() || b.is_nar() || c.is_nar()) continue;
+    const quad exact =
+        quad(a.to_double()) * quad(b.to_double()) + quad(c.to_double());
+    const auto f = posit16::fma(a, b, c);
+    ASSERT_TRUE((check_rounded<16, 1>(exact, f, "fma")))
+        << a.to_double() << "*" << b.to_double() << "+" << c.to_double();
+    if (f != a * b + c) ++double_rounding_differs;
+  }
+  // The fused result must actually differ from the double-rounded one
+  // on a nontrivial fraction of inputs, or fma would be pointless.
+  EXPECT_GT(double_rounding_differs, 100);
+}
+
+}  // namespace
+}  // namespace nga::ps

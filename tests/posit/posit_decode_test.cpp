@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "posit/posit.hpp"
+#include "posit_oracle.hpp"
+
+namespace nga::ps {
+namespace {
+
+using testing::decode_value;
+
+TEST(PositDecode, HandPickedPosit8Es0) {
+  using P = posit<8, 0>;
+  EXPECT_EQ(P::from_bits(0x40).to_double(), 1.0);   // 0100_0000
+  EXPECT_EQ(P::from_bits(0x60).to_double(), 2.0);   // 0110_0000
+  EXPECT_EQ(P::from_bits(0x50).to_double(), 1.5);   // 0101_0000
+  EXPECT_EQ(P::from_bits(0x20).to_double(), 0.5);   // 0010_0000
+  EXPECT_EQ(P::from_bits(0x7f).to_double(), 64.0);  // maxpos = 2^6
+  EXPECT_EQ(P::from_bits(0x01).to_double(), 1.0 / 64.0);  // minpos
+  EXPECT_EQ(P::from_bits(0xc0).to_double(), -1.0);  // two's complement of 1
+  EXPECT_TRUE(P::from_bits(0x80).is_nar());
+  EXPECT_TRUE(P::from_bits(0x00).is_zero());
+}
+
+TEST(PositDecode, HandPickedPosit16Es1) {
+  using P = posit16;
+  EXPECT_EQ(P::from_bits(0x4000).to_double(), 1.0);
+  EXPECT_EQ(P::maxpos().to_double(), std::ldexp(1.0, 28));
+  EXPECT_EQ(P::minpos().to_double(), std::ldexp(1.0, -28));
+  EXPECT_EQ(P::one().next().to_double(), 1.0 + std::ldexp(1.0, -12));
+  // 0101_0000_0000_0000: regime k=0, e=1 -> 2.0
+  EXPECT_EQ(P::from_bits(0x5000).to_double(), 2.0);
+}
+
+template <unsigned N, unsigned ES>
+void exhaustive_decode_matches_reference() {
+  using P = posit<N, ES>;
+  for (util::u64 b = 0; b < (util::u64{1} << N); ++b) {
+    const P p = P::from_bits(typename P::storage_t(b));
+    const double ref = decode_value<N, ES>(b);
+    if (std::isnan(ref)) {
+      EXPECT_TRUE(p.is_nar()) << "bits=" << b;
+    } else {
+      EXPECT_EQ(p.to_double(), ref) << "bits=" << b;
+    }
+  }
+}
+
+TEST(PositDecode, ExhaustivePosit8Es0) {
+  exhaustive_decode_matches_reference<8, 0>();
+}
+TEST(PositDecode, ExhaustivePosit8Es1) {
+  exhaustive_decode_matches_reference<8, 1>();
+}
+TEST(PositDecode, ExhaustivePosit8Es2) {
+  exhaustive_decode_matches_reference<8, 2>();
+}
+TEST(PositDecode, ExhaustivePosit16Es1) {
+  exhaustive_decode_matches_reference<16, 1>();
+}
+TEST(PositDecode, ExhaustivePosit16Es2) {
+  exhaustive_decode_matches_reference<16, 2>();
+}
+TEST(PositDecode, ExhaustivePosit5Es0) {
+  exhaustive_decode_matches_reference<5, 0>();
+}
+TEST(PositDecode, ExhaustivePosit3Es1) {
+  exhaustive_decode_matches_reference<3, 1>();
+}
+
+template <unsigned N, unsigned ES>
+void roundtrip_from_double() {
+  using P = posit<N, ES>;
+  for (util::u64 b = 0; b < (util::u64{1} << N); ++b) {
+    const P p = P::from_bits(typename P::storage_t(b));
+    if (p.is_nar()) continue;
+    EXPECT_EQ(P::from_double(p.to_double()).bits(), p.bits()) << "bits=" << b;
+  }
+}
+
+TEST(PositDecode, FromDoubleRoundTrip8) { roundtrip_from_double<8, 0>(); }
+TEST(PositDecode, FromDoubleRoundTrip16) { roundtrip_from_double<16, 1>(); }
+TEST(PositDecode, FromDoubleRoundTrip16Es2) { roundtrip_from_double<16, 2>(); }
+
+TEST(PositDecode, FromDoubleSpecials) {
+  EXPECT_TRUE(posit16::from_double(NAN).is_nar());
+  EXPECT_TRUE(posit16::from_double(INFINITY).is_nar());
+  EXPECT_TRUE(posit16::from_double(-INFINITY).is_nar());
+  EXPECT_TRUE(posit16::from_double(0.0).is_zero());
+  EXPECT_TRUE(posit16::from_double(-0.0).is_zero());
+  // Saturation, never overflow/underflow:
+  EXPECT_EQ(posit16::from_double(1e300), posit16::maxpos());
+  EXPECT_EQ(posit16::from_double(-1e300), -posit16::maxpos());
+  EXPECT_EQ(posit16::from_double(1e-300), posit16::minpos());
+  EXPECT_EQ(posit16::from_double(-1e-300), -posit16::minpos());
+}
+
+// --- Ring properties the paper builds Section V on ---------------------
+
+TEST(PositRing, ComparisonIsIntegerComparison16) {
+  // Monotone around the ring: for all non-NaR neighbours, the signed
+  // integer order equals the value order. (This is the "no separate
+  // comparison unit" claim.)
+  using P = posit16;
+  for (util::u64 b = 0; b < (util::u64{1} << 16); ++b) {
+    const P p = P::from_bits(P::storage_t(b));
+    const P q = p.next();
+    if (p.is_nar() || q.is_nar()) continue;
+    EXPECT_LT(p, q) << "bits=" << b;
+    EXPECT_LT(p.to_double(), q.to_double()) << "bits=" << b;
+  }
+}
+
+TEST(PositRing, NaRComparesLeastAndEqualToItself) {
+  const auto nar = posit16::nar();
+  EXPECT_EQ(nar, nar);
+  EXPECT_LT(nar, posit16::from_double(-1e30));
+  EXPECT_LT(nar, posit16::zero());
+  EXPECT_LT(nar, posit16::maxpos());
+}
+
+TEST(PositRing, NegationIsTwosComplement16) {
+  using P = posit16;
+  for (util::u64 b = 0; b < (util::u64{1} << 16); ++b) {
+    const P p = P::from_bits(P::storage_t(b));
+    if (p.is_nar()) {
+      EXPECT_TRUE((-p).is_nar());
+      continue;
+    }
+    EXPECT_EQ((-p).to_double(), -p.to_double()) << "bits=" << b;
+    EXPECT_EQ(-(-p), p) << "bits=" << b;
+  }
+}
+
+TEST(PositRing, ReciprocalOfPowersOfTwoIsExactSymmetry) {
+  // Reciprocation is symmetric for posits on exact powers of useed/2:
+  // 1/2^s is representable whenever 2^s is.
+  using P = posit16;
+  for (int s = -P::kMaxScale; s <= P::kMaxScale; ++s) {
+    const P p = P::from_double(std::ldexp(1.0, s));
+    if (p.to_double() != std::ldexp(1.0, s)) continue;  // not representable
+    const P r = P::one() / p;
+    EXPECT_EQ(r.to_double(), std::ldexp(1.0, -s)) << "s=" << s;
+  }
+}
+
+TEST(PositRing, NoRedundantZero) {
+  // Exactly one zero on the ring (unlike IEEE's +-0).
+  int zeros = 0;
+  for (util::u64 b = 0; b < (util::u64{1} << 16); ++b)
+    if (posit16::from_bits(util::u16(b)).is_zero()) ++zeros;
+  EXPECT_EQ(zeros, 1);
+}
+
+TEST(PositRing, NextPriorWalkTheWholeRing) {
+  posit8 p = posit8::zero();
+  int steps = 0;
+  do {
+    p = p.next();
+    ++steps;
+  } while (!p.is_zero() && steps <= 300);
+  EXPECT_EQ(steps, 256);
+}
+
+}  // namespace
+}  // namespace nga::ps

@@ -1,0 +1,118 @@
+// Elementary functions and integer conversions (posit/math.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "posit/math.hpp"
+#include "posit_oracle.hpp"
+#include "util/rng.hpp"
+
+namespace nga::ps {
+namespace {
+
+using testing::check_rounded;
+using testing::quad;
+
+TEST(PositMath, ExpLogIdentities) {
+  EXPECT_EQ(exp(posit16::zero()), posit16::one());
+  EXPECT_EQ(log(posit16::one()), posit16::zero());
+  EXPECT_TRUE(log(posit16(-2.0)).is_nar());
+  EXPECT_TRUE(log(posit16::zero()).is_nar());  // log 0 -> -inf -> NaR
+  EXPECT_EQ(log2(posit16(8.0)).to_double(), 3.0);
+  // Round trip within a couple of ulps.
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const posit16 x(rng.uniform(-5.0, 5.0));
+    const double back = log(exp(x)).to_double();
+    EXPECT_NEAR(back, x.to_double(), std::fabs(x.to_double()) * 4e-3 + 1e-3);
+  }
+}
+
+TEST(PositMath, FunctionsAreFaithful16) {
+  // Faithful = within 1 ulp of the exact value. Verified with the
+  // rounding oracle relaxed by one lattice step.
+  util::Xoshiro256 rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const auto x = posit16::from_bits(util::u16(rng()));
+    if (x.is_nar()) continue;
+    const double xv = x.to_double();
+    struct Case {
+      posit16 got;
+      double exact;
+    };
+    std::vector<Case> cases;
+    if (std::fabs(xv) < 20) cases.push_back({exp(x), std::exp(xv)});
+    if (xv > 0) cases.push_back({log(x), std::log(xv)});
+    cases.push_back({tanh(x), std::tanh(xv)});
+    cases.push_back({atan(x), std::atan(xv)});
+    for (const auto& c : cases) {
+      if (c.got.is_nar()) continue;
+      // within one lattice step of the correctly rounded value
+      const auto want = posit16::from_double(c.exact);
+      const bool ok = c.got == want || c.got == want.next() ||
+                      c.got == want.prior();
+      ASSERT_TRUE(ok) << xv << " got " << c.got.to_double() << " want "
+                      << want.to_double();
+    }
+  }
+}
+
+TEST(PositMath, SinCosRangeAndPythagoras) {
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const posit16 x(rng.uniform(-10.0, 10.0));
+    const double s = sin(x).to_double();
+    const double c = cos(x).to_double();
+    ASSERT_LE(std::fabs(s), 1.0 + 1e-3);
+    ASSERT_NEAR(s * s + c * c, 1.0, 2e-3);
+  }
+}
+
+TEST(PositMath, RecipIsCorrectlyRounded) {
+  for (util::u64 b = 1; b < (util::u64{1} << 16); b += 3) {
+    const auto x = posit16::from_bits(util::u16(b));
+    if (x.is_nar() || x.is_zero()) continue;
+    const quad xv = quad(x.to_double());
+    auto cmp = [&](double t) {
+      const quad tx = quad(t) * xv;
+      const int s = quad(1.0) < tx ? -1 : (quad(1.0) > tx ? 1 : 0);
+      return xv > 0 ? s : -s;
+    };
+    ASSERT_TRUE((testing::check_rounded_cmp<16, 1>(cmp, recip(x), "recip")))
+        << x.to_double();
+  }
+}
+
+TEST(PositMath, PowBasics) {
+  EXPECT_EQ(pow(posit16(2.0), posit16(10.0)).to_double(), 1024.0);
+  EXPECT_TRUE(pow(posit16(-1.0), posit16(0.5)).is_nar());
+  EXPECT_EQ(pow(posit16(9.0), posit16(0.5)).to_double(), 3.0);
+}
+
+TEST(PositMath, IntConversions) {
+  EXPECT_EQ(to_int(posit16(42.4)), 42);
+  EXPECT_EQ(to_int(posit16(42.5)), 42);   // RNE tie to even
+  EXPECT_EQ(to_int(posit16(43.5)), 44);
+  EXPECT_EQ(to_int(posit16(-7.9)), -8);
+  EXPECT_EQ(to_int(posit16::nar()), std::numeric_limits<util::i64>::min());
+  EXPECT_EQ((from_int<16, 1>(0)), posit16::zero());
+  EXPECT_EQ((from_int<16, 1>(12345)).to_double(), 12288.0);  // rounded
+  EXPECT_EQ((from_int<16, 1>(-3)).to_double(), -3.0);
+  // Exhaustive small-integer round trip.
+  for (util::i64 v = -4096; v <= 4096; ++v) {
+    const auto p = from_int<16, 1>(v);
+    ASSERT_TRUE((check_rounded<16, 1>(quad(double(v)), p, "from_int"))) << v;
+  }
+}
+
+TEST(PositMath, RintMatchesNearbyint) {
+  util::Xoshiro256 rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-1000.0, 1000.0);
+    const posit16 x(v);
+    EXPECT_EQ(rint(x).to_double(), std::nearbyint(x.to_double()));
+  }
+}
+
+}  // namespace
+}  // namespace nga::ps

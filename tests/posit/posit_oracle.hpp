@@ -1,0 +1,157 @@
+// Shared oracle machinery for posit arithmetic tests.
+//
+// Independence from the library under test:
+//   * values are decoded by a deliberately naive bit-walking decoder
+//     (decode_value), written from the posit definition and sharing no
+//     code with src/posit;
+//   * rounding is *verified*, not recomputed: a result r is accepted iff
+//     the exact result v lies inside r's rounding interval. The interval
+//     endpoints are the posit standard's tie points — the value of the
+//     encoding stream "body ++ guard=1 ++ zeros", i.e. the (N+1)-bit
+//     posit (bits<<1)|1. (Across fraction boundaries this is the
+//     arithmetic midpoint; across regime/exponent boundaries it is NOT,
+//     which is precisely what a naive midpoint oracle would get wrong.)
+//   * exact comparisons are injected as a comparator so that division
+//     and square root can use cross-multiplication instead of inexact
+//     quotients; direct values use __float128, which holds every
+//     intermediate this suite produces exactly.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "posit/posit.hpp"
+
+namespace nga::ps::testing {
+
+using quad = __float128;
+
+/// Naive reference decoder: walks bits per the posit definition.
+/// Exact as long as the format's values fit a double (N <= 33 or so).
+template <unsigned N, unsigned ES>
+double decode_value(util::u64 bits) {
+  bits &= util::mask64(N);
+  if (bits == 0) return 0.0;
+  if (bits == (util::u64{1} << (N - 1)))
+    return std::numeric_limits<double>::quiet_NaN();
+  const bool neg = (bits >> (N - 1)) & 1;
+  const util::u64 mag = neg ? ((~bits + 1) & util::mask64(N)) : bits;
+  std::vector<int> s;
+  for (int i = int(N) - 2; i >= 0; --i) s.push_back(int((mag >> i) & 1));
+  const int r0 = s[0];
+  std::size_t i = 0;
+  while (i < s.size() && s[i] == r0) ++i;
+  const int k = r0 ? int(i) - 1 : -int(i);
+  if (i < s.size()) ++i;  // terminator
+  int e = 0;
+  for (unsigned j = 0; j < ES; ++j) {
+    e <<= 1;
+    if (i < s.size()) e |= s[i++];
+  }
+  double frac = 1.0, w = 0.5;
+  while (i < s.size()) {
+    if (s[i++]) frac += w;
+    w *= 0.5;
+  }
+  const double mag_v = std::ldexp(frac, k * (1 << ES) + e);
+  return neg ? -mag_v : mag_v;
+}
+
+/// The posit-standard tie point just above positive posit p: the value of
+/// the (N+1)-bit stream "p's body, guard = 1, zeros...".
+template <unsigned N, unsigned ES>
+double upper_tie(posit<N, ES> p) {
+  static_assert(N + 1 <= 64);
+  return decode_value<N + 1, ES>((util::u64(p.bits()) << 1) | 1);
+}
+
+/// Verify r == RNE-on-lattice(v) where cmp(t) returns the exact sign of
+/// (v - t) for any posit-or-tie value t (these always fit a double).
+template <unsigned N, unsigned ES, typename Cmp>
+::testing::AssertionResult check_rounded_cmp(Cmp cmp, posit<N, ES> r,
+                                             const char* what) {
+  using P = posit<N, ES>;
+  if (r.is_nar())
+    return ::testing::AssertionFailure() << what << ": got NaR for a real";
+  const int s0 = cmp(0.0);
+  if (s0 == 0) {
+    return r.is_zero() ? ::testing::AssertionSuccess()
+                       : ::testing::AssertionFailure()
+                             << what << ": expected exact zero, got "
+                             << r.to_double();
+  }
+  // Mirror negative cases onto the positive half of the ring: posit
+  // negation is an exact lattice symmetry that preserves encoding parity.
+  auto pcmp = [&](double t) { return s0 > 0 ? cmp(t) : -cmp(-t); };
+  const P pr = s0 > 0 ? r : -r;
+  if (pr.is_zero() || pr.is_negative())
+    return ::testing::AssertionFailure()
+           << what << ": wrong sign/zero, got " << r.to_double();
+
+  if (pcmp(P::maxpos().to_double()) >= 0)
+    return pr == P::maxpos() ? ::testing::AssertionSuccess()
+                             : ::testing::AssertionFailure()
+                                   << what << ": expected saturation to "
+                                   << "maxpos, got " << r.to_double();
+  if (pcmp(P::minpos().to_double()) <= 0)
+    return pr == P::minpos() ? ::testing::AssertionSuccess()
+                             : ::testing::AssertionFailure()
+                                   << what << ": expected saturation to "
+                                   << "minpos, got " << r.to_double();
+
+  // Interior: minpos < v < maxpos.
+  const bool even = (util::u64(pr.bits()) & 1) == 0;
+  if (pr != P::minpos()) {
+    const int cl = pcmp(upper_tie(pr.prior()));
+    if (cl < 0 || (cl == 0 && !even))
+      return ::testing::AssertionFailure()
+             << what << ": below lower tie; got " << r.to_double();
+  }
+  if (pr != P::maxpos()) {
+    const int cu = pcmp(upper_tie(pr));
+    if (cu > 0 || (cu == 0 && !even))
+      return ::testing::AssertionFailure()
+             << what << ": above upper tie; got " << r.to_double();
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Convenience wrapper when the exact result is directly a quad value.
+template <unsigned N, unsigned ES>
+::testing::AssertionResult check_rounded(quad v, posit<N, ES> r,
+                                         const char* what) {
+  auto cmp = [v](double t) {
+    const quad tq = t;
+    return v < tq ? -1 : (v > tq ? 1 : 0);
+  };
+  return check_rounded_cmp<N, ES>(cmp, r, what);
+}
+
+/// Corner values that exercise regime/exponent/fraction boundaries.
+template <unsigned N, unsigned ES>
+std::vector<posit<N, ES>> corner_values() {
+  using P = posit<N, ES>;
+  std::vector<P> out;
+  auto push_ring = [&](P p) {
+    out.push_back(p.prior().prior());
+    out.push_back(p.prior());
+    out.push_back(p);
+    out.push_back(p.next());
+    out.push_back(p.next().next());
+  };
+  push_ring(P::zero());
+  push_ring(P::one());
+  push_ring(-P::one());
+  push_ring(P::maxpos());
+  push_ring(P::minpos());
+  push_ring(-P::maxpos());
+  push_ring(-P::minpos());
+  for (int s = -P::kMaxScale; s <= P::kMaxScale; s += (1 << ES))
+    push_ring(P::from_double(std::ldexp(1.0, s)));
+  return out;
+}
+
+}  // namespace nga::ps::testing

@@ -1,0 +1,186 @@
+// The quire: exact accumulation of posit products (Section V's fused
+// dot-product machinery; width matches the standard's 16n-bit quire for
+// ES=2 formats).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "posit/posit.hpp"
+#include "posit_oracle.hpp"
+#include "util/rng.hpp"
+
+namespace nga::ps {
+namespace {
+
+using testing::check_rounded;
+using testing::quad;
+
+TEST(Quire, WidthMatchesStandardForEs2) {
+  // posit standard: quire width = 16n for es=2.
+  EXPECT_EQ((quire<16, 2>::kWords * 64), 256u);
+  EXPECT_EQ((quire<32, 2>::kWords * 64), 512u);
+  EXPECT_EQ((quire<8, 2>::kWords * 64), 128u);
+}
+
+TEST(Quire, SingleProductEqualsMul) {
+  // With one product the quire must round exactly like mul.
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    const auto a = posit16::from_bits(util::u16(rng()));
+    const auto b = posit16::from_bits(util::u16(rng()));
+    if (a.is_nar() || b.is_nar()) continue;
+    quire<16, 1> q;
+    q.add_product(a, b);
+    EXPECT_EQ(q.to_posit(), a * b)
+        << a.to_double() << " * " << b.to_double();
+  }
+}
+
+TEST(Quire, DotProductIsCorrectlyRoundedExactSum) {
+  util::Xoshiro256 rng(6);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int n = 1 + int(rng.below(24));
+    quire<16, 1> q;
+    quad exact = 0;
+    for (int i = 0; i < n; ++i) {
+      const auto a = posit16::from_bits(util::u16(rng()));
+      const auto b = posit16::from_bits(util::u16(rng()));
+      if (a.is_nar() || b.is_nar()) continue;
+      q.add_product(a, b);
+      exact += quad(a.to_double()) * quad(b.to_double());
+    }
+    ASSERT_TRUE((check_rounded<16, 1>(exact, q.to_posit(), "quire-dot")));
+  }
+}
+
+TEST(Quire, OrderIndependence) {
+  // Exact accumulation must be independent of summation order; naive
+  // posit accumulation is not.
+  util::Xoshiro256 rng(7);
+  std::vector<std::pair<posit16, posit16>> terms;
+  for (int i = 0; i < 64; ++i) {
+    auto a = posit16::from_bits(util::u16(rng()));
+    auto b = posit16::from_bits(util::u16(rng()));
+    if (a.is_nar()) a = posit16::one();
+    if (b.is_nar()) b = posit16::one();
+    terms.push_back({a, b});
+  }
+  quire<16, 1> q1;
+  for (const auto& [a, b] : terms) q1.add_product(a, b);
+  for (int shuffle = 0; shuffle < 10; ++shuffle) {
+    for (std::size_t i = terms.size(); i > 1; --i)
+      std::swap(terms[i - 1], terms[rng.below(i)]);
+    quire<16, 1> q2;
+    for (const auto& [a, b] : terms) q2.add_product(a, b);
+    EXPECT_EQ(q1.to_posit(), q2.to_posit());
+  }
+}
+
+TEST(Quire, CancellationThatNaiveAccumulationLoses) {
+  // (big * big) + (3 * 2) - (big * big) == 6 exactly in the quire.
+  const auto big = posit16::from_double(1 << 14);
+  quire<16, 1> q;
+  q.add_product(big, big);
+  q.add_product(posit16(3.0), posit16(2.0));
+  q.sub_product(big, big);
+  EXPECT_EQ(q.to_posit().to_double(), 6.0);
+
+  posit16 naive = big * big;
+  naive = naive + posit16(3.0) * posit16(2.0);
+  naive = naive - big * big;
+  EXPECT_NE(naive.to_double(), 6.0);  // the rounding error the quire avoids
+}
+
+TEST(Quire, MinposSquaredIsRepresentedExactly) {
+  // The window reaches down to minpos^2 = 2^-56. Accumulating 2^12 of
+  // them gives 2^-44, which is below minpos (2^-28): conversion must
+  // saturate to minpos (posits never round a nonzero sum to zero), and
+  // subtracting the same terms must restore an exact zero.
+  quire<16, 1> q;
+  const auto mp = posit16::minpos();
+  for (int i = 0; i < 1 << 12; ++i) q.add_product(mp, mp);
+  EXPECT_EQ(q.to_posit(), posit16::minpos());
+  for (int i = 0; i < 1 << 12; ++i) q.sub_product(mp, mp);
+  EXPECT_TRUE(q.to_posit().is_zero());
+}
+
+TEST(Quire, MaxposSquaredAccumulatesWithoutOverflow) {
+  // 30 carry-guard bits: maxpos^2 can be accumulated ~2^30 times. Probe
+  // a modest 2^10 and verify against the exact value (saturates to
+  // maxpos on conversion).
+  quire<16, 1> q;
+  const auto mp = posit16::maxpos();
+  for (int i = 0; i < 1024; ++i) q.add_product(mp, mp);
+  EXPECT_EQ(q.to_posit(), posit16::maxpos());
+  for (int i = 0; i < 1024; ++i) q.sub_product(mp, mp);
+  EXPECT_TRUE(q.to_posit().is_zero());
+}
+
+TEST(Quire, AddSubPositsDirectly) {
+  util::Xoshiro256 rng(8);
+  for (int trial = 0; trial < 5000; ++trial) {
+    quire<16, 1> q;
+    quad exact = 0;
+    for (int i = 0; i < 8; ++i) {
+      const auto a = posit16::from_bits(util::u16(rng()));
+      if (a.is_nar()) continue;
+      if (i % 2) {
+        q.sub(a);
+        exact -= quad(a.to_double());
+      } else {
+        q.add(a);
+        exact += quad(a.to_double());
+      }
+    }
+    ASSERT_TRUE((check_rounded<16, 1>(exact, q.to_posit(), "quire-sum")));
+  }
+}
+
+TEST(Quire, NaRPoisonsUntilClear) {
+  quire<16, 1> q;
+  q.add(posit16(1.0));
+  q.add(posit16::nar());
+  EXPECT_TRUE(q.to_posit().is_nar());
+  q.add(posit16(5.0));
+  EXPECT_TRUE(q.to_posit().is_nar());
+  q.clear();
+  EXPECT_TRUE(q.to_posit().is_zero());
+  q.add(posit16(5.0));
+  EXPECT_EQ(q.to_posit().to_double(), 5.0);
+}
+
+TEST(Quire, Posit32Smoke) {
+  quire<32, 2> q;
+  const auto a = posit32(1.0 / 3.0);
+  q.add_product(a, posit32(3.0));
+  // round(1/3)*3 != 1 exactly, but must be very close.
+  const double r = q.to_posit().to_double();
+  EXPECT_NEAR(r, 1.0, 1e-7);
+  // Exactness probe: 2^20 ladder of minpos^2-scaled values.
+  quire<32, 2> q2;
+  const auto tiny = posit32::from_double(std::ldexp(1.0, -60));
+  for (int i = 0; i < 1024; ++i) q2.add_product(tiny, tiny);
+  EXPECT_EQ(q2.to_posit().to_double(), std::ldexp(1.0, -110));
+}
+
+TEST(Quire, FixedWindowRoundTrip) {
+  // Section V: a posit16 converts exactly to a 58-bit fixed window and
+  // back; addition through the window equals posit addition.
+  EXPECT_EQ(posit16::fixed_window_bits(), 58);
+  util::Xoshiro256 rng(9);
+  for (int i = 0; i < 50000; ++i) {
+    const auto a = posit16::from_bits(util::u16(rng()));
+    const auto b = posit16::from_bits(util::u16(rng()));
+    if (a.is_nar() || b.is_nar()) continue;
+    EXPECT_EQ(posit16::from_fixed_window(a.to_fixed_window()), a);
+    const auto sum_fixed =
+        posit16::from_fixed_window(a.to_fixed_window() + b.to_fixed_window());
+    EXPECT_EQ(sum_fixed, a + b)
+        << a.to_double() << " + " << b.to_double();
+  }
+}
+
+}  // namespace
+}  // namespace nga::ps

@@ -1,0 +1,353 @@
+// floatmp<E,M> correctness.
+//
+// Oracle strategy: on x86-64 GCC provides _Float16 with correctly
+// rounded (RNE) double<->binary16 conversions, giving a reference that
+// shares zero code with src/softfloat. Every intermediate used here
+// (half x half products, aligned sums) is exact in double, so
+// "convert the exact double result" is the correctly rounded answer.
+// Division and square root avoid reference division via exact
+// cross-multiplied rounding-interval checks in __float128.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "softfloat/floatmp.hpp"
+#include "util/rng.hpp"
+
+namespace nga::sf {
+namespace {
+
+using util::u64;
+using quad = __float128;
+
+#ifdef __FLT16_MANT_DIG__
+#define NGA_HAVE_FLOAT16 1
+/// Independent reference: correctly rounded double -> binary16 via the
+/// compiler's _Float16 support.
+util::u16 ref_half_bits(double v) {
+  const _Float16 h = _Float16(v);
+  util::u16 bits;
+  static_assert(sizeof(h) == sizeof(bits));
+  std::memcpy(&bits, &h, sizeof(bits));
+  return bits;
+}
+#endif
+
+/// half-lattice neighbours by bit stepping on the magnitude.
+half next_up_half(half h) {  // toward +inf on the real line
+  if (h.is_zero()) return half::min_subnormal();
+  if (!h.sign()) return half::from_bits(util::u16(h.bits() + 1));
+  return half::from_bits(util::u16(h.bits() - 1));
+}
+half next_down_half(half h) {
+  if (h.is_zero()) return half::min_subnormal().negated();
+  if (!h.sign()) return half::from_bits(util::u16(h.bits() - 1));
+  return half::from_bits(util::u16(h.bits() + 1));
+}
+
+TEST(Floatmp, HalfEncodingGolden) {
+  EXPECT_EQ(half::one().bits(), 0x3c00u);
+  EXPECT_EQ(half(2.0).bits(), 0x4000u);
+  EXPECT_EQ(half(-2.0).bits(), 0xc000u);
+  EXPECT_EQ(half(65504.0).bits(), 0x7bffu);  // max normal
+  EXPECT_EQ(half::inf().bits(), 0x7c00u);
+  EXPECT_EQ(half::inf(true).bits(), 0xfc00u);
+  EXPECT_EQ(half(std::ldexp(1.0, -24)).bits(), 0x0001u);  // min subnormal
+  EXPECT_EQ(half(std::ldexp(1.0, -14)).bits(), 0x0400u);  // min normal
+  EXPECT_EQ(half(0.333251953125).bits(), 0x3555u);
+}
+
+#ifdef NGA_HAVE_FLOAT16
+TEST(Floatmp, FromDoubleMatchesHardwareExhaustiveMidpoints) {
+  // Sweep all half values plus perturbed neighbourhoods of every
+  // rounding boundary; from_double must agree with the hardware
+  // conversion everywhere.
+  for (u64 bits = 0; bits < (u64{1} << 16); ++bits) {
+    const half h = half::from_bits(util::u16(bits));
+    if (h.is_nan() || h.is_inf()) continue;
+    const double v = h.to_double();
+    const double hi = next_up_half(h).is_inf()
+                          ? v * 1.001
+                          : next_up_half(h).to_double();
+    for (const double probe :
+         {v, (v + hi) / 2, std::nextafter((v + hi) / 2, v),
+          std::nextafter((v + hi) / 2, hi), v + (hi - v) * 0.25,
+          v + (hi - v) * 0.75}) {
+      const half mine = half::from_double(probe);
+      const util::u16 ref = ref_half_bits(probe);
+      const half refh = half::from_bits(ref);
+      if (mine.is_nan() || refh.is_nan()) {
+        EXPECT_EQ(mine.is_nan(), refh.is_nan());
+        continue;
+      }
+      ASSERT_EQ(mine.bits(), ref) << "probe=" << probe;
+    }
+  }
+}
+
+TEST(Floatmp, HalfAddMatchesHardwareSweep) {
+  for (u64 x = 0; x < (u64{1} << 16); x += 7) {
+    const half a = half::from_bits(util::u16(x));
+    for (u64 y = 0; y < (u64{1} << 16); y += 13) {
+      const half b = half::from_bits(util::u16(y));
+      const half s = a + b;
+      if (a.is_nan() || b.is_nan()) {
+        EXPECT_TRUE(s.is_nan());
+        continue;
+      }
+      if (a.is_inf() && b.is_inf() && a.sign() != b.sign()) {
+        EXPECT_TRUE(s.is_nan());
+        continue;
+      }
+      // Exact in double; single rounding by the hardware conversion.
+      const util::u16 ref = ref_half_bits(a.to_double() + b.to_double());
+      ASSERT_EQ(s.bits(), ref)
+          << a.to_double() << " + " << b.to_double() << " got "
+          << s.to_double();
+    }
+  }
+}
+
+TEST(Floatmp, HalfMulMatchesHardwareRandom) {
+  util::Xoshiro256 rng(42);
+  for (int i = 0; i < 500000; ++i) {
+    const half a = half::from_bits(util::u16(rng()));
+    const half b = half::from_bits(util::u16(rng()));
+    if (a.is_nan() || b.is_nan()) continue;
+    if ((a.is_inf() && b.is_zero()) || (a.is_zero() && b.is_inf())) continue;
+    const half p = a * b;
+    const util::u16 ref = ref_half_bits(a.to_double() * b.to_double());
+    ASSERT_EQ(p.bits(), ref) << a.to_double() << " * " << b.to_double();
+  }
+}
+
+TEST(Floatmp, HalfFmaMatchesHardwareRandom) {
+  util::Xoshiro256 rng(45);
+  int differs = 0;
+  for (int i = 0; i < 300000; ++i) {
+    const half a = half::from_bits(util::u16(rng()));
+    const half b = half::from_bits(util::u16(rng()));
+    const half c = half::from_bits(util::u16(rng()));
+    if (!a.is_finite() || !b.is_finite() || !c.is_finite()) continue;
+    if (a.is_nan() || b.is_nan() || c.is_nan()) continue;
+    const half f = half::fma(a, b, c);
+    // a*b (22 bits) and the aligned sum are exact in double.
+    const double exact = a.to_double() * b.to_double() + c.to_double();
+    if (exact == 0.0 && !(a.is_zero() || b.is_zero())) {
+      ASSERT_TRUE(f.is_zero() && !f.sign())
+          << a.to_double() << "*" << b.to_double() << "+" << c.to_double();
+      continue;
+    }
+    const util::u16 ref = ref_half_bits(exact);
+    ASSERT_EQ(f.bits(), ref)
+        << a.to_double() << "*" << b.to_double() << "+" << c.to_double()
+        << " got " << f.to_double();
+    if (f.bits() != (a * b + c).bits()) ++differs;
+  }
+  EXPECT_GT(differs, 50);  // fusion must change results sometimes
+}
+#endif  // NGA_HAVE_FLOAT16
+
+TEST(Floatmp, BfloatTruncationOfFloat) {
+  // bfloat16 rounds the upper 16 bits of the binary32 pattern (RNE).
+  for (const float f : {3.14159265f, -0.001f, 1e30f, 65504.0f, 1.0f}) {
+    const bfloat16_t b{double(f)};
+    util::u32 fb;
+    std::memcpy(&fb, &f, 4);
+    const util::u32 rounded = (fb + 0x7fff + ((fb >> 16) & 1)) >> 16;
+    EXPECT_EQ(b.bits(), rounded) << f;
+  }
+}
+
+TEST(Floatmp, DoubleRoundTripAllHalf) {
+  for (u64 bits = 0; bits < (u64{1} << 16); ++bits) {
+    const half h = half::from_bits(util::u16(bits));
+    if (h.is_nan()) {
+      EXPECT_TRUE(std::isnan(h.to_double()));
+      EXPECT_TRUE(half::from_double(h.to_double()).is_nan());
+      continue;
+    }
+    EXPECT_EQ(half::from_double(h.to_double()).bits(), h.bits())
+        << "bits=" << bits;
+  }
+}
+
+TEST(Floatmp, DoubleRoundTripAllBfloat) {
+  for (u64 bits = 0; bits < (u64{1} << 16); ++bits) {
+    const bfloat16_t h = bfloat16_t::from_bits(util::u16(bits));
+    if (h.is_nan()) continue;
+    EXPECT_EQ(bfloat16_t::from_double(h.to_double()).bits(), h.bits());
+  }
+}
+
+TEST(Floatmp, HalfDivCorrectlyRoundedRandom) {
+  util::Xoshiro256 rng(44);
+  for (int i = 0; i < 300000; ++i) {
+    const half a = half::from_bits(util::u16(rng()));
+    const half b = half::from_bits(util::u16(rng()));
+    if (!a.is_finite() || !b.is_finite() || a.is_nan() || b.is_nan() ||
+        a.is_zero() || b.is_zero())
+      continue;
+    const half q = a / b;
+    const quad av = quad(a.to_double());
+    const quad bv = quad(b.to_double());
+    const quad babs = bv < 0 ? -bv : bv;
+    auto err_of = [&](double cand) {
+      const quad e = av - quad(cand) * bv;  // exact: 11+12-bit product
+      return e < 0 ? -e : e;
+    };
+    if (q.is_inf()) {
+      // Overflow threshold: max_normal + 1/2 ulp = 65520.
+      EXPECT_GE(err_of(0.0), quad(65520.0) * babs);
+      continue;
+    }
+    const quad eq = err_of(q.to_double());
+    const quad elo = err_of(next_down_half(q).to_double());
+    const quad ehi = next_up_half(q).is_inf()
+                         ? eq + 1
+                         : err_of(next_up_half(q).to_double());
+    ASSERT_LE(eq, elo) << a.to_double() << "/" << b.to_double();
+    ASSERT_LE(eq, ehi) << a.to_double() << "/" << b.to_double();
+    if (eq == elo || eq == ehi) {  // tie -> even significand required
+      ASSERT_EQ(q.bits() & 1, 0u) << a.to_double() << "/" << b.to_double();
+    }
+  }
+}
+
+TEST(Floatmp, SqrtCorrectlyRoundedExhaustiveHalf) {
+  for (u64 bits = 0; bits < (u64{1} << 16); ++bits) {
+    const half a = half::from_bits(util::u16(bits));
+    const half r = half::sqrt(a);
+    if (a.is_nan() || (a.sign() && !a.is_zero())) {
+      EXPECT_TRUE(r.is_nan()) << bits;
+      continue;
+    }
+    if (a.is_zero()) {
+      EXPECT_TRUE(r.is_zero());
+      EXPECT_EQ(r.sign(), a.sign());
+      continue;
+    }
+    if (a.is_inf()) {
+      EXPECT_TRUE(r.is_inf());
+      continue;
+    }
+    // sqrt(a) in [mid(prior,r), mid(r,next)] <=> squares bracket a.
+    // (No exact ties exist for binary16 square roots.)
+    const quad av = quad(a.to_double());
+    const quad rv = quad(r.to_double());
+    const quad lo = (rv + quad(next_down_half(r).to_double())) / 2;
+    const half up = next_up_half(r);
+    EXPECT_GE(av, lo * lo) << "bits=" << bits;
+    if (!up.is_inf()) {
+      const quad hi = (rv + quad(up.to_double())) / 2;
+      EXPECT_LE(av, hi * hi) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(Floatmp, SpecialValueSemantics) {
+  const half nan = half::nan();
+  const half inf = half::inf();
+  const half one = half::one();
+  EXPECT_TRUE((nan + one).is_nan());
+  EXPECT_TRUE((inf - inf).is_nan());
+  EXPECT_TRUE((half::zero() * inf).is_nan());
+  EXPECT_TRUE((inf / inf).is_nan());
+  EXPECT_TRUE((half::zero() / half::zero()).is_nan());
+  EXPECT_TRUE((one / half::zero()).is_inf());
+  EXPECT_TRUE((one / half::zero(true)).sign());
+  EXPECT_EQ((inf + inf).bits(), inf.bits());
+  EXPECT_FALSE((half::zero() + half::zero()).sign());
+  EXPECT_TRUE((half::zero(true) + half::zero(true)).sign());
+  EXPECT_FALSE((half::zero(true) + half::zero()).sign());
+  EXPECT_TRUE((one - one).is_zero());
+  EXPECT_FALSE((one - one).sign());
+  EXPECT_TRUE(half::sqrt(half::from_double(-4.0)).is_nan());
+}
+
+TEST(Floatmp, IeeeComparisonQuirks) {
+  const half nan = half::nan();
+  const half one = half::one();
+  EXPECT_FALSE(nan == nan);  // NaN unordered with itself
+  EXPECT_TRUE((nan <=> one) == std::partial_ordering::unordered);
+  EXPECT_TRUE(half::zero() == half::zero(true));  // -0 == +0
+  EXPECT_NE(half::zero().bits(), half::zero(true).bits());
+  EXPECT_TRUE(half(1.0) < half(2.0));
+  EXPECT_TRUE(half(-2.0) < half(-1.0));
+}
+
+TEST(Floatmp, ExceptionFlags) {
+  Flags f;
+  half::div(half::one(), half::zero(), &f);
+  EXPECT_TRUE(f.div_by_zero);
+  f = {};
+  half::mul(half::max_normal(), half::max_normal(), &f);
+  EXPECT_TRUE(f.overflow);
+  EXPECT_TRUE(f.inexact);
+  f = {};
+  half::mul(half::min_subnormal(), half::from_double(0.25), &f);
+  EXPECT_TRUE(f.underflow);
+  f = {};
+  half::mul(half::zero(), half::inf(), &f);
+  EXPECT_TRUE(f.invalid);
+}
+
+TEST(Floatmp, NormalsOnlyPolicyFlushesToZero) {
+  using F = half_ftz;
+  const F tiny = F::from_double(std::ldexp(1.0, -14));  // min normal
+  EXPECT_TRUE(F::div(tiny, F::from_double(4.0), nullptr).is_zero());
+  const F sub = F::from_bits(0x0001);  // subnormal input -> treated as 0
+  EXPECT_EQ(F::add(sub, sub, nullptr).bits(), 0u);
+  const half sub_ieee = half::from_bits(0x0001);
+  EXPECT_EQ((sub_ieee + sub_ieee).bits(), 0x0002u);
+}
+
+TEST(Floatmp, GradualUnderflowVsAbruptLoss) {
+  // a != b but a - b == 0: impossible with gradual underflow, routine
+  // under FTZ.
+  const half a = half::from_bits(0x0402);
+  const half b = half::from_bits(0x0401);
+  EXPECT_FALSE((a - b).is_zero());
+  const half_ftz af = half_ftz::from_bits(0x0402);
+  const half_ftz bf = half_ftz::from_bits(0x0401);
+  EXPECT_TRUE(half_ftz::sub(af, bf, nullptr).is_zero());
+}
+
+TEST(Floatmp, FormatConversionRoundTrip) {
+  for (u64 bits = 0; bits < (u64{1} << 16); ++bits) {
+    const half h = half::from_bits(util::u16(bits));
+    if (h.is_nan()) continue;
+    const fp32 w = fp32::convert_from(h);  // exact widening
+    EXPECT_EQ(w.to_double(), h.to_double());
+    EXPECT_EQ(half::convert_from(w).bits(), h.bits());
+  }
+}
+
+TEST(Floatmp, Fp19HoldsHalfAndBfloatExactly) {
+  // The Agilex FP19 {1,8,10} format: bfloat16's range with half's
+  // fraction — every half normal and every bfloat16 value embeds
+  // exactly (the paper's "used for both training and inference").
+  for (u64 bits = 0; bits < (u64{1} << 16); ++bits) {
+    const bfloat16_t b = bfloat16_t::from_bits(util::u16(bits));
+    if (b.is_nan()) continue;
+    EXPECT_EQ(fp19::convert_from(b).to_double(), b.to_double());
+    const half h = half::from_bits(util::u16(bits));
+    if (h.is_nan() || h.is_subnormal()) continue;
+    EXPECT_EQ(fp19::convert_from(h).to_double(), h.to_double());
+  }
+}
+
+TEST(Floatmp, TrapRegionCensus) {
+  // Fig. 6: exponent all-0s or all-1s codes ("trap to software") are
+  // 2/32 = 6.25% of the ring for any float format.
+  int trap = 0;
+  for (u64 bits = 0; bits < (u64{1} << 16); ++bits) {
+    const half h = half::from_bits(util::u16(bits));
+    if (!h.is_normal()) ++trap;
+  }
+  EXPECT_NEAR(double(trap) / 65536.0, 0.0625, 1e-9);
+}
+
+}  // namespace
+}  // namespace nga::sf

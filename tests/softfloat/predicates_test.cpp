@@ -1,0 +1,68 @@
+#include "softfloat/predicates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nga::sf {
+namespace {
+
+TEST(Predicates, ExactlyTwentyTwoAndDistinct) {
+  const auto preds = ieee_predicates();
+  EXPECT_EQ(preds.size(), 22u);  // the paper's count
+  std::set<std::string> names;
+  std::set<std::tuple<bool, bool, bool, bool, bool>> tables;
+  for (const auto& p : preds) {
+    names.insert(p.name);
+    tables.insert({p.signaling, p.on_less, p.on_equal, p.on_greater,
+                   p.on_unordered});
+  }
+  EXPECT_EQ(names.size(), 22u);
+  EXPECT_EQ(tables.size(), 22u);  // no duplicated semantics
+}
+
+TEST(Predicates, QuietEqualSemantics) {
+  const auto preds = ieee_predicates();
+  const auto& eq = preds[0];
+  ASSERT_EQ(eq.name, "compareQuietEqual");
+  bool invalid = false;
+  EXPECT_TRUE(eq.evaluate(Relation::kEqual, &invalid));
+  EXPECT_FALSE(eq.evaluate(Relation::kUnordered, &invalid));
+  EXPECT_FALSE(invalid);  // quiet: no signal on NaN
+}
+
+TEST(Predicates, SignalingRaisesInvalidOnUnordered) {
+  for (const auto& p : ieee_predicates()) {
+    bool invalid = false;
+    p.evaluate(Relation::kUnordered, &invalid);
+    EXPECT_EQ(invalid, p.signaling) << p.name;
+  }
+}
+
+TEST(Predicates, NotEqualIncludesUnordered) {
+  // NaN != x must be TRUE (the quirk the paper highlights).
+  for (const auto& p : ieee_predicates()) {
+    if (p.name == "compareQuietNotEqual") {
+      bool inv = false;
+      EXPECT_TRUE(p.evaluate(Relation::kUnordered, &inv));
+      EXPECT_FALSE(p.evaluate(Relation::kEqual, &inv));
+    }
+  }
+}
+
+TEST(Predicates, CompareFunctionMatchesOperators) {
+  const half one = half::one(), two(2.0), nan = half::nan();
+  EXPECT_EQ(compare(one, two), Relation::kLess);
+  EXPECT_EQ(compare(two, one), Relation::kGreater);
+  EXPECT_EQ(compare(one, one), Relation::kEqual);
+  EXPECT_EQ(compare(nan, one), Relation::kUnordered);
+  EXPECT_EQ(compare(nan, nan), Relation::kUnordered);
+  EXPECT_EQ(compare(half::zero(), half::zero(true)), Relation::kEqual);
+}
+
+TEST(Predicates, PositNeedsOnlyThree) {
+  EXPECT_EQ(posit_predicates().size(), 3u);
+}
+
+}  // namespace
+}  // namespace nga::sf

@@ -1,0 +1,111 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace nga::util {
+namespace {
+
+TEST(Bits, Mask64) {
+  EXPECT_EQ(mask64(0), 0u);
+  EXPECT_EQ(mask64(1), 1u);
+  EXPECT_EQ(mask64(8), 0xffu);
+  EXPECT_EQ(mask64(63), 0x7fffffffffffffffull);
+  EXPECT_EQ(mask64(64), ~u64{0});
+  EXPECT_EQ(mask64(99), ~u64{0});
+}
+
+TEST(Bits, Mask128) {
+  EXPECT_EQ(mask128(0), u128{0});
+  EXPECT_EQ(u64(mask128(64)), ~u64{0});
+  EXPECT_EQ(u64(mask128(65) >> 64), 1u);
+  EXPECT_EQ(mask128(128), ~u128{0});
+}
+
+TEST(Bits, MsbIndex) {
+  EXPECT_EQ(msb_index(0), -1);
+  EXPECT_EQ(msb_index(1), 0);
+  EXPECT_EQ(msb_index(0x8000000000000000ull), 63);
+  EXPECT_EQ(msb_index128(u128{1} << 100), 100);
+  EXPECT_EQ(msb_index128(0), -1);
+}
+
+TEST(Bits, ShrSticky) {
+  bool st = false;
+  EXPECT_EQ(shr_sticky(0b1011, 2, st), 0b10u);
+  EXPECT_TRUE(st);
+  st = false;
+  EXPECT_EQ(shr_sticky(0b1000, 3, st), 1u);
+  EXPECT_FALSE(st);
+  st = false;
+  EXPECT_EQ(shr_sticky(42, 64, st), 0u);
+  EXPECT_TRUE(st);
+  st = false;
+  EXPECT_EQ(shr_sticky(0, 70, st), 0u);
+  EXPECT_FALSE(st);
+}
+
+TEST(Bits, RoundNearestEvenBasics) {
+  // 0b101.1 -> ties to even -> 0b110
+  EXPECT_EQ(round_nearest_even(0b1011, 1, false), 0b110u);
+  // 0b100.1 -> tie -> stays at even 0b100
+  EXPECT_EQ(round_nearest_even(0b1001, 1, false), 0b100u);
+  // 0b100.1 with sticky -> above tie -> rounds up
+  EXPECT_EQ(round_nearest_even(0b1001, 1, true), 0b101u);
+  // 0b100.0 with sticky -> below half -> rounds down
+  EXPECT_EQ(round_nearest_even(0b1000, 1, true), 0b100u);
+  // drop == 0: sticky alone never rounds
+  EXPECT_EQ(round_nearest_even(7, 0, true), 7u);
+}
+
+TEST(Bits, RoundNearestEvenFullDrop) {
+  // Dropping all 64 bits: only values > 2^63 (or == with odd... kept=0)
+  // can round up to 1.
+  EXPECT_EQ(round_nearest_even(u64{1} << 63, 64, false), 0u);  // exact tie
+  EXPECT_EQ(round_nearest_even((u64{1} << 63) | 1, 64, false), 1u);
+  EXPECT_EQ(round_nearest_even(u64{1} << 63, 64, true), 1u);
+  EXPECT_EQ(round_nearest_even((u64{1} << 63) - 1, 64, false), 0u);
+}
+
+TEST(Bits, RoundNearestEvenMatchesReference) {
+  // Property: for random v and drop, RNE equals computing in double
+  // when the value fits exactly.
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const u64 v = rng() >> (rng.below(32) + 16);  // keep it small enough
+    const unsigned drop = unsigned(rng.below(12)) + 1;
+    const double exact = double(v) / double(u64{1} << drop);
+    const double expect = std::nearbyint(exact);  // RNE by default
+    // Skip cases where double can't hold v exactly (v < 2^48 ensured).
+    ASSERT_EQ(round_nearest_even(v, drop, false), u64(expect))
+        << "v=" << v << " drop=" << drop;
+  }
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0b0111, 4), 7);
+  EXPECT_EQ(sign_extend(0b1000, 4), -8);
+  EXPECT_EQ(sign_extend(0b1111, 4), -1);
+  EXPECT_EQ(sign_extend(0xff, 16), 255);
+}
+
+TEST(Bits, TwosComplement) {
+  EXPECT_EQ(twos_complement(1, 8), 0xffu);
+  EXPECT_EQ(twos_complement(0, 8), 0u);
+  EXPECT_EQ(twos_complement(0x80, 8), 0x80u);  // most-negative fixed point
+  EXPECT_EQ(twos_complement(5, 4), 11u);
+}
+
+TEST(Bits, BitReverse) {
+  EXPECT_EQ(bit_reverse(0b001, 3), 0b100u);
+  EXPECT_EQ(bit_reverse(0b110, 3), 0b011u);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const u64 v = rng() & mask64(17);
+    EXPECT_EQ(bit_reverse(bit_reverse(v, 17), 17), v);
+  }
+}
+
+}  // namespace
+}  // namespace nga::util

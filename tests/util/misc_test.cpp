@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace nga::util {
+namespace {
+
+TEST(Rng, DeterministicBySeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+  bool differs = false;
+  Xoshiro256 a2(42);
+  for (int i = 0; i < 100; ++i) differs |= a2() != c();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowIsInRangeAndRoughlyUniform) {
+  Xoshiro256 rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const u64 v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    ++counts[std::size_t(v)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, UniformAndNormalMoments) {
+  Xoshiro256 rng(8);
+  RunningStats u, n;
+  for (int i = 0; i < 200000; ++i) {
+    u.add(rng.uniform());
+    n.add(rng.normal());
+  }
+  EXPECT_NEAR(u.mean(), 0.5, 0.01);
+  EXPECT_NEAR(u.variance(), 1.0 / 12.0, 0.005);
+  EXPECT_NEAR(n.mean(), 0.0, 0.01);
+  EXPECT_NEAR(n.stddev(), 1.0, 0.01);
+  EXPECT_GE(u.min(), 0.0);
+  EXPECT_LT(u.max(), 1.0);
+}
+
+TEST(Stats, RunningStatsExactOnSmallSet) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(Stats, Histogram) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(double(i % 10) + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  for (std::size_t b = 0; b < h.bins(); ++b) EXPECT_EQ(h.count(b), 10u);
+  h.add(-5.0);   // clamps to first bin
+  h.add(50.0);   // clamps to last bin
+  EXPECT_EQ(h.count(0), 11u);
+  EXPECT_EQ(h.count(9), 11u);
+  EXPECT_NEAR(h.bin_center(0), 0.5, 1e-12);
+}
+
+TEST(Table, AlignmentAndCsv) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", cell(1.5, 1)});
+  t.add_row({"b", cell(42)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| alpha | 1.5   |"), std::string::npos) << s;
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(), "name,value\nalpha,1.5\nb,42\n");
+}
+
+TEST(Table, PctCell) {
+  EXPECT_EQ(pct_cell(0.1549), "15.49");
+  EXPECT_EQ(pct_cell(1.0, 0), "100");
+}
+
+}  // namespace
+}  // namespace nga::util

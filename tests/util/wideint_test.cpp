@@ -1,0 +1,108 @@
+#include "util/wideint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace nga::util {
+namespace {
+
+using W2 = WideInt<2>;  // 128 bits: directly comparable against __int128
+using W4 = WideInt<4>;
+
+i128 to_i128(const W2& w) {
+  return i128((u128(w.word(1)) << 64) | w.word(0));
+}
+
+W2 from_i128(i128 v) { return W2::from_i128(v); }
+
+TEST(WideInt, RoundTrip128) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const i128 v = i128((u128(rng()) << 64) | rng());
+    EXPECT_EQ(to_i128(from_i128(v)), v);
+  }
+}
+
+TEST(WideInt, AddSubNegMatch128) {
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 20000; ++i) {
+    const i128 a = i128((u128(rng()) << 64) | rng());
+    const i128 b = i128((u128(rng()) << 64) | rng());
+    EXPECT_EQ(to_i128(from_i128(a) + from_i128(b)), i128(u128(a) + u128(b)));
+    EXPECT_EQ(to_i128(from_i128(a) - from_i128(b)), i128(u128(a) - u128(b)));
+    EXPECT_EQ(to_i128(-from_i128(a)), i128(0 - u128(a)));
+  }
+}
+
+TEST(WideInt, ShiftsMatch128) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 20000; ++i) {
+    const i128 a = i128((u128(rng()) << 64) | rng());
+    const unsigned s = unsigned(rng.below(130));
+    const i128 shl = s >= 128 ? 0 : i128(u128(a) << s);
+    EXPECT_EQ(to_i128(from_i128(a) << s), shl) << "s=" << s;
+    const i128 asr = s >= 128 ? (a < 0 ? -1 : 0) : (a >> s);
+    EXPECT_EQ(to_i128(from_i128(a).asr(s)), asr) << "s=" << s;
+  }
+}
+
+TEST(WideInt, CompareMatches128) {
+  Xoshiro256 rng(14);
+  for (int i = 0; i < 20000; ++i) {
+    const i128 a = i128((u128(rng()) << 64) | rng());
+    const i128 b = i128((u128(rng()) << 64) | rng());
+    EXPECT_EQ(from_i128(a) < from_i128(b), a < b);
+    EXPECT_EQ(from_i128(a) == from_i128(b), a == b);
+    EXPECT_EQ(from_i128(a) > from_i128(b), a > b);
+  }
+}
+
+TEST(WideInt, BitProbes) {
+  W4 w;
+  w.set_bit(0, true);
+  w.set_bit(100, true);
+  w.set_bit(255, true);
+  EXPECT_EQ(w.bit(0), 1u);
+  EXPECT_EQ(w.bit(1), 0u);
+  EXPECT_EQ(w.bit(100), 1u);
+  EXPECT_EQ(w.bit(255), 1u);
+  EXPECT_TRUE(w.is_negative());
+  EXPECT_EQ(w.msb(), 255);
+  EXPECT_TRUE(w.any_below(1));
+  w.set_bit(0, false);
+  EXPECT_FALSE(w.any_below(100));
+  EXPECT_TRUE(w.any_below(101));
+}
+
+TEST(WideInt, MsbMagnitude) {
+  EXPECT_EQ(W4(i64{0}).msb_magnitude(), -1);
+  EXPECT_EQ(W4(i64{-1}).msb_magnitude(), -1);
+  EXPECT_EQ(W4(i64{1}).msb_magnitude(), 0);
+  EXPECT_EQ(W4(i64{-2}).msb_magnitude(), 0);  // ...11110: bit 0 differs
+  EXPECT_EQ(W4(i64{5}).msb_magnitude(), 2);
+}
+
+TEST(WideInt, Extract64) {
+  W4 w;
+  w.set_word(1, 0xdeadbeefcafebabeull);
+  EXPECT_EQ(w.extract64(64), 0xdeadbeefcafebabeull);
+  EXPECT_EQ(w.extract64(68), 0x0deadbeefcafebabull);
+  // Beyond the top the value sign-extends (positive here -> zeros).
+  EXPECT_EQ(w.extract64(250), 0u);
+}
+
+TEST(WideInt, SignExtension64Construction) {
+  EXPECT_EQ(W4(i64{-5}).word(3), ~u64{0});
+  EXPECT_TRUE(W4(i64{-5}).is_negative());
+  EXPECT_EQ((-W4(i64{-5})).word(0), 5u);
+}
+
+TEST(WideInt, HexString) {
+  W2 w;
+  w.set_word(0, 0xabcull);
+  EXPECT_EQ(w.to_hex(), "00000000000000000000000000000abc");
+}
+
+}  // namespace
+}  // namespace nga::util
