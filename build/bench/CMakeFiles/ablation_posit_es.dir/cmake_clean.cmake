@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_posit_es.dir/ablation_posit_es.cpp.o"
+  "CMakeFiles/ablation_posit_es.dir/ablation_posit_es.cpp.o.d"
+  "ablation_posit_es"
+  "ablation_posit_es.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_posit_es.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_quire_vs_naive.dir/ablation_quire_vs_naive.cpp.o"
+  "CMakeFiles/ablation_quire_vs_naive.dir/ablation_quire_vs_naive.cpp.o.d"
+  "ablation_quire_vs_naive"
+  "ablation_quire_vs_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quire_vs_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_accuracy_vs_bitstring.dir/fig10_accuracy_vs_bitstring.cpp.o"
+  "CMakeFiles/fig10_accuracy_vs_bitstring.dir/fig10_accuracy_vs_bitstring.cpp.o.d"
+  "fig10_accuracy_vs_bitstring"
+  "fig10_accuracy_vs_bitstring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_accuracy_vs_bitstring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_sincos_generator.dir/fig1_sincos_generator.cpp.o"
+  "CMakeFiles/fig1_sincos_generator.dir/fig1_sincos_generator.cpp.o.d"
+  "fig1_sincos_generator"
+  "fig1_sincos_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_sincos_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_bitheap.dir/fig2_bitheap.cpp.o"
+  "CMakeFiles/fig2_bitheap.dir/fig2_bitheap.cpp.o.d"
+  "fig2_bitheap"
+  "fig2_bitheap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_bitheap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

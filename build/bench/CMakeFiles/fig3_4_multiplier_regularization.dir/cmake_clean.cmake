@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_4_multiplier_regularization.dir/fig3_4_multiplier_regularization.cpp.o"
+  "CMakeFiles/fig3_4_multiplier_regularization.dir/fig3_4_multiplier_regularization.cpp.o.d"
+  "fig3_4_multiplier_regularization"
+  "fig3_4_multiplier_regularization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_4_multiplier_regularization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

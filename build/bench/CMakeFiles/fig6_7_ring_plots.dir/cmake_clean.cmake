@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_7_ring_plots.dir/fig6_7_ring_plots.cpp.o"
+  "CMakeFiles/fig6_7_ring_plots.dir/fig6_7_ring_plots.cpp.o.d"
+  "fig6_7_ring_plots"
+  "fig6_7_ring_plots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_7_ring_plots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

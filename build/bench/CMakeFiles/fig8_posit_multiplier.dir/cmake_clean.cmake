@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_posit_multiplier.dir/fig8_posit_multiplier.cpp.o"
+  "CMakeFiles/fig8_posit_multiplier.dir/fig8_posit_multiplier.cpp.o.d"
+  "fig8_posit_multiplier"
+  "fig8_posit_multiplier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_posit_multiplier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

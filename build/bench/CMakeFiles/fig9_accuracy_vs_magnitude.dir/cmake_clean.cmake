@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_accuracy_vs_magnitude.dir/fig9_accuracy_vs_magnitude.cpp.o"
+  "CMakeFiles/fig9_accuracy_vs_magnitude.dir/fig9_accuracy_vs_magnitude.cpp.o.d"
+  "fig9_accuracy_vs_magnitude"
+  "fig9_accuracy_vs_magnitude.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_accuracy_vs_magnitude.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_fractal_packing.dir/fig_fractal_packing.cpp.o"
+  "CMakeFiles/fig_fractal_packing.dir/fig_fractal_packing.cpp.o.d"
+  "fig_fractal_packing"
+  "fig_fractal_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_fractal_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

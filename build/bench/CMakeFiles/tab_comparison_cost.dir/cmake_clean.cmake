@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_comparison_cost.dir/tab_comparison_cost.cpp.o"
+  "CMakeFiles/tab_comparison_cost.dir/tab_comparison_cost.cpp.o.d"
+  "tab_comparison_cost"
+  "tab_comparison_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_comparison_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_dsp_formats.dir/tab_dsp_formats.cpp.o"
+  "CMakeFiles/tab_dsp_formats.dir/tab_dsp_formats.cpp.o.d"
+  "tab_dsp_formats"
+  "tab_dsp_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_dsp_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

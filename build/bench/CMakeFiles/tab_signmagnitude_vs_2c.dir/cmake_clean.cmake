@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_signmagnitude_vs_2c.dir/tab_signmagnitude_vs_2c.cpp.o"
+  "CMakeFiles/tab_signmagnitude_vs_2c.dir/tab_signmagnitude_vs_2c.cpp.o.d"
+  "tab_signmagnitude_vs_2c"
+  "tab_signmagnitude_vs_2c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_signmagnitude_vs_2c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab_signmagnitude_vs_2c.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_dnn_characteristics.dir/table1_dnn_characteristics.cpp.o"
+  "CMakeFiles/table1_dnn_characteristics.dir/table1_dnn_characteristics.cpp.o.d"
+  "table1_dnn_characteristics"
+  "table1_dnn_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dnn_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

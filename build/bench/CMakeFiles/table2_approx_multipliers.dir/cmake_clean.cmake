@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_approx_multipliers.dir/table2_approx_multipliers.cpp.o"
+  "CMakeFiles/table2_approx_multipliers.dir/table2_approx_multipliers.cpp.o.d"
+  "table2_approx_multipliers"
+  "table2_approx_multipliers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_approx_multipliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

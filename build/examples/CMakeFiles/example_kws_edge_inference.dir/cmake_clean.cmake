@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_kws_edge_inference.dir/kws_edge_inference.cpp.o"
+  "CMakeFiles/example_kws_edge_inference.dir/kws_edge_inference.cpp.o.d"
+  "example_kws_edge_inference"
+  "example_kws_edge_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_kws_edge_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_kws_edge_inference.
+# This may be replaced when dependencies are built.

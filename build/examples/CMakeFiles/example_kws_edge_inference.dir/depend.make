@@ -1,0 +1,2 @@
+# Empty dependencies file for example_kws_edge_inference.
+# This may be replaced when dependencies are built.

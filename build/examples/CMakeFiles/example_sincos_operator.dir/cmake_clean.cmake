@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sincos_operator.dir/sincos_operator.cpp.o"
+  "CMakeFiles/example_sincos_operator.dir/sincos_operator.cpp.o.d"
+  "example_sincos_operator"
+  "example_sincos_operator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sincos_operator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nga_accuracy.dir/accuracy/accuracy.cpp.o"
+  "CMakeFiles/nga_accuracy.dir/accuracy/accuracy.cpp.o.d"
+  "libnga_accuracy.a"
+  "libnga_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nga_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nga_approx.dir/approx/multipliers.cpp.o"
+  "CMakeFiles/nga_approx.dir/approx/multipliers.cpp.o.d"
+  "libnga_approx.a"
+  "libnga_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nga_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nga_bitheap.dir/bitheap/bitheap.cpp.o"
+  "CMakeFiles/nga_bitheap.dir/bitheap/bitheap.cpp.o.d"
+  "libnga_bitheap.a"
+  "libnga_bitheap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nga_bitheap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nga_core.dir/core/hwmult.cpp.o"
+  "CMakeFiles/nga_core.dir/core/hwmult.cpp.o.d"
+  "libnga_core.a"
+  "libnga_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nga_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/dsp.cpp" "src/CMakeFiles/nga_fpga.dir/fpga/dsp.cpp.o" "gcc" "src/CMakeFiles/nga_fpga.dir/fpga/dsp.cpp.o.d"
+  "/root/repo/src/fpga/fractal.cpp" "src/CMakeFiles/nga_fpga.dir/fpga/fractal.cpp.o" "gcc" "src/CMakeFiles/nga_fpga.dir/fpga/fractal.cpp.o.d"
+  "/root/repo/src/fpga/softmult.cpp" "src/CMakeFiles/nga_fpga.dir/fpga/softmult.cpp.o" "gcc" "src/CMakeFiles/nga_fpga.dir/fpga/softmult.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nga_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nga_bitheap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nga_softfloat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

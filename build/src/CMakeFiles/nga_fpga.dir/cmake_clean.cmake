@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nga_fpga.dir/fpga/dsp.cpp.o"
+  "CMakeFiles/nga_fpga.dir/fpga/dsp.cpp.o.d"
+  "CMakeFiles/nga_fpga.dir/fpga/fractal.cpp.o"
+  "CMakeFiles/nga_fpga.dir/fpga/fractal.cpp.o.d"
+  "CMakeFiles/nga_fpga.dir/fpga/softmult.cpp.o"
+  "CMakeFiles/nga_fpga.dir/fpga/softmult.cpp.o.d"
+  "libnga_fpga.a"
+  "libnga_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nga_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nga_hwmodel.dir/hwmodel/netlist.cpp.o"
+  "CMakeFiles/nga_hwmodel.dir/hwmodel/netlist.cpp.o.d"
+  "libnga_hwmodel.a"
+  "libnga_hwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nga_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

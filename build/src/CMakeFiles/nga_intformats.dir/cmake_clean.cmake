@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nga_intformats.dir/intformats/intformats.cpp.o"
+  "CMakeFiles/nga_intformats.dir/intformats/intformats.cpp.o.d"
+  "libnga_intformats.a"
+  "libnga_intformats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nga_intformats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

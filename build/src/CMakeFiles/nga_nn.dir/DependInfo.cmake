@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/data.cpp" "src/CMakeFiles/nga_nn.dir/nn/data.cpp.o" "gcc" "src/CMakeFiles/nga_nn.dir/nn/data.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/CMakeFiles/nga_nn.dir/nn/layers.cpp.o" "gcc" "src/CMakeFiles/nga_nn.dir/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/CMakeFiles/nga_nn.dir/nn/model.cpp.o" "gcc" "src/CMakeFiles/nga_nn.dir/nn/model.cpp.o.d"
+  "/root/repo/src/nn/quant.cpp" "src/CMakeFiles/nga_nn.dir/nn/quant.cpp.o" "gcc" "src/CMakeFiles/nga_nn.dir/nn/quant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nga_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nga_bitheap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nga_hwmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

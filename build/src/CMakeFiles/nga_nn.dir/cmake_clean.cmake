@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nga_nn.dir/nn/data.cpp.o"
+  "CMakeFiles/nga_nn.dir/nn/data.cpp.o.d"
+  "CMakeFiles/nga_nn.dir/nn/layers.cpp.o"
+  "CMakeFiles/nga_nn.dir/nn/layers.cpp.o.d"
+  "CMakeFiles/nga_nn.dir/nn/model.cpp.o"
+  "CMakeFiles/nga_nn.dir/nn/model.cpp.o.d"
+  "CMakeFiles/nga_nn.dir/nn/quant.cpp.o"
+  "CMakeFiles/nga_nn.dir/nn/quant.cpp.o.d"
+  "libnga_nn.a"
+  "libnga_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nga_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnga_nn.a"
+)

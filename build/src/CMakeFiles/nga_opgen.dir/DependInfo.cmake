@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opgen/constmult.cpp" "src/CMakeFiles/nga_opgen.dir/opgen/constmult.cpp.o" "gcc" "src/CMakeFiles/nga_opgen.dir/opgen/constmult.cpp.o.d"
+  "/root/repo/src/opgen/funcapprox.cpp" "src/CMakeFiles/nga_opgen.dir/opgen/funcapprox.cpp.o" "gcc" "src/CMakeFiles/nga_opgen.dir/opgen/funcapprox.cpp.o.d"
+  "/root/repo/src/opgen/fusion.cpp" "src/CMakeFiles/nga_opgen.dir/opgen/fusion.cpp.o" "gcc" "src/CMakeFiles/nga_opgen.dir/opgen/fusion.cpp.o.d"
+  "/root/repo/src/opgen/sincos.cpp" "src/CMakeFiles/nga_opgen.dir/opgen/sincos.cpp.o" "gcc" "src/CMakeFiles/nga_opgen.dir/opgen/sincos.cpp.o.d"
+  "/root/repo/src/opgen/squarer.cpp" "src/CMakeFiles/nga_opgen.dir/opgen/squarer.cpp.o" "gcc" "src/CMakeFiles/nga_opgen.dir/opgen/squarer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nga_bitheap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nga_hwmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

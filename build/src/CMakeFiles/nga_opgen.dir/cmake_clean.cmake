@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nga_opgen.dir/opgen/constmult.cpp.o"
+  "CMakeFiles/nga_opgen.dir/opgen/constmult.cpp.o.d"
+  "CMakeFiles/nga_opgen.dir/opgen/funcapprox.cpp.o"
+  "CMakeFiles/nga_opgen.dir/opgen/funcapprox.cpp.o.d"
+  "CMakeFiles/nga_opgen.dir/opgen/fusion.cpp.o"
+  "CMakeFiles/nga_opgen.dir/opgen/fusion.cpp.o.d"
+  "CMakeFiles/nga_opgen.dir/opgen/sincos.cpp.o"
+  "CMakeFiles/nga_opgen.dir/opgen/sincos.cpp.o.d"
+  "CMakeFiles/nga_opgen.dir/opgen/squarer.cpp.o"
+  "CMakeFiles/nga_opgen.dir/opgen/squarer.cpp.o.d"
+  "libnga_opgen.a"
+  "libnga_opgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nga_opgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

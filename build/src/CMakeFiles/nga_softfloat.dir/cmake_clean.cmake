@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nga_softfloat.dir/softfloat/predicates.cpp.o"
+  "CMakeFiles/nga_softfloat.dir/softfloat/predicates.cpp.o.d"
+  "libnga_softfloat.a"
+  "libnga_softfloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nga_softfloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_approx.dir/approx/multipliers_test.cpp.o"
+  "CMakeFiles/test_approx.dir/approx/multipliers_test.cpp.o.d"
+  "test_approx"
+  "test_approx.pdb"
+  "test_approx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

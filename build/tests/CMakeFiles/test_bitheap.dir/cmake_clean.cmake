@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitheap.dir/bitheap/bitheap_test.cpp.o"
+  "CMakeFiles/test_bitheap.dir/bitheap/bitheap_test.cpp.o.d"
+  "test_bitheap"
+  "test_bitheap.pdb"
+  "test_bitheap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitheap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

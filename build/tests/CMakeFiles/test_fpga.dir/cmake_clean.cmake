@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpga.dir/fpga/dsp_test.cpp.o"
+  "CMakeFiles/test_fpga.dir/fpga/dsp_test.cpp.o.d"
+  "CMakeFiles/test_fpga.dir/fpga/fractal_test.cpp.o"
+  "CMakeFiles/test_fpga.dir/fpga/fractal_test.cpp.o.d"
+  "CMakeFiles/test_fpga.dir/fpga/softmult_test.cpp.o"
+  "CMakeFiles/test_fpga.dir/fpga/softmult_test.cpp.o.d"
+  "test_fpga"
+  "test_fpga.pdb"
+  "test_fpga[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

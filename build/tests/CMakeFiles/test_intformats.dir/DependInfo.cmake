@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/intformats/intformats_test.cpp" "tests/CMakeFiles/test_intformats.dir/intformats/intformats_test.cpp.o" "gcc" "tests/CMakeFiles/test_intformats.dir/intformats/intformats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nga_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nga_accuracy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nga_opgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nga_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nga_softfloat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nga_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nga_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nga_bitheap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nga_intformats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nga_hwmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intformats.dir/intformats/intformats_test.cpp.o"
+  "CMakeFiles/test_intformats.dir/intformats/intformats_test.cpp.o.d"
+  "test_intformats"
+  "test_intformats.pdb"
+  "test_intformats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intformats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opgen.dir/opgen/constmult_test.cpp.o"
+  "CMakeFiles/test_opgen.dir/opgen/constmult_test.cpp.o.d"
+  "CMakeFiles/test_opgen.dir/opgen/funcapprox_test.cpp.o"
+  "CMakeFiles/test_opgen.dir/opgen/funcapprox_test.cpp.o.d"
+  "CMakeFiles/test_opgen.dir/opgen/fusion_test.cpp.o"
+  "CMakeFiles/test_opgen.dir/opgen/fusion_test.cpp.o.d"
+  "CMakeFiles/test_opgen.dir/opgen/sincos_test.cpp.o"
+  "CMakeFiles/test_opgen.dir/opgen/sincos_test.cpp.o.d"
+  "test_opgen"
+  "test_opgen.pdb"
+  "test_opgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_opgen.
+# This may be replaced when dependencies are built.

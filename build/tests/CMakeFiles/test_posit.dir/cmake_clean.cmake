@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_posit.dir/posit/posit_arith_test.cpp.o"
+  "CMakeFiles/test_posit.dir/posit/posit_arith_test.cpp.o.d"
+  "CMakeFiles/test_posit.dir/posit/posit_decode_test.cpp.o"
+  "CMakeFiles/test_posit.dir/posit/posit_decode_test.cpp.o.d"
+  "CMakeFiles/test_posit.dir/posit/posit_math_test.cpp.o"
+  "CMakeFiles/test_posit.dir/posit/posit_math_test.cpp.o.d"
+  "CMakeFiles/test_posit.dir/posit/quire_test.cpp.o"
+  "CMakeFiles/test_posit.dir/posit/quire_test.cpp.o.d"
+  "test_posit"
+  "test_posit.pdb"
+  "test_posit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_posit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softfloat.dir/softfloat/floatmp_test.cpp.o"
+  "CMakeFiles/test_softfloat.dir/softfloat/floatmp_test.cpp.o.d"
+  "CMakeFiles/test_softfloat.dir/softfloat/predicates_test.cpp.o"
+  "CMakeFiles/test_softfloat.dir/softfloat/predicates_test.cpp.o.d"
+  "test_softfloat"
+  "test_softfloat.pdb"
+  "test_softfloat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softfloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

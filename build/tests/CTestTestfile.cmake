@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_accuracy[1]_include.cmake")
+include("/root/repo/build/tests/test_approx[1]_include.cmake")
+include("/root/repo/build/tests/test_bitheap[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_fixedpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_fpga[1]_include.cmake")
+include("/root/repo/build/tests/test_hwmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_intformats[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_opgen[1]_include.cmake")
+include("/root/repo/build/tests/test_posit[1]_include.cmake")
+include("/root/repo/build/tests/test_softfloat[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
