@@ -13,6 +13,8 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
+#include "bench_main.hpp"
+
 using namespace nga;
 
 namespace {
@@ -42,7 +44,7 @@ void row(util::Table& t) {
 
 }  // namespace
 
-int main() {
+int nga_bench_main(int, char**) {
   std::printf("== ablation: posit<16,es> taper knob ==\n\n");
   util::Table t({"format", "dyn. range [orders]", "peak accuracy [dec]",
                  "dot err (|x|~1)", "dot err (2^+-20)"});

@@ -13,9 +13,11 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
+#include "bench_main.hpp"
+
 using namespace nga;
 
-int main() {
+int nga_bench_main(int, char**) {
   std::printf("== ablation: quire vs naive accumulation ==\n\n");
   util::Table t({"terms", "posit16 naive", "posit16 quire", "float16",
                  "bfloat16"});

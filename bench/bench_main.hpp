@@ -1,0 +1,83 @@
+// Shared entry point for every bench/*.cpp.
+//
+// Each bench defines `nga_bench_main(argc, argv)` instead of `main`;
+// this header supplies the real `main`, which
+//   * strips the harness flags  --json <path>  and  --trace <path>
+//     before forwarding the remaining argv to the bench body,
+//   * times the whole bench body as the "total" section (plus whatever
+//     nested TimedSections the bench or the instrumented library add),
+//   * on --json, writes the registry in the stable nga-bench-v1 schema
+//     (see src/obs/export.hpp) — the format CI diffs as BENCH_*.json,
+//   * on --trace, writes a chrome://tracing trace_event JSON document.
+//
+// Everything pretty-printed to stdout is untouched: the human-readable
+// tables stay the default interface, the JSON is the machine one.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+/// The bench body. Receives argv with harness flags removed.
+int nga_bench_main(int argc, char** argv);
+
+namespace nga::obs::harness {
+
+inline std::string bench_name_from(const char* argv0) {
+  std::string name = argv0 ? argv0 : "bench";
+  const auto slash = name.find_last_of("/\\");
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name.empty() ? "bench" : name;
+}
+
+}  // namespace nga::obs::harness
+
+int main(int argc, char** argv) {
+  std::string json_path, trace_path;
+  std::vector<char*> fwd;
+  fwd.reserve(std::size_t(argc) + 1);
+  if (argc > 0) fwd.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const bool is_json = std::strcmp(argv[i], "--json") == 0;
+    const bool is_trace = std::strcmp(argv[i], "--trace") == 0;
+    if ((is_json || is_trace) && i + 1 < argc) {
+      (is_json ? json_path : trace_path) = argv[++i];
+      continue;
+    }
+    fwd.push_back(argv[i]);
+  }
+  fwd.push_back(nullptr);
+
+  const std::string bench =
+      nga::obs::harness::bench_name_from(argc > 0 ? argv[0] : nullptr);
+
+  int rc;
+  {
+    nga::obs::TimedSection total("total");
+    rc = nga_bench_main(int(fwd.size()) - 1, fwd.data());
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (os) nga::obs::write_metrics_json(os, bench);
+    if (!os) {
+      std::fprintf(stderr, "bench harness: failed to write JSON to '%s'\n",
+                   json_path.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    if (os) nga::obs::TraceBuffer::instance().write_chrome_trace(os);
+    if (!os) {
+      std::fprintf(stderr, "bench harness: failed to write trace to '%s'\n",
+                   trace_path.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
+}

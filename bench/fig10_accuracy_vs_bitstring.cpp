@@ -9,6 +9,8 @@
 #include "accuracy/accuracy.hpp"
 #include "util/table.hpp"
 
+#include "bench_main.hpp"
+
 using namespace nga;
 
 namespace {
@@ -22,7 +24,7 @@ double acc_at_code(const std::vector<acc::AccuracyPoint>& c, double frac) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int nga_bench_main(int argc, char** argv) {
   const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
   const auto fixed = acc::accuracy_curve_fixed(16, 8);
   const auto half = acc::accuracy_curve_float<5, 10>();

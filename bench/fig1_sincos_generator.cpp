@@ -10,7 +10,9 @@
 #include "opgen/sincos.hpp"
 #include "util/table.hpp"
 
-int main() {
+#include "bench_main.hpp"
+
+int nga_bench_main(int, char**) {
   using namespace nga;
   std::printf("== Fig. 1: parametric fixed-point sin/cos generator ==\n\n");
 

@@ -10,6 +10,8 @@
 #include "bitheap/bitheap.hpp"
 #include "util/table.hpp"
 
+#include "bench_main.hpp"
+
 using namespace nga;
 
 namespace {
@@ -35,7 +37,7 @@ Result synth(unsigned w, unsigned k, bh::Strategy s) {
 
 }  // namespace
 
-int main() {
+int nga_bench_main(int, char**) {
   std::printf("== Fig. 2: one bit heap, several hardware backends ==\n\n");
   for (const auto& [w, k] : {std::pair{8u, 4u}, {6u, 8u}, {12u, 2u}}) {
     std::printf("-- sum of %u products of %ux%u bits --\n", k, w, w);

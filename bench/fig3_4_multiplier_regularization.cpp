@@ -11,9 +11,11 @@
 #include "fpga/softmult.hpp"
 #include "util/table.hpp"
 
+#include "bench_main.hpp"
+
 using namespace nga;
 
-int main() {
+int nga_bench_main(int, char**) {
   std::printf("== Figs. 3/4: 3x3 soft multiplier regularization ==\n\n");
   std::printf("Fig. 3 (naive partial-product array):\n");
   std::printf("  col:    5    4    3    2    1    0\n");

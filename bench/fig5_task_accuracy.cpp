@@ -19,6 +19,8 @@
 #include "nn/model.hpp"
 #include "util/table.hpp"
 
+#include "bench_main.hpp"
+
 using namespace nga;
 using namespace nga::nn;
 
@@ -39,7 +41,7 @@ Model make_k2(util::u64 seed) { return make_kws_cnn2(16, 12, seed); }
 
 }  // namespace
 
-int main() {
+int nga_bench_main(int, char**) {
   std::printf("== Fig. 5: task accuracy under approximate retraining ==\n\n");
 
   TrainConfig img_cfg;

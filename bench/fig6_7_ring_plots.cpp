@@ -16,6 +16,8 @@
 #include "accuracy/accuracy.hpp"
 #include "util/table.hpp"
 
+#include "bench_main.hpp"
+
 using namespace nga;
 
 namespace {
@@ -46,7 +48,7 @@ double time_posit_mul(util::u16 a, util::u16 b, int iters) {
 
 }  // namespace
 
-int main() {
+int nga_bench_main(int, char**) {
   std::printf("== Fig. 6: the 16-bit IEEE float ring ==\n\n");
   util::Table f({"region", "codes", "fraction of ring [%]"});
   for (const auto& r : acc::float_ring_census<5, 10>())

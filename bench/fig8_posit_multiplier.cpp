@@ -11,10 +11,12 @@
 #include "core/hwmult.hpp"
 #include "util/table.hpp"
 
+#include "bench_main.hpp"
+
 using namespace nga;
 using namespace nga::core;
 
-int main() {
+int nga_bench_main(int, char**) {
   std::printf("== Fig. 8: 8-bit posit multiplier vs float multipliers ==\n\n");
   const auto posit_nl = build_posit8_multiplier();
   const auto ftz_nl = build_float8_multiplier(FloatHw::kNormalsOnly);

@@ -13,6 +13,8 @@
 #include "accuracy/accuracy.hpp"
 #include "util/table.hpp"
 
+#include "bench_main.hpp"
+
 using namespace nga;
 
 namespace {
@@ -27,7 +29,7 @@ double acc_at(const std::vector<acc::AccuracyPoint>& c, double v) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int nga_bench_main(int argc, char** argv) {
   const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
   const auto fixed = acc::accuracy_curve_fixed(16, 8);
   const auto half = acc::accuracy_curve_float<5, 10>();

@@ -9,9 +9,11 @@
 #include "fpga/fractal.hpp"
 #include "util/table.hpp"
 
+#include "bench_main.hpp"
+
 using namespace nga;
 
-int main() {
+int nga_bench_main(int, char**) {
   std::printf("== Fractal Synthesis packing (Section III) ==\n\n");
   util::Table t({"segments", "LABs", "fitter", "placed", "failed",
                  "logic use [%]", "arith density [%]", "splits", "seeds"});

@@ -9,9 +9,11 @@
 #include "softfloat/predicates.hpp"
 #include "util/table.hpp"
 
+#include "bench_main.hpp"
+
 using namespace nga;
 
-int main() {
+int nga_bench_main(int, char**) {
   std::printf("== the 22 IEEE comparison predicates (clause 5.11) ==\n\n");
   util::Table t({"predicate", "signaling", "L", "E", "G", "U"});
   const auto preds = sf::ieee_predicates();

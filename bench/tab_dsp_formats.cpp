@@ -11,9 +11,11 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
+#include "bench_main.hpp"
+
 using namespace nga;
 
-int main() {
+int nga_bench_main(int, char**) {
   std::printf("== DSP-block FP formats (Agilex model) ==\n\n");
   const fpga::DspDevice dev;
   std::printf("device: %d DSP blocks @ %.0f MHz\n\n", dev.dsp_blocks,

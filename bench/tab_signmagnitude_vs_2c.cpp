@@ -7,10 +7,12 @@
 #include "intformats/intformats.hpp"
 #include "util/table.hpp"
 
+#include "bench_main.hpp"
+
 using namespace nga;
 using namespace nga::intf;
 
-int main() {
+int nga_bench_main(int, char**) {
   std::printf("== sign-magnitude vs two's complement (Section V) ==\n\n");
 
   // The paper's readability example.

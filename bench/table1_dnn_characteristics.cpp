@@ -12,10 +12,12 @@
 #include "nn/model.hpp"
 #include "util/table.hpp"
 
+#include "bench_main.hpp"
+
 using namespace nga;
 using namespace nga::nn;
 
-int main() {
+int nga_bench_main(int, char**) {
   std::printf("== Table I: DNN characteristics (scaled reproduction) ==\n\n");
   util::Table t({"DNN", "Dataset", "Params", "MACs", "Float [%]",
                  "8-bit [%]"});

@@ -11,13 +11,20 @@
 #include "approx/multipliers.hpp"
 #include "util/table.hpp"
 
+#include "bench_main.hpp"
+
 using namespace nga;
 
-int main() {
+int nga_bench_main(int, char**) {
   std::printf("== Table II: approximate multipliers ==\n\n");
   util::Table t({"Multiplier", "MRE [%]", "MAE", "WCE", "Error rate [%]",
                  "Energy Saving [%]", "NAND2 area", "depth"});
-  for (const auto& m : ax::table2_multipliers()) {
+  const auto mults = [] {
+    obs::TimedSection build("table2.build_multipliers");
+    return ax::table2_multipliers();
+  }();
+  for (const auto& m : mults) {
+    obs::TimedSection measure("table2.measure");
     const auto e = ax::measure_error(*m);
     const double save = ax::energy_saving_percent(*m, 1500);
     const auto cost = m->netlist().cost();

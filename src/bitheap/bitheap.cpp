@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace nga::bh {
 
 void BitHeap::add_bit(int w, int node) { columns_[w].push_back(node); }
@@ -60,15 +62,26 @@ std::size_t BitHeap::max_height() const {
 
 std::vector<int> BitHeap::compress(Strategy strategy) {
   if (columns_.empty()) return {};
+  NGA_OBS_COUNT("bitheap.compress");
+  NGA_OBS_TIMED("bitheap.compress");
+  std::vector<int> sum;
   switch (strategy) {
     case Strategy::kRippleTree:
-      return compress_ripple_tree();
+      sum = compress_ripple_tree();
+      break;
     case Strategy::kCompressorTree:
-      return compress_compressor_tree(false);
+      sum = compress_compressor_tree(false);
+      break;
     case Strategy::kLut6Tree:
-      return compress_compressor_tree(true);
+      sum = compress_compressor_tree(true);
+      break;
   }
-  return {};
+  NGA_OBS_COUNT_N("bitheap.compress.rounds", stats_.stages);
+  NGA_OBS_COUNT_N("bitheap.compress.full_adders", stats_.full_adders);
+  NGA_OBS_COUNT_N("bitheap.compress.half_adders", stats_.half_adders);
+  NGA_OBS_COUNT_N("bitheap.compress.lut6", stats_.lut6_compressors);
+  NGA_OBS_VALUE("bitheap.final_adder_width", stats_.final_adder_width);
+  return sum;
 }
 
 std::vector<int> BitHeap::final_add(std::map<int, std::vector<int>>& cols) {

@@ -3,17 +3,21 @@
 namespace nga::nn {
 
 MulTable::MulTable() {
+  NGA_OBS_TIMED("nn.multable.build");
   for (unsigned a = 0; a < 256; ++a)
     for (unsigned b = 0; b < 256; ++b)
       t_[(std::size_t(a) << 8) | b] = u16(a * b);
   exact_ = true;
+  NGA_OBS_COUNT("nn.multable.build.exact");
 }
 
 MulTable::MulTable(const ax::ApproxMult8& m) {
+  NGA_OBS_TIMED("nn.multable.build");
   for (unsigned a = 0; a < 256; ++a)
     for (unsigned b = 0; b < 256; ++b)
       t_[(std::size_t(a) << 8) | b] = m.multiply(u8(a), u8(b));
   exact_ = false;
+  NGA_OBS_COUNT("nn.multable.build.approx");
 }
 
 }  // namespace nga::nn

@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "approx/multipliers.hpp"
+#include "obs/obs.hpp"
 
 namespace nga::nn {
 
@@ -29,7 +30,10 @@ class MulTable {
   /// Compiled from an approximate multiplier.
   explicit MulTable(const ax::ApproxMult8& m);
 
-  u16 mul(u8 a, u8 b) const { return t_[(std::size_t(a) << 8) | b]; }
+  u16 mul(u8 a, u8 b) const {
+    NGA_OBS_COUNT("nn.mac");
+    return t_[(std::size_t(a) << 8) | b];
+  }
   bool is_exact() const { return exact_; }
 
  private:
@@ -48,9 +52,13 @@ struct ActRange {
 
 /// Quantize a non-negative activation to u8 against a calibrated range.
 inline u8 quantize_act(float v, float scale_inv) {
+  NGA_OBS_COUNT("nn.requant");
   const float q = v * scale_inv + 0.5f;
   if (q <= 0.f) return 0;
-  if (q >= 255.f) return 255;
+  if (q >= 255.f) {
+    NGA_OBS_COUNT("nn.requant.clip");
+    return 255;
+  }
   return u8(q);
 }
 

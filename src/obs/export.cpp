@@ -1,0 +1,62 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+namespace nga::obs {
+
+namespace {
+
+std::string num(double v) {
+  // JSON has no NaN/Inf; clamp to null-free sentinels (empty series
+  // report 0s upstream, so this is belt-and-braces).
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+template <class Map, class Fn>
+void write_map(std::ostream& os, const char* key, const Map& m, Fn value) {
+  os << "\"" << key << "\":{";
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json::escape(k) << "\":" << value(v);
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os, std::string_view bench_name) {
+  const auto& reg = MetricsRegistry::instance();
+  os << "{\"schema\":\"" << kBenchSchema << "\",";
+  os << "\"bench\":\"" << json::escape(bench_name) << "\",";
+  write_map(os, "wall_ns", reg.sections_snapshot(),
+            [](u64 v) { return std::to_string(v); });
+  os << ",";
+  write_map(os, "counters", reg.counters_snapshot(),
+            [](u64 v) { return std::to_string(v); });
+  os << ",";
+  write_map(os, "gauges", reg.gauges_snapshot(),
+            [](double v) { return num(v); });
+  os << ",";
+  write_map(os, "metrics", reg.series_snapshot(), [](const SeriesSnapshot& s) {
+    std::string o = "{\"count\":" + std::to_string(s.count);
+    o += ",\"mean\":" + num(s.mean);
+    o += ",\"stddev\":" + num(s.stddev);
+    o += ",\"min\":" + num(s.min);
+    o += ",\"max\":" + num(s.max);
+    o += "}";
+    return o;
+  });
+  os << "}\n";
+}
+
+}  // namespace nga::obs

@@ -1,0 +1,27 @@
+// Machine-readable export of the metrics registry: the stable
+// "nga-bench-v1" JSON schema CI diffs across PRs (BENCH_*.json).
+//
+// Schema (all maps sorted by key, so diffs are stable):
+//   {
+//     "schema":   "nga-bench-v1",
+//     "bench":    "<bench name>",
+//     "wall_ns":  { "<section>": <u64 ns>, ... },
+//     "counters": { "<counter>": <u64>, ... },
+//     "gauges":   { "<gauge>": <double>, ... },
+//     "metrics":  { "<series>": { "count": <u64>, "mean": <double>,
+//                                 "stddev": <double>, "min": <double>,
+//                                 "max": <double> }, ... }
+//   }
+#pragma once
+
+#include <ostream>
+#include <string_view>
+
+namespace nga::obs {
+
+inline constexpr std::string_view kBenchSchema = "nga-bench-v1";
+
+/// Serialize the current registry state in the schema above.
+void write_metrics_json(std::ostream& os, std::string_view bench_name);
+
+}  // namespace nga::obs

@@ -1,0 +1,51 @@
+// Minimal JSON support for the observability layer: string escaping for
+// the writers (export.cpp, trace.cpp) and a small recursive-descent
+// parser used by tests and CI tooling to validate what we emit.
+//
+// The parser accepts strict JSON (RFC 8259) minus some exotica nobody
+// emits here: no \u surrogate-pair recombination (the escape is decoded
+// as-is into UTF-8) and numbers are parsed as double.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nga::obs::json {
+
+/// Escape @p s for inclusion inside a JSON string literal (no quotes).
+std::string escape(std::string_view s);
+
+/// A parsed JSON value (small DOM, value-semantic).
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  bool has(std::string_view key) const {
+    return is_object() && object.find(std::string(key)) != object.end();
+  }
+  /// Object member access; returns a shared null value for misses so
+  /// chained lookups (`v["a"]["b"]`) are safe on absent paths.
+  const Value& operator[](std::string_view key) const;
+};
+
+/// Parse @p text into @p out. On failure returns false and, if
+/// @p error is non-null, stores a message with the byte offset.
+bool parse(std::string_view text, Value& out, std::string* error = nullptr);
+
+}  // namespace nga::obs::json

@@ -1,0 +1,70 @@
+// nga::obs — umbrella header and the NGA_OBS instrumentation macros.
+//
+// The library's arithmetic hot paths (posit rounding, softfloat packing,
+// bit-heap compression, quantized MACs) emit events through the macros
+// below. With NGA_OBS=1 (the default, and what the CMake option NGA_OBS
+// controls) each event costs one relaxed atomic increment through a
+// call-site-cached Counter reference. With NGA_OBS=0 every macro
+// expands to `((void)0)`: instrumented modules compile with the obs
+// calls fully elided, so library users pay nothing.
+//
+// The obs *classes* (MetricsRegistry, ScopedTimer, TraceBuffer, the
+// JSON exporter) are plain library code and remain available either
+// way — only the hot-path event macros are guarded.
+#pragma once
+
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+
+#ifndef NGA_OBS
+#define NGA_OBS 1
+#endif
+
+#if NGA_OBS
+
+/// Count one event. @p name is a string literal; the registry lookup
+/// happens once per call site (function-local static reference).
+#define NGA_OBS_COUNT(name) NGA_OBS_COUNT_N(name, 1)
+
+/// Count @p n events at once.
+#define NGA_OBS_COUNT_N(name, n)                                     \
+  do {                                                               \
+    static ::nga::obs::Counter& nga_obs_counter_ =                   \
+        ::nga::obs::MetricsRegistry::instance().counter(name);       \
+    nga_obs_counter_.inc(::nga::obs::u64(n));                        \
+  } while (0)
+
+/// Record a sample into a value series (mean/stddev/min/max).
+#define NGA_OBS_VALUE(name, v)                                       \
+  do {                                                               \
+    static ::nga::obs::ValueSeries& nga_obs_series_ =                \
+        ::nga::obs::MetricsRegistry::instance().series(name);        \
+    nga_obs_series_.add(static_cast<double>(v));                     \
+  } while (0)
+
+/// Set a gauge to an instantaneous value.
+#define NGA_OBS_GAUGE(name, v)                                       \
+  do {                                                               \
+    static ::nga::obs::Gauge& nga_obs_gauge_ =                       \
+        ::nga::obs::MetricsRegistry::instance().gauge(name);         \
+    nga_obs_gauge_.set(static_cast<double>(v));                      \
+  } while (0)
+
+/// Time the rest of the enclosing scope as a named section + trace span.
+#define NGA_OBS_TIMED(name) \
+  ::nga::obs::TimedSection NGA_OBS_CAT_(nga_obs_timed_, __LINE__) { name }
+#define NGA_OBS_CAT_(a, b) NGA_OBS_CAT2_(a, b)
+#define NGA_OBS_CAT2_(a, b) a##b
+
+#else  // !NGA_OBS — every event macro vanishes.
+
+#define NGA_OBS_COUNT(name) ((void)0)
+#define NGA_OBS_COUNT_N(name, n) ((void)0)
+#define NGA_OBS_VALUE(name, v) ((void)0)
+#define NGA_OBS_GAUGE(name, v) ((void)0)
+#define NGA_OBS_TIMED(name) ((void)0)
+
+#endif  // NGA_OBS

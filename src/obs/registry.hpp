@@ -1,0 +1,152 @@
+// Process-wide metrics registry: named counters, gauges, and running
+// value series, shared by the instrumented arithmetic hot paths and the
+// bench harness (bench/bench_main.hpp).
+//
+// Design constraints, in order:
+//   1. A hot-path increment must cost one relaxed atomic add. Call
+//      sites cache a `Counter&` in a function-local static (see the
+//      NGA_OBS_COUNT macro in obs.hpp), so the registry lookup happens
+//      once per call site, not once per event.
+//   2. References handed out by the registry stay valid forever —
+//      entries are stored in node-stable std::map and reset() zeroes
+//      values instead of erasing nodes.
+//   3. Everything is thread-safe: counters/gauges are atomics, series
+//      take a mutex per sample (series are for warm paths, not MACs).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/bits.hpp"
+#include "util/stats.hpp"
+
+namespace nga::obs {
+
+using util::u64;
+
+/// Monotonic event counter. inc() is a single relaxed fetch_add.
+class Counter {
+ public:
+  void inc(u64 n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  u64 value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> v_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. "current model bytes").
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Plain-data snapshot of a value series, safe to read lock-free.
+struct SeriesSnapshot {
+  std::size_t count = 0;
+  double mean = 0, stddev = 0, min = 0, max = 0;
+};
+
+/// Streaming distribution of a sampled quantity (latency, error, ...),
+/// backed by util::RunningStats under a mutex.
+class ValueSeries {
+ public:
+  void add(double x) {
+    std::lock_guard<std::mutex> lk(m_);
+    s_.add(x);
+  }
+  SeriesSnapshot snapshot() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return {s_.count(), s_.mean(), s_.stddev(), s_.min(), s_.max()};
+  }
+  void reset() {
+    std::lock_guard<std::mutex> lk(m_);
+    s_ = util::RunningStats{};
+  }
+
+ private:
+  mutable std::mutex m_;
+  util::RunningStats s_;
+};
+
+/// The process-wide registry. Four independent namespaces: counters
+/// (event counts), sections (accumulated wall-clock ns, fed by the RAII
+/// timers in timer.hpp), gauges, and value series.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance() {
+    static MetricsRegistry r;
+    return r;
+  }
+
+  Counter& counter(std::string_view name) { return get(counters_, name); }
+  Counter& section(std::string_view name) { return get(sections_, name); }
+  Gauge& gauge(std::string_view name) { return get(gauges_, name); }
+  ValueSeries& series(std::string_view name) { return get(series_, name); }
+
+  /// Zero every registered value. Registered objects survive (cached
+  /// references at call sites must stay valid), only their state clears.
+  void reset() {
+    std::lock_guard<std::mutex> lk(m_);
+    for (auto& [k, v] : counters_) v.reset();
+    for (auto& [k, v] : sections_) v.reset();
+    for (auto& [k, v] : gauges_) v.reset();
+    for (auto& [k, v] : series_) v.reset();
+  }
+
+  // Snapshots for export; sorted by name (std::map order).
+  std::map<std::string, u64> counters_snapshot() const {
+    return snap_u64(counters_);
+  }
+  std::map<std::string, u64> sections_snapshot() const {
+    return snap_u64(sections_);
+  }
+  std::map<std::string, double> gauges_snapshot() const {
+    std::lock_guard<std::mutex> lk(m_);
+    std::map<std::string, double> out;
+    for (const auto& [k, v] : gauges_) out[k] = v.value();
+    return out;
+  }
+  std::map<std::string, SeriesSnapshot> series_snapshot() const {
+    std::lock_guard<std::mutex> lk(m_);
+    std::map<std::string, SeriesSnapshot> out;
+    for (const auto& [k, v] : series_) out[k] = v.snapshot();
+    return out;
+  }
+
+ private:
+  MetricsRegistry() = default;
+
+  template <class T>
+  T& get(std::map<std::string, T, std::less<>>& m, std::string_view name) {
+    std::lock_guard<std::mutex> lk(m_);
+    const auto it = m.find(name);
+    if (it != m.end()) return it->second;
+    return m.try_emplace(std::string(name)).first->second;
+  }
+
+  template <class T>
+  std::map<std::string, u64> snap_u64(
+      const std::map<std::string, T, std::less<>>& m) const {
+    std::lock_guard<std::mutex> lk(m_);
+    std::map<std::string, u64> out;
+    for (const auto& [k, v] : m) out[k] = v.value();
+    return out;
+  }
+
+  mutable std::mutex m_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Counter, std::less<>> sections_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, ValueSeries, std::less<>> series_;
+};
+
+}  // namespace nga::obs

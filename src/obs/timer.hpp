@@ -1,0 +1,69 @@
+// RAII wall-clock timers on the steady clock, nanosecond resolution.
+//
+//   ScopedTimer  — accumulates elapsed ns into a registry "section"
+//                  counter (cheap: two clock reads + one atomic add).
+//   TimedSection — ScopedTimer plus a chrome-trace span in the process
+//                  TraceBuffer; use for the coarse phases a bench or
+//                  experiment wants to see in the JSON/trace output.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace nga::obs {
+
+/// Steady-clock nanoseconds since an arbitrary process-local epoch.
+inline u64 now_ns() {
+  return u64(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count());
+}
+
+/// Accumulates this scope's wall time into a named section counter.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Counter& sink) : sink_(&sink), t0_(now_ns()) {}
+  explicit ScopedTimer(std::string_view section)
+      : ScopedTimer(MetricsRegistry::instance().section(section)) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { sink_->inc(elapsed_ns()); }
+
+  u64 elapsed_ns() const { return now_ns() - t0_; }
+
+ private:
+  Counter* sink_;
+  u64 t0_;
+};
+
+/// A section timer that also records a trace span, so nested
+/// TimedSections reconstruct the call structure in chrome://tracing.
+class TimedSection {
+ public:
+  explicit TimedSection(std::string name)
+      : name_(std::move(name)),
+        sink_(&MetricsRegistry::instance().section(name_)),
+        t0_(now_ns()) {}
+  TimedSection(const TimedSection&) = delete;
+  TimedSection& operator=(const TimedSection&) = delete;
+  ~TimedSection() {
+    const u64 dur = now_ns() - t0_;
+    sink_->inc(dur);
+    TraceBuffer::instance().record(
+        {std::move(name_), t0_, dur, this_thread_trace_id()});
+  }
+
+  u64 elapsed_ns() const { return now_ns() - t0_; }
+
+ private:
+  std::string name_;
+  Counter* sink_;
+  u64 t0_;
+};
+
+}  // namespace nga::obs

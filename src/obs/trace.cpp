@@ -1,0 +1,29 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace nga::obs {
+
+void TraceBuffer::write_chrome_trace(std::ostream& os) const {
+  const auto events = snapshot();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  char buf[160];
+  for (const auto& ev : events) {
+    if (!first) os << ",";
+    first = false;
+    // chrome wants microseconds; keep ns precision as fractional us.
+    std::snprintf(buf, sizeof buf,
+                  "\"ph\":\"X\",\"ts\":%" PRIu64 ".%03u,\"dur\":%" PRIu64
+                  ".%03u,\"pid\":1,\"tid\":%u",
+                  ev.start_ns / 1000, unsigned(ev.start_ns % 1000),
+                  ev.dur_ns / 1000, unsigned(ev.dur_ns % 1000), ev.tid);
+    os << "{\"name\":\"" << json::escape(ev.name) << "\"," << buf << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+}  // namespace nga::obs

@@ -1,0 +1,98 @@
+// Span trace buffer with a chrome://tracing ("trace_event" JSON)
+// exporter. TimedSection (timer.hpp) records one complete span per
+// scope; nesting falls out of the chrome "X" (complete) event model —
+// the viewer stacks overlapping spans of one thread by time inclusion.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace nga::obs {
+
+using util::u32;
+using util::u64;
+
+/// One completed span. Timestamps are steady-clock nanoseconds
+/// (process-relative, see timer.hpp's now_ns()).
+struct TraceEvent {
+  std::string name;
+  u64 start_ns = 0;
+  u64 dur_ns = 0;
+  u32 tid = 0;
+};
+
+/// Small sequential id per thread — chrome's tid field wants something
+/// stable and readable, not a hashed std::thread::id.
+inline u32 this_thread_trace_id() {
+  static std::atomic<u32> next{1};
+  thread_local const u32 id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// Process-wide bounded span buffer. Appends are mutex-guarded: spans
+/// close at most once per timed scope, so contention is negligible
+/// compared to the work being timed.
+class TraceBuffer {
+ public:
+  /// Hard cap on retained spans; beyond it events are counted as
+  /// dropped rather than growing without bound.
+  static constexpr std::size_t kMaxEvents = 1 << 20;
+
+  static TraceBuffer& instance() {
+    static TraceBuffer b;
+    return b;
+  }
+
+  void record(TraceEvent ev) {
+    std::lock_guard<std::mutex> lk(m_);
+    if (events_.size() >= kMaxEvents) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(std::move(ev));
+  }
+
+  std::vector<TraceEvent> snapshot() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return events_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return events_.size();
+  }
+
+  std::size_t dropped() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return dropped_;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lk(m_);
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  /// Emit the buffer as a chrome://tracing JSON document:
+  /// {"traceEvents":[{"name":...,"ph":"X","ts":us,"dur":us,
+  ///                  "pid":1,"tid":...}, ...]}.
+  /// Timestamps convert to the microseconds chrome expects, keeping
+  /// fractional-ns precision as a decimal.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  TraceBuffer() = default;
+
+  mutable std::mutex m_;
+  std::vector<TraceEvent> events_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace nga::obs

@@ -24,6 +24,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "util/bits.hpp"
 #include "util/wideint.hpp"
 
@@ -130,8 +131,15 @@ class posit {
   /// Round-and-pack onto the posit lattice. @p sig has the hidden bit at
   /// position 63 (sig != 0); @p sticky carries discarded information.
   static posit round_pack(bool sign, int scale, u64 sig, bool sticky) {
-    if (scale >= kMaxScale) return sign ? -maxpos() : maxpos();
-    if (scale < -kMaxScale) return sign ? -minpos() : minpos();
+    NGA_OBS_COUNT("posit.round");
+    if (scale >= kMaxScale) {
+      NGA_OBS_COUNT("posit.round.saturate");
+      return sign ? -maxpos() : maxpos();
+    }
+    if (scale < -kMaxScale) {
+      NGA_OBS_COUNT("posit.round.saturate");
+      return sign ? -minpos() : minpos();
+    }
 
     const int k = scale >> ES;  // floor division (arithmetic shift)
     const unsigned e = unsigned(scale - (k << ES));
@@ -163,6 +171,7 @@ class posit {
     // happen: regime+exp+63 fraction bits always >= N-1 for N <= 64).
     if (pos < N - 1) body <<= (N - 1 - pos);
 
+    if (guard || sticky) NGA_OBS_COUNT("posit.round.inexact");
     if (guard && (sticky || (body & 1))) ++body;
     // body is now the magnitude encoding in N-1 bits (carry to the sign
     // position is impossible: scale >= kMaxScale saturated above).
@@ -172,7 +181,10 @@ class posit {
 
   // Arithmetic -----------------------------------------------------------
   static posit add(posit a, posit b) {
-    if (a.is_nar() || b.is_nar()) return nar();
+    if (a.is_nar() || b.is_nar()) {
+      NGA_OBS_COUNT("posit.nar");
+      return nar();
+    }
     if (a.is_zero()) return b;
     if (b.is_zero()) return a;
     PositUnpacked ua = a.unpack(), ub = b.unpack();
@@ -208,7 +220,10 @@ class posit {
   static posit sub(posit a, posit b) { return add(a, -b); }
 
   static posit mul(posit a, posit b) {
-    if (a.is_nar() || b.is_nar()) return nar();
+    if (a.is_nar() || b.is_nar()) {
+      NGA_OBS_COUNT("posit.nar");
+      return nar();
+    }
     if (a.is_zero() || b.is_zero()) return zero();
     const PositUnpacked ua = a.unpack(), ub = b.unpack();
     const bool sign = ua.sign != ub.sign;
@@ -228,7 +243,10 @@ class posit {
   }
 
   static posit div(posit a, posit b) {
-    if (a.is_nar() || b.is_nar() || b.is_zero()) return nar();
+    if (a.is_nar() || b.is_nar() || b.is_zero()) {
+      NGA_OBS_COUNT("posit.nar");
+      return nar();
+    }
     if (a.is_zero()) return zero();
     const PositUnpacked ua = a.unpack(), ub = b.unpack();
     const bool sign = ua.sign != ub.sign;
@@ -246,7 +264,10 @@ class posit {
   }
 
   static posit sqrt(posit a) {
-    if (a.is_nar() || a.is_negative()) return nar();
+    if (a.is_nar() || a.is_negative()) {
+      NGA_OBS_COUNT("posit.nar");
+      return nar();
+    }
     if (a.is_zero()) return zero();
     const PositUnpacked ua = a.unpack();
     const bool odd = (ua.scale & 1) != 0;
@@ -437,7 +458,9 @@ class quire {
 
  private:
   void fused(posit_t a, posit_t b, bool negate) {
+    NGA_OBS_COUNT("posit.quire.accumulate");
     if (a.is_nar() || b.is_nar()) {
+      NGA_OBS_COUNT("posit.nar");
       nar_ = true;
       return;
     }

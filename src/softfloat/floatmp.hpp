@@ -21,6 +21,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "util/bits.hpp"
 #include "util/wideint.hpp"
 
@@ -160,6 +161,7 @@ class floatmp {
   /// This is the single rounding point of the whole library.
   static floatmp pack(bool sign, int scale, u64 sig, bool sticky,
                       Flags* flags = nullptr) {
+    NGA_OBS_COUNT("softfloat.pack");
     if (sig == 0) {
       return zero(sign);
     }
@@ -167,11 +169,13 @@ class floatmp {
       const unsigned drop = 63 - M;
       u64 kept = util::round_nearest_even(sig, drop, sticky);
       const bool inexact = sticky || (drop && (sig & util::mask64(drop)) != 0);
+      if (inexact) NGA_OBS_COUNT("softfloat.pack.inexact");
       if (kept == (u64{1} << (M + 1))) {  // rounding carried out
         kept >>= 1;
         ++scale;
       }
       if (scale > kEmax) {
+        NGA_OBS_COUNT("softfloat.pack.overflow");
         if (flags) flags->overflow = flags->inexact = true;
         return inf(sign);
       }
@@ -182,6 +186,8 @@ class floatmp {
     }
     // Below the normal range.
     if constexpr (P == Policy::kNormalsOnly) {
+      NGA_OBS_COUNT("softfloat.pack.underflow");
+      NGA_OBS_COUNT("softfloat.pack.flush_to_zero");
       if (flags) flags->underflow = flags->inexact = true;
       return zero(sign);
     }
@@ -193,6 +199,8 @@ class floatmp {
         extra > 128 ? 129u : unsigned(long(63 - M) + extra);
     const u64 kept =
         drop > 64 ? 0 : util::round_nearest_even(sig, drop, sticky);
+    NGA_OBS_COUNT("softfloat.pack.inexact");
+    if (kept < (u64{1} << M)) NGA_OBS_COUNT("softfloat.pack.underflow");
     if (flags) {
       flags->inexact = true;  // subnormal packing here always drops bits
       flags->underflow |= kept < (u64{1} << M);  // tiny after rounding

@@ -37,14 +37,18 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// Fixed-range linear histogram; out-of-range samples clamp to edge bins.
+/// Fixed-range linear histogram; out-of-range samples clamp to edge
+/// bins. Degenerate ranges are tolerated: a histogram with lo == hi
+/// (or bins == 0, clamped to one bin) funnels every sample into bin 0
+/// instead of dividing by zero.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins)
-      : lo_(lo), hi_(hi), counts_(bins, 0) {}
+      : lo_(lo), hi_(hi), counts_(bins > 0 ? bins : 1, 0) {}
 
   void add(double x) {
-    const double t = (x - lo_) / (hi_ - lo_);
+    const double span = hi_ - lo_;
+    const double t = span > 0.0 ? (x - lo_) / span : 0.0;
     auto idx = static_cast<long>(t * double(counts_.size()));
     idx = std::clamp(idx, 0L, long(counts_.size()) - 1);
     ++counts_[static_cast<std::size_t>(idx)];

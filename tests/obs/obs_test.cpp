@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "posit/posit.hpp"
+
+namespace nga::obs {
+namespace {
+
+// -- registry ----------------------------------------------------------
+
+TEST(Registry, LookupIsStableAndSharedByName) {
+  auto& reg = MetricsRegistry::instance();
+  Counter& a = reg.counter("test.reg.stable");
+  Counter& b = reg.counter("test.reg.stable");
+  EXPECT_EQ(&a, &b);  // one object per name
+  Counter& c = reg.counter("test.reg.other");
+  EXPECT_NE(&a, &c);
+
+  const u64 before = a.value();
+  b.inc(3);
+  EXPECT_EQ(a.value(), before + 3);
+
+  const auto snap = reg.counters_snapshot();
+  ASSERT_TRUE(snap.count("test.reg.stable"));
+  EXPECT_EQ(snap.at("test.reg.stable"), a.value());
+}
+
+TEST(Registry, ResetZeroesButKeepsReferencesValid) {
+  auto& reg = MetricsRegistry::instance();
+  Counter& c = reg.counter("test.reg.reset");
+  c.inc(7);
+  EXPECT_GE(c.value(), 7u);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();  // the cached reference must still be live after reset()
+  EXPECT_EQ(c.value(), 1u);
+  EXPECT_EQ(&c, &reg.counter("test.reg.reset"));
+}
+
+TEST(Registry, GaugeAndSeries) {
+  auto& reg = MetricsRegistry::instance();
+  reg.gauge("test.reg.gauge").set(2.5);
+  EXPECT_DOUBLE_EQ(reg.gauges_snapshot().at("test.reg.gauge"), 2.5);
+
+  ValueSeries& s = reg.series("test.reg.series");
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  const SeriesSnapshot snap = s.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.mean, 2.5);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 4.0);
+}
+
+TEST(Registry, CounterAtomicUnderThreadFanOut) {
+  Counter& c = MetricsRegistry::instance().counter("test.reg.atomic");
+  c.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i)
+        NGA_OBS_COUNT("test.reg.atomic");
+    });
+  for (auto& w : workers) w.join();
+#if NGA_OBS
+  EXPECT_EQ(c.value(), u64(kThreads) * kPerThread);
+#else
+  EXPECT_EQ(c.value(), 0u);  // macros elided
+#endif
+}
+
+// -- timers ------------------------------------------------------------
+
+TEST(Timer, NowNsIsMonotonic) {
+  u64 prev = now_ns();
+  for (int i = 0; i < 1000; ++i) {
+    const u64 t = now_ns();
+    ASSERT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Timer, ScopedTimerAccumulatesElapsedTime) {
+  Counter& sink = MetricsRegistry::instance().section("test.timer.scoped");
+  sink.reset();
+  {
+    ScopedTimer t(sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_GT(t.elapsed_ns(), 0u);
+  }
+  EXPECT_GE(sink.value(), u64(4) * 1000 * 1000);  // >= ~4ms recorded
+  const u64 once = sink.value();
+  { ScopedTimer t(sink); }
+  EXPECT_GE(sink.value(), once);  // accumulates, never resets
+}
+
+TEST(Timer, TimedSectionRecordsSpanAndSection) {
+  auto& buf = TraceBuffer::instance();
+  const std::size_t before = buf.size();
+  Counter& sink = MetricsRegistry::instance().section("test.timer.span");
+  sink.reset();
+  {
+    TimedSection outer("test.timer.span");
+    TimedSection inner("test.timer.span.nested");
+    (void)inner;
+  }
+  EXPECT_GT(sink.value(), 0u);
+  ASSERT_GE(buf.size(), before + 2);
+  const auto events = buf.snapshot();
+  // Destruction order closes the inner span first.
+  const auto& inner_ev = events[events.size() - 2];
+  const auto& outer_ev = events[events.size() - 1];
+  EXPECT_EQ(inner_ev.name, "test.timer.span.nested");
+  EXPECT_EQ(outer_ev.name, "test.timer.span");
+  EXPECT_GE(inner_ev.start_ns, outer_ev.start_ns);
+  EXPECT_LE(inner_ev.start_ns + inner_ev.dur_ns,
+            outer_ev.start_ns + outer_ev.dur_ns);
+  EXPECT_EQ(inner_ev.tid, outer_ev.tid);
+}
+
+// -- JSON parser -------------------------------------------------------
+
+TEST(Json, ParsesScalarsAndNesting) {
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(
+      R"({"a": 1.5, "b": [true, null, "x"], "c": {"d": -2e3}})", v, &err))
+      << err;
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v["a"].number, 1.5);
+  ASSERT_TRUE(v["b"].is_array());
+  ASSERT_EQ(v["b"].array.size(), 3u);
+  EXPECT_TRUE(v["b"].array[0].boolean);
+  EXPECT_TRUE(v["b"].array[1].is_null());
+  EXPECT_EQ(v["b"].array[2].str, "x");
+  EXPECT_DOUBLE_EQ(v["c"]["d"].number, -2000.0);
+  EXPECT_TRUE(v["missing"]["deep"].is_null());  // safe chained miss
+}
+
+TEST(Json, RejectsMalformedInput) {
+  json::Value v;
+  for (const char* bad :
+       {"{", "[1,]", "{\"a\" 1}", "tru", "\"unterminated", "1 2", ""}) {
+    std::string err;
+    EXPECT_FALSE(json::parse(bad, v, &err)) << bad;
+    EXPECT_FALSE(err.empty());
+  }
+}
+
+TEST(Json, EscapeRoundTripsThroughParser) {
+  const std::string nasty = "quote\" back\\slash \n\t ctrl\x01 end";
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(
+      json::parse("{\"k\":\"" + json::escape(nasty) + "\"}", v, &err))
+      << err;
+  EXPECT_EQ(v["k"].str, nasty);
+}
+
+// -- chrome trace export ----------------------------------------------
+
+TEST(Trace, ChromeTraceIsWellFormedJson) {
+  auto& buf = TraceBuffer::instance();
+  buf.clear();
+  {
+    TimedSection a("trace.outer");
+    TimedSection b("trace \"quoted\" name");
+    (void)a;
+    (void)b;
+  }
+  std::ostringstream os;
+  buf.write_chrome_trace(os);
+
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(os.str(), v, &err)) << err << "\n" << os.str();
+  ASSERT_TRUE(v["traceEvents"].is_array());
+  ASSERT_EQ(v["traceEvents"].array.size(), 2u);
+  for (const auto& ev : v["traceEvents"].array) {
+    EXPECT_EQ(ev["ph"].str, "X");
+    EXPECT_TRUE(ev["ts"].is_number());
+    EXPECT_TRUE(ev["dur"].is_number());
+    EXPECT_GE(ev["dur"].number, 0.0);
+    EXPECT_DOUBLE_EQ(ev["pid"].number, 1.0);
+    EXPECT_TRUE(ev["tid"].is_number());
+    EXPECT_FALSE(ev["name"].str.empty());
+  }
+  EXPECT_EQ(v["traceEvents"].array[0].object.at("name").str,
+            "trace \"quoted\" name");
+}
+
+// -- metrics export ----------------------------------------------------
+
+TEST(Export, MetricsJsonMatchesSchema) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("test.export.counter").inc(42);
+  reg.section("test.export.section").inc(1234);
+  reg.gauge("test.export.gauge").set(-1.25);
+  reg.series("test.export.series").add(2.0);
+  reg.series("test.export.series").add(4.0);
+
+  std::ostringstream os;
+  write_metrics_json(os, "unit_test_bench");
+
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(os.str(), v, &err)) << err << "\n" << os.str();
+  EXPECT_EQ(v["schema"].str, std::string(kBenchSchema));
+  EXPECT_EQ(v["bench"].str, "unit_test_bench");
+  for (const char* key : {"wall_ns", "counters", "gauges", "metrics"})
+    EXPECT_TRUE(v[key].is_object()) << key;
+  EXPECT_GE(v["counters"]["test.export.counter"].number, 42.0);
+  EXPECT_GE(v["wall_ns"]["test.export.section"].number, 1234.0);
+  EXPECT_DOUBLE_EQ(v["gauges"]["test.export.gauge"].number, -1.25);
+  const auto& series = v["metrics"]["test.export.series"];
+  EXPECT_GE(series["count"].number, 2.0);
+  EXPECT_TRUE(series["mean"].is_number());
+  EXPECT_TRUE(series["stddev"].is_number());
+  EXPECT_TRUE(series["min"].is_number());
+  EXPECT_TRUE(series["max"].is_number());
+}
+
+// -- hot-path instrumentation (only when compiled in) ------------------
+
+#if NGA_OBS
+TEST(Instrumentation, PositRoundingEventsFire) {
+  auto& reg = MetricsRegistry::instance();
+  const auto before = reg.counters_snapshot();
+  const auto get = [](const std::map<std::string, u64>& m, const char* k) {
+    const auto it = m.find(k);
+    return it == m.end() ? u64{0} : it->second;
+  };
+
+  using P = ps::posit16;
+  // 1/3 is inexact on the posit lattice; maxpos*maxpos saturates.
+  (void)(P(1.0) / P(3.0));
+  (void)(P::mul(P::maxpos(), P::maxpos()));
+  (void)(P::add(P::nar(), P::one()));
+  ps::quire<16, 1> q;
+  q.add_product(P(0.5), P(0.5));
+  (void)q.to_posit();
+
+  const auto after = reg.counters_snapshot();
+  EXPECT_GT(get(after, "posit.round"), get(before, "posit.round"));
+  EXPECT_GT(get(after, "posit.round.inexact"),
+            get(before, "posit.round.inexact"));
+  EXPECT_GT(get(after, "posit.round.saturate"),
+            get(before, "posit.round.saturate"));
+  EXPECT_GT(get(after, "posit.nar"), get(before, "posit.nar"));
+  EXPECT_GT(get(after, "posit.quire.accumulate"),
+            get(before, "posit.quire.accumulate"));
+}
+#endif  // NGA_OBS
+
+}  // namespace
+}  // namespace nga::obs

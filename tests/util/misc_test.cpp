@@ -68,6 +68,30 @@ TEST(Stats, Histogram) {
   EXPECT_NEAR(h.bin_center(0), 0.5, 1e-12);
 }
 
+TEST(Stats, HistogramDegenerateRangeDoesNotDivideByZero) {
+  // Regression: lo == hi used to divide by zero in add(); now every
+  // sample lands in bin 0.
+  Histogram h(5.0, 5.0, 4);
+  h.add(5.0);
+  h.add(7.0);
+  h.add(-3.0);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(0), 3u);
+  for (std::size_t b = 1; b < h.bins(); ++b) EXPECT_EQ(h.count(b), 0u);
+
+  // An inverted range behaves like a degenerate one (no UB, all bin 0).
+  Histogram inv(10.0, 0.0, 4);
+  inv.add(5.0);
+  EXPECT_EQ(inv.count(0), 1u);
+
+  // bins == 0 clamps to a single bin instead of clamping into nothing.
+  Histogram none(0.0, 1.0, 0);
+  none.add(0.5);
+  EXPECT_EQ(none.bins(), 1u);
+  EXPECT_EQ(none.total(), 1u);
+  EXPECT_EQ(none.count(0), 1u);
+}
+
 TEST(Table, AlignmentAndCsv) {
   Table t({"name", "value"});
   t.add_row({"alpha", cell(1.5, 1)});
