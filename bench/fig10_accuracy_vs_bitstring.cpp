@@ -9,6 +9,7 @@
 #include "accuracy/accuracy.hpp"
 #include "util/table.hpp"
 
+#define NGA_BENCH_EXTRA_FLAGS {"--csv"}
 #include "bench_main.hpp"
 
 using namespace nga;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 
 namespace nga::bh {
@@ -64,6 +65,15 @@ std::vector<int> BitHeap::compress(Strategy strategy) {
   if (columns_.empty()) return {};
   NGA_OBS_COUNT("bitheap.compress");
   NGA_OBS_TIMED("bitheap.compress");
+  if (NGA_FAULT_ACTIVE()) {
+    // Op-skip faults here model a dot dropped on its way into the
+    // compressor tree — a stuck-at-0 partial-product bit.
+    for (auto& [w, bits] : columns_) {
+      std::erase_if(bits, [](int) {
+        return NGA_FAULT_SKIP(fault::Site::kBitheapCompress);
+      });
+    }
+  }
   std::vector<int> sum;
   switch (strategy) {
     case Strategy::kRippleTree:

@@ -1,0 +1,55 @@
+// nga::fault — umbrella header and the NGA_FAULT injection macros.
+//
+// Mirrors the nga::obs design (obs/obs.hpp): the *classes* (FaultPlan,
+// Injector) are plain library code and always available — tests and the
+// fault_sweep bench drive them directly. Only the hot-path hooks below
+// are guarded by the NGA_FAULT build option:
+//
+//   NGA_FAULT=1  each hook costs one relaxed bool load while the
+//                injector is disarmed; corruption happens only when an
+//                armed plan enables the site.
+//   NGA_FAULT=0  (default) every hook is the identity / a constant —
+//                instrumented kernels compile exactly as before.
+//
+// Hook vocabulary:
+//   NGA_FAULT_BITS(site, width, x)  value filter: yields x, possibly
+//                                   with one of its low `width` bits
+//                                   corrupted. An expression.
+//   NGA_FAULT_SKIP(site)            op filter: true => drop the op.
+//   NGA_FAULT_DETECT(site, cond)    detector: report a downstream
+//                                   plausibility check that fired.
+//   NGA_FAULT_ACTIVE()              false constant when compiled out;
+//                                   guards blocks of fault-only code.
+#pragma once
+
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "fault/sites.hpp"
+
+#ifndef NGA_FAULT
+#define NGA_FAULT 0
+#endif
+
+#if NGA_FAULT
+
+#define NGA_FAULT_BITS(site, width, x) \
+  (::nga::fault::Injector::instance().filter_bits((site), (width), (x)))
+
+#define NGA_FAULT_SKIP(site) \
+  (::nga::fault::Injector::instance().filter_skip((site)))
+
+#define NGA_FAULT_DETECT(site, cond)                           \
+  do {                                                         \
+    if (cond) ::nga::fault::Injector::instance().note_detected(site); \
+  } while (0)
+
+#define NGA_FAULT_ACTIVE() (::nga::fault::Injector::instance().armed())
+
+#else  // !NGA_FAULT — hooks vanish; kernels compile as if uninstrumented.
+
+#define NGA_FAULT_BITS(site, width, x) (x)
+#define NGA_FAULT_SKIP(site) (false)
+#define NGA_FAULT_DETECT(site, cond) ((void)0)
+#define NGA_FAULT_ACTIVE() (false)
+
+#endif  // NGA_FAULT

@@ -1,0 +1,136 @@
+#include "fault/injector.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace nga::fault {
+
+namespace {
+
+/// splitmix64 step — decorrelates the per-site streams from the seed.
+u64 splitmix(u64 x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// rate in [0,1] -> 64-bit comparison threshold. rate >= 1 always
+/// fires; tiny rates keep full 64-bit resolution.
+u64 rate_threshold(double rate) {
+  if (rate <= 0.0) return 0;
+  if (rate >= 1.0) return ~u64{0};
+  const double t = std::ldexp(rate, 64);
+  return t >= 0x1p64 ? ~u64{0} : u64(t);
+}
+
+}  // namespace
+
+Site site_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kSiteCount; ++i)
+    if (site_name(Site(i)) == name) return Site(i);
+  return Site::kCount;
+}
+
+Injector& Injector::instance() {
+  static Injector inj;
+  return inj;
+}
+
+Injector::Injector() {
+  auto& reg = obs::MetricsRegistry::instance();
+  injected_all_ = &reg.counter("fault.injected");
+  masked_all_ = &reg.counter("fault.masked");
+  detected_all_ = &reg.counter("fault.detected");
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    const std::string base = "fault." + std::string(site_name(Site(i)));
+    state_[i].injected_c = &reg.counter(base + ".injected");
+    state_[i].masked_c = &reg.counter(base + ".masked");
+    state_[i].detected_c = &reg.counter(base + ".detected");
+  }
+}
+
+void Injector::arm(const FaultPlan& plan, u64 seed) {
+  plan_ = plan;
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    SiteState& st = state_[i];
+    st.spec = plan.spec(Site(i));
+    st.threshold = st.spec.enabled ? rate_threshold(st.spec.rate) : 0;
+    // Site streams are independent of each other and of arm order.
+    st.rng = util::Xoshiro256(splitmix(seed ^ splitmix(u64(i) + 1)));
+    st.totals = {};
+  }
+  armed_ = plan.any_enabled();
+}
+
+void Injector::disarm() { armed_ = false; }
+
+void Injector::reset_totals() {
+  for (auto& st : state_) st.totals = {};
+}
+
+SiteTotals Injector::grand_totals() const {
+  SiteTotals t;
+  for (const auto& st : state_) {
+    t.events += st.totals.events;
+    t.injected += st.totals.injected;
+    t.masked += st.totals.masked;
+    t.detected += st.totals.detected;
+  }
+  return t;
+}
+
+bool Injector::fire(SiteState& st) {
+  ++st.totals.events;
+  if (st.threshold == 0) return false;
+  return st.rng() < st.threshold;
+}
+
+u64 Injector::corrupt(Site site, unsigned width, u64 bits) {
+  SiteState& st = state_[std::size_t(site)];
+  if (!st.spec.enabled || st.spec.model == Model::kOpSkip) return bits;
+  if (!fire(st)) return bits;
+  const u64 pick = u64{1} << st.rng.below(width);
+  u64 out = bits;
+  switch (st.spec.model) {
+    case Model::kBitFlip:
+      out ^= pick;
+      break;
+    case Model::kStuckAt0:
+      out &= ~pick;
+      break;
+    case Model::kStuckAt1:
+      out |= pick;
+      break;
+    case Model::kOpSkip:
+      break;  // unreachable, screened above
+  }
+  ++st.totals.injected;
+  injected_all_->inc();
+  st.injected_c->inc();
+  if (out == bits) {
+    ++st.totals.masked;
+    masked_all_->inc();
+    st.masked_c->inc();
+  }
+  return out;
+}
+
+bool Injector::skip(Site site) {
+  SiteState& st = state_[std::size_t(site)];
+  if (!st.spec.enabled || st.spec.model != Model::kOpSkip) return false;
+  if (!fire(st)) return false;
+  ++st.totals.injected;
+  injected_all_->inc();
+  st.injected_c->inc();
+  return true;
+}
+
+void Injector::note_detected(Site site) {
+  SiteState& st = state_[std::size_t(site)];
+  ++st.totals.detected;
+  detected_all_->inc();
+  st.detected_c->inc();
+}
+
+}  // namespace nga::fault

@@ -1,0 +1,98 @@
+// The process-wide fault injector.
+//
+// Disarmed (the default) the hot-path entry points reduce to one
+// relaxed bool load and the NGA_FAULT_* macros that call them compile
+// out entirely when the NGA_FAULT build option is OFF — instrumented
+// kernels pay nothing in production builds.
+//
+// Armed, each enabled site runs an independent Bernoulli stream:
+//   fire  <=>  rng_site() < rate * 2^64
+// with rng_site seeded from splitmix64(seed, site). The sequence of
+// (fire, corrupted-bit) decisions at a site is therefore a pure
+// function of (seed, plan, number of events seen at that site) — the
+// determinism contract tests/fault/ pins down.
+//
+// Arming, disarming, and injection are intended for the single-threaded
+// experiment binaries; concurrent arm()/hot-path use is not supported
+// (counters would stay correct, sequences would not be reproducible).
+#pragma once
+
+#include <array>
+
+#include "fault/plan.hpp"
+#include "obs/registry.hpp"
+#include "util/rng.hpp"
+
+namespace nga::fault {
+
+/// Running totals, kept by the injector itself (independent of the
+/// NGA_OBS build setting) and mirrored into obs counters.
+struct SiteTotals {
+  u64 events = 0;    ///< filter calls seen while armed
+  u64 injected = 0;  ///< faults that fired
+  u64 masked = 0;    ///< fired but left the value unchanged (stuck-at hit)
+  u64 detected = 0;  ///< flagged by a downstream detector
+};
+
+class Injector {
+ public:
+  static Injector& instance();
+
+  /// Install @p plan and reset all site streams/totals. Deterministic:
+  /// same (plan, seed) => same fault sequence.
+  void arm(const FaultPlan& plan, u64 seed);
+  void disarm();
+  bool armed() const { return armed_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Hot-path bits filter: possibly corrupt the low @p width bits of
+  /// @p bits. Identity while disarmed or when the site is not enabled.
+  u64 filter_bits(Site site, unsigned width, u64 bits) {
+    if (!armed_) return bits;
+    return corrupt(site, width, bits);
+  }
+
+  /// Hot-path op filter: true => the caller should drop the operation.
+  bool filter_skip(Site site) {
+    if (!armed_) return false;
+    return skip(site);
+  }
+
+  /// Downstream detectors (range guards, NaR screens) report here.
+  void note_detected(Site site);
+
+  const SiteTotals& totals(Site site) const {
+    return state_[std::size_t(site)].totals;
+  }
+  SiteTotals grand_totals() const;
+  /// Zero totals without touching the RNG streams.
+  void reset_totals();
+
+ private:
+  Injector();
+
+  struct SiteState {
+    SiteSpec spec;
+    u64 threshold = 0;  ///< fire when rng() < threshold
+    util::Xoshiro256 rng;
+    SiteTotals totals;
+    // Cached obs counters (registry references are stable forever).
+    obs::Counter* injected_c = nullptr;
+    obs::Counter* masked_c = nullptr;
+    obs::Counter* detected_c = nullptr;
+  };
+
+  u64 corrupt(Site site, unsigned width, u64 bits);
+  bool skip(Site site);
+  bool fire(SiteState& st);
+
+  std::array<SiteState, kSiteCount> state_;
+  FaultPlan plan_;
+  bool armed_ = false;
+  // Aggregates across sites, also cached.
+  obs::Counter* injected_all_ = nullptr;
+  obs::Counter* masked_all_ = nullptr;
+  obs::Counter* detected_all_ = nullptr;
+};
+
+}  // namespace nga::fault

@@ -1,0 +1,86 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace nga::fault {
+
+FaultPlan& FaultPlan::inject(Site site, Model model, double rate) {
+  SiteSpec& s = specs_[std::size_t(site)];
+  s.enabled = true;
+  s.model = model;
+  s.rate = std::clamp(rate, 0.0, 1.0);
+  return *this;
+}
+
+bool FaultPlan::any_enabled() const {
+  for (const auto& s : specs_)
+    if (s.enabled && s.rate > 0.0) return true;
+  return false;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    const SiteSpec& s = specs_[i];
+    if (!s.enabled) continue;
+    if (!out.empty()) out += ',';
+    out += std::string(site_name(Site(i))) + ':' +
+           std::string(model_name(s.model)) + ':' + std::to_string(s.rate);
+  }
+  return out.empty() ? "(no faults)" : out;
+}
+
+namespace {
+
+bool parse_model(std::string_view name, Model& out) {
+  for (const Model m : {Model::kBitFlip, Model::kStuckAt0, Model::kStuckAt1,
+                        Model::kOpSkip}) {
+    if (model_name(m) == name) {
+      out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool set_error(std::string* error, std::string_view spec, const char* msg) {
+  if (error) *error = std::string(msg) + " in fault spec '" +
+                      std::string(spec) + "'";
+  return false;
+}
+
+}  // namespace
+
+bool FaultPlan::parse(std::string_view spec, FaultPlan& out,
+                      std::string* error) {
+  out = FaultPlan{};
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view item = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    const std::size_t c1 = item.find(':');
+    const std::size_t c2 =
+        c1 == std::string_view::npos ? c1 : item.find(':', c1 + 1);
+    if (c2 == std::string_view::npos)
+      return set_error(error, item, "expected site:model:rate");
+    const Site site = site_from_name(item.substr(0, c1));
+    if (site == Site::kCount) return set_error(error, item, "unknown site");
+    Model model{};
+    if (!parse_model(item.substr(c1 + 1, c2 - c1 - 1), model))
+      return set_error(error, item, "unknown model");
+    const std::string_view rate_s = item.substr(c2 + 1);
+    double rate = 0.0;
+    const auto [p, ec] =
+        std::from_chars(rate_s.data(), rate_s.data() + rate_s.size(), rate);
+    if (ec != std::errc{} || p != rate_s.data() + rate_s.size() ||
+        !(rate >= 0.0) || rate > 1.0)
+      return set_error(error, item, "bad rate (want [0,1])");
+    out.inject(site, model, rate);
+  }
+  return true;
+}
+
+}  // namespace nga::fault

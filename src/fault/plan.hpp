@@ -1,0 +1,73 @@
+// FaultPlan: the value-semantic description of WHAT to inject WHERE.
+//
+// A plan maps each site to a fault model and a per-event rate. Arming
+// the Injector with a plan plus a seed fully determines the fault
+// sequence: each site draws from its own splitmix-derived RNG stream,
+// so the faults seen at one site depend only on that site's event
+// count, never on how events from different sites interleave.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "fault/sites.hpp"
+#include "util/bits.hpp"
+
+namespace nga::fault {
+
+using util::u64;
+
+/// How a firing fault corrupts the value at a site.
+enum class Model : unsigned {
+  kBitFlip,   ///< XOR one uniformly chosen bit of the value
+  kStuckAt0,  ///< clear one uniformly chosen bit (masked if already 0)
+  kStuckAt1,  ///< set one uniformly chosen bit (masked if already 1)
+  kOpSkip,    ///< drop the operation (only meaningful at skip sites)
+};
+
+constexpr std::string_view model_name(Model m) {
+  switch (m) {
+    case Model::kBitFlip:
+      return "bitflip";
+    case Model::kStuckAt0:
+      return "stuck0";
+    case Model::kStuckAt1:
+      return "stuck1";
+    case Model::kOpSkip:
+      return "opskip";
+  }
+  return "?";
+}
+
+/// Per-site fault configuration. rate is the Bernoulli probability per
+/// event (per decode, per MAC, per dot, ...), in [0, 1].
+struct SiteSpec {
+  bool enabled = false;
+  Model model = Model::kBitFlip;
+  double rate = 0.0;
+};
+
+class FaultPlan {
+ public:
+  /// Enable @p site with @p model at @p rate (clamped to [0,1]).
+  FaultPlan& inject(Site site, Model model, double rate);
+
+  const SiteSpec& spec(Site site) const {
+    return specs_[std::size_t(site)];
+  }
+  bool any_enabled() const;
+
+  /// Human-readable one-liner: "nn.mul:bitflip:0.001,quire.accumulate:..."
+  std::string describe() const;
+
+  /// Parse a describe()-shaped spec: comma-separated
+  /// `site:model:rate` triples. Returns false and fills @p error on a
+  /// malformed spec, unknown site, or unknown model.
+  static bool parse(std::string_view spec, FaultPlan& out,
+                    std::string* error = nullptr);
+
+ private:
+  SiteSpec specs_[kSiteCount]{};
+};
+
+}  // namespace nga::fault

@@ -1,0 +1,50 @@
+// Fault-injection site registry.
+//
+// A site is one named point in an arithmetic datapath where the
+// injector may corrupt data in flight. The five datapaths of the
+// library (Sections IV and V of the paper) each expose one site; the
+// set is a closed enum so per-site state lives in a flat array and the
+// hot-path lookup is an index, not a map walk.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace nga::fault {
+
+enum class Site : unsigned {
+  kPositDecode = 0,   ///< posit::unpack — raw encoding read from storage
+  kPositEncode,       ///< posit::round_pack — encoding written to storage
+  kQuireAccumulate,   ///< quire::fused — one exact product accumulation
+  kSoftfloatPack,     ///< floatmp::pack — packed IEEE encoding
+  kNnMul,             ///< MulTable::mul — approximate-multiplier product
+  kBitheapCompress,   ///< BitHeap::compress — a partial-product dot
+  kCount
+};
+
+inline constexpr std::size_t kSiteCount = std::size_t(Site::kCount);
+
+constexpr std::string_view site_name(Site s) {
+  switch (s) {
+    case Site::kPositDecode:
+      return "posit.decode";
+    case Site::kPositEncode:
+      return "posit.encode";
+    case Site::kQuireAccumulate:
+      return "quire.accumulate";
+    case Site::kSoftfloatPack:
+      return "softfloat.pack";
+    case Site::kNnMul:
+      return "nn.mul";
+    case Site::kBitheapCompress:
+      return "bitheap.compress";
+    case Site::kCount:
+      break;
+  }
+  return "?";
+}
+
+/// Inverse of site_name(); returns kCount for an unknown name.
+Site site_from_name(std::string_view name);
+
+}  // namespace nga::fault

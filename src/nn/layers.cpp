@@ -93,6 +93,9 @@ Tensor Conv2D::forward(const Tensor& x, const Exec& ex) {
   }
   const MulTable* mul = ex.mul;
   const float out_scale = sa * qw.scale;
+#if NGA_FAULT
+  const u16 pmax = mul->weight_range_max();
+#endif
   auto xq_at = [&](int ci, int hi, int wi) {
     return xq[std::size_t((ci * x.h + hi) * x.w + wi)];
   };
@@ -110,6 +113,7 @@ Tensor Conv2D::forward(const Tensor& x, const Exec& ex) {
               const std::size_t wi =
                   std::size_t(((oc * in_c_ + ic) * k_ + ky) * k_ + kx);
               const u16 p = mul->mul(xq_at(ic, yi, xi), qw.mag[wi]);
+              NGA_FAULT_DETECT(fault::Site::kNnMul, p > pmax);
               acc += qw.sign[wi] > 0 ? long(p) : -long(p);
             }
           }
@@ -194,11 +198,15 @@ Tensor Dense::forward(const Tensor& x, const Exec& ex) {
     x_.v[i] = float(xq[i]) * sa;
   }
   const float out_scale = sa * qw.scale;
+#if NGA_FAULT
+  const u16 pmax = ex.mul->weight_range_max();
+#endif
   for (int o = 0; o < out_; ++o) {
     long acc = 0;
     for (int i = 0; i < in_; ++i) {
       const std::size_t wi = std::size_t(o * in_ + i);
       const u16 p = ex.mul->mul(xq[std::size_t(i)], qw.mag[wi]);
+      NGA_FAULT_DETECT(fault::Site::kNnMul, p > pmax);
       acc += qw.sign[wi] > 0 ? long(p) : -long(p);
     }
     y.v[std::size_t(o)] = float(acc) * out_scale + b_[std::size_t(o)];

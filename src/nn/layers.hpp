@@ -27,11 +27,14 @@ using util::u64;
 
 enum class Mode { kFloat, kQuantExact, kQuantApprox };
 
+class ResilienceGuard;
+
 /// Shared execution context: mode + the active multiplier table.
 struct Exec {
   Mode mode = Mode::kFloat;
   const MulTable* mul = nullptr;   ///< required in kQuantApprox
   bool calibrate = false;          ///< update activation ranges (float)
+  ResilienceGuard* guard = nullptr;  ///< per-layer degradation watchdog
 };
 
 class Layer {

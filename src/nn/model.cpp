@@ -5,11 +5,37 @@
 #include <cmath>
 #include <numeric>
 
+#include "nn/resilience.hpp"
+
 namespace nga::nn {
 
 Tensor Model::forward(const Tensor& x, const Exec& ex) {
+  if (!ex.guard) {
+    Tensor t = x;
+    for (auto& l : layers_) t = l->forward(t, ex);
+    return t;
+  }
+  // Guarded inference: bracket each layer with the guard's counter
+  // snapshot; on a trip, swap in the exact fallback table and re-run
+  // the poisoned layer. Degradation is sticky across samples — the
+  // guard object carries it until reset().
+  Exec cur = ex;
+  if (cur.guard->degraded() && cur.guard->fallback() &&
+      cur.mode == Mode::kQuantApprox)
+    cur.mul = cur.guard->fallback();
   Tensor t = x;
-  for (auto& l : layers_) t = l->forward(t, ex);
+  for (auto& l : layers_) {
+    cur.guard->begin_layer();
+    Tensor y = l->forward(t, cur);
+    if (cur.guard->layer_tripped()) {
+      cur.guard->enter_degraded(l->name());
+      if (cur.guard->fallback() && cur.mode == Mode::kQuantApprox) {
+        cur.mul = cur.guard->fallback();
+        y = l->forward(t, cur);  // redo the affected layer exactly
+      }
+    }
+    t = std::move(y);
+  }
   return t;
 }
 
@@ -39,10 +65,33 @@ std::vector<std::vector<float>> Model::snapshot() {
 }
 
 void Model::restore(const std::vector<std::vector<float>>& state) {
+  // Validate the whole snapshot before touching any weights, naming the
+  // layer and buffer that mismatched — a corrupted snapshot must not
+  // leave the model half-restored or silently resize a weight tensor.
   std::vector<std::vector<float>*> ptrs;
-  for (const auto& l : layers_) l->collect_state(ptrs);
+  std::vector<std::string> owner;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    std::vector<std::vector<float>*> lp;
+    layers_[li]->collect_state(lp);
+    for (std::size_t bi = 0; bi < lp.size(); ++bi) {
+      ptrs.push_back(lp[bi]);
+      owner.push_back("layer " + std::to_string(li) + " (" +
+                      layers_[li]->name() + ") buffer " +
+                      std::to_string(bi));
+    }
+  }
   if (ptrs.size() != state.size())
-    throw std::invalid_argument("snapshot/model mismatch");
+    throw std::invalid_argument(
+        "snapshot/model mismatch: model '" + name_ + "' expects " +
+        std::to_string(ptrs.size()) + " state buffers, snapshot has " +
+        std::to_string(state.size()));
+  for (std::size_t i = 0; i < ptrs.size(); ++i) {
+    if (state[i].size() != ptrs[i]->size())
+      throw std::invalid_argument(
+          "snapshot/model mismatch at " + owner[i] + " of model '" + name_ +
+          "': expected " + std::to_string(ptrs[i]->size()) +
+          " floats, snapshot has " + std::to_string(state[i].size()));
+  }
   for (std::size_t i = 0; i < ptrs.size(); ++i) *ptrs[i] = state[i];
 }
 
@@ -112,10 +161,11 @@ void calibrate(Model& model, const Dataset& data, int max_samples) {
 }
 
 EvalResult evaluate(Model& model, const Dataset& data, Mode mode,
-                    const MulTable* mul) {
+                    const MulTable* mul, ResilienceGuard* guard) {
   Exec ex;
   ex.mode = mode;
   ex.mul = mul;
+  ex.guard = guard;
   EvalResult r;
   for (const auto& s : data) {
     const Tensor logits = model.forward(s.x, ex);

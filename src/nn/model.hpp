@@ -79,8 +79,11 @@ struct EvalResult {
   double accuracy = 0.0;
   double loss = 0.0;
 };
+/// @p guard (optional): per-layer degradation watchdog; see
+/// nn/resilience.hpp. Degradation is sticky across the whole run.
 EvalResult evaluate(Model& model, const Dataset& data, Mode mode,
-                    const MulTable* mul = nullptr);
+                    const MulTable* mul = nullptr,
+                    ResilienceGuard* guard = nullptr);
 
 // --- Table I topologies (scaled) ---------------------------------------
 

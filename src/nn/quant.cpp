@@ -1,6 +1,23 @@
 #include "nn/quant.hpp"
 
+#include <algorithm>
+
 namespace nga::nn {
+
+namespace {
+
+/// Max product over weight magnitudes 0..127 (the sign+7-bit weight
+/// range every quantized MAC uses) — products above it are physically
+/// impossible and flag an in-flight fault.
+u16 weight_range_max_of(const std::array<u16, 65536>& t) {
+  u16 m = 0;
+  for (unsigned a = 0; a < 256; ++a)
+    for (unsigned b = 0; b < 128; ++b)
+      m = std::max(m, t[(std::size_t(a) << 8) | b]);
+  return m;
+}
+
+}  // namespace
 
 MulTable::MulTable() {
   NGA_OBS_TIMED("nn.multable.build");
@@ -8,6 +25,7 @@ MulTable::MulTable() {
     for (unsigned b = 0; b < 256; ++b)
       t_[(std::size_t(a) << 8) | b] = u16(a * b);
   exact_ = true;
+  wmax_ = weight_range_max_of(t_);
   NGA_OBS_COUNT("nn.multable.build.exact");
 }
 
@@ -17,6 +35,7 @@ MulTable::MulTable(const ax::ApproxMult8& m) {
     for (unsigned b = 0; b < 256; ++b)
       t_[(std::size_t(a) << 8) | b] = m.multiply(u8(a), u8(b));
   exact_ = false;
+  wmax_ = weight_range_max_of(t_);
   NGA_OBS_COUNT("nn.multable.build.approx");
 }
 

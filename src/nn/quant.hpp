@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "approx/multipliers.hpp"
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 
 namespace nga::nn {
@@ -32,12 +33,25 @@ class MulTable {
 
   u16 mul(u8 a, u8 b) const {
     NGA_OBS_COUNT("nn.mac");
-    return t_[(std::size_t(a) << 8) | b];
+    const u16 p = t_[(std::size_t(a) << 8) | b];
+#if NGA_FAULT
+    // The fault site models the approximate-multiplier hardware unit;
+    // the exact table is the separate golden unit ResilienceGuard falls
+    // back to, so it stays fault-free.
+    if (!exact_)
+      return u16(NGA_FAULT_BITS(fault::Site::kNnMul, 16, util::u64(p)));
+#endif
+    return p;
   }
   bool is_exact() const { return exact_; }
 
+  /// Largest product this table yields for a weight magnitude <= 127 —
+  /// the plausibility bound the MAC fault detector checks against.
+  u16 weight_range_max() const { return wmax_; }
+
  private:
   std::array<u16, 65536> t_{};
+  u16 wmax_ = 0;
   bool exact_ = true;
 };
 

@@ -1,0 +1,54 @@
+#include "nn/resilience.hpp"
+
+namespace nga::nn {
+
+namespace {
+
+obs::Counter& counter(std::string_view name) {
+  return obs::MetricsRegistry::instance().counter(name);
+}
+
+}  // namespace
+
+ResilienceGuard::ResilienceGuard(const MulTable* exact_fallback,
+                                 GuardThresholds thresholds)
+    : fallback_(exact_fallback),
+      thr_(thresholds),
+      nar_c_(counter("posit.nar")),
+      sat_c_(counter("posit.round.saturate")),
+      ovf_c_(counter("softfloat.pack.overflow")),
+      det_c_(counter("fault.detected")),
+      recovered_c_(counter("fault.recovered")) {}
+
+void ResilienceGuard::reset() {
+  degraded_ = false;
+  report_ = {};
+}
+
+void ResilienceGuard::begin_layer() {
+  if (degraded_) return;  // already on the fallback; nothing to watch
+  snap_nar_ = nar_now();
+  snap_sat_ = sat_now();
+  snap_det_ = det_now();
+}
+
+bool ResilienceGuard::layer_tripped() const {
+  if (degraded_) return false;
+  if (thr_.detected && det_now() - snap_det_ >= thr_.detected) return true;
+  if (thr_.nar && nar_now() - snap_nar_ >= thr_.nar) return true;
+  if (thr_.saturation && sat_now() - snap_sat_ >= thr_.saturation)
+    return true;
+  return false;
+}
+
+void ResilienceGuard::enter_degraded(std::string_view layer_name) {
+  ++report_.trips;
+  ++report_.recovered_layers;
+  recovered_c_.inc();
+  if (report_.first_tripped_layer.empty())
+    report_.first_tripped_layer = std::string(layer_name);
+  degraded_ = true;
+  report_.degraded = true;
+}
+
+}  // namespace nga::nn

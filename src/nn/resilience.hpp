@@ -1,0 +1,84 @@
+// ResilienceGuard — graceful degradation for quantized inference.
+//
+// The guard brackets every layer of a guarded forward pass
+// (Model::forward with Exec::guard set) and watches the obs counters
+// the arithmetic stack already maintains:
+//   * posit.nar                  — NaR poisonings (posit paths)
+//   * posit.round.saturate and
+//     softfloat.pack.overflow    — saturation/overflow storms
+//   * fault.detected             — MAC plausibility-check hits (products
+//                                  above the multiplier table's
+//                                  physical maximum; see MulTable)
+// When a layer's counter deltas cross the configured thresholds, the
+// guard declares the approximate multiplier unit bad, switches the run
+// to the exact fallback table, re-runs the affected layer, and stays
+// degraded for the rest of the run (a real deployment would page and
+// swap the unit out; we keep serving at exact-arithmetic speed).
+//
+// The NaR/saturation counters tick only in NGA_OBS=1 builds; the
+// fault.detected counter is maintained by the injector directly and
+// works under any build flags.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "nn/quant.hpp"
+#include "obs/registry.hpp"
+
+namespace nga::nn {
+
+/// Per-layer counter-delta thresholds; a layer trips the guard when ANY
+/// threshold is reached. 0 disables that signal.
+struct GuardThresholds {
+  util::u64 detected = 1;     ///< MAC fault detections
+  util::u64 nar = 4;          ///< NaR poisonings
+  util::u64 saturation = 4096;  ///< posit saturations + softfloat overflows
+};
+
+class ResilienceGuard {
+ public:
+  /// @p exact_fallback is the golden MulTable to degrade onto (may be
+  /// null: the guard then only reports, Model::forward cannot swap).
+  explicit ResilienceGuard(const MulTable* exact_fallback,
+                           GuardThresholds thresholds = {});
+
+  /// Forget degradation and trip statistics (start a fresh run).
+  void reset();
+
+  bool degraded() const { return degraded_; }
+  const MulTable* fallback() const { return fallback_; }
+
+  // Layer bracket, driven by Model::forward ---------------------------
+  void begin_layer();
+  /// Deltas since begin_layer() crossed a threshold?
+  bool layer_tripped() const;
+  /// Degrade; called with the name of the layer being re-run.
+  void enter_degraded(std::string_view layer_name);
+
+  struct Report {
+    util::u64 trips = 0;             ///< layers that crossed a threshold
+    util::u64 recovered_layers = 0;  ///< layers re-run on the fallback
+    bool degraded = false;
+    std::string first_tripped_layer;
+  };
+  const Report& report() const { return report_; }
+
+ private:
+  util::u64 nar_now() const { return nar_c_.value(); }
+  util::u64 sat_now() const { return sat_c_.value() + ovf_c_.value(); }
+  util::u64 det_now() const { return det_c_.value(); }
+
+  const MulTable* fallback_;
+  GuardThresholds thr_;
+  obs::Counter& nar_c_;
+  obs::Counter& sat_c_;
+  obs::Counter& ovf_c_;
+  obs::Counter& det_c_;
+  obs::Counter& recovered_c_;
+  util::u64 snap_nar_ = 0, snap_sat_ = 0, snap_det_ = 0;
+  bool degraded_ = false;
+  Report report_;
+};
+
+}  // namespace nga::nn

@@ -123,14 +123,19 @@ class Parser {
 
   bool parse_object(Value& out) {
     out.kind = Value::Kind::kObject;
+    if (++depth_ > kMaxParseDepth) return fail("nesting too deep");
     ++pos_;  // '{'
     skip_ws();
-    if (consume('}')) return true;
+    if (consume('}')) {
+      --depth_;
+      return true;
+    }
     while (true) {
       skip_ws();
       std::string key;
       if (pos_ >= text_.size() || text_[pos_] != '"')
-        return fail("expected object key");
+        return fail(pos_ >= text_.size() ? "truncated object"
+                                         : "expected object key");
       if (!parse_string(key)) return false;
       skip_ws();
       if (!consume(':')) return fail("expected ':'");
@@ -139,24 +144,40 @@ class Parser {
       if (!parse_value(v)) return false;
       out.object.emplace(std::move(key), std::move(v));
       skip_ws();
-      if (consume('}')) return true;
-      if (!consume(',')) return fail("expected ',' or '}'");
+      if (consume('}')) {
+        --depth_;
+        return true;
+      }
+      if (!consume(',')) {
+        return fail(pos_ >= text_.size() ? "truncated object"
+                                         : "expected ',' or '}'");
+      }
     }
   }
 
   bool parse_array(Value& out) {
     out.kind = Value::Kind::kArray;
+    if (++depth_ > kMaxParseDepth) return fail("nesting too deep");
     ++pos_;  // '['
     skip_ws();
-    if (consume(']')) return true;
+    if (consume(']')) {
+      --depth_;
+      return true;
+    }
     while (true) {
       skip_ws();
       Value v;
       if (!parse_value(v)) return false;
       out.array.push_back(std::move(v));
       skip_ws();
-      if (consume(']')) return true;
-      if (!consume(',')) return fail("expected ',' or ']'");
+      if (consume(']')) {
+        --depth_;
+        return true;
+      }
+      if (!consume(',')) {
+        return fail(pos_ >= text_.size() ? "truncated array"
+                                         : "expected ',' or ']'");
+      }
     }
   }
 
@@ -261,6 +282,7 @@ class Parser {
   std::string_view text_;
   std::string* error_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

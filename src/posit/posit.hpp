@@ -24,6 +24,7 @@
 #include <string>
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "util/bits.hpp"
 #include "util/wideint.hpp"
@@ -100,7 +101,7 @@ class posit {
       r.is_nar = true;
       return r;
     }
-    const u64 raw = u64(bits_);
+    const u64 raw = NGA_FAULT_BITS(fault::Site::kPositDecode, N, u64(bits_));
     r.sign = ((raw >> (N - 1)) & 1) != 0;
     const u64 mag = r.sign ? util::twos_complement(raw, N) : raw;
     // Scan the regime starting below the sign bit.
@@ -176,7 +177,8 @@ class posit {
     // body is now the magnitude encoding in N-1 bits (carry to the sign
     // position is impossible: scale >= kMaxScale saturated above).
     const u64 enc = sign ? util::twos_complement(body, N) : body;
-    return from_bits(storage_t(enc));
+    return from_bits(
+        storage_t(NGA_FAULT_BITS(fault::Site::kPositEncode, N, enc)));
   }
 
   // Arithmetic -----------------------------------------------------------
@@ -465,6 +467,7 @@ class quire {
       return;
     }
     if (a.is_zero() || b.is_zero() || nar_) return;
+    if (NGA_FAULT_SKIP(fault::Site::kQuireAccumulate)) return;
     const PositUnpacked ua = a.unpack(), ub = b.unpack();
     const u128 p = u128(ua.sig) * ub.sig;  // bit0 weight 2^(sa+sb-126)
     const int w0 = ua.scale + ub.scale - 126;

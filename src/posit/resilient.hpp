@@ -1,0 +1,58 @@
+// Graceful degradation for quire accumulation.
+//
+// The quire's NaR poisoning is the standard's correct answer — one NaR
+// term makes the exact sum meaningless — but a serving system wants an
+// answer for the representable part of the dot product rather than a
+// poisoned pipeline (Section V frames NaR as the robustness hook; this
+// is the recovery half). resilient_dot() runs the fast exact path and,
+// only if the quire comes back poisoned, degrades to naive
+// one-rounding-per-term accumulation that skips the NaR terms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "obs/registry.hpp"
+#include "posit/posit.hpp"
+
+namespace nga::ps {
+
+struct ResilientDotStats {
+  bool fell_back = false;        ///< quire was poisoned; naive path ran
+  std::size_t skipped = 0;       ///< NaR terms dropped in the fallback
+};
+
+/// Dot product of a and b (shorter length wins) via the quire; on NaR
+/// poisoning, recompute with naive accumulation skipping NaR terms.
+/// Counts recoveries in the "fault.recovered" obs counter (maintained
+/// directly — available under any build flags).
+template <unsigned N, unsigned ES>
+posit<N, ES> resilient_dot(std::span<const posit<N, ES>> a,
+                           std::span<const posit<N, ES>> b,
+                           ResilientDotStats* stats = nullptr) {
+  using P = posit<N, ES>;
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  quire<N, ES> q;
+  for (std::size_t i = 0; i < n; ++i) q.add_product(a[i], b[i]);
+  if (!q.is_nar()) {
+    if (stats) *stats = {};
+    return q.to_posit();
+  }
+  static obs::Counter& recovered =
+      obs::MetricsRegistry::instance().counter("fault.recovered");
+  recovered.inc();
+  ResilientDotStats st;
+  st.fell_back = true;
+  P sum = P::zero();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i].is_nar() || b[i].is_nar()) {
+      ++st.skipped;
+      continue;
+    }
+    sum = sum + a[i] * b[i];
+  }
+  if (stats) *stats = st;
+  return sum;
+}
+
+}  // namespace nga::ps

@@ -21,6 +21,7 @@
 #include <string>
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "util/bits.hpp"
 #include "util/wideint.hpp"
@@ -181,8 +182,10 @@ class floatmp {
       }
       if (flags && inexact) flags->inexact = true;
       const u64 biased = u64(scale + kBias);
-      return from_bits(storage_t((u64(sign) << (kBits - 1)) | (biased << M) |
-                                 (kept & util::mask64(M))));
+      return from_bits(storage_t(NGA_FAULT_BITS(
+          fault::Site::kSoftfloatPack, kBits,
+          (u64(sign) << (kBits - 1)) | (biased << M) |
+              (kept & util::mask64(M)))));
     }
     // Below the normal range.
     if constexpr (P == Policy::kNormalsOnly) {
@@ -207,8 +210,9 @@ class floatmp {
     }
     // kept == 2^M means the value rounded up to the smallest normal;
     // the bit pattern (exp=1, frac=0) emerges naturally from the add.
-    return from_bits(
-        storage_t((u64(sign) << (kBits - 1)) | (kept & util::mask64(M + 1))));
+    return from_bits(storage_t(NGA_FAULT_BITS(
+        fault::Site::kSoftfloatPack, kBits,
+        (u64(sign) << (kBits - 1)) | (kept & util::mask64(M + 1)))));
   }
 
   // Arithmetic -----------------------------------------------------------

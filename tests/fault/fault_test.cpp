@@ -1,0 +1,200 @@
+// nga::fault unit tests: plan parsing, fault models, and — the load-
+// bearing property — determinism: same (plan, seed) => bit-identical
+// fault sequence and identical counter totals, run after run.
+//
+// These tests drive the Injector class directly, so they hold in both
+// NGA_FAULT=ON and OFF builds (the build option gates only the hooks
+// compiled into the arithmetic kernels).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "obs/registry.hpp"
+
+namespace nga::fault {
+namespace {
+
+FaultPlan nnmul_plan(Model m, double rate) {
+  FaultPlan p;
+  p.inject(Site::kNnMul, m, rate);
+  return p;
+}
+
+TEST(FaultPlan, ParseRoundTrip) {
+  FaultPlan p;
+  std::string err;
+  ASSERT_TRUE(FaultPlan::parse(
+      "nn.mul:bitflip:0.001,quire.accumulate:opskip:0.5", p, &err))
+      << err;
+  EXPECT_TRUE(p.spec(Site::kNnMul).enabled);
+  EXPECT_EQ(p.spec(Site::kNnMul).model, Model::kBitFlip);
+  EXPECT_DOUBLE_EQ(p.spec(Site::kNnMul).rate, 0.001);
+  EXPECT_TRUE(p.spec(Site::kQuireAccumulate).enabled);
+  EXPECT_EQ(p.spec(Site::kQuireAccumulate).model, Model::kOpSkip);
+  EXPECT_FALSE(p.spec(Site::kPositDecode).enabled);
+
+  FaultPlan q;
+  ASSERT_TRUE(FaultPlan::parse(p.describe(), q, &err)) << err;
+  EXPECT_EQ(p.describe(), q.describe());
+}
+
+TEST(FaultPlan, ParseRejectsMalformed) {
+  FaultPlan p;
+  std::string err;
+  for (const char* bad :
+       {"nn.mul", "nn.mul:bitflip", "bogus.site:bitflip:0.1",
+        "nn.mul:bogus:0.1", "nn.mul:bitflip:nope", "nn.mul:bitflip:1.5",
+        "nn.mul:bitflip:-0.1"}) {
+    EXPECT_FALSE(FaultPlan::parse(bad, p, &err)) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+  // Empty spec = valid, empty plan.
+  EXPECT_TRUE(FaultPlan::parse("", p, &err));
+  EXPECT_FALSE(p.any_enabled());
+}
+
+TEST(FaultPlan, SiteNamesRoundTrip) {
+  for (std::size_t i = 0; i < kSiteCount; ++i)
+    EXPECT_EQ(site_from_name(site_name(Site(i))), Site(i));
+  EXPECT_EQ(site_from_name("not.a.site"), Site::kCount);
+}
+
+TEST(Injector, DisarmedIsIdentity) {
+  auto& inj = Injector::instance();
+  inj.disarm();
+  for (u64 v : {u64{0}, u64{0xdeadbeef}, ~u64{0}}) {
+    EXPECT_EQ(inj.filter_bits(Site::kNnMul, 16, v), v);
+    EXPECT_FALSE(inj.filter_skip(Site::kQuireAccumulate));
+  }
+}
+
+TEST(Injector, ZeroRateNeverFires) {
+  auto& inj = Injector::instance();
+  inj.arm(nnmul_plan(Model::kBitFlip, 0.0), 1);
+  EXPECT_FALSE(inj.armed());  // a zero-rate plan never needs arming
+  inj.disarm();
+}
+
+TEST(Injector, RateOneAlwaysFires) {
+  auto& inj = Injector::instance();
+  inj.arm(nnmul_plan(Model::kBitFlip, 1.0), 7);
+  for (int i = 0; i < 100; ++i) {
+    const u64 out = inj.filter_bits(Site::kNnMul, 16, 0x1234);
+    EXPECT_NE(out, u64{0x1234});  // a bit flip always changes the value
+    EXPECT_LT(out, u64{1} << 16);  // and stays inside the declared width
+  }
+  EXPECT_EQ(inj.totals(Site::kNnMul).injected, 100u);
+  EXPECT_EQ(inj.totals(Site::kNnMul).masked, 0u);
+  inj.disarm();
+}
+
+TEST(Injector, StuckAtModelsMaskWhenBitAlreadyThere) {
+  auto& inj = Injector::instance();
+  inj.arm(nnmul_plan(Model::kStuckAt0, 1.0), 3);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(inj.filter_bits(Site::kNnMul, 16, 0), u64{0});
+  auto t0 = inj.totals(Site::kNnMul);
+  EXPECT_EQ(t0.injected, 64u);
+  EXPECT_EQ(t0.masked, 64u);  // clearing a zero bit changes nothing
+
+  inj.arm(nnmul_plan(Model::kStuckAt1, 1.0), 3);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(inj.filter_bits(Site::kNnMul, 16, 0xffff), u64{0xffff});
+  auto t1 = inj.totals(Site::kNnMul);
+  EXPECT_EQ(t1.injected, 64u);
+  EXPECT_EQ(t1.masked, 64u);  // setting a one bit changes nothing
+  inj.disarm();
+}
+
+TEST(Injector, OpSkipOnlyAffectsSkipFilter) {
+  auto& inj = Injector::instance();
+  FaultPlan p;
+  p.inject(Site::kQuireAccumulate, Model::kOpSkip, 1.0);
+  inj.arm(p, 11);
+  EXPECT_TRUE(inj.filter_skip(Site::kQuireAccumulate));
+  // A bits filter at an op-skip site is a no-op, and other sites are
+  // untouched entirely.
+  EXPECT_EQ(inj.filter_bits(Site::kQuireAccumulate, 16, 0xabc), u64{0xabc});
+  EXPECT_EQ(inj.filter_bits(Site::kNnMul, 16, 0xabc), u64{0xabc});
+  EXPECT_FALSE(inj.filter_skip(Site::kNnMul));
+  inj.disarm();
+}
+
+// The determinism contract (ISSUE acceptance): same seed + same plan
+// => bit-identical fault sequence and identical counters.
+TEST(InjectorDeterminism, SameSeedSamePlanSameSequence) {
+  auto& inj = Injector::instance();
+  const FaultPlan plan = nnmul_plan(Model::kBitFlip, 0.37);
+
+  auto run = [&](u64 seed) {
+    inj.arm(plan, seed);
+    std::vector<u64> seq;
+    for (u64 i = 0; i < 4096; ++i)
+      seq.push_back(inj.filter_bits(Site::kNnMul, 16, i & 0xffff));
+    auto t = inj.totals(Site::kNnMul);
+    inj.disarm();
+    return std::make_pair(seq, t);
+  };
+
+  const auto [seq_a, tot_a] = run(12345);
+  const auto [seq_b, tot_b] = run(12345);
+  EXPECT_EQ(seq_a, seq_b);
+  EXPECT_EQ(tot_a.injected, tot_b.injected);
+  EXPECT_EQ(tot_a.masked, tot_b.masked);
+  EXPECT_EQ(tot_a.events, tot_b.events);
+  EXPECT_GT(tot_a.injected, 0u);
+
+  const auto [seq_c, tot_c] = run(54321);
+  EXPECT_NE(seq_a, seq_c);  // different seed, different faults
+}
+
+TEST(InjectorDeterminism, SitesDrawIndependentStreams) {
+  // Interleaving events from a second site must not perturb the first
+  // site's sequence: per-site RNG streams are independent.
+  auto& inj = Injector::instance();
+  FaultPlan two;
+  two.inject(Site::kNnMul, Model::kBitFlip, 0.25);
+  two.inject(Site::kSoftfloatPack, Model::kBitFlip, 0.25);
+
+  inj.arm(two, 99);
+  std::vector<u64> solo;
+  for (u64 i = 0; i < 512; ++i)
+    solo.push_back(inj.filter_bits(Site::kNnMul, 16, 0x00ff));
+
+  inj.arm(two, 99);
+  std::vector<u64> interleaved;
+  for (u64 i = 0; i < 512; ++i) {
+    (void)inj.filter_bits(Site::kSoftfloatPack, 16, 0xf0f0);
+    interleaved.push_back(inj.filter_bits(Site::kNnMul, 16, 0x00ff));
+  }
+  inj.disarm();
+  EXPECT_EQ(solo, interleaved);
+}
+
+TEST(InjectorDeterminism, CountersMirrorIntoObsRegistry) {
+  auto& reg = obs::MetricsRegistry::instance();
+  auto& inj = Injector::instance();
+  const u64 before = reg.counter("fault.nn.mul.injected").value();
+  const u64 before_all = reg.counter("fault.injected").value();
+  inj.arm(nnmul_plan(Model::kBitFlip, 1.0), 5);
+  for (int i = 0; i < 10; ++i) (void)inj.filter_bits(Site::kNnMul, 16, 1);
+  inj.disarm();
+  EXPECT_EQ(reg.counter("fault.nn.mul.injected").value(), before + 10);
+  EXPECT_EQ(reg.counter("fault.injected").value(), before_all + 10);
+}
+
+TEST(Injector, RatesAreApproximatelyHonoured) {
+  auto& inj = Injector::instance();
+  inj.arm(nnmul_plan(Model::kBitFlip, 0.01), 2024);
+  const u64 n = 200000;
+  for (u64 i = 0; i < n; ++i) (void)inj.filter_bits(Site::kNnMul, 16, 7);
+  const double observed =
+      double(inj.totals(Site::kNnMul).injected) / double(n);
+  inj.disarm();
+  EXPECT_NEAR(observed, 0.01, 0.002);
+}
+
+}  // namespace
+}  // namespace nga::fault

@@ -1,0 +1,81 @@
+// Snapshot/restore round-trip and — the regression this pins — the
+// corrupted-snapshot diagnostics: a mismatched snapshot must throw an
+// error naming the model, layer, and buffer, and must not leave the
+// model half-restored.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "nn/data.hpp"
+#include "nn/model.hpp"
+
+namespace nga::nn {
+namespace {
+
+Model tiny() { return make_resnet_mini(8, 3); }
+
+TEST(Snapshot, RoundTripRestoresExactWeights) {
+  Model a = tiny();
+  Dataset d = make_synth_images(32, 8, 1);
+  TrainConfig cfg;
+  cfg.epochs = 1;
+  train(a, d, cfg);
+  const auto snap = a.snapshot();
+
+  train(a, d, cfg);  // diverge
+  EXPECT_NE(a.snapshot(), snap);
+  a.restore(snap);
+  EXPECT_EQ(a.snapshot(), snap);
+}
+
+TEST(Snapshot, WrongBufferCountNamesModelAndCounts) {
+  Model a = tiny();
+  auto snap = a.snapshot();
+  snap.pop_back();
+  try {
+    a.restore(snap);
+    FAIL() << "restore accepted a truncated snapshot";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(a.name()), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(snap.size() + 1)), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find(std::to_string(snap.size())), std::string::npos)
+        << msg;
+  }
+}
+
+TEST(Snapshot, WrongBufferShapeNamesLayerAndBuffer) {
+  Model a = tiny();
+  auto snap = a.snapshot();
+  ASSERT_GT(snap.size(), 2u);
+  const std::size_t victim = 2;
+  snap[victim].push_back(0.f);  // corrupt one buffer's shape
+  try {
+    a.restore(snap);
+    FAIL() << "restore accepted a resized buffer";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("layer"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("buffer"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(a.name()), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(snap[victim].size())),
+              std::string::npos)
+        << msg;
+  }
+}
+
+TEST(Snapshot, FailedRestoreLeavesModelUntouched) {
+  Model a = tiny();
+  const auto before = a.snapshot();
+  auto bad = before;
+  bad.back().pop_back();  // last buffer short by one float
+  EXPECT_THROW(a.restore(bad), std::invalid_argument);
+  // Validation happens before any mutation: weights are intact even
+  // though only the *last* buffer was corrupt.
+  EXPECT_EQ(a.snapshot(), before);
+}
+
+}  // namespace
+}  // namespace nga::nn

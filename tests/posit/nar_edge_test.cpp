@@ -1,0 +1,123 @@
+// NaR and saturation edge behaviour: the two rules a posit robustness
+// story leans on are (1) NaR is absorbing through every operation, and
+// (2) out-of-range magnitudes saturate to maxpos/minpos — arithmetic
+// itself NEVER manufactures a NaR from finite operands.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "posit/posit.hpp"
+
+namespace nga::ps {
+namespace {
+
+template <typename P>
+class NarEdge : public ::testing::Test {};
+
+using Formats = ::testing::Types<posit<8, 0>, posit<8, 2>, posit<16, 1>,
+                                 posit<32, 2>>;
+TYPED_TEST_SUITE(NarEdge, Formats);
+
+TYPED_TEST(NarEdge, NarIsAbsorbingThroughEveryOp) {
+  using P = TypeParam;
+  const P n = P::nar();
+  const P vals[] = {P::zero(), P::one(), -P::one(), P::maxpos(),
+                    P::minpos(), -P::maxpos()};
+  for (const P v : vals) {
+    EXPECT_TRUE((n + v).is_nar());
+    EXPECT_TRUE((v + n).is_nar());
+    EXPECT_TRUE((n - v).is_nar());
+    EXPECT_TRUE((n * v).is_nar());
+    EXPECT_TRUE((v * n).is_nar());
+    EXPECT_TRUE((n / v).is_nar());
+    EXPECT_TRUE((v / n).is_nar());
+    EXPECT_TRUE(P::fma(n, v, v).is_nar());
+    EXPECT_TRUE(P::fma(v, v, n).is_nar());
+  }
+  EXPECT_TRUE((-n).is_nar());  // NaR is its own negation
+  EXPECT_EQ((-n).bits(), n.bits());
+}
+
+TYPED_TEST(NarEdge, DivByZeroAndSqrtOfNegativeAreTheOnlyNarSources) {
+  using P = TypeParam;
+  EXPECT_TRUE((P::one() / P::zero()).is_nar());
+  EXPECT_TRUE(P::sqrt(-P::one()).is_nar());
+  EXPECT_FALSE(P::sqrt(P::zero()).is_nar());
+}
+
+TYPED_TEST(NarEdge, OverflowSaturatesToMaxposNeverNar) {
+  using P = TypeParam;
+  const P big = P::maxpos();
+  EXPECT_EQ((big * big).bits(), P::maxpos().bits());
+  EXPECT_EQ((big + big).bits(), P::maxpos().bits());
+  EXPECT_EQ(((-big) * big).bits(), (-P::maxpos()).bits());
+  EXPECT_EQ(((-big) - big).bits(), (-P::maxpos()).bits());
+  EXPECT_EQ((big / P::minpos()).bits(), P::maxpos().bits());
+}
+
+TYPED_TEST(NarEdge, UnderflowSaturatesToMinposNeverZero) {
+  using P = TypeParam;
+  const P tiny = P::minpos();
+  // minpos^2 is below the lattice: saturates to minpos, not to zero —
+  // a nonzero product never collapses to zero (no FTZ in posits).
+  EXPECT_EQ((tiny * tiny).bits(), P::minpos().bits());
+  EXPECT_EQ((tiny / P::maxpos()).bits(), P::minpos().bits());
+  EXPECT_EQ(((-tiny) * tiny).bits(), (-P::minpos()).bits());
+}
+
+TYPED_TEST(NarEdge, RoundPackSaturationBoundaryIsExact) {
+  using P = TypeParam;
+  const util::u64 top = util::u64{1} << 63;
+  EXPECT_EQ(P::round_pack(false, P::kMaxScale, top, false).bits(),
+            P::maxpos().bits());
+  // One scale below the ceiling is in range: rounds, never saturates
+  // past maxpos, never produces NaR.
+  const P below = P::round_pack(false, P::kMaxScale - 1, top, false);
+  EXPECT_FALSE(below.is_nar());
+  EXPECT_LE(below.bits(), P::maxpos().bits());
+  EXPECT_EQ(P::round_pack(false, -P::kMaxScale, top, false).bits(),
+            P::minpos().bits());
+  EXPECT_EQ(P::round_pack(false, -P::kMaxScale - 1, top, false).bits(),
+            P::minpos().bits());
+  EXPECT_EQ(P::round_pack(true, P::kMaxScale + 5, top, true).bits(),
+            (-P::maxpos()).bits());
+}
+
+TYPED_TEST(NarEdge, QuireNarPoisonIsStickyUntilClear) {
+  using P = TypeParam;
+  quire<P::kBits, P::kEs> q;
+  q.add_product(P::one(), P::one());
+  q.add_product(P::nar(), P::one());
+  EXPECT_TRUE(q.is_nar());
+  EXPECT_TRUE(q.to_posit().is_nar());
+  // Further accumulation cannot un-poison it...
+  q.add_product(P::one(), P::one());
+  EXPECT_TRUE(q.to_posit().is_nar());
+  // ...only clear() can.
+  q.clear();
+  EXPECT_TRUE(q.is_zero());
+  q.add_product(P::one(), P::one());
+  EXPECT_EQ(q.to_posit().bits(), P::one().bits());
+}
+
+TYPED_TEST(NarEdge, NarUnpacksAsNarNotGarbage) {
+  using P = TypeParam;
+  const auto u = P::nar().unpack();
+  EXPECT_TRUE(u.is_nar);
+  EXPECT_FALSE(u.is_zero);
+  const auto z = P::zero().unpack();
+  EXPECT_TRUE(z.is_zero);
+  EXPECT_FALSE(z.is_nar);
+}
+
+TYPED_TEST(NarEdge, NarRoundTripsThroughDouble) {
+  using P = TypeParam;
+  EXPECT_TRUE(std::isnan(P::nar().to_double()));
+  EXPECT_TRUE(P(std::numeric_limits<double>::quiet_NaN()).is_nar());
+  EXPECT_TRUE(P(std::numeric_limits<double>::infinity()).is_nar());
+  EXPECT_TRUE(P(-std::numeric_limits<double>::infinity()).is_nar());
+}
+
+}  // namespace
+}  // namespace nga::ps
