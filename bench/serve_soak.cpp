@@ -1,0 +1,276 @@
+// Serve soak — the nga::serve robustness claim under chaos.
+//
+// Trains the small KWS net once, quantizes it onto the lowest-MRE
+// approximate multiplier, then soaks an nga::serve::Server with bursty
+// open-loop load while NGA_FAULT bit-flip plans (the PR 2 fault-sweep
+// rates) corrupt the MAC datapath. For each fault rate it runs the
+// identical load twice:
+//   * retries disabled (max_attempts = 1): transiently failed batches
+//     become typed RetriesExhausted rejections — the no-retry baseline;
+//   * retries enabled (backoff + exact-table failover on the final
+//     attempt): the server's robustness machinery at work.
+//
+// Asserted claims (NGA_FAULT builds):
+//   * with retries, soak success rate (served / submitted) >= 99%;
+//   * the no-retry baseline is measurably worse (>= 5 points lower);
+//   * p99 latency of served requests stays within the declared
+//     deadline;
+//   * after drain(): served + rejected + shed == submitted, always —
+//     the zero-silent-drops invariant (checked in every build mode).
+//
+// Timing-sensitive by nature (it measures a live server), but the
+// *decisions* are dominated by fault statistics, which are seeded.
+// Flags: --quick (CI-sized: shorter training, one rate, shorter soak);
+//        --smoke (implies --quick; relaxes the deadline and asserts only
+//        the shutdown invariant — for sanitizer runs, where the 10-20x
+//        slowdown makes wall-clock claims meaningless but race coverage
+//        of the submit/retry/shed/drain paths is the point).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "approx/multipliers.hpp"
+#include "fault/fault.hpp"
+#include "nn/data.hpp"
+#include "nn/model.hpp"
+#include "serve/serve.hpp"
+#include "util/table.hpp"
+
+#define NGA_BENCH_EXTRA_FLAGS {"--quick", "--smoke"}
+#include "bench_main.hpp"
+
+using namespace nga;
+using namespace nga::nn;
+using namespace nga::serve;
+
+namespace {
+
+constexpr int kT = 16, kMel = 12;
+
+struct SoakResult {
+  double rate = 0.0;
+  bool retry = false;
+  Server::Stats stats;
+  double success = 0.0;   ///< served / submitted
+  double accuracy = 0.0;  ///< label accuracy of served requests
+  double p99_ms = 0.0;    ///< latency p99 over served requests
+  bool invariant_ok = false;
+};
+
+double p99(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t k = std::min(
+      v.size() - 1, std::size_t(std::ceil(0.99 * double(v.size()))));
+  std::nth_element(v.begin(), v.begin() + long(k), v.end());
+  return v[k];
+}
+
+}  // namespace
+
+int nga_bench_main(int argc, char** argv) {
+  bool quick = false, smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  quick = quick || smoke;
+
+  std::printf("== Serve soak: success rate under fault chaos ==\n");
+#if !NGA_FAULT
+  std::printf(
+      "\nNGA_FAULT=OFF: injection hooks are compiled out — the soak runs\n"
+      "fault-free (shutdown invariant and clean-path floors still "
+      "checked).\nReconfigure with -DNGA_FAULT=ON for the chaos claims.\n");
+#endif
+
+  const Dataset train_set = make_synth_kws(quick ? 192 : 320, kT, kMel, 1);
+  const Dataset test_set = make_synth_kws(quick ? 96 : 200, kT, kMel, 2);
+  Model trained = make_kws_cnn1(kT, kMel, 3);
+  {
+    obs::TimedSection t("train");
+    TrainConfig cfg;
+    cfg.epochs = quick ? 8 : 14;
+    cfg.lr = 0.08f;
+    cfg.lr_late = 0.03f;
+    cfg.seed = 4;
+    train(trained, train_set, cfg);
+    calibrate(trained, train_set, 96);
+  }
+  const auto snap = trained.snapshot();
+
+  const auto mults = ax::table2_multipliers();
+  const MulTable approx(*mults.front());  // lowest-MRE table
+  const MulTable exact;
+
+  // Each worker rebuilds + re-calibrates its own replica (calibration
+  // ranges are not part of the snapshot).
+  const auto factory = [&snap, &train_set] {
+    auto m = std::make_unique<Model>(make_kws_cnn1(kT, kMel, 3));
+    m->restore(snap);
+    calibrate(*m, train_set, 96);
+    return m;
+  };
+
+  // Load/SLO shape. The armed injector serialises approximate MACs on
+  // its mutex, so a batch runs in the tens of milliseconds — bursts are
+  // sized so the retrying server keeps up and the deadline has room for
+  // one failed attempt + backoff + the exact-failover attempt.
+  const double deadline_ms = smoke ? 5000.0 : 250.0;
+  const int burst = 12;
+  const int bursts = quick ? 8 : 30;
+  const auto burst_gap = std::chrono::milliseconds(quick ? 40 : 50);
+
+  const std::vector<double> rates =
+      quick ? std::vector<double>{0.02} : std::vector<double>{0.005, 0.02};
+
+  auto& reg = obs::MetricsRegistry::instance();
+  std::vector<SoakResult> results;
+  bool invariants_ok = true;
+
+  {
+    obs::TimedSection t("soak");
+    for (const double rate : rates) {
+      for (const bool retry : {false, true}) {
+        fault::FaultPlan plan;
+        plan.inject(fault::Site::kNnMul, fault::Model::kBitFlip, rate);
+        fault::Injector::instance().arm(plan, 1234);
+
+        ServerConfig cfg;
+        cfg.workers = 3;
+        cfg.queue_capacity = 128;
+        cfg.max_batch = 8;
+        cfg.batch_linger = std::chrono::microseconds(300);
+        cfg.in_c = 1;
+        cfg.in_h = kT;
+        cfg.in_w = kMel;
+        cfg.mode = Mode::kQuantApprox;
+        cfg.mul = &approx;
+        cfg.exact_fallback = &exact;
+        cfg.max_attempts = retry ? 2 : 1;
+        cfg.retry_exact_failover = true;
+        cfg.backoff.base = std::chrono::microseconds(100);
+        cfg.backoff.cap = std::chrono::microseconds(2000);
+        cfg.seed = 42;
+        cfg.model_factory = factory;
+
+        Server srv(cfg);
+        srv.start();
+
+        std::vector<std::future<Response>> futs;
+        std::vector<int> labels;
+        futs.reserve(std::size_t(burst) * std::size_t(bursts));
+        int cursor = 0;
+        for (int b = 0; b < bursts; ++b) {
+          for (int i = 0; i < burst; ++i) {
+            const Sample& s = test_set[std::size_t(cursor)];
+            cursor = (cursor + 1) % int(test_set.size());
+            labels.push_back(s.label);
+            futs.push_back(srv.submit(
+                s.x, std::chrono::microseconds(
+                         long(deadline_ms * 1000.0))));
+          }
+          std::this_thread::sleep_for(burst_gap);
+        }
+
+        SoakResult r;
+        r.rate = rate;
+        r.retry = retry;
+        std::vector<double> lat;
+        std::size_t correct = 0, served = 0;
+        for (std::size_t i = 0; i < futs.size(); ++i) {
+          const Response resp = futs[i].get();
+          if (resp.outcome == Outcome::kServed) {
+            ++served;
+            lat.push_back(resp.latency_ms);
+            if (resp.predicted == labels[i]) ++correct;
+          }
+        }
+        srv.drain();
+        fault::Injector::instance().disarm();
+
+        r.stats = srv.stats();
+        r.success = double(served) / double(r.stats.submitted);
+        r.accuracy = served ? double(correct) / double(served) : 0.0;
+        r.p99_ms = p99(std::move(lat));
+        r.invariant_ok = r.stats.served + r.stats.rejected + r.stats.shed ==
+                         r.stats.submitted;
+        invariants_ok = invariants_ok && r.invariant_ok;
+        results.push_back(r);
+      }
+    }
+  }
+
+  util::Table t({"rate", "retry", "submitted", "served", "rejected", "shed",
+                 "retries", "success [%]", "acc [%]", "p99 [ms]",
+                 "invariant"});
+  for (const auto& r : results) {
+    t.add_row({util::cell(r.rate, 4), r.retry ? "on" : "off",
+               std::to_string(r.stats.submitted),
+               std::to_string(r.stats.served),
+               std::to_string(r.stats.rejected),
+               std::to_string(r.stats.shed),
+               std::to_string(r.stats.retries),
+               util::cell(100 * r.success, 2), util::cell(100 * r.accuracy, 2),
+               util::cell(r.p99_ms, 2), r.invariant_ok ? "ok" : "VIOLATED"});
+
+    std::string rate_key = util::cell(r.rate, 4);
+    for (char& c : rate_key)
+      if (c == '.') c = 'p';
+    const std::string p = "soak.rate_" + rate_key + "." +
+                          (r.retry ? "retry" : "noretry");
+    reg.gauge(p + ".success_rate").set(r.success);
+    reg.gauge(p + ".accuracy").set(r.accuracy);
+    reg.gauge(p + ".p99_ms").set(r.p99_ms);
+    reg.gauge(p + ".served").set(double(r.stats.served));
+    reg.gauge(p + ".rejected").set(double(r.stats.rejected));
+    reg.gauge(p + ".shed").set(double(r.stats.shed));
+    reg.gauge(p + ".retries").set(double(r.stats.retries));
+  }
+  reg.gauge("soak.deadline_ms").set(deadline_ms);
+  t.print(std::cout);
+
+  if (!invariants_ok) {
+    std::printf("\nshutdown invariant VIOLATED: requests were silently "
+                "dropped\n");
+    return 1;
+  }
+  std::printf("\nshutdown invariant (served + rejected + shed == submitted): "
+              "holds in every run\n");
+
+  if (smoke) {
+    std::printf("\n--smoke: wall-clock claims skipped (sanitizer-friendly "
+                "mode)\n");
+    return 0;
+  }
+
+#if NGA_FAULT
+  bool ok = true;
+  for (const auto& rate : rates) {
+    const SoakResult* no_retry = nullptr;
+    const SoakResult* with_retry = nullptr;
+    for (const auto& r : results)
+      if (r.rate == rate) (r.retry ? with_retry : no_retry) = &r;
+    const bool floor = with_retry->success >= 0.99;
+    const bool gap = with_retry->success - no_retry->success >= 0.05;
+    const bool slo = with_retry->p99_ms <= deadline_ms;
+    std::printf("rate %.4f: retry success %.2f%% (floor 99%%: %s), "
+                "no-retry %.2f%% (gap >= 5pt: %s), p99 %.2fms <= %.0fms: %s\n",
+                rate, 100 * with_retry->success, floor ? "ok" : "FAIL",
+                100 * no_retry->success, gap ? "ok" : "FAIL",
+                with_retry->p99_ms, deadline_ms, slo ? "ok" : "FAIL");
+    ok = ok && floor && gap && slo;
+  }
+  std::printf("\nsoak claims: %s\n", ok ? "HOLD" : "VIOLATED");
+  return ok ? 0 : 1;
+#else
+  // Fault-free: both runs must simply serve ~everything.
+  bool ok = true;
+  for (const auto& r : results) ok = ok && r.success >= 0.99;
+  std::printf("\nclean-path success floor (>= 99%% in both modes): %s\n",
+              ok ? "HOLDS" : "VIOLATED");
+  return ok ? 0 : 1;
+#endif
+}

@@ -5,11 +5,17 @@
 // designs — reporting accuracy against estimated multiplier energy at
 // each point, with one round of approximate retraining where it helps.
 // This is the end-to-end workflow of Section IV in ~100 lines.
+//
+// Part two puts the quantized model behind nga::serve: requests carry a
+// deadline, transient faults (when NGA_FAULT is compiled in) are retried
+// with exact-table failover, and the drain accounts for every request.
 #include <cstdio>
 
 #include "approx/multipliers.hpp"
+#include "fault/fault.hpp"
 #include "nn/data.hpp"
 #include "nn/model.hpp"
+#include "serve/serve.hpp"
 
 using namespace nga;
 using namespace nga::nn;
@@ -66,5 +72,68 @@ int main() {
   std::printf(
       "\nReading: pick the most aggressive multiplier whose retrained\n"
       "accuracy stays inside your tolerance — that's the Fig. 5 recipe.\n");
+
+  // --- Part two: the same model behind the serving layer ----------------
+  std::printf("\n== serving mode: deadlines, retries, graceful drain ==\n");
+  const auto mults = ax::table2_multipliers();
+  const MulTable approx(*mults.front());
+
+#if NGA_FAULT
+  // Light chaos so the retry path has something to do.
+  fault::FaultPlan plan;
+  plan.inject(fault::Site::kNnMul, fault::Model::kBitFlip, 0.005);
+  fault::Injector::instance().arm(plan, 99);
+#endif
+
+  serve::ServerConfig sc;
+  sc.workers = 2;
+  sc.queue_capacity = 64;  // covers the demo burst; smaller => backpressure
+  sc.max_batch = 8;
+  sc.in_c = 1;
+  sc.in_h = 16;
+  sc.in_w = 12;
+  sc.mode = Mode::kQuantApprox;
+  sc.mul = &approx;
+  sc.exact_fallback = &exact;
+  sc.max_attempts = 3;
+  sc.retry_exact_failover = true;
+  sc.model_factory = [&snap, &train_set] {
+    auto m = std::make_unique<Model>(make_kws_cnn1(16, 12, 3));
+    m->restore(snap);
+    calibrate(*m, train_set, 96);
+    return m;
+  };
+
+  serve::Server srv(sc);
+  srv.start();
+  std::vector<std::future<serve::Response>> futs;
+  for (std::size_t i = 0; i < 64; ++i)
+    futs.push_back(srv.submit(test_set[i].x,
+                              std::chrono::milliseconds(600)));
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const serve::Response r = futs[i].get();
+    if (r.outcome == serve::Outcome::kServed &&
+        r.predicted == test_set[i].label)
+      ++hit;
+  }
+  srv.drain();
+#if NGA_FAULT
+  fault::Injector::instance().disarm();
+#endif
+
+  const auto st = srv.stats();
+  std::printf("submitted %llu | served %llu | rejected %llu | shed %llu | "
+              "retries %llu\n",
+              (unsigned long long)st.submitted, (unsigned long long)st.served,
+              (unsigned long long)st.rejected, (unsigned long long)st.shed,
+              (unsigned long long)st.retries);
+  const std::string_view state = serve::state_name(srv.state());
+  std::printf("served-and-correct: %zu/%zu  (drain state: %.*s)\n", hit,
+              futs.size(), int(state.size()), state.data());
+  std::printf("accounting: served + rejected + shed == submitted: %s\n",
+              st.served + st.rejected + st.shed == st.submitted
+                  ? "holds"
+                  : "VIOLATED");
   return 0;
 }

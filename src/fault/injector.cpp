@@ -50,7 +50,13 @@ Injector::Injector() {
   }
 }
 
+namespace {
+// Per-thread detection tally for nga::serve batch attribution.
+thread_local u64 tl_detected = 0;
+}  // namespace
+
 void Injector::arm(const FaultPlan& plan, u64 seed) {
+  std::lock_guard<std::mutex> lk(m_);
   plan_ = plan;
   for (std::size_t i = 0; i < kSiteCount; ++i) {
     SiteState& st = state_[i];
@@ -60,16 +66,28 @@ void Injector::arm(const FaultPlan& plan, u64 seed) {
     st.rng = util::Xoshiro256(splitmix(seed ^ splitmix(u64(i) + 1)));
     st.totals = {};
   }
-  armed_ = plan.any_enabled();
+  armed_.store(plan.any_enabled(), std::memory_order_relaxed);
 }
 
-void Injector::disarm() { armed_ = false; }
+void Injector::disarm() { armed_.store(false, std::memory_order_relaxed); }
+
+FaultPlan Injector::plan() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return plan_;
+}
 
 void Injector::reset_totals() {
+  std::lock_guard<std::mutex> lk(m_);
   for (auto& st : state_) st.totals = {};
 }
 
+SiteTotals Injector::totals(Site site) const {
+  std::lock_guard<std::mutex> lk(m_);
+  return state_[std::size_t(site)].totals;
+}
+
 SiteTotals Injector::grand_totals() const {
+  std::lock_guard<std::mutex> lk(m_);
   SiteTotals t;
   for (const auto& st : state_) {
     t.events += st.totals.events;
@@ -80,6 +98,8 @@ SiteTotals Injector::grand_totals() const {
   return t;
 }
 
+u64 Injector::thread_detected() { return tl_detected; }
+
 bool Injector::fire(SiteState& st) {
   ++st.totals.events;
   if (st.threshold == 0) return false;
@@ -87,6 +107,7 @@ bool Injector::fire(SiteState& st) {
 }
 
 u64 Injector::corrupt(Site site, unsigned width, u64 bits) {
+  std::lock_guard<std::mutex> lk(m_);
   SiteState& st = state_[std::size_t(site)];
   if (!st.spec.enabled || st.spec.model == Model::kOpSkip) return bits;
   if (!fire(st)) return bits;
@@ -117,6 +138,7 @@ u64 Injector::corrupt(Site site, unsigned width, u64 bits) {
 }
 
 bool Injector::skip(Site site) {
+  std::lock_guard<std::mutex> lk(m_);
   SiteState& st = state_[std::size_t(site)];
   if (!st.spec.enabled || st.spec.model != Model::kOpSkip) return false;
   if (!fire(st)) return false;
@@ -127,6 +149,8 @@ bool Injector::skip(Site site) {
 }
 
 void Injector::note_detected(Site site) {
+  ++tl_detected;
+  std::lock_guard<std::mutex> lk(m_);
   SiteState& st = state_[std::size_t(site)];
   ++st.totals.detected;
   detected_all_->inc();

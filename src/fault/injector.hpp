@@ -12,12 +12,22 @@
 // function of (seed, plan, number of events seen at that site) — the
 // determinism contract tests/fault/ pins down.
 //
-// Arming, disarming, and injection are intended for the single-threaded
-// experiment binaries; concurrent arm()/hot-path use is not supported
-// (counters would stay correct, sequences would not be reproducible).
+// Thread-safety contract (nga::serve workers inject concurrently):
+//   * the disarmed fast path is one relaxed atomic bool load;
+//   * the armed path (RNG draw + totals) runs under one injector mutex,
+//     so counters are exact and each site's (fire, bit) stream is still
+//     the deterministic function of (seed, plan, events-seen-at-site) —
+//     but WHICH thread observes the k-th draw depends on scheduling.
+//     Single-threaded runs keep full bit-for-bit reproducibility; the
+//     multi-threaded guarantee is aggregate (totals, rates), and
+//     per-thread attribution comes from thread_detected() below.
+//   * arm()/disarm() may race hot-path calls: a call observes either
+//     the old or the new plan, never a torn one.
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <mutex>
 
 #include "fault/plan.hpp"
 #include "obs/registry.hpp"
@@ -42,28 +52,32 @@ class Injector {
   /// same (plan, seed) => same fault sequence.
   void arm(const FaultPlan& plan, u64 seed);
   void disarm();
-  bool armed() const { return armed_; }
-  const FaultPlan& plan() const { return plan_; }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+  FaultPlan plan() const;
 
   /// Hot-path bits filter: possibly corrupt the low @p width bits of
   /// @p bits. Identity while disarmed or when the site is not enabled.
   u64 filter_bits(Site site, unsigned width, u64 bits) {
-    if (!armed_) return bits;
+    if (!armed()) return bits;
     return corrupt(site, width, bits);
   }
 
   /// Hot-path op filter: true => the caller should drop the operation.
   bool filter_skip(Site site) {
-    if (!armed_) return false;
+    if (!armed()) return false;
     return skip(site);
   }
 
   /// Downstream detectors (range guards, NaR screens) report here.
   void note_detected(Site site);
 
-  const SiteTotals& totals(Site site) const {
-    return state_[std::size_t(site)].totals;
-  }
+  /// Detections reported BY THE CALLING THREAD since process start —
+  /// monotone, lock-free, and unaffected by other threads. A serve
+  /// worker brackets a batch with two reads to attribute detections to
+  /// the work it ran itself (the global totals interleave all workers).
+  static u64 thread_detected();
+
+  SiteTotals totals(Site site) const;
   SiteTotals grand_totals() const;
   /// Zero totals without touching the RNG streams.
   void reset_totals();
@@ -86,9 +100,12 @@ class Injector {
   bool skip(Site site);
   bool fire(SiteState& st);
 
+  // Guards site state, totals, and the plan on the armed path; the
+  // disarmed path never takes it.
+  mutable std::mutex m_;
   std::array<SiteState, kSiteCount> state_;
   FaultPlan plan_;
-  bool armed_ = false;
+  std::atomic<bool> armed_{false};
   // Aggregates across sites, also cached.
   obs::Counter* injected_all_ = nullptr;
   obs::Counter* masked_all_ = nullptr;

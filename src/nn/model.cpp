@@ -39,6 +39,15 @@ Tensor Model::forward(const Tensor& x, const Exec& ex) {
   return t;
 }
 
+std::vector<Tensor> Model::forward_batch(const std::vector<const Tensor*>& xs,
+                                         const Exec& ex) {
+  std::vector<Tensor> out;
+  out.reserve(xs.size());
+  for (const Tensor* x : xs)
+    out.push_back(x ? forward(*x, ex) : Tensor{});
+  return out;
+}
+
 void Model::backward(const Tensor& dlogits) {
   Tensor g = dlogits;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)

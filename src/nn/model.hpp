@@ -30,6 +30,13 @@ class Model {
 
   /// Forward to logits in the given execution mode.
   Tensor forward(const Tensor& x, const Exec& ex);
+  /// Forward a coalesced batch to logits — the nga::serve entry point.
+  /// Layers cache per-forward state, so the batch runs sample-by-sample
+  /// on the calling thread; a Model instance is single-threaded and the
+  /// serving layer gives each worker its own replica. Null entries are
+  /// tolerated and yield an empty tensor (a shed slot in a batch).
+  std::vector<Tensor> forward_batch(const std::vector<const Tensor*>& xs,
+                                    const Exec& ex);
   /// Backward from dlogits; accumulates parameter gradients.
   void backward(const Tensor& dlogits);
   void step(float lr, float momentum, float batch_inv);

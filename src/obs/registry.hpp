@@ -12,6 +12,19 @@
 //      values instead of erasing nodes.
 //   3. Everything is thread-safe: counters/gauges are atomics, series
 //      take a mutex per sample (series are for warm paths, not MACs).
+//
+// Concurrency contract (relied on by the nga::serve worker pool and
+// enforced by tests/obs/registry_hammer_test.cpp under TSan):
+//   * counter(), gauge(), series(), section() may be called from any
+//     thread, concurrently with each other and with mutation — the
+//     registry map is guarded by one mutex and nodes are never erased,
+//     so a returned reference stays valid for the process lifetime;
+//   * Counter::inc / Gauge::set are single relaxed atomic ops — exact
+//     under any interleaving, no ordering is promised between metrics;
+//   * ValueSeries::add serialises on a per-registry-entry mutex;
+//   * reset() and the *_snapshot() accessors may race writers: a
+//     snapshot is internally consistent per metric, not a cross-metric
+//     atomic cut.
 #pragma once
 
 #include <atomic>

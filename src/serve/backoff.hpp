@@ -1,0 +1,49 @@
+// Decorrelated-jitter exponential backoff for transient batch retries.
+//
+// The policy is the "decorrelated jitter" variant of capped exponential
+// backoff:  sleep_{k+1} = min(cap, uniform(base, 3 * sleep_k)).
+// Jitter decorrelates workers that trip on the same fault burst (no
+// retry convoys); the cap bounds the worst added latency so a deadline
+// budget can account for it. Deterministic per (seed): the tests pin
+// the bounds and the reset behaviour.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace nga::serve {
+
+struct BackoffConfig {
+  std::chrono::microseconds base{100};
+  std::chrono::microseconds cap{10000};
+};
+
+class DecorrelatedBackoff {
+ public:
+  DecorrelatedBackoff(BackoffConfig cfg, util::u64 seed)
+      : cfg_(cfg), rng_(seed), prev_(cfg.base) {}
+
+  /// Next sleep. Always in [base, cap].
+  std::chrono::microseconds next() {
+    const util::u64 lo = util::u64(std::max<long long>(1, cfg_.base.count()));
+    const util::u64 hi = std::max(lo + 1, util::u64(prev_.count()) * 3);
+    const util::u64 draw = lo + rng_.below(hi - lo);
+    prev_ = std::min(cfg_.cap,
+                     std::chrono::microseconds(static_cast<long long>(draw)));
+    prev_ = std::max(prev_, cfg_.base);
+    return prev_;
+  }
+
+  /// Back to the base delay (call after a successful attempt).
+  void reset() { prev_ = cfg_.base; }
+
+ private:
+  BackoffConfig cfg_;
+  util::Xoshiro256 rng_;
+  std::chrono::microseconds prev_;
+};
+
+}  // namespace nga::serve

@@ -1,0 +1,54 @@
+#include "serve/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nga::serve {
+
+HealthTracker::HealthTracker(HealthConfig cfg) : cfg_(cfg) {
+  if (cfg_.window == 0) cfg_.window = 1;
+  if (cfg_.min_samples == 0) cfg_.min_samples = 1;
+  ok_.assign(cfg_.window, true);
+  lat_ms_.assign(cfg_.window, 0.0);
+}
+
+bool HealthTracker::record(bool ok, double latency_ms) {
+  std::lock_guard<std::mutex> lk(m_);
+  const bool full = count_ >= cfg_.window;
+  if (full && !ok_[next_]) --errors_in_window_;
+  ok_[next_] = ok;
+  lat_ms_[next_] = latency_ms;
+  if (!ok) ++errors_in_window_;
+  next_ = (next_ + 1) % cfg_.window;
+  if (!full) ++count_;
+
+  const std::size_t n = std::min(count_, cfg_.window);
+  if (n >= cfg_.min_samples) {
+    const double err = double(errors_in_window_) / double(n);
+    if (!degraded_ && err >= cfg_.degrade_error_rate) degraded_ = true;
+    else if (degraded_ && err <= cfg_.recover_error_rate) degraded_ = false;
+  }
+  return degraded_;
+}
+
+bool HealthTracker::degraded() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return degraded_;
+}
+
+HealthTracker::Snapshot HealthTracker::snapshot() const {
+  std::lock_guard<std::mutex> lk(m_);
+  Snapshot s;
+  s.samples = std::min(count_, cfg_.window);
+  if (s.samples == 0) return s;
+  s.error_rate = double(errors_in_window_) / double(s.samples);
+  std::vector<double> lat(lat_ms_.begin(),
+                          lat_ms_.begin() + long(s.samples));
+  const std::size_t k =
+      std::min(s.samples - 1, std::size_t(std::ceil(0.99 * double(s.samples))));
+  std::nth_element(lat.begin(), lat.begin() + long(k), lat.end());
+  s.latency_p99_ms = lat[k];
+  return s;
+}
+
+}  // namespace nga::serve

@@ -1,0 +1,72 @@
+// Server health/readiness state and the sliding-window statistics that
+// drive it.
+//
+// The state machine:
+//   Starting --start()--> Serving <--> Degraded --drain()--> Draining
+//                            |                                   |
+//                            +---------drain()------------------>+--> Stopped
+// Serving <-> Degraded transitions are automatic, driven by the
+// error-rate of a sliding window over recent batch attempts, with
+// hysteresis (degrade and recover thresholds differ) so the state does
+// not flap on a single bad batch. Draining/Stopped are terminal and
+// never overridden by the tracker.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace nga::serve {
+
+enum class State { kStarting, kServing, kDegraded, kDraining, kStopped };
+
+constexpr std::string_view state_name(State s) {
+  switch (s) {
+    case State::kStarting: return "starting";
+    case State::kServing: return "serving";
+    case State::kDegraded: return "degraded";
+    case State::kDraining: return "draining";
+    case State::kStopped: return "stopped";
+  }
+  return "?";
+}
+
+struct HealthConfig {
+  std::size_t window = 128;      ///< attempts in the sliding window
+  std::size_t min_samples = 16;  ///< no judgement before this many
+  double degrade_error_rate = 0.10;  ///< enter Degraded at/above
+  double recover_error_rate = 0.02;  ///< back to Serving at/below
+};
+
+/// Sliding window of recent batch-attempt outcomes; shared by all
+/// workers, so every method is internally locked.
+class HealthTracker {
+ public:
+  explicit HealthTracker(HealthConfig cfg);
+
+  /// Record one batch attempt (ok = not transiently failed) and its
+  /// wall latency; returns the degraded verdict after this sample.
+  bool record(bool ok, double latency_ms);
+
+  bool degraded() const;
+
+  struct Snapshot {
+    std::size_t samples = 0;  ///< window fill (<= cfg.window)
+    double error_rate = 0.0;
+    double latency_p99_ms = 0.0;  ///< of the current window
+  };
+  Snapshot snapshot() const;
+
+ private:
+  HealthConfig cfg_;
+  mutable std::mutex m_;
+  std::vector<bool> ok_;
+  std::vector<double> lat_ms_;
+  std::size_t next_ = 0;   ///< ring cursor
+  std::size_t count_ = 0;  ///< total recorded (saturates window fill)
+  std::size_t errors_in_window_ = 0;
+  bool degraded_ = false;
+};
+
+}  // namespace nga::serve

@@ -1,0 +1,90 @@
+// Bounded MPMC admission queue with explicit backpressure and batch
+// pops.
+//
+// Push never blocks: a full queue is an immediate kFull — the server
+// turns that into a typed Overloaded rejection instead of buffering
+// without bound (load shedding at admission is the backpressure story).
+// Pop is the batching point: a consumer blocks for the first item, then
+// lingers briefly to let a batch coalesce, and drains up to max_n.
+//
+// close() stops admission but NOT consumption — consumers keep draining
+// what is queued and see `false` only when the queue is closed AND
+// empty. That ordering is what makes Server::drain() graceful: every
+// admitted request is still handed to a worker.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace nga::serve {
+
+template <class T>
+class BoundedQueue {
+ public:
+  enum class Push { kOk, kFull, kClosed };
+
+  explicit BoundedQueue(std::size_t capacity) : cap_(capacity ? capacity : 1) {}
+
+  Push try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (closed_) return Push::kClosed;
+      if (q_.size() >= cap_) return Push::kFull;
+      q_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return Push::kOk;
+  }
+
+  /// Blocks until an item is available or the queue is closed and
+  /// drained (then returns false: no work will ever come again). Once
+  /// the first item is in hand, waits up to @p linger for the batch to
+  /// fill, then moves up to @p max_n items into @p out.
+  bool pop_batch(std::size_t max_n, std::chrono::microseconds linger,
+                 std::vector<T>& out) {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return false;
+    if (linger.count() > 0 && q_.size() < max_n && !closed_)
+      cv_.wait_for(lk, linger, [&] { return q_.size() >= max_n || closed_; });
+    const std::size_t n = std::min(max_n ? max_n : 1, q_.size());
+    out.clear();
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+    return true;
+  }
+
+  /// Stop admission; wake every consumer so they can drain and exit.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return q_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t cap_;
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<T> q_;
+  bool closed_ = false;
+};
+
+}  // namespace nga::serve

@@ -1,0 +1,81 @@
+// Request/response vocabulary of nga::serve.
+//
+// Every request submitted to a Server terminates in exactly one of
+// three outcomes — Served (logits computed before the deadline),
+// Rejected (typed reason, from validation through retry exhaustion),
+// or Shed (the deadline expired before a result could be delivered).
+// There is no fourth, silent state: the drain invariant
+//     served + rejected + shed == submitted
+// is part of the API contract (tests/serve/server_test.cpp).
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <string_view>
+
+#include "nn/tensor.hpp"
+#include "util/bits.hpp"
+
+namespace nga::serve {
+
+using Clock = std::chrono::steady_clock;
+using util::u64;
+
+/// Why a request was rejected (never why it was shed — shedding is
+/// always the deadline).
+enum class RejectReason {
+  kNone,              ///< not rejected
+  kBadShape,          ///< input tensor shape != the model's input shape
+  kNonFinite,         ///< input contains NaN/inf
+  kNotServing,        ///< submitted before start()
+  kDraining,          ///< submitted during/after drain()
+  kOverloaded,        ///< admission queue full — explicit backpressure
+  kRetriesExhausted,  ///< every attempt failed transiently
+};
+
+constexpr std::string_view reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kBadShape: return "bad_shape";
+    case RejectReason::kNonFinite: return "non_finite";
+    case RejectReason::kNotServing: return "not_serving";
+    case RejectReason::kDraining: return "draining";
+    case RejectReason::kOverloaded: return "overloaded";
+    case RejectReason::kRetriesExhausted: return "retries_exhausted";
+  }
+  return "?";
+}
+
+enum class Outcome { kServed, kRejected, kShed };
+
+constexpr std::string_view outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kServed: return "served";
+    case Outcome::kRejected: return "rejected";
+    case Outcome::kShed: return "shed";
+  }
+  return "?";
+}
+
+/// Terminal state of one request, delivered through the future that
+/// submit() returned.
+struct Response {
+  Outcome outcome = Outcome::kRejected;
+  RejectReason reason = RejectReason::kNone;
+  u64 id = 0;
+  int predicted = -1;     ///< argmax class when served
+  int attempts = 0;       ///< batch executions this request rode in
+  double latency_ms = 0;  ///< submit -> completion wall time
+};
+
+/// One admitted in-flight request (internal to Server and its queue).
+/// Move-only: the promise is the single delivery obligation.
+struct Request {
+  u64 id = 0;
+  nn::Tensor x;
+  Clock::time_point submit_time{};
+  Clock::time_point deadline{};
+  std::promise<Response> promise;
+};
+
+}  // namespace nga::serve

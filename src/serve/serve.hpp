@@ -1,0 +1,12 @@
+// nga::serve — umbrella header for the concurrent inference service
+// core: request vocabulary, bounded admission queue, backoff policy,
+// health state machine, and the Server itself. See DESIGN.md's
+// "Serving layer" section for the architecture and the robustness
+// guarantees (deadlines, backpressure, retry, graceful drain).
+#pragma once
+
+#include "serve/backoff.hpp"
+#include "serve/health.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"

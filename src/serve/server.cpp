@@ -1,0 +1,326 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fault/fault.hpp"
+#include "obs/obs.hpp"
+
+namespace nga::serve {
+
+namespace {
+
+// Registry references are stable for the process lifetime, so one
+// lookup per metric is enough (the serve path is warm, not a MAC loop).
+obs::Counter& c(const char* name) {
+  return obs::MetricsRegistry::instance().counter(name);
+}
+obs::Gauge& g(const char* name) {
+  return obs::MetricsRegistry::instance().gauge(name);
+}
+obs::ValueSeries& s(const char* name) {
+  return obs::MetricsRegistry::instance().series(name);
+}
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+int argmax(const nn::Tensor& t) {
+  if (t.v.empty()) return -1;
+  return int(std::max_element(t.v.begin(), t.v.end()) - t.v.begin());
+}
+
+bool has_nonfinite(const nn::Tensor& t) {
+  for (float v : t.v)
+    if (!std::isfinite(v)) return true;
+  return false;
+}
+
+// splitmix64 step, for decorrelating per-worker backoff streams.
+util::u64 mix(util::u64 x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Server::Server(ServerConfig cfg)
+    : cfg_(std::move(cfg)),
+      queue_(cfg_.queue_capacity),
+      health_(cfg_.health) {
+  if (!cfg_.model_factory)
+    throw std::invalid_argument("ServerConfig::model_factory is required");
+  if (cfg_.workers < 1) cfg_.workers = 1;
+  if (cfg_.max_batch < 1) cfg_.max_batch = 1;
+  if (cfg_.max_attempts < 1) cfg_.max_attempts = 1;
+  if (cfg_.mode != nn::Mode::kFloat && !cfg_.mul)
+    throw std::invalid_argument("quantized serving needs a MulTable");
+  if (cfg_.use_guard && !cfg_.exact_fallback)
+    throw std::invalid_argument(
+        "use_guard needs exact_fallback (a guard without a fallback "
+        "reports recovery it cannot perform)");
+  g("serve.state").set(double(State::kStarting));
+}
+
+Server::~Server() { drain(); }
+
+void Server::start() {
+  std::lock_guard<std::mutex> lk(drain_m_);
+  if (!workers_.empty() || drained_.load()) return;
+  workers_.reserve(std::size_t(cfg_.workers));
+  for (int i = 0; i < cfg_.workers; ++i)
+    workers_.emplace_back(&Server::worker_main, this, i);
+  accepting_.store(true, std::memory_order_release);
+  State expect = State::kStarting;
+  state_.compare_exchange_strong(expect, State::kServing);
+  g("serve.state").set(double(state()));
+}
+
+std::future<Response> Server::submit(nn::Tensor x,
+                                     std::chrono::microseconds budget) {
+  return submit(std::move(x), Clock::now() + budget);
+}
+
+std::future<Response> Server::submit(nn::Tensor x, Clock::time_point deadline) {
+  const auto t0 = Clock::now();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  c("serve.submitted").inc();
+
+  Request rq;
+  rq.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  rq.x = std::move(x);
+  rq.submit_time = t0;
+  rq.deadline = deadline;
+  auto fut = rq.promise.get_future();
+
+  if (!accepting_.load(std::memory_order_acquire)) {
+    const State st = state();
+    const RejectReason why = (st == State::kDraining || st == State::kStopped)
+                                 ? RejectReason::kDraining
+                                 : RejectReason::kNotServing;
+    finish(rq, {Outcome::kRejected, why});
+    return fut;
+  }
+  if (rq.x.c != cfg_.in_c || rq.x.h != cfg_.in_h || rq.x.w != cfg_.in_w ||
+      rq.x.v.size() != std::size_t(cfg_.in_c * cfg_.in_h * cfg_.in_w)) {
+    finish(rq, {Outcome::kRejected, RejectReason::kBadShape});
+    return fut;
+  }
+  if (has_nonfinite(rq.x)) {
+    finish(rq, {Outcome::kRejected, RejectReason::kNonFinite});
+    return fut;
+  }
+  if (deadline <= t0) {
+    finish(rq, {Outcome::kShed, RejectReason::kNone});
+    return fut;
+  }
+
+  switch (queue_.try_push(std::move(rq))) {
+    case BoundedQueue<Request>::Push::kOk:
+      g("serve.queue.depth").set(double(queue_.size()));
+      return fut;
+    case BoundedQueue<Request>::Push::kFull:
+      c("serve.overloaded").inc();
+      finish(rq, {Outcome::kRejected, RejectReason::kOverloaded});
+      return fut;
+    case BoundedQueue<Request>::Push::kClosed:
+      finish(rq, {Outcome::kRejected, RejectReason::kDraining});
+      return fut;
+  }
+  return fut;  // unreachable
+}
+
+void Server::finish(Request& rq, Response r) {
+  r.id = rq.id;
+  r.latency_ms = ms_between(rq.submit_time, Clock::now());
+  switch (r.outcome) {
+    case Outcome::kServed:
+      served_.fetch_add(1, std::memory_order_relaxed);
+      c("serve.served").inc();
+      s("serve.latency_ms").add(r.latency_ms);
+      break;
+    case Outcome::kRejected:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      c("serve.rejected").inc();
+      break;
+    case Outcome::kShed:
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      c("serve.shed").inc();
+      break;
+  }
+  rq.promise.set_value(std::move(r));
+}
+
+void Server::worker_main(int worker_id) {
+  auto model = cfg_.model_factory();
+  std::unique_ptr<nn::ResilienceGuard> guard;
+  if (cfg_.use_guard)
+    guard = std::make_unique<nn::ResilienceGuard>(cfg_.exact_fallback);
+  DecorrelatedBackoff backoff(cfg_.backoff,
+                              mix(cfg_.seed ^ mix(util::u64(worker_id) + 1)));
+  std::vector<Request> batch;
+  while (queue_.pop_batch(cfg_.max_batch, cfg_.batch_linger, batch)) {
+    g("serve.queue.depth").set(double(queue_.size()));
+    process_batch(*model, guard.get(), backoff, batch);
+    batch.clear();
+  }
+}
+
+void Server::process_batch(nn::Model& model, nn::ResilienceGuard* guard,
+                           DecorrelatedBackoff& backoff,
+                           std::vector<Request>& batch) {
+  // Shed before batching: a request whose deadline already passed must
+  // not burn model time.
+  std::vector<Request> live;
+  live.reserve(batch.size());
+  auto now = Clock::now();
+  for (auto& rq : batch) {
+    if (rq.deadline <= now)
+      finish(rq, {Outcome::kShed, RejectReason::kNone});
+    else
+      live.push_back(std::move(rq));
+  }
+  if (live.empty()) return;
+  s("serve.batch_size").add(double(live.size()));
+
+  int attempt = 0;
+  for (;;) {
+    ++attempt;
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    c("serve.batches").inc();
+
+    const bool failover = cfg_.retry_exact_failover && cfg_.exact_fallback &&
+                          attempt > 1 && attempt == cfg_.max_attempts;
+    nn::Exec ex;
+    ex.mode = cfg_.mode;
+    ex.mul = failover ? cfg_.exact_fallback : cfg_.mul;
+    ex.guard = guard;
+
+    const util::u64 det0 = fault::Injector::thread_detected();
+    const util::u64 trip0 = guard ? guard->report().trips : 0;
+    const util::u64 rec0 = guard ? guard->report().recovered_layers : 0;
+
+    std::vector<const nn::Tensor*> xs;
+    xs.reserve(live.size());
+    for (const auto& rq : live) xs.push_back(&rq.x);
+
+    std::vector<nn::Tensor> ys;
+    double exec_ms = 0;
+    {
+      obs::ScopedTimer t("serve.exec");
+      ys = model.forward_batch(xs, ex);
+      exec_ms = double(t.elapsed_ns()) * 1e-6;
+    }
+
+    // Transient-failure signal: this worker's own fault detections
+    // (thread-local, so another worker's faults are not attributed
+    // here), unrecovered guard trips, or non-finite logits.
+    const util::u64 det = fault::Injector::thread_detected() - det0;
+    bool nonfinite = false;
+    for (const auto& y : ys) nonfinite = nonfinite || has_nonfinite(y);
+    bool suspect = det > cfg_.suspect_detections || nonfinite;
+    if (guard) {
+      const util::u64 trips = guard->report().trips - trip0;
+      const util::u64 rec = guard->report().recovered_layers - rec0;
+      if (trips > rec)
+        suspect = true;  // tripped and could not repair
+      else if (trips > 0 && trips == rec && !nonfinite)
+        suspect = false;  // layer-level recovery already fixed the batch
+    }
+
+    maybe_update_state(health_.record(!suspect, exec_ms));
+
+    if (!suspect) {
+      backoff.reset();
+      now = Clock::now();
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        Response r;
+        r.attempts = attempt;
+        if (live[i].deadline <= now) {
+          // Shed after batching: computed too late to honour the SLO.
+          r.outcome = Outcome::kShed;
+        } else {
+          r.outcome = Outcome::kServed;
+          r.predicted = argmax(ys[i]);
+        }
+        finish(live[i], std::move(r));
+      }
+      return;
+    }
+
+    c("serve.suspect_batches").inc();
+    if (attempt >= cfg_.max_attempts) {
+      for (auto& rq : live) {
+        Response r;
+        r.outcome = Outcome::kRejected;
+        r.reason = RejectReason::kRetriesExhausted;
+        r.attempts = attempt;
+        finish(rq, std::move(r));
+      }
+      return;
+    }
+
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    c("serve.retries").inc();
+    {
+      obs::ScopedTimer t("serve.backoff");
+      std::this_thread::sleep_for(backoff.next());
+    }
+    // Shed whoever expired during the backoff before burning another
+    // attempt on them.
+    now = Clock::now();
+    std::vector<Request> still;
+    still.reserve(live.size());
+    for (auto& rq : live) {
+      if (rq.deadline <= now)
+        finish(rq, {Outcome::kShed, RejectReason::kNone});
+      else
+        still.push_back(std::move(rq));
+    }
+    live = std::move(still);
+    if (live.empty()) return;
+  }
+}
+
+void Server::maybe_update_state(bool degraded_now) {
+  State cur = state_.load(std::memory_order_acquire);
+  if (cur == State::kServing && degraded_now) {
+    if (state_.compare_exchange_strong(cur, State::kDegraded))
+      c("serve.degraded_transitions").inc();
+  } else if (cur == State::kDegraded && !degraded_now) {
+    state_.compare_exchange_strong(cur, State::kServing);
+  }
+  g("serve.state").set(double(state()));
+}
+
+void Server::drain() {
+  std::lock_guard<std::mutex> lk(drain_m_);
+  if (drained_.load()) return;
+  accepting_.store(false, std::memory_order_release);
+  state_.store(State::kDraining, std::memory_order_release);
+  g("serve.state").set(double(State::kDraining));
+  queue_.close();
+  for (auto& th : workers_)
+    if (th.joinable()) th.join();
+  workers_.clear();
+  drained_.store(true);
+  state_.store(State::kStopped, std::memory_order_release);
+  g("serve.state").set(double(State::kStopped));
+}
+
+Server::Stats Server::stats() const {
+  Stats st;
+  st.submitted = submitted_.load(std::memory_order_relaxed);
+  st.served = served_.load(std::memory_order_relaxed);
+  st.rejected = rejected_.load(std::memory_order_relaxed);
+  st.shed = shed_.load(std::memory_order_relaxed);
+  st.retries = retries_.load(std::memory_order_relaxed);
+  st.batches = batches_.load(std::memory_order_relaxed);
+  return st;
+}
+
+}  // namespace nga::serve

@@ -1,0 +1,150 @@
+// nga::serve::Server — the concurrent inference service core.
+//
+// Data path: submit() validates (typed RejectReason), stamps a
+// deadline, and admits into a bounded MPMC queue (full queue => an
+// immediate Overloaded rejection: backpressure, not buffering). Worker
+// threads coalesce admitted requests into batches and run them through
+// a per-worker replica of the quantized nn::Model (layers cache
+// forward state, so models are never shared across threads).
+//
+// Robustness machinery:
+//   * deadlines — expired requests are shed before a batch executes
+//     and again before results are delivered; a shed request still
+//     resolves its future (outcome kShed), never silently vanishes;
+//   * retry — a batch attempt is transiently failed when the worker's
+//     own fault-injection detections exceed suspect_detections, when a
+//     guard trips without recovering, or when the logits come back
+//     non-finite. Failed attempts retry under decorrelated-jitter
+//     exponential backoff; with retry_exact_failover the final attempt
+//     runs on the golden exact multiplier (failover to the known-good
+//     unit). Validation failures are permanent and never retried;
+//   * health — a sliding window over batch attempts drives
+//     Serving <-> Degraded with hysteresis; drain() moves to Draining
+//     and then Stopped;
+//   * graceful shutdown — drain() stops admission, lets the workers
+//     finish every queued request, and joins them. The accounting
+//     invariant  served + rejected + shed == submitted  holds at that
+//     point by construction (every Request's promise resolves exactly
+//     once through one choke point).
+//
+// Observability: obs counters serve.submitted/served/rejected/shed/
+// retries/batches, the serve.queue.depth gauge, serve.latency_ms and
+// serve.batch_size series, and serve.exec/serve.backoff sections.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "nn/model.hpp"
+#include "nn/resilience.hpp"
+#include "serve/backoff.hpp"
+#include "serve/health.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+
+namespace nga::serve {
+
+struct ServerConfig {
+  int workers = 2;
+  std::size_t queue_capacity = 64;
+  std::size_t max_batch = 8;
+  /// How long a worker lingers for a batch to coalesce after the first
+  /// request is in hand.
+  std::chrono::microseconds batch_linger{200};
+
+  /// Required input shape; submit() rejects anything else (kBadShape).
+  int in_c = 0, in_h = 0, in_w = 0;
+
+  nn::Mode mode = nn::Mode::kQuantExact;
+  const nn::MulTable* mul = nullptr;  ///< active table (kQuantApprox)
+  /// Golden exact table: retry failover target and guard fallback.
+  const nn::MulTable* exact_fallback = nullptr;
+  /// Give each worker a ResilienceGuard over exact_fallback (layer-level
+  /// recovery from PR 2, composing with the batch-level retry here).
+  bool use_guard = false;
+
+  /// Total batch executions a request may ride in; 1 disables retry.
+  int max_attempts = 3;
+  /// Run the last attempt on exact_fallback (when configured).
+  bool retry_exact_failover = true;
+  /// An attempt is transiently failed when this worker's fault
+  /// detections during the batch exceed this count.
+  util::u64 suspect_detections = 0;
+  BackoffConfig backoff;
+  util::u64 seed = 1;  ///< decorrelates the per-worker backoff jitter
+
+  HealthConfig health;
+
+  /// Builds one model replica per worker (trained weights restored,
+  /// calibration done). Required.
+  std::function<std::unique_ptr<nn::Model>()> model_factory;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  ~Server();  ///< drains if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Spin up the worker pool and move Starting -> Serving.
+  void start();
+
+  /// Submit one sample with a latency budget (deadline = now + budget).
+  /// The returned future ALWAYS resolves — immediately for rejections,
+  /// otherwise when a worker delivers, sheds, or drain() completes.
+  std::future<Response> submit(nn::Tensor x,
+                               std::chrono::microseconds budget);
+  std::future<Response> submit(nn::Tensor x, Clock::time_point deadline);
+
+  /// Graceful shutdown: stop admission (further submits reject with
+  /// kDraining), finish or shed every queued request, join the workers.
+  /// Idempotent; after it returns, state() == kStopped and
+  /// served + rejected + shed == submitted.
+  void drain();
+
+  State state() const { return state_.load(std::memory_order_acquire); }
+  HealthTracker::Snapshot health() const { return health_.snapshot(); }
+
+  struct Stats {
+    util::u64 submitted = 0;
+    util::u64 served = 0;
+    util::u64 rejected = 0;
+    util::u64 shed = 0;
+    util::u64 retries = 0;  ///< extra batch executions beyond the first
+    util::u64 batches = 0;  ///< batch executions, retries included
+  };
+  Stats stats() const;
+
+  std::size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  void worker_main(int worker_id);
+  void process_batch(nn::Model& model, nn::ResilienceGuard* guard,
+                     DecorrelatedBackoff& backoff,
+                     std::vector<Request>& batch);
+  /// The single accounting choke point: resolves the promise and bumps
+  /// exactly one of served/rejected/shed.
+  void finish(Request& rq, Response r);
+  void maybe_update_state(bool degraded_now);
+
+  ServerConfig cfg_;
+  BoundedQueue<Request> queue_;
+  HealthTracker health_;
+  std::vector<std::thread> workers_;
+  std::atomic<State> state_{State::kStarting};
+  std::atomic<bool> accepting_{false};
+  std::atomic<bool> drained_{false};
+  std::atomic<u64> next_id_{1};
+  std::atomic<u64> submitted_{0}, served_{0}, rejected_{0}, shed_{0},
+      retries_{0}, batches_{0};
+  std::mutex drain_m_;
+};
+
+}  // namespace nga::serve

@@ -22,6 +22,24 @@ class RunningStats {
     max_ = std::max(max_, x);
   }
 
+  /// Combine another accumulator into this one (Chan et al. parallel
+  /// Welford): the result is as if every sample of @p o had been add()ed
+  /// here. Lets per-worker latency shards aggregate without sharing.
+  void merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double na = double(n_), nb = double(o.n_);
+    const double d = o.mean_ - mean_;
+    mean_ += d * nb / (na + nb);
+    m2_ += o.m2_ + d * d * na * nb / (na + nb);
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double variance() const { return n_ > 1 ? m2_ / double(n_ - 1) : 0.0; }
@@ -40,13 +58,21 @@ class RunningStats {
 /// Fixed-range linear histogram; out-of-range samples clamp to edge
 /// bins. Degenerate ranges are tolerated: a histogram with lo == hi
 /// (or bins == 0, clamped to one bin) funnels every sample into bin 0
-/// instead of dividing by zero.
+/// instead of dividing by zero. Non-finite samples (NaN, +-inf) never
+/// reach the bin index math — casting a NaN to an integer is UB — and
+/// are tallied in the separate nonfinite() counter instead; total()
+/// keeps counting binned samples only, so bin normalisation by total()
+/// stays correct.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins)
       : lo_(lo), hi_(hi), counts_(bins > 0 ? bins : 1, 0) {}
 
   void add(double x) {
+    if (!std::isfinite(x)) {
+      ++nonfinite_;
+      return;
+    }
     const double span = hi_ - lo_;
     const double t = span > 0.0 ? (x - lo_) / span : 0.0;
     auto idx = static_cast<long>(t * double(counts_.size()));
@@ -58,6 +84,7 @@ class Histogram {
   std::size_t bins() const { return counts_.size(); }
   std::size_t count(std::size_t i) const { return counts_[i]; }
   std::size_t total() const { return total_; }
+  std::size_t nonfinite() const { return nonfinite_; }
   double bin_center(std::size_t i) const {
     return lo_ + (double(i) + 0.5) * (hi_ - lo_) / double(counts_.size());
   }
@@ -66,6 +93,7 @@ class Histogram {
   double lo_, hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t nonfinite_ = 0;
 };
 
 }  // namespace nga::util

@@ -1,0 +1,138 @@
+// Multi-threaded hammer for the MetricsRegistry concurrency contract
+// (see the header comment in obs/registry.hpp): concurrent lookups,
+// counter/gauge/series mutation, snapshots, and reset must be exact
+// where promised and crash/race-free everywhere. The TSan CI leg runs
+// this test under -fsanitize=thread.
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace nga::obs {
+namespace {
+
+TEST(RegistryHammer, ConcurrentCounterIncrementsAreExact) {
+  auto& reg = MetricsRegistry::instance();
+  constexpr int kThreads = 8;
+  constexpr u64 kPerThread = 100000;
+  Counter& shared = reg.counter("hammer.counter.shared");
+  shared.reset();
+
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&, t] {
+      // Half the increments go through a fresh lookup each time: the
+      // lookup path must be as safe as the cached-reference path.
+      Counter& own =
+          reg.counter("hammer.counter.t" + std::to_string(t));
+      own.reset();
+      for (u64 i = 0; i < kPerThread; ++i) {
+        shared.inc();
+        reg.counter("hammer.counter.shared").inc();
+        own.inc(2);
+      }
+    });
+  for (auto& t : ts) t.join();
+
+  EXPECT_EQ(shared.value(), u64(2 * kThreads) * kPerThread);
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(reg.counter("hammer.counter.t" + std::to_string(t)).value(),
+              2 * kPerThread);
+}
+
+TEST(RegistryHammer, LookupReturnsOneStableNodePerName) {
+  auto& reg = MetricsRegistry::instance();
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back(
+        [&, t] { seen[std::size_t(t)] = &reg.counter("hammer.stable"); });
+  for (auto& t : ts) t.join();
+  for (int t = 1; t < kThreads; ++t)
+    EXPECT_EQ(seen[std::size_t(t)], seen[0])
+        << "racing lookups of one name must resolve to one node";
+}
+
+TEST(RegistryHammer, SeriesGaugesSnapshotsAndResetUnderContention) {
+  auto& reg = MetricsRegistry::instance();
+  reg.series("hammer.series").reset();
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> go{false};
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      ValueSeries& vs = reg.series("hammer.series");
+      Gauge& gg = reg.gauge("hammer.gauge");
+      for (int i = 0; i < kPerThread; ++i) {
+        vs.add(double(t));
+        gg.set(double(t));
+      }
+    });
+  // A reader thread takes snapshots while the writers hammer; each
+  // snapshot must be internally consistent (count matches what the
+  // merged moments were computed from — RunningStats under the series
+  // mutex), though not a cross-metric atomic cut.
+  std::thread reader([&] {
+    while (!go.load()) std::this_thread::yield();
+    for (int i = 0; i < 200; ++i) {
+      const auto snap = reg.series_snapshot().at("hammer.series");
+      EXPECT_LE(snap.count, std::size_t(kThreads) * kPerThread);
+      if (snap.count > 0) {
+        EXPECT_GE(snap.mean, 0.0);
+        EXPECT_LE(snap.mean, double(kThreads - 1));
+      }
+      (void)reg.gauges_snapshot();
+      (void)reg.counters_snapshot();
+    }
+  });
+  go.store(true);
+  for (auto& t : writers) t.join();
+  reader.join();
+
+  const auto snap = reg.series_snapshot().at("hammer.series");
+  EXPECT_EQ(snap.count, std::size_t(kThreads) * kPerThread);
+  const double g = reg.gauge("hammer.gauge").value();
+  EXPECT_GE(g, 0.0);
+  EXPECT_LE(g, double(kThreads - 1));  // last write wins, whoever it was
+
+  // reset() during (single-threaded, here) quiet time zeroes state but
+  // keeps every node alive — cached references stay valid.
+  ValueSeries* before = &reg.series("hammer.series");
+  reg.reset();
+  EXPECT_EQ(before, &reg.series("hammer.series"));
+  EXPECT_EQ(reg.series_snapshot().at("hammer.series").count, 0u);
+}
+
+TEST(RegistryHammer, ResetRacesWritersWithoutCorruption) {
+  auto& reg = MetricsRegistry::instance();
+  Counter& cnt = reg.counter("hammer.reset.counter");
+  cnt.reset();
+  std::atomic<bool> stop{false};
+  std::thread resetter([&] {
+    while (!stop.load()) reg.reset();
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t)
+    writers.emplace_back([&] {
+      for (int i = 0; i < 50000; ++i) {
+        cnt.inc();
+        reg.series("hammer.reset.series").add(1.0);
+      }
+    });
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  resetter.join();
+  // No exact totals to claim (resets raced the writers) — the contract
+  // is absence of crashes/races and a readable final state.
+  EXPECT_LE(cnt.value(), u64(4) * 50000);
+}
+
+}  // namespace
+}  // namespace nga::obs

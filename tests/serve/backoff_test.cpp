@@ -1,0 +1,57 @@
+#include "serve/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nga::serve {
+namespace {
+
+using std::chrono::microseconds;
+
+TEST(Backoff, StaysWithinBaseAndCap) {
+  BackoffConfig cfg;
+  cfg.base = microseconds(100);
+  cfg.cap = microseconds(1000);
+  DecorrelatedBackoff b(cfg, 42);
+  for (int i = 0; i < 200; ++i) {
+    const auto d = b.next();
+    EXPECT_GE(d, cfg.base) << "draw " << i;
+    EXPECT_LE(d, cfg.cap) << "draw " << i;
+  }
+}
+
+TEST(Backoff, DeterministicPerSeed) {
+  BackoffConfig cfg;
+  cfg.base = microseconds(50);
+  cfg.cap = microseconds(5000);
+  DecorrelatedBackoff a(cfg, 7), b(cfg, 7), c(cfg, 8);
+  std::vector<long long> sa, sb, sc;
+  for (int i = 0; i < 32; ++i) {
+    sa.push_back(a.next().count());
+    sb.push_back(b.next().count());
+    sc.push_back(c.next().count());
+  }
+  EXPECT_EQ(sa, sb);   // same seed, same schedule
+  EXPECT_NE(sa, sc);   // different seed decorrelates workers
+}
+
+TEST(Backoff, GrowsUnderRepeatedFailureAndResets) {
+  BackoffConfig cfg;
+  cfg.base = microseconds(100);
+  cfg.cap = microseconds(100000);
+  DecorrelatedBackoff b(cfg, 3);
+  long long mx = 0;
+  for (int i = 0; i < 64; ++i)
+    mx = std::max<long long>(mx, b.next().count());
+  // Decorrelated jitter escalates well past the first-step range
+  // [base, 3*base) when failures persist.
+  EXPECT_GT(mx, 3 * cfg.base.count());
+
+  b.reset();
+  // First draw after reset is back in the first-step range.
+  EXPECT_LT(b.next().count(), 3 * cfg.base.count());
+}
+
+}  // namespace
+}  // namespace nga::serve

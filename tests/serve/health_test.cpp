@@ -1,0 +1,58 @@
+#include "serve/health.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nga::serve {
+namespace {
+
+HealthConfig small_window() {
+  HealthConfig cfg;
+  cfg.window = 10;
+  cfg.min_samples = 5;
+  cfg.degrade_error_rate = 0.30;
+  cfg.recover_error_rate = 0.05;
+  return cfg;
+}
+
+TEST(Health, NoJudgementBeforeMinSamples) {
+  HealthTracker h(small_window());
+  for (int i = 0; i < 4; ++i) h.record(false, 1.0);  // 100% errors...
+  EXPECT_FALSE(h.degraded());  // ...but not enough evidence yet
+}
+
+TEST(Health, DegradesOnErrorBurstAndRecoversWithHysteresis) {
+  HealthTracker h(small_window());
+  for (int i = 0; i < 10; ++i) h.record(true, 1.0);
+  EXPECT_FALSE(h.degraded());
+
+  for (int i = 0; i < 4; ++i) h.record(false, 1.0);  // 4/10 >= 0.30
+  EXPECT_TRUE(h.degraded());
+
+  // One good batch is not recovery: hysteresis holds Degraded until the
+  // window error rate falls to <= recover_error_rate.
+  h.record(true, 1.0);
+  EXPECT_TRUE(h.degraded());
+  for (int i = 0; i < 10; ++i) h.record(true, 1.0);  // errors age out
+  EXPECT_FALSE(h.degraded());
+}
+
+TEST(Health, SnapshotReportsWindowStats) {
+  HealthTracker h(small_window());
+  for (int i = 0; i < 8; ++i) h.record(i % 4 != 0, double(i + 1));
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.samples, 8u);
+  EXPECT_NEAR(s.error_rate, 2.0 / 8.0, 1e-12);
+  EXPECT_GE(s.latency_p99_ms, 7.0);  // p99 of {1..8} is the top sample
+  EXPECT_LE(s.latency_p99_ms, 8.0);
+}
+
+TEST(Health, StateNamesAreStable) {
+  EXPECT_EQ(state_name(State::kStarting), "starting");
+  EXPECT_EQ(state_name(State::kServing), "serving");
+  EXPECT_EQ(state_name(State::kDegraded), "degraded");
+  EXPECT_EQ(state_name(State::kDraining), "draining");
+  EXPECT_EQ(state_name(State::kStopped), "stopped");
+}
+
+}  // namespace
+}  // namespace nga::serve

@@ -1,0 +1,99 @@
+#include "serve/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace nga::serve {
+namespace {
+
+using Q = BoundedQueue<int>;
+
+TEST(BoundedQueue, BackpressureRejectsWhenFull) {
+  Q q(2);
+  EXPECT_EQ(q.try_push(1), Q::Push::kOk);
+  EXPECT_EQ(q.try_push(2), Q::Push::kOk);
+  EXPECT_EQ(q.try_push(3), Q::Push::kFull);  // rejected, not buffered
+  EXPECT_EQ(q.size(), 2u);
+
+  std::vector<int> out;
+  ASSERT_TRUE(q.pop_batch(8, std::chrono::microseconds(0), out));
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.try_push(3), Q::Push::kOk);  // space again
+}
+
+TEST(BoundedQueue, PopBatchCoalescesUpToMax) {
+  Q q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_EQ(q.try_push(int(i)), Q::Push::kOk);
+  std::vector<int> out;
+  ASSERT_TRUE(q.pop_batch(3, std::chrono::microseconds(0), out));
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  ASSERT_TRUE(q.pop_batch(3, std::chrono::microseconds(0), out));
+  EXPECT_EQ(out, (std::vector<int>{3, 4}));
+}
+
+TEST(BoundedQueue, CloseDrainsRemainingThenSignalsEnd) {
+  Q q(8);
+  for (int i = 0; i < 3; ++i) ASSERT_EQ(q.try_push(int(i)), Q::Push::kOk);
+  q.close();
+  EXPECT_EQ(q.try_push(9), Q::Push::kClosed);  // admission stopped...
+  std::vector<int> out;
+  ASSERT_TRUE(q.pop_batch(8, std::chrono::microseconds(0), out));
+  EXPECT_EQ(out.size(), 3u);  // ...but the backlog still drains
+  EXPECT_FALSE(q.pop_batch(8, std::chrono::microseconds(0), out));
+}
+
+TEST(BoundedQueue, PopBlocksUntilCloseWhenEmpty) {
+  Q q(4);
+  std::vector<int> out;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+  });
+  // Blocks (no data) until close, then reports end-of-work.
+  EXPECT_FALSE(q.pop_batch(4, std::chrono::microseconds(0), out));
+  closer.join();
+}
+
+TEST(BoundedQueue, MpmcPreservesEveryItemExactlyOnce) {
+  constexpr int kProducers = 4, kConsumers = 3, kPerProducer = 2000;
+  Q q(16);
+  std::atomic<long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> consumers;
+  for (int cth = 0; cth < kConsumers; ++cth)
+    consumers.emplace_back([&] {
+      std::vector<int> out;
+      while (q.pop_batch(4, std::chrono::microseconds(50), out)) {
+        long local = 0;
+        for (int v : out) local += v;
+        sum.fetch_add(local, std::memory_order_relaxed);
+        popped.fetch_add(int(out.size()), std::memory_order_relaxed);
+      }
+    });
+
+  std::vector<std::thread> producers;
+  for (int pth = 0; pth < kProducers; ++pth)
+    producers.emplace_back([&, pth] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int v = pth * kPerProducer + i;
+        while (q.try_push(int(v)) != Q::Push::kOk)
+          std::this_thread::yield();  // full queue: caller's problem
+      }
+    });
+
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace nga::serve

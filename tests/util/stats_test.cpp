@@ -1,0 +1,96 @@
+// Histogram non-finite routing (regression: casting NaN to an integer
+// bin index is UB) and RunningStats parallel merge.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nga::util {
+namespace {
+
+TEST(Histogram, NonFiniteSamplesNeverReachTheBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(5.0);
+  h.add(std::nan(""));
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(std::nan("2"));
+
+  EXPECT_EQ(h.nonfinite(), 4u);
+  // total() keeps meaning "binned samples" so bin/total normalisation
+  // is unaffected by junk input.
+  EXPECT_EQ(h.total(), 1u);
+  std::size_t binned = 0;
+  for (std::size_t b = 0; b < h.bins(); ++b) binned += h.count(b);
+  EXPECT_EQ(binned, 1u);
+
+  h.add(7.0);  // still works after non-finite input
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, NonFiniteOnDegenerateRangeIsAlsoSafe) {
+  Histogram h(5.0, 5.0, 4);  // lo == hi: every finite sample -> bin 0
+  h.add(std::nan(""));
+  EXPECT_EQ(h.nonfinite(), 1u);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.count(0), 0u);
+}
+
+TEST(RunningStats, MergeOfEmptiesAndIntoEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+
+  b.add(3.0);
+  b.add(5.0);
+  a.merge(b);  // empty += non-empty adopts the shard wholesale
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+
+  RunningStats c;
+  a.merge(c);  // non-empty += empty is a no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+}
+
+TEST(RunningStats, MergeEqualsSingleStreamOnRandomSplits) {
+  Xoshiro256 rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 200 + std::size_t(rng.below(800));
+    std::vector<double> xs(n);
+    for (auto& x : xs) x = rng.normal() * rng.uniform(0.5, 50.0);
+
+    RunningStats whole;
+    for (double x : xs) whole.add(x);
+
+    // Split into 1..6 contiguous shards at random cut points, fill one
+    // accumulator per shard, then fold them together.
+    const std::size_t shards = 1 + std::size_t(rng.below(6));
+    std::vector<std::size_t> cuts{0, n};
+    for (std::size_t s = 1; s < shards; ++s) cuts.push_back(rng.below(n));
+    std::sort(cuts.begin(), cuts.end());
+
+    RunningStats merged;
+    for (std::size_t s = 0; s + 1 < cuts.size(); ++s) {
+      RunningStats shard;
+      for (std::size_t i = cuts[s]; i < cuts[s + 1]; ++i) shard.add(xs[i]);
+      merged.merge(shard);
+    }
+
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(),
+                1e-9 * (1.0 + std::abs(whole.mean())));
+    EXPECT_NEAR(merged.variance(), whole.variance(),
+                1e-9 * (1.0 + whole.variance()));
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  }
+}
+
+}  // namespace
+}  // namespace nga::util
