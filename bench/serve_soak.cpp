@@ -27,6 +27,7 @@
 //        of the submit/retry/shed/drain paths is the point).
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <thread>
@@ -39,7 +40,7 @@
 #include "serve/serve.hpp"
 #include "util/table.hpp"
 
-#define NGA_BENCH_EXTRA_FLAGS {"--quick", "--smoke"}
+#define NGA_BENCH_EXTRA_FLAGS {"--quick", "--smoke", "--sample", "--expo"}
 #include "bench_main.hpp"
 
 using namespace nga;
@@ -58,7 +59,21 @@ struct SoakResult {
   double accuracy = 0.0;  ///< label accuracy of served requests
   double p99_ms = 0.0;    ///< latency p99 over served requests
   bool invariant_ok = false;
+
+  // Per-stage latency breakdown of this run (the serve.stage.* series,
+  // window-reset per run): where a request's time actually went.
+  obs::SeriesSnapshot queue_wait, batch_fill, exec, backoff;
+
+  // Numeric-health channel: bad arithmetic events per MAC over the
+  // whole run, plus exact-table failover count (Server::numeric_health).
+  double nar_rate = 0.0, sat_rate = 0.0, fault_rate = 0.0;
+  util::u64 failovers = 0, macs = 0;
+  double health_numeric_rate = 0.0;  ///< HealthTracker window mean at end
 };
+
+constexpr const char* kStageKeys[] = {
+    "serve.stage.queue_wait_ms", "serve.stage.batch_fill_ms",
+    "serve.stage.exec_ms", "serve.stage.retry_backoff_ms"};
 
 double p99(std::vector<double> v) {
   if (v.empty()) return 0.0;
@@ -72,9 +87,15 @@ double p99(std::vector<double> v) {
 
 int nga_bench_main(int argc, char** argv) {
   bool quick = false, smoke = false;
+  double sample_rate = 0.0;
+  std::string expo_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--sample") == 0 && i + 1 < argc)
+      sample_rate = std::atof(argv[++i]);
+    if (std::strcmp(argv[i], "--expo") == 0 && i + 1 < argc)
+      expo_path = argv[++i];
   }
   quick = quick || smoke;
 
@@ -155,6 +176,18 @@ int nga_bench_main(int argc, char** argv) {
         cfg.backoff.cap = std::chrono::microseconds(2000);
         cfg.seed = 42;
         cfg.model_factory = factory;
+        // Observability v2: request-scoped tracing (head sampling), the
+        // numeric-health channel feeding the health tracker, and a text
+        // exposition dumped on drain (each run overwrites — the file
+        // reflects the cumulative registry at its drain).
+        cfg.trace_sample_rate = sample_rate;
+        cfg.health.degrade_numeric_rate = 0.05;  // bad events per MAC
+        cfg.health.recover_numeric_rate = 0.01;
+        cfg.exposition_path = expo_path;
+
+        // Window-reset the per-stage series so each run's breakdown is
+        // its own, not a soak-wide accumulation.
+        for (const char* k : kStageKeys) reg.series(k).reset();
 
         Server srv(cfg);
         srv.start();
@@ -188,8 +221,28 @@ int nga_bench_main(int argc, char** argv) {
             if (resp.predicted == labels[i]) ++correct;
           }
         }
+        r.health_numeric_rate = srv.health().numeric_rate;
         srv.drain();
         fault::Injector::instance().disarm();
+
+        const auto series = reg.series_snapshot();
+        const auto stage_of = [&](const char* k) {
+          const auto it = series.find(k);
+          return it == series.end() ? obs::SeriesSnapshot{} : it->second;
+        };
+        r.queue_wait = stage_of(kStageKeys[0]);
+        r.batch_fill = stage_of(kStageKeys[1]);
+        r.exec = stage_of(kStageKeys[2]);
+        r.backoff = stage_of(kStageKeys[3]);
+
+        const auto nh = srv.numeric_health();
+        const auto tot = nh.total();
+        const double macs = double(tot.macs ? tot.macs : 1);
+        r.nar_rate = double(tot.nar) / macs;
+        r.sat_rate = double(tot.saturation) / macs;
+        r.fault_rate = double(tot.fault_detected) / macs;
+        r.failovers = nh.failovers;
+        r.macs = tot.macs;
 
         r.stats = srv.stats();
         r.success = double(served) / double(r.stats.submitted);
@@ -228,9 +281,49 @@ int nga_bench_main(int argc, char** argv) {
     reg.gauge(p + ".rejected").set(double(r.stats.rejected));
     reg.gauge(p + ".shed").set(double(r.stats.shed));
     reg.gauge(p + ".retries").set(double(r.stats.retries));
+
+    // Per-stage latency breakdown + numeric-health rates, per run.
+    const auto stage_gauges = [&](const char* st,
+                                  const obs::SeriesSnapshot& s) {
+      reg.gauge(p + ".stage." + st + ".mean_ms").set(s.mean);
+      reg.gauge(p + ".stage." + st + ".max_ms").set(s.max);
+      reg.gauge(p + ".stage." + st + ".count").set(double(s.count));
+    };
+    stage_gauges("queue_wait", r.queue_wait);
+    stage_gauges("batch_fill", r.batch_fill);
+    stage_gauges("exec", r.exec);
+    stage_gauges("retry_backoff", r.backoff);
+    reg.gauge(p + ".numeric.nar_rate").set(r.nar_rate);
+    reg.gauge(p + ".numeric.saturation_rate").set(r.sat_rate);
+    reg.gauge(p + ".numeric.fault_rate").set(r.fault_rate);
+    reg.gauge(p + ".numeric.failovers").set(double(r.failovers));
+    reg.gauge(p + ".numeric.macs").set(double(r.macs));
+    reg.gauge(p + ".numeric.health_window_rate").set(r.health_numeric_rate);
   }
   reg.gauge("soak.deadline_ms").set(deadline_ms);
+  reg.gauge("soak.trace_sample_rate").set(sample_rate);
   t.print(std::cout);
+
+  std::printf("\n-- per-stage latency breakdown (mean ms per request) & "
+              "numeric health (events/MAC) --\n");
+  util::Table t2({"rate", "retry", "queue_wait", "batch_fill", "exec",
+                  "backoff", "fault/MAC", "nar/MAC", "sat/MAC",
+                  "failovers"});
+  for (const auto& r : results)
+    t2.add_row({util::cell(r.rate, 4), r.retry ? "on" : "off",
+                util::cell(r.queue_wait.mean, 3),
+                util::cell(r.batch_fill.mean, 3), util::cell(r.exec.mean, 3),
+                util::cell(r.backoff.mean, 3), util::cell(r.fault_rate, 6),
+                util::cell(r.nar_rate, 6), util::cell(r.sat_rate, 6),
+                std::to_string(r.failovers)});
+  t2.print(std::cout);
+  if (sample_rate > 0.0)
+    std::printf("\ntracing %.1f%% of requests end-to-end; pass "
+                "--trace <path> to export the chrome://tracing JSON\n",
+                100.0 * sample_rate);
+  if (!expo_path.empty())
+    std::printf("text exposition written to %s (at each drain)\n",
+                expo_path.c_str());
 
   if (!invariants_ok) {
     std::printf("\nshutdown invariant VIOLATED: requests were silently "

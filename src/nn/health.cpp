@@ -1,0 +1,56 @@
+#include "nn/health.hpp"
+
+#include "fault/injector.hpp"
+
+namespace nga::nn {
+
+namespace {
+
+obs::Counter& counter(std::string_view name) {
+  return obs::MetricsRegistry::instance().counter(name);
+}
+
+}  // namespace
+
+LayerHealthRecorder::LayerHealthRecorder()
+    : nar_c_(counter("posit.nar")),
+      sat_c_(counter("posit.round.saturate")),
+      ovf_c_(counter("softfloat.pack.overflow")),
+      clip_c_(counter("nn.requant.clip")),
+      mac_c_(counter("nn.mac")) {}
+
+void LayerHealthRecorder::begin_forward() { cursor_ = 0; }
+
+void LayerHealthRecorder::begin_layer() {
+  snap_nar_ = nar_c_.value();
+  snap_sat_ = sat_c_.value() + ovf_c_.value();
+  snap_det_ = fault::Injector::thread_detected();
+  snap_clip_ = clip_c_.value();
+  snap_mac_ = mac_c_.value();
+}
+
+void LayerHealthRecorder::end_layer(std::string_view name) {
+  if (cursor_ >= layers_.size())
+    layers_.emplace_back(
+        std::to_string(cursor_) + "." + std::string(name),
+        LayerHealthCounters{});
+  LayerHealthCounters& at = layers_[cursor_].second;
+  at.nar += nar_c_.value() - snap_nar_;
+  at.saturation += sat_c_.value() + ovf_c_.value() - snap_sat_;
+  at.fault_detected += fault::Injector::thread_detected() - snap_det_;
+  at.requant_clips += clip_c_.value() - snap_clip_;
+  at.macs += mac_c_.value() - snap_mac_;
+  ++cursor_;
+}
+
+LayerHealthCounters LayerHealthRecorder::total() const {
+  LayerHealthCounters t;
+  for (const auto& [name, c] : layers_) t += c;
+  return t;
+}
+
+void LayerHealthRecorder::reset() {
+  for (auto& [name, c] : layers_) c = {};
+}
+
+}  // namespace nga::nn

@@ -1,0 +1,90 @@
+// Per-layer numeric-health attribution — the serving-side counterpart
+// of the obs hot-path counters (AxOSyn-style operator-level error
+// accounting, scoped to one model replica).
+//
+// A LayerHealthRecorder brackets every layer of a forward pass
+// (Model::forward with Exec::health set) and attributes deltas of the
+// numeric-health signals to the layer that produced them:
+//   * nar              — posit NaR poisonings        ("posit.nar")
+//   * saturation       — posit round saturations + softfloat pack
+//                        overflows
+//   * requant_clips    — quantizer range clips       ("nn.requant.clip")
+//   * macs             — MACs executed               ("nn.mac")
+//   * fault_detected   — MAC plausibility-check hits, via the
+//                        injector's THREAD-LOCAL tally (exact per
+//                        worker even when other workers inject
+//                        concurrently)
+//
+// The obs counters are process-global atomics, so in a multi-worker
+// server the nar/saturation/clip/mac deltas of concurrent forwards
+// interleave: attribution is exact for single-threaded runs and
+// aggregate (correct totals, approximate per-layer split) across
+// workers. fault_detected is exact either way. With NGA_OBS=0 only the
+// fault channel ticks (the counter macros are compiled out).
+//
+// The recorder is single-threaded by design — one per model replica,
+// like the replica itself. nga::serve gives each worker its own and
+// merges windows at batch granularity.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace nga::nn {
+
+/// Health-event totals for one layer (or a whole model when summed).
+struct LayerHealthCounters {
+  util::u64 nar = 0;
+  util::u64 saturation = 0;
+  util::u64 fault_detected = 0;
+  util::u64 requant_clips = 0;
+  util::u64 macs = 0;
+
+  LayerHealthCounters& operator+=(const LayerHealthCounters& o) {
+    nar += o.nar;
+    saturation += o.saturation;
+    fault_detected += o.fault_detected;
+    requant_clips += o.requant_clips;
+    macs += o.macs;
+    return *this;
+  }
+};
+
+class LayerHealthRecorder {
+ public:
+  LayerHealthRecorder();
+
+  // Bracket protocol, driven by Model::forward --------------------------
+  void begin_forward();  ///< rewind the layer cursor
+  void begin_layer();    ///< snapshot the counters
+  void end_layer(std::string_view name);  ///< attribute deltas
+
+  /// Per-layer accumulation since the last reset(), keyed
+  /// "<index>.<layer name>" in forward order.
+  const std::vector<std::pair<std::string, LayerHealthCounters>>& layers()
+      const {
+    return layers_;
+  }
+  LayerHealthCounters total() const;
+
+  /// Zero the accumulated counts (layer slots survive — a window reset,
+  /// not a topology reset).
+  void reset();
+
+ private:
+  obs::Counter& nar_c_;
+  obs::Counter& sat_c_;
+  obs::Counter& ovf_c_;
+  obs::Counter& clip_c_;
+  obs::Counter& mac_c_;
+  util::u64 snap_nar_ = 0, snap_sat_ = 0, snap_det_ = 0, snap_clip_ = 0,
+            snap_mac_ = 0;
+  std::size_t cursor_ = 0;  ///< layer index within the current forward
+  std::vector<std::pair<std::string, LayerHealthCounters>> layers_;
+};
+
+}  // namespace nga::nn

@@ -28,6 +28,7 @@ using util::u64;
 enum class Mode { kFloat, kQuantExact, kQuantApprox };
 
 class ResilienceGuard;
+class LayerHealthRecorder;
 
 /// Shared execution context: mode + the active multiplier table.
 struct Exec {
@@ -35,6 +36,9 @@ struct Exec {
   const MulTable* mul = nullptr;   ///< required in kQuantApprox
   bool calibrate = false;          ///< update activation ranges (float)
   ResilienceGuard* guard = nullptr;  ///< per-layer degradation watchdog
+  /// Per-layer numeric-health attribution (nn/health.hpp); single
+  /// threaded, one per model replica like the guard.
+  LayerHealthRecorder* health = nullptr;
 };
 
 class Layer {

@@ -5,14 +5,20 @@
 #include <cmath>
 #include <numeric>
 
+#include "nn/health.hpp"
 #include "nn/resilience.hpp"
 
 namespace nga::nn {
 
 Tensor Model::forward(const Tensor& x, const Exec& ex) {
+  if (ex.health) ex.health->begin_forward();
   if (!ex.guard) {
     Tensor t = x;
-    for (auto& l : layers_) t = l->forward(t, ex);
+    for (auto& l : layers_) {
+      if (ex.health) ex.health->begin_layer();
+      t = l->forward(t, ex);
+      if (ex.health) ex.health->end_layer(l->name());
+    }
     return t;
   }
   // Guarded inference: bracket each layer with the guard's counter
@@ -26,6 +32,7 @@ Tensor Model::forward(const Tensor& x, const Exec& ex) {
   Tensor t = x;
   for (auto& l : layers_) {
     cur.guard->begin_layer();
+    if (cur.health) cur.health->begin_layer();
     Tensor y = l->forward(t, cur);
     if (cur.guard->layer_tripped()) {
       cur.guard->enter_degraded(l->name());
@@ -34,6 +41,9 @@ Tensor Model::forward(const Tensor& x, const Exec& ex) {
         y = l->forward(t, cur);  // redo the affected layer exactly
       }
     }
+    // The guard's exact re-run counts into the same layer: the health
+    // channel sees what the layer actually cost, recovery included.
+    if (cur.health) cur.health->end_layer(l->name());
     t = std::move(y);
   }
   return t;

@@ -6,6 +6,7 @@
 
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace nga::obs {
 
@@ -56,6 +57,9 @@ void write_metrics_json(std::ostream& os, std::string_view bench_name) {
     o += "}";
     return o;
   });
+  const auto& trace = TraceBuffer::instance();
+  os << ",\"trace\":{\"recorded_spans\":" << trace.size()
+     << ",\"dropped_spans\":" << trace.dropped() << "}";
   os << "}\n";
 }
 

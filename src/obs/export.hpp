@@ -10,8 +10,12 @@
 //     "gauges":   { "<gauge>": <double>, ... },
 //     "metrics":  { "<series>": { "count": <u64>, "mean": <double>,
 //                                 "stddev": <double>, "min": <double>,
-//                                 "max": <double> }, ... }
+//                                 "max": <double> }, ... },
+//     "trace":    { "recorded_spans": <u64>, "dropped_spans": <u64> }
 //   }
+// "trace" reports the span buffer's fill and loss so a truncated trace
+// shows up in the diffed JSON, not just in the trace file (additive
+// key; the schema string is unchanged).
 #pragma once
 
 #include <ostream>

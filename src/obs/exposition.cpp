@@ -1,0 +1,59 @@
+#include "obs/exposition.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/registry.hpp"
+
+namespace nga::obs {
+
+namespace {
+
+bool name_char_ok(char c, bool first) {
+  const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                     c == '_' || c == ':';
+  return first ? alpha : (alpha || (c >= '0' && c <= '9'));
+}
+
+std::string num(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void line(std::ostream& os, const std::string& metric, const char* type,
+          const std::string& value) {
+  os << "# TYPE " << metric << " " << type << "\n"
+     << metric << " " << value << "\n";
+}
+
+}  // namespace
+
+std::string exposition_name(std::string_view name) {
+  std::string out = "nga_";
+  for (char c : name) out.push_back(name_char_ok(c, false) ? c : '_');
+  // "nga_" guarantees a valid first character; nothing else to fix.
+  return out;
+}
+
+void write_text_exposition(std::ostream& os) {
+  const auto& reg = MetricsRegistry::instance();
+  for (const auto& [k, v] : reg.counters_snapshot())
+    line(os, exposition_name(k) + "_total", "counter", std::to_string(v));
+  for (const auto& [k, v] : reg.sections_snapshot())
+    line(os, exposition_name(k) + "_ns_total", "counter", std::to_string(v));
+  for (const auto& [k, v] : reg.gauges_snapshot())
+    line(os, exposition_name(k), "gauge", num(v));
+  for (const auto& [k, s] : reg.series_snapshot()) {
+    const std::string base = exposition_name(k);
+    line(os, base + "_count", "gauge", std::to_string(s.count));
+    line(os, base + "_mean", "gauge", num(s.mean));
+    line(os, base + "_stddev", "gauge", num(s.stddev));
+    line(os, base + "_min", "gauge", num(s.min));
+    line(os, base + "_max", "gauge", num(s.max));
+  }
+}
+
+}  // namespace nga::obs

@@ -1,0 +1,33 @@
+// Prometheus-style text exposition of the metrics registry — the
+// "scrape me" complement to the nga-bench-v1 JSON (export.hpp). Meant
+// for eyeballs and standard tooling rather than CI diffs: every
+// registered counter, section, gauge, and value series is rendered as
+//
+//   # TYPE nga_serve_served_total counter
+//   nga_serve_served_total 720
+//
+// Metric names are the registry names sanitized to the Prometheus
+// grammar ([a-zA-Z_:][a-zA-Z0-9_:]*; every other byte becomes '_').
+// Suffix conventions:
+//   counters  -> nga_<name>_total            (counter)
+//   sections  -> nga_<name>_ns_total         (counter, wall-clock ns)
+//   gauges    -> nga_<name>                  (gauge)
+//   series    -> nga_<name>_{count,mean,stddev,min,max}  (gauges)
+//
+// nga::serve::Server dumps this on drain when configured
+// (ServerConfig::exposition_path); anything else can call it on demand.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace nga::obs {
+
+/// Sanitize one registry name into a Prometheus metric-name fragment.
+std::string exposition_name(std::string_view name);
+
+/// Render the whole registry in the format above.
+void write_text_exposition(std::ostream& os);
+
+}  // namespace nga::obs

@@ -14,6 +14,7 @@
 #pragma once
 
 #include "obs/export.hpp"
+#include "obs/exposition.hpp"
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
 #include "obs/timer.hpp"

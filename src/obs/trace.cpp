@@ -4,25 +4,145 @@
 #include <cstdio>
 
 #include "obs/json.hpp"
+#include "util/rng.hpp"
 
 namespace nga::obs {
 
+u64 next_span_id() {
+  static std::atomic<u64> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceContext start_trace(double sample_rate) {
+  static std::atomic<u64> next_trace{1};
+  TraceContext ctx;
+  ctx.trace_id = next_trace.fetch_add(1, std::memory_order_relaxed);
+  if (sample_rate <= 0.0) return ctx;  // sampling off: no RNG draw
+  if (sample_rate >= 1.0) {
+    ctx.sampled = true;
+  } else {
+    // Per-thread stream: no shared state on the sampling decision.
+    thread_local util::Xoshiro256 rng(0x9e3779b97f4a7c15ull ^
+                                      (u64(this_thread_trace_id()) << 32));
+    ctx.sampled =
+        double(rng()) < sample_rate * 18446744073709551616.0 /*2^64*/;
+  }
+  if (ctx.sampled) ctx.root_span = next_span_id();
+  return ctx;
+}
+
+TraceShard& TraceBuffer::shard() {
+  thread_local TraceShard* cached = nullptr;
+  if (!cached) {
+    std::lock_guard<std::mutex> lk(m_);
+    shards_.push_back(std::make_unique<TraceShard>(this_thread_trace_id()));
+    cached = shards_.back().get();
+  }
+  return *cached;
+}
+
+void TraceBuffer::set_thread_name(std::string name) {
+  std::lock_guard<std::mutex> lk(m_);
+  thread_names_[this_thread_trace_id()] = std::move(name);
+}
+
+void TraceBuffer::drain_locked() const {
+  std::vector<TraceEvent> fresh;
+  for (const auto& sh : shards_) sh->drain(fresh);
+  for (auto& ev : fresh) {
+    if (events_.size() >= kMaxEvents)
+      ++overflow_dropped_;
+    else
+      events_.push_back(std::move(ev));
+  }
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::lock_guard<std::mutex> lk(m_);
+  drain_locked();
+  return events_;
+}
+
+std::size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lk(m_);
+  drain_locked();
+  return events_.size();
+}
+
+std::size_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lk(m_);
+  drain_locked();
+  std::size_t n = overflow_dropped_;
+  for (const auto& sh : shards_) n += sh->dropped();
+  return n;
+}
+
+void TraceBuffer::clear() {
+  std::lock_guard<std::mutex> lk(m_);
+  std::vector<TraceEvent> discard;
+  for (const auto& sh : shards_) {
+    sh->drain(discard);
+    sh->reset_dropped();
+  }
+  events_.clear();
+  overflow_dropped_ = 0;
+}
+
 void TraceBuffer::write_chrome_trace(std::ostream& os) const {
   const auto events = snapshot();
+  const std::size_t dropped_spans = dropped();
+  std::map<u32, std::string> names;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    names = thread_names_;
+  }
+
   os << "{\"traceEvents\":[";
   bool first = true;
-  char buf[160];
-  for (const auto& ev : events) {
+  const auto sep = [&] {
     if (!first) os << ",";
     first = false;
-    // chrome wants microseconds; keep ns precision as fractional us.
-    std::snprintf(buf, sizeof buf,
-                  "\"ph\":\"X\",\"ts\":%" PRIu64 ".%03u,\"dur\":%" PRIu64
-                  ".%03u,\"pid\":1,\"tid\":%u",
-                  ev.start_ns / 1000, unsigned(ev.start_ns % 1000),
-                  ev.dur_ns / 1000, unsigned(ev.dur_ns % 1000), ev.tid);
+  };
+  char buf[224];
+  for (const auto& ev : events) {
+    sep();
+    if (ev.trace_id == 0) {
+      // chrome wants microseconds; keep ns precision as fractional us.
+      std::snprintf(buf, sizeof buf,
+                    "\"ph\":\"X\",\"ts\":%" PRIu64 ".%03u,\"dur\":%" PRIu64
+                    ".%03u,\"pid\":1,\"tid\":%u",
+                    ev.start_ns / 1000, unsigned(ev.start_ns % 1000),
+                    ev.dur_ns / 1000, unsigned(ev.dur_ns % 1000), ev.tid);
+    } else {
+      // Request lane: tid is the trace id, span ancestry goes in args.
+      std::snprintf(buf, sizeof buf,
+                    "\"ph\":\"X\",\"ts\":%" PRIu64 ".%03u,\"dur\":%" PRIu64
+                    ".%03u,\"pid\":2,\"tid\":%" PRIu64
+                    ",\"args\":{\"trace_id\":%" PRIu64 ",\"span_id\":%" PRIu64
+                    ",\"parent_span_id\":%" PRIu64 "}",
+                    ev.start_ns / 1000, unsigned(ev.start_ns % 1000),
+                    ev.dur_ns / 1000, unsigned(ev.dur_ns % 1000), ev.trace_id,
+                    ev.trace_id, ev.span_id, ev.parent_span);
+    }
     os << "{\"name\":\"" << json::escape(ev.name) << "\"," << buf << "}";
   }
+  // Metadata: process/thread labels and the dropped-span count, so a
+  // truncated trace is visibly truncated instead of silently partial.
+  sep();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+        "\"args\":{\"name\":\"nga\"}}";
+  sep();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+        "\"args\":{\"name\":\"nga.requests\"}}";
+  for (const auto& [tid, name] : names) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << json::escape(name) << "\"}}";
+  }
+  sep();
+  os << "{\"name\":\"nga_trace_dropped\",\"ph\":\"M\",\"pid\":1,"
+        "\"args\":{\"dropped_spans\":"
+     << dropped_spans << "}}";
   os << "],\"displayTimeUnit\":\"ns\"}\n";
 }
 

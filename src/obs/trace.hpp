@@ -1,11 +1,31 @@
-// Span trace buffer with a chrome://tracing ("trace_event" JSON)
-// exporter. TimedSection (timer.hpp) records one complete span per
-// scope; nesting falls out of the chrome "X" (complete) event model —
-// the viewer stacks overlapping spans of one thread by time inclusion.
+// Span tracing with a chrome://tracing ("trace_event" JSON) exporter.
+//
+// Two kinds of spans:
+//   * thread-scoped (trace_id == 0): TimedSection (timer.hpp) records
+//     one complete span per scope; nesting falls out of the chrome "X"
+//     (complete) event model — the viewer stacks overlapping spans of
+//     one thread lane by time inclusion. Exported under pid 1 on the
+//     recording thread's lane.
+//   * request-scoped (trace_id != 0): a TraceContext allocated at
+//     admission propagates through a request's whole lifetime (queue
+//     wait, batch coalescing, every exec attempt, retry backoff,
+//     failover, reply). Exported under pid 2 with tid == trace_id, so
+//     chrome://tracing shows ONE stacked timeline per request, with
+//     span/parent ids in the event args.
+//
+// Recording is sharded: each thread owns a fixed-size SPSC ring
+// (producer: the owning thread; consumer: whoever drains, serialized by
+// the buffer mutex), so the hot path is two relaxed/acquire loads, a
+// slot write, and a release store — no lock, no allocation beyond the
+// span name itself. Rings overflow into a per-shard dropped counter
+// (reported in both export formats) rather than blocking or growing.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -26,6 +46,9 @@ struct TraceEvent {
   u64 start_ns = 0;
   u64 dur_ns = 0;
   u32 tid = 0;
+  u64 trace_id = 0;     ///< request-scoped when nonzero
+  u64 span_id = 0;      ///< unique per span within a trace
+  u64 parent_span = 0;  ///< 0 = root span of its trace
 };
 
 /// Small sequential id per thread — chrome's tid field wants something
@@ -36,13 +59,77 @@ inline u32 this_thread_trace_id() {
   return id;
 }
 
-/// Process-wide bounded span buffer. Appends are mutex-guarded: spans
-/// close at most once per timed scope, so contention is negligible
-/// compared to the work being timed.
+/// Request-scoped trace identity, allocated at admission (start_trace)
+/// and carried by value through the serving pipeline. A non-sampled
+/// context is inert: record_span() on it is a no-op, so the sampling
+/// decision is made once per request, not once per span.
+struct TraceContext {
+  u64 trace_id = 0;
+  u64 root_span = 0;  ///< pre-allocated id the reply span closes with
+  bool sampled = false;
+  explicit operator bool() const { return sampled; }
+};
+
+/// Fresh process-unique span id (never 0).
+u64 next_span_id();
+
+/// Allocate a trace context. @p sample_rate in [0,1] is the probability
+/// the request is traced end-to-end (head sampling: whole timelines or
+/// nothing, so sampled traces are always complete). Rates <= 0 skip the
+/// RNG draw entirely — the "sampling off" fast path is two relaxed
+/// atomic increments and a bool store.
+TraceContext start_trace(double sample_rate);
+
+/// One thread's span ring. SPSC: only the owning thread pushes, only
+/// one drainer (under the TraceBuffer mutex) pops.
+class TraceShard {
+ public:
+  static constexpr std::size_t kCapacity = 2048;  // power of two
+
+  explicit TraceShard(u32 tid) : tid_(tid) {}
+
+  /// Producer side (owning thread only).
+  void push(TraceEvent ev) {
+    const u64 h = head_.load(std::memory_order_relaxed);
+    if (h - tail_.load(std::memory_order_acquire) >= kCapacity) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ring_[h % kCapacity] = std::move(ev);
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  /// Consumer side (serialized by the owning TraceBuffer).
+  void drain(std::vector<TraceEvent>& out) {
+    const u64 h = head_.load(std::memory_order_acquire);
+    u64 t = tail_.load(std::memory_order_relaxed);
+    for (; t != h; ++t) out.push_back(std::move(ring_[t % kCapacity]));
+    tail_.store(t, std::memory_order_release);
+  }
+
+  u64 dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  /// Consumer side; an increment racing the reset may be lost, which is
+  /// the documented clear() semantics.
+  void reset_dropped() { dropped_.store(0, std::memory_order_relaxed); }
+  u32 tid() const { return tid_; }
+
+ private:
+  std::array<TraceEvent, kCapacity> ring_;
+  std::atomic<u64> head_{0};  ///< written by the producer
+  std::atomic<u64> tail_{0};  ///< written by the drainer
+  std::atomic<u64> dropped_{0};
+  const u32 tid_;
+};
+
+/// Process-wide span store: per-thread SPSC ring shards, drained into a
+/// bounded retained vector by the snapshot/export path. record() never
+/// takes the mutex; shard registration (once per thread) and draining
+/// do. Shards live for the process lifetime, so a drain can always
+/// collect spans from threads that have since exited.
 class TraceBuffer {
  public:
-  /// Hard cap on retained spans; beyond it events are counted as
-  /// dropped rather than growing without bound.
+  /// Hard cap on retained (drained) spans; beyond it events are counted
+  /// as dropped rather than growing without bound.
   static constexpr std::size_t kMaxEvents = 1 << 20;
 
   static TraceBuffer& instance() {
@@ -50,49 +137,63 @@ class TraceBuffer {
     return b;
   }
 
-  void record(TraceEvent ev) {
-    std::lock_guard<std::mutex> lk(m_);
-    if (events_.size() >= kMaxEvents) {
-      ++dropped_;
-      return;
-    }
-    events_.push_back(std::move(ev));
+  /// Record one completed span into the calling thread's shard.
+  void record(TraceEvent ev) { shard().push(std::move(ev)); }
+
+  /// Record a request-scoped span; no-op when @p ctx is not sampled.
+  void record_span(const TraceContext& ctx, std::string name, u64 start_ns,
+                   u64 dur_ns, u64 parent_span, u64 span_id = 0) {
+    if (!ctx.sampled) return;
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.start_ns = start_ns;
+    ev.dur_ns = dur_ns;
+    ev.tid = this_thread_trace_id();
+    ev.trace_id = ctx.trace_id;
+    ev.span_id = span_id ? span_id : next_span_id();
+    ev.parent_span = parent_span;
+    record(std::move(ev));
   }
 
-  std::vector<TraceEvent> snapshot() const {
-    std::lock_guard<std::mutex> lk(m_);
-    return events_;
-  }
+  /// Label the calling thread's lane in the chrome export (emitted as a
+  /// thread_name metadata event).
+  void set_thread_name(std::string name);
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lk(m_);
-    return events_.size();
-  }
+  /// Drain every shard and return all retained spans. Per-shard record
+  /// order is preserved (single-threaded runs see exact record order);
+  /// cross-shard interleaving is by shard registration order.
+  std::vector<TraceEvent> snapshot() const;
 
-  std::size_t dropped() const {
-    std::lock_guard<std::mutex> lk(m_);
-    return dropped_;
-  }
+  std::size_t size() const;
 
-  void clear() {
-    std::lock_guard<std::mutex> lk(m_);
-    events_.clear();
-    dropped_ = 0;
-  }
+  /// Spans lost to ring overflow or the retained cap, total.
+  std::size_t dropped() const;
+
+  /// Drop all retained and in-flight spans and zero the dropped count.
+  /// Spans recorded concurrently with clear() may survive it.
+  void clear();
 
   /// Emit the buffer as a chrome://tracing JSON document:
   /// {"traceEvents":[{"name":...,"ph":"X","ts":us,"dur":us,
-  ///                  "pid":1,"tid":...}, ...]}.
-  /// Timestamps convert to the microseconds chrome expects, keeping
-  /// fractional-ns precision as a decimal.
+  ///                  "pid":...,"tid":...}, ...]}.
+  /// Thread-scoped spans land on pid 1 (one lane per thread, named by
+  /// set_thread_name); request-scoped spans land on pid 2 with
+  /// tid == trace_id (one lane per sampled request) and carry
+  /// trace/span/parent ids in args. Metadata events name the two
+  /// processes, the labelled threads, and report the dropped-span count.
   void write_chrome_trace(std::ostream& os) const;
 
  private:
   TraceBuffer() = default;
 
+  TraceShard& shard();
+  void drain_locked() const;  ///< caller holds m_
+
   mutable std::mutex m_;
-  std::vector<TraceEvent> events_;
-  std::size_t dropped_ = 0;
+  mutable std::vector<std::unique_ptr<TraceShard>> shards_;
+  mutable std::vector<TraceEvent> events_;   ///< drained + retained
+  mutable std::size_t overflow_dropped_ = 0; ///< lost to the retained cap
+  std::map<u32, std::string> thread_names_;
 };
 
 }  // namespace nga::obs

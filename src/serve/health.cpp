@@ -10,38 +10,58 @@ HealthTracker::HealthTracker(HealthConfig cfg) : cfg_(cfg) {
   if (cfg_.min_samples == 0) cfg_.min_samples = 1;
   ok_.assign(cfg_.window, true);
   lat_ms_.assign(cfg_.window, 0.0);
+  numeric_.assign(cfg_.window, 0.0);
 }
 
-bool HealthTracker::record(bool ok, double latency_ms) {
+bool HealthTracker::record(bool ok, double latency_ms, double numeric_rate) {
+  if (!(numeric_rate >= 0.0)) numeric_rate = 0.0;  // scrub NaN/negatives
   std::lock_guard<std::mutex> lk(m_);
   const bool full = count_ >= cfg_.window;
-  if (full && !ok_[next_]) --errors_in_window_;
+  if (full) {
+    if (!ok_[next_]) --errors_in_window_;
+    numeric_sum_in_window_ -= numeric_[next_];
+  }
   ok_[next_] = ok;
   lat_ms_[next_] = latency_ms;
+  numeric_[next_] = numeric_rate;
   if (!ok) ++errors_in_window_;
+  numeric_sum_in_window_ += numeric_rate;
   next_ = (next_ + 1) % cfg_.window;
   if (!full) ++count_;
 
   const std::size_t n = std::min(count_, cfg_.window);
   if (n >= cfg_.min_samples) {
     const double err = double(errors_in_window_) / double(n);
-    if (!degraded_ && err >= cfg_.degrade_error_rate) degraded_ = true;
-    else if (degraded_ && err <= cfg_.recover_error_rate) degraded_ = false;
+    if (!error_degraded_ && err >= cfg_.degrade_error_rate)
+      error_degraded_ = true;
+    else if (error_degraded_ && err <= cfg_.recover_error_rate)
+      error_degraded_ = false;
+
+    if (cfg_.degrade_numeric_rate > 0.0) {
+      const double num = numeric_sum_in_window_ / double(n);
+      if (!numeric_degraded_ && num >= cfg_.degrade_numeric_rate)
+        numeric_degraded_ = true;
+      else if (numeric_degraded_ && num <= cfg_.recover_numeric_rate)
+        numeric_degraded_ = false;
+    }
   }
-  return degraded_;
+  return error_degraded_ || numeric_degraded_;
 }
 
 bool HealthTracker::degraded() const {
   std::lock_guard<std::mutex> lk(m_);
-  return degraded_;
+  return error_degraded_ || numeric_degraded_;
 }
 
 HealthTracker::Snapshot HealthTracker::snapshot() const {
   std::lock_guard<std::mutex> lk(m_);
   Snapshot s;
   s.samples = std::min(count_, cfg_.window);
+  s.error_degraded = error_degraded_;
+  s.numeric_degraded = numeric_degraded_;
   if (s.samples == 0) return s;
   s.error_rate = double(errors_in_window_) / double(s.samples);
+  s.numeric_rate = numeric_sum_in_window_ / double(s.samples);
   std::vector<double> lat(lat_ms_.begin(),
                           lat_ms_.begin() + long(s.samples));
   const std::size_t k =

@@ -37,6 +37,17 @@ struct HealthConfig {
   std::size_t min_samples = 16;  ///< no judgement before this many
   double degrade_error_rate = 0.10;  ///< enter Degraded at/above
   double recover_error_rate = 0.02;  ///< back to Serving at/below
+
+  /// Numeric-health channel: each batch attempt also carries a numeric
+  /// error rate (bad arithmetic events — NaR, saturation, fault
+  /// detections — per MAC executed; see Server's numeric-health
+  /// aggregation). The windowed MEAN of that rate drives a second
+  /// degrade/recover pair with its own hysteresis, so sustained numeric
+  /// degradation flips Serving -> Degraded even while every request
+  /// still succeeds. 0 disables the channel (the default keeps the
+  /// request-failure-only behaviour of PR 3).
+  double degrade_numeric_rate = 0.0;  ///< enter Degraded at/above
+  double recover_numeric_rate = 0.0;  ///< back to Serving at/below
 };
 
 /// Sliding window of recent batch-attempt outcomes; shared by all
@@ -45,9 +56,10 @@ class HealthTracker {
  public:
   explicit HealthTracker(HealthConfig cfg);
 
-  /// Record one batch attempt (ok = not transiently failed) and its
-  /// wall latency; returns the degraded verdict after this sample.
-  bool record(bool ok, double latency_ms);
+  /// Record one batch attempt (ok = not transiently failed), its wall
+  /// latency, and its numeric error rate; returns the degraded verdict
+  /// after this sample. The verdict is the OR of the two channels.
+  bool record(bool ok, double latency_ms, double numeric_rate = 0.0);
 
   bool degraded() const;
 
@@ -55,6 +67,9 @@ class HealthTracker {
     std::size_t samples = 0;  ///< window fill (<= cfg.window)
     double error_rate = 0.0;
     double latency_p99_ms = 0.0;  ///< of the current window
+    double numeric_rate = 0.0;    ///< window mean numeric error rate
+    bool error_degraded = false;
+    bool numeric_degraded = false;
   };
   Snapshot snapshot() const;
 
@@ -63,10 +78,13 @@ class HealthTracker {
   mutable std::mutex m_;
   std::vector<bool> ok_;
   std::vector<double> lat_ms_;
+  std::vector<double> numeric_;
   std::size_t next_ = 0;   ///< ring cursor
   std::size_t count_ = 0;  ///< total recorded (saturates window fill)
   std::size_t errors_in_window_ = 0;
-  bool degraded_ = false;
+  double numeric_sum_in_window_ = 0.0;
+  bool error_degraded_ = false;
+  bool numeric_degraded_ = false;
 };
 
 }  // namespace nga::serve

@@ -43,11 +43,16 @@ class BoundedQueue {
   /// drained (then returns false: no work will ever come again). Once
   /// the first item is in hand, waits up to @p linger for the batch to
   /// fill, then moves up to @p max_n items into @p out.
+  /// @p first_at (optional) receives the instant the first item was in
+  /// hand — the boundary between a request's queue-wait and the batch
+  /// coalescing (linger) it then waits through.
   bool pop_batch(std::size_t max_n, std::chrono::microseconds linger,
-                 std::vector<T>& out) {
+                 std::vector<T>& out,
+                 std::chrono::steady_clock::time_point* first_at = nullptr) {
     std::unique_lock<std::mutex> lk(m_);
     cv_.wait(lk, [&] { return !q_.empty() || closed_; });
     if (q_.empty()) return false;
+    if (first_at) *first_at = std::chrono::steady_clock::now();
     if (linger.count() > 0 && q_.size() < max_n && !closed_)
       cv_.wait_for(lk, linger, [&] { return q_.size() >= max_n || closed_; });
     const std::size_t n = std::min(max_n ? max_n : 1, q_.size());

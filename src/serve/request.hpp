@@ -14,6 +14,7 @@
 #include <string_view>
 
 #include "nn/tensor.hpp"
+#include "obs/trace.hpp"
 #include "util/bits.hpp"
 
 namespace nga::serve {
@@ -66,6 +67,10 @@ struct Response {
   int predicted = -1;     ///< argmax class when served
   int attempts = 0;       ///< batch executions this request rode in
   double latency_ms = 0;  ///< submit -> completion wall time
+  /// Trace id of this request's sampled timeline (0 = not sampled):
+  /// the tid of its lane under the "nga.requests" process in the
+  /// chrome-trace export.
+  u64 trace_id = 0;
 };
 
 /// One admitted in-flight request (internal to Server and its queue).
@@ -75,6 +80,7 @@ struct Request {
   nn::Tensor x;
   Clock::time_point submit_time{};
   Clock::time_point deadline{};
+  obs::TraceContext trace;  ///< request-scoped trace identity
   std::promise<Response> promise;
 };
 

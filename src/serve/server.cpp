@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <stdexcept>
+#include <string>
 
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
@@ -25,6 +28,32 @@ obs::ValueSeries& s(const char* name) {
 
 double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+// Steady-clock time point -> the process-relative ns epoch the trace
+// buffer uses (obs::now_ns reads the same clock).
+util::u64 to_ns(Clock::time_point t) {
+  return util::u64(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       t.time_since_epoch())
+                       .count());
+}
+
+// Record one child span of a sampled request's timeline.
+void span(const obs::TraceContext& ctx, const char* name,
+          Clock::time_point from, Clock::time_point to) {
+  if (!ctx.sampled || to < from) return;
+  obs::TraceBuffer::instance().record_span(ctx, name, to_ns(from),
+                                           to_ns(to) - to_ns(from),
+                                           ctx.root_span);
+}
+
+// Per-batch numeric error rate: bad arithmetic events per MAC. With
+// NGA_OBS=0 the MAC counter is elided (macs == 0) and the rate
+// degenerates to the raw fault-detection count — still monotone in
+// badness, just unnormalized; thresholds are configured per build.
+double numeric_rate_of(const nn::LayerHealthCounters& d) {
+  const util::u64 bad = d.nar + d.saturation + d.fault_detected;
+  return double(bad) / double(d.macs ? d.macs : 1);
 }
 
 int argmax(const nn::Tensor& t) {
@@ -95,6 +124,7 @@ std::future<Response> Server::submit(nn::Tensor x, Clock::time_point deadline) {
   rq.x = std::move(x);
   rq.submit_time = t0;
   rq.deadline = deadline;
+  rq.trace = obs::start_trace(cfg_.trace_sample_rate);
   auto fut = rq.promise.get_future();
 
   if (!accepting_.load(std::memory_order_acquire)) {
@@ -135,8 +165,18 @@ std::future<Response> Server::submit(nn::Tensor x, Clock::time_point deadline) {
 }
 
 void Server::finish(Request& rq, Response r) {
+  const auto now = Clock::now();
   r.id = rq.id;
-  r.latency_ms = ms_between(rq.submit_time, Clock::now());
+  r.latency_ms = ms_between(rq.submit_time, now);
+  if (rq.trace.sampled) {
+    r.trace_id = rq.trace.trace_id;
+    // Root span: the whole submit -> resolution lifetime, closed with
+    // the pre-allocated root id so the child spans' parent resolves.
+    obs::TraceBuffer::instance().record_span(
+        rq.trace, std::string("request.") + std::string(outcome_name(r.outcome)),
+        to_ns(rq.submit_time), to_ns(now) - to_ns(rq.submit_time),
+        /*parent_span=*/0, rq.trace.root_span);
+  }
   switch (r.outcome) {
     case Outcome::kServed:
       served_.fetch_add(1, std::memory_order_relaxed);
@@ -156,23 +196,30 @@ void Server::finish(Request& rq, Response r) {
 }
 
 void Server::worker_main(int worker_id) {
+  obs::TraceBuffer::instance().set_thread_name(
+      "serve.worker." + std::to_string(worker_id));
   auto model = cfg_.model_factory();
   std::unique_ptr<nn::ResilienceGuard> guard;
   if (cfg_.use_guard)
     guard = std::make_unique<nn::ResilienceGuard>(cfg_.exact_fallback);
   DecorrelatedBackoff backoff(cfg_.backoff,
                               mix(cfg_.seed ^ mix(util::u64(worker_id) + 1)));
+  nn::LayerHealthRecorder health_rec;
   std::vector<Request> batch;
-  while (queue_.pop_batch(cfg_.max_batch, cfg_.batch_linger, batch)) {
+  Clock::time_point first_at;
+  while (queue_.pop_batch(cfg_.max_batch, cfg_.batch_linger, batch,
+                          &first_at)) {
     g("serve.queue.depth").set(double(queue_.size()));
-    process_batch(*model, guard.get(), backoff, batch);
+    process_batch(*model, guard.get(), backoff, health_rec, batch, first_at);
     batch.clear();
   }
 }
 
 void Server::process_batch(nn::Model& model, nn::ResilienceGuard* guard,
                            DecorrelatedBackoff& backoff,
-                           std::vector<Request>& batch) {
+                           nn::LayerHealthRecorder& health_rec,
+                           std::vector<Request>& batch,
+                           Clock::time_point first_at) {
   // Shed before batching: a request whose deadline already passed must
   // not burn model time.
   std::vector<Request> live;
@@ -187,7 +234,26 @@ void Server::process_batch(nn::Model& model, nn::ResilienceGuard* guard,
   if (live.empty()) return;
   s("serve.batch_size").add(double(live.size()));
 
+  // Stage attribution: queue_wait ends when the first batch item was in
+  // the worker's hand; everything from there to dispatch (linger, the
+  // shedding scan, marshalling) is batch coalescing.
+  const auto dispatch_at = Clock::now();
+  auto& queue_wait_s = s("serve.stage.queue_wait_ms");
+  auto& batch_fill_s = s("serve.stage.batch_fill_ms");
+  auto& exec_s = s("serve.stage.exec_ms");
+  auto& backoff_s = s("serve.stage.retry_backoff_ms");
+  for (const auto& rq : live) {
+    // A request admitted during the linger window never queued: its
+    // wait is zero and its fill stage starts at its own submit.
+    const auto wait_end = std::max(rq.submit_time, first_at);
+    queue_wait_s.add(ms_between(rq.submit_time, wait_end));
+    batch_fill_s.add(ms_between(wait_end, dispatch_at));
+    span(rq.trace, "queue_wait", rq.submit_time, wait_end);
+    span(rq.trace, "batch_fill", wait_end, dispatch_at);
+  }
+
   int attempt = 0;
+  util::u64 failovers = 0;
   for (;;) {
     ++attempt;
     batches_.fetch_add(1, std::memory_order_relaxed);
@@ -195,11 +261,17 @@ void Server::process_batch(nn::Model& model, nn::ResilienceGuard* guard,
 
     const bool failover = cfg_.retry_exact_failover && cfg_.exact_fallback &&
                           attempt > 1 && attempt == cfg_.max_attempts;
+    if (failover) {
+      ++failovers;
+      c("serve.failovers").inc();
+    }
     nn::Exec ex;
     ex.mode = cfg_.mode;
     ex.mul = failover ? cfg_.exact_fallback : cfg_.mul;
     ex.guard = guard;
+    ex.health = &health_rec;
 
+    const nn::LayerHealthCounters health0 = health_rec.total();
     const util::u64 det0 = fault::Injector::thread_detected();
     const util::u64 trip0 = guard ? guard->report().trips : 0;
     const util::u64 rec0 = guard ? guard->report().recovered_layers : 0;
@@ -210,10 +282,16 @@ void Server::process_batch(nn::Model& model, nn::ResilienceGuard* guard,
 
     std::vector<nn::Tensor> ys;
     double exec_ms = 0;
+    const auto exec_from = Clock::now();
     {
       obs::ScopedTimer t("serve.exec");
       ys = model.forward_batch(xs, ex);
       exec_ms = double(t.elapsed_ns()) * 1e-6;
+    }
+    const auto exec_to = Clock::now();
+    for (const auto& rq : live) {
+      exec_s.add(exec_ms);
+      span(rq.trace, failover ? "exec.failover" : "exec", exec_from, exec_to);
     }
 
     // Transient-failure signal: this worker's own fault detections
@@ -232,10 +310,22 @@ void Server::process_batch(nn::Model& model, nn::ResilienceGuard* guard,
         suspect = false;  // layer-level recovery already fixed the batch
     }
 
-    maybe_update_state(health_.record(!suspect, exec_ms));
+    // Numeric-health channel: this attempt's bad-events-per-MAC rate
+    // rides into the health window alongside the pass/fail verdict.
+    nn::LayerHealthCounters hdelta = health_rec.total();
+    hdelta.nar -= health0.nar;
+    hdelta.saturation -= health0.saturation;
+    hdelta.fault_detected -= health0.fault_detected;
+    hdelta.requant_clips -= health0.requant_clips;
+    hdelta.macs -= health0.macs;
+    const double numeric_rate = numeric_rate_of(hdelta);
+    s("serve.numeric.batch_rate").add(numeric_rate);
+
+    maybe_update_state(health_.record(!suspect, exec_ms, numeric_rate));
 
     if (!suspect) {
       backoff.reset();
+      merge_numeric(health_rec, attempt, failovers);
       now = Clock::now();
       for (std::size_t i = 0; i < live.size(); ++i) {
         Response r;
@@ -254,6 +344,7 @@ void Server::process_batch(nn::Model& model, nn::ResilienceGuard* guard,
 
     c("serve.suspect_batches").inc();
     if (attempt >= cfg_.max_attempts) {
+      merge_numeric(health_rec, attempt, failovers);
       for (auto& rq : live) {
         Response r;
         r.outcome = Outcome::kRejected;
@@ -266,9 +357,15 @@ void Server::process_batch(nn::Model& model, nn::ResilienceGuard* guard,
 
     retries_.fetch_add(1, std::memory_order_relaxed);
     c("serve.retries").inc();
+    const auto backoff_from = Clock::now();
     {
       obs::ScopedTimer t("serve.backoff");
       std::this_thread::sleep_for(backoff.next());
+    }
+    const auto backoff_to = Clock::now();
+    for (const auto& rq : live) {
+      backoff_s.add(ms_between(backoff_from, backoff_to));
+      span(rq.trace, "retry_backoff", backoff_from, backoff_to);
     }
     // Shed whoever expired during the backoff before burning another
     // attempt on them.
@@ -282,8 +379,46 @@ void Server::process_batch(nn::Model& model, nn::ResilienceGuard* guard,
         still.push_back(std::move(rq));
     }
     live = std::move(still);
-    if (live.empty()) return;
+    if (live.empty()) {
+      merge_numeric(health_rec, attempt, failovers);
+      return;
+    }
   }
+}
+
+void Server::merge_numeric(nn::LayerHealthRecorder& rec, int attempts,
+                           util::u64 failovers) {
+  auto& reg = obs::MetricsRegistry::instance();
+  {
+    std::lock_guard<std::mutex> lk(numeric_m_);
+    const auto& layers = rec.layers();
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      if (i >= numeric_.layers.size())
+        numeric_.layers.push_back({layers[i].first, {}});
+      numeric_.layers[i].counts += layers[i].second;
+    }
+    numeric_.failovers += failovers;
+    numeric_.batches += util::u64(attempts);
+  }
+  // Mirror per-layer counts into registry counters so the bench JSON
+  // and the text exposition carry the per-layer breakdown. Registry
+  // lookups are warm-path cheap (once per batch, not per MAC).
+  for (const auto& [name, d] : rec.layers()) {
+    const std::string base = "serve.layer." + name;
+    if (d.nar) reg.counter(base + ".nar").inc(d.nar);
+    if (d.saturation) reg.counter(base + ".saturation").inc(d.saturation);
+    if (d.fault_detected)
+      reg.counter(base + ".fault_detected").inc(d.fault_detected);
+    if (d.requant_clips)
+      reg.counter(base + ".requant_clips").inc(d.requant_clips);
+    if (d.macs) reg.counter(base + ".macs").inc(d.macs);
+  }
+  rec.reset();
+}
+
+Server::NumericHealth Server::numeric_health() const {
+  std::lock_guard<std::mutex> lk(numeric_m_);
+  return numeric_;
 }
 
 void Server::maybe_update_state(bool degraded_now) {
@@ -310,6 +445,14 @@ void Server::drain() {
   drained_.store(true);
   state_.store(State::kStopped, std::memory_order_release);
   g("serve.state").set(double(State::kStopped));
+  if (!cfg_.exposition_path.empty()) {
+    std::ofstream os(cfg_.exposition_path);
+    if (os)
+      obs::write_text_exposition(os);
+    else
+      std::fprintf(stderr, "serve: cannot write exposition to '%s'\n",
+                   cfg_.exposition_path.c_str());
+  }
 }
 
 Server::Stats Server::stats() const {

@@ -27,9 +27,27 @@
 //     point by construction (every Request's promise resolves exactly
 //     once through one choke point).
 //
-// Observability: obs counters serve.submitted/served/rejected/shed/
-// retries/batches, the serve.queue.depth gauge, serve.latency_ms and
-// serve.batch_size series, and serve.exec/serve.backoff sections.
+// Observability (v2): obs counters serve.submitted/served/rejected/
+// shed/retries/batches/failovers, the serve.queue.depth gauge,
+// serve.latency_ms and serve.batch_size series, serve.exec/
+// serve.backoff sections, and
+//   * per-stage latency series serve.stage.{queue_wait,batch_fill,
+//     exec,retry_backoff}_ms — one sample per request per stage, so
+//     the bench JSON carries a full latency breakdown;
+//   * request-scoped tracing: every submit allocates a TraceContext
+//     (sampled at trace_sample_rate); sampled requests emit
+//     queue_wait / batch_fill / exec / exec.failover / retry_backoff
+//     spans plus a root request.<outcome> span, all on one lane per
+//     request in the chrome-trace export (obs/trace.hpp);
+//   * the numeric-health channel: each worker attributes NaR/
+//     saturation/fault-detection/requant-clip counts per layer
+//     (nn/health.hpp), the server aggregates them across workers
+//     (numeric_health(), serve.layer.* counters) and feeds the
+//     per-batch bad-events-per-MAC rate into HealthTracker, where it
+//     can drive Serving <-> Degraded independently of request
+//     failures (HealthConfig::degrade_numeric_rate);
+//   * on drain, a Prometheus-style text exposition of the whole
+//     registry is written to exposition_path when configured.
 #pragma once
 
 #include <atomic>
@@ -40,6 +58,7 @@
 #include <thread>
 #include <vector>
 
+#include "nn/health.hpp"
 #include "nn/model.hpp"
 #include "nn/resilience.hpp"
 #include "serve/backoff.hpp"
@@ -79,6 +98,15 @@ struct ServerConfig {
   util::u64 seed = 1;  ///< decorrelates the per-worker backoff jitter
 
   HealthConfig health;
+
+  /// Fraction of requests traced end-to-end (head sampling at submit;
+  /// see obs::start_trace). 0 disables request-scoped span recording —
+  /// the stage-latency series and numeric-health channel stay on.
+  double trace_sample_rate = 0.0;
+
+  /// When non-empty, drain() writes a Prometheus-style text exposition
+  /// of the metrics registry (obs::write_text_exposition) to this path.
+  std::string exposition_path;
 
   /// Builds one model replica per worker (trained weights restored,
   /// calibration done). Required.
@@ -122,13 +150,39 @@ class Server {
   };
   Stats stats() const;
 
+  /// Aggregated numeric-health accounting across all workers since
+  /// start(): per-layer event counts (forward order, keyed
+  /// "<index>.<layer name>") plus failover and batch totals. Mirrored
+  /// into serve.layer.* / serve.failovers registry counters, so it also
+  /// lands in the nga-bench-v1 JSON and the text exposition.
+  struct NumericHealth {
+    struct Layer {
+      std::string name;
+      nn::LayerHealthCounters counts;
+    };
+    std::vector<Layer> layers;
+    util::u64 failovers = 0;  ///< exec attempts run on the exact table
+    util::u64 batches = 0;    ///< batch attempts merged in
+    nn::LayerHealthCounters total() const {
+      nn::LayerHealthCounters t;
+      for (const auto& l : layers) t += l.counts;
+      return t;
+    }
+  };
+  NumericHealth numeric_health() const;
+
   std::size_t queue_depth() const { return queue_.size(); }
 
  private:
   void worker_main(int worker_id);
   void process_batch(nn::Model& model, nn::ResilienceGuard* guard,
                      DecorrelatedBackoff& backoff,
-                     std::vector<Request>& batch);
+                     nn::LayerHealthRecorder& health_rec,
+                     std::vector<Request>& batch, Clock::time_point first_at);
+  /// Fold one batch's per-layer health deltas into numeric_ and the
+  /// serve.layer.* counters, then window-reset the recorder.
+  void merge_numeric(nn::LayerHealthRecorder& rec, int attempts,
+                     util::u64 failovers);
   /// The single accounting choke point: resolves the promise and bumps
   /// exactly one of served/rejected/shed.
   void finish(Request& rq, Response r);
@@ -144,6 +198,8 @@ class Server {
   std::atomic<u64> next_id_{1};
   std::atomic<u64> submitted_{0}, served_{0}, rejected_{0}, shed_{0},
       retries_{0}, batches_{0};
+  mutable std::mutex numeric_m_;
+  NumericHealth numeric_;
   std::mutex drain_m_;
 };
 

@@ -1,0 +1,94 @@
+// LayerHealthRecorder: per-layer attribution of the numeric-health
+// counters across a Model::forward with Exec::health set.
+#include "nn/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/model.hpp"
+#include "obs/obs.hpp"
+
+namespace nga::nn {
+namespace {
+
+Model make_model() {
+  util::Xoshiro256 rng(11);
+  Model m("health-test");
+  m.add(std::make_unique<Dense>(3 * 4 * 4, 8, rng));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Dense>(8, 4, rng));
+  return m;
+}
+
+Tensor make_input() {
+  Tensor x(3, 4, 4);
+  util::Xoshiro256 rng(13);
+  for (auto& v : x.v) v = std::fabs(float(rng.normal())) * 0.3f;
+  return x;
+}
+
+TEST(LayerHealth, LayersTrackForwardTopologyInOrder) {
+  Model m = make_model();
+  const Tensor x = make_input();
+  Exec fl;
+  fl.calibrate = true;
+  (void)m.forward(x, fl);
+
+  MulTable exact;
+  LayerHealthRecorder rec;
+  Exec q;
+  q.mode = Mode::kQuantExact;
+  q.mul = &exact;
+  q.health = &rec;
+  (void)m.forward(x, q);
+
+  ASSERT_EQ(rec.layers().size(), 3u);
+  EXPECT_EQ(rec.layers()[0].first, "0.dense");
+  EXPECT_EQ(rec.layers()[1].first, "1.relu");
+  EXPECT_EQ(rec.layers()[2].first, "2.dense");
+}
+
+#if NGA_OBS
+TEST(LayerHealth, QuantMacsAttributeToTheLayersThatRanThem) {
+  Model m = make_model();
+  const Tensor x = make_input();
+  Exec fl;
+  fl.calibrate = true;
+  (void)m.forward(x, fl);
+
+  MulTable exact;
+  LayerHealthRecorder rec;
+  Exec q;
+  q.mode = Mode::kQuantExact;
+  q.mul = &exact;
+  q.health = &rec;
+  (void)m.forward(x, q);
+
+  // Dense(48->8) runs 48*8 MACs, Dense(8->4) runs 8*4; ReLU runs none.
+  EXPECT_EQ(rec.layers()[0].second.macs, 48u * 8u);
+  EXPECT_EQ(rec.layers()[1].second.macs, 0u);
+  EXPECT_EQ(rec.layers()[2].second.macs, 8u * 4u);
+  EXPECT_EQ(rec.total().macs, 48u * 8u + 8u * 4u);
+
+  // A second forward accumulates into the same slots; reset() zeroes
+  // the counts but keeps the topology.
+  (void)m.forward(x, q);
+  EXPECT_EQ(rec.total().macs, 2u * (48u * 8u + 8u * 4u));
+  rec.reset();
+  EXPECT_EQ(rec.layers().size(), 3u);
+  EXPECT_EQ(rec.total().macs, 0u);
+}
+#endif  // NGA_OBS
+
+TEST(LayerHealth, NullHealthPointerIsANoOp) {
+  Model m = make_model();
+  const Tensor x = make_input();
+  Exec fl;
+  fl.calibrate = true;
+  (void)m.forward(x, fl);  // Exec::health defaults to nullptr
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace nga::nn

@@ -1,0 +1,90 @@
+// Regression tests for JSON string escaping in the trace export: span
+// and thread names with quotes, backslashes, control characters, and
+// non-ASCII UTF-8 must survive the chrome-trace writer and come back
+// byte-identical through the obs JSON parser.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace nga::obs {
+namespace {
+
+const std::vector<std::string>& nasty_names() {
+  static const std::vector<std::string> names = {
+      "plain",
+      "with \"double quotes\"",
+      "back\\slash and \\\" mix",
+      "tab\there\nnewline\rreturn",
+      "control \x01\x02\x1f chars",
+      "non-ascii: émigré Größe Δt λ→∞ 小数",  // UTF-8 passes through raw
+      "emoji \xF0\x9F\x94\xA5 done",
+      "trailing backslash \\",
+  };
+  return names;
+}
+
+TEST(Escaping, ChromeTraceRoundTripsNastySpanNames) {
+  auto& buf = TraceBuffer::instance();
+  buf.clear();
+  for (std::size_t i = 0; i < nasty_names().size(); ++i) {
+    TraceEvent ev;
+    ev.name = nasty_names()[i];
+    ev.start_ns = i * 1000;
+    ev.dur_ns = 10;
+    buf.record(std::move(ev));
+  }
+
+  std::ostringstream os;
+  buf.write_chrome_trace(os);
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(os.str(), v, &err)) << err << "\n" << os.str();
+
+  std::vector<std::string> decoded;
+  for (const auto& ev : v["traceEvents"].array)
+    if (ev["ph"].str == "X") decoded.push_back(ev["name"].str);
+  ASSERT_EQ(decoded.size(), nasty_names().size());
+  for (std::size_t i = 0; i < decoded.size(); ++i)
+    EXPECT_EQ(decoded[i], nasty_names()[i]) << "name " << i;
+  buf.clear();
+}
+
+TEST(Escaping, ThreadNameMetadataRoundTripsNastyNames) {
+  auto& buf = TraceBuffer::instance();
+  buf.clear();
+  const std::string name = "worker \"Δ\" \\ tab\t火";
+  buf.set_thread_name(name);
+  { TimedSection s("escape.thread"); }
+
+  std::ostringstream os;
+  buf.write_chrome_trace(os);
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(os.str(), v, &err)) << err;
+
+  bool found = false;
+  for (const auto& ev : v["traceEvents"].array)
+    if (ev["ph"].str == "M" && ev["name"].str == "thread_name" &&
+        ev["args"]["name"].str == name)
+      found = true;
+  EXPECT_TRUE(found);
+  buf.clear();
+  buf.set_thread_name("");  // un-label the test thread for later tests
+}
+
+TEST(Escaping, EscapeEncodesControlCharsParserDecodesThem) {
+  for (const auto& s : nasty_names()) {
+    const std::string doc = "{\"k\":\"" + json::escape(s) + "\"}";
+    json::Value v;
+    std::string err;
+    ASSERT_TRUE(json::parse(doc, v, &err)) << err << "\n" << doc;
+    EXPECT_EQ(v["k"].str, s);
+  }
+}
+
+}  // namespace
+}  // namespace nga::obs

@@ -1,0 +1,75 @@
+// Prometheus-style text exposition (obs/exposition.hpp): metric name
+// sanitization, TYPE lines, and one family per registry entry kind.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace nga::obs {
+namespace {
+
+TEST(Exposition, NameSanitizationKeepsLegalCharsOnly) {
+  EXPECT_EQ(exposition_name("serve.latency_ms"), "nga_serve_latency_ms");
+  EXPECT_EQ(exposition_name("posit.nar"), "nga_posit_nar");
+  EXPECT_EQ(exposition_name("a-b c/d"), "nga_a_b_c_d");
+  EXPECT_EQ(exposition_name("colon:ok_9"), "nga_colon:ok_9");
+  EXPECT_EQ(exposition_name(""), "nga_");
+}
+
+TEST(Exposition, EmitsTypedFamiliesForEveryRegistryKind) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  reg.counter("expo.test.hits").inc(42);
+  reg.gauge("expo.test.depth").set(2.5);
+  auto& series = reg.series("expo.test.lat_ms");
+  series.add(1.0);
+  series.add(3.0);
+
+  std::ostringstream os;
+  write_text_exposition(os);
+  const std::string text = os.str();
+
+  EXPECT_NE(text.find("# TYPE nga_expo_test_hits_total counter\n"
+                      "nga_expo_test_hits_total 42\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE nga_expo_test_depth gauge\n"
+                      "nga_expo_test_depth 2.5\n"),
+            std::string::npos)
+      << text;
+  for (const char* suffix : {"_count", "_mean", "_stddev", "_min", "_max"})
+    EXPECT_NE(text.find("nga_expo_test_lat_ms" + std::string(suffix) + " "),
+              std::string::npos)
+        << suffix << "\n" << text;
+  EXPECT_NE(text.find("nga_expo_test_lat_ms_mean 2\n"), std::string::npos)
+      << text;
+  reg.reset();
+}
+
+TEST(Exposition, EveryMetricLineFollowsItsTypeLine) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  reg.counter("expo.pairing").inc();
+  std::ostringstream os;
+  write_text_exposition(os);
+
+  std::istringstream is(os.str());
+  std::string line, pending_metric;
+  while (std::getline(is, line)) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      EXPECT_TRUE(pending_metric.empty()) << "TYPE without sample: " << line;
+      pending_metric = line.substr(7, line.find(' ', 7) - 7);
+    } else {
+      ASSERT_FALSE(pending_metric.empty()) << "sample without TYPE: " << line;
+      EXPECT_EQ(line.rfind(pending_metric + " ", 0), 0u) << line;
+      pending_metric.clear();
+    }
+  }
+  EXPECT_TRUE(pending_metric.empty());
+  reg.reset();
+}
+
+}  // namespace
+}  // namespace nga::obs

@@ -181,18 +181,103 @@ TEST(Trace, ChromeTraceIsWellFormedJson) {
   std::string err;
   ASSERT_TRUE(json::parse(os.str(), v, &err)) << err << "\n" << os.str();
   ASSERT_TRUE(v["traceEvents"].is_array());
-  ASSERT_EQ(v["traceEvents"].array.size(), 2u);
+
+  // Complete ("X") spans carry the recorded events; metadata ("M")
+  // events label the processes/threads and report the dropped count.
+  std::vector<const json::Value*> spans;
+  bool saw_dropped_meta = false;
   for (const auto& ev : v["traceEvents"].array) {
-    EXPECT_EQ(ev["ph"].str, "X");
-    EXPECT_TRUE(ev["ts"].is_number());
-    EXPECT_TRUE(ev["dur"].is_number());
-    EXPECT_GE(ev["dur"].number, 0.0);
-    EXPECT_DOUBLE_EQ(ev["pid"].number, 1.0);
-    EXPECT_TRUE(ev["tid"].is_number());
-    EXPECT_FALSE(ev["name"].str.empty());
+    if (ev["ph"].str == "X") {
+      spans.push_back(&ev);
+      EXPECT_TRUE(ev["ts"].is_number());
+      EXPECT_TRUE(ev["dur"].is_number());
+      EXPECT_GE(ev["dur"].number, 0.0);
+      EXPECT_DOUBLE_EQ(ev["pid"].number, 1.0);
+      EXPECT_TRUE(ev["tid"].is_number());
+      EXPECT_FALSE(ev["name"].str.empty());
+    } else {
+      EXPECT_EQ(ev["ph"].str, "M");
+      if (ev["name"].str == "nga_trace_dropped") {
+        saw_dropped_meta = true;
+        EXPECT_DOUBLE_EQ(ev["args"]["dropped_spans"].number, 0.0);
+      }
+    }
   }
-  EXPECT_EQ(v["traceEvents"].array[0].object.at("name").str,
-            "trace \"quoted\" name");
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0]->object.at("name").str, "trace \"quoted\" name");
+  EXPECT_TRUE(saw_dropped_meta);
+}
+
+TEST(Trace, RequestSpansExportOnPerRequestLanesWithAncestry) {
+  auto& buf = TraceBuffer::instance();
+  buf.clear();
+
+  const TraceContext ctx = start_trace(1.0);
+  ASSERT_TRUE(ctx.sampled);
+  ASSERT_NE(ctx.trace_id, 0u);
+  ASSERT_NE(ctx.root_span, 0u);
+  buf.record_span(ctx, "queue_wait", 1000, 500, ctx.root_span);
+  buf.record_span(ctx, "request.served", 1000, 2000, 0, ctx.root_span);
+
+  std::ostringstream os;
+  buf.write_chrome_trace(os);
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(os.str(), v, &err)) << err << "\n" << os.str();
+
+  const json::Value* child = nullptr;
+  const json::Value* root = nullptr;
+  for (const auto& ev : v["traceEvents"].array) {
+    if (ev["ph"].str != "X") continue;
+    if (ev["name"].str == "queue_wait") child = &ev;
+    if (ev["name"].str == "request.served") root = &ev;
+  }
+  ASSERT_NE(child, nullptr);
+  ASSERT_NE(root, nullptr);
+  for (const json::Value* ev : {child, root}) {
+    EXPECT_DOUBLE_EQ((*ev)["pid"].number, 2.0);  // the requests process
+    EXPECT_DOUBLE_EQ((*ev)["tid"].number, double(ctx.trace_id));
+    EXPECT_DOUBLE_EQ((*ev)["args"]["trace_id"].number, double(ctx.trace_id));
+  }
+  EXPECT_DOUBLE_EQ((*root)["args"]["span_id"].number, double(ctx.root_span));
+  EXPECT_DOUBLE_EQ((*root)["args"]["parent_span_id"].number, 0.0);
+  EXPECT_DOUBLE_EQ((*child)["args"]["parent_span_id"].number,
+                   double(ctx.root_span));
+}
+
+TEST(Trace, ThreadNameMetadataLabelsTheLane) {
+  auto& buf = TraceBuffer::instance();
+  buf.clear();
+  buf.set_thread_name("unit.test.thread");
+  { TimedSection a("trace.named"); }
+
+  std::ostringstream os;
+  buf.write_chrome_trace(os);
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(os.str(), v, &err)) << err;
+
+  bool found = false;
+  for (const auto& ev : v["traceEvents"].array) {
+    if (ev["ph"].str == "M" && ev["name"].str == "thread_name" &&
+        ev["args"]["name"].str == "unit.test.thread") {
+      found = true;
+      EXPECT_DOUBLE_EQ(ev["tid"].number, double(this_thread_trace_id()));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Trace, SamplingRateZeroAndOneAreDeterministic) {
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(start_trace(0.0).sampled);
+    EXPECT_TRUE(start_trace(1.0).sampled);
+  }
+  // Unsampled contexts are inert: record_span is a no-op.
+  auto& buf = TraceBuffer::instance();
+  buf.clear();
+  buf.record_span(start_trace(0.0), "never", 0, 1, 0);
+  EXPECT_EQ(buf.size(), 0u);
 }
 
 // -- metrics export ----------------------------------------------------

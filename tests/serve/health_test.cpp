@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace nga::serve {
 namespace {
 
@@ -44,6 +46,73 @@ TEST(Health, SnapshotReportsWindowStats) {
   EXPECT_NEAR(s.error_rate, 2.0 / 8.0, 1e-12);
   EXPECT_GE(s.latency_p99_ms, 7.0);  // p99 of {1..8} is the top sample
   EXPECT_LE(s.latency_p99_ms, 8.0);
+}
+
+// -- numeric-health channel --------------------------------------------
+
+HealthConfig numeric_window() {
+  HealthConfig cfg = small_window();
+  cfg.degrade_numeric_rate = 0.10;  // windowed-mean bad-events-per-MAC
+  cfg.recover_numeric_rate = 0.02;
+  return cfg;
+}
+
+TEST(Health, NumericChannelDisabledByDefault) {
+  HealthTracker h(small_window());  // degrade_numeric_rate == 0
+  for (int i = 0; i < 10; ++i) h.record(true, 1.0, /*numeric_rate=*/0.9);
+  EXPECT_FALSE(h.degraded());  // requests all succeed; channel is off
+  EXPECT_FALSE(h.snapshot().numeric_degraded);
+  EXPECT_NEAR(h.snapshot().numeric_rate, 0.9, 1e-12);  // still reported
+}
+
+TEST(Health, SustainedNumericRateDegradesEvenWhenEveryRequestSucceeds) {
+  HealthTracker h(numeric_window());
+  for (int i = 0; i < 10; ++i) h.record(true, 1.0, 0.01);
+  EXPECT_FALSE(h.degraded());
+
+  // Sustained numeric degradation with ok batches: window mean climbs
+  // past degrade_numeric_rate while the error channel stays clean.
+  for (int i = 0; i < 10; ++i) h.record(true, 1.0, 0.25);
+  EXPECT_TRUE(h.degraded());
+  const auto s = h.snapshot();
+  EXPECT_TRUE(s.numeric_degraded);
+  EXPECT_FALSE(s.error_degraded);
+  EXPECT_NEAR(s.numeric_rate, 0.25, 1e-12);
+}
+
+TEST(Health, NumericChannelRecoversWithItsOwnHysteresis) {
+  HealthTracker h(numeric_window());
+  for (int i = 0; i < 10; ++i) h.record(true, 1.0, 0.25);
+  ASSERT_TRUE(h.degraded());
+
+  // Dropping below the degrade threshold is not recovery: the mean must
+  // fall to <= recover_numeric_rate (0.02) before Serving resumes.
+  for (int i = 0; i < 10; ++i) h.record(true, 1.0, 0.05);
+  EXPECT_TRUE(h.degraded()) << "mean 0.05 is inside the hysteresis band";
+  for (int i = 0; i < 10; ++i) h.record(true, 1.0, 0.0);
+  EXPECT_FALSE(h.degraded());
+}
+
+TEST(Health, VerdictIsTheOrOfBothChannels) {
+  HealthTracker h(numeric_window());
+  for (int i = 0; i < 10; ++i) h.record(true, 1.0, 0.25);
+  ASSERT_TRUE(h.snapshot().numeric_degraded);
+
+  // Clear the numeric channel but fail requests: still degraded, now on
+  // the error channel alone.
+  for (int i = 0; i < 10; ++i) h.record(false, 1.0, 0.0);
+  const auto s = h.snapshot();
+  EXPECT_TRUE(s.error_degraded);
+  EXPECT_FALSE(s.numeric_degraded);
+  EXPECT_TRUE(h.degraded());
+}
+
+TEST(Health, NegativeOrNanNumericRatesAreScrubbedToZero) {
+  HealthTracker h(numeric_window());
+  for (int i = 0; i < 10; ++i)
+    h.record(true, 1.0, i % 2 ? -1.0 : std::nan(""));
+  EXPECT_FALSE(h.degraded());
+  EXPECT_NEAR(h.snapshot().numeric_rate, 0.0, 1e-12);
 }
 
 TEST(Health, StateNamesAreStable) {

@@ -9,12 +9,18 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "approx/multipliers.hpp"
 #include "fault/fault.hpp"
 #include "nn/layers.hpp"
+#include "obs/obs.hpp"
 
 namespace nga::serve {
 namespace {
@@ -250,6 +256,136 @@ TEST(Server, DrainInvariantUnderSaturatingConcurrentLoad) {
   EXPECT_EQ(srv.state(), State::kStopped);
 }
 
+// -- observability v2: tracing, numeric health, exposition -------------
+
+// Spans recorded for one trace id, by name.
+std::map<std::string, obs::TraceEvent> spans_of(u64 trace_id) {
+  std::map<std::string, obs::TraceEvent> out;
+  for (auto& ev : obs::TraceBuffer::instance().snapshot())
+    if (ev.trace_id == trace_id) out[ev.name] = ev;
+  return out;
+}
+
+TEST(Server, SampledRequestsShareOneTraceWithStageAncestry) {
+  obs::TraceBuffer::instance().clear();
+  auto cfg = float_config();
+  cfg.trace_sample_rate = 1.0;  // trace every request
+  Server srv(cfg);
+  srv.start();
+  auto r = srv.submit(make_input(0), milliseconds(2000)).get();
+  ASSERT_EQ(r.outcome, Outcome::kServed);
+  EXPECT_NE(r.trace_id, 0u) << "sampled requests expose their trace id";
+  srv.drain();
+
+  const auto spans = spans_of(r.trace_id);
+  ASSERT_TRUE(spans.count("request.served")) << "root span closes at reply";
+  ASSERT_TRUE(spans.count("queue_wait"));
+  ASSERT_TRUE(spans.count("batch_fill"));
+  ASSERT_TRUE(spans.count("exec"));
+
+  // One stacked timeline: every stage is a child of the request root.
+  const auto& root = spans.at("request.served");
+  EXPECT_EQ(root.parent_span, 0u);
+  EXPECT_NE(root.span_id, 0u);
+  for (const char* stage : {"queue_wait", "batch_fill", "exec"}) {
+    const auto& sp = spans.at(stage);
+    EXPECT_EQ(sp.parent_span, root.span_id) << stage;
+    EXPECT_EQ(sp.trace_id, r.trace_id) << stage;
+  }
+  // Stage spans nest inside the root's [start, start+dur] envelope.
+  EXPECT_GE(spans.at("queue_wait").start_ns, root.start_ns);
+  EXPECT_LE(spans.at("exec").start_ns + spans.at("exec").dur_ns,
+            root.start_ns + root.dur_ns + 1'000'000 /*1ms clock slack*/);
+  obs::TraceBuffer::instance().clear();
+}
+
+TEST(Server, UnsampledRequestsRecordNoSpans) {
+  obs::TraceBuffer::instance().clear();
+  Server srv(float_config());  // trace_sample_rate defaults to 0
+  srv.start();
+  auto r = srv.submit(make_input(0), milliseconds(2000)).get();
+  ASSERT_EQ(r.outcome, Outcome::kServed);
+  EXPECT_EQ(r.trace_id, 0u);
+  srv.drain();
+  for (const auto& ev : obs::TraceBuffer::instance().snapshot())
+    EXPECT_EQ(ev.trace_id, 0u) << ev.name;
+  obs::TraceBuffer::instance().clear();
+}
+
+TEST(Server, DrainWritesTextExpositionWhenConfigured) {
+  const std::string path = ::testing::TempDir() + "nga_serve_expo.prom";
+  auto cfg = float_config();
+  cfg.exposition_path = path;
+  Server srv(cfg);
+  srv.start();
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(srv.submit(make_input(i), milliseconds(2000)).get().outcome,
+              Outcome::kServed);
+  srv.drain();
+
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good()) << path;
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string text = ss.str();
+#if NGA_OBS
+  EXPECT_NE(text.find("nga_serve_submitted_total"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE"), std::string::npos);
+#else
+  // With instrumentation compiled out, the file still exists (possibly
+  // sparse) — the exposition path itself must not depend on NGA_OBS.
+  (void)text;
+#endif
+  std::remove(path.c_str());
+}
+
+TEST(Server, NumericHealthAggregatesPerLayerAcrossWorkers) {
+  const auto mults = ax::table2_multipliers();
+  const nn::MulTable approx(*mults.front());
+
+  auto cfg = float_config();
+  cfg.mode = nn::Mode::kQuantApprox;  // the quant path counts MACs
+  cfg.mul = &approx;
+  Server srv(cfg);
+  srv.start();
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(srv.submit(make_input(i), milliseconds(2000)).get().outcome,
+              Outcome::kServed);
+  srv.drain();
+
+  const auto nh = srv.numeric_health();
+  EXPECT_GT(nh.batches, 0u);
+  ASSERT_EQ(nh.layers.size(), 1u) << "one Dense layer in the test model";
+  EXPECT_EQ(nh.layers[0].name, "0.dense");
+#if NGA_OBS
+  EXPECT_GT(nh.total().macs, 0u)
+      << "every quant MAC lands in the per-layer attribution";
+  EXPECT_GT(nh.layers[0].counts.macs, 0u);
+#endif
+}
+
+#if NGA_OBS
+TEST(Server, StageLatencySeriesPopulatePerRequest) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.reset();
+  Server srv(float_config());
+  srv.start();
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(srv.submit(make_input(i), milliseconds(2000)).get().outcome,
+              Outcome::kServed);
+  srv.drain();
+
+  const auto series = reg.series_snapshot();
+  for (const char* key :
+       {"serve.stage.queue_wait_ms", "serve.stage.batch_fill_ms",
+        "serve.stage.exec_ms"}) {
+    ASSERT_TRUE(series.count(key)) << key;
+    EXPECT_EQ(series.at(key).count, 8u) << key << ": one sample/request";
+    EXPECT_GE(series.at(key).min, 0.0) << key;
+  }
+}
+#endif  // NGA_OBS
+
 #if NGA_FAULT
 
 std::unique_ptr<nn::Model> make_quant_model() { return make_float_model(); }
@@ -369,6 +505,68 @@ TEST(Server, GuardRecoveryCountsAsCleanAttempt) {
   const auto st = srv.stats();
   EXPECT_EQ(st.served, 20u);
   expect_invariant(st);
+}
+
+TEST(Server, RetryTimelineCarriesBackoffAndFailoverSpans) {
+  const auto mults = ax::table2_multipliers();
+  const nn::MulTable approx(*mults.front());
+  const nn::MulTable exact;
+
+  fault::FaultPlan plan;
+  plan.inject(fault::Site::kNnMul, fault::Model::kBitFlip, 0.25);
+  fault::Injector::instance().arm(plan, 4321);
+  obs::TraceBuffer::instance().clear();
+
+  auto cfg = float_config();
+  cfg.workers = 1;
+  cfg.queue_capacity = 64;
+  cfg.mode = nn::Mode::kQuantApprox;
+  cfg.mul = &approx;
+  cfg.exact_fallback = &exact;
+  cfg.max_attempts = 3;
+  cfg.retry_exact_failover = true;
+  cfg.backoff.base = microseconds(50);
+  cfg.backoff.cap = microseconds(500);
+  cfg.trace_sample_rate = 1.0;
+  cfg.model_factory = make_quant_model;
+
+  Server srv(cfg);
+  srv.start();
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 40; ++i)
+    futs.push_back(srv.submit(make_input(i), milliseconds(5000)));
+  for (auto& f : futs) ASSERT_EQ(f.get().outcome, Outcome::kServed);
+  srv.drain();
+  fault::Injector::instance().disarm();
+
+  // The numeric-health channel saw the injected faults, and the final
+  // attempts that ran on the exact table were counted as failovers.
+  const auto nh = srv.numeric_health();
+  EXPECT_GT(nh.total().fault_detected, 0u);
+  EXPECT_GT(nh.failovers, 0u);
+
+  // At least one request's sampled timeline shows the full
+  // retry-with-failover story: exec -> retry_backoff -> exec.failover,
+  // all children of that request's root span.
+  bool found_failover_timeline = false;
+  std::map<u64, std::map<std::string, obs::TraceEvent>> by_trace;
+  for (auto& ev : obs::TraceBuffer::instance().snapshot())
+    if (ev.trace_id != 0) by_trace[ev.trace_id][ev.name] = ev;
+  for (const auto& [tid, spans] : by_trace) {
+    if (!spans.count("exec.failover")) continue;
+    ASSERT_TRUE(spans.count("retry_backoff")) << "trace " << tid;
+    ASSERT_TRUE(spans.count("request.served")) << "trace " << tid;
+    const u64 root = spans.at("request.served").span_id;
+    EXPECT_EQ(spans.at("exec.failover").parent_span, root);
+    EXPECT_EQ(spans.at("retry_backoff").parent_span, root);
+    EXPECT_GE(spans.at("exec.failover").start_ns,
+              spans.at("retry_backoff").start_ns);
+    found_failover_timeline = true;
+  }
+  EXPECT_TRUE(found_failover_timeline)
+      << "a 25% fault rate over 40 requests must drive at least one "
+         "request through backoff into exact failover";
+  obs::TraceBuffer::instance().clear();
 }
 
 #endif  // NGA_FAULT

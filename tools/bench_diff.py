@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Compare a fresh `bench --json` output against a committed BENCH_*.json.
+
+The committed files are full-run snapshots on some past machine; a fresh
+run (often --quick, on different hardware) can never match them value for
+value. What MUST hold regardless of machine or run size:
+
+  * the nga-bench-v1 schema and the bench name;
+  * key-family coverage — every metric family present in the committed
+    snapshot still exists in the fresh run. Families are keys with
+    run-size tokens normalized (soak.rate_0p0200.* and soak.rate_0p0050.*
+    are one family, soak.rate_*.*), so a --quick run that sweeps fewer
+    rates still covers the family. A vanished family means an
+    instrumentation regression: a renamed counter, a dropped gauge, a
+    stage that stopped reporting;
+  * claim floors — committed success_rate-style gauges that held a >=99%
+    floor must still hold it fresh (the robustness claim, which IS
+    machine-independent), and committed invariant-ish gauges stay
+    present.
+
+Values of counters, wall times, and latency gauges are reported for the
+human but never gated: they are run-size and machine dependent.
+
+Exit codes: 0 comparable, 1 regression (missing families / broken
+floors), 2 usage or unreadable input.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# Run-size dependent key tokens, normalized into one family each.
+_NORMALIZERS = [
+    (re.compile(r"rate_[0-9]+p[0-9]+"), "rate_*"),
+    (re.compile(r"\blayer\.[0-9]+\."), "layer.*."),
+]
+
+# Gauge families whose committed floor is a machine-independent claim.
+_FLOOR_SUFFIXES = ("success_rate",)
+_FLOOR = 0.99
+
+# Sparse families: per-layer health counters are only mirrored when an
+# event actually fired, so individual signals (nar on layer 3, ...) come
+# and go with the run's fault dice. Checked as a group, not per key.
+_SPARSE = re.compile(r"serve\.layer\.")
+
+
+def family(key: str) -> str:
+    for rx, repl in _NORMALIZERS:
+        key = rx.sub(repl, key)
+    return key
+
+
+def families(d: dict) -> dict:
+    """Map family -> list of (key, value) instances."""
+    out = {}
+    for k, v in d.items():
+        out.setdefault(family(k), []).append((k, v))
+    return out
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path) as f:
+            d = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if d.get("schema") != "nga-bench-v1":
+        print(f"bench_diff: {path}: unexpected schema {d.get('schema')!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    return d
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("committed", help="committed BENCH_*.json snapshot")
+    ap.add_argument("fresh", help="fresh bench --json output")
+    ap.add_argument("--allow-missing", action="append", default=[],
+                    help="family regex exempt from the coverage check "
+                         "(e.g. a section gated off in this build)")
+    args = ap.parse_args()
+
+    base, fresh = load(args.committed), load(args.fresh)
+    failures = []
+
+    if base["bench"] != fresh["bench"]:
+        failures.append(
+            f"bench name: committed {base['bench']!r} vs fresh "
+            f"{fresh['bench']!r}")
+
+    exempt = [re.compile(p) for p in args.allow_missing]
+    new_families = []
+    for section in ("counters", "gauges", "metrics", "wall_ns"):
+        bfam = families(base.get(section, {}))
+        ffam = families(fresh.get(section, {}))
+        sparse_missing = []
+        for fam in sorted(bfam):
+            if fam in ffam:
+                continue
+            if any(rx.search(fam) for rx in exempt):
+                print(f"  [exempt] {section}: {fam}")
+                continue
+            if _SPARSE.search(fam):
+                sparse_missing.append(fam)
+                continue
+            failures.append(f"{section}: family vanished: {fam}")
+        # Sparse group check: SOME per-layer attribution must survive.
+        if sparse_missing and not any(_SPARSE.search(f) for f in ffam):
+            failures.append(
+                f"{section}: every sparse family vanished "
+                f"({len(sparse_missing)} committed, e.g. {sparse_missing[0]})")
+        elif sparse_missing:
+            for fam in sparse_missing:
+                print(f"  [sparse]  {section}: {fam} (absent this run)")
+        new_families += [f"{section}: {f}" for f in sorted(set(ffam) - set(bfam))]
+
+    # The additive trace key (recorded/dropped spans) must not regress
+    # away once committed.
+    if "trace" in base and "trace" not in fresh:
+        failures.append("trace: committed snapshot has the trace key, "
+                        "fresh run does not")
+
+    # Claim floors: a committed >=99% success-rate family must still
+    # clear the floor in the fresh run, for every instance swept.
+    bg, fg = families(base.get("gauges", {})), families(fresh.get("gauges", {}))
+    for fam, binst in sorted(bg.items()):
+        if not fam.endswith(_FLOOR_SUFFIXES):
+            continue
+        if fam not in fg:
+            continue  # already reported by the coverage check
+        if min(v for _, v in binst) < _FLOOR:
+            continue  # the committed run made no floor claim here
+        for key, v in fg[fam]:
+            if v < _FLOOR:
+                failures.append(
+                    f"floor broken: {key} = {v:.4f} < {_FLOOR} "
+                    f"(committed family {fam} held it)")
+
+    print(f"bench_diff: {args.committed} vs {args.fresh}")
+    print(f"  committed: {sum(len(base.get(s, {})) for s in ('counters', 'gauges', 'metrics'))} metrics"
+          f", fresh: {sum(len(fresh.get(s, {})) for s in ('counters', 'gauges', 'metrics'))}")
+    for nf in new_families:
+        print(f"  [new]     {nf}")
+    if failures:
+        print(f"  {len(failures)} regression(s):")
+        for f in failures:
+            print(f"    FAIL {f}")
+        return 1
+    print("  coverage and claim floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
