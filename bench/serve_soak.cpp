@@ -10,11 +10,21 @@
 //   * retries enabled (backoff + exact-table failover on the final
 //     attempt): the server's robustness machinery at work.
 //
+// A second, harsher scenario then runs the nga::guard story: a sticky
+// bit-flip plan makes ONE replica persistently bad, after which
+// hang(1200ms) injection wedges workers mid-batch — once with
+// supervision (watchdog + per-replica breakers) and once without, retry
+// and failover identical in both.
+//
 // Asserted claims (NGA_FAULT builds):
 //   * with retries, soak success rate (served / submitted) >= 99%;
 //   * the no-retry baseline is measurably worse (>= 5 points lower);
 //   * p99 latency of served requests stays within the declared
 //     deadline;
+//   * chaos: the supervised run holds the 99% floor, detects the hangs
+//     and replaces the hung workers, trips the sticky replica's breaker
+//     (batches quarantined onto the exact table); the unsupervised run
+//     misses the floor by >= 5 points;
 //   * after drain(): served + rejected + shed == submitted, always —
 //     the zero-silent-drops invariant (checked in every build mode).
 //
@@ -69,6 +79,16 @@ struct SoakResult {
   double nar_rate = 0.0, sat_rate = 0.0, fault_rate = 0.0;
   util::u64 failovers = 0, macs = 0;
   double health_numeric_rate = 0.0;  ///< HealthTracker window mean at end
+};
+
+/// One guard-on/guard-off chaos soak run (sticky-bad replica + hangs).
+struct ChaosOutcome {
+  bool guard = false;
+  Server::Stats stats;
+  Server::GuardStats gs;
+  double success = 0.0;
+  double p99_ms = 0.0;
+  bool invariant_ok = false;
 };
 
 constexpr const char* kStageKeys[] = {
@@ -256,6 +276,115 @@ int nga_bench_main(int argc, char** argv) {
     }
   }
 
+#if NGA_FAULT
+  // ---- chaos: one sticky-bad replica + injected hangs, guard on/off --
+  //
+  // Two phases against one server: first the nn.mul sticky bit-flip
+  // plan latches ONE worker replica as persistently bad (0.35 flips/MAC
+  // on the victim, background 1e-6 everywhere else) — with guard on,
+  // its circuit breaker must trip and quarantine it onto the exact
+  // table. Then hang(1200ms) injection at nn.exec joins in — with
+  // guard on, the watchdog must cancel and replace hung workers, the
+  // cut-short batch riding back in via bounded redelivery. Guard off
+  // runs the identical chaos (retry + failover still on, so the delta
+  // is attributable to supervision alone): 1.2 s uninterruptible stalls
+  // against a sub-second deadline, which demonstrably misses the floor.
+  std::vector<ChaosOutcome> chaos;
+  const double chaos_deadline_ms = smoke ? 5000.0 : 600.0;
+  const int chaos_bursts_per_phase = quick ? 8 : 15;
+  {
+    obs::TimedSection t("soak.chaos");
+    for (const bool guard_on : {true, false}) {
+      fault::FaultPlan sticky;
+      sticky.inject(fault::Site::kNnMul, fault::Model::kBitFlip, 1e-6);
+      sticky.with_sticky(fault::Site::kNnMul, 0.35);
+      fault::FaultPlan hangs = sticky;
+      hangs.inject(fault::Site::kNnExec, fault::Model::kHang, 0.04);
+      hangs.with_delay(fault::Site::kNnExec, 1200.0);
+
+      ServerConfig cfg;
+      cfg.workers = 3;
+      cfg.queue_capacity = 128;
+      cfg.max_batch = 4;  // smaller batches: more breaker verdicts
+      cfg.batch_linger = std::chrono::microseconds(300);
+      cfg.in_c = 1;
+      cfg.in_h = kT;
+      cfg.in_w = kMel;
+      cfg.mode = Mode::kQuantApprox;
+      cfg.mul = &approx;
+      cfg.exact_fallback = &exact;
+      cfg.max_attempts = 2;
+      cfg.retry_exact_failover = true;
+      cfg.backoff.base = std::chrono::microseconds(100);
+      cfg.backoff.cap = std::chrono::microseconds(2000);
+      cfg.seed = 42;
+      cfg.model_factory = factory;
+      cfg.trace_sample_rate = sample_rate;
+      cfg.health.degrade_numeric_rate = 0.05;
+      cfg.health.recover_numeric_rate = 0.01;
+      cfg.supervision.supervise = guard_on;
+      cfg.supervision.watchdog.check_interval = std::chrono::milliseconds(20);
+      // Absolute hang threshold: a healthy batch runs in the tens of
+      // milliseconds, a hang stalls 1200 — detection must not scale
+      // with the smoke-relaxed deadline.
+      cfg.supervision.watchdog.max_exec = std::chrono::milliseconds(120);
+      cfg.supervision.watchdog.max_redeliveries = 3;
+      cfg.supervision.breaker.window = 8;
+      cfg.supervision.breaker.min_samples = 2;
+      cfg.supervision.breaker.trip_failure_rate = 0.5;
+      cfg.supervision.breaker.cooldown = std::chrono::milliseconds(200);
+      cfg.supervision.breaker.max_probe_failures = 2;
+      cfg.supervision.probe_samples = 4;
+
+      Server srv(cfg);
+      srv.start();
+
+      std::vector<std::future<Response>> futs;
+      futs.reserve(std::size_t(burst) * 2 * std::size_t(chaos_bursts_per_phase));
+      int cursor = 0;
+      const auto pump_phase = [&] {
+        for (int b = 0; b < chaos_bursts_per_phase; ++b) {
+          for (int i = 0; i < burst; ++i) {
+            const Sample& s = test_set[std::size_t(cursor)];
+            cursor = (cursor + 1) % int(test_set.size());
+            futs.push_back(srv.submit(
+                s.x, std::chrono::microseconds(
+                         long(chaos_deadline_ms * 1000.0))));
+          }
+          std::this_thread::sleep_for(burst_gap);
+        }
+      };
+      fault::Injector::instance().arm(sticky, 2024);  // phase 1: bad replica
+      pump_phase();
+      fault::Injector::instance().arm(hangs, 2024);   // phase 2: + hangs
+      pump_phase();
+
+      ChaosOutcome c;
+      c.guard = guard_on;
+      std::vector<double> lat;
+      std::size_t served = 0;
+      for (auto& f : futs) {
+        const Response resp = f.get();
+        if (resp.outcome == Outcome::kServed) {
+          ++served;
+          lat.push_back(resp.latency_ms);
+        }
+      }
+      c.gs = srv.guard_stats();
+      srv.drain();
+      fault::Injector::instance().disarm();
+
+      c.stats = srv.stats();
+      c.success = double(served) / double(c.stats.submitted);
+      c.p99_ms = p99(std::move(lat));
+      c.invariant_ok = c.stats.served + c.stats.rejected + c.stats.shed ==
+                       c.stats.submitted;
+      invariants_ok = invariants_ok && c.invariant_ok;
+      chaos.push_back(c);
+    }
+  }
+#endif  // NGA_FAULT
+
   util::Table t({"rate", "retry", "submitted", "served", "rejected", "shed",
                  "retries", "success [%]", "acc [%]", "p99 [ms]",
                  "invariant"});
@@ -317,6 +446,49 @@ int nga_bench_main(int argc, char** argv) {
                 util::cell(r.nar_rate, 6), util::cell(r.sat_rate, 6),
                 std::to_string(r.failovers)});
   t2.print(std::cout);
+
+#if NGA_FAULT
+  std::printf("\n-- chaos: sticky-bad replica + hang(1200ms) injection, "
+              "supervision on vs off --\n");
+  util::Table t3({"guard", "submitted", "served", "success [%]", "p99 [ms]",
+                  "hangs", "replaced", "requeued", "trips", "quarantined",
+                  "probes", "reinstated", "retired", "invariant"});
+  for (const auto& c : chaos) {
+    t3.add_row({c.guard ? "on" : "off", std::to_string(c.stats.submitted),
+                std::to_string(c.stats.served), util::cell(100 * c.success, 2),
+                util::cell(c.p99_ms, 2), std::to_string(c.gs.hangs_detected),
+                std::to_string(c.gs.workers_replaced),
+                std::to_string(c.gs.requeues),
+                std::to_string(c.gs.breaker_trips),
+                std::to_string(c.gs.quarantined_batches),
+                std::to_string(c.gs.breaker_probes),
+                std::to_string(c.gs.breaker_reinstated),
+                std::to_string(c.gs.breaker_retired),
+                c.invariant_ok ? "ok" : "VIOLATED"});
+
+    const std::string p =
+        std::string("soak.chaos.") + (c.guard ? "guard" : "noguard");
+    reg.gauge(p + ".success_rate").set(c.success);
+    reg.gauge(p + ".p99_ms").set(c.p99_ms);
+    reg.gauge(p + ".served").set(double(c.stats.served));
+    reg.gauge(p + ".rejected").set(double(c.stats.rejected));
+    reg.gauge(p + ".shed").set(double(c.stats.shed));
+    reg.gauge(p + ".retries").set(double(c.stats.retries));
+    reg.gauge(p + ".hangs_detected").set(double(c.gs.hangs_detected));
+    reg.gauge(p + ".workers_replaced").set(double(c.gs.workers_replaced));
+    reg.gauge(p + ".requeues").set(double(c.gs.requeues));
+    reg.gauge(p + ".redelivery_rejects").set(double(c.gs.redelivery_rejects));
+    reg.gauge(p + ".breaker_trips").set(double(c.gs.breaker_trips));
+    reg.gauge(p + ".quarantined_batches")
+        .set(double(c.gs.quarantined_batches));
+    reg.gauge(p + ".breaker_probes").set(double(c.gs.breaker_probes));
+    reg.gauge(p + ".breaker_reinstated").set(double(c.gs.breaker_reinstated));
+    reg.gauge(p + ".breaker_retired").set(double(c.gs.breaker_retired));
+  }
+  reg.gauge("soak.chaos.deadline_ms").set(chaos_deadline_ms);
+  t3.print(std::cout);
+#endif  // NGA_FAULT
+
   if (sample_rate > 0.0)
     std::printf("\ntracing %.1f%% of requests end-to-end; pass "
                 "--trace <path> to export the chrome://tracing JSON\n",
@@ -356,6 +528,32 @@ int nga_bench_main(int argc, char** argv) {
                 with_retry->p99_ms, deadline_ms, slo ? "ok" : "FAIL");
     ok = ok && floor && gap && slo;
   }
+  // Chaos claims: the supervised server rides out the sticky replica
+  // AND the hangs; unsupervised, the identical chaos misses the floor.
+  const ChaosOutcome* with_guard = nullptr;
+  const ChaosOutcome* no_guard = nullptr;
+  for (const auto& c : chaos) (c.guard ? with_guard : no_guard) = &c;
+  {
+    const bool floor = with_guard->success >= 0.99;
+    const bool gap = with_guard->success - no_guard->success >= 0.05;
+    const bool hung = with_guard->gs.hangs_detected >= 1 &&
+                      with_guard->gs.workers_replaced >= 1;
+    const bool quarantined = with_guard->gs.breaker_trips >= 1 &&
+                             with_guard->gs.quarantined_batches >= 1;
+    std::printf(
+        "chaos: guard success %.2f%% (floor 99%%: %s), no-guard %.2f%% "
+        "(gap >= 5pt: %s), hung worker replaced: %s (%llu/%llu), sticky "
+        "replica quarantined: %s (%llu trips, %llu batches on exact)\n",
+        100 * with_guard->success, floor ? "ok" : "FAIL",
+        100 * no_guard->success, gap ? "ok" : "FAIL", hung ? "ok" : "FAIL",
+        (unsigned long long)with_guard->gs.hangs_detected,
+        (unsigned long long)with_guard->gs.workers_replaced,
+        quarantined ? "ok" : "FAIL",
+        (unsigned long long)with_guard->gs.breaker_trips,
+        (unsigned long long)with_guard->gs.quarantined_batches);
+    ok = ok && floor && gap && hung && quarantined;
+  }
+
   std::printf("\nsoak claims: %s\n", ok ? "HOLD" : "VIOLATED");
   return ok ? 0 : 1;
 #else

@@ -16,6 +16,10 @@
 //                                   with one of its low `width` bits
 //                                   corrupted. An expression.
 //   NGA_FAULT_SKIP(site)            op filter: true => drop the op.
+//   NGA_FAULT_DELAY(site)           timing filter: possibly stall the
+//                                   calling thread (hang/latency
+//                                   models; interruptible — see
+//                                   Injector::set_thread_interrupt).
 //   NGA_FAULT_DETECT(site, cond)    detector: report a downstream
 //                                   plausibility check that fired.
 //   NGA_FAULT_ACTIVE()              false constant when compiled out;
@@ -38,6 +42,9 @@
 #define NGA_FAULT_SKIP(site) \
   (::nga::fault::Injector::instance().filter_skip((site)))
 
+#define NGA_FAULT_DELAY(site) \
+  (::nga::fault::Injector::instance().filter_delay((site)))
+
 #define NGA_FAULT_DETECT(site, cond)                           \
   do {                                                         \
     if (cond) ::nga::fault::Injector::instance().note_detected(site); \
@@ -49,6 +56,7 @@
 
 #define NGA_FAULT_BITS(site, width, x) (x)
 #define NGA_FAULT_SKIP(site) (false)
+#define NGA_FAULT_DELAY(site) ((void)0)
 #define NGA_FAULT_DETECT(site, cond) ((void)0)
 #define NGA_FAULT_ACTIVE() (false)
 

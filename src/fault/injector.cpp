@@ -1,7 +1,9 @@
 #include "fault/injector.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <string>
+#include <thread>
 
 namespace nga::fault {
 
@@ -53,7 +55,38 @@ Injector::Injector() {
 namespace {
 // Per-thread detection tally for nga::serve batch attribution.
 thread_local u64 tl_detected = 0;
+
+// Per-thread interrupt flag for injected delays (hang/latency models):
+// registered by supervised serve workers so a watchdog cancellation
+// cuts an in-flight stall short.
+thread_local const std::atomic<bool>* tl_interrupt = nullptr;
+
+// Sticky-victim thread identity: a process-unique tag per thread,
+// assigned lazily on first use (thread ids recycle; tags don't).
+std::atomic<u64> next_thread_tag{1};
+u64 thread_tag() {
+  thread_local u64 tag = next_thread_tag.fetch_add(1);
+  return tag;
+}
+
+// Sleep ~ms at a time so an interrupt lands within a slice.
+void interruptible_sleep(double ms, const std::atomic<bool>* interrupt) {
+  using namespace std::chrono;
+  const auto until = steady_clock::now() + duration<double, std::milli>(ms);
+  while (steady_clock::now() < until) {
+    if (interrupt && interrupt->load(std::memory_order_acquire)) return;
+    const auto left =
+        duration_cast<duration<double, std::milli>>(until - steady_clock::now());
+    std::this_thread::sleep_for(
+        left.count() > 1.0 ? milliseconds(1)
+                           : duration_cast<nanoseconds>(left));
+  }
+}
 }  // namespace
+
+void Injector::set_thread_interrupt(const std::atomic<bool>* flag) {
+  tl_interrupt = flag;
+}
 
 void Injector::arm(const FaultPlan& plan, u64 seed) {
   std::lock_guard<std::mutex> lk(m_);
@@ -62,6 +95,10 @@ void Injector::arm(const FaultPlan& plan, u64 seed) {
     SiteState& st = state_[i];
     st.spec = plan.spec(Site(i));
     st.threshold = st.spec.enabled ? rate_threshold(st.spec.rate) : 0;
+    st.sticky_threshold = st.spec.enabled && st.spec.sticky
+                              ? rate_threshold(st.spec.sticky_rate)
+                              : 0;
+    st.victim_tag = 0;  // re-arming unlatches the sticky victim
     // Site streams are independent of each other and of arm order.
     st.rng = util::Xoshiro256(splitmix(seed ^ splitmix(u64(i) + 1)));
     st.totals = {};
@@ -102,14 +139,25 @@ u64 Injector::thread_detected() { return tl_detected; }
 
 bool Injector::fire(SiteState& st) {
   ++st.totals.events;
-  if (st.threshold == 0) return false;
-  return st.rng() < st.threshold;
+  u64 threshold = st.threshold;
+  if (st.spec.sticky) {
+    // Latch the first thread to hit the armed site as the sticky
+    // victim (in nga::serve: one persistently bad replica); the victim
+    // fires at sticky_rate, everyone else at the base rate.
+    const u64 tag = thread_tag();
+    if (st.victim_tag == 0) st.victim_tag = tag;
+    if (st.victim_tag == tag) threshold = st.sticky_threshold;
+  }
+  if (threshold == 0) return false;
+  return st.rng() < threshold;
 }
 
 u64 Injector::corrupt(Site site, unsigned width, u64 bits) {
   std::lock_guard<std::mutex> lk(m_);
   SiteState& st = state_[std::size_t(site)];
-  if (!st.spec.enabled || st.spec.model == Model::kOpSkip) return bits;
+  if (!st.spec.enabled || st.spec.model == Model::kOpSkip ||
+      is_delay_model(st.spec.model))
+    return bits;
   if (!fire(st)) return bits;
   const u64 pick = u64{1} << st.rng.below(width);
   u64 out = bits;
@@ -124,6 +172,8 @@ u64 Injector::corrupt(Site site, unsigned width, u64 bits) {
       out |= pick;
       break;
     case Model::kOpSkip:
+    case Model::kHang:
+    case Model::kLatency:
       break;  // unreachable, screened above
   }
   ++st.totals.injected;
@@ -146,6 +196,30 @@ bool Injector::skip(Site site) {
   injected_all_->inc();
   st.injected_c->inc();
   return true;
+}
+
+void Injector::delay(Site site) {
+  double stall_ms = 0.0;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    SiteState& st = state_[std::size_t(site)];
+    if (!st.spec.enabled || !is_delay_model(st.spec.model)) return;
+    if (!fire(st)) return;
+    stall_ms = st.spec.delay_ms;
+    if (st.spec.model == Model::kLatency && st.spec.jitter_ms > 0.0) {
+      // Uniform jitter in [-jitter, +jitter]; with_delay clamped
+      // jitter <= delay, so the stall stays non-negative.
+      const double u = double(st.rng() >> 11) * 0x1.0p-53;
+      stall_ms += (2.0 * u - 1.0) * st.spec.jitter_ms;
+    }
+    ++st.totals.injected;
+    injected_all_->inc();
+    st.injected_c->inc();
+  }
+  // The stall happens OUTSIDE the injector mutex: other threads keep
+  // injecting (and detecting) while this one is wedged, which is the
+  // whole point of the hang model.
+  if (stall_ms > 0.0) interruptible_sleep(stall_ms, tl_interrupt);
 }
 
 void Injector::note_detected(Site site) {

@@ -68,6 +68,23 @@ class Injector {
     return skip(site);
   }
 
+  /// Hot-path timing filter: possibly stall the calling thread (a site
+  /// armed with a hang/latency model). The fire decision and duration
+  /// are drawn under the injector mutex; the stall itself sleeps
+  /// OUTSIDE it, in ~1 ms slices, and aborts early when the calling
+  /// thread's registered interrupt flag (set_thread_interrupt) goes
+  /// true — a hung worker wakes the moment its watchdog cancels it.
+  void filter_delay(Site site) {
+    if (!armed()) return;
+    delay(site);
+  }
+
+  /// Register an interrupt flag for the CALLING thread's injected
+  /// delays (nullptr to clear). The pointee must outlive the
+  /// registration; nga::serve workers register their cancellation
+  /// token for their own lifetime.
+  static void set_thread_interrupt(const std::atomic<bool>* flag);
+
   /// Downstream detectors (range guards, NaR screens) report here.
   void note_detected(Site site);
 
@@ -87,7 +104,9 @@ class Injector {
 
   struct SiteState {
     SiteSpec spec;
-    u64 threshold = 0;  ///< fire when rng() < threshold
+    u64 threshold = 0;         ///< fire when rng() < threshold
+    u64 sticky_threshold = 0;  ///< the victim thread's threshold
+    u64 victim_tag = 0;        ///< sticky victim thread tag (0 = unlatched)
     util::Xoshiro256 rng;
     SiteTotals totals;
     // Cached obs counters (registry references are stable forever).
@@ -98,6 +117,7 @@ class Injector {
 
   u64 corrupt(Site site, unsigned width, u64 bits);
   bool skip(Site site);
+  void delay(Site site);
   bool fire(SiteState& st);
 
   // Guards site state, totals, and the plan on the armed path; the

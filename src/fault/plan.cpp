@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdio>
 
 namespace nga::fault {
 
@@ -13,11 +14,37 @@ FaultPlan& FaultPlan::inject(Site site, Model model, double rate) {
   return *this;
 }
 
+FaultPlan& FaultPlan::with_delay(Site site, double delay_ms, double jitter_ms) {
+  SiteSpec& s = specs_[std::size_t(site)];
+  s.delay_ms = std::max(delay_ms, 0.0);
+  s.jitter_ms = std::clamp(jitter_ms, 0.0, s.delay_ms);
+  return *this;
+}
+
+FaultPlan& FaultPlan::with_sticky(Site site, double sticky_rate) {
+  SiteSpec& s = specs_[std::size_t(site)];
+  s.sticky = true;
+  s.sticky_rate = std::clamp(sticky_rate, 0.0, 1.0);
+  return *this;
+}
+
 bool FaultPlan::any_enabled() const {
   for (const auto& s : specs_)
-    if (s.enabled && s.rate > 0.0) return true;
+    if (s.enabled && (s.rate > 0.0 || (s.sticky && s.sticky_rate > 0.0)))
+      return true;
   return false;
 }
+
+namespace {
+
+// %g keeps the token short and from_chars-parseable (round-trip).
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
 
 std::string FaultPlan::describe() const {
   std::string out;
@@ -26,22 +53,63 @@ std::string FaultPlan::describe() const {
     if (!s.enabled) continue;
     if (!out.empty()) out += ',';
     out += std::string(site_name(Site(i))) + ':' +
-           std::string(model_name(s.model)) + ':' + std::to_string(s.rate);
+           std::string(model_name(s.model));
+    if (is_delay_model(s.model)) {
+      out += '(' + num(s.delay_ms);
+      if (s.model == Model::kLatency && s.jitter_ms > 0.0)
+        out += ',' + num(s.jitter_ms);
+      out += ')';
+    }
+    out += ':' + num(s.rate);
+    if (s.sticky) out += ":sticky:" + num(s.sticky_rate);
   }
   return out.empty() ? "(no faults)" : out;
 }
 
 namespace {
 
-bool parse_model(std::string_view name, Model& out) {
+bool parse_number(std::string_view s, double& out) {
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+// Parse a model token: a bare name or name(MS[,JITTER]) for the delay
+// models.
+bool parse_model(std::string_view token, Model& out, double& delay_ms,
+                 double& jitter_ms) {
+  delay_ms = jitter_ms = 0.0;
+  std::string_view name = token;
+  std::string_view args;
+  const std::size_t open = token.find('(');
+  if (open != std::string_view::npos) {
+    if (token.back() != ')') return false;
+    name = token.substr(0, open);
+    args = token.substr(open + 1, token.size() - open - 2);
+  }
+  bool found = false;
   for (const Model m : {Model::kBitFlip, Model::kStuckAt0, Model::kStuckAt1,
-                        Model::kOpSkip}) {
+                        Model::kOpSkip, Model::kHang, Model::kLatency}) {
     if (model_name(m) == name) {
       out = m;
-      return true;
+      found = true;
+      break;
     }
   }
-  return false;
+  if (!found) return false;
+  if (!is_delay_model(out)) return open == std::string_view::npos;
+  // hang/latency REQUIRE a duration argument.
+  if (open == std::string_view::npos || args.empty()) return false;
+  const std::size_t comma = args.find(',');
+  if (comma == std::string_view::npos) {
+    if (!parse_number(args, delay_ms) || delay_ms < 0.0) return false;
+  } else {
+    if (out != Model::kLatency) return false;  // hang takes one arg
+    if (!parse_number(args.substr(0, comma), delay_ms) || delay_ms < 0.0)
+      return false;
+    if (!parse_number(args.substr(comma + 1), jitter_ms) || jitter_ms < 0.0)
+      return false;
+  }
+  return true;
 }
 
 bool set_error(std::string* error, std::string_view spec, const char* msg) {
@@ -50,35 +118,73 @@ bool set_error(std::string* error, std::string_view spec, const char* msg) {
   return false;
 }
 
+// Next top-level item boundary: a comma not inside parentheses (the
+// latency(MS,JITTER) token owns its inner comma).
+std::size_t find_item_end(std::string_view s) {
+  int depth = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '(') ++depth;
+    else if (s[i] == ')' && depth > 0) --depth;
+    else if (s[i] == ',' && depth == 0) return i;
+  }
+  return std::string_view::npos;
+}
+
 }  // namespace
 
 bool FaultPlan::parse(std::string_view spec, FaultPlan& out,
                       std::string* error) {
   out = FaultPlan{};
+  // describe() of an empty plan — accepted so parse(describe(p)) holds
+  // for EVERY plan, not just non-empty ones (found by fuzz_fault_plan).
+  if (spec == "(no faults)") return true;
   std::string_view rest = spec;
   while (!rest.empty()) {
-    const std::size_t comma = rest.find(',');
+    const std::size_t comma = find_item_end(rest);
     std::string_view item = rest.substr(0, comma);
     rest = comma == std::string_view::npos ? std::string_view{}
                                            : rest.substr(comma + 1);
-    const std::size_t c1 = item.find(':');
-    const std::size_t c2 =
-        c1 == std::string_view::npos ? c1 : item.find(':', c1 + 1);
-    if (c2 == std::string_view::npos)
-      return set_error(error, item, "expected site:model:rate");
-    const Site site = site_from_name(item.substr(0, c1));
+    // Split the item on ':' outside parentheses: site, model, rate,
+    // then an optional sticky suffix.
+    std::string_view fields[5];
+    std::size_t nfields = 0;
+    {
+      std::string_view it = item;
+      int depth = 0;
+      std::size_t start = 0;
+      for (std::size_t i = 0; i <= it.size(); ++i) {
+        if (i < it.size() && it[i] == '(') ++depth;
+        else if (i < it.size() && it[i] == ')' && depth > 0) --depth;
+        else if (i == it.size() || (it[i] == ':' && depth == 0)) {
+          if (nfields >= 5)
+            return set_error(error, item, "too many fields");
+          fields[nfields++] = it.substr(start, i - start);
+          start = i + 1;
+        }
+      }
+    }
+    if (nfields != 3 && nfields != 5)
+      return set_error(error, item,
+                       "expected site:model:rate[:sticky:rate]");
+    const Site site = site_from_name(fields[0]);
     if (site == Site::kCount) return set_error(error, item, "unknown site");
     Model model{};
-    if (!parse_model(item.substr(c1 + 1, c2 - c1 - 1), model))
+    double delay_ms = 0.0, jitter_ms = 0.0;
+    if (!parse_model(fields[1], model, delay_ms, jitter_ms))
       return set_error(error, item, "unknown model");
-    const std::string_view rate_s = item.substr(c2 + 1);
     double rate = 0.0;
-    const auto [p, ec] =
-        std::from_chars(rate_s.data(), rate_s.data() + rate_s.size(), rate);
-    if (ec != std::errc{} || p != rate_s.data() + rate_s.size() ||
-        !(rate >= 0.0) || rate > 1.0)
+    if (!parse_number(fields[2], rate) || !(rate >= 0.0) || rate > 1.0)
       return set_error(error, item, "bad rate (want [0,1])");
     out.inject(site, model, rate);
+    if (is_delay_model(model)) out.with_delay(site, delay_ms, jitter_ms);
+    if (nfields == 5) {
+      if (fields[3] != "sticky")
+        return set_error(error, item, "expected ':sticky:<rate>' suffix");
+      double srate = 0.0;
+      if (!parse_number(fields[4], srate) || !(srate >= 0.0) || srate > 1.0)
+        return set_error(error, item, "bad sticky rate (want [0,1])");
+      out.with_sticky(site, srate);
+    }
   }
   return true;
 }

@@ -17,12 +17,14 @@ namespace nga::fault {
 
 using util::u64;
 
-/// How a firing fault corrupts the value at a site.
+/// How a firing fault corrupts the value — or the timing — at a site.
 enum class Model : unsigned {
   kBitFlip,   ///< XOR one uniformly chosen bit of the value
   kStuckAt0,  ///< clear one uniformly chosen bit (masked if already 0)
   kStuckAt1,  ///< set one uniformly chosen bit (masked if already 1)
   kOpSkip,    ///< drop the operation (only meaningful at skip sites)
+  kHang,      ///< stall the op for delay_ms (a wedged unit; interruptible)
+  kLatency,   ///< stall for delay_ms +/- jitter_ms (a slow unit)
 };
 
 constexpr std::string_view model_name(Model m) {
@@ -35,16 +37,34 @@ constexpr std::string_view model_name(Model m) {
       return "stuck1";
     case Model::kOpSkip:
       return "opskip";
+    case Model::kHang:
+      return "hang";
+    case Model::kLatency:
+      return "latency";
   }
   return "?";
 }
 
+constexpr bool is_delay_model(Model m) {
+  return m == Model::kHang || m == Model::kLatency;
+}
+
 /// Per-site fault configuration. rate is the Bernoulli probability per
-/// event (per decode, per MAC, per dot, ...), in [0, 1].
+/// event (per decode, per MAC, per dot, per sample ...), in [0, 1].
+///
+/// Sticky mode models ONE persistently bad unit among many: the first
+/// thread to hit the armed site is latched as the victim and fires at
+/// sticky_rate; every other thread keeps the base rate. In nga::serve,
+/// where each worker thread owns one model replica, that is exactly
+/// "one sticky-bad replica".
 struct SiteSpec {
   bool enabled = false;
   Model model = Model::kBitFlip;
   double rate = 0.0;
+  double delay_ms = 0.0;   ///< delay models: stall duration
+  double jitter_ms = 0.0;  ///< kLatency: uniform +/- jitter on the stall
+  bool sticky = false;
+  double sticky_rate = 0.0;  ///< victim thread's rate when sticky
 };
 
 class FaultPlan {
@@ -52,17 +72,32 @@ class FaultPlan {
   /// Enable @p site with @p model at @p rate (clamped to [0,1]).
   FaultPlan& inject(Site site, Model model, double rate);
 
+  /// Set the stall parameters of a delay-model site (negative values
+  /// clamp to 0; jitter clamps to delay so stalls stay non-negative).
+  FaultPlan& with_delay(Site site, double delay_ms, double jitter_ms = 0.0);
+
+  /// Make @p site sticky: the first thread to hit it becomes the
+  /// victim and fires at @p sticky_rate (clamped to [0,1]) instead of
+  /// the base rate.
+  FaultPlan& with_sticky(Site site, double sticky_rate);
+
   const SiteSpec& spec(Site site) const {
     return specs_[std::size_t(site)];
   }
   bool any_enabled() const;
 
-  /// Human-readable one-liner: "nn.mul:bitflip:0.001,quire.accumulate:..."
+  /// Round-trippable one-liner, e.g.
+  ///   "nn.mul:bitflip:0.001:sticky:0.35,nn.exec:hang(1200):0.03"
+  /// (parse(describe()) reproduces the plan).
   std::string describe() const;
 
-  /// Parse a describe()-shaped spec: comma-separated
-  /// `site:model:rate` triples. Returns false and fills @p error on a
-  /// malformed spec, unknown site, or unknown model.
+  /// Parse a describe()-shaped spec: comma-separated items
+  ///   site:model:rate[:sticky:<rate>]
+  /// where model is bitflip|stuck0|stuck1|opskip|hang(MS)|latency(MS)
+  /// |latency(MS,JITTER). Top-level commas inside parentheses belong
+  /// to the model token, not the item separator. Returns false and
+  /// fills @p error on a malformed spec, unknown site, or unknown
+  /// model.
   static bool parse(std::string_view spec, FaultPlan& out,
                     std::string* error = nullptr);
 

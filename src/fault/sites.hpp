@@ -2,9 +2,11 @@
 //
 // A site is one named point in an arithmetic datapath where the
 // injector may corrupt data in flight. The five datapaths of the
-// library (Sections IV and V of the paper) each expose one site; the
-// set is a closed enum so per-site state lives in a flat array and the
-// hot-path lookup is an index, not a map walk.
+// library (Sections IV and V of the paper) each expose one site, plus
+// one exec-level timing site (nn.exec, fired once per sample) for the
+// hang/latency delay models; the set is a closed enum so per-site
+// state lives in a flat array and the hot-path lookup is an index, not
+// a map walk.
 #pragma once
 
 #include <cstddef>
@@ -19,6 +21,7 @@ enum class Site : unsigned {
   kSoftfloatPack,     ///< floatmp::pack — packed IEEE encoding
   kNnMul,             ///< MulTable::mul — approximate-multiplier product
   kBitheapCompress,   ///< BitHeap::compress — a partial-product dot
+  kNnExec,            ///< Model::forward_batch — once per sample (timing site)
   kCount
 };
 
@@ -38,6 +41,8 @@ constexpr std::string_view site_name(Site s) {
       return "nn.mul";
     case Site::kBitheapCompress:
       return "bitheap.compress";
+    case Site::kNnExec:
+      return "nn.exec";
     case Site::kCount:
       break;
   }

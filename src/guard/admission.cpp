@@ -1,0 +1,76 @@
+#include "guard/admission.hpp"
+
+#include <algorithm>
+
+namespace nga::guard {
+
+AimdLimiter::AimdLimiter(AdmissionConfig cfg) : cfg_(cfg) {
+  cfg_.min_limit = std::max<std::size_t>(cfg_.min_limit, 1);
+  cfg_.max_limit = std::max(cfg_.max_limit, cfg_.min_limit);
+  cfg_.initial_limit =
+      std::clamp(cfg_.initial_limit, cfg_.min_limit, cfg_.max_limit);
+  cfg_.decrease = std::clamp(cfg_.decrease, 0.05, 0.95);
+  cfg_.increase = std::max(cfg_.increase, 0.0);
+  cfg_.adjust_every = std::max<std::size_t>(cfg_.adjust_every, 1);
+  limit_ = double(cfg_.initial_limit);
+  window_lat_.reserve(cfg_.adjust_every);
+}
+
+bool AimdLimiter::try_acquire() {
+  std::lock_guard<std::mutex> lk(m_);
+  if (in_flight_ >= std::size_t(limit_)) {
+    ++stats_.rejected;
+    return false;
+  }
+  ++in_flight_;
+  ++stats_.acquired;
+  return true;
+}
+
+void AimdLimiter::release(double latency_ms, bool shed) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (in_flight_ > 0) --in_flight_;
+  window_lat_.push_back(latency_ms);
+  if (shed) ++window_shed_;
+  if (window_lat_.size() >= cfg_.adjust_every) adjust_locked();
+}
+
+void AimdLimiter::adjust_locked() {
+  const std::size_t n = window_lat_.size();
+  std::nth_element(window_lat_.begin(),
+                   window_lat_.begin() + std::ptrdiff_t((n - 1) * 99 / 100),
+                   window_lat_.end());
+  const double p99 = window_lat_[(n - 1) * 99 / 100];
+  const double shed_rate = double(window_shed_) / double(n);
+  stats_.last_p99_ms = p99;
+  stats_.last_shed_rate = shed_rate;
+
+  const bool breach = (cfg_.target_p99_ms > 0 && p99 > cfg_.target_p99_ms) ||
+                      shed_rate > cfg_.max_shed_rate;
+  if (breach) {
+    limit_ = std::max(double(cfg_.min_limit), limit_ * cfg_.decrease);
+    ++stats_.decreases;
+  } else {
+    limit_ = std::min(double(cfg_.max_limit), limit_ + cfg_.increase);
+    ++stats_.increases;
+  }
+  window_lat_.clear();
+  window_shed_ = 0;
+}
+
+std::size_t AimdLimiter::limit() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return std::size_t(limit_);
+}
+
+std::size_t AimdLimiter::in_flight() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return in_flight_;
+}
+
+AimdLimiter::Stats AimdLimiter::stats() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return stats_;
+}
+
+}  // namespace nga::guard

@@ -1,0 +1,83 @@
+// Adaptive admission control: an AIMD in-flight limiter.
+//
+// Classic congestion-control shape applied to the serving layer: the
+// server may hold at most `limit` requests in flight (admitted but not
+// yet resolved). Every adjust_every completions the limiter looks at
+// the window's observed p99 latency and shed rate; if either breaches
+// its target the limit shrinks multiplicatively (fast retreat under
+// overload), otherwise it grows additively (slow reclaim). The result
+// is the classic sawtooth around the true capacity: overload degrades
+// throughput smoothly instead of letting the queue fill with requests
+// that are already doomed to miss their deadline — the deadline
+// distribution stays tight because work that cannot make it is refused
+// at the door (kAdmissionLimited) rather than shed after burning queue
+// and exec time.
+//
+// Thread-safety: try_acquire/release are called from submitters and
+// workers concurrently; one mutex serializes them (warm path — per
+// request, not per MAC).
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace nga::guard {
+
+struct AdmissionConfig {
+  bool enabled = false;
+  std::size_t min_limit = 2;
+  std::size_t max_limit = 256;
+  std::size_t initial_limit = 32;
+  /// Additive increase per adjustment window without a breach.
+  double increase = 1.0;
+  /// Multiplicative decrease factor on a breach (0 < decrease < 1).
+  double decrease = 0.5;
+  /// p99 latency target in ms; 0 disables the latency signal.
+  double target_p99_ms = 0.0;
+  /// Max tolerated fraction of window completions that were shed.
+  double max_shed_rate = 0.10;
+  /// Completions per adjustment decision.
+  std::size_t adjust_every = 32;
+};
+
+class AimdLimiter {
+ public:
+  explicit AimdLimiter(AdmissionConfig cfg = {});
+
+  /// Claim one in-flight token. False => the caller should reject the
+  /// request (over the current limit).
+  bool try_acquire();
+
+  /// Return a token with the request's fate: completion latency and
+  /// whether it was shed (deadline missed). Drives the AIMD window.
+  void release(double latency_ms, bool shed);
+
+  std::size_t limit() const;
+  std::size_t in_flight() const;
+
+  struct Stats {
+    util::u64 acquired = 0;
+    util::u64 rejected = 0;   ///< try_acquire refusals
+    util::u64 increases = 0;  ///< additive steps taken
+    util::u64 decreases = 0;  ///< multiplicative cuts taken
+    double last_p99_ms = 0.0;
+    double last_shed_rate = 0.0;
+  };
+  Stats stats() const;
+
+ private:
+  void adjust_locked();
+
+  AdmissionConfig cfg_;
+  mutable std::mutex m_;
+  double limit_;  // fractional so additive steps < 1 still accumulate
+  std::size_t in_flight_ = 0;
+  std::vector<double> window_lat_;
+  std::size_t window_shed_ = 0;
+  Stats stats_;
+};
+
+}  // namespace nga::guard

@@ -1,0 +1,91 @@
+#include "guard/breaker.hpp"
+
+#include <algorithm>
+
+namespace nga::guard {
+
+CircuitBreaker::CircuitBreaker(BreakerConfig cfg) : cfg_(cfg) {
+  cfg_.window = std::max<std::size_t>(cfg_.window, 1);
+  cfg_.min_samples = std::clamp<std::size_t>(cfg_.min_samples, 1, cfg_.window);
+  cfg_.trip_failure_rate = std::clamp(cfg_.trip_failure_rate, 0.0, 1.0);
+  cfg_.max_probe_failures = std::max(cfg_.max_probe_failures, 1);
+  ring_.assign(cfg_.window, true);
+}
+
+bool CircuitBreaker::record(bool ok, Clock::time_point now) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (state_ != BreakerState::kClosed) return false;
+  if (ring_count_ == cfg_.window) {
+    // Evict the oldest verdict the new one overwrites.
+    if (!ring_[ring_next_]) --ring_fails_;
+  } else {
+    ++ring_count_;
+  }
+  ring_[ring_next_] = ok;
+  if (!ok) ++ring_fails_;
+  ring_next_ = (ring_next_ + 1) % cfg_.window;
+
+  if (ring_count_ < cfg_.min_samples) return false;
+  const double rate = double(ring_fails_) / double(ring_count_);
+  if (rate < cfg_.trip_failure_rate) return false;
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;
+  ++stats_.trips;
+  return true;
+}
+
+bool CircuitBreaker::probe_due(Clock::time_point now) const {
+  std::lock_guard<std::mutex> lk(m_);
+  return state_ == BreakerState::kOpen && now - opened_at_ >= cfg_.cooldown;
+}
+
+bool CircuitBreaker::begin_probe(Clock::time_point now) {
+  std::lock_guard<std::mutex> lk(m_);
+  (void)now;
+  if (state_ != BreakerState::kOpen) return false;
+  state_ = BreakerState::kHalfOpen;
+  ++stats_.probes;
+  return true;
+}
+
+CircuitBreaker::ProbeResult CircuitBreaker::end_probe(bool passed,
+                                                      Clock::time_point now) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (state_ != BreakerState::kHalfOpen) return ProbeResult::kIgnored;
+  if (passed) {
+    state_ = BreakerState::kClosed;
+    consecutive_probe_failures_ = 0;
+    // Fresh start for the reinstated replica: stale failures from the
+    // quarantined era must not immediately re-trip it.
+    std::fill(ring_.begin(), ring_.end(), true);
+    ring_next_ = ring_count_ = ring_fails_ = 0;
+    ++stats_.reinstated;
+    return ProbeResult::kReinstated;
+  }
+  ++stats_.probe_failures;
+  if (++consecutive_probe_failures_ >= cfg_.max_probe_failures) {
+    state_ = BreakerState::kRetired;
+    stats_.retired = true;
+    return ProbeResult::kRetired;
+  }
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;  // cooldown restarts before the next probe
+  return ProbeResult::kReopened;
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return state_;
+}
+
+double CircuitBreaker::failure_rate() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return ring_count_ ? double(ring_fails_) / double(ring_count_) : 0.0;
+}
+
+CircuitBreaker::Stats CircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return stats_;
+}
+
+}  // namespace nga::guard

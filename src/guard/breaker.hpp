@@ -1,0 +1,120 @@
+// Per-replica circuit breaker with half-open revalidation.
+//
+// Each serve worker owns one breaker over its model replica. Batch
+// verdicts (ok / suspect) feed a rolling window; when the failure rate
+// over a full-enough window crosses the trip threshold the breaker
+// opens and the replica is QUARANTINED — it keeps serving, but on the
+// golden exact table only (the known-clean unit; see
+// nn/quant.hpp: the exact MulTable never passes through the fault
+// injector). After a cooldown the owner runs a revalidation probe: the
+// golden input set is replayed down the suspect approximate path and
+// compared against the exact-table reference. A pass closes the breaker
+// (replica reinstated on the approximate table); a fail re-opens it;
+// max_probe_failures consecutive fails RETIRE the replica permanently
+// (it serves exact for the rest of its life — correct, just slower).
+//
+//          record(fail-rate >= trip)            probe_due + begin_probe
+//   Closed ───────────────────────────▶ Open ────────────────────────▶ HalfOpen
+//     ▲                                  ▲                                │
+//     │          end_probe(pass)         │ end_probe(fail),              │
+//     └──────────────────────────────────┼── < max consecutive ◀─────────┤
+//                                        │                               │
+//                                 end_probe(fail),                       │
+//                                 == max consecutive                     ▼
+//                                        └────────────────────────▶  Retired
+//
+// Thread-safety: all mutation happens on the owning worker thread; a
+// small mutex serializes it against cross-thread stats()/state() reads
+// (the server aggregates breaker stats at drain and tests poke from
+// the main thread). The breaker itself spawns no threads.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace nga::guard {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen, kRetired };
+
+constexpr std::string_view breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+    case BreakerState::kRetired: return "retired";
+  }
+  return "?";
+}
+
+struct BreakerConfig {
+  /// Rolling window of batch verdicts per replica.
+  std::size_t window = 32;
+  /// No trip decision before this many verdicts are in the window.
+  std::size_t min_samples = 8;
+  /// Open when window failure rate reaches this fraction.
+  double trip_failure_rate = 0.5;
+  /// Quarantine time before a revalidation probe is due.
+  std::chrono::milliseconds cooldown{50};
+  /// Consecutive failed probes before the replica is retired for good.
+  int max_probe_failures = 3;
+};
+
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit CircuitBreaker(BreakerConfig cfg = {});
+
+  /// Feed one batch verdict. Only meaningful while Closed (quarantined
+  /// replicas serve on the exact table; their verdicts say nothing
+  /// about the suspect path). Returns true when THIS call tripped the
+  /// breaker Closed -> Open.
+  bool record(bool ok, Clock::time_point now = Clock::now());
+
+  /// True when the breaker is Open and the cooldown has elapsed — the
+  /// owner should run a revalidation probe.
+  bool probe_due(Clock::time_point now = Clock::now()) const;
+
+  /// Open -> HalfOpen. Returns false (no-op) in any other state.
+  bool begin_probe(Clock::time_point now = Clock::now());
+
+  enum class ProbeResult {
+    kReinstated,  ///< HalfOpen -> Closed, window reset, replica back on approx
+    kReopened,    ///< HalfOpen -> Open, cooldown restarts
+    kRetired,     ///< HalfOpen -> Retired, permanent
+    kIgnored,     ///< called outside HalfOpen
+  };
+  ProbeResult end_probe(bool passed, Clock::time_point now = Clock::now());
+
+  BreakerState state() const;
+  /// Failure rate over the current window (0 when empty).
+  double failure_rate() const;
+
+  struct Stats {
+    util::u64 trips = 0;           ///< Closed -> Open transitions
+    util::u64 probes = 0;          ///< revalidation probes begun
+    util::u64 probe_failures = 0;  ///< probes that failed
+    util::u64 reinstated = 0;      ///< HalfOpen -> Closed transitions
+    bool retired = false;
+  };
+  Stats stats() const;
+
+ private:
+  BreakerConfig cfg_;
+  mutable std::mutex m_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::vector<bool> ring_;    // verdict window, ok = true
+  std::size_t ring_next_ = 0;
+  std::size_t ring_count_ = 0;
+  std::size_t ring_fails_ = 0;
+  int consecutive_probe_failures_ = 0;
+  Clock::time_point opened_at_{};
+  Stats stats_;
+};
+
+}  // namespace nga::guard

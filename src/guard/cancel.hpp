@@ -1,0 +1,33 @@
+// Cooperative cancellation for supervised workers.
+//
+// A CancelToken is one atomic flag with acquire/release semantics. The
+// watchdog sets it when a worker is declared hung; the worker's model
+// replica polls it between layers/samples (nn::Exec::cancel) and the
+// fault injector's delay models poll it mid-sleep (a "hang" fault wakes
+// the moment its victim is cancelled, so replacement latency is the
+// watchdog detection time, not the injected hang duration).
+//
+// The token hands out a raw `const std::atomic<bool>*` rather than
+// itself so that nn::Exec can carry the flag without the nn module
+// depending on nga::guard.
+#pragma once
+
+#include <atomic>
+
+namespace nga::guard {
+
+class CancelToken {
+ public:
+  void cancel() { flag_.store(true, std::memory_order_release); }
+  bool cancelled() const { return flag_.load(std::memory_order_acquire); }
+  void reset() { flag_.store(false, std::memory_order_release); }
+
+  /// The raw flag, for polling sites that must not depend on guard
+  /// (nn::Exec::cancel, fault::set_thread_interrupt).
+  const std::atomic<bool>* flag() const { return &flag_; }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace nga::guard

@@ -1,0 +1,23 @@
+// nga::guard — supervision and self-healing for the serving layer.
+//
+// Three cooperating mechanisms, all woven into nga::serve::Server when
+// ServerConfig::supervision.supervise is on:
+//
+//   * Watchdog (watchdog.hpp) — per-worker heartbeat slots sampled by
+//     one monitor thread; hung workers are cooperatively cancelled and
+//     replaced, their in-flight batch re-queued under a bounded
+//     redelivery count.
+//   * CircuitBreaker (breaker.hpp) — per-replica rolling failure
+//     window; tripped replicas are quarantined onto the golden exact
+//     table, revalidated against a golden input set (half-open
+//     probes), and reinstated or permanently retired.
+//   * AimdLimiter (admission.hpp) — adaptive in-flight admission
+//     control driven by observed p99 latency and shed rate.
+//
+// See DESIGN.md "Supervision & self-healing".
+#pragma once
+
+#include "guard/admission.hpp"
+#include "guard/breaker.hpp"
+#include "guard/cancel.hpp"
+#include "guard/watchdog.hpp"

@@ -1,0 +1,116 @@
+#include "guard/watchdog.hpp"
+
+#include <algorithm>
+
+namespace nga::guard {
+
+namespace {
+
+util::u64 now_ns() {
+  return util::u64(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count());
+}
+
+util::u64 to_ns(std::chrono::milliseconds ms) {
+  return util::u64(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(ms).count());
+}
+
+}  // namespace
+
+Watchdog::Watchdog(WatchdogConfig cfg, OnHang on_hang)
+    : cfg_(cfg), on_hang_(std::move(on_hang)) {
+  if (cfg_.check_interval.count() < 1) cfg_.check_interval =
+      std::chrono::milliseconds(1);
+  if (cfg_.deadline_factor < 1.0) cfg_.deadline_factor = 1.0;
+  if (cfg_.max_redeliveries < 0) cfg_.max_redeliveries = 0;
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::start() {
+  std::lock_guard<std::mutex> lk(m_);
+  if (running_) return;
+  running_ = true;
+  monitor_ = std::thread(&Watchdog::monitor_main, this);
+}
+
+void Watchdog::stop() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (!running_) {
+      return;
+    }
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+}
+
+std::shared_ptr<WorkerSlot> Watchdog::make_slot(int id, int generation) {
+  auto slot = std::make_shared<WorkerSlot>();
+  slot->id = id;
+  slot->generation = generation;
+  std::lock_guard<std::mutex> lk(m_);
+  slots_.push_back(slot);
+  return slot;
+}
+
+Watchdog::Stats Watchdog::stats() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return stats_;
+}
+
+void Watchdog::monitor_main() {
+  std::unique_lock<std::mutex> lk(m_);
+  while (running_) {
+    cv_.wait_for(lk, cfg_.check_interval, [&] { return !running_; });
+    if (!running_) break;
+    ++stats_.checks;
+    // Copy the slot set so on_hang (which may re-enter make_slot when
+    // the server registers the successor) runs without the lock held.
+    auto slots = slots_;
+    lk.unlock();
+    const util::u64 t = now_ns();
+    for (auto& slot : slots) {
+      if (slot->replaced.load(std::memory_order_acquire)) continue;
+      const util::u64 busy_since =
+          slot->busy_since_ns.load(std::memory_order_acquire);
+      const util::u64 hb = slot->heartbeat.load(std::memory_order_acquire);
+      if (busy_since == 0 || busy_since != slot->seen_busy_since) {
+        // Idle, or a new batch since the last sample: restart tracking.
+        slot->seen_busy_since = busy_since;
+        slot->seen_heartbeat = hb;
+        slot->over_threshold_last_sample = false;
+        continue;
+      }
+      util::u64 threshold =
+          cfg_.max_exec.count() > 0
+              ? to_ns(cfg_.max_exec)
+              : std::max(to_ns(cfg_.min_timeout),
+                         util::u64(cfg_.deadline_factor *
+                                   double(slot->budget_ns.load(
+                                       std::memory_order_acquire))));
+      const bool over = t > busy_since && t - busy_since > threshold;
+      const bool progressing = hb != slot->seen_heartbeat;
+      if (over && !progressing && slot->over_threshold_last_sample) {
+        // Two consecutive over-threshold samples with a frozen
+        // heartbeat: hung. Cancel, mark, notify the owner once.
+        slot->cancel.cancel();
+        slot->replaced.store(true, std::memory_order_release);
+        {
+          std::lock_guard<std::mutex> slk(m_);
+          ++stats_.hangs_detected;
+        }
+        if (on_hang_) on_hang_(slot);
+        continue;
+      }
+      slot->over_threshold_last_sample = over && !progressing;
+      slot->seen_heartbeat = hb;
+    }
+    lk.lock();
+  }
+}
+
+}  // namespace nga::guard

@@ -1,0 +1,118 @@
+// Worker watchdog: heartbeat-sampled hung-exec detection.
+//
+// Every supervised worker registers a WorkerSlot — a heap-stable block
+// of atomics it updates on its hot path (heartbeat ticks between
+// layers, busy_since/budget around each batch) — and the single monitor
+// thread samples all slots every check_interval. A worker is declared
+// HUNG when it has been busy on one batch longer than its hang
+// threshold AND its heartbeat made no progress across the last two
+// samples (a slow-but-progressing batch keeps ticking and is left
+// alone; a worker stuck inside one MAC — e.g. an injected hang(ms)
+// fault — stops ticking and is caught).
+//
+// The hang threshold per batch is deadline_factor x the batch's own
+// latency budget (no request in the batch could be served past that
+// anyway), floored at min_timeout; max_exec, when set, overrides it
+// absolutely — useful when deadlines are relaxed for sanitizer runs
+// but a genuinely wedged worker must still be caught quickly.
+//
+// On detection the monitor cancels the slot's token (waking cooperative
+// checks in nn::Model and any interruptible fault delay), marks the
+// slot replaced, and invokes the owner's on_hang callback exactly once
+// per slot — the server uses it to spawn a successor worker and bump
+// counters. The watchdog never kills threads: cancellation is
+// cooperative and the abandoned worker exits through its normal path
+// (re-queueing its in-flight batch), which is what keeps the drain
+// invariant intact under replacement.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "guard/cancel.hpp"
+#include "util/bits.hpp"
+
+namespace nga::guard {
+
+struct WatchdogConfig {
+  /// Monitor sampling period.
+  std::chrono::milliseconds check_interval{20};
+  /// Hang threshold = deadline_factor x the batch's latency budget.
+  double deadline_factor = 2.0;
+  /// Absolute hang threshold override; 0 = derive from the budget.
+  std::chrono::milliseconds max_exec{0};
+  /// Floor for the derived threshold (don't flag at timer granularity).
+  std::chrono::milliseconds min_timeout{10};
+  /// Times one request may be re-queued after its worker was replaced
+  /// before it is rejected (poison-batch bound; enforced by the server).
+  int max_redeliveries = 2;
+};
+
+/// Per-worker shared state. The worker writes heartbeat/busy fields
+/// with relaxed stores on its hot path; the monitor reads them. The
+/// seen_* fields belong to the monitor thread alone.
+struct WorkerSlot {
+  int id = 0;          ///< stable worker index (lane identity)
+  int generation = 0;  ///< bumped on each replacement of this lane
+
+  std::atomic<util::u64> heartbeat{0};      ///< progress ticks (per layer)
+  std::atomic<util::u64> busy_since_ns{0};  ///< batch start; 0 = idle
+  std::atomic<util::u64> budget_ns{0};      ///< current batch latency budget
+  CancelToken cancel;
+  std::atomic<bool> replaced{false};  ///< set once by the monitor
+
+  // Monitor-private sampling state (no atomics: one reader/writer).
+  util::u64 seen_heartbeat = 0;
+  util::u64 seen_busy_since = 0;
+  bool over_threshold_last_sample = false;
+};
+
+class Watchdog {
+ public:
+  /// Called on the MONITOR thread when @p slot is declared hung, after
+  /// its token is cancelled and `replaced` is set. At most once per
+  /// slot. The callback typically spawns a successor worker.
+  using OnHang = std::function<void(const std::shared_ptr<WorkerSlot>&)>;
+
+  Watchdog(WatchdogConfig cfg, OnHang on_hang);
+  ~Watchdog();  ///< stops the monitor
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  void start();
+  /// Stop and join the monitor. After stop() returns no further
+  /// on_hang callback will run. Idempotent.
+  void stop();
+
+  /// Register a worker's slot for monitoring.
+  std::shared_ptr<WorkerSlot> make_slot(int id, int generation);
+
+  struct Stats {
+    util::u64 checks = 0;          ///< monitor sampling passes
+    util::u64 hangs_detected = 0;  ///< slots declared hung
+  };
+  Stats stats() const;
+
+  const WatchdogConfig& config() const { return cfg_; }
+
+ private:
+  void monitor_main();
+
+  WatchdogConfig cfg_;
+  OnHang on_hang_;
+  mutable std::mutex m_;  // guards slots_, stats_, running_ transitions
+  std::condition_variable cv_;
+  std::vector<std::shared_ptr<WorkerSlot>> slots_;
+  Stats stats_;
+  bool running_ = false;
+  std::thread monitor_;
+};
+
+}  // namespace nga::guard

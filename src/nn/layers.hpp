@@ -12,6 +12,7 @@
 // (straight-through estimation).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +40,14 @@ struct Exec {
   /// Per-layer numeric-health attribution (nn/health.hpp); single
   /// threaded, one per model replica like the guard.
   LayerHealthRecorder* health = nullptr;
+  /// Cooperative cancellation (nga::guard watchdog): checked between
+  /// layers and between batch samples. A cancelled forward returns
+  /// early with a partial result the caller must discard.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Liveness ticks for the watchdog monitor: bumped once per layer so
+  /// a progressing (if slow) forward is distinguishable from a hung
+  /// one.
+  std::atomic<util::u64>* heartbeat = nullptr;
 };
 
 class Layer {

@@ -5,18 +5,35 @@
 #include <cmath>
 #include <numeric>
 
+#include "fault/fault.hpp"
 #include "nn/health.hpp"
 #include "nn/resilience.hpp"
 
 namespace nga::nn {
+
+namespace {
+
+// Cooperative cancellation (nga::guard): polled between layers and
+// samples. Acquire pairs with the watchdog's release store.
+bool cancelled(const Exec& ex) {
+  return ex.cancel && ex.cancel->load(std::memory_order_acquire);
+}
+
+void tick(const Exec& ex) {
+  if (ex.heartbeat) ex.heartbeat->fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 Tensor Model::forward(const Tensor& x, const Exec& ex) {
   if (ex.health) ex.health->begin_forward();
   if (!ex.guard) {
     Tensor t = x;
     for (auto& l : layers_) {
+      if (cancelled(ex)) return t;  // partial — caller must discard
       if (ex.health) ex.health->begin_layer();
       t = l->forward(t, ex);
+      tick(ex);
       if (ex.health) ex.health->end_layer(l->name());
     }
     return t;
@@ -31,6 +48,7 @@ Tensor Model::forward(const Tensor& x, const Exec& ex) {
     cur.mul = cur.guard->fallback();
   Tensor t = x;
   for (auto& l : layers_) {
+    if (cancelled(cur)) return t;  // partial — caller must discard
     cur.guard->begin_layer();
     if (cur.health) cur.health->begin_layer();
     Tensor y = l->forward(t, cur);
@@ -43,6 +61,7 @@ Tensor Model::forward(const Tensor& x, const Exec& ex) {
     }
     // The guard's exact re-run counts into the same layer: the health
     // channel sees what the layer actually cost, recovery included.
+    tick(cur);
     if (cur.health) cur.health->end_layer(l->name());
     t = std::move(y);
   }
@@ -53,8 +72,15 @@ std::vector<Tensor> Model::forward_batch(const std::vector<const Tensor*>& xs,
                                          const Exec& ex) {
   std::vector<Tensor> out;
   out.reserve(xs.size());
-  for (const Tensor* x : xs)
+  for (const Tensor* x : xs) {
+    // A cancelled batch stops producing: the serving layer discards
+    // whatever was computed and re-queues the live requests.
+    if (cancelled(ex)) break;
+    // Exec-level timing site: a hang/latency plan here stalls whole
+    // samples (a wedged core rather than a wedged multiplier).
+    if (x) NGA_FAULT_DELAY(fault::Site::kNnExec);
     out.push_back(x ? forward(*x, ex) : Tensor{});
+  }
   return out;
 }
 

@@ -37,9 +37,12 @@ class MulTable {
 #if NGA_FAULT
     // The fault site models the approximate-multiplier hardware unit;
     // the exact table is the separate golden unit ResilienceGuard falls
-    // back to, so it stays fault-free.
-    if (!exact_)
+    // back to, so it stays fault-free. A hang/latency plan at this site
+    // stalls the MAC itself (a wedged multiplier unit).
+    if (!exact_) {
+      NGA_FAULT_DELAY(fault::Site::kNnMul);
       return u16(NGA_FAULT_BITS(fault::Site::kNnMul, 16, util::u64(p)));
+    }
 #endif
     return p;
   }

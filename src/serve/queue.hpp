@@ -39,6 +39,22 @@ class BoundedQueue {
     return Push::kOk;
   }
 
+  /// Redelivery path (nga::guard worker replacement): return an item
+  /// that was already admitted once. Goes to the FRONT (it has waited
+  /// its turn) and bypasses the capacity check — admission-level
+  /// backpressure was already applied to it; bouncing it now would
+  /// turn a worker replacement into a spurious rejection. Fails only
+  /// when the queue is closed (never returns kFull).
+  Push requeue(T&& item) {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (closed_) return Push::kClosed;
+      q_.push_front(std::move(item));
+    }
+    cv_.notify_one();
+    return Push::kOk;
+  }
+
   /// Blocks until an item is available or the queue is closed and
   /// drained (then returns false: no work will ever come again). Once
   /// the first item is in hand, waits up to @p linger for the batch to

@@ -32,6 +32,8 @@ enum class RejectReason {
   kDraining,          ///< submitted during/after drain()
   kOverloaded,        ///< admission queue full — explicit backpressure
   kRetriesExhausted,  ///< every attempt failed transiently
+  kAdmissionLimited,  ///< over the adaptive AIMD in-flight limit (guard)
+  kRedeliveryLimit,   ///< re-queued too often after worker replacement
 };
 
 constexpr std::string_view reject_reason_name(RejectReason r) {
@@ -43,6 +45,8 @@ constexpr std::string_view reject_reason_name(RejectReason r) {
     case RejectReason::kDraining: return "draining";
     case RejectReason::kOverloaded: return "overloaded";
     case RejectReason::kRetriesExhausted: return "retries_exhausted";
+    case RejectReason::kAdmissionLimited: return "admission_limited";
+    case RejectReason::kRedeliveryLimit: return "redelivery_limit";
   }
   return "?";
 }
@@ -81,6 +85,11 @@ struct Request {
   Clock::time_point submit_time{};
   Clock::time_point deadline{};
   obs::TraceContext trace;  ///< request-scoped trace identity
+  /// Times this request was re-queued after its worker was replaced
+  /// (nga::guard watchdog); bounded so a poison batch cannot loop.
+  int redeliveries = 0;
+  /// Holds an AIMD admission token that finish() must release.
+  bool admitted = false;
   std::promise<Response> promise;
 };
 

@@ -92,21 +92,86 @@ Server::Server(ServerConfig cfg)
     throw std::invalid_argument(
         "use_guard needs exact_fallback (a guard without a fallback "
         "reports recovery it cannot perform)");
+
+  const SupervisionConfig& sup = cfg_.supervision;
+  // Breakers need the suspect/golden table split: quarantine means
+  // "serve on exact", and probes compare approx against exact.
+  breakers_enabled_ = sup.supervise && cfg_.exact_fallback &&
+                      cfg_.mode == nn::Mode::kQuantApprox &&
+                      sup.probe_samples > 0;
+  if (sup.admission.enabled)
+    limiter_ = std::make_unique<guard::AimdLimiter>(sup.admission);
+  if (sup.supervise)
+    watchdog_ = std::make_unique<guard::Watchdog>(
+        sup.watchdog, [this](const std::shared_ptr<guard::WorkerSlot>& s) {
+          hangs_detected_.fetch_add(1, std::memory_order_relaxed);
+          c("serve.guard.hang_detected").inc();
+          spawn_worker(s->id, s->generation + 1);
+        });
+  if (breakers_enabled_) {
+    // Golden probe inputs: deterministic in the server seed, shape
+    // correct, values in [0,1) like the normalized features the nets
+    // train on.
+    util::Xoshiro256 rng(mix(cfg_.seed ^ 0xA11CE5ull));
+    golden_.reserve(std::size_t(sup.probe_samples));
+    for (int i = 0; i < sup.probe_samples; ++i) {
+      nn::Tensor t(cfg_.in_c, cfg_.in_h, cfg_.in_w);
+      for (auto& v : t.v) v = float(double(rng() >> 11) * 0x1.0p-53);
+      golden_.push_back(std::move(t));
+    }
+  }
   g("serve.state").set(double(State::kStarting));
+  // Pre-register the event-driven counters so every run exports the
+  // full family at zero. Rare outcomes (a retired replica, an overload
+  // burst) must not make the instrumentation schema run-dependent —
+  // bench_diff treats a vanished counter family as a regression.
+  for (const char* name :
+       {"serve.overloaded", "serve.guard.hang_detected",
+        "serve.guard.worker_replaced", "serve.guard.admission_rejected",
+        "serve.guard.requeued", "serve.guard.redelivery_rejected",
+        "serve.guard.quarantined_batches", "serve.guard.breaker.tripped",
+        "serve.guard.breaker.probe", "serve.guard.breaker.probe_failed",
+        "serve.guard.breaker.reinstated", "serve.guard.breaker.retired"})
+    c(name);
 }
 
 Server::~Server() { drain(); }
 
 void Server::start() {
   std::lock_guard<std::mutex> lk(drain_m_);
-  if (!workers_.empty() || drained_.load()) return;
-  workers_.reserve(std::size_t(cfg_.workers));
-  for (int i = 0; i < cfg_.workers; ++i)
-    workers_.emplace_back(&Server::worker_main, this, i);
+  if (drained_.load()) return;
+  {
+    std::lock_guard<std::mutex> wlk(workers_m_);
+    if (!workers_.empty()) return;
+  }
+  for (int i = 0; i < cfg_.workers; ++i) spawn_worker(i, 0);
+  if (watchdog_) watchdog_->start();
   accepting_.store(true, std::memory_order_release);
   State expect = State::kStarting;
   state_.compare_exchange_strong(expect, State::kServing);
   g("serve.state").set(double(state()));
+}
+
+void Server::spawn_worker(int id, int generation) {
+  std::shared_ptr<guard::WorkerSlot> slot;
+  if (watchdog_) {
+    slot = watchdog_->make_slot(id, generation);
+  } else {
+    // Unsupervised workers still get a slot (uniform worker_main); it
+    // is simply never monitored or cancelled.
+    slot = std::make_shared<guard::WorkerSlot>();
+    slot->id = id;
+    slot->generation = generation;
+  }
+  if (generation > 0) {
+    workers_replaced_.fetch_add(1, std::memory_order_relaxed);
+    c("serve.guard.worker_replaced").inc();
+  }
+  std::lock_guard<std::mutex> lk(workers_m_);
+  WorkerHandle h;
+  h.slot = slot;
+  h.thread = std::thread(&Server::worker_main, this, slot);
+  workers_.push_back(std::move(h));
 }
 
 std::future<Response> Server::submit(nn::Tensor x,
@@ -148,6 +213,17 @@ std::future<Response> Server::submit(nn::Tensor x, Clock::time_point deadline) {
     finish(rq, {Outcome::kShed, RejectReason::kNone});
     return fut;
   }
+  // Adaptive admission (nga::guard): refuse work beyond the AIMD
+  // in-flight limit at the door, before it burns queue and exec time.
+  if (limiter_) {
+    if (!limiter_->try_acquire()) {
+      admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+      c("serve.guard.admission_rejected").inc();
+      finish(rq, {Outcome::kRejected, RejectReason::kAdmissionLimited});
+      return fut;
+    }
+    rq.admitted = true;
+  }
 
   switch (queue_.try_push(std::move(rq))) {
     case BoundedQueue<Request>::Push::kOk:
@@ -168,6 +244,13 @@ void Server::finish(Request& rq, Response r) {
   const auto now = Clock::now();
   r.id = rq.id;
   r.latency_ms = ms_between(rq.submit_time, now);
+  if (rq.admitted) {
+    // Return the AIMD token with this request's fate; the limiter
+    // adapts on observed completion latency and shed rate.
+    rq.admitted = false;
+    limiter_->release(r.latency_ms, r.outcome == Outcome::kShed);
+    g("serve.guard.admission.limit").set(double(limiter_->limit()));
+  }
   if (rq.trace.sampled) {
     r.trace_id = rq.trace.trace_id;
     // Root span: the whole submit -> resolution lifetime, closed with
@@ -195,31 +278,133 @@ void Server::finish(Request& rq, Response r) {
   rq.promise.set_value(std::move(r));
 }
 
-void Server::worker_main(int worker_id) {
-  obs::TraceBuffer::instance().set_thread_name(
-      "serve.worker." + std::to_string(worker_id));
+void Server::worker_main(std::shared_ptr<guard::WorkerSlot> slot) {
+  std::string lane = "serve.worker." + std::to_string(slot->id);
+  if (slot->generation > 0) lane += ".g" + std::to_string(slot->generation);
+  obs::TraceBuffer::instance().set_thread_name(lane);
+  // Injected hangs on this thread abort the moment the watchdog
+  // cancels us — replacement latency is detection time, not the full
+  // injected stall.
+  fault::Injector::set_thread_interrupt(slot->cancel.flag());
+
   auto model = cfg_.model_factory();
   std::unique_ptr<nn::ResilienceGuard> guard;
   if (cfg_.use_guard)
     guard = std::make_unique<nn::ResilienceGuard>(cfg_.exact_fallback);
-  DecorrelatedBackoff backoff(cfg_.backoff,
-                              mix(cfg_.seed ^ mix(util::u64(worker_id) + 1)));
+  DecorrelatedBackoff backoff(
+      cfg_.backoff, mix(cfg_.seed ^ mix(util::u64(slot->id) * 131 +
+                                        util::u64(slot->generation) + 1)));
   nn::LayerHealthRecorder health_rec;
+
+  // Per-replica circuit breaker + the exact-table reference its
+  // revalidation probes compare against. The exact table is the golden
+  // unit (never fault-injected), so the reference is clean even when a
+  // chaos plan is armed.
+  std::unique_ptr<guard::CircuitBreaker> breaker;
+  std::vector<int> golden_ref;
+  if (breakers_enabled_) {
+    breaker = std::make_unique<guard::CircuitBreaker>(cfg_.supervision.breaker);
+    nn::Exec ex;
+    ex.mode = cfg_.mode;
+    ex.mul = cfg_.exact_fallback;
+    golden_ref.reserve(golden_.size());
+    for (const auto& x : golden_)
+      golden_ref.push_back(argmax(model->forward(x, ex)));
+  }
+
   std::vector<Request> batch;
   Clock::time_point first_at;
   while (queue_.pop_batch(cfg_.max_batch, cfg_.batch_linger, batch,
                           &first_at)) {
     g("serve.queue.depth").set(double(queue_.size()));
-    process_batch(*model, guard.get(), backoff, health_rec, batch, first_at);
+    if (slot->replaced.load(std::memory_order_acquire)) {
+      // Cancelled in the window between finishing the previous batch
+      // and popping this one: the successor owns the lane — hand the
+      // work straight back.
+      requeue_batch(batch);
+      batch.clear();
+      break;
+    }
+    // Quarantined replica + cooldown elapsed: revalidate under
+    // traffic, before serving the popped batch.
+    if (breaker && breaker->probe_due() && breaker->begin_probe()) {
+      breaker_probes_.fetch_add(1, std::memory_order_relaxed);
+      c("serve.guard.breaker.probe").inc();
+      const bool pass = run_probe(*model, golden_ref);
+      if (!pass) {
+        breaker_probe_failures_.fetch_add(1, std::memory_order_relaxed);
+        c("serve.guard.breaker.probe_failed").inc();
+      }
+      switch (breaker->end_probe(pass)) {
+        case guard::CircuitBreaker::ProbeResult::kReinstated:
+          breaker_reinstated_.fetch_add(1, std::memory_order_relaxed);
+          c("serve.guard.breaker.reinstated").inc();
+          break;
+        case guard::CircuitBreaker::ProbeResult::kRetired:
+          breaker_retired_.fetch_add(1, std::memory_order_relaxed);
+          c("serve.guard.breaker.retired").inc();
+          break;
+        case guard::CircuitBreaker::ProbeResult::kReopened:
+        case guard::CircuitBreaker::ProbeResult::kIgnored:
+          break;
+      }
+    }
+    process_batch(*model, guard.get(), backoff, health_rec, batch, first_at,
+                  slot.get(), breaker.get());
     batch.clear();
+    if (slot->replaced.load(std::memory_order_acquire)) break;
   }
+  fault::Injector::set_thread_interrupt(nullptr);
+}
+
+bool Server::run_probe(nn::Model& model, const std::vector<int>& ref) {
+  // TimedSection: the probe lands as a section counter AND a
+  // chrome-trace span on the worker's lane.
+  obs::TimedSection ts("serve.guard.probe");
+  nn::Exec ex;
+  ex.mode = cfg_.mode;
+  ex.mul = cfg_.mul;  // the SUSPECT approximate path, not the fallback
+  int mismatches = 0;
+  for (std::size_t i = 0; i < golden_.size() && i < ref.size(); ++i)
+    if (argmax(model.forward(golden_[i], ex)) != ref[i]) ++mismatches;
+  return mismatches <= cfg_.supervision.probe_tolerance;
+}
+
+void Server::requeue_batch(std::vector<Request>& live) {
+  const int max_rd = cfg_.supervision.watchdog.max_redeliveries;
+  const auto now = Clock::now();
+  for (auto& rq : live) {
+    if (rq.deadline <= now) {
+      finish(rq, {Outcome::kShed, RejectReason::kNone});
+      continue;
+    }
+    if (rq.redeliveries >= max_rd) {
+      // Poison-batch bound: this request already rode a replaced
+      // worker max_redeliveries times; stop the loop.
+      redelivery_rejects_.fetch_add(1, std::memory_order_relaxed);
+      c("serve.guard.redelivery_rejected").inc();
+      finish(rq, {Outcome::kRejected, RejectReason::kRedeliveryLimit});
+      continue;
+    }
+    ++rq.redeliveries;
+    requeues_.fetch_add(1, std::memory_order_relaxed);
+    c("serve.guard.requeued").inc();
+    // requeue() bypasses capacity and only fails when the queue is
+    // closed — in which case rq was NOT consumed and must resolve
+    // here to keep the drain invariant.
+    if (queue_.requeue(std::move(rq)) != BoundedQueue<Request>::Push::kOk)
+      finish(rq, {Outcome::kRejected, RejectReason::kDraining});
+  }
+  live.clear();
 }
 
 void Server::process_batch(nn::Model& model, nn::ResilienceGuard* guard,
                            DecorrelatedBackoff& backoff,
                            nn::LayerHealthRecorder& health_rec,
                            std::vector<Request>& batch,
-                           Clock::time_point first_at) {
+                           Clock::time_point first_at,
+                           guard::WorkerSlot* slot,
+                           guard::CircuitBreaker* breaker) {
   // Shed before batching: a request whose deadline already passed must
   // not burn model time.
   std::vector<Request> live;
@@ -265,11 +450,22 @@ void Server::process_batch(nn::Model& model, nn::ResilienceGuard* guard,
       ++failovers;
       c("serve.failovers").inc();
     }
+    // Quarantine (circuit breaker not Closed): this replica's
+    // approximate path is suspect or retired — serve on the golden
+    // exact table until a probe reinstates it.
+    const bool quarantined =
+        breaker && breaker->state() != guard::BreakerState::kClosed;
+    if (quarantined) {
+      quarantined_batches_.fetch_add(1, std::memory_order_relaxed);
+      c("serve.guard.quarantined_batches").inc();
+    }
     nn::Exec ex;
     ex.mode = cfg_.mode;
-    ex.mul = failover ? cfg_.exact_fallback : cfg_.mul;
+    ex.mul = (failover || quarantined) ? cfg_.exact_fallback : cfg_.mul;
     ex.guard = guard;
     ex.health = &health_rec;
+    ex.cancel = slot->cancel.flag();
+    ex.heartbeat = &slot->heartbeat;
 
     const nn::LayerHealthCounters health0 = health_rec.total();
     const util::u64 det0 = fault::Injector::thread_detected();
@@ -280,18 +476,42 @@ void Server::process_batch(nn::Model& model, nn::ResilienceGuard* guard,
     xs.reserve(live.size());
     for (const auto& rq : live) xs.push_back(&rq.x);
 
+    // Watchdog bookkeeping: mark this worker busy with the batch's own
+    // latency budget (the most generous live deadline) for the exec
+    // only — backoff sleeps are bounded and not hang-suspect.
+    if (slot) {
+      util::u64 budget = 0;
+      const auto exec_start = Clock::now();
+      for (const auto& rq : live)
+        if (rq.deadline > exec_start)
+          budget = std::max(budget, to_ns(rq.deadline) - to_ns(exec_start));
+      slot->budget_ns.store(budget, std::memory_order_relaxed);
+    }
+
     std::vector<nn::Tensor> ys;
     double exec_ms = 0;
     const auto exec_from = Clock::now();
+    if (slot) slot->busy_since_ns.store(to_ns(exec_from),
+                                        std::memory_order_release);
     {
       obs::ScopedTimer t("serve.exec");
       ys = model.forward_batch(xs, ex);
       exec_ms = double(t.elapsed_ns()) * 1e-6;
     }
+    if (slot) slot->busy_since_ns.store(0, std::memory_order_release);
     const auto exec_to = Clock::now();
     for (const auto& rq : live) {
       exec_s.add(exec_ms);
       span(rq.trace, failover ? "exec.failover" : "exec", exec_from, exec_to);
+    }
+
+    // Cancelled mid-exec (watchdog replacement): whatever came back is
+    // partial/untrustworthy. Hand the live requests back to the queue
+    // for a healthy worker and get out of the way.
+    if (slot && slot->cancel.cancelled()) {
+      merge_numeric(health_rec, attempt, failovers);
+      requeue_batch(live);
+      return;
     }
 
     // Transient-failure signal: this worker's own fault detections
@@ -308,6 +528,14 @@ void Server::process_batch(nn::Model& model, nn::ResilienceGuard* guard,
         suspect = true;  // tripped and could not repair
       else if (trips > 0 && trips == rec && !nonfinite)
         suspect = false;  // layer-level recovery already fixed the batch
+    }
+
+    // Per-replica breaker verdict. Only attempts that ran the suspect
+    // approximate path count: failover/quarantined attempts ran on the
+    // golden table and say nothing about this replica's own unit.
+    if (breaker && !failover && !quarantined && breaker->record(!suspect)) {
+      breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+      c("serve.guard.breaker.tripped").inc();
     }
 
     // Numeric-health channel: this attempt's bad-events-per-MAC rate
@@ -438,10 +666,20 @@ void Server::drain() {
   accepting_.store(false, std::memory_order_release);
   state_.store(State::kDraining, std::memory_order_release);
   g("serve.state").set(double(State::kDraining));
+  // Stop the watchdog monitor FIRST: after stop() returns no further
+  // replacement can spawn, so the join loop below sees the final
+  // worker set. Workers hung in an injected delay still terminate —
+  // stalls are finite and cancelled workers wake early — so every
+  // join completes.
+  if (watchdog_) watchdog_->stop();
   queue_.close();
-  for (auto& th : workers_)
-    if (th.joinable()) th.join();
-  workers_.clear();
+  std::vector<WorkerHandle> workers;
+  {
+    std::lock_guard<std::mutex> wlk(workers_m_);
+    workers.swap(workers_);
+  }
+  for (auto& h : workers)
+    if (h.thread.joinable()) h.thread.join();
   drained_.store(true);
   state_.store(State::kStopped, std::memory_order_release);
   g("serve.state").set(double(State::kStopped));
@@ -453,6 +691,26 @@ void Server::drain() {
       std::fprintf(stderr, "serve: cannot write exposition to '%s'\n",
                    cfg_.exposition_path.c_str());
   }
+}
+
+Server::GuardStats Server::guard_stats() const {
+  GuardStats gs;
+  gs.hangs_detected = hangs_detected_.load(std::memory_order_relaxed);
+  gs.workers_replaced = workers_replaced_.load(std::memory_order_relaxed);
+  gs.requeues = requeues_.load(std::memory_order_relaxed);
+  gs.redelivery_rejects =
+      redelivery_rejects_.load(std::memory_order_relaxed);
+  gs.admission_rejects = admission_rejects_.load(std::memory_order_relaxed);
+  gs.quarantined_batches =
+      quarantined_batches_.load(std::memory_order_relaxed);
+  gs.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
+  gs.breaker_probes = breaker_probes_.load(std::memory_order_relaxed);
+  gs.breaker_probe_failures =
+      breaker_probe_failures_.load(std::memory_order_relaxed);
+  gs.breaker_reinstated = breaker_reinstated_.load(std::memory_order_relaxed);
+  gs.breaker_retired = breaker_retired_.load(std::memory_order_relaxed);
+  gs.admission_limit = limiter_ ? limiter_->limit() : 0;
+  return gs;
 }
 
 Server::Stats Server::stats() const {

@@ -25,7 +25,15 @@
 //     finish every queued request, and joins them. The accounting
 //     invariant  served + rejected + shed == submitted  holds at that
 //     point by construction (every Request's promise resolves exactly
-//     once through one choke point).
+//     once through one choke point);
+//   * supervision (nga::guard, opt-in via ServerConfig::supervision) —
+//     a watchdog replaces hung workers (cooperative cancellation, the
+//     in-flight batch re-queued under a bounded redelivery count),
+//     per-replica circuit breakers quarantine persistently-bad
+//     replicas onto the exact table and revalidate them against a
+//     golden input set (reinstate or permanently retire), and an AIMD
+//     limiter adapts the admitted in-flight count to observed p99
+//     latency and shed rate.
 //
 // Observability (v2): obs counters serve.submitted/served/rejected/
 // shed/retries/batches/failovers, the serve.queue.depth gauge,
@@ -58,6 +66,7 @@
 #include <thread>
 #include <vector>
 
+#include "guard/guard.hpp"
 #include "nn/health.hpp"
 #include "nn/model.hpp"
 #include "nn/resilience.hpp"
@@ -67,6 +76,26 @@
 #include "serve/request.hpp"
 
 namespace nga::serve {
+
+/// nga::guard supervision woven into the server (see guard/guard.hpp
+/// and DESIGN.md "Supervision & self-healing"). All off by default;
+/// existing configurations behave exactly as before.
+struct SupervisionConfig {
+  /// Master switch for the watchdog + per-replica circuit breakers.
+  bool supervise = false;
+  guard::WatchdogConfig watchdog;
+  guard::BreakerConfig breaker;
+  /// AIMD admission control; active when admission.enabled (usable
+  /// with or without the watchdog/breakers).
+  guard::AdmissionConfig admission;
+  /// Golden inputs replayed by a breaker revalidation probe. The
+  /// reference predictions come from the exact table at worker
+  /// startup; the probe re-runs them down the suspect approximate
+  /// path. Breakers need exact_fallback and kQuantApprox mode.
+  int probe_samples = 6;
+  /// Max prediction mismatches a passing probe may show.
+  int probe_tolerance = 0;
+};
 
 struct ServerConfig {
   int workers = 2;
@@ -111,6 +140,8 @@ struct ServerConfig {
   /// Builds one model replica per worker (trained weights restored,
   /// calibration done). Required.
   std::function<std::unique_ptr<nn::Model>()> model_factory;
+
+  SupervisionConfig supervision;
 };
 
 class Server {
@@ -171,14 +202,47 @@ class Server {
   };
   NumericHealth numeric_health() const;
 
+  /// nga::guard supervision accounting since start(). All zero when
+  /// supervision is off.
+  struct GuardStats {
+    util::u64 hangs_detected = 0;    ///< workers declared hung
+    util::u64 workers_replaced = 0;  ///< successor workers spawned
+    util::u64 requeues = 0;          ///< requests re-queued on replacement
+    util::u64 redelivery_rejects = 0;  ///< over max_redeliveries
+    util::u64 admission_rejects = 0;   ///< over the AIMD limit
+    util::u64 quarantined_batches = 0;  ///< served on exact while not Closed
+    util::u64 breaker_trips = 0;       ///< Closed -> Open
+    util::u64 breaker_probes = 0;      ///< revalidation probes run
+    util::u64 breaker_probe_failures = 0;
+    util::u64 breaker_reinstated = 0;  ///< HalfOpen -> Closed
+    util::u64 breaker_retired = 0;     ///< replicas permanently retired
+    std::size_t admission_limit = 0;   ///< current AIMD limit (0 = off)
+  };
+  GuardStats guard_stats() const;
+
   std::size_t queue_depth() const { return queue_.size(); }
 
  private:
-  void worker_main(int worker_id);
+  struct WorkerHandle {
+    std::thread thread;
+    std::shared_ptr<guard::WorkerSlot> slot;
+  };
+
+  void worker_main(std::shared_ptr<guard::WorkerSlot> slot);
+  /// Spawn one worker (initial pool or watchdog replacement); appends
+  /// to workers_ under workers_m_.
+  void spawn_worker(int id, int generation);
+  /// Replay the golden inputs down the given path; true iff at most
+  /// probe_tolerance predictions differ from @p ref.
+  bool run_probe(nn::Model& model, const std::vector<int>& ref);
   void process_batch(nn::Model& model, nn::ResilienceGuard* guard,
                      DecorrelatedBackoff& backoff,
                      nn::LayerHealthRecorder& health_rec,
-                     std::vector<Request>& batch, Clock::time_point first_at);
+                     std::vector<Request>& batch, Clock::time_point first_at,
+                     guard::WorkerSlot* slot, guard::CircuitBreaker* breaker);
+  /// Hand a cancelled batch's live requests back to the queue (bounded
+  /// redelivery); called by a worker that is being replaced.
+  void requeue_batch(std::vector<Request>& live);
   /// Fold one batch's per-layer health deltas into numeric_ and the
   /// serve.layer.* counters, then window-reset the recorder.
   void merge_numeric(nn::LayerHealthRecorder& rec, int attempts,
@@ -191,13 +255,23 @@ class Server {
   ServerConfig cfg_;
   BoundedQueue<Request> queue_;
   HealthTracker health_;
-  std::vector<std::thread> workers_;
+  mutable std::mutex workers_m_;  ///< workers_ (watchdog replacement races drain)
+  std::vector<WorkerHandle> workers_;
+  std::unique_ptr<guard::Watchdog> watchdog_;
+  std::unique_ptr<guard::AimdLimiter> limiter_;
+  bool breakers_enabled_ = false;
+  std::vector<nn::Tensor> golden_;  ///< probe input set (deterministic)
   std::atomic<State> state_{State::kStarting};
   std::atomic<bool> accepting_{false};
   std::atomic<bool> drained_{false};
   std::atomic<u64> next_id_{1};
   std::atomic<u64> submitted_{0}, served_{0}, rejected_{0}, shed_{0},
       retries_{0}, batches_{0};
+  // Guard accounting (atomics: workers, monitor, and submitters race).
+  std::atomic<u64> hangs_detected_{0}, workers_replaced_{0}, requeues_{0},
+      redelivery_rejects_{0}, admission_rejects_{0}, quarantined_batches_{0},
+      breaker_trips_{0}, breaker_probes_{0}, breaker_probe_failures_{0},
+      breaker_reinstated_{0}, breaker_retired_{0};
   mutable std::mutex numeric_m_;
   NumericHealth numeric_;
   std::mutex drain_m_;

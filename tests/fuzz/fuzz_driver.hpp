@@ -1,0 +1,137 @@
+// Shared entry-point glue for the fuzz harnesses.
+//
+// Every harness defines the libFuzzer ABI:
+//     extern "C" int LLVMFuzzerTestOneInput(const uint8_t*, size_t);
+// and can be built two ways:
+//   * NGA_FUZZ_LIBFUZZER (cmake -DNGA_FUZZ_LIBFUZZER=ON): no main() here,
+//     clang's -fsanitize=fuzzer supplies the coverage-guided driver;
+//   * default: the deterministic driver below replays the committed
+//     seed corpus (NGA_FUZZ_CORPUS_DIR, baked in at compile time) and
+//     then hammers the target with seeded structural mutations of those
+//     seeds. Fully reproducible, no sanitizer runtime needed — this is
+//     what runs as a plain ctest binary in CI.
+//
+// A property violation aborts (the harnesses print why first), so a
+// failure looks the same under both drivers: a crashed process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+#ifndef NGA_FUZZ_LIBFUZZER
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace nga_fuzz {
+
+inline uint64_t splitmix(uint64_t& s) {
+  uint64_t x = (s += 0x9e3779b97f4a7c15ull);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+using Bytes = std::vector<uint8_t>;
+
+inline std::vector<Bytes> load_corpus(const char* dir) {
+  std::vector<Bytes> corpus;
+  std::error_code ec;
+  std::vector<std::filesystem::path> paths;
+  for (const auto& e : std::filesystem::directory_iterator(dir, ec))
+    if (e.is_regular_file()) paths.push_back(e.path());
+  std::sort(paths.begin(), paths.end());  // deterministic replay order
+  for (const auto& p : paths) {
+    std::ifstream is(p, std::ios::binary);
+    Bytes b((std::istreambuf_iterator<char>(is)),
+            std::istreambuf_iterator<char>());
+    corpus.push_back(std::move(b));
+  }
+  return corpus;
+}
+
+/// One seeded mutation step: flip, overwrite, insert, erase, or splice.
+inline Bytes mutate(const Bytes& base, const std::vector<Bytes>& corpus,
+                    uint64_t& rng) {
+  Bytes out = base;
+  const int steps = 1 + int(splitmix(rng) % 4);
+  for (int s = 0; s < steps; ++s) {
+    switch (splitmix(rng) % 5) {
+      case 0:  // flip a random bit
+        if (!out.empty())
+          out[splitmix(rng) % out.size()] ^= uint8_t(1u << (splitmix(rng) % 8));
+        break;
+      case 1:  // overwrite a byte with an interesting value
+        if (!out.empty()) {
+          static const uint8_t kMagic[] = {0x00, 0xff, 0x80, 0x7f, ':',
+                                           ',',  '(',  ')',  '.',  '-'};
+          out[splitmix(rng) % out.size()] =
+              kMagic[splitmix(rng) % sizeof kMagic];
+        }
+        break;
+      case 2:  // insert a random byte
+        out.insert(out.begin() + long(splitmix(rng) % (out.size() + 1)),
+                   uint8_t(splitmix(rng)));
+        break;
+      case 3:  // erase a span
+        if (!out.empty()) {
+          const size_t at = splitmix(rng) % out.size();
+          const size_t n = 1 + splitmix(rng) % (out.size() - at);
+          out.erase(out.begin() + long(at), out.begin() + long(at + n));
+        }
+        break;
+      case 4:  // splice a chunk of another corpus entry
+        if (!corpus.empty()) {
+          const Bytes& other = corpus[splitmix(rng) % corpus.size()];
+          if (!other.empty()) {
+            const size_t at = splitmix(rng) % other.size();
+            const size_t n = 1 + splitmix(rng) % (other.size() - at);
+            out.insert(out.begin() + long(splitmix(rng) % (out.size() + 1)),
+                       other.begin() + long(at), other.begin() + long(at + n));
+          }
+        }
+        break;
+    }
+  }
+  if (out.size() > 1024) out.resize(1024);
+  return out;
+}
+
+}  // namespace nga_fuzz
+
+int main(int argc, char** argv) {
+  const char* dir = argc > 1 ? argv[1] : NGA_FUZZ_CORPUS_DIR;
+  long rounds = 4000;
+  if (const char* env = std::getenv("NGA_FUZZ_ROUNDS")) rounds = atol(env);
+
+  const auto corpus = nga_fuzz::load_corpus(dir);
+  if (corpus.empty()) {
+    std::fprintf(stderr, "fuzz: empty corpus at %s\n", dir);
+    return 2;
+  }
+  for (const auto& seed : corpus)
+    LLVMFuzzerTestOneInput(seed.data(), seed.size());
+
+  uint64_t rng = 0x5eedf00dcafeull;
+  for (long i = 0; i < rounds; ++i) {
+    const nga_fuzz::Bytes base =
+        (nga_fuzz::splitmix(rng) % 8 == 0)
+            ? nga_fuzz::Bytes{}  // grow from nothing now and then
+            : corpus[nga_fuzz::splitmix(rng) % corpus.size()];
+    const auto input = nga_fuzz::mutate(base, corpus, rng);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::printf("fuzz: %zu seeds + %ld mutated inputs, no property violated\n",
+              corpus.size(), rounds);
+  return 0;
+}
+
+#endif  // !NGA_FUZZ_LIBFUZZER

@@ -1,0 +1,42 @@
+// FaultPlan::parse on arbitrary bytes.
+//
+// Properties:
+//   * totality — any input either parses or yields a non-empty error;
+//     never a crash, hang, or UB;
+//   * describe() is a round-trip fixpoint — for any successfully parsed
+//     plan, parse(describe(p)) succeeds and describes identically.
+#include "fuzz_driver.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fault/plan.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view in(reinterpret_cast<const char*>(data), size);
+  nga::fault::FaultPlan plan;
+  std::string err;
+  if (!nga::fault::FaultPlan::parse(in, plan, &err)) {
+    if (err.empty()) {
+      std::fprintf(stderr, "parse failed without an error message\n");
+      std::abort();
+    }
+    return 0;
+  }
+  const std::string d1 = plan.describe();
+  nga::fault::FaultPlan reparsed;
+  std::string err2;
+  if (!nga::fault::FaultPlan::parse(d1, reparsed, &err2)) {
+    std::fprintf(stderr, "describe() not reparsable: \"%s\" (%s)\n",
+                 d1.c_str(), err2.c_str());
+    std::abort();
+  }
+  const std::string d2 = reparsed.describe();
+  if (d1 != d2) {
+    std::fprintf(stderr, "describe() not a fixpoint: \"%s\" vs \"%s\"\n",
+                 d1.c_str(), d2.c_str());
+    std::abort();
+  }
+  return 0;
+}

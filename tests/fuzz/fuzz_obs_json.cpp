@@ -1,0 +1,45 @@
+// obs::json::parse on arbitrary bytes.
+//
+// Properties:
+//   * totality — any input parses or yields a non-empty positioned
+//     error; adversarial nesting is cut off at kMaxParseDepth instead
+//     of blowing the stack;
+//   * determinism — parsing the same bytes twice gives the same verdict
+//     and the same value kind;
+//   * escape() always produces a string the parser accepts back.
+#include "fuzz_driver.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/json.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  namespace json = nga::obs::json;
+  const std::string_view in(reinterpret_cast<const char*>(data), size);
+
+  json::Value v1, v2;
+  std::string e1, e2;
+  const bool ok1 = json::parse(in, v1, &e1);
+  const bool ok2 = json::parse(in, v2, &e2);
+  if (ok1 != ok2 || (ok1 && v1.kind != v2.kind)) {
+    std::fprintf(stderr, "parse is not deterministic\n");
+    std::abort();
+  }
+  if (!ok1 && e1.empty()) {
+    std::fprintf(stderr, "parse failed without an error message\n");
+    std::abort();
+  }
+
+  // Whatever the bytes were, escape() must emit a valid string literal.
+  const std::string lit = "\"" + json::escape(in) + "\"";
+  json::Value s;
+  std::string se;
+  if (!json::parse(lit, s, &se) || !s.is_string()) {
+    std::fprintf(stderr, "escape() emitted an unparsable literal (%s)\n",
+                 se.c_str());
+    std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Posit decode -> encode round-trip on arbitrary bit patterns.
+//
+// Properties, for posit8 (es=0), posit8_2 (es=2), and posit16 (es=1):
+//   * unpack() of zero / NaR reports the matching flag;
+//   * for every other pattern, round_pack(unpack(p)) reproduces the
+//     exact bits — a posit already on the lattice must not move;
+//   * from_double(to_double(p)) reproduces the bits too (every posit at
+//     these widths is exactly representable as a double).
+#include "fuzz_driver.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "posit/posit.hpp"
+
+namespace {
+
+template <class P>
+void check_pattern(nga::util::u64 bits, const char* what) {
+  const P p = P::from_bits(typename P::storage_t(bits));
+  const nga::ps::PositUnpacked u = p.unpack();
+  if (p.is_zero() || p.is_nar()) {
+    if (u.is_zero != p.is_zero() || u.is_nar != p.is_nar()) {
+      std::fprintf(stderr, "%s: special-value flags wrong for 0x%llx\n", what,
+                   (unsigned long long)bits);
+      std::abort();
+    }
+    return;
+  }
+  const P repacked = P::round_pack(u.sign, u.scale, u.sig, false);
+  if (repacked.bits() != p.bits()) {
+    std::fprintf(stderr, "%s: unpack/round_pack moved 0x%llx to 0x%llx\n",
+                 what, (unsigned long long)p.bits(),
+                 (unsigned long long)repacked.bits());
+    std::abort();
+  }
+  const P via_double = P::from_double(p.to_double());
+  if (via_double.bits() != p.bits()) {
+    std::fprintf(stderr, "%s: double round-trip moved 0x%llx to 0x%llx\n",
+                 what, (unsigned long long)p.bits(),
+                 (unsigned long long)via_double.bits());
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  for (size_t i = 0; i < size; ++i) {
+    check_pattern<nga::ps::posit8>(data[i], "posit8");
+    check_pattern<nga::ps::posit8_2>(data[i], "posit8_2");
+    if (i + 1 < size) {
+      const nga::util::u64 w =
+          nga::util::u64(data[i]) | (nga::util::u64(data[i + 1]) << 8);
+      check_pattern<nga::ps::posit16>(w, "posit16");
+    }
+  }
+  return 0;
+}

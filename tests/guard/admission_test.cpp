@@ -1,0 +1,129 @@
+// AimdLimiter: token accounting, additive increase, multiplicative
+// decrease on p99/shed breaches, and clamping.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "guard/admission.hpp"
+
+namespace nga::guard {
+namespace {
+
+AdmissionConfig cfg(std::size_t initial, std::size_t adjust_every = 8) {
+  AdmissionConfig c;
+  c.enabled = true;
+  c.min_limit = 2;
+  c.max_limit = 64;
+  c.initial_limit = initial;
+  c.increase = 1.0;
+  c.decrease = 0.5;
+  c.target_p99_ms = 100.0;
+  c.max_shed_rate = 0.25;
+  c.adjust_every = adjust_every;
+  return c;
+}
+
+TEST(GuardAdmission, EnforcesTheInFlightLimit) {
+  AimdLimiter lim(cfg(4));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(lim.try_acquire());
+  EXPECT_EQ(lim.in_flight(), 4u);
+  EXPECT_FALSE(lim.try_acquire());  // over the limit
+  EXPECT_EQ(lim.stats().rejected, 1u);
+  lim.release(/*latency_ms=*/10.0, /*shed=*/false);
+  EXPECT_EQ(lim.in_flight(), 3u);
+  EXPECT_TRUE(lim.try_acquire());
+}
+
+TEST(GuardAdmission, HealthyWindowGrowsAdditively) {
+  AimdLimiter lim(cfg(4, /*adjust_every=*/4));
+  for (int round = 0; round < 3; ++round)
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(lim.try_acquire());
+      lim.release(10.0, false);  // fast, no shedding
+    }
+  // Three adjustment windows, +1 each: 4 -> 7.
+  EXPECT_EQ(lim.limit(), 7u);
+  EXPECT_EQ(lim.stats().increases, 3u);
+  EXPECT_EQ(lim.stats().decreases, 0u);
+}
+
+TEST(GuardAdmission, LatencyBreachCutsMultiplicatively) {
+  AimdLimiter lim(cfg(32, 8));
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(lim.try_acquire());
+    lim.release(500.0, false);  // p99 far over the 100 ms target
+  }
+  EXPECT_EQ(lim.limit(), 16u);  // 32 x 0.5
+  EXPECT_EQ(lim.stats().decreases, 1u);
+  EXPECT_GT(lim.stats().last_p99_ms, 100.0);
+}
+
+TEST(GuardAdmission, ShedBreachCutsEvenWhenFast) {
+  AimdLimiter lim(cfg(32, 8));
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(lim.try_acquire());
+    lim.release(1.0, /*shed=*/i < 4);  // 50% shed >> 25% tolerated
+  }
+  EXPECT_EQ(lim.limit(), 16u);
+  EXPECT_DOUBLE_EQ(lim.stats().last_shed_rate, 0.5);
+}
+
+TEST(GuardAdmission, LimitClampsToConfiguredRange) {
+  AimdLimiter lim(cfg(4, 4));
+  // Repeated breaches can never push the limit under min_limit...
+  for (int round = 0; round < 10; ++round)
+    for (int i = 0; i < 4; ++i) {
+      (void)lim.try_acquire();
+      lim.release(500.0, true);
+    }
+  EXPECT_EQ(lim.limit(), 2u);
+  // ...and sustained health can never push it over max_limit.
+  AimdLimiter lim2(cfg(63, 4));
+  for (int round = 0; round < 10; ++round)
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(lim2.try_acquire());
+      lim2.release(1.0, false);
+    }
+  EXPECT_EQ(lim2.limit(), 64u);
+}
+
+TEST(GuardAdmission, SawtoothRecoversAfterOverloadClears) {
+  AimdLimiter lim(cfg(32, 8));
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(lim.try_acquire());
+    lim.release(500.0, false);
+  }
+  ASSERT_EQ(lim.limit(), 16u);
+  // Load clears: additive reclaim, one step per window.
+  for (int round = 0; round < 4; ++round)
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(lim.try_acquire());
+      lim.release(5.0, false);
+    }
+  EXPECT_EQ(lim.limit(), 20u);  // 16 + 4x1
+}
+
+TEST(GuardAdmission, ConcurrentAcquireReleaseKeepsTokensConserved) {
+  AimdLimiter lim(cfg(16, 32));
+  std::atomic<long> net{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t)
+    ts.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        if (lim.try_acquire()) {
+          net.fetch_add(1);
+          lim.release(1.0, false);
+          net.fetch_sub(1);
+        }
+      }
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(net.load(), 0);
+  EXPECT_EQ(lim.in_flight(), 0u);
+  EXPECT_GE(lim.limit(), 2u);
+  EXPECT_LE(lim.limit(), 64u);
+}
+
+}  // namespace
+}  // namespace nga::guard

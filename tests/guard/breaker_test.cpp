@@ -1,0 +1,169 @@
+// CircuitBreaker state machine: Closed -> Open -> HalfOpen ->
+// Closed / Retired, with rolling-window semantics and cooldown gating.
+#include <gtest/gtest.h>
+
+#include "guard/breaker.hpp"
+
+namespace nga::guard {
+namespace {
+
+using Clock = CircuitBreaker::Clock;
+using std::chrono::milliseconds;
+
+BreakerConfig small_cfg() {
+  BreakerConfig cfg;
+  cfg.window = 8;
+  cfg.min_samples = 4;
+  cfg.trip_failure_rate = 0.5;
+  cfg.cooldown = milliseconds(10);
+  cfg.max_probe_failures = 2;
+  return cfg;
+}
+
+TEST(GuardBreaker, StartsClosedWithCleanWindow) {
+  CircuitBreaker b(small_cfg());
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_DOUBLE_EQ(b.failure_rate(), 0.0);
+  EXPECT_EQ(b.stats().trips, 0u);
+}
+
+TEST(GuardBreaker, NoTripBeforeMinSamples) {
+  CircuitBreaker b(small_cfg());
+  const auto t = Clock::now();
+  // Three straight failures: 100% failure rate but below min_samples.
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(b.record(false, t));
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  // The fourth reaches min_samples and rate >= 0.5: trips.
+  EXPECT_TRUE(b.record(false, t));
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.stats().trips, 1u);
+}
+
+TEST(GuardBreaker, HealthyWindowNeverTrips) {
+  CircuitBreaker b(small_cfg());
+  const auto t = Clock::now();
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(b.record(true, t));
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_DOUBLE_EQ(b.failure_rate(), 0.0);
+}
+
+TEST(GuardBreaker, WindowEvictsOldVerdicts) {
+  CircuitBreaker b(small_cfg());
+  const auto t = Clock::now();
+  // Failures paced to stay under the 0.5 trip rate at every prefix:
+  // f t t t f t t t -> 2/8 once the window fills.
+  for (int i = 0; i < 8; ++i) b.record(i % 4 != 0, t);
+  EXPECT_DOUBLE_EQ(b.failure_rate(), 0.25);
+  ASSERT_EQ(b.state(), BreakerState::kClosed);
+  // Eight more successes wash both failures out of the 8-slot window.
+  for (int i = 0; i < 8; ++i) b.record(true, t);
+  EXPECT_DOUBLE_EQ(b.failure_rate(), 0.0);
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+}
+
+TEST(GuardBreaker, RecordIgnoredWhileOpen) {
+  CircuitBreaker b(small_cfg());
+  const auto t = Clock::now();
+  for (int i = 0; i < 4; ++i) b.record(false, t);
+  ASSERT_EQ(b.state(), BreakerState::kOpen);
+  // Quarantined-era verdicts (exact table) must not feed the window.
+  EXPECT_FALSE(b.record(true, t));
+  EXPECT_FALSE(b.record(false, t));
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.stats().trips, 1u);
+}
+
+TEST(GuardBreaker, ProbeGatedByCooldown) {
+  CircuitBreaker b(small_cfg());
+  const auto t = Clock::now();
+  for (int i = 0; i < 4; ++i) b.record(false, t);
+  ASSERT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_FALSE(b.probe_due(t));
+  EXPECT_FALSE(b.probe_due(t + milliseconds(9)));
+  EXPECT_TRUE(b.probe_due(t + milliseconds(10)));
+  // begin_probe is a no-op outside Open.
+  CircuitBreaker closed(small_cfg());
+  EXPECT_FALSE(closed.begin_probe(t));
+}
+
+TEST(GuardBreaker, RevalidationPassReinstates) {
+  CircuitBreaker b(small_cfg());
+  auto t = Clock::now();
+  for (int i = 0; i < 4; ++i) b.record(false, t);
+  t += milliseconds(11);
+  ASSERT_TRUE(b.begin_probe(t));
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(b.end_probe(true, t), CircuitBreaker::ProbeResult::kReinstated);
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  // The reinstated replica starts with a CLEAN window: the pre-trip
+  // failures must not immediately re-trip it.
+  EXPECT_DOUBLE_EQ(b.failure_rate(), 0.0);
+  EXPECT_FALSE(b.record(false, t));  // 1 of min 4: no trip
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  const auto st = b.stats();
+  EXPECT_EQ(st.trips, 1u);
+  EXPECT_EQ(st.probes, 1u);
+  EXPECT_EQ(st.probe_failures, 0u);
+  EXPECT_EQ(st.reinstated, 1u);
+  EXPECT_FALSE(st.retired);
+}
+
+TEST(GuardBreaker, ConsecutiveProbeFailuresRetire) {
+  CircuitBreaker b(small_cfg());  // max_probe_failures = 2
+  auto t = Clock::now();
+  for (int i = 0; i < 4; ++i) b.record(false, t);
+  // First failed probe: back to Open, cooldown restarts.
+  t += milliseconds(11);
+  ASSERT_TRUE(b.begin_probe(t));
+  EXPECT_EQ(b.end_probe(false, t), CircuitBreaker::ProbeResult::kReopened);
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_FALSE(b.probe_due(t + milliseconds(5)));  // cooldown restarted
+  // Second consecutive failure: permanently retired.
+  t += milliseconds(11);
+  ASSERT_TRUE(b.begin_probe(t));
+  EXPECT_EQ(b.end_probe(false, t), CircuitBreaker::ProbeResult::kRetired);
+  EXPECT_EQ(b.state(), BreakerState::kRetired);
+  // Terminal: no more probes, no more trips, records ignored.
+  EXPECT_FALSE(b.probe_due(t + milliseconds(100)));
+  EXPECT_FALSE(b.begin_probe(t + milliseconds(100)));
+  EXPECT_FALSE(b.record(true, t));
+  const auto st = b.stats();
+  EXPECT_TRUE(st.retired);
+  EXPECT_EQ(st.probes, 2u);
+  EXPECT_EQ(st.probe_failures, 2u);
+}
+
+TEST(GuardBreaker, PassingProbeResetsTheRetireCountdown) {
+  CircuitBreaker b(small_cfg());  // retire after 2 CONSECUTIVE failures
+  auto t = Clock::now();
+  auto reopen_and_probe = [&](bool pass) {
+    for (int i = 0; i < 4; ++i) b.record(false, t);
+    t += milliseconds(11);
+    EXPECT_TRUE(b.begin_probe(t));
+    return b.end_probe(pass, t);
+  };
+  EXPECT_EQ(reopen_and_probe(false), CircuitBreaker::ProbeResult::kReopened);
+  t += milliseconds(11);
+  ASSERT_TRUE(b.begin_probe(t));
+  EXPECT_EQ(b.end_probe(true, t), CircuitBreaker::ProbeResult::kReinstated);
+  // One more failed probe after the pass: count restarted at 1, so
+  // still Reopened, not Retired.
+  EXPECT_EQ(reopen_and_probe(false), CircuitBreaker::ProbeResult::kReopened);
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+}
+
+TEST(GuardBreaker, EndProbeOutsideHalfOpenIsIgnored) {
+  CircuitBreaker b(small_cfg());
+  EXPECT_EQ(b.end_probe(true), CircuitBreaker::ProbeResult::kIgnored);
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+}
+
+TEST(GuardBreaker, StateNames) {
+  EXPECT_EQ(breaker_state_name(BreakerState::kClosed), "closed");
+  EXPECT_EQ(breaker_state_name(BreakerState::kOpen), "open");
+  EXPECT_EQ(breaker_state_name(BreakerState::kHalfOpen), "half_open");
+  EXPECT_EQ(breaker_state_name(BreakerState::kRetired), "retired");
+}
+
+}  // namespace
+}  // namespace nga::guard

@@ -1,0 +1,140 @@
+// Watchdog: hung-slot detection, heartbeat-progress exemption,
+// exactly-once on_hang, and clean stop semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "guard/watchdog.hpp"
+
+namespace nga::guard {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+util::u64 now_ns() {
+  return util::u64(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       steady_clock::now().time_since_epoch())
+                       .count());
+}
+
+WatchdogConfig fast_cfg() {
+  WatchdogConfig cfg;
+  cfg.check_interval = milliseconds(5);
+  cfg.max_exec = milliseconds(30);  // absolute threshold for test speed
+  cfg.min_timeout = milliseconds(1);
+  return cfg;
+}
+
+// Wait until pred() or the deadline; returns pred()'s final value.
+template <class Pred>
+bool eventually(Pred pred, milliseconds budget = milliseconds(2000)) {
+  const auto until = steady_clock::now() + budget;
+  while (steady_clock::now() < until) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(milliseconds(2));
+  }
+  return pred();
+}
+
+TEST(GuardWatchdog, DetectsFrozenBusySlotAndCancelsOnce) {
+  std::atomic<int> hangs{0};
+  Watchdog wd(fast_cfg(), [&](const std::shared_ptr<WorkerSlot>& s) {
+    hangs.fetch_add(1);
+    EXPECT_TRUE(s->cancel.cancelled());
+    EXPECT_TRUE(s->replaced.load());
+  });
+  auto slot = wd.make_slot(/*id=*/0, /*generation=*/0);
+  wd.start();
+  // Simulate a worker wedged mid-batch: busy, heartbeat frozen.
+  slot->budget_ns.store(1, std::memory_order_relaxed);
+  slot->busy_since_ns.store(now_ns(), std::memory_order_release);
+  ASSERT_TRUE(eventually([&] { return hangs.load() >= 1; }));
+  EXPECT_TRUE(slot->cancel.cancelled());
+  EXPECT_TRUE(slot->replaced.load());
+  // A replaced slot is never flagged twice, however long it stays busy.
+  std::this_thread::sleep_for(milliseconds(60));
+  EXPECT_EQ(hangs.load(), 1);
+  EXPECT_GE(wd.stats().hangs_detected, 1u);
+  wd.stop();
+}
+
+TEST(GuardWatchdog, ProgressingHeartbeatIsNotHung) {
+  std::atomic<int> hangs{0};
+  Watchdog wd(fast_cfg(), [&](const std::shared_ptr<WorkerSlot>&) {
+    hangs.fetch_add(1);
+  });
+  auto slot = wd.make_slot(0, 0);
+  wd.start();
+  slot->busy_since_ns.store(now_ns(), std::memory_order_release);
+  // Slow but alive: tick the heartbeat well past the 30 ms threshold.
+  const auto until = steady_clock::now() + milliseconds(120);
+  while (steady_clock::now() < until) {
+    slot->heartbeat.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(milliseconds(2));
+  }
+  EXPECT_EQ(hangs.load(), 0);
+  EXPECT_FALSE(slot->cancel.cancelled());
+  wd.stop();
+}
+
+TEST(GuardWatchdog, IdleSlotIsNeverHung) {
+  std::atomic<int> hangs{0};
+  Watchdog wd(fast_cfg(), [&](const std::shared_ptr<WorkerSlot>&) {
+    hangs.fetch_add(1);
+  });
+  auto slot = wd.make_slot(0, 0);
+  (void)slot;  // busy_since stays 0
+  wd.start();
+  std::this_thread::sleep_for(milliseconds(80));
+  EXPECT_EQ(hangs.load(), 0);
+  wd.stop();
+}
+
+TEST(GuardWatchdog, DerivedThresholdScalesWithBudget) {
+  // No absolute max_exec: threshold = deadline_factor x budget.
+  WatchdogConfig cfg;
+  cfg.check_interval = milliseconds(5);
+  cfg.deadline_factor = 2.0;
+  cfg.min_timeout = milliseconds(1);
+  std::atomic<int> hangs{0};
+  Watchdog wd(cfg, [&](const std::shared_ptr<WorkerSlot>&) {
+    hangs.fetch_add(1);
+  });
+  auto generous = wd.make_slot(0, 0);
+  auto tight = wd.make_slot(1, 0);
+  wd.start();
+  // Same frozen busy time; only the tight budget (2 x 10ms = 20ms
+  // threshold) should be flagged within the test window, the generous
+  // one (2 x 10s) never.
+  generous->budget_ns.store(util::u64(10e9), std::memory_order_relaxed);
+  tight->budget_ns.store(util::u64(10e6), std::memory_order_relaxed);
+  const util::u64 t = now_ns();
+  generous->busy_since_ns.store(t, std::memory_order_release);
+  tight->busy_since_ns.store(t, std::memory_order_release);
+  ASSERT_TRUE(eventually([&] { return hangs.load() >= 1; }));
+  EXPECT_EQ(hangs.load(), 1);
+  EXPECT_TRUE(tight->replaced.load());
+  EXPECT_FALSE(generous->replaced.load());
+  wd.stop();
+}
+
+TEST(GuardWatchdog, StopJoinsAndSilencesCallbacks) {
+  std::atomic<int> hangs{0};
+  Watchdog wd(fast_cfg(), [&](const std::shared_ptr<WorkerSlot>&) {
+    hangs.fetch_add(1);
+  });
+  auto slot = wd.make_slot(0, 0);
+  wd.start();
+  wd.stop();
+  wd.stop();  // idempotent
+  // Going busy AFTER stop: nobody is watching, nothing fires.
+  slot->busy_since_ns.store(now_ns(), std::memory_order_release);
+  std::this_thread::sleep_for(milliseconds(80));
+  EXPECT_EQ(hangs.load(), 0);
+}
+
+}  // namespace
+}  // namespace nga::guard

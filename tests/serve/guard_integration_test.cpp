@@ -1,0 +1,298 @@
+// nga::guard woven into the server, end to end:
+//   * a wedged worker is detected, cancelled, and replaced; its
+//     in-flight batch is redelivered and the drain invariant holds;
+//   * redelivery is bounded — a poisoned request that hangs every
+//     replica is eventually rejected with kRedeliveryLimit;
+//   * AIMD admission rejects over-limit submits with typed reasons;
+//   * (NGA_FAULT) a persistently-bad replica trips its breaker, is
+//     quarantined onto the exact table, and the revalidation probe
+//     retires or reinstates it through the real server plumbing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "approx/multipliers.hpp"
+#include "fault/fault.hpp"
+#include "nn/layers.hpp"
+#include "serve/serve.hpp"
+
+namespace nga::serve {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+constexpr int kC = 1, kH = 4, kW = 4;
+
+nn::Tensor make_input(int i) {
+  nn::Tensor x(kC, kH, kW);
+  for (std::size_t j = 0; j < x.v.size(); ++j)
+    x.v[j] = float((i * 31 + int(j) * 7) % 17) / 17.f;
+  return x;
+}
+
+std::unique_ptr<nn::Model> make_float_model() {
+  util::Xoshiro256 rng(7);
+  auto m = std::make_unique<nn::Model>("guard-test");
+  m->add(std::make_unique<nn::Dense>(kC * kH * kW, 10, rng));
+  return m;
+}
+
+// Burns wall time without ticking the heartbeat — from the watchdog's
+// point of view this is exactly a wedged MAC loop. `armed` lets tests
+// wedge only the first execution (one bad batch, then healthy).
+class WedgeLayer final : public nn::Layer {
+ public:
+  WedgeLayer(milliseconds d, std::atomic<int>* armed)
+      : d_(d), armed_(armed) {}
+  nn::Tensor forward(const nn::Tensor& x, const nn::Exec&) override {
+    if (!armed_ || armed_->fetch_sub(1) > 0) std::this_thread::sleep_for(d_);
+    return x;
+  }
+  nn::Tensor backward(const nn::Tensor& dy) override { return dy; }
+  std::string name() const override { return "wedge"; }
+
+ private:
+  milliseconds d_;
+  std::atomic<int>* armed_;  // nullptr => wedge every time
+};
+
+ServerConfig base_config() {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 64;
+  cfg.max_batch = 4;
+  cfg.batch_linger = microseconds(100);
+  cfg.in_c = kC;
+  cfg.in_h = kH;
+  cfg.in_w = kW;
+  cfg.mode = nn::Mode::kFloat;
+  cfg.model_factory = make_float_model;
+  return cfg;
+}
+
+SupervisionConfig fast_supervision() {
+  SupervisionConfig sup;
+  sup.supervise = true;
+  sup.watchdog.check_interval = milliseconds(10);
+  sup.watchdog.max_exec = milliseconds(40);  // absolute, for test speed
+  sup.watchdog.min_timeout = milliseconds(1);
+  sup.watchdog.max_redeliveries = 2;
+  return sup;
+}
+
+void expect_invariant(const Server::Stats& st) {
+  EXPECT_EQ(st.served + st.rejected + st.shed, st.submitted)
+      << "served=" << st.served << " rejected=" << st.rejected
+      << " shed=" << st.shed << " submitted=" << st.submitted;
+}
+
+TEST(GuardServer, HungWorkerIsReplacedAndItsBatchRedelivered) {
+  std::atomic<int> wedge_once{1};  // only the first batch wedges
+  auto cfg = base_config();
+  cfg.supervision = fast_supervision();
+  cfg.model_factory = [&] {
+    auto m = make_float_model();
+    m->add(std::make_unique<WedgeLayer>(milliseconds(250), &wedge_once));
+    return m;
+  };
+
+  Server srv(cfg);
+  srv.start();
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 12; ++i)
+    futs.push_back(srv.submit(make_input(i), milliseconds(10000)));
+  for (auto& f : futs)
+    EXPECT_EQ(f.get().outcome, Outcome::kServed)
+        << "the wedged batch must be redelivered to the replacement "
+           "worker, not lost";
+  srv.drain();
+
+  const auto gs = srv.guard_stats();
+  EXPECT_GE(gs.hangs_detected, 1u);
+  EXPECT_GE(gs.workers_replaced, 1u);
+  EXPECT_GE(gs.requeues, 1u) << "the in-flight batch rode back in";
+  EXPECT_EQ(gs.redelivery_rejects, 0u);
+  const auto st = srv.stats();
+  EXPECT_EQ(st.served, 12u);
+  expect_invariant(st);
+}
+
+TEST(GuardServer, RedeliveryIsBoundedForAPoisonedRequest) {
+  // Every replica wedges on every batch: the request can never serve.
+  auto cfg = base_config();
+  cfg.supervision = fast_supervision();
+  cfg.supervision.watchdog.max_redeliveries = 1;
+  cfg.model_factory = [] {
+    auto m = make_float_model();
+    m->add(std::make_unique<WedgeLayer>(milliseconds(120), nullptr));
+    return m;
+  };
+
+  Server srv(cfg);
+  srv.start();
+  auto r = srv.submit(make_input(0), milliseconds(30000)).get();
+  EXPECT_EQ(r.outcome, Outcome::kRejected);
+  EXPECT_EQ(r.reason, RejectReason::kRedeliveryLimit);
+  srv.drain();
+
+  const auto gs = srv.guard_stats();
+  EXPECT_GE(gs.hangs_detected, 2u) << "initial delivery plus redelivery";
+  EXPECT_EQ(gs.requeues, 1u) << "one redelivery allowed, then the cap";
+  EXPECT_EQ(gs.redelivery_rejects, 1u);
+  expect_invariant(srv.stats());
+}
+
+TEST(GuardServer, AdmissionLimiterRejectsOverLimitSubmits) {
+  auto cfg = base_config();
+  cfg.supervision.admission.enabled = true;  // usable without supervise
+  cfg.supervision.admission.min_limit = 2;
+  cfg.supervision.admission.initial_limit = 2;
+  cfg.supervision.admission.max_limit = 2;
+  cfg.model_factory = [] {
+    auto m = make_float_model();
+    m->add(std::make_unique<WedgeLayer>(milliseconds(5), nullptr));
+    return m;
+  };
+
+  Server srv(cfg);
+  srv.start();
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 24; ++i)
+    futs.push_back(srv.submit(make_input(i), milliseconds(10000)));
+
+  std::size_t limited = 0, served = 0;
+  for (auto& f : futs) {
+    const auto r = f.get();
+    if (r.outcome == Outcome::kRejected) {
+      EXPECT_EQ(r.reason, RejectReason::kAdmissionLimited);
+      ++limited;
+    } else if (r.outcome == Outcome::kServed) {
+      ++served;
+    }
+  }
+  srv.drain();
+  EXPECT_GT(limited, 0u) << "a 24-deep burst through a 2-token limiter "
+                            "must shed load at admission";
+  EXPECT_GT(served, 0u) << "admitted requests still serve";
+  const auto gs = srv.guard_stats();
+  EXPECT_EQ(gs.admission_rejects, limited);
+  EXPECT_EQ(gs.admission_limit, 2u);
+  expect_invariant(srv.stats());
+}
+
+#if NGA_FAULT
+
+// Drive traffic until pred() is true or `rounds` requests have been
+// served; returns the number submitted.
+template <class Pred>
+int pump_until(Server& srv, Pred pred, int rounds,
+               milliseconds gap = milliseconds(5)) {
+  int n = 0;
+  for (; n < rounds && !pred(); ++n) {
+    (void)srv.submit(make_input(n), milliseconds(5000)).get();
+    std::this_thread::sleep_for(gap);
+  }
+  return n;
+}
+
+ServerConfig quant_config(const nn::MulTable* approx,
+                          const nn::MulTable* exact) {
+  auto cfg = base_config();
+  cfg.mode = nn::Mode::kQuantApprox;
+  cfg.mul = approx;
+  cfg.exact_fallback = exact;
+  cfg.max_attempts = 2;
+  cfg.retry_exact_failover = true;
+  cfg.backoff.base = microseconds(50);
+  cfg.backoff.cap = microseconds(500);
+  cfg.supervision.supervise = true;
+  cfg.supervision.breaker.window = 8;
+  cfg.supervision.breaker.min_samples = 4;
+  cfg.supervision.breaker.trip_failure_rate = 0.5;
+  cfg.supervision.breaker.cooldown = milliseconds(30);
+  cfg.supervision.breaker.max_probe_failures = 2;
+  cfg.supervision.probe_samples = 6;
+  return cfg;
+}
+
+TEST(GuardServer, BadReplicaIsQuarantinedProbedAndRetired) {
+  const auto mults = ax::table2_multipliers();
+  const nn::MulTable approx(*mults.front());
+  const nn::MulTable exact;
+
+  // Every approximate MAC is corrupted: the replica is persistently
+  // bad, so the revalidation probe must keep failing until the breaker
+  // permanently retires it.
+  fault::FaultPlan plan;
+  plan.inject(fault::Site::kNnMul, fault::Model::kBitFlip, 1.0);
+  fault::Injector::instance().arm(plan, 1234);
+
+  auto cfg = quant_config(&approx, &exact);
+  cfg.supervision.probe_tolerance = 0;
+  Server srv(cfg);
+  srv.start();
+
+  pump_until(srv, [&] { return srv.guard_stats().breaker_trips >= 1; }, 60);
+  EXPECT_GE(srv.guard_stats().breaker_trips, 1u)
+      << "an all-MACs-corrupted replica must trip its breaker";
+  pump_until(srv, [&] { return srv.guard_stats().breaker_retired >= 1; }, 120,
+             milliseconds(10));
+  srv.drain();
+  fault::Injector::instance().disarm();
+
+  const auto gs = srv.guard_stats();
+  EXPECT_GE(gs.breaker_retired, 1u)
+      << "probes against the still-faulty path must exhaust "
+         "max_probe_failures";
+  EXPECT_GE(gs.breaker_probes, 2u);
+  EXPECT_GE(gs.breaker_probe_failures, 2u);
+  EXPECT_GT(gs.quarantined_batches, 0u)
+      << "post-trip batches ride the exact table";
+  EXPECT_EQ(gs.breaker_reinstated, 0u);
+  // Quarantine means the requests themselves keep succeeding.
+  const auto st = srv.stats();
+  EXPECT_GT(st.served, 0u);
+  EXPECT_EQ(st.rejected + st.shed, 0u);
+  expect_invariant(st);
+}
+
+TEST(GuardServer, RevalidationPassReinstatesTheReplica) {
+  const auto mults = ax::table2_multipliers();
+  const nn::MulTable approx(*mults.front());
+  const nn::MulTable exact;
+
+  fault::FaultPlan plan;
+  plan.inject(fault::Site::kNnMul, fault::Model::kBitFlip, 1.0);
+  fault::Injector::instance().arm(plan, 99);
+
+  auto cfg = quant_config(&approx, &exact);
+  // Tolerate every golden mismatch: the probe's verdict is "pass", so
+  // this exercises the HalfOpen -> Closed reinstatement path through
+  // the server (the strict-tolerance retire path is covered above).
+  cfg.supervision.probe_tolerance = cfg.supervision.probe_samples;
+  Server srv(cfg);
+  srv.start();
+
+  pump_until(srv, [&] { return srv.guard_stats().breaker_trips >= 1; }, 60);
+  ASSERT_GE(srv.guard_stats().breaker_trips, 1u);
+  pump_until(srv, [&] { return srv.guard_stats().breaker_reinstated >= 1; },
+             120, milliseconds(10));
+  srv.drain();
+  fault::Injector::instance().disarm();
+
+  const auto gs = srv.guard_stats();
+  EXPECT_GE(gs.breaker_reinstated, 1u);
+  EXPECT_GE(gs.breaker_probes, 1u);
+  EXPECT_EQ(gs.breaker_retired, 0u);
+  expect_invariant(srv.stats());
+}
+
+#endif  // NGA_FAULT
+
+}  // namespace
+}  // namespace nga::serve

@@ -1,0 +1,153 @@
+// Drain racing admission, hammered for the TSan CI leg.
+//
+// The contract under attack: close()/drain() may land at ANY point in a
+// storm of submit()/try_push()/requeue() calls, and every single item
+// must still be accounted for exactly once — consumed by a worker, or
+// bounced back to its producer as kFull/kClosed. Nothing is dropped,
+// nothing is double-delivered, and served + rejected + shed ==
+// submitted holds at the server level.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "serve/serve.hpp"
+
+namespace nga::serve {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+TEST(DrainRace, QueueCloseMidStormLosesAndDuplicatesNothing) {
+  constexpr int kProducers = 4, kConsumers = 3, kPerProducer = 3000;
+  for (int round = 0; round < 8; ++round) {
+    BoundedQueue<int> q(16);
+    std::atomic<long> pushed{0}, bounced{0}, popped{0};
+    std::atomic<long> value_sum_in{0}, value_sum_out{0};
+
+    std::vector<std::thread> producers, consumers;
+    for (int p = 0; p < kProducers; ++p)
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          const int v = p * kPerProducer + i;
+          // Exercise both admission paths under the race.
+          const auto res = (i % 7 == 0) ? q.requeue(int(v)) : q.try_push(int(v));
+          if (res == BoundedQueue<int>::Push::kOk) {
+            pushed.fetch_add(1, std::memory_order_relaxed);
+            value_sum_in.fetch_add(v, std::memory_order_relaxed);
+          } else {
+            bounced.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    for (int c = 0; c < kConsumers; ++c)
+      consumers.emplace_back([&] {
+        std::vector<int> batch;
+        while (q.pop_batch(4, microseconds(20), batch)) {
+          popped.fetch_add(long(batch.size()), std::memory_order_relaxed);
+          for (int v : batch)
+            value_sum_out.fetch_add(v, std::memory_order_relaxed);
+        }
+      });
+
+    // Close somewhere in the middle of the storm.
+    std::this_thread::sleep_for(microseconds(200 + round * 300));
+    q.close();
+    for (auto& t : producers) t.join();
+    for (auto& t : consumers) t.join();
+
+    EXPECT_EQ(pushed.load() + bounced.load(),
+              long(kProducers) * kPerProducer);
+    EXPECT_EQ(popped.load(), pushed.load())
+        << "every admitted item is consumed, even after close()";
+    EXPECT_EQ(value_sum_out.load(), value_sum_in.load())
+        << "items arrive exactly once, unmodified";
+    EXPECT_EQ(q.size(), 0u);
+  }
+}
+
+TEST(DrainRace, FailedPushLeavesTheItemWithTheCaller) {
+  // kClosed/kFull must not consume the moved-from operand: the server
+  // finishes such a request (kDraining / kOverloaded) from the
+  // still-live object after the push fails.
+  using Q = BoundedQueue<std::vector<int>>;
+  Q full(1);
+  ASSERT_EQ(full.try_push(std::vector<int>{1}), Q::Push::kOk);
+  std::vector<int> item{4, 2};
+  EXPECT_EQ(full.try_push(std::move(item)), Q::Push::kFull);
+  EXPECT_EQ(item.size(), 2u) << "kFull left the operand intact";
+
+  Q closed(4);
+  closed.close();
+  EXPECT_EQ(closed.try_push(std::move(item)), Q::Push::kClosed);
+  EXPECT_EQ(item.size(), 2u) << "kClosed left the operand intact";
+  EXPECT_EQ(closed.requeue(std::move(item)), Q::Push::kClosed);
+  EXPECT_EQ(item.size(), 2u) << "requeue kClosed left the operand intact";
+  EXPECT_EQ(closed.size(), 0u);
+}
+
+// Submitters racing drain() through the full server stack: the single
+// finish() choke point keeps the invariant exact whatever interleaving
+// the scheduler produces. This is the server-level twin of the raw
+// queue test above (the TSan leg runs both).
+TEST(DrainRace, ServerDrainRacingSubmittersKeepsExactAccounting) {
+  constexpr int kC = 1, kH = 2, kW = 2;
+  for (int round = 0; round < 4; ++round) {
+    ServerConfig cfg;
+    cfg.workers = 2;
+    cfg.queue_capacity = 8;
+    cfg.max_batch = 4;
+    cfg.batch_linger = microseconds(50);
+    cfg.in_c = kC;
+    cfg.in_h = kH;
+    cfg.in_w = kW;
+    cfg.mode = nn::Mode::kFloat;
+    cfg.model_factory = [] {
+      util::Xoshiro256 rng(3);
+      auto m = std::make_unique<nn::Model>("drain-race");
+      m->add(std::make_unique<nn::Dense>(kC * kH * kW, 4, rng));
+      return m;
+    };
+
+    Server srv(cfg);
+    srv.start();
+
+    constexpr int kThreads = 4, kPer = 200;
+    std::vector<std::future<Response>> futs[kThreads];
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kThreads; ++t)
+      submitters.emplace_back([&, t] {
+        nn::Tensor x(kC, kH, kW);
+        for (int i = 0; i < kPer; ++i) {
+          for (auto& f : x.v) f = float((t + i) % 5) / 5.f;
+          futs[t].push_back(srv.submit(x, milliseconds(200)));
+        }
+      });
+    // Drain while the submitters are mid-burst.
+    std::this_thread::sleep_for(microseconds(300 + round * 500));
+    srv.drain();
+    for (auto& t : submitters) t.join();
+
+    u64 resolved = 0;
+    for (auto& tf : futs)
+      for (auto& f : tf) {
+        ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready)
+            << "drain() must resolve every outstanding future";
+        (void)f.get();
+        ++resolved;
+      }
+    const auto st = srv.stats();
+    EXPECT_EQ(st.submitted, resolved);
+    EXPECT_EQ(st.served + st.rejected + st.shed, st.submitted)
+        << "served=" << st.served << " rejected=" << st.rejected
+        << " shed=" << st.shed << " submitted=" << st.submitted;
+    for (int t = 0; t < kThreads; ++t) futs[t].clear();
+  }
+}
+
+}  // namespace
+}  // namespace nga::serve

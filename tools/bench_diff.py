@@ -22,7 +22,9 @@ Values of counters, wall times, and latency gauges are reported for the
 human but never gated: they are run-size and machine dependent.
 
 Exit codes: 0 comparable, 1 regression (missing families / broken
-floors), 2 usage or unreadable input.
+floors), 2 usage or unreadable input. `--self-test` exercises both
+failure modes against synthetic documents and exits 0 iff the checker
+itself still catches them.
 """
 
 import argparse
@@ -45,6 +47,8 @@ _FLOOR = 0.99
 # and go with the run's fault dice. Checked as a group, not per key.
 _SPARSE = re.compile(r"serve\.layer\.")
 
+_SECTIONS = ("counters", "gauges", "metrics", "wall_ns")
+
 
 def family(key: str) -> str:
     for rx, repl in _NORMALIZERS:
@@ -60,12 +64,20 @@ def families(d: dict) -> dict:
     return out
 
 
-def load(path: str) -> dict:
+def load(path: str, role: str) -> dict:
     try:
         with open(path) as f:
             d = json.load(f)
+    except FileNotFoundError:
+        print(f"bench_diff: {role} snapshot missing: {path}", file=sys.stderr)
+        if role == "committed":
+            print("bench_diff: regenerate it with the bench's --json flag "
+                  "and commit the result alongside this change",
+                  file=sys.stderr)
+        sys.exit(2)
     except (OSError, json.JSONDecodeError) as e:
-        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        print(f"bench_diff: cannot read {role} snapshot {path}: {e}",
+              file=sys.stderr)
         sys.exit(2)
     if d.get("schema") != "nga-bench-v1":
         print(f"bench_diff: {path}: unexpected schema {d.get('schema')!r}",
@@ -74,26 +86,17 @@ def load(path: str) -> dict:
     return d
 
 
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("committed", help="committed BENCH_*.json snapshot")
-    ap.add_argument("fresh", help="fresh bench --json output")
-    ap.add_argument("--allow-missing", action="append", default=[],
-                    help="family regex exempt from the coverage check "
-                         "(e.g. a section gated off in this build)")
-    args = ap.parse_args()
-
-    base, fresh = load(args.committed), load(args.fresh)
+def compare(base: dict, fresh: dict, exempt=(), log=print):
+    """Coverage + floor checks. Returns (failures, new_families)."""
     failures = []
+    new_families = []
 
     if base["bench"] != fresh["bench"]:
         failures.append(
             f"bench name: committed {base['bench']!r} vs fresh "
             f"{fresh['bench']!r}")
 
-    exempt = [re.compile(p) for p in args.allow_missing]
-    new_families = []
-    for section in ("counters", "gauges", "metrics", "wall_ns"):
+    for section in _SECTIONS:
         bfam = families(base.get(section, {}))
         ffam = families(fresh.get(section, {}))
         sparse_missing = []
@@ -101,7 +104,7 @@ def main() -> int:
             if fam in ffam:
                 continue
             if any(rx.search(fam) for rx in exempt):
-                print(f"  [exempt] {section}: {fam}")
+                log(f"  [exempt] {section}: {fam}")
                 continue
             if _SPARSE.search(fam):
                 sparse_missing.append(fam)
@@ -114,7 +117,7 @@ def main() -> int:
                 f"({len(sparse_missing)} committed, e.g. {sparse_missing[0]})")
         elif sparse_missing:
             for fam in sparse_missing:
-                print(f"  [sparse]  {section}: {fam} (absent this run)")
+                log(f"  [sparse]  {section}: {fam} (absent this run)")
         new_families += [f"{section}: {f}" for f in sorted(set(ffam) - set(bfam))]
 
     # The additive trace key (recorded/dropped spans) must not regress
@@ -138,6 +141,74 @@ def main() -> int:
                 failures.append(
                     f"floor broken: {key} = {v:.4f} < {_FLOOR} "
                     f"(committed family {fam} held it)")
+
+    return failures, new_families
+
+
+def self_test() -> int:
+    """Feed the checker synthetic documents covering every verdict it can
+    reach, so CI notices if a refactor stops it catching regressions."""
+    def doc(gauges=None, counters=None):
+        return {"schema": "nga-bench-v1", "bench": "t",
+                "gauges": gauges or {}, "counters": counters or {}}
+
+    quiet = lambda *_: None
+    base = doc(gauges={"a.success_rate": 0.995, "a.p99_ms": 12.0},
+               counters={"soak.rate_0p0050.served": 100,
+                         "soak.rate_0p0200.served": 400})
+    cases = [
+        ("identical docs pass",
+         base, base, (), 0),
+        ("fewer swept rates still cover the family",
+         base, doc(gauges=dict(base["gauges"]),
+                   counters={"soak.rate_0p0100.served": 50}), (), 0),
+        ("vanished family is a regression",
+         base, doc(gauges=dict(base["gauges"])), (), 1),
+        ("--allow-missing exempts the family",
+         base, doc(gauges=dict(base["gauges"])),
+         (re.compile(r"rate_\*"),), 0),
+        ("broken floor is a regression",
+         base, doc(gauges={"a.success_rate": 0.52, "a.p99_ms": 9.0},
+                   counters=dict(base["counters"])), (), 1),
+        ("no floor claim when the committed value is below it",
+         doc(gauges={"b.success_rate": 0.60}),
+         doc(gauges={"b.success_rate": 0.10}), (), 0),
+        ("renamed bench is a regression",
+         base, dict(base, bench="other"), (), 1),
+    ]
+    bad = 0
+    for name, b, f, exempt, want in cases:
+        failures, _ = compare(b, f, exempt, log=quiet)
+        got = 1 if failures else 0
+        status = "ok" if got == want else "FAIL"
+        bad += got != want
+        print(f"  [{status}] {name}" +
+              (f" (want {want}, got {got}: {failures})" if got != want else ""))
+    print(f"bench_diff --self-test: {len(cases) - bad}/{len(cases)} ok")
+    return 1 if bad else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("committed", nargs="?",
+                    help="committed BENCH_*.json snapshot")
+    ap.add_argument("fresh", nargs="?", help="fresh bench --json output")
+    ap.add_argument("--allow-missing", action="append", default=[],
+                    help="family regex exempt from the coverage check "
+                         "(e.g. a section gated off in this build)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the checker against synthetic documents")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.committed or not args.fresh:
+        ap.error("the committed and fresh snapshot paths are required")
+
+    base = load(args.committed, "committed")
+    fresh = load(args.fresh, "fresh")
+    exempt = [re.compile(p) for p in args.allow_missing]
+    failures, new_families = compare(base, fresh, exempt)
 
     print(f"bench_diff: {args.committed} vs {args.fresh}")
     print(f"  committed: {sum(len(base.get(s, {})) for s in ('counters', 'gauges', 'metrics'))} metrics"
