@@ -2,8 +2,9 @@
 //
 // Each bench defines `nga_bench_main(argc, argv)` instead of `main`;
 // this header supplies the real `main`, which
-//   * strips the harness flags  --json <path>  and  --trace <path>
-//     before forwarding the remaining argv to the bench body,
+//   * strips the harness flags  --json <path>,  --trace <path>  and
+//     --prof <path>  before forwarding the remaining argv to the bench
+//     body,
 //   * validates the command line up front: a harness flag without a
 //     value, an output path that cannot be opened for writing, or an
 //     unknown `--flag` all fail fast with a clear message and exit
@@ -12,7 +13,12 @@
 //     nested TimedSections the bench or the instrumented library add),
 //   * on --json, writes the registry in the stable nga-bench-v1 schema
 //     (see src/obs/export.hpp) — the format CI diffs as BENCH_*.json,
-//   * on --trace, writes a chrome://tracing trace_event JSON document.
+//   * on --trace, writes a chrome://tracing trace_event JSON document,
+//   * on --prof, writes a standalone performance-attribution document
+//     ({"schema":"nga-prof-v1","bench":...,"prof":{...}}, the same
+//     object the "prof" section embeds in the bench JSON) — for benches
+//     that drive a prof::LayerProfiler (see src/prof/). Useful when the
+//     kernel table is wanted without the full registry dump.
 //
 // A bench that takes flags of its own declares them before including
 // this header:
@@ -31,6 +37,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "prof/prof.hpp"
 
 #ifndef NGA_BENCH_EXTRA_FLAGS
 #define NGA_BENCH_EXTRA_FLAGS {}
@@ -52,27 +59,28 @@ inline std::string bench_name_from(const char* argv0) {
 
 int main(int argc, char** argv) {
   const std::vector<std::string> extra_flags = NGA_BENCH_EXTRA_FLAGS;
-  std::string json_path, trace_path;
+  std::string json_path, trace_path, prof_path;
   std::vector<char*> fwd;
   fwd.reserve(std::size_t(argc) + 1);
   if (argc > 0) fwd.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     const bool is_json = std::strcmp(argv[i], "--json") == 0;
     const bool is_trace = std::strcmp(argv[i], "--trace") == 0;
-    if (is_json || is_trace) {
+    const bool is_prof = std::strcmp(argv[i], "--prof") == 0;
+    if (is_json || is_trace || is_prof) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "bench harness: %s requires a file path\n",
                      argv[i]);
         return 2;
       }
-      (is_json ? json_path : trace_path) = argv[++i];
+      (is_json ? json_path : is_trace ? trace_path : prof_path) = argv[++i];
       continue;
     }
     if (std::strncmp(argv[i], "--", 2) == 0) {
       bool known = false;
       for (const auto& f : extra_flags) known = known || f == argv[i];
       if (!known) {
-        std::string accepted = "--json <path>, --trace <path>";
+        std::string accepted = "--json <path>, --trace <path>, --prof <path>";
         for (const auto& f : extra_flags) accepted += ", " + f;
         std::fprintf(stderr,
                      "bench harness: unknown flag '%s' (accepted: %s)\n",
@@ -86,7 +94,7 @@ int main(int argc, char** argv) {
 
   // Open the output files before spending minutes in the bench body: an
   // unwritable path must fail now, not after the work is done.
-  std::ofstream json_os, trace_os;
+  std::ofstream json_os, trace_os, prof_os;
   if (!json_path.empty()) {
     json_os.open(json_path);
     if (!json_os) {
@@ -100,6 +108,14 @@ int main(int argc, char** argv) {
     if (!trace_os) {
       std::fprintf(stderr, "bench harness: cannot write trace to '%s'\n",
                    trace_path.c_str());
+      return 2;
+    }
+  }
+  if (!prof_path.empty()) {
+    prof_os.open(prof_path);
+    if (!prof_os) {
+      std::fprintf(stderr, "bench harness: cannot write prof output to '%s'\n",
+                   prof_path.c_str());
       return 2;
     }
   }
@@ -126,6 +142,18 @@ int main(int argc, char** argv) {
     if (!trace_os) {
       std::fprintf(stderr, "bench harness: failed to write trace to '%s'\n",
                    trace_path.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  if (prof_os.is_open()) {
+    prof_os << "{\"schema\":\"nga-prof-v1\",\"bench\":\""
+            << nga::obs::json::escape(bench) << "\",\"prof\":";
+    nga::prof::ProfRegistry::instance().write_json(prof_os);
+    prof_os << "}\n";
+    if (!prof_os) {
+      std::fprintf(stderr,
+                   "bench harness: failed to write prof output to '%s'\n",
+                   prof_path.c_str());
       if (rc == 0) rc = 1;
     }
   }

@@ -22,6 +22,10 @@
 #include "util/bits.hpp"
 #include "util/rng.hpp"
 
+namespace nga::prof {
+class LayerProfiler;
+}
+
 namespace nga::nn {
 
 using util::u64;
@@ -40,6 +44,11 @@ struct Exec {
   /// Per-layer numeric-health attribution (nn/health.hpp); single
   /// threaded, one per model replica like the guard.
   LayerHealthRecorder* health = nullptr;
+  /// Per-layer performance attribution (prof/attribution.hpp); single
+  /// threaded, one per model replica like the health recorder. Driven
+  /// by the NGA_PROF_* hooks in Model::forward — with NGA_PROF=0 the
+  /// pointer is dead weight and nothing reads it.
+  prof::LayerProfiler* prof = nullptr;
   /// Cooperative cancellation (nga::guard watchdog): checked between
   /// layers and between batch samples. A cancelled forward returns
   /// early with a partial result the caller must discard.

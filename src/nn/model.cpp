@@ -8,6 +8,7 @@
 #include "fault/fault.hpp"
 #include "nn/health.hpp"
 #include "nn/resilience.hpp"
+#include "prof/prof.hpp"
 
 namespace nga::nn {
 
@@ -27,12 +28,16 @@ void tick(const Exec& ex) {
 
 Tensor Model::forward(const Tensor& x, const Exec& ex) {
   if (ex.health) ex.health->begin_forward();
+  NGA_PROF_FWD_BEGIN(ex);
   if (!ex.guard) {
     Tensor t = x;
     for (auto& l : layers_) {
       if (cancelled(ex)) return t;  // partial — caller must discard
       if (ex.health) ex.health->begin_layer();
+      [[maybe_unused]] const std::size_t in_elems = t.v.size();
+      NGA_PROF_LAYER_BEGIN(ex);
       t = l->forward(t, ex);
+      NGA_PROF_LAYER_END(ex, l, in_elems, t.v.size());
       tick(ex);
       if (ex.health) ex.health->end_layer(l->name());
     }
@@ -51,6 +56,8 @@ Tensor Model::forward(const Tensor& x, const Exec& ex) {
     if (cancelled(cur)) return t;  // partial — caller must discard
     cur.guard->begin_layer();
     if (cur.health) cur.health->begin_layer();
+    [[maybe_unused]] const std::size_t in_elems = t.v.size();
+    NGA_PROF_LAYER_BEGIN(cur);
     Tensor y = l->forward(t, cur);
     if (cur.guard->layer_tripped()) {
       cur.guard->enter_degraded(l->name());
@@ -60,7 +67,11 @@ Tensor Model::forward(const Tensor& x, const Exec& ex) {
       }
     }
     // The guard's exact re-run counts into the same layer: the health
-    // channel sees what the layer actually cost, recovery included.
+    // and prof channels see what the layer actually cost, recovery
+    // included (nominal MACs count once; the redo shows up as extra
+    // wall time and LUT probes — the degradation is visible, not
+    // hidden).
+    NGA_PROF_LAYER_END(cur, l, in_elems, y.v.size());
     tick(cur);
     if (cur.health) cur.health->end_layer(l->name());
     t = std::move(y);

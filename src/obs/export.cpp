@@ -2,7 +2,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
@@ -33,7 +37,31 @@ void write_map(std::ostream& os, const char* key, const Map& m, Fn value) {
   os << "}";
 }
 
+// Registered additive sections (key -> writer), in registration order.
+// Function-local so first use from any static initializer is safe.
+struct ExtraSections {
+  std::mutex m;
+  std::vector<std::pair<std::string, std::function<void(std::ostream&)>>> v;
+  static ExtraSections& instance() {
+    static ExtraSections s;
+    return s;
+  }
+};
+
 }  // namespace
+
+void register_json_section(std::string key,
+                           std::function<void(std::ostream&)> writer) {
+  auto& s = ExtraSections::instance();
+  std::lock_guard<std::mutex> lk(s.m);
+  for (auto& [k, w] : s.v) {
+    if (k == key) {
+      w = std::move(writer);
+      return;
+    }
+  }
+  s.v.emplace_back(std::move(key), std::move(writer));
+}
 
 void write_metrics_json(std::ostream& os, std::string_view bench_name) {
   const auto& reg = MetricsRegistry::instance();
@@ -60,6 +88,14 @@ void write_metrics_json(std::ostream& os, std::string_view bench_name) {
   const auto& trace = TraceBuffer::instance();
   os << ",\"trace\":{\"recorded_spans\":" << trace.size()
      << ",\"dropped_spans\":" << trace.dropped() << "}";
+  {
+    auto& extra = ExtraSections::instance();
+    std::lock_guard<std::mutex> lk(extra.m);
+    for (const auto& [key, writer] : extra.v) {
+      os << ",\"" << json::escape(key) << "\":";
+      writer(os);
+    }
+  }
   os << "}\n";
 }
 

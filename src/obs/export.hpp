@@ -11,14 +11,21 @@
 //     "metrics":  { "<series>": { "count": <u64>, "mean": <double>,
 //                                 "stddev": <double>, "min": <double>,
 //                                 "max": <double> }, ... },
-//     "trace":    { "recorded_spans": <u64>, "dropped_spans": <u64> }
+//     "trace":    { "recorded_spans": <u64>, "dropped_spans": <u64> },
+//     ...registered sections (e.g. "prof": {...})
 //   }
 // "trace" reports the span buffer's fill and loss so a truncated trace
 // shows up in the diffed JSON, not just in the trace file (additive
-// key; the schema string is unchanged).
+// key; the schema string is unchanged). Further additive top-level keys
+// come from register_json_section(): subsystems layered ABOVE obs (the
+// prof attribution registry) plug their section in at startup, so obs
+// never grows an upward dependency and benches that don't touch the
+// subsystem keep their exact schema.
 #pragma once
 
+#include <functional>
 #include <ostream>
+#include <string>
 #include <string_view>
 
 namespace nga::obs {
@@ -27,5 +34,14 @@ inline constexpr std::string_view kBenchSchema = "nga-bench-v1";
 
 /// Serialize the current registry state in the schema above.
 void write_metrics_json(std::ostream& os, std::string_view bench_name);
+
+/// Register an additive top-level section emitted after "trace". The
+/// writer must emit ONE valid JSON value (typically an object). Keys
+/// are emitted in registration order; re-registering a key replaces its
+/// writer. @p key must not collide with the core schema keys above.
+/// Thread-safe; writers run under the section lock, so they must not
+/// recursively register.
+void register_json_section(std::string key,
+                           std::function<void(std::ostream&)> writer);
 
 }  // namespace nga::obs

@@ -23,8 +23,28 @@ std::string num(double v) {
   return buf;
 }
 
+// Escaping for `# HELP` text per the Prometheus text format: backslash
+// and line feed; everything else passes through.
+std::string help_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '\n')
+      out += "\\n";
+    else
+      out.push_back(c);
+  }
+  return out;
+}
+
+// One family: optional `# HELP`, then `# TYPE`, then the sample. HELP
+// must precede TYPE (Prometheus text-format convention; scrapers that
+// parse metadata expect this order).
 void line(std::ostream& os, const std::string& metric, const char* type,
-          const std::string& value) {
+          const std::string& value, const std::string& help = {}) {
+  if (!help.empty()) os << "# HELP " << metric << " " << help_escape(help) << "\n";
   os << "# TYPE " << metric << " " << type << "\n"
      << metric << " " << value << "\n";
 }
@@ -40,19 +60,27 @@ std::string exposition_name(std::string_view name) {
 
 void write_text_exposition(std::ostream& os) {
   const auto& reg = MetricsRegistry::instance();
+  const auto help = reg.help_snapshot();
+  const auto help_of = [&](const std::string& k) -> std::string {
+    const auto it = help.find(k);
+    return it == help.end() ? std::string{} : it->second;
+  };
   for (const auto& [k, v] : reg.counters_snapshot())
-    line(os, exposition_name(k) + "_total", "counter", std::to_string(v));
+    line(os, exposition_name(k) + "_total", "counter", std::to_string(v),
+         help_of(k));
   for (const auto& [k, v] : reg.sections_snapshot())
-    line(os, exposition_name(k) + "_ns_total", "counter", std::to_string(v));
+    line(os, exposition_name(k) + "_ns_total", "counter", std::to_string(v),
+         help_of(k));
   for (const auto& [k, v] : reg.gauges_snapshot())
-    line(os, exposition_name(k), "gauge", num(v));
+    line(os, exposition_name(k), "gauge", num(v), help_of(k));
   for (const auto& [k, s] : reg.series_snapshot()) {
     const std::string base = exposition_name(k);
-    line(os, base + "_count", "gauge", std::to_string(s.count));
-    line(os, base + "_mean", "gauge", num(s.mean));
-    line(os, base + "_stddev", "gauge", num(s.stddev));
-    line(os, base + "_min", "gauge", num(s.min));
-    line(os, base + "_max", "gauge", num(s.max));
+    // The five derived families share the series' help text.
+    line(os, base + "_count", "gauge", std::to_string(s.count), help_of(k));
+    line(os, base + "_mean", "gauge", num(s.mean), help_of(k));
+    line(os, base + "_stddev", "gauge", num(s.stddev), help_of(k));
+    line(os, base + "_min", "gauge", num(s.min), help_of(k));
+    line(os, base + "_max", "gauge", num(s.max), help_of(k));
   }
 }
 

@@ -3,8 +3,14 @@
 // for eyeballs and standard tooling rather than CI diffs: every
 // registered counter, section, gauge, and value series is rendered as
 //
+//   # HELP nga_serve_served_total Requests served to completion.
 //   # TYPE nga_serve_served_total counter
 //   nga_serve_served_total 720
+//
+// The `# HELP` line appears (before `# TYPE`, as the Prometheus text
+// format requires) for every entry registered with help text
+// (MetricsRegistry::describe or the two-argument counter/gauge/series
+// overloads); entries without help render TYPE + sample only.
 //
 // Metric names are the registry names sanitized to the Prometheus
 // grammar ([a-zA-Z_:][a-zA-Z0-9_:]*; every other byte becomes '_').

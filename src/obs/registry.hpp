@@ -105,6 +105,42 @@ class MetricsRegistry {
   Gauge& gauge(std::string_view name) { return get(gauges_, name); }
   ValueSeries& series(std::string_view name) { return get(series_, name); }
 
+  // Registration with help text: same lookup, plus the description the
+  // text exposition renders as a `# HELP` line (exposition.cpp). Help
+  // is keyed by REGISTRY name — every exposition family derived from
+  // the entry (the _total/_ns_total/_count/... suffixed metrics)
+  // inherits it. Last writer wins; empty help registers nothing.
+  Counter& counter(std::string_view name, std::string_view help) {
+    describe(name, help);
+    return get(counters_, name);
+  }
+  Counter& section(std::string_view name, std::string_view help) {
+    describe(name, help);
+    return get(sections_, name);
+  }
+  Gauge& gauge(std::string_view name, std::string_view help) {
+    describe(name, help);
+    return get(gauges_, name);
+  }
+  ValueSeries& series(std::string_view name, std::string_view help) {
+    describe(name, help);
+    return get(series_, name);
+  }
+
+  /// Attach (or replace) help text for a registry name.
+  void describe(std::string_view name, std::string_view help) {
+    if (help.empty()) return;
+    std::lock_guard<std::mutex> lk(m_);
+    help_[std::string(name)] = std::string(help);
+  }
+
+  /// Registry-name -> help text, for the exposition writer. Help
+  /// survives reset() — it describes the metric, not its value.
+  std::map<std::string, std::string> help_snapshot() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return help_;
+  }
+
   /// Zero every registered value. Registered objects survive (cached
   /// references at call sites must stay valid), only their state clears.
   void reset() {
@@ -160,6 +196,7 @@ class MetricsRegistry {
   std::map<std::string, Counter, std::less<>> sections_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, ValueSeries, std::less<>> series_;
+  std::map<std::string, std::string> help_;  ///< name -> # HELP text
 };
 
 }  // namespace nga::obs

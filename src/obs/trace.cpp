@@ -106,7 +106,15 @@ void TraceBuffer::write_chrome_trace(std::ostream& os) const {
   char buf[224];
   for (const auto& ev : events) {
     sep();
-    if (ev.trace_id == 0) {
+    if (ev.is_counter) {
+      // Counter track: chrome draws args values as a stepped graph on
+      // its own lane (pid 1, one lane per counter name).
+      std::snprintf(buf, sizeof buf,
+                    "\"ph\":\"C\",\"ts\":%" PRIu64
+                    ".%03u,\"pid\":1,\"args\":{\"value\":%.17g}",
+                    ev.start_ns / 1000, unsigned(ev.start_ns % 1000),
+                    ev.value);
+    } else if (ev.trace_id == 0) {
       // chrome wants microseconds; keep ns precision as fractional us.
       std::snprintf(buf, sizeof buf,
                     "\"ph\":\"X\",\"ts\":%" PRIu64 ".%03u,\"dur\":%" PRIu64

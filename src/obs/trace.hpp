@@ -39,8 +39,11 @@ namespace nga::obs {
 using util::u32;
 using util::u64;
 
-/// One completed span. Timestamps are steady-clock nanoseconds
-/// (process-relative, see timer.hpp's now_ns()).
+/// One completed span — or, when is_counter is set, one sample on a
+/// named counter track (chrome "C" event: the viewer draws a stepped
+/// graph of `value` over time; dur/span fields are ignored). Timestamps
+/// are steady-clock nanoseconds (process-relative, see timer.hpp's
+/// now_ns()).
 struct TraceEvent {
   std::string name;
   u64 start_ns = 0;
@@ -49,6 +52,8 @@ struct TraceEvent {
   u64 trace_id = 0;     ///< request-scoped when nonzero
   u64 span_id = 0;      ///< unique per span within a trace
   u64 parent_span = 0;  ///< 0 = root span of its trace
+  bool is_counter = false;  ///< counter-track sample, not a span
+  double value = 0.0;       ///< sampled value when is_counter
 };
 
 /// Small sequential id per thread — chrome's tid field wants something

@@ -1,0 +1,198 @@
+#include "prof/exposition_server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NGA_PROF_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define NGA_PROF_HAVE_SOCKETS 0
+#endif
+
+#include "obs/exposition.hpp"
+#include "obs/registry.hpp"
+
+namespace nga::prof {
+
+namespace {
+
+#if NGA_PROF_HAVE_SOCKETS
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const auto n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                          MSG_NOSIGNAL
+#else
+                          0
+#endif
+    );
+    if (n <= 0) return;  // peer went away mid-response; nothing to do
+    off += std::size_t(n);
+  }
+}
+
+std::string http_response(int code, const char* status,
+                          const std::string& body,
+                          const char* content_type = "text/plain") {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << code << " " << status << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  return os.str();
+}
+#endif
+
+}  // namespace
+
+ExpositionServer::ExpositionServer(ExpositionConfig cfg)
+    // Pre-registered with help text so the families exist (and are
+    // HELP-annotated) from the very first scrape, not the second.
+    : cfg_(std::move(cfg)),
+      scrapes_c_(obs::MetricsRegistry::instance().counter(
+          "prof.metrics.scrapes",
+          "Successful GET /metrics responses served.")),
+      bad_c_(obs::MetricsRegistry::instance().counter(
+          "prof.metrics.bad_requests",
+          "Rejected /metrics endpoint requests (400/404/405).")) {}
+
+ExpositionServer::~ExpositionServer() { stop(); }
+
+#if NGA_PROF_HAVE_SOCKETS
+
+bool ExpositionServer::start() {
+  if (thread_.joinable()) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    reason_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(uint16_t(cfg_.port));
+  if (::inet_pton(AF_INET, cfg_.bind_addr.c_str(), &addr.sin_addr) != 1) {
+    reason_ = "bad bind address: " + cfg_.bind_addr;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, 8) < 0) {
+    reason_ = std::string("bind/listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = int(ntohs(addr.sin_port));
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void ExpositionServer::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  // Wake the blocking accept with a self-connection; shutdown() on the
+  // listening socket is not portable enough to rely on.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd >= 0) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(uint16_t(port_));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    ::close(fd);
+  }
+  thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void ExpositionServer::accept_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listening socket gone; shut down
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    handle(fd);
+    ::close(fd);
+  }
+}
+
+void ExpositionServer::handle(int fd) {
+  // Read until the end of the request head or a small cap — the only
+  // requests this endpoint accepts fit comfortably in one packet.
+  std::string req;
+  char buf[1024];
+  while (req.size() < 8192 && req.find("\r\n\r\n") == std::string::npos &&
+         req.find('\n') == std::string::npos) {
+    const auto n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    req.append(buf, std::size_t(n));
+  }
+  // Parse "<METHOD> <PATH> HTTP/..." from the request line.
+  const auto eol = req.find_first_of("\r\n");
+  const std::string first = req.substr(0, eol);
+  const auto sp1 = first.find(' ');
+  const auto sp2 = first.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      first.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    bad_c_.inc();
+    send_all(fd, http_response(400, "Bad Request", "bad request\n"));
+    return;
+  }
+  const std::string method = first.substr(0, sp1);
+  const std::string path = first.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    bad_c_.inc();
+    send_all(fd, http_response(405, "Method Not Allowed",
+                               "only GET is supported\n"));
+    return;
+  }
+  if (path != "/metrics") {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    bad_c_.inc();
+    send_all(fd, http_response(404, "Not Found", "try /metrics\n"));
+    return;
+  }
+  scrapes_.fetch_add(1, std::memory_order_relaxed);
+  scrapes_c_.inc();
+  std::ostringstream body;
+  obs::write_text_exposition(body);
+  send_all(fd, http_response(200, "OK", body.str(),
+                             "text/plain; version=0.0.4; charset=utf-8"));
+}
+
+#else  // !NGA_PROF_HAVE_SOCKETS
+
+bool ExpositionServer::start() {
+  reason_ = "sockets unavailable on this platform";
+  return false;
+}
+void ExpositionServer::stop() {}
+void ExpositionServer::accept_loop() {}
+void ExpositionServer::handle(int) {}
+
+#endif
+
+}  // namespace nga::prof

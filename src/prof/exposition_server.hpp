@@ -1,0 +1,78 @@
+// Minimal blocking HTTP endpoint serving the Prometheus text exposition
+// of the live metrics registry: `GET /metrics` on one acceptor thread,
+// one connection at a time, Connection: close. This is deliberately not
+// a web server — it exists so a soaking nga::serve process can be
+// scraped MID-RUN (curl, Prometheus, a watch loop) instead of only
+// dumping metrics at drain.
+//
+// Protocol surface, all covered by tests/prof/exposition_server_test:
+//   GET /metrics        -> 200 text/plain; version=0.0.4, full registry
+//   GET <anything else> -> 404
+//   non-GET method      -> 405
+//   unparsable request  -> 400
+// Every response closes the connection; a malformed request never takes
+// the acceptor down (scrapes keep working after it). Scrape traffic is
+// itself counted (prof.metrics.scrapes / prof.metrics.bad_requests).
+//
+// Binding: loopback only by default — this exposes process internals
+// and has no auth; binding a routable address is the caller's explicit
+// choice. Port 0 picks an ephemeral port, readable via port() once
+// start() returns (tests and parallel CI jobs need this).
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "obs/registry.hpp"
+#include "util/bits.hpp"
+
+namespace nga::prof {
+
+using util::u64;
+
+struct ExpositionConfig {
+  std::string bind_addr = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral; see port()
+};
+
+class ExpositionServer {
+ public:
+  explicit ExpositionServer(ExpositionConfig cfg = {});
+  ~ExpositionServer();
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  /// Bind + listen + spawn the acceptor. Returns false (with reason())
+  /// when the socket can't be set up; the object is then inert.
+  bool start();
+  /// Stop accepting, close the socket, join the acceptor. Idempotent.
+  void stop();
+  bool running() const { return thread_.joinable(); }
+
+  /// Actual bound port once start() succeeded (resolves port 0).
+  int port() const { return port_; }
+  const std::string& reason() const { return reason_; }
+
+  u64 scrapes() const { return scrapes_.load(std::memory_order_relaxed); }
+  u64 bad_requests() const {
+    return bad_requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void handle(int fd);
+
+  ExpositionConfig cfg_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::string reason_;
+  std::atomic<bool> stop_{false};
+  std::atomic<u64> scrapes_{0};
+  std::atomic<u64> bad_requests_{0};
+  obs::Counter& scrapes_c_;  ///< obs mirrors of the two atomics, so
+  obs::Counter& bad_c_;      ///< scrape traffic shows up in scrapes
+  std::thread thread_;
+};
+
+}  // namespace nga::prof

@@ -1,0 +1,174 @@
+#include "prof/perf_counters.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define NGA_PROF_HAVE_PERF 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define NGA_PROF_HAVE_PERF 0
+#endif
+
+namespace nga::prof {
+
+PerfSample& PerfSample::operator+=(const PerfSample& o) {
+  if (!o.available) return *this;
+  available = true;
+  cycles += o.cycles;
+  instructions += o.instructions;
+  cache_refs += o.cache_refs;
+  cache_misses += o.cache_misses;
+  branch_misses += o.branch_misses;
+  return *this;
+}
+
+PerfSample PerfSample::delta_since(const PerfSample& o) const {
+  PerfSample d;
+  if (!available || !o.available) return d;
+  d.available = true;
+  d.cycles = cycles - o.cycles;
+  d.instructions = instructions - o.instructions;
+  d.cache_refs = cache_refs - o.cache_refs;
+  d.cache_misses = cache_misses - o.cache_misses;
+  d.branch_misses = branch_misses - o.branch_misses;
+  return d;
+}
+
+#if NGA_PROF_HAVE_PERF
+
+namespace {
+
+// Group read layout with PERF_FORMAT_GROUP | TOTAL_TIME_ENABLED |
+// TOTAL_TIME_RUNNING | ID: header then one {value, id} pair per member.
+struct GroupRead {
+  u64 nr;
+  u64 time_enabled;
+  u64 time_running;
+  struct {
+    u64 value;
+    u64 id;
+  } v[8];
+};
+
+int sys_perf_event_open(perf_event_attr* attr, pid_t pid, int cpu,
+                        int group_fd, unsigned long flags) {
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags));
+}
+
+}  // namespace
+
+int PerfCounters::open_event(u64 type, u64 config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = static_cast<unsigned>(type);
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;  // group starts via leader enable
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING | PERF_FORMAT_ID;
+  return sys_perf_event_open(&attr, /*pid=*/0, /*cpu=*/-1, group_fd,
+                             PERF_FLAG_FD_CLOEXEC);
+}
+
+PerfCounters::PerfCounters(PerfConfig cfg) {
+  if (!cfg.enabled) {
+    reason_ = "disabled";
+    return;
+  }
+  if (cfg.force_unavailable) {
+    reason_ = "forced-ENOSYS";
+    return;
+  }
+  const u64 leader = cfg.leader_config == u64(-1)
+                         ? u64(PERF_COUNT_HW_CPU_CYCLES)
+                         : cfg.leader_config;
+  leader_fd_ = open_event(PERF_TYPE_HARDWARE, leader, -1);
+  if (leader_fd_ < 0) {
+    // errno names keep the degradation reason greppable in the "prof"
+    // JSON: EACCES = perf_event_paranoid, ENOSYS = seccomp'd container,
+    // ENOENT = no PMU (common in VMs), EINVAL = bad config.
+    const int e = errno;
+    reason_ = std::string("perf_event_open: ") +
+              (std::strerror(e) ? std::strerror(e) : "unknown error");
+    return;
+  }
+  reason_.clear();
+  // Siblings are best-effort: a PMU without branch-miss counting still
+  // yields cycles/MAC, the headline number.
+  fd_instructions_ =
+      open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, leader_fd_);
+  fd_cache_refs_ = open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES,
+                              leader_fd_);
+  fd_cache_misses_ =
+      open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, leader_fd_);
+  fd_branch_misses_ =
+      open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES, leader_fd_);
+  ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfSample PerfCounters::read() const {
+  PerfSample s;
+  if (leader_fd_ < 0) return s;
+  GroupRead g;
+  std::memset(&g, 0, sizeof g);
+  const ssize_t n = ::read(leader_fd_, &g, sizeof g);
+  if (n < ssize_t(3 * sizeof(u64))) return s;
+  // Multiplex scaling: with more groups than PMU slots the kernel
+  // time-slices; scale observed counts up to the full enabled window.
+  double scale = 1.0;
+  if (g.time_running > 0 && g.time_running < g.time_enabled)
+    scale = double(g.time_enabled) / double(g.time_running);
+  const auto scaled = [&](u64 v) { return u64(double(v) * scale); };
+
+  // Member order matches open order: leader first, then each sibling
+  // that opened (failed siblings were never in the group).
+  u64 idx = 0;
+  s.available = true;
+  s.cycles = scaled(g.v[idx++].value);
+  if (fd_instructions_ >= 0) s.instructions = scaled(g.v[idx++].value);
+  if (fd_cache_refs_ >= 0) s.cache_refs = scaled(g.v[idx++].value);
+  if (fd_cache_misses_ >= 0) s.cache_misses = scaled(g.v[idx++].value);
+  if (fd_branch_misses_ >= 0) s.branch_misses = scaled(g.v[idx++].value);
+  return s;
+}
+
+void PerfCounters::reset() {
+  if (leader_fd_ < 0) return;
+  ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+}
+
+void PerfCounters::close_all() {
+  for (int* fd : {&fd_instructions_, &fd_cache_refs_, &fd_cache_misses_,
+                  &fd_branch_misses_, &leader_fd_}) {
+    if (*fd >= 0) ::close(*fd);
+    *fd = -1;
+  }
+}
+
+#else  // !NGA_PROF_HAVE_PERF
+
+int PerfCounters::open_event(u64, u64, int) { return -1; }
+
+PerfCounters::PerfCounters(PerfConfig cfg) {
+  reason_ = !cfg.enabled          ? "disabled"
+            : cfg.force_unavailable ? "forced-ENOSYS"
+                                    : "not-linux";
+}
+
+PerfSample PerfCounters::read() const { return {}; }
+void PerfCounters::reset() {}
+void PerfCounters::close_all() {}
+
+#endif
+
+PerfCounters::~PerfCounters() { close_all(); }
+
+}  // namespace nga::prof

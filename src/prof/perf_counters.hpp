@@ -1,0 +1,125 @@
+// Linux hardware performance counters via perf_event_open, with
+// graceful degradation everywhere the syscall is unavailable.
+//
+// One PerfCounters owns one counter GROUP scheduled together on the
+// calling thread: cycles (leader) + instructions, cache-references,
+// cache-misses, branch-misses (siblings). Reads return a coherent
+// multiplex-scaled sample of the whole group in one syscall.
+//
+// Degradation contract (the part callers rely on):
+//   * construction NEVER throws for environment reasons. On non-Linux
+//     builds, in containers that seccomp the syscall away, under
+//     perf_event_paranoid lockdown, or on PMU-less VMs, the object
+//     simply reports available() == false with a human-readable
+//     unavailable_reason(), and every read returns a sample whose
+//     `available` flag is false (never fabricated zeros presented as
+//     measurements);
+//   * individual SIBLING events that the PMU lacks are dropped from the
+//     group rather than failing the whole thing — only the cycles
+//     leader is mandatory;
+//   * the attribution layer (prof/attribution.hpp) checks `available`
+//     and falls back to wall-clock-only accounting, and the exported
+//     "prof" JSON section marks counters "unavailable" rather than
+//     emitting zeros.
+//
+// The group counts user-space only (exclude_kernel, exclude_hv): that
+// is what perf_event_paranoid=2 permits without privileges, and kernel
+// time is noise for MAC-kernel attribution anyway.
+#pragma once
+
+#include <string>
+
+#include "util/bits.hpp"
+
+namespace nga::prof {
+
+using util::u64;
+
+struct PerfConfig {
+  /// Master switch; false behaves exactly like an unavailable syscall
+  /// (reason "disabled").
+  bool enabled = true;
+  /// Test shim: pretend perf_event_open returned ENOSYS without making
+  /// the syscall. Deterministic on every platform — the degradation
+  /// tests use it so they do not depend on the runner's kernel config.
+  bool force_unavailable = false;
+  /// Leader event config within PERF_TYPE_HARDWARE. The default is
+  /// PERF_COUNT_HW_CPU_CYCLES; tests pass a garbage value to exercise
+  /// the real EINVAL failure path of the syscall.
+  u64 leader_config = u64(-1);  ///< -1 = PERF_COUNT_HW_CPU_CYCLES
+};
+
+/// One multiplex-scaled reading of the group. `available` is false when
+/// the group never opened — the counter fields are then meaningless and
+/// MUST NOT be reported as zeros (check the flag first).
+struct PerfSample {
+  bool available = false;
+  u64 cycles = 0;
+  u64 instructions = 0;
+  u64 cache_refs = 0;
+  u64 cache_misses = 0;
+  u64 branch_misses = 0;
+
+  PerfSample& operator+=(const PerfSample& o);
+  /// Counter-wise delta (this - o); available iff both sides are.
+  PerfSample delta_since(const PerfSample& o) const;
+};
+
+class PerfCounters {
+ public:
+  explicit PerfCounters(PerfConfig cfg = {});
+  ~PerfCounters();
+
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True iff the cycles leader opened and the group is counting.
+  bool available() const { return leader_fd_ >= 0; }
+  /// Why not, when !available(): "disabled", "forced-ENOSYS",
+  /// "not-linux", or the errno name the syscall failed with.
+  const std::string& unavailable_reason() const { return reason_; }
+
+  /// Which sibling events actually opened (cycles implies available()).
+  bool has_instructions() const { return fd_instructions_ >= 0; }
+  bool has_cache() const { return fd_cache_refs_ >= 0; }
+  bool has_branch_misses() const { return fd_branch_misses_ >= 0; }
+
+  /// Read the group now (running counters; one read() syscall). On an
+  /// unavailable group returns {available: false}.
+  PerfSample read() const;
+
+  /// Zero the whole group (ioctl RESET); no-op when unavailable.
+  void reset();
+
+  /// RAII delta: reads at construction and adds (end - start) into
+  /// @p sink at destruction. On an unavailable group the sink's
+  /// `available` flag is left untouched (wall-clock-only fallback).
+  class Scoped {
+   public:
+    Scoped(const PerfCounters& pc, PerfSample& sink)
+        : pc_(pc), sink_(sink), t0_(pc.read()) {}
+    Scoped(const Scoped&) = delete;
+    Scoped& operator=(const Scoped&) = delete;
+    ~Scoped() {
+      if (t0_.available) sink_ += pc_.read().delta_since(t0_);
+    }
+
+   private:
+    const PerfCounters& pc_;
+    PerfSample& sink_;
+    PerfSample t0_;
+  };
+
+ private:
+  int open_event(u64 type, u64 config, int group_fd);
+  void close_all();
+
+  int leader_fd_ = -1;  ///< cycles
+  int fd_instructions_ = -1;
+  int fd_cache_refs_ = -1;
+  int fd_cache_misses_ = -1;
+  int fd_branch_misses_ = -1;
+  std::string reason_ = "unopened";
+};
+
+}  // namespace nga::prof

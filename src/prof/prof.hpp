@@ -1,0 +1,64 @@
+// nga::prof — umbrella header and the NGA_PROF attribution hooks.
+//
+// Mirrors the NGA_OBS pattern (obs/obs.hpp): with NGA_PROF=1 (the
+// default, controlled by the CMake option NGA_PROF) the hooks below
+// bracket each layer of an instrumented forward pass when the Exec
+// carries a LayerProfiler; with NGA_PROF=0 every hook expands to
+// `((void)0)` and the instrumented modules compile with attribution
+// fully elided — a build that doesn't want profiling pays nothing, not
+// even the null check.
+//
+// The prof *classes* (PerfCounters, LayerProfiler, Sampler,
+// ExpositionServer) are plain library code and remain available either
+// way — only the hot-path hooks are guarded.
+#pragma once
+
+#include "prof/attribution.hpp"
+#include "prof/exposition_server.hpp"
+#include "prof/perf_counters.hpp"
+#include "prof/sampler.hpp"
+
+#ifndef NGA_PROF
+#define NGA_PROF 1
+#endif
+
+#if NGA_PROF
+
+/// Rewind the profiler's layer cursor at the top of a forward pass.
+#define NGA_PROF_FWD_BEGIN(ex)                          \
+  do {                                                  \
+    if ((ex).prof) (ex).prof->begin_forward();          \
+  } while (0)
+
+/// Snapshot clocks/counters before a layer runs.
+#define NGA_PROF_LAYER_BEGIN(ex)                        \
+  do {                                                  \
+    if ((ex).prof) (ex).prof->begin_layer();            \
+  } while (0)
+
+/// Attribute the layer that just ran. @p in_elems / @p out_elems are
+/// activation element counts; together with the layer's parameters they
+/// model the bytes touched (each float read or written once).
+#define NGA_PROF_LAYER_END(ex, l, in_elems, out_elems)                       \
+  do {                                                                       \
+    if ((ex).prof)                                                           \
+      (ex).prof->end_layer(                                                  \
+          (l)->name(), (l)->macs(),                                          \
+          ::nga::util::u64((in_elems) + (out_elems) + (l)->param_count()) *  \
+              sizeof(float));                                                \
+  } while (0)
+
+/// RAII flamegraph frame on the calling thread (prof/sampler.hpp).
+#define NGA_PROF_SCOPE(name) \
+  ::nga::prof::SamplerScope NGA_PROF_CAT_(nga_prof_scope_, __LINE__) { name }
+#define NGA_PROF_CAT_(a, b) NGA_PROF_CAT2_(a, b)
+#define NGA_PROF_CAT2_(a, b) a##b
+
+#else  // !NGA_PROF — every attribution hook vanishes.
+
+#define NGA_PROF_FWD_BEGIN(ex) ((void)0)
+#define NGA_PROF_LAYER_BEGIN(ex) ((void)0)
+#define NGA_PROF_LAYER_END(ex, l, in_elems, out_elems) ((void)0)
+#define NGA_PROF_SCOPE(name) ((void)0)
+
+#endif  // NGA_PROF

@@ -1,0 +1,103 @@
+#include "prof/sampler.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace nga::prof {
+
+ScopeRegistry& ScopeRegistry::instance() {
+  static ScopeRegistry r;
+  return r;
+}
+
+namespace {
+
+// Thread-exit hook: drops this thread's stack out of the registry so a
+// sampler never snapshots a dead thread's (empty, but pointless) stack.
+struct ThreadStackHolder {
+  std::shared_ptr<ScopeStack> stack;
+  ~ThreadStackHolder() {
+    if (stack) ScopeRegistry::instance().unregister(stack);
+  }
+};
+
+}  // namespace
+
+ScopeStack& ScopeRegistry::this_thread() {
+  thread_local ThreadStackHolder holder;
+  if (!holder.stack) {
+    holder.stack = std::make_shared<ScopeStack>();
+    std::lock_guard<std::mutex> lk(m_);
+    stacks_.push_back(holder.stack);
+  }
+  return *holder.stack;
+}
+
+std::vector<std::shared_ptr<ScopeStack>> ScopeRegistry::stacks() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return stacks_;
+}
+
+void ScopeRegistry::unregister(const std::shared_ptr<ScopeStack>& s) {
+  std::lock_guard<std::mutex> lk(m_);
+  stacks_.erase(std::remove(stacks_.begin(), stacks_.end(), s),
+                stacks_.end());
+}
+
+void Sampler::start(double hz) {
+  if (hz <= 0.0 || thread_.joinable()) return;
+  hz = std::clamp(hz, 1.0, 10000.0);
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this, hz] { run(hz); });
+}
+
+void Sampler::stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void Sampler::run(double hz) {
+  const auto period = std::chrono::nanoseconds(u64(1e9 / hz));
+  std::unique_lock<std::mutex> lk(m_);
+  while (!stop_) {
+    // Snapshot outside the sampler's own lock would let collapsed()
+    // race counts_; instead drop the lock only around the stack copies
+    // (the slow part), then re-take it to account the tick.
+    lk.unlock();
+    const auto stacks = ScopeRegistry::instance().stacks();
+    std::vector<std::string> lines;
+    lines.reserve(stacks.size());
+    for (const auto& s : stacks) {
+      std::string c = s->collapsed();
+      lines.push_back(c.empty() ? "(idle)" : std::move(c));
+    }
+    lk.lock();
+    ++samples_;
+    for (auto& l : lines) ++counts_[std::move(l)];
+    if (cv_.wait_for(lk, period, [this] { return stop_; })) break;
+  }
+}
+
+u64 Sampler::samples() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return samples_;
+}
+
+std::map<std::string, u64> Sampler::collapsed() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return counts_;
+}
+
+void Sampler::write_collapsed(std::ostream& os) const {
+  for (const auto& [stack, n] : collapsed()) os << stack << " " << n << "\n";
+}
+
+}  // namespace nga::prof

@@ -1,0 +1,145 @@
+// Sampling wall-clock profiler producing collapsed-stack output for
+// flamegraph tooling (flamegraph.pl / speedscope / inferno read the
+// "frame;frame;frame count" lines directly).
+//
+// Deliberately THREAD-based, not signal-based: a SIGPROF handler may
+// only touch async-signal-safe state, which rules out walking any
+// structure another thread could be mutating under a lock — and the
+// repo's worker stacks are exactly that. Instead, instrumented scopes
+// (SamplerScope) maintain an explicit per-thread frame stack guarded by
+// a tiny mutex, and one sampler thread wakes at the configured Hz,
+// locks each registered stack in turn, and copies the frame names out.
+// Cost model: scope push/pop is a mutex op on the WARM path (per batch
+// / per request, never per MAC); sampling perturbs a worker only for
+// the microseconds the copy holds its stack lock. The tradeoff vs
+// signals is honest skew — a sample reflects the stack a lock-grab
+// later than the tick — which is fine at the 10-1000 Hz this is for
+// (see DESIGN.md "Performance attribution").
+//
+// Name lifetimes: the stack COPIES names on push (std::string), so a
+// sample can never observe a dangling pointer, no matter when the
+// owning scope exits. Thread exit unregisters the stack via the
+// thread_local holder's destructor; the shared_ptr keeps a stack alive
+// through a concurrent sample racing the exit.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace nga::prof {
+
+using util::u64;
+
+/// One thread's instrumented frame stack. push/pop from the owning
+/// thread; snapshot from the sampler thread.
+class ScopeStack {
+ public:
+  void push(std::string_view name) {
+    std::lock_guard<std::mutex> lk(m_);
+    frames_.emplace_back(name);
+  }
+  void pop() {
+    std::lock_guard<std::mutex> lk(m_);
+    if (!frames_.empty()) frames_.pop_back();
+  }
+  /// Frames joined root-first with ';' (collapsed-stack convention);
+  /// empty string when the thread is outside any instrumented scope.
+  std::string collapsed() const {
+    std::lock_guard<std::mutex> lk(m_);
+    std::string out;
+    for (const auto& f : frames_) {
+      if (!out.empty()) out.push_back(';');
+      out += f;
+    }
+    return out;
+  }
+
+ private:
+  mutable std::mutex m_;
+  std::vector<std::string> frames_;
+};
+
+/// Process-wide registry of live thread stacks. Registration is
+/// automatic on a thread's first SamplerScope; unregistration happens
+/// on thread exit.
+class ScopeRegistry {
+ public:
+  static ScopeRegistry& instance();
+
+  /// The calling thread's stack (created + registered on first use).
+  ScopeStack& this_thread();
+
+  /// Stable references to every live stack (for the sampler thread).
+  std::vector<std::shared_ptr<ScopeStack>> stacks() const;
+
+  /// Called by the thread-exit holder; a sampler holding the shared_ptr
+  /// finishes its in-flight snapshot safely after removal.
+  void unregister(const std::shared_ptr<ScopeStack>& s);
+
+ private:
+  mutable std::mutex m_;
+  std::vector<std::shared_ptr<ScopeStack>> stacks_;
+};
+
+/// RAII frame on the calling thread's stack.
+class SamplerScope {
+ public:
+  explicit SamplerScope(std::string_view name)
+      : stack_(ScopeRegistry::instance().this_thread()) {
+    stack_.push(name);
+  }
+  SamplerScope(const SamplerScope&) = delete;
+  SamplerScope& operator=(const SamplerScope&) = delete;
+  ~SamplerScope() { stack_.pop(); }
+
+ private:
+  ScopeStack& stack_;
+};
+
+/// The sampler proper: one background thread ticking at @p hz,
+/// accumulating collapsed-stack counts. Multiple instances may run
+/// (they share the ScopeRegistry but keep independent counts).
+class Sampler {
+ public:
+  Sampler() = default;
+  ~Sampler() { stop(); }
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Start sampling at @p hz (clamped to [1, 10000]). No-op if already
+  /// running or hz <= 0.
+  void start(double hz);
+  /// Stop and join the sampler thread; counts are retained.
+  void stop();
+  bool running() const { return thread_.joinable(); }
+
+  u64 samples() const;  ///< ticks taken (incl. all-idle ones)
+
+  /// Collapsed-stack histogram: "a;b;c" -> count. Threads outside any
+  /// instrumented scope at a tick are counted under "(idle)".
+  std::map<std::string, u64> collapsed() const;
+
+  /// Write "stack count\n" lines, sorted by stack (flamegraph input).
+  void write_collapsed(std::ostream& os) const;
+
+ private:
+  void run(double hz);
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  u64 samples_ = 0;
+  std::map<std::string, u64> counts_;
+  std::thread thread_;
+};
+
+}  // namespace nga::prof

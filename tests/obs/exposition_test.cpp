@@ -52,15 +52,26 @@ TEST(Exposition, EveryMetricLineFollowsItsTypeLine) {
   auto& reg = MetricsRegistry::instance();
   reg.reset();
   reg.counter("expo.pairing").inc();
+  reg.counter("expo.pairing.helped", "A described counter.").inc();
   std::ostringstream os;
   write_text_exposition(os);
 
+  // Family grammar: optional `# HELP m ...`, then `# TYPE m ...`, then
+  // the `m ...` sample — HELP always immediately before its TYPE.
   std::istringstream is(os.str());
-  std::string line, pending_metric;
+  std::string line, pending_metric, pending_help;
   while (std::getline(is, line)) {
-    if (line.rfind("# TYPE ", 0) == 0) {
+    if (line.rfind("# HELP ", 0) == 0) {
+      EXPECT_TRUE(pending_help.empty()) << "HELP without TYPE: " << line;
+      EXPECT_TRUE(pending_metric.empty()) << "HELP after TYPE: " << line;
+      pending_help = line.substr(7, line.find(' ', 7) - 7);
+    } else if (line.rfind("# TYPE ", 0) == 0) {
       EXPECT_TRUE(pending_metric.empty()) << "TYPE without sample: " << line;
       pending_metric = line.substr(7, line.find(' ', 7) - 7);
+      if (!pending_help.empty()) {
+        EXPECT_EQ(pending_help, pending_metric) << line;
+        pending_help.clear();
+      }
     } else {
       ASSERT_FALSE(pending_metric.empty()) << "sample without TYPE: " << line;
       EXPECT_EQ(line.rfind(pending_metric + " ", 0), 0u) << line;
@@ -68,6 +79,42 @@ TEST(Exposition, EveryMetricLineFollowsItsTypeLine) {
     }
   }
   EXPECT_TRUE(pending_metric.empty());
+  EXPECT_TRUE(pending_help.empty());
+  reg.reset();
+}
+
+TEST(Exposition, HelpTextPrecedesTypeAndEscapes) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  reg.counter("expo.doc.hits", "Total hits.\nSecond line with \\ slash.")
+      .inc(3);
+  reg.gauge("expo.doc.depth", "Current depth.").set(1.5);
+  reg.series("expo.doc.lat_ms", "Latency per request.").add(2.0);
+  reg.counter("expo.doc.bare").inc();  // undescribed: no HELP line
+
+  std::ostringstream os;
+  write_text_exposition(os);
+  const std::string text = os.str();
+
+  // HELP immediately before TYPE, newline and backslash escaped.
+  EXPECT_NE(
+      text.find("# HELP nga_expo_doc_hits_total Total hits.\\nSecond line "
+                "with \\\\ slash.\n"
+                "# TYPE nga_expo_doc_hits_total counter\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# HELP nga_expo_doc_depth Current depth.\n"
+                      "# TYPE nga_expo_doc_depth gauge\n"),
+            std::string::npos)
+      << text;
+  // All five series-derived families inherit the series' help text.
+  for (const char* suffix : {"_count", "_mean", "_stddev", "_min", "_max"})
+    EXPECT_NE(text.find("# HELP nga_expo_doc_lat_ms" + std::string(suffix) +
+                        " Latency per request.\n"),
+              std::string::npos)
+        << suffix << "\n" << text;
+  EXPECT_EQ(text.find("# HELP nga_expo_doc_bare_total"), std::string::npos)
+      << text;
   reg.reset();
 }
 

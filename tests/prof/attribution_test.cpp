@@ -1,0 +1,210 @@
+// LayerProfiler / ProfRegistry attribution contract: layer brackets in
+// forward order, nominal-MAC and LUT-probe accounting, the modelled
+// bytes, flush-merge semantics, and — satellite of the degradation
+// story — that unavailable hardware counters surface as an explicit
+// "unavailable" in the exported JSON, never as fabricated zeros.
+#include "prof/attribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "nn/model.hpp"
+#include "obs/obs.hpp"
+#include "prof/prof.hpp"
+
+namespace nga::prof {
+namespace {
+
+constexpr int kIn = 16, kHidden = 8, kOut = 4;
+
+nn::Model make_model() {
+  util::Xoshiro256 rng(11);
+  nn::Model m("prof-test");
+  m.add(std::make_unique<nn::Dense>(kIn, kHidden, rng));
+  m.add(std::make_unique<nn::ReLU>());
+  m.add(std::make_unique<nn::Dense>(kHidden, kOut, rng));
+  return m;
+}
+
+nn::Tensor make_input() {
+  nn::Tensor x(1, 1, kIn);
+  for (std::size_t i = 0; i < x.v.size(); ++i)
+    x.v[i] = float(i % 5) / 5.f - 0.4f;
+  return x;
+}
+
+// Deterministic profiler: the forced-ENOSYS shim keeps these tests
+// independent of the runner's perf_event permissions.
+PerfConfig shimmed() {
+  PerfConfig cfg;
+  cfg.force_unavailable = true;
+  return cfg;
+}
+
+void calibrate_once(nn::Model& m) {
+  nn::Exec ex;
+  ex.mode = nn::Mode::kFloat;
+  ex.calibrate = true;
+  m.forward(make_input(), ex);
+}
+
+TEST(ProfAttribution, BracketsEveryLayerInForwardOrder) {
+#if !NGA_PROF
+  GTEST_SKIP() << "NGA_PROF=OFF: forward-pass hooks are compiled out";
+#endif
+  nn::Model m = make_model();
+  calibrate_once(m);
+
+  LayerProfiler p("t", shimmed());
+  EXPECT_FALSE(p.counters_available());
+  EXPECT_EQ(p.counters_reason(), "forced-ENOSYS");
+
+  const nn::MulTable exact;
+  nn::Exec ex;
+  ex.mode = nn::Mode::kQuantExact;
+  ex.mul = &exact;
+  ex.prof = &p;
+  const int reps = 3;
+  for (int r = 0; r < reps; ++r) m.forward(make_input(), ex);
+
+  const auto& layers = p.layers();
+  ASSERT_EQ(layers.size(), 3u);
+  EXPECT_EQ(layers[0].first, "layer.0.dense");
+  EXPECT_EQ(layers[1].first, "layer.1.relu");
+  EXPECT_EQ(layers[2].first, "layer.2.dense");
+
+  const KernelRecord& d0 = layers[0].second;
+  EXPECT_EQ(d0.calls, u64(reps));
+  EXPECT_EQ(d0.macs, u64(reps) * kIn * kHidden);
+  // A dense layer has no padding skips: quantized MACs probe the
+  // behavioural table exactly once per nominal MAC.
+  EXPECT_EQ(d0.lut_probes, d0.macs);
+  EXPECT_GT(d0.wall_ns, 0u);
+  EXPECT_FALSE(d0.hw.available);
+  // Modelled traffic: in + out activations + params, floats, per call.
+  const u64 params = u64(kIn) * kHidden + kHidden;
+  EXPECT_EQ(d0.bytes, u64(reps) * (kIn + kHidden + params) * sizeof(float));
+
+  // The ReLU does no MACs and probes nothing — but is still attributed.
+  EXPECT_EQ(layers[1].second.macs, 0u);
+  EXPECT_EQ(layers[1].second.lut_probes, 0u);
+  EXPECT_EQ(layers[1].second.calls, u64(reps));
+}
+
+TEST(ProfAttribution, FlushMergesIntoRegistryAndClearsTheWindow) {
+#if !NGA_PROF
+  GTEST_SKIP() << "NGA_PROF=OFF: forward-pass hooks are compiled out";
+#endif
+  ProfRegistry::instance().reset();
+  nn::Model m = make_model();
+  calibrate_once(m);
+
+  LayerProfiler p("winA", shimmed());
+  const nn::MulTable exact;
+  nn::Exec ex;
+  ex.mode = nn::Mode::kQuantExact;
+  ex.mul = &exact;
+  ex.prof = &p;
+  m.forward(make_input(), ex);
+  p.flush();
+
+  auto snap = ProfRegistry::instance().snapshot();
+  ASSERT_TRUE(snap.count("winA.layer.0.dense"));
+  EXPECT_EQ(snap["winA.layer.0.dense"].calls, 1u);
+
+  // The local window is cleared (slots survive for the next round) and
+  // an empty flush adds nothing.
+  EXPECT_EQ(p.layers()[0].second.calls, 0u);
+  p.flush();
+  snap = ProfRegistry::instance().snapshot();
+  EXPECT_EQ(snap["winA.layer.0.dense"].calls, 1u);
+
+  // A second window accumulates additively.
+  m.forward(make_input(), ex);
+  m.forward(make_input(), ex);
+  p.flush();
+  snap = ProfRegistry::instance().snapshot();
+  EXPECT_EQ(snap["winA.layer.0.dense"].calls, 3u);
+
+  // Derived rates are mirrored as obs gauges; the hw-derived families
+  // stay absent when counters never opened (machine-dependent metrics
+  // appear only on machines that have them).
+  const auto gauges = obs::MetricsRegistry::instance().gauges_snapshot();
+  EXPECT_TRUE(gauges.count("prof.winA.layer.0.dense.macs_per_s"));
+  EXPECT_TRUE(gauges.count("prof.winA.layer.0.dense.arith_intensity"));
+  EXPECT_FALSE(gauges.count("prof.winA.layer.0.dense.cycles_per_mac"));
+  ProfRegistry::instance().reset();
+}
+
+TEST(ProfAttribution, UnavailableCountersExportAsExplicitDegradation) {
+#if !NGA_PROF
+  GTEST_SKIP() << "NGA_PROF=OFF: forward-pass hooks are compiled out";
+#endif
+  ProfRegistry::instance().reset();
+  nn::Model m = make_model();
+  calibrate_once(m);
+
+  LayerProfiler p("deg", shimmed());
+  const nn::MulTable exact;
+  nn::Exec ex;
+  ex.mode = nn::Mode::kQuantExact;
+  ex.mul = &exact;
+  ex.prof = &p;
+  m.forward(make_input(), ex);
+  p.flush();
+
+  std::ostringstream os;
+  ProfRegistry::instance().write_json(os);
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"counters\":\"unavailable\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"counters_reason\":\"forced-ENOSYS\""),
+            std::string::npos)
+      << j;
+  // Wall-clock attribution still present...
+  EXPECT_NE(j.find("\"deg.layer.0.dense\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"macs_per_s\""), std::string::npos) << j;
+  // ...but no hardware block: unavailable counters are omitted, not
+  // reported as zeros.
+  EXPECT_EQ(j.find("\"cycles\""), std::string::npos) << j;
+  EXPECT_EQ(j.find("\"cycles_per_mac\""), std::string::npos) << j;
+  ProfRegistry::instance().reset();
+}
+
+TEST(ProfAttribution, ProfSectionRidesTheBenchJson) {
+  // ProfRegistry self-registers the additive "prof" section of the
+  // nga-bench-v1 document on first use; the schema gains the key
+  // without any bench opting in.
+  ProfRegistry::instance().reset();
+  std::ostringstream os;
+  obs::write_metrics_json(os, "attribution_test");
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"schema\":\"nga-bench-v1\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"prof\":{"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"kernels\":{"), std::string::npos) << j;
+}
+
+TEST(ProfAttribution, DerivedRatesHandleZeroDenominators) {
+  KernelRecord r;
+  EXPECT_EQ(r.macs_per_s(), 0.0);
+  EXPECT_EQ(r.arith_intensity(), 0.0);
+  EXPECT_EQ(r.cycles_per_mac(), 0.0);
+  EXPECT_EQ(r.macs_per_cycle(), 0.0);
+
+  r.macs = 2000;
+  r.wall_ns = 1000;
+  r.bytes = 500;
+  EXPECT_DOUBLE_EQ(r.macs_per_s(), 2e9);
+  EXPECT_DOUBLE_EQ(r.arith_intensity(), 4.0);
+  // Hardware-derived rates stay 0 while hw is unavailable, even with a
+  // (meaningless) cycles value in the struct.
+  r.hw.cycles = 4000;
+  EXPECT_EQ(r.cycles_per_mac(), 0.0);
+  r.hw.available = true;
+  EXPECT_DOUBLE_EQ(r.cycles_per_mac(), 2.0);
+  EXPECT_DOUBLE_EQ(r.macs_per_cycle(), 0.5);
+}
+
+}  // namespace
+}  // namespace nga::prof

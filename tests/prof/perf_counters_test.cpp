@@ -1,0 +1,110 @@
+// prof::PerfCounters contract: graceful degradation is the primary
+// path. perf_event_open is a privileged syscall on most deployment
+// kernels (perf_event_paranoid >= 2 in containers), so the tests pin
+// down what MUST hold in every environment — clean unavailability with
+// a named reason, never a crash, never fabricated numbers — and only
+// conditionally exercise the counting path when the kernel allows it.
+#include "prof/perf_counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace nga::prof {
+namespace {
+
+TEST(ProfCounters, DisabledConfigIsCleanlyUnavailable) {
+  PerfConfig cfg;
+  cfg.enabled = false;
+  PerfCounters pc(cfg);
+  EXPECT_FALSE(pc.available());
+  EXPECT_EQ(pc.unavailable_reason(), "disabled");
+
+  const PerfSample s = pc.read();
+  EXPECT_FALSE(s.available);
+  EXPECT_EQ(s.cycles, 0u);
+}
+
+TEST(ProfCounters, ForcedEnosysShimDegradesLikeABlockedKernel) {
+  // The test shim for "kernel refuses the syscall": the ctor must take
+  // the identical degradation path a real ENOSYS/EACCES would.
+  PerfConfig cfg;
+  cfg.force_unavailable = true;
+  PerfCounters pc(cfg);
+  EXPECT_FALSE(pc.available());
+  EXPECT_EQ(pc.unavailable_reason(), "forced-ENOSYS");
+  EXPECT_FALSE(pc.has_instructions());
+  EXPECT_FALSE(pc.has_cache());
+  EXPECT_FALSE(pc.read().available);
+}
+
+TEST(ProfCounters, GarbageLeaderConfigFailsCleanlyWithErrnoReason) {
+  // An invalid PERF_TYPE_HARDWARE config id: perf_event_open returns an
+  // error, which must surface as a named reason — not a crash, not a
+  // half-open group.
+  PerfConfig cfg;
+  cfg.leader_config = 0xdeadbeef;
+  PerfCounters pc(cfg);
+  EXPECT_FALSE(pc.available());
+  EXPECT_FALSE(pc.unavailable_reason().empty());
+  EXPECT_NE(pc.unavailable_reason(), "unopened");
+  EXPECT_FALSE(pc.read().available);
+}
+
+TEST(ProfCounters, DefaultConfigEitherCountsOrNamesItsReason) {
+  PerfCounters pc;
+  if (!pc.available()) {
+    // The expected container outcome: a human-readable reason naming
+    // the failing call ("perf_event_open: Permission denied", ...).
+    EXPECT_FALSE(pc.unavailable_reason().empty());
+    EXPECT_NE(pc.unavailable_reason(), "unopened");
+    return;
+  }
+  // Counters are live on this kernel: cycles must actually advance
+  // across a busy loop, and be monotonic across reads.
+  const PerfSample a = pc.read();
+  ASSERT_TRUE(a.available);
+  volatile double sink = 1.0;
+  for (int i = 0; i < 200000; ++i) sink = sink * 1.0000001 + 0.5;
+  const PerfSample b = pc.read();
+  ASSERT_TRUE(b.available);
+  EXPECT_GT(b.cycles, a.cycles);
+
+  PerfSample delta;
+  {
+    PerfCounters::Scoped scope(pc, delta);
+    for (int i = 0; i < 100000; ++i) sink = sink * 1.0000001 + 0.5;
+  }
+  EXPECT_TRUE(delta.available);
+  EXPECT_GT(delta.cycles, 0u);
+}
+
+TEST(ProfCounters, SampleArithmeticSkipsUnavailableSources) {
+  PerfSample acc;  // starts unavailable
+  PerfSample unavailable;
+  acc += unavailable;
+  EXPECT_FALSE(acc.available);
+
+  PerfSample live;
+  live.available = true;
+  live.cycles = 100;
+  live.instructions = 250;
+  acc += live;
+  EXPECT_TRUE(acc.available);
+  EXPECT_EQ(acc.cycles, 100u);
+  acc += live;
+  EXPECT_EQ(acc.cycles, 200u);
+  EXPECT_EQ(acc.instructions, 500u);
+
+  // A delta between two live snapshots is live; against an unavailable
+  // endpoint it is not (no fabricated zeros downstream).
+  PerfSample end = live;
+  end.cycles = 160;
+  const PerfSample d = end.delta_since(live);
+  EXPECT_TRUE(d.available);
+  EXPECT_EQ(d.cycles, 60u);
+  EXPECT_FALSE(end.delta_since(unavailable).available);
+}
+
+}  // namespace
+}  // namespace nga::prof

@@ -36,6 +36,9 @@ import sys
 _NORMALIZERS = [
     (re.compile(r"rate_[0-9]+p[0-9]+"), "rate_*"),
     (re.compile(r"\blayer\.[0-9]+\."), "layer.*."),
+    # Per-multiplier prof scopes (mul_EXACT, mul_DRUM4, ...): one family
+    # per layer across the whole multiplier sweep.
+    (re.compile(r"\bmul_[A-Za-z0-9_]+"), "mul_*"),
 ]
 
 # Gauge families whose committed floor is a machine-independent claim.
@@ -46,6 +49,17 @@ _FLOOR = 0.99
 # event actually fired, so individual signals (nar on layer 3, ...) come
 # and go with the run's fault dice. Checked as a group, not per key.
 _SPARSE = re.compile(r"serve\.layer\.")
+
+# Machine-dependent families: hardware-counter-derived prof metrics only
+# exist where perf_event_open works. Their presence/absence carries no
+# regression signal across machines — logged, never failed.
+_MACHINE_DEP = re.compile(
+    r"prof\..*\.(cycles_per_mac|macs_per_cycle)$|prof\.counters_available$")
+
+# Per-kernel prof record keys that every machine produces (the hw block
+# — cycles, cache_misses, ... — is machine-dependent and not required).
+_PROF_KERNEL_KEYS = ("calls", "macs", "lut_probes", "bytes", "wall_ns",
+                     "macs_per_s", "arith_intensity")
 
 _SECTIONS = ("counters", "gauges", "metrics", "wall_ns")
 
@@ -106,6 +120,10 @@ def compare(base: dict, fresh: dict, exempt=(), log=print):
             if any(rx.search(fam) for rx in exempt):
                 log(f"  [exempt] {section}: {fam}")
                 continue
+            if _MACHINE_DEP.search(fam):
+                log(f"  [machine] {section}: {fam} (hw-counter metric, "
+                    f"absent on this machine)")
+                continue
             if _SPARSE.search(fam):
                 sparse_missing.append(fam)
                 continue
@@ -125,6 +143,44 @@ def compare(base: dict, fresh: dict, exempt=(), log=print):
     if "trace" in base and "trace" not in fresh:
         failures.append("trace: committed snapshot has the trace key, "
                         "fresh run does not")
+
+    # The additive "prof" section (per-kernel performance attribution):
+    # presence and SHAPE are machine-independent — every committed
+    # kernel family must still be attributed, with the wall-clock record
+    # keys intact, and a non-empty committed kernel table must not come
+    # back empty. Hardware-counter values and availability are not
+    # compared: "counters":"unavailable" on a locked-down runner is a
+    # valid fresh result against an "available" committed one.
+    if "prof" in base:
+        if "prof" not in fresh:
+            failures.append("prof: committed snapshot has the prof section, "
+                            "fresh run does not")
+        else:
+            bk = base["prof"].get("kernels", {})
+            fk = fresh["prof"].get("kernels", {})
+            if bk and not fk:
+                failures.append("prof: committed kernel table is non-empty, "
+                                "fresh run attributed nothing")
+            bfam, ffam = families(bk), families(fk)
+            for fam in sorted(bfam):
+                if fam in ffam:
+                    continue
+                if any(rx.search(fam) for rx in exempt):
+                    log(f"  [exempt] prof: {fam}")
+                    continue
+                failures.append(f"prof: kernel family vanished: {fam}")
+            for key, rec in sorted(fk.items()):
+                missing = [k for k in _PROF_KERNEL_KEYS if k not in rec]
+                if missing:
+                    failures.append(
+                        f"prof: kernel {key} lacks {missing} "
+                        f"(wall-clock attribution keys are not optional)")
+            bavail = base["prof"].get("counters")
+            favail = fresh["prof"].get("counters")
+            if bavail != favail:
+                log(f"  [machine] prof: counters {bavail} committed vs "
+                    f"{favail} fresh (hw availability differs; not a "
+                    f"regression)")
 
     # Claim floors: a committed >=99% success-rate family must still
     # clear the floor in the fresh run, for every instance swept.
@@ -148,14 +204,27 @@ def compare(base: dict, fresh: dict, exempt=(), log=print):
 def self_test() -> int:
     """Feed the checker synthetic documents covering every verdict it can
     reach, so CI notices if a refactor stops it catching regressions."""
-    def doc(gauges=None, counters=None):
-        return {"schema": "nga-bench-v1", "bench": "t",
-                "gauges": gauges or {}, "counters": counters or {}}
+    def doc(gauges=None, counters=None, prof=None):
+        d = {"schema": "nga-bench-v1", "bench": "t",
+             "gauges": gauges or {}, "counters": counters or {}}
+        if prof is not None:
+            d["prof"] = prof
+        return d
+
+    def kernel(**extra):
+        rec = {"calls": 2, "macs": 100, "lut_probes": 90, "bytes": 400,
+               "wall_ns": 1000, "macs_per_s": 1e8, "arith_intensity": 0.25}
+        rec.update(extra)
+        return rec
 
     quiet = lambda *_: None
     base = doc(gauges={"a.success_rate": 0.995, "a.p99_ms": 12.0},
                counters={"soak.rate_0p0050.served": 100,
                          "soak.rate_0p0200.served": 400})
+    prof_base = doc(prof={"counters": "available",
+                          "kernels": {"mul_EXACT.layer.0.conv":
+                                      kernel(cycles=900, cycles_per_mac=9.0),
+                                      "mul_DRUM4.layer.0.conv": kernel()}})
     cases = [
         ("identical docs pass",
          base, base, (), 0),
@@ -175,6 +244,31 @@ def self_test() -> int:
          doc(gauges={"b.success_rate": 0.10}), (), 0),
         ("renamed bench is a regression",
          base, dict(base, bench="other"), (), 1),
+        ("prof section absent on both sides passes",
+         base, base, (), 0),
+        ("vanished prof section is a regression",
+         prof_base, doc(), (), 1),
+        ("emptied prof kernel table is a regression",
+         prof_base, doc(prof={"counters": "unavailable", "kernels": {}}),
+         (), 1),
+        ("hw counters going unavailable on this machine is fine",
+         prof_base,
+         doc(prof={"counters": "unavailable",
+                   "counters_reason": "perf_event_open: EACCES",
+                   "kernels": {"mul_EXACT.layer.0.conv": kernel()}}), (), 0),
+        ("one multiplier scope covers the whole mul_* sweep",
+         prof_base,
+         doc(prof={"counters": "available",
+                   "kernels": {"mul_LOA5.layer.2.conv": kernel()}}), (), 0),
+        ("kernel record missing wall-clock keys is a regression",
+         prof_base,
+         doc(prof={"counters": "unavailable",
+                   "kernels": {"mul_EXACT.layer.0.conv":
+                               {"calls": 2, "macs": 100}}}), (), 1),
+        ("hw-derived gauge families are machine-dependent",
+         doc(gauges={"prof.mul_EXACT.layer.0.conv.cycles_per_mac": 9.0,
+                     "prof.counters_available": 1.0}),
+         doc(), (), 0),
     ]
     bad = 0
     for name, b, f, exempt, want in cases:
