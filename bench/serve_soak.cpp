@@ -16,6 +16,14 @@
 // supervision (watchdog + per-replica breakers) and once without, retry
 // and failover identical in both.
 //
+// A third scenario runs the nga::integrity story: a sticky memflip plan
+// flips bits in ONE worker's own table replica (persistent corruption —
+// the flips outlive every retry), once with integrity scrubbing enabled
+// (trip-triggered deep scrub repairs the pages, the probe revalidates
+// restored storage, the breaker reinstates) and once without (probes
+// keep failing against the corrupted table and the breaker retires the
+// replica forever).
+//
 // Asserted claims (NGA_FAULT builds):
 //   * with retries, soak success rate (served / submitted) >= 99%;
 //   * the no-retry baseline is measurably worse (>= 5 points lower);
@@ -25,6 +33,9 @@
 //     and replaces the hung workers, trips the sticky replica's breaker
 //     (batches quarantined onto the exact table); the unsupervised run
 //     misses the floor by >= 5 points;
+//   * memflip: the scrub-enabled run holds the 99% floor with >= 1 page
+//     repaired and the corrupted replica reinstated; the scrub-off run
+//     retires its replica (permanent loss of approximate capacity);
 //   * after drain(): served + rejected + shed == submitted, always —
 //     the zero-silent-drops invariant (checked in every build mode).
 //
@@ -92,6 +103,16 @@ struct ChaosOutcome {
   bool invariant_ok = false;
 };
 
+/// One scrub-on/scrub-off persistent-corruption (memflip) soak run.
+struct MemflipOutcome {
+  bool scrub = false;
+  Server::Stats stats;
+  Server::GuardStats gs;
+  double success = 0.0;
+  double p99_ms = 0.0;
+  bool invariant_ok = false;
+};
+
 constexpr const char* kStageKeys[] = {
     "serve.stage.queue_wait_ms", "serve.stage.batch_fill_ms",
     "serve.stage.exec_ms", "serve.stage.retry_backoff_ms"};
@@ -146,8 +167,12 @@ int nga_bench_main(int argc, char** argv) {
   }
   const auto snap = trained.snapshot();
 
-  const auto mults = ax::table2_multipliers();
-  const MulTable approx(*mults.front());  // lowest-MRE table
+  auto mults = ax::table2_multipliers();
+  // The lowest-MRE multiplier, held by shared_ptr so tables built from
+  // it retain their generator (nga::integrity: regenerable => corrupted
+  // pages repair in place).
+  const std::shared_ptr<const ax::ApproxMult8> mult0 = std::move(mults.front());
+  const MulTable approx(mult0);  // shared table for the rates sweep
   const MulTable exact;
 
   // Each worker rebuilds + re-calibrates its own replica (calibration
@@ -158,6 +183,13 @@ int nga_bench_main(int argc, char** argv) {
     calibrate(*m, train_set, 96);
     return m;
   };
+#if NGA_FAULT
+  // Per-worker TABLE replicas for the memflip phase: persistent
+  // corruption must damage one worker's storage, not a shared table.
+  const auto mul_factory = [mult0] {
+    return std::make_shared<const MulTable>(mult0);
+  };
+#endif
 
   // Load/SLO shape. The armed injector serialises approximate MACs on
   // its mutex, so a batch runs in the tens of milliseconds — bursts are
@@ -393,6 +425,137 @@ int nga_bench_main(int argc, char** argv) {
       chaos.push_back(c);
     }
   }
+
+  // ---- memflip: persistent LUT corruption, integrity scrub on/off ----
+  //
+  // The sticky memflip plan flips bits in ONE worker's own table copy
+  // (mul_factory gives every worker its own replica) and the flips STAY
+  // until repaired — transient-fault machinery alone cannot save this
+  // replica. Both runs supervise with identical breakers; they differ
+  // ONLY in integrity.enabled:
+  //   * scrub on: a tripped breaker deep-scrubs the replica's table
+  //     before the golden probe — CRC-caught pages regenerate from the
+  //     retained multiplier, the probe revalidates RESTORED storage
+  //     against the replica's own clean-self reference, and the breaker
+  //     reinstates (repair -> reprobe -> reinstate);
+  //   * scrub off: the corruption outlives every probe, probes keep
+  //     failing, and the breaker retires the replica forever — service
+  //     survives on the exact fallback, but the approximate capacity is
+  //     permanently gone.
+  std::vector<MemflipOutcome> memflip;
+  const int memflip_bursts = quick ? 16 : 24;
+  {
+    obs::TimedSection t("soak.memflip");
+    for (const bool scrub_enabled : {true, false}) {
+      // Base rate 0 + sticky: only the latched victim thread corrupts,
+      // at ~1 flip per 10K MACs — tens of persistent flips accumulate
+      // per phase, a handful of which land in hot, high-bit positions
+      // where the MAC plausibility detector (p > pmax) sees them.
+      fault::FaultPlan flips;
+      flips.inject(fault::Site::kNnMul, fault::Model::kMemFlip, 0.0);
+      flips.with_sticky(fault::Site::kNnMul, 1e-4);
+
+      ServerConfig cfg;
+      cfg.workers = 3;
+      cfg.queue_capacity = 128;
+      cfg.max_batch = 4;
+      cfg.batch_linger = std::chrono::microseconds(300);
+      cfg.in_c = 1;
+      cfg.in_h = kT;
+      cfg.in_w = kMel;
+      cfg.mode = Mode::kQuantApprox;
+      cfg.mul_factory = mul_factory;  // per-worker replicas, regenerable
+      cfg.exact_fallback = &exact;
+      cfg.max_attempts = 2;
+      cfg.retry_exact_failover = true;
+      cfg.backoff.base = std::chrono::microseconds(100);
+      cfg.backoff.cap = std::chrono::microseconds(2000);
+      cfg.seed = 42;
+      cfg.model_factory = factory;
+      cfg.trace_sample_rate = sample_rate;
+      cfg.health.degrade_numeric_rate = 0.05;
+      cfg.health.recover_numeric_rate = 0.01;
+      cfg.supervision.supervise = true;
+      cfg.supervision.breaker.window = 8;
+      cfg.supervision.breaker.min_samples = 2;
+      cfg.supervision.breaker.trip_failure_rate = 0.5;
+      // Short cooldown + a 2-strike retire budget: the phase is under
+      // a second long, and the no-scrub arm must have runway to walk
+      // trip -> probe fail -> probe fail -> retired before it ends.
+      cfg.supervision.breaker.cooldown = std::chrono::milliseconds(40);
+      cfg.supervision.breaker.max_probe_failures = 2;
+      cfg.supervision.probe_samples = 4;
+      // Reference = the replica's own clean startup predictions: a
+      // repaired table must probe IDENTICAL to its clean self at
+      // tolerance 0, which exact-table references cannot promise
+      // (legitimate approx-vs-exact argmax drift on random inputs).
+      cfg.supervision.probe_self_reference = true;
+      cfg.integrity.enabled = scrub_enabled;
+      cfg.integrity.scrub_on_trip = true;
+      // Modest background budget: ~8 pages per tick keeps time-to-
+      // detect samples flowing without shadowing the trip scrubs.
+      cfg.integrity.pages_per_sec = scrub_enabled ? 256.0 : 0.0;
+
+      Server srv(cfg);
+      srv.start();
+
+      std::vector<std::future<Response>> futs;
+      std::vector<std::future<Response>> warmup;
+      int cursor = 0;
+      const auto pump = [&](std::vector<std::future<Response>>& sink,
+                            int bursts_n) {
+        for (int b = 0; b < bursts_n; ++b) {
+          for (int i = 0; i < burst; ++i) {
+            const Sample& s = test_set[std::size_t(cursor)];
+            cursor = (cursor + 1) % int(test_set.size());
+            sink.push_back(srv.submit(
+                s.x, std::chrono::microseconds(
+                         long(chaos_deadline_ms * 1000.0))));
+          }
+          std::this_thread::sleep_for(burst_gap);
+        }
+      };
+      // Warmup UNARMED: every worker must build its table and capture
+      // its clean-self probe reference before any flip can land —
+      // otherwise a repair would restore state the reference never saw.
+      pump(warmup, 2);
+      for (auto& f : warmup) f.wait();
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+      fault::Injector::instance().arm(flips, 3031);
+      pump(futs, memflip_bursts);
+
+      MemflipOutcome m;
+      m.scrub = scrub_enabled;
+      std::vector<double> lat;
+      std::size_t served = 0;
+      for (auto& f : warmup) {
+        const Response resp = f.get();
+        if (resp.outcome == Outcome::kServed) {
+          ++served;
+          lat.push_back(resp.latency_ms);
+        }
+      }
+      for (auto& f : futs) {
+        const Response resp = f.get();
+        if (resp.outcome == Outcome::kServed) {
+          ++served;
+          lat.push_back(resp.latency_ms);
+        }
+      }
+      m.gs = srv.guard_stats();
+      srv.drain();
+      fault::Injector::instance().disarm();
+
+      m.stats = srv.stats();
+      m.success = double(served) / double(m.stats.submitted);
+      m.p99_ms = p99(std::move(lat));
+      m.invariant_ok = m.stats.served + m.stats.rejected + m.stats.shed ==
+                       m.stats.submitted;
+      invariants_ok = invariants_ok && m.invariant_ok;
+      memflip.push_back(m);
+    }
+  }
 #endif  // NGA_FAULT
 
   util::Table t({"rate", "retry", "submitted", "served", "rejected", "shed",
@@ -497,6 +660,44 @@ int nga_bench_main(int argc, char** argv) {
   }
   reg.gauge("soak.chaos.deadline_ms").set(chaos_deadline_ms);
   t3.print(std::cout);
+
+  std::printf("\n-- memflip: persistent LUT corruption, integrity scrub "
+              "on vs off --\n");
+  util::Table t4({"scrub", "submitted", "served", "success [%]", "p99 [ms]",
+                  "trips", "trip scrubs", "repaired", "unrepro", "probes",
+                  "reinstated", "retired", "invariant"});
+  for (const auto& m : memflip) {
+    t4.add_row({m.scrub ? "on" : "off", std::to_string(m.stats.submitted),
+                std::to_string(m.stats.served), util::cell(100 * m.success, 2),
+                util::cell(m.p99_ms, 2), std::to_string(m.gs.breaker_trips),
+                std::to_string(m.gs.trip_scrubs),
+                std::to_string(m.gs.scrub_repaired),
+                std::to_string(m.gs.scrub_unreproducible),
+                std::to_string(m.gs.breaker_probes),
+                std::to_string(m.gs.breaker_reinstated),
+                std::to_string(m.gs.breaker_retired),
+                m.invariant_ok ? "ok" : "VIOLATED"});
+
+    const std::string p =
+        std::string("soak.memflip.") + (m.scrub ? "scrub" : "noscrub");
+    reg.gauge(p + ".success_rate").set(m.success);
+    reg.gauge(p + ".p99_ms").set(m.p99_ms);
+    reg.gauge(p + ".served").set(double(m.stats.served));
+    reg.gauge(p + ".rejected").set(double(m.stats.rejected));
+    reg.gauge(p + ".shed").set(double(m.stats.shed));
+    reg.gauge(p + ".retries").set(double(m.stats.retries));
+    reg.gauge(p + ".breaker_trips").set(double(m.gs.breaker_trips));
+    reg.gauge(p + ".quarantined_batches")
+        .set(double(m.gs.quarantined_batches));
+    reg.gauge(p + ".breaker_probes").set(double(m.gs.breaker_probes));
+    reg.gauge(p + ".breaker_reinstated").set(double(m.gs.breaker_reinstated));
+    reg.gauge(p + ".breaker_retired").set(double(m.gs.breaker_retired));
+    reg.gauge(p + ".trip_scrubs").set(double(m.gs.trip_scrubs));
+    reg.gauge(p + ".repaired_pages").set(double(m.gs.scrub_repaired));
+    reg.gauge(p + ".unreproducible_pages")
+        .set(double(m.gs.scrub_unreproducible));
+  }
+  t4.print(std::cout);
 #endif  // NGA_FAULT
 
   if (sample_rate > 0.0)
@@ -562,6 +763,30 @@ int nga_bench_main(int argc, char** argv) {
         (unsigned long long)with_guard->gs.breaker_trips,
         (unsigned long long)with_guard->gs.quarantined_batches);
     ok = ok && floor && gap && hung && quarantined;
+  }
+  // Memflip claims: with scrubbing, persistent corruption is repaired
+  // and the replica REINSTATED while the success floor holds; without,
+  // the only terminal state is retirement (exact-failover-only).
+  const MemflipOutcome* with_scrub = nullptr;
+  const MemflipOutcome* no_scrub = nullptr;
+  for (const auto& m : memflip) (m.scrub ? with_scrub : no_scrub) = &m;
+  {
+    const bool floor = with_scrub->success >= 0.99;
+    const bool repaired = with_scrub->gs.scrub_repaired >= 1;
+    const bool reinstated = with_scrub->gs.breaker_reinstated >= 1;
+    const bool retired = no_scrub->gs.breaker_retired >= 1;
+    std::printf(
+        "memflip: scrub success %.2f%% (floor 99%%: %s), pages repaired: "
+        "%s (%llu), corrupted replica reinstated: %s (%llu); no-scrub "
+        "replica retired forever: %s (%llu)\n",
+        100 * with_scrub->success, floor ? "ok" : "FAIL",
+        repaired ? "ok" : "FAIL",
+        (unsigned long long)with_scrub->gs.scrub_repaired,
+        reinstated ? "ok" : "FAIL",
+        (unsigned long long)with_scrub->gs.breaker_reinstated,
+        retired ? "ok" : "FAIL",
+        (unsigned long long)no_scrub->gs.breaker_retired);
+    ok = ok && floor && repaired && reinstated && retired;
   }
 
   std::printf("\nsoak claims: %s\n", ok ? "HOLD" : "VIOLATED");

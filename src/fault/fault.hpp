@@ -16,6 +16,13 @@
 //                                   with one of its low `width` bits
 //                                   corrupted. An expression.
 //   NGA_FAULT_SKIP(site)            op filter: true => drop the op.
+//   NGA_FAULT_MEMFLIP(site, st)     storage filter: possibly flip one
+//                                   bit of `st`'s PERSISTENT backing
+//                                   pages (memflip model; stays flipped
+//                                   until an integrity scrub repairs
+//                                   it). `st` is a duck-typed flip
+//                                   target — see Injector::
+//                                   filter_memflip.
 //   NGA_FAULT_DELAY(site)           timing filter: possibly stall the
 //                                   calling thread (hang/latency
 //                                   models; interruptible — see
@@ -42,6 +49,9 @@
 #define NGA_FAULT_SKIP(site) \
   (::nga::fault::Injector::instance().filter_skip((site)))
 
+#define NGA_FAULT_MEMFLIP(site, storage) \
+  (::nga::fault::Injector::instance().filter_memflip((site), (storage)))
+
 #define NGA_FAULT_DELAY(site) \
   (::nga::fault::Injector::instance().filter_delay((site)))
 
@@ -56,6 +66,7 @@
 
 #define NGA_FAULT_BITS(site, width, x) (x)
 #define NGA_FAULT_SKIP(site) (false)
+#define NGA_FAULT_MEMFLIP(site, storage) ((void)0)
 #define NGA_FAULT_DELAY(site) ((void)0)
 #define NGA_FAULT_DETECT(site, cond) ((void)0)
 #define NGA_FAULT_ACTIVE() (false)

@@ -102,6 +102,8 @@ void Injector::arm(const FaultPlan& plan, u64 seed) {
     // Site streams are independent of each other and of arm order.
     st.rng = util::Xoshiro256(splitmix(seed ^ splitmix(u64(i) + 1)));
     st.totals = {};
+    memflip_on_[i].store(st.spec.enabled && st.spec.model == Model::kMemFlip,
+                         std::memory_order_relaxed);
   }
   armed_.store(plan.any_enabled(), std::memory_order_relaxed);
 }
@@ -156,7 +158,7 @@ u64 Injector::corrupt(Site site, unsigned width, u64 bits) {
   std::lock_guard<std::mutex> lk(m_);
   SiteState& st = state_[std::size_t(site)];
   if (!st.spec.enabled || st.spec.model == Model::kOpSkip ||
-      is_delay_model(st.spec.model))
+      st.spec.model == Model::kMemFlip || is_delay_model(st.spec.model))
     return bits;
   if (!fire(st)) return bits;
   const u64 pick = u64{1} << st.rng.below(width);
@@ -174,6 +176,7 @@ u64 Injector::corrupt(Site site, unsigned width, u64 bits) {
     case Model::kOpSkip:
     case Model::kHang:
     case Model::kLatency:
+    case Model::kMemFlip:
       break;  // unreachable, screened above
   }
   ++st.totals.injected;
@@ -185,6 +188,27 @@ u64 Injector::corrupt(Site site, unsigned width, u64 bits) {
     st.masked_c->inc();
   }
   return out;
+}
+
+bool Injector::memflip_draw(Site site, std::size_t pages,
+                            unsigned bits_per_page, std::size_t& page,
+                            unsigned& bit) {
+  std::lock_guard<std::mutex> lk(m_);
+  SiteState& st = state_[std::size_t(site)];
+  if (!st.spec.enabled || st.spec.model != Model::kMemFlip) return false;
+  if (pages == 0 || bits_per_page == 0) return false;
+  if (!fire(st)) return false;
+  // Spec-pinned target (memflip(PAGE,BIT), a single stuck cell) or a
+  // uniform draw per fire (scattered SEUs). Pinned coordinates wrap
+  // into the target's real geometry so any plan fits any storage.
+  page = st.spec.mem_page >= 0 ? std::size_t(st.spec.mem_page) % pages
+                               : std::size_t(st.rng.below(pages));
+  bit = st.spec.mem_bit >= 0 ? unsigned(st.spec.mem_bit) % bits_per_page
+                             : unsigned(st.rng.below(bits_per_page));
+  ++st.totals.injected;
+  injected_all_->inc();
+  st.injected_c->inc();
+  return true;
 }
 
 bool Injector::skip(Site site) {

@@ -68,6 +68,35 @@ class Injector {
     return skip(site);
   }
 
+  /// Hot-path persistent-corruption filter (Model::kMemFlip): when the
+  /// armed site fires, flip one bit of the caller's backing storage —
+  /// the flip is PERSISTENT (it lives in the storage, not the value
+  /// stream) until an integrity scrub repairs the page. Duck-typed so
+  /// the fault layer needs no dependency on the storage owner (nn):
+  /// Storage provides flip_pages(), flip_bits_per_page(), and
+  /// flip_bit(page, bit) const — nn::MulTable is the canonical target.
+  /// The (fire, page, bit) stream is drawn under the injector mutex
+  /// like every other model; the flip itself is one atomic xor.
+  /// The disarmed/off-model fast path is two relaxed loads — a site
+  /// armed with some OTHER model (the common chaos case) must not pay
+  /// the injector mutex here on top of its own filter's.
+  template <class Storage>
+  void filter_memflip(Site site, const Storage& storage) {
+    if (!armed()) return;
+    if (!memflip_on_[std::size_t(site)].load(std::memory_order_relaxed))
+      return;
+    std::size_t page = 0;
+    unsigned bit = 0;
+    if (memflip_draw(site, storage.flip_pages(),
+                     storage.flip_bits_per_page(), page, bit))
+      storage.flip_bit(page, bit);
+  }
+
+  /// The locked half of filter_memflip: fire decision + target draw
+  /// (spec-pinned or uniform). Exposed for tests pinning determinism.
+  bool memflip_draw(Site site, std::size_t pages, unsigned bits_per_page,
+                    std::size_t& page, unsigned& bit);
+
   /// Hot-path timing filter: possibly stall the calling thread (a site
   /// armed with a hang/latency model). The fire decision and duration
   /// are drawn under the injector mutex; the stall itself sleeps
@@ -126,6 +155,9 @@ class Injector {
   std::array<SiteState, kSiteCount> state_;
   FaultPlan plan_;
   std::atomic<bool> armed_{false};
+  /// Per-site "armed with kMemFlip" flags, mirrored from the plan in
+  /// arm(): the memflip filter's lock-free gate (see filter_memflip).
+  std::array<std::atomic<bool>, kSiteCount> memflip_on_{};
   // Aggregates across sites, also cached.
   obs::Counter* injected_all_ = nullptr;
   obs::Counter* masked_all_ = nullptr;

@@ -28,6 +28,14 @@ FaultPlan& FaultPlan::with_sticky(Site site, double sticky_rate) {
   return *this;
 }
 
+FaultPlan& FaultPlan::with_memflip_target(Site site, int page, int bit) {
+  SiteSpec& s = specs_[std::size_t(site)];
+  if (page < 0 || bit < 0) page = bit = -1;
+  s.mem_page = page;
+  s.mem_bit = bit;
+  return *this;
+}
+
 bool FaultPlan::any_enabled() const {
   for (const auto& s : specs_)
     if (s.enabled && (s.rate > 0.0 || (s.sticky && s.sticky_rate > 0.0)))
@@ -59,6 +67,9 @@ std::string FaultPlan::describe() const {
       if (s.model == Model::kLatency && s.jitter_ms > 0.0)
         out += ',' + num(s.jitter_ms);
       out += ')';
+    } else if (s.model == Model::kMemFlip && s.mem_page >= 0) {
+      out += '(' + std::to_string(s.mem_page) + ',' +
+             std::to_string(s.mem_bit) + ')';
     }
     out += ':' + num(s.rate);
     if (s.sticky) out += ":sticky:" + num(s.sticky_rate);
@@ -73,11 +84,17 @@ bool parse_number(std::string_view s, double& out) {
   return ec == std::errc{} && p == s.data() + s.size();
 }
 
-// Parse a model token: a bare name or name(MS[,JITTER]) for the delay
-// models.
+bool parse_int(std::string_view s, int& out) {
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+// Parse a model token: a bare name, name(MS[,JITTER]) for the delay
+// models, or memflip[(PAGE,BIT)].
 bool parse_model(std::string_view token, Model& out, double& delay_ms,
-                 double& jitter_ms) {
+                 double& jitter_ms, int& mem_page, int& mem_bit) {
   delay_ms = jitter_ms = 0.0;
+  mem_page = mem_bit = -1;
   std::string_view name = token;
   std::string_view args;
   const std::size_t open = token.find('(');
@@ -88,7 +105,8 @@ bool parse_model(std::string_view token, Model& out, double& delay_ms,
   }
   bool found = false;
   for (const Model m : {Model::kBitFlip, Model::kStuckAt0, Model::kStuckAt1,
-                        Model::kOpSkip, Model::kHang, Model::kLatency}) {
+                        Model::kOpSkip, Model::kHang, Model::kLatency,
+                        Model::kMemFlip}) {
     if (model_name(m) == name) {
       out = m;
       found = true;
@@ -96,6 +114,15 @@ bool parse_model(std::string_view token, Model& out, double& delay_ms,
     }
   }
   if (!found) return false;
+  if (out == Model::kMemFlip) {
+    // Bare memflip draws a random page/bit per fire; memflip(PAGE,BIT)
+    // pins the target. Exactly zero or two args.
+    if (open == std::string_view::npos) return true;
+    const std::size_t comma = args.find(',');
+    if (comma == std::string_view::npos) return false;
+    return parse_int(args.substr(0, comma), mem_page) && mem_page >= 0 &&
+           parse_int(args.substr(comma + 1), mem_bit) && mem_bit >= 0;
+  }
   if (!is_delay_model(out)) return open == std::string_view::npos;
   // hang/latency REQUIRE a duration argument.
   if (open == std::string_view::npos || args.empty()) return false;
@@ -170,13 +197,17 @@ bool FaultPlan::parse(std::string_view spec, FaultPlan& out,
     if (site == Site::kCount) return set_error(error, item, "unknown site");
     Model model{};
     double delay_ms = 0.0, jitter_ms = 0.0;
-    if (!parse_model(fields[1], model, delay_ms, jitter_ms))
+    int mem_page = -1, mem_bit = -1;
+    if (!parse_model(fields[1], model, delay_ms, jitter_ms, mem_page,
+                     mem_bit))
       return set_error(error, item, "unknown model");
     double rate = 0.0;
     if (!parse_number(fields[2], rate) || !(rate >= 0.0) || rate > 1.0)
       return set_error(error, item, "bad rate (want [0,1])");
     out.inject(site, model, rate);
     if (is_delay_model(model)) out.with_delay(site, delay_ms, jitter_ms);
+    if (model == Model::kMemFlip && mem_page >= 0)
+      out.with_memflip_target(site, mem_page, mem_bit);
     if (nfields == 5) {
       if (fields[3] != "sticky")
         return set_error(error, item, "expected ':sticky:<rate>' suffix");

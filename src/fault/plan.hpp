@@ -25,6 +25,9 @@ enum class Model : unsigned {
   kOpSkip,    ///< drop the operation (only meaningful at skip sites)
   kHang,      ///< stall the op for delay_ms (a wedged unit; interruptible)
   kLatency,   ///< stall for delay_ms +/- jitter_ms (a slow unit)
+  kMemFlip,   ///< flip one bit of PERSISTENT backing storage (a LUT page);
+              ///< stays flipped until a scrubber repairs it — SEU/bit-rot,
+              ///< where bitflip above is a transient datapath glitch
 };
 
 constexpr std::string_view model_name(Model m) {
@@ -41,6 +44,8 @@ constexpr std::string_view model_name(Model m) {
       return "hang";
     case Model::kLatency:
       return "latency";
+    case Model::kMemFlip:
+      return "memflip";
   }
   return "?";
 }
@@ -65,6 +70,11 @@ struct SiteSpec {
   double jitter_ms = 0.0;  ///< kLatency: uniform +/- jitter on the stall
   bool sticky = false;
   double sticky_rate = 0.0;  ///< victim thread's rate when sticky
+  // kMemFlip target: -1 (the default) draws a fresh page/bit per fire;
+  // >= 0 pins every fire to the same location ("memflip(page,bit)" —
+  // a single stuck cell). Both set or both -1, never mixed.
+  int mem_page = -1;
+  int mem_bit = -1;
 };
 
 class FaultPlan {
@@ -81,6 +91,11 @@ class FaultPlan {
   /// the base rate.
   FaultPlan& with_sticky(Site site, double sticky_rate);
 
+  /// Pin a kMemFlip site to one storage location. Either value < 0
+  /// resets BOTH to -1 (random page/bit per fire), keeping specs
+  /// round-trippable through describe()/parse().
+  FaultPlan& with_memflip_target(Site site, int page, int bit);
+
   const SiteSpec& spec(Site site) const {
     return specs_[std::size_t(site)];
   }
@@ -94,10 +109,10 @@ class FaultPlan {
   /// Parse a describe()-shaped spec: comma-separated items
   ///   site:model:rate[:sticky:<rate>]
   /// where model is bitflip|stuck0|stuck1|opskip|hang(MS)|latency(MS)
-  /// |latency(MS,JITTER). Top-level commas inside parentheses belong
-  /// to the model token, not the item separator. Returns false and
-  /// fills @p error on a malformed spec, unknown site, or unknown
-  /// model.
+  /// |latency(MS,JITTER)|memflip|memflip(PAGE,BIT). Top-level commas
+  /// inside parentheses belong to the model token, not the item
+  /// separator. Returns false and fills @p error on a malformed spec,
+  /// unknown site, or unknown model.
   static bool parse(std::string_view spec, FaultPlan& out,
                     std::string* error = nullptr);
 

@@ -1,0 +1,13 @@
+// nga::integrity — umbrella header.
+//
+// State integrity for the behavioural LUTs the serving stack depends
+// on: page-wise CRC32C verification (checksums live in nn::MulTable,
+// computed at build), a budgeted background Scrubber that detects and
+// repairs persistent corruption in place, and quarantine for tables
+// whose generator can no longer reproduce the built contents. See
+// scrubber.hpp for the full design notes and DESIGN.md ("State
+// integrity & scrubbing") for how nga::serve turns a repair into a
+// breaker reinstatement.
+#pragma once
+
+#include "integrity/scrubber.hpp"

@@ -1,0 +1,296 @@
+#include "integrity/scrubber.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/timer.hpp"
+
+namespace nga::integrity {
+
+Scrubber& Scrubber::instance() {
+  // Leaked on purpose: the background thread and the registered obs
+  // JSON section may be touched during static destruction otherwise.
+  static Scrubber* s = new Scrubber();
+  return *s;
+}
+
+Scrubber::Scrubber() {
+  auto& reg = obs::MetricsRegistry::instance();
+  scanned_c_ = &reg.counter("integrity.pages_scanned",
+                            "LUT pages CRC-verified by the scrubber");
+  corrupt_c_ = &reg.counter("integrity.corrupt_pages",
+                            "pages that failed CRC verification");
+  repaired_c_ = &reg.counter(
+      "integrity.pages_repaired",
+      "corrupt pages regenerated in place and re-verified");
+  unreproducible_c_ = &reg.counter(
+      "integrity.unreproducible",
+      "corrupt pages the generator could not reproduce (table quarantined)");
+  deep_c_ = &reg.counter("integrity.deep_scrubs",
+                         "on-demand full-table scrubs (breaker trips)");
+  passes_c_ = &reg.counter("integrity.full_passes",
+                           "completed background verification rotations");
+  tables_g_ = &reg.gauge("integrity.tables", "tables registered for scrubbing");
+  ttd_ms_ = &reg.series("integrity.time_to_detect_ms",
+                        "corruption injection -> scrub detection latency");
+  obs::register_json_section(
+      "integrity", [](std::ostream& os) { instance().write_json(os); });
+}
+
+void Scrubber::register_table(std::shared_ptr<const nn::MulTable> table,
+                              std::string name) {
+  if (!table) return;
+  std::lock_guard<std::mutex> lk(m_);
+  for (const auto& e : entries_)
+    if (e.table.get() == table.get()) return;  // already registered
+  Entry e;
+  e.table = std::move(table);
+  e.name = std::move(name);
+  entries_.push_back(std::move(e));
+  tables_g_->set(double(entries_.size()));
+}
+
+void Scrubber::register_unowned(const nn::MulTable* table, std::string name) {
+  if (!table) return;
+  // Aliasing shared_ptr with a no-op deleter: the registry machinery
+  // stays uniform, ownership stays with the caller.
+  register_table(std::shared_ptr<const nn::MulTable>(table,
+                                                     [](const nn::MulTable*) {}),
+                 std::move(name));
+}
+
+void Scrubber::unregister_table(const nn::MulTable* table) {
+  std::lock_guard<std::mutex> lk(m_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& e) {
+                                  return e.table.get() == table;
+                                }),
+                 entries_.end());
+  if (rr_ >= entries_.size()) rr_ = 0;
+  tables_g_->set(double(entries_.size()));
+}
+
+std::size_t Scrubber::table_count() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return entries_.size();
+}
+
+void Scrubber::start(ScrubberConfig cfg) {
+  std::unique_lock<std::mutex> lk(m_);
+  cfg_ = cfg;
+  if (running_) return;  // re-configured the pacing of the live thread
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void Scrubber::stop() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lk(m_);
+  running_ = false;
+}
+
+bool Scrubber::running() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return running_;
+}
+
+void Scrubber::note_detection(const nn::MulTable& t) {
+  const u64 stamp = t.take_corruption_stamp();
+  if (stamp == 0) return;
+  const u64 now = obs::now_ns();
+  if (now > stamp) ttd_ms_->add(double(now - stamp) * 1e-6);
+}
+
+void Scrubber::scrub_entry_page(Entry& e) {
+  const auto r = e.table->scrub_page(e.cursor);
+  ++stats_.pages_scanned;
+  scanned_c_->inc();
+  switch (r) {
+    case nn::MulTable::PageScrub::kClean:
+      break;
+    case nn::MulTable::PageScrub::kRepaired:
+      ++stats_.corrupt_pages;
+      ++stats_.pages_repaired;
+      ++e.corrupt_found;
+      ++e.repaired;
+      corrupt_c_->inc();
+      repaired_c_->inc();
+      note_detection(*e.table);
+      break;
+    case nn::MulTable::PageScrub::kUnreproducible:
+    case nn::MulTable::PageScrub::kNoGenerator:
+      ++stats_.corrupt_pages;
+      ++stats_.unreproducible;
+      ++e.corrupt_found;
+      corrupt_c_->inc();
+      unreproducible_c_->inc();
+      note_detection(*e.table);
+      e.quarantined = true;
+      break;
+  }
+  if (++e.cursor >= nn::MulTable::kPages) {
+    e.cursor = 0;
+    // A completed rotation means every page was just verified (repaired
+    // pages re-verify before storing) — unless one was unreproducible,
+    // in which case the quarantine flag already overrides freshness.
+    e.last_full_verify_ns = obs::now_ns();
+    ++stats_.full_passes;
+    passes_c_->inc();
+  }
+}
+
+void Scrubber::scan_pages(std::size_t n) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (entries_.empty()) return;
+  // Quarantined tables drop out of the rotation: their storage no
+  // longer matches the generator, so rescanning only re-counts the
+  // same damage.
+  std::size_t active = 0;
+  for (const auto& e : entries_)
+    if (!e.quarantined) ++active;
+  if (active == 0) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    while (entries_[rr_].quarantined) rr_ = (rr_ + 1) % entries_.size();
+    scrub_entry_page(entries_[rr_]);
+    rr_ = (rr_ + 1) % entries_.size();
+    // A page may have just quarantined the last active table.
+    if (entries_[rr_].quarantined) {
+      active = 0;
+      for (const auto& e : entries_)
+        if (!e.quarantined) ++active;
+      if (active == 0) return;
+    }
+  }
+}
+
+DeepScrubResult Scrubber::deep_scrub(const nn::MulTable& table) {
+  DeepScrubResult r;
+  std::lock_guard<std::mutex> lk(m_);
+  for (std::size_t page = 0; page < nn::MulTable::kPages; ++page) {
+    ++r.pages;
+    switch (table.scrub_page(page)) {
+      case nn::MulTable::PageScrub::kClean:
+        break;
+      case nn::MulTable::PageScrub::kRepaired:
+        ++r.corrupt;
+        ++r.repaired;
+        break;
+      case nn::MulTable::PageScrub::kUnreproducible:
+      case nn::MulTable::PageScrub::kNoGenerator:
+        ++r.corrupt;
+        ++r.unreproducible;
+        break;
+    }
+  }
+  if (r.corrupt > 0) note_detection(table);
+  stats_.pages_scanned += r.pages;
+  stats_.corrupt_pages += r.corrupt;
+  stats_.pages_repaired += r.repaired;
+  stats_.unreproducible += r.unreproducible;
+  ++stats_.deep_scrubs;
+  scanned_c_->inc(r.pages);
+  corrupt_c_->inc(r.corrupt);
+  repaired_c_->inc(r.repaired);
+  unreproducible_c_->inc(r.unreproducible);
+  deep_c_->inc();
+  for (auto& e : entries_) {
+    if (e.table.get() != &table) continue;
+    e.corrupt_found += r.corrupt;
+    e.repaired += r.repaired;
+    if (r.unreproducible > 0) e.quarantined = true;
+    e.last_full_verify_ns = obs::now_ns();
+    e.cursor = 0;  // the rotation restarts from freshly verified state
+    break;
+  }
+  return r;
+}
+
+bool Scrubber::quarantined(const nn::MulTable* table) const {
+  std::lock_guard<std::mutex> lk(m_);
+  for (const auto& e : entries_)
+    if (e.table.get() == table) return e.quarantined;
+  return false;
+}
+
+double Scrubber::last_verified_age_ms(const nn::MulTable* table) const {
+  std::lock_guard<std::mutex> lk(m_);
+  for (const auto& e : entries_) {
+    if (e.table.get() != table) continue;
+    if (e.last_full_verify_ns == 0) return -1.0;
+    return double(obs::now_ns() - e.last_full_verify_ns) * 1e-6;
+  }
+  return -1.0;
+}
+
+Scrubber::Stats Scrubber::stats() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return stats_;
+}
+
+void Scrubber::reset_stats() {
+  std::lock_guard<std::mutex> lk(m_);
+  stats_ = {};
+  for (auto& e : entries_) {
+    e.corrupt_found = 0;
+    e.repaired = 0;
+  }
+}
+
+void Scrubber::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(m_);
+  os << "{\"pages_scanned\":" << stats_.pages_scanned
+     << ",\"corrupt_pages\":" << stats_.corrupt_pages
+     << ",\"pages_repaired\":" << stats_.pages_repaired
+     << ",\"unreproducible\":" << stats_.unreproducible
+     << ",\"deep_scrubs\":" << stats_.deep_scrubs
+     << ",\"full_passes\":" << stats_.full_passes
+     << ",\"running\":" << (running_ ? "true" : "false") << ",\"tables\":{";
+  const u64 now = obs::now_ns();
+  bool first = true;
+  for (const auto& e : entries_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << obs::json::escape(e.name) << "\":{"
+       << "\"pages\":" << nn::MulTable::kPages
+       << ",\"regenerable\":" << (e.table->regenerable() ? "true" : "false")
+       << ",\"quarantined\":" << (e.quarantined ? "true" : "false")
+       << ",\"corrupt_found\":" << e.corrupt_found
+       << ",\"repaired\":" << e.repaired << ",\"last_verified_age_ms\":";
+    if (e.last_full_verify_ns == 0)
+      os << -1;
+    else
+      os << double(now - e.last_full_verify_ns) * 1e-6;
+    os << "}";
+  }
+  os << "}}";
+}
+
+void Scrubber::thread_main() {
+  double budget = 0.0;
+  std::unique_lock<std::mutex> lk(m_);
+  while (!stop_requested_) {
+    const auto tick = cfg_.tick;
+    const double pps = cfg_.pages_per_sec;
+    cv_.wait_for(lk, tick, [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    budget += pps * std::chrono::duration<double>(tick).count();
+    std::size_t pages = std::size_t(budget);
+    if (pages == 0) continue;
+    budget -= double(pages);
+    // Reuse the synchronous path without re-taking the lock.
+    lk.unlock();
+    scan_pages(pages);
+    lk.lock();
+  }
+}
+
+}  // namespace nga::integrity

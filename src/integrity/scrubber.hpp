@@ -1,0 +1,175 @@
+// nga::integrity — background scrubbing and repair for checksummed LUT
+// storage (nn::MulTable pages).
+//
+// The threat model is the edge-device one from the paper: the 128 KiB
+// behavioural multiplier table IS the vulnerable state. SEUs and bit-rot
+// flip bits in table memory and STAY flipped — a transient-fault
+// failover strategy (nga::guard's exact fallback) contains the damage
+// but can never reinstate the replica, because the corruption is still
+// there when the golden probe runs. The scrubber closes that loop:
+//
+//   detect   page-wise CRC32C verification against build-time checksums,
+//            paced by a pages/sec budget on a background thread;
+//   repair   every table is function-generated, so the generator (exact
+//            products or the owning ax::ApproxMult8) regenerates the
+//            page in place — verify-after-repair checks the REGENERATED
+//            bytes against the golden CRC before they are stored;
+//   reinstate nga::serve runs a deep scrub when a breaker trips, so the
+//            HalfOpen probe sees repaired storage and the replica
+//            returns to service instead of retiring.
+//
+// Tables whose generator cannot reproduce the built page (or that
+// retained no generator at all) are QUARANTINED: the scrubber stops
+// scanning them and reports them so the serving layer keeps them on the
+// exact path forever.
+//
+// Threading: page verify/repair is lock-free against concurrent mul()
+// readers (relaxed atomics; repairs store exactly the clean build
+// values). The scrubber's own registry/stats live under one mutex;
+// deep_scrub() serialises on it, which also makes concurrent deep
+// scrubs of the same table well-defined.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nn/quant.hpp"
+#include "obs/registry.hpp"
+#include "util/bits.hpp"
+
+namespace nga::integrity {
+
+using util::u64;
+
+/// Background-thread pacing. The budget is deliberately in PAGES per
+/// second, not bytes: a page is the unit of verification and repair.
+struct ScrubberConfig {
+  /// Pages verified per second across all registered tables (round-
+  /// robin). 32768 pages/s re-verifies a full 32-page table every
+  /// millisecond — cheap (one CRC32C over 4 KiB per page) but far above
+  /// what an edge deployment needs; serve uses a much smaller budget.
+  double pages_per_sec = 2048.0;
+  /// Wakeup cadence of the scrub thread; the page budget accumulates
+  /// fractionally across ticks so small budgets still make progress.
+  std::chrono::milliseconds tick{5};
+};
+
+/// Outcome of one synchronous full-table verification (all pages).
+struct DeepScrubResult {
+  std::size_t pages = 0;           ///< pages examined
+  std::size_t corrupt = 0;         ///< pages that failed verification
+  std::size_t repaired = 0;        ///< corrupt pages regenerated + verified
+  std::size_t unreproducible = 0;  ///< corrupt pages that could NOT be
+                                   ///< restored (generator mismatch or no
+                                   ///< generator) — quarantine the table
+  bool clean() const { return unreproducible == 0; }
+};
+
+/// The process-wide scrubber (one per process, like Injector and the
+/// metrics registry — background repair is a property of the process's
+/// tables, not of any one server).
+class Scrubber {
+ public:
+  static Scrubber& instance();
+
+  /// Register @p table for background scanning under @p name (shown in
+  /// telemetry). The scrubber shares ownership, so a table may outlive
+  /// its registrant until unregister_table().
+  void register_table(std::shared_ptr<const nn::MulTable> table,
+                      std::string name);
+  /// Register a table the caller guarantees outlives the registration
+  /// (stack-owned tables in tests and benches).
+  void register_unowned(const nn::MulTable* table, std::string name);
+  void unregister_table(const nn::MulTable* table);
+  std::size_t table_count() const;
+
+  /// Start/stop the background thread. start() on a running scrubber
+  /// re-configures the pacing; stop() joins and is idempotent.
+  void start(ScrubberConfig cfg = {});
+  void stop();
+  bool running() const;
+
+  /// Synchronously verify (and repair where possible) EVERY page of
+  /// @p table. Works on unregistered tables too; registered tables get
+  /// their quarantine flag and last-verified stamp updated. This is the
+  /// on-demand entry nga::serve calls when a breaker trips.
+  DeepScrubResult deep_scrub(const nn::MulTable& table);
+
+  /// Drive @p n pages of the background rotation synchronously (what
+  /// the scrub thread does per tick) — lets tests advance the scrubber
+  /// deterministically without a thread.
+  void scan_pages(std::size_t n);
+
+  /// True when @p table was quarantined (an unreproducible page was
+  /// found). Sticky for the registration's lifetime.
+  bool quarantined(const nn::MulTable* table) const;
+
+  /// Milliseconds since @p table last completed a full verified
+  /// rotation (background or deep scrub); negative when it never has
+  /// or is not registered.
+  double last_verified_age_ms(const nn::MulTable* table) const;
+
+  /// Process-lifetime totals (mirrored into obs counters; kept here so
+  /// the scrubber works the same with NGA_OBS off).
+  struct Stats {
+    u64 pages_scanned = 0;
+    u64 corrupt_pages = 0;    ///< pages that failed verification
+    u64 pages_repaired = 0;   ///< regenerated + verified in place
+    u64 unreproducible = 0;   ///< repair failed; table quarantined
+    u64 deep_scrubs = 0;      ///< on-demand full-table scrubs
+    u64 full_passes = 0;      ///< background rotations completed
+  };
+  Stats stats() const;
+  void reset_stats();
+
+  /// The "integrity" section of the bench/exposition JSON.
+  void write_json(std::ostream& os) const;
+
+ private:
+  Scrubber();
+  ~Scrubber() = delete;  // process-lifetime singleton, never destroyed
+
+  struct Entry {
+    std::shared_ptr<const nn::MulTable> table;
+    std::string name;
+    std::size_t cursor = 0;         ///< next page in the rotation
+    u64 last_full_verify_ns = 0;    ///< 0 = never completed a rotation
+    bool quarantined = false;
+    u64 corrupt_found = 0;
+    u64 repaired = 0;
+  };
+
+  /// Verify/repair one page of @p e and account for the outcome.
+  /// Caller holds m_.
+  void scrub_entry_page(Entry& e);
+  /// Harvest a corruption stamp into the time-to-detect series.
+  void note_detection(const nn::MulTable& t);
+  void thread_main();
+
+  mutable std::mutex m_;
+  std::vector<Entry> entries_;
+  std::size_t rr_ = 0;  ///< round-robin index into entries_
+  Stats stats_;
+  ScrubberConfig cfg_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+  std::condition_variable cv_;
+
+  // Cached obs handles (registry references are stable forever).
+  obs::Counter* scanned_c_ = nullptr;
+  obs::Counter* corrupt_c_ = nullptr;
+  obs::Counter* repaired_c_ = nullptr;
+  obs::Counter* unreproducible_c_ = nullptr;
+  obs::Counter* deep_c_ = nullptr;
+  obs::Counter* passes_c_ = nullptr;
+  obs::Gauge* tables_g_ = nullptr;
+  obs::ValueSeries* ttd_ms_ = nullptr;
+};
+
+}  // namespace nga::integrity

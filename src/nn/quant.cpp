@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/crc32c.hpp"
+
 namespace nga::nn {
 
 namespace {
@@ -9,34 +11,95 @@ namespace {
 /// Max product over weight magnitudes 0..127 (the sign+7-bit weight
 /// range every quantized MAC uses) — products above it are physically
 /// impossible and flag an in-flight fault.
-u16 weight_range_max_of(const std::array<u16, 65536>& t) {
+u16 weight_range_max_of(const std::array<std::atomic<u16>, 65536>& t) {
   u16 m = 0;
   for (unsigned a = 0; a < 256; ++a)
     for (unsigned b = 0; b < 128; ++b)
-      m = std::max(m, t[(std::size_t(a) << 8) | b]);
+      m = std::max(
+          m, t[(std::size_t(a) << 8) | b].load(std::memory_order_relaxed));
   return m;
 }
 
 }  // namespace
 
-MulTable::MulTable() {
+void MulTable::build(const std::function<u16(u8, u8)>& gen, bool retain) {
   NGA_OBS_TIMED("nn.multable.build");
-  for (unsigned a = 0; a < 256; ++a)
-    for (unsigned b = 0; b < 256; ++b)
-      t_[(std::size_t(a) << 8) | b] = u16(a * b);
-  exact_ = true;
+  std::array<u16, kPageEntries> buf;
+  for (std::size_t page = 0; page < kPages; ++page) {
+    const std::size_t base = page * kPageEntries;
+    for (std::size_t i = 0; i < kPageEntries; ++i) {
+      const std::size_t idx = base + i;
+      buf[i] = gen(u8(idx >> 8), u8(idx & 0xFF));
+      t_[idx].store(buf[i], std::memory_order_relaxed);
+    }
+    page_crc_[page] = util::crc32c(buf.data(), kPageBytes);
+  }
   wmax_ = weight_range_max_of(t_);
+  if (retain) gen_ = gen;
+}
+
+MulTable::MulTable() {
+  build([](u8 a, u8 b) { return u16(unsigned(a) * unsigned(b)); },
+        /*retain=*/true);
+  exact_ = true;
   NGA_OBS_COUNT("nn.multable.build.exact");
 }
 
 MulTable::MulTable(const ax::ApproxMult8& m) {
-  NGA_OBS_TIMED("nn.multable.build");
-  for (unsigned a = 0; a < 256; ++a)
-    for (unsigned b = 0; b < 256; ++b)
-      t_[(std::size_t(a) << 8) | b] = m.multiply(u8(a), u8(b));
+  // Borrowed multiplier: generate through it but do NOT retain it (the
+  // reference may dangle after construction), so the table is
+  // verify-only.
+  build([&m](u8 a, u8 b) { return m.multiply(a, b); }, /*retain=*/false);
   exact_ = false;
-  wmax_ = weight_range_max_of(t_);
   NGA_OBS_COUNT("nn.multable.build.approx");
+}
+
+MulTable::MulTable(std::shared_ptr<const ax::ApproxMult8> m) {
+  build([m = std::move(m)](u8 a, u8 b) { return m->multiply(a, b); },
+        /*retain=*/true);
+  exact_ = false;
+  NGA_OBS_COUNT("nn.multable.build.approx");
+}
+
+bool MulTable::verify_page(std::size_t page) const {
+  std::array<u16, kPageEntries> buf;
+  const std::size_t base = page * kPageEntries;
+  for (std::size_t i = 0; i < kPageEntries; ++i)
+    buf[i] = t_[base + i].load(std::memory_order_relaxed);
+  return util::crc32c(buf.data(), kPageBytes) == page_crc_[page];
+}
+
+MulTable::PageScrub MulTable::scrub_page(std::size_t page) const {
+  if (verify_page(page)) return PageScrub::kClean;
+  if (!gen_) return PageScrub::kNoGenerator;
+  // Regenerate into a local buffer and run the verify-after-repair pass
+  // BEFORE storing: checksum the regenerated values against the
+  // build-time CRC. A mismatch means the golden source itself no longer
+  // reproduces the built table — storage stays untouched and the caller
+  // quarantines.
+  std::array<u16, kPageEntries> buf;
+  const std::size_t base = page * kPageEntries;
+  for (std::size_t i = 0; i < kPageEntries; ++i) {
+    const std::size_t idx = base + i;
+    buf[i] = gen_(u8(idx >> 8), u8(idx & 0xFF));
+  }
+  if (util::crc32c(buf.data(), kPageBytes) != page_crc_[page])
+    return PageScrub::kUnreproducible;
+  for (std::size_t i = 0; i < kPageEntries; ++i)
+    t_[base + i].store(buf[i], std::memory_order_relaxed);
+  return PageScrub::kRepaired;
+}
+
+void MulTable::corrupt_bit(std::size_t page, unsigned bit) const {
+  page %= kPages;
+  bit %= kPageBits;
+  const std::size_t idx = page * kPageEntries + bit / 16;
+  t_[idx].fetch_xor(u16(1u << (bit % 16)), std::memory_order_relaxed);
+  // Stamp the OLDEST outstanding corruption (first flip since the last
+  // detection) for the scrubber's time-to-detect accounting.
+  u64 expected = 0;
+  corrupted_since_ns_.compare_exchange_strong(expected, obs::now_ns(),
+                                              std::memory_order_relaxed);
 }
 
 }  // namespace nga::nn

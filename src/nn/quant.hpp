@@ -8,9 +8,22 @@
 // where `mul` is either the exact product or an approximate multiplier
 // behavioural model compiled into a 64K lookup table — exactly the
 // behavioural-simulation semantics of ProxSim.
+//
+// Integrity (nga::integrity): on the edge devices the paper targets the
+// 128 KiB table IS the vulnerable state — SEUs and bit-rot corrupt LUT
+// memory, not the generator code. The table therefore carries CRC32C
+// checksums over 4 KiB pages, computed once at build time, and exposes
+// a verify/repair surface: every table is function-generated, so the
+// golden source for a repair is the generator itself (exact products,
+// or the owning ax::ApproxMult8 behavioural model). Storage is an array
+// of relaxed atomics so a scrubber may verify/repair pages while MAC
+// loops read them — each entry is independently coherent and repairs
+// write exactly the values a clean build holds.
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <functional>
 #include <memory>
 
 #include "approx/multipliers.hpp"
@@ -20,31 +33,54 @@
 namespace nga::nn {
 
 using util::u16;
+using util::u32;
+using util::u64;
 using util::u8;
 
 /// 64K-entry product table: the behavioural simulation of one
 /// approximate multiplier (fast enough for retraining on a laptop).
 class MulTable {
  public:
-  /// Exact products.
+  static constexpr std::size_t kEntries = 65536;
+  static constexpr std::size_t kPageBytes = 4096;  ///< CRC32C page size
+  static constexpr std::size_t kPageEntries = kPageBytes / sizeof(u16);
+  static constexpr std::size_t kPages = kEntries / kPageEntries;  // 32
+  static constexpr unsigned kPageBits = unsigned(kPageBytes) * 8u;
+
+  /// Exact products. Always repairable (the generator is `a * b`).
   MulTable();
-  /// Compiled from an approximate multiplier.
+  /// Compiled from a borrowed approximate multiplier. The table does
+  /// NOT retain @p m, so it stays valid when m dies — but without a
+  /// generator a corrupted page cannot be regenerated (scrub_page
+  /// yields kNoGenerator and the table can only be quarantined).
   explicit MulTable(const ax::ApproxMult8& m);
+  /// Compiled from an owned approximate multiplier: the generator is
+  /// retained, so corrupted pages regenerate in place. Preferred for
+  /// serving, where repair-driven reinstatement is the point.
+  explicit MulTable(std::shared_ptr<const ax::ApproxMult8> m);
+
+  // Storage is atomic; the table is shared by pointer, never copied.
+  MulTable(const MulTable&) = delete;
+  MulTable& operator=(const MulTable&) = delete;
 
   u16 mul(u8 a, u8 b) const {
     NGA_OBS_COUNT("nn.mac");
-    const u16 p = t_[(std::size_t(a) << 8) | b];
 #if NGA_FAULT
     // The fault site models the approximate-multiplier hardware unit;
     // the exact table is the separate golden unit ResilienceGuard falls
     // back to, so it stays fault-free. A hang/latency plan at this site
-    // stalls the MAC itself (a wedged multiplier unit).
+    // stalls the MAC itself (a wedged multiplier unit); a memflip plan
+    // corrupts the LIVE table storage before the probe below, and the
+    // flip persists until a scrubber repairs the page.
     if (!exact_) {
+      NGA_FAULT_MEMFLIP(fault::Site::kNnMul, *this);
       NGA_FAULT_DELAY(fault::Site::kNnMul);
+      const u16 p =
+          t_[(std::size_t(a) << 8) | b].load(std::memory_order_relaxed);
       return u16(NGA_FAULT_BITS(fault::Site::kNnMul, 16, util::u64(p)));
     }
 #endif
-    return p;
+    return t_[(std::size_t(a) << 8) | b].load(std::memory_order_relaxed);
   }
   bool is_exact() const { return exact_; }
 
@@ -52,8 +88,64 @@ class MulTable {
   /// the plausibility bound the MAC fault detector checks against.
   u16 weight_range_max() const { return wmax_; }
 
+  // --- integrity surface (nga::integrity) ----------------------------
+  //
+  // All const: tables flow through the serving stack as const*, and
+  // verify/repair/corrupt act on the mutable atomic storage. Safe
+  // against concurrent mul() readers by construction (relaxed atomics;
+  // a repair stores exactly the clean build values).
+
+  /// True when a generator is retained and corrupted pages can be
+  /// regenerated in place.
+  bool regenerable() const { return bool(gen_); }
+
+  /// Build-time golden CRC32C of @p page (immutable after build).
+  u32 page_checksum(std::size_t page) const { return page_crc_[page]; }
+
+  /// Recompute @p page's CRC32C over live storage and compare against
+  /// the build-time checksum.
+  bool verify_page(std::size_t page) const;
+
+  enum class PageScrub {
+    kClean,           ///< checksum verified; nothing to do
+    kRepaired,        ///< regenerated in place, verified against the CRC
+    kUnreproducible,  ///< generator output no longer matches the CRC
+    kNoGenerator,     ///< corrupt, and no generator was retained
+  };
+  /// Verify @p page and repair it from the generator when corrupt. The
+  /// verify-after-repair pass checksums the REGENERATED values before
+  /// they are stored: on a mismatch (the generator cannot reproduce the
+  /// built table) storage is left untouched and the caller must
+  /// quarantine the table.
+  PageScrub scrub_page(std::size_t page) const;
+
+  /// Flip one bit of live table storage (fault injection and tests);
+  /// persistent until a scrub repairs the page. Also stamps the
+  /// corruption time for the scrubber's time-to-detect histogram.
+  void corrupt_bit(std::size_t page, unsigned bit) const;
+
+  /// Steal the oldest outstanding corruption stamp (obs::now_ns epoch;
+  /// 0 when none) — the scrubber turns it into detection latency.
+  u64 take_corruption_stamp() const {
+    return corrupted_since_ns_.exchange(0, std::memory_order_relaxed);
+  }
+
+  // Fault-injection target surface (Injector::filter_memflip duck
+  // typing; the fault layer cannot depend on nn).
+  std::size_t flip_pages() const { return kPages; }
+  unsigned flip_bits_per_page() const { return kPageBits; }
+  void flip_bit(std::size_t page, unsigned bit) const {
+    corrupt_bit(page, bit);
+  }
+
  private:
-  std::array<u16, 65536> t_{};
+  /// Fill storage + page CRCs from @p gen (retained iff @p retain).
+  void build(const std::function<u16(u8, u8)>& gen, bool retain);
+
+  mutable std::array<std::atomic<u16>, kEntries> t_{};
+  std::array<u32, kPages> page_crc_{};
+  std::function<u16(u8, u8)> gen_;
+  mutable std::atomic<u64> corrupted_since_ns_{0};
   u16 wmax_ = 0;
   bool exact_ = true;
 };

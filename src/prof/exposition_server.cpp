@@ -10,6 +10,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 #else
 #define NGA_PROF_HAVE_SOCKETS 0
@@ -138,15 +139,46 @@ void ExpositionServer::accept_loop() {
 }
 
 void ExpositionServer::handle(int fd) {
-  // Read until the end of the request head or a small cap — the only
-  // requests this endpoint accepts fit comfortably in one packet.
+  // One acceptor thread serves one connection at a time, so a client
+  // that stalls mid-request would wedge every other scraper (and a
+  // draining server) indefinitely. SO_RCVTIMEO bounds each recv; a
+  // timeout turns into a 408 instead of an eternal block.
+  if (cfg_.recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = cfg_.recv_timeout_ms / 1000;
+    tv.tv_usec = (cfg_.recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+  // Read until the end of the request head or the 8 KiB bound — the
+  // only requests this endpoint accepts fit comfortably in one packet,
+  // so anything larger is garbage and is never drained further.
+  constexpr std::size_t kMaxHead = 8192;
   std::string req;
   char buf[1024];
-  while (req.size() < 8192 && req.find("\r\n\r\n") == std::string::npos &&
+  bool timed_out = false;
+  while (req.size() < kMaxHead &&
+         req.find("\r\n\r\n") == std::string::npos &&
          req.find('\n') == std::string::npos) {
     const auto n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      timed_out = true;
+      break;
+    }
     if (n <= 0) break;
     req.append(buf, std::size_t(n));
+  }
+  if (timed_out) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    bad_c_.inc();
+    send_all(fd, http_response(408, "Request Timeout", "request timeout\n"));
+    return;
+  }
+  if (req.size() >= kMaxHead && req.find("\r\n\r\n") == std::string::npos &&
+      req.find('\n') == std::string::npos) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    bad_c_.inc();
+    send_all(fd, http_response(400, "Bad Request", "request too large\n"));
+    return;
   }
   // Parse "<METHOD> <PATH> HTTP/..." from the request line.
   const auto eol = req.find_first_of("\r\n");

@@ -10,9 +10,12 @@
 //   GET <anything else> -> 404
 //   non-GET method      -> 405
 //   unparsable request  -> 400
-// Every response closes the connection; a malformed request never takes
-// the acceptor down (scrapes keep working after it). Scrape traffic is
-// itself counted (prof.metrics.scrapes / prof.metrics.bad_requests).
+//   head > 8 KiB        -> 400 (bounded read; the rest is never read)
+//   stalled client      -> 408 after recv_timeout_ms (SO_RCVTIMEO)
+// Every response closes the connection; a malformed or stalled request
+// never takes the acceptor down (scrapes keep working after it). Scrape
+// traffic is itself counted (prof.metrics.scrapes /
+// prof.metrics.bad_requests).
 //
 // Binding: loopback only by default — this exposes process internals
 // and has no auth; binding a routable address is the caller's explicit
@@ -34,6 +37,13 @@ using util::u64;
 struct ExpositionConfig {
   std::string bind_addr = "127.0.0.1";
   int port = 0;  ///< 0 = ephemeral; see port()
+  /// SO_RCVTIMEO on every accepted connection. The endpoint is one
+  /// acceptor thread handling one connection at a time, so a client
+  /// that connects and then sends nothing would otherwise wedge ALL
+  /// scraping (and stall drain) for as long as it pleases; with the
+  /// timeout a stalled request gets a 408 and the acceptor moves on.
+  /// <= 0 disables the timeout (the pre-hardening blocking behaviour).
+  int recv_timeout_ms = 2000;
 };
 
 class ExpositionServer {

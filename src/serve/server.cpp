@@ -8,6 +8,7 @@
 #include <string>
 
 #include "fault/fault.hpp"
+#include "integrity/scrubber.hpp"
 #include "obs/obs.hpp"
 
 namespace nga::serve {
@@ -86,7 +87,8 @@ Server::Server(ServerConfig cfg)
   if (cfg_.workers < 1) cfg_.workers = 1;
   if (cfg_.max_batch < 1) cfg_.max_batch = 1;
   if (cfg_.max_attempts < 1) cfg_.max_attempts = 1;
-  if (cfg_.mode != nn::Mode::kFloat && !cfg_.mul)
+  if (cfg_.mode != nn::Mode::kFloat && !cfg_.mul &&
+      !(cfg_.mul_factory && cfg_.mode == nn::Mode::kQuantApprox))
     throw std::invalid_argument("quantized serving needs a MulTable");
   if (cfg_.use_guard && !cfg_.exact_fallback)
     throw std::invalid_argument(
@@ -143,7 +145,9 @@ Server::Server(ServerConfig cfg)
         "serve.guard.requeued", "serve.guard.redelivery_rejected",
         "serve.guard.quarantined_batches", "serve.guard.breaker.tripped",
         "serve.guard.breaker.probe", "serve.guard.breaker.probe_failed",
-        "serve.guard.breaker.reinstated", "serve.guard.breaker.retired"})
+        "serve.guard.breaker.reinstated", "serve.guard.breaker.retired",
+        "serve.guard.trip_scrub", "serve.guard.scrub_repaired",
+        "serve.guard.scrub_unreproducible"})
     c(name);
 }
 
@@ -175,6 +179,14 @@ void Server::start() {
   if (cfg_.supervision.sampler_hz > 0.0) {
     sampler_ = std::make_unique<prof::Sampler>();
     sampler_->start(cfg_.supervision.sampler_hz);
+  }
+  // Background scrubbing for the serving lifetime. The Scrubber is
+  // process-wide; this server only claims the thread it started.
+  if (cfg_.integrity.enabled && cfg_.integrity.pages_per_sec > 0.0) {
+    integrity::ScrubberConfig sc;
+    sc.pages_per_sec = cfg_.integrity.pages_per_sec;
+    integrity::Scrubber::instance().start(sc);
+    scrubber_started_ = true;
   }
   accepting_.store(true, std::memory_order_release);
   State expect = State::kStarting;
@@ -320,6 +332,19 @@ void Server::worker_main(std::shared_ptr<guard::WorkerSlot> slot) {
   NGA_PROF_SCOPE(lane);
 
   auto model = cfg_.model_factory();
+  // Per-replica approximate table (nga::integrity): with mul_factory
+  // every worker serves from its own copy, so persistent corruption
+  // (memflip) damages ONE replica and the scrubber repairs replicas
+  // independently — shared `mul` would make every breaker trip at once.
+  std::shared_ptr<const nn::MulTable> own_table;
+  const nn::MulTable* active_mul = cfg_.mul;
+  if (cfg_.mul_factory && cfg_.mode == nn::Mode::kQuantApprox) {
+    own_table = cfg_.mul_factory();
+    if (own_table) active_mul = own_table.get();
+  }
+  auto& scrubber = integrity::Scrubber::instance();
+  const bool scrub_registered = cfg_.integrity.enabled && own_table != nullptr;
+  if (scrub_registered) scrubber.register_table(own_table, lane);
   std::unique_ptr<nn::ResilienceGuard> guard;
   if (cfg_.use_guard)
     guard = std::make_unique<nn::ResilienceGuard>(cfg_.exact_fallback);
@@ -343,7 +368,12 @@ void Server::worker_main(std::shared_ptr<guard::WorkerSlot> slot) {
     breaker = std::make_unique<guard::CircuitBreaker>(cfg_.supervision.breaker);
     nn::Exec ex;
     ex.mode = cfg_.mode;
-    ex.mul = cfg_.exact_fallback;
+    // probe_self_reference: the reference is this replica's OWN clean
+    // approximate path, captured now, before any fault plan can have
+    // corrupted it (serving has not started). A repaired table then
+    // probes back to exactly these predictions.
+    ex.mul = cfg_.supervision.probe_self_reference ? active_mul
+                                                   : cfg_.exact_fallback;
     golden_ref.reserve(golden_.size());
     for (const auto& x : golden_)
       golden_ref.push_back(argmax(model->forward(x, ex)));
@@ -365,9 +395,32 @@ void Server::worker_main(std::shared_ptr<guard::WorkerSlot> slot) {
     // Quarantined replica + cooldown elapsed: revalidate under
     // traffic, before serving the popped batch.
     if (breaker && breaker->probe_due() && breaker->begin_probe()) {
+      // Repair before reprobe (nga::integrity): deep-scrub this
+      // replica's table so the probe revalidates RESTORED storage. A
+      // trip caused purely by persistent LUT corruption then ends in
+      // reinstatement; without the scrub the corruption is still there
+      // and the probe loop can only retire the replica.
+      bool scrub_ok = true;
+      if (scrub_registered && cfg_.integrity.scrub_on_trip) {
+        trip_scrubs_.fetch_add(1, std::memory_order_relaxed);
+        c("serve.guard.trip_scrub").inc();
+        const auto ds = scrubber.deep_scrub(*own_table);
+        if (ds.repaired > 0) {
+          scrub_repaired_.fetch_add(ds.repaired, std::memory_order_relaxed);
+          c("serve.guard.scrub_repaired").inc(ds.repaired);
+        }
+        if (ds.unreproducible > 0) {
+          scrub_unreproducible_.fetch_add(ds.unreproducible,
+                                          std::memory_order_relaxed);
+          c("serve.guard.scrub_unreproducible").inc(ds.unreproducible);
+          // Storage cannot be restored; fail the probe so the breaker
+          // walks its max_probe_failures path to retirement.
+          scrub_ok = false;
+        }
+      }
       breaker_probes_.fetch_add(1, std::memory_order_relaxed);
       c("serve.guard.breaker.probe").inc();
-      const bool pass = run_probe(*model, golden_ref);
+      const bool pass = scrub_ok && run_probe(*model, golden_ref, active_mul);
       if (!pass) {
         breaker_probe_failures_.fetch_add(1, std::memory_order_relaxed);
         c("serve.guard.breaker.probe_failed").inc();
@@ -387,23 +440,31 @@ void Server::worker_main(std::shared_ptr<guard::WorkerSlot> slot) {
       }
     }
     process_batch(*model, guard.get(), backoff, health_rec, profiler.get(),
-                  batch, first_at, slot.get(), breaker.get());
+                  batch, first_at, slot.get(), breaker.get(), active_mul);
     batch.clear();
     if (slot->replaced.load(std::memory_order_acquire)) break;
   }
+  if (scrub_registered) scrubber.unregister_table(own_table.get());
   fault::Injector::set_thread_interrupt(nullptr);
 }
 
-bool Server::run_probe(nn::Model& model, const std::vector<int>& ref) {
+bool Server::run_probe(nn::Model& model, const std::vector<int>& ref,
+                       const nn::MulTable* mul) {
   // TimedSection: the probe lands as a section counter AND a
   // chrome-trace span on the worker's lane.
   obs::TimedSection ts("serve.guard.probe");
   nn::Exec ex;
   ex.mode = cfg_.mode;
-  ex.mul = cfg_.mul;  // the SUSPECT approximate path, not the fallback
+  ex.mul = mul;  // the SUSPECT approximate path, not the fallback
+  // Detection-aware: the plausibility screen (p > pmax) firing during
+  // the golden replay proves the path is still numerically corrupt even
+  // when every argmax happens to survive the perturbation — persistent
+  // LUT corruption routinely masks this way. Such a probe must fail.
+  const util::u64 det0 = fault::Injector::thread_detected();
   int mismatches = 0;
   for (std::size_t i = 0; i < golden_.size() && i < ref.size(); ++i)
     if (argmax(model.forward(golden_[i], ex)) != ref[i]) ++mismatches;
+  if (fault::Injector::thread_detected() != det0) return false;
   return mismatches <= cfg_.supervision.probe_tolerance;
 }
 
@@ -442,7 +503,8 @@ void Server::process_batch(nn::Model& model, nn::ResilienceGuard* guard,
                            std::vector<Request>& batch,
                            Clock::time_point first_at,
                            guard::WorkerSlot* slot,
-                           guard::CircuitBreaker* breaker) {
+                           guard::CircuitBreaker* breaker,
+                           const nn::MulTable* active_mul) {
   NGA_PROF_SCOPE("process_batch");
   // Shed before batching: a request whose deadline already passed must
   // not burn model time.
@@ -500,7 +562,7 @@ void Server::process_batch(nn::Model& model, nn::ResilienceGuard* guard,
     }
     nn::Exec ex;
     ex.mode = cfg_.mode;
-    ex.mul = (failover || quarantined) ? cfg_.exact_fallback : cfg_.mul;
+    ex.mul = (failover || quarantined) ? cfg_.exact_fallback : active_mul;
     ex.guard = guard;
     ex.health = &health_rec;
     ex.prof = prof;
@@ -725,6 +787,12 @@ void Server::drain() {
   }
   for (auto& h : workers)
     if (h.thread.joinable()) h.thread.join();
+  // The scrub thread outlives the workers (tables may still be
+  // registered by others), but this server only stops what it started.
+  if (scrubber_started_) {
+    integrity::Scrubber::instance().stop();
+    scrubber_started_ = false;
+  }
   drained_.store(true);
   state_.store(State::kStopped, std::memory_order_release);
   g("serve.state").set(double(State::kStopped));
@@ -770,6 +838,10 @@ Server::GuardStats Server::guard_stats() const {
   gs.breaker_reinstated = breaker_reinstated_.load(std::memory_order_relaxed);
   gs.breaker_retired = breaker_retired_.load(std::memory_order_relaxed);
   gs.admission_limit = limiter_ ? limiter_->limit() : 0;
+  gs.trip_scrubs = trip_scrubs_.load(std::memory_order_relaxed);
+  gs.scrub_repaired = scrub_repaired_.load(std::memory_order_relaxed);
+  gs.scrub_unreproducible =
+      scrub_unreproducible_.load(std::memory_order_relaxed);
   return gs;
 }
 

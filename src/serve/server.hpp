@@ -96,6 +96,15 @@ struct SupervisionConfig {
   int probe_samples = 6;
   /// Max prediction mismatches a passing probe may show.
   int probe_tolerance = 0;
+  /// Where the probe's reference predictions come from. false (the
+  /// default): the exact table — the probe then also flags legitimate
+  /// approx-vs-exact drift on the golden inputs. true: the worker's
+  /// OWN approximate path at startup, i.e. its clean-by-construction
+  /// self — required for repair-driven reinstatement at
+  /// probe_tolerance 0, where a fully repaired table must probe
+  /// identical to its clean state even though it never agreed with the
+  /// exact table on every argmax.
+  bool probe_self_reference = false;
 
   /// Attach a wall-clock sampling profiler (prof::Sampler) to the
   /// server for its whole start()..drain() lifetime, ticking at this
@@ -106,6 +115,27 @@ struct SupervisionConfig {
   /// When non-empty (and sampler_hz > 0), drain() writes the sampler's
   /// collapsed-stack histogram here — flamegraph.pl / speedscope input.
   std::string collapsed_path;
+};
+
+/// nga::integrity wiring (see integrity/scrubber.hpp and DESIGN.md
+/// "State integrity & scrubbing"). Only meaningful together with
+/// ServerConfig::mul_factory: per-worker tables are the unit the
+/// scrubber verifies, repairs, and — through the breaker probe flow —
+/// reinstates. All off by default.
+struct IntegrityConfig {
+  /// Register each worker's own table with the process Scrubber (and
+  /// unregister it when the worker exits).
+  bool enabled = false;
+  /// When a tripped breaker's probe comes due, deep-scrub the worker's
+  /// table BEFORE the golden probe runs: persistent corruption is
+  /// repaired in place, so the probe revalidates restored storage
+  /// (repair -> reprobe -> reinstate). An unreproducible page forces
+  /// the probe verdict to fail — the breaker retires the replica, which
+  /// is correct because its storage cannot be restored.
+  bool scrub_on_trip = true;
+  /// > 0: start() launches the background scrub thread at this
+  /// pages/sec budget and drain() stops it.
+  double pages_per_sec = 0.0;
 };
 
 struct ServerConfig {
@@ -121,6 +151,13 @@ struct ServerConfig {
 
   nn::Mode mode = nn::Mode::kQuantExact;
   const nn::MulTable* mul = nullptr;  ///< active table (kQuantApprox)
+  /// Builds one approximate table PER WORKER (kQuantApprox). When set,
+  /// each worker serves from its own replica instead of the shared
+  /// `mul` — persistent corruption (memflip) then damages one replica,
+  /// not the fleet, and integrity scrubbing repairs replicas
+  /// independently. The factory typically captures the owning
+  /// ax::ApproxMult8 so the tables are regenerable (see nn::MulTable).
+  std::function<std::shared_ptr<const nn::MulTable>()> mul_factory;
   /// Golden exact table: retry failover target and guard fallback.
   const nn::MulTable* exact_fallback = nullptr;
   /// Give each worker a ResilienceGuard over exact_fallback (layer-level
@@ -167,6 +204,7 @@ struct ServerConfig {
   std::function<std::unique_ptr<nn::Model>()> model_factory;
 
   SupervisionConfig supervision;
+  IntegrityConfig integrity;
 };
 
 class Server {
@@ -242,6 +280,10 @@ class Server {
     util::u64 breaker_reinstated = 0;  ///< HalfOpen -> Closed
     util::u64 breaker_retired = 0;     ///< replicas permanently retired
     std::size_t admission_limit = 0;   ///< current AIMD limit (0 = off)
+    // nga::integrity: the repair half of the probe flow.
+    util::u64 trip_scrubs = 0;       ///< on-demand deep scrubs before probes
+    util::u64 scrub_repaired = 0;    ///< pages repaired by trip scrubs
+    util::u64 scrub_unreproducible = 0;  ///< pages that forced retirement
   };
   GuardStats guard_stats() const;
 
@@ -267,15 +309,20 @@ class Server {
   /// Spawn one worker (initial pool or watchdog replacement); appends
   /// to workers_ under workers_m_.
   void spawn_worker(int id, int generation);
-  /// Replay the golden inputs down the given path; true iff at most
-  /// probe_tolerance predictions differ from @p ref.
-  bool run_probe(nn::Model& model, const std::vector<int>& ref);
+  /// Replay the golden inputs down @p mul (the worker's suspect
+  /// approximate path); true iff at most probe_tolerance predictions
+  /// differ from @p ref AND the numeric-plausibility detector stayed
+  /// silent during the replay (detections prove residual corruption
+  /// even when every argmax survives it).
+  bool run_probe(nn::Model& model, const std::vector<int>& ref,
+                 const nn::MulTable* mul);
   void process_batch(nn::Model& model, nn::ResilienceGuard* guard,
                      DecorrelatedBackoff& backoff,
                      nn::LayerHealthRecorder& health_rec,
                      prof::LayerProfiler* prof, std::vector<Request>& batch,
                      Clock::time_point first_at, guard::WorkerSlot* slot,
-                     guard::CircuitBreaker* breaker);
+                     guard::CircuitBreaker* breaker,
+                     const nn::MulTable* active_mul);
   /// Hand a cancelled batch's live requests back to the queue (bounded
   /// redelivery); called by a worker that is being replaced.
   void requeue_batch(std::vector<Request>& live);
@@ -307,7 +354,9 @@ class Server {
   std::atomic<u64> hangs_detected_{0}, workers_replaced_{0}, requeues_{0},
       redelivery_rejects_{0}, admission_rejects_{0}, quarantined_batches_{0},
       breaker_trips_{0}, breaker_probes_{0}, breaker_probe_failures_{0},
-      breaker_reinstated_{0}, breaker_retired_{0};
+      breaker_reinstated_{0}, breaker_retired_{0}, trip_scrubs_{0},
+      scrub_repaired_{0}, scrub_unreproducible_{0};
+  bool scrubber_started_ = false;  ///< this server owns the scrub thread
   mutable std::mutex numeric_m_;
   NumericHealth numeric_;
   std::mutex drain_m_;

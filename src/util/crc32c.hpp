@@ -1,0 +1,47 @@
+// CRC32C (Castagnoli polynomial, the iSCSI/SSE4.2 one) — the page
+// checksum nga::integrity carries alongside MulTable storage.
+//
+// Software table-driven implementation: one 256-entry table built on
+// first use, byte-at-a-time. Integrity pages are 4 KiB and scrubbed at
+// a budgeted rate, so throughput is a non-goal; portability (no
+// intrinsics, no build-flag coupling) is.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "util/bits.hpp"
+
+namespace nga::util {
+
+namespace detail {
+
+inline const std::array<u32, 256>& crc32c_table() {
+  static const std::array<u32, 256> table = [] {
+    // Reflected Castagnoli polynomial 0x1EDC6F41 -> 0x82F63B78.
+    std::array<u32, 256> t{};
+    for (u32 i = 0; i < 256; ++i) {
+      u32 r = i;
+      for (int k = 0; k < 8; ++k)
+        r = (r >> 1) ^ (0x82F63B78u & (0u - (r & 1u)));
+      t[i] = r;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// CRC32C of @p len bytes at @p data, chained via @p crc (pass the
+/// previous return value to continue a running checksum; 0 to start).
+inline u32 crc32c(const void* data, std::size_t len, u32 crc = 0) {
+  const auto& table = detail::crc32c_table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < len; ++i)
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace nga::util

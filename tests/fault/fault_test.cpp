@@ -40,6 +40,49 @@ TEST(FaultPlan, ParseRoundTrip) {
   EXPECT_EQ(p.describe(), q.describe());
 }
 
+TEST(FaultPlan, MemflipDescribeParseRoundTrip) {
+  // Bare memflip (random page/bit per fire), with the sticky-victim
+  // suffix the soak bench uses.
+  FaultPlan p;
+  p.inject(Site::kNnMul, Model::kMemFlip, 0.0);
+  p.with_sticky(Site::kNnMul, 1e-4);
+  FaultPlan q;
+  std::string err;
+  ASSERT_TRUE(FaultPlan::parse(p.describe(), q, &err)) << p.describe()
+                                                       << ": " << err;
+  EXPECT_EQ(p.describe(), q.describe());
+  EXPECT_EQ(q.spec(Site::kNnMul).model, Model::kMemFlip);
+  EXPECT_EQ(q.spec(Site::kNnMul).mem_page, -1);
+  EXPECT_EQ(q.spec(Site::kNnMul).mem_bit, -1);
+  EXPECT_TRUE(q.spec(Site::kNnMul).sticky);
+  EXPECT_DOUBLE_EQ(q.spec(Site::kNnMul).sticky_rate, 1e-4);
+
+  // Pinned target memflip(PAGE,BIT): a single stuck cell.
+  FaultPlan r;
+  ASSERT_TRUE(FaultPlan::parse("nn.mul:memflip(7,513):0.001", r, &err)) << err;
+  EXPECT_EQ(r.spec(Site::kNnMul).model, Model::kMemFlip);
+  EXPECT_EQ(r.spec(Site::kNnMul).mem_page, 7);
+  EXPECT_EQ(r.spec(Site::kNnMul).mem_bit, 513);
+  FaultPlan r2;
+  ASSERT_TRUE(FaultPlan::parse(r.describe(), r2, &err)) << r.describe()
+                                                        << ": " << err;
+  EXPECT_EQ(r.describe(), r2.describe());
+  EXPECT_EQ(r2.spec(Site::kNnMul).mem_page, 7);
+  EXPECT_EQ(r2.spec(Site::kNnMul).mem_bit, 513);
+}
+
+TEST(FaultPlan, MemflipParseRejectsMalformed) {
+  FaultPlan p;
+  std::string err;
+  for (const char* bad :
+       {"nn.mul:memflip(7:0.001", "nn.mul:memflip(7,):0.001",
+        "nn.mul:memflip(,3):0.001", "nn.mul:memflip(-1,3):0.001",
+        "nn.mul:memflip(a,b):0.001", "nn.mul:memflip(1,2,3):0.001"}) {
+    EXPECT_FALSE(FaultPlan::parse(bad, p, &err)) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
 TEST(FaultPlan, ParseRejectsMalformed) {
   FaultPlan p;
   std::string err;

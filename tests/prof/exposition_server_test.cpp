@@ -114,6 +114,48 @@ TEST(ProfMetricsEndpoint, RejectsBadRequestsAndKeepsServing) {
   srv.stop();
 }
 
+TEST(ProfMetricsEndpoint, StalledClientGets408AndCannotWedgeTheAcceptor) {
+  ExpositionConfig cfg;
+  cfg.recv_timeout_ms = 100;  // fast test; default is 2000
+  ExpositionServer srv(cfg);
+  ASSERT_TRUE(srv.start()) << srv.reason();
+
+  // Connect and send NOTHING — pre-hardening this held the single
+  // acceptor thread hostage forever (every later scrape, and stop(),
+  // blocked behind it). Now the recv times out and answers 408.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(uint16_t(srv.port()));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  std::string resp;
+  char buf[256];
+  ssize_t n;
+  const auto t0 = std::chrono::steady_clock::now();
+  while ((n = ::read(fd, buf, sizeof buf)) > 0) resp.append(buf, std::size_t(n));
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  ::close(fd);
+  EXPECT_NE(resp.find("408"), std::string::npos) << resp;
+  EXPECT_LT(waited, std::chrono::seconds(5)) << "408 must come from the "
+                                                "timeout, not test teardown";
+  EXPECT_EQ(srv.bad_requests(), 1u);
+
+  // A half-request that never completes times out the same way...
+  EXPECT_NE(http_exchange(srv.port(), "GET /metr").find("408"),
+            std::string::npos);
+  // ...an unterminated head hitting the 8 KiB bound gets a 400 (8192
+  // exactly, so no bytes sit unread at close to RST the response away)...
+  EXPECT_NE(http_exchange(srv.port(), std::string(8192, 'A')).find("400"),
+            std::string::npos);
+  // ...and the acceptor survived all of it: scrapes still work.
+  const std::string ok = get(srv.port(), "/metrics");
+  EXPECT_NE(ok.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_EQ(srv.scrapes(), 1u);
+  srv.stop();
+}
+
 TEST(ProfMetricsEndpoint, StopIsIdempotentAndStartReportsBindFailure) {
   ExpositionServer a;
   ASSERT_TRUE(a.start());

@@ -1,0 +1,264 @@
+// nga::integrity woven into the server, end to end (NGA_FAULT builds):
+//   * persistent LUT corruption (memflip) trips the replica's breaker,
+//     the trip scrub repairs the table from its retained generator, and
+//     the HalfOpen probe REINSTATES the replica — the loop a failover-
+//     only strategy can never close;
+//   * a replica whose table kept no generator cannot be repaired: the
+//     trip scrub reports unreproducible pages, every probe is forced to
+//     fail, and the breaker retires the replica for good;
+//   * the background scrubber, trip-time deep scrubs, watchdog worker
+//     replacement, and MAC readers all race without corrupting the
+//     accounting (the TSan leg runs these suites under the detector —
+//     which is why every suite here is named Integrity*).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "approx/multipliers.hpp"
+#include "fault/fault.hpp"
+#include "integrity/integrity.hpp"
+#include "nn/layers.hpp"
+#include "serve/serve.hpp"
+
+#if NGA_FAULT
+
+namespace nga::serve {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+constexpr int kC = 1, kH = 4, kW = 4;
+
+nn::Tensor make_input(int i) {
+  nn::Tensor x(kC, kH, kW);
+  for (std::size_t j = 0; j < x.v.size(); ++j)
+    x.v[j] = float((i * 31 + int(j) * 7) % 17) / 17.f;
+  return x;
+}
+
+std::unique_ptr<nn::Model> make_model() {
+  util::Xoshiro256 rng(7);
+  auto m = std::make_unique<nn::Model>("integrity-test");
+  m->add(std::make_unique<nn::Dense>(kC * kH * kW, 10, rng));
+  return m;
+}
+
+// Drive traffic until pred() is true or `rounds` requests served.
+template <class Pred>
+void pump_until(Server& srv, Pred pred, int rounds,
+                milliseconds gap = milliseconds(5)) {
+  for (int n = 0; n < rounds && !pred(); ++n) {
+    (void)srv.submit(make_input(n), milliseconds(5000)).get();
+    std::this_thread::sleep_for(gap);
+  }
+}
+
+ServerConfig integrity_config(const nn::MulTable* exact) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 64;
+  cfg.max_batch = 4;
+  cfg.batch_linger = microseconds(100);
+  cfg.in_c = kC;
+  cfg.in_h = kH;
+  cfg.in_w = kW;
+  cfg.mode = nn::Mode::kQuantApprox;
+  cfg.exact_fallback = exact;
+  cfg.model_factory = make_model;
+  cfg.max_attempts = 2;
+  cfg.retry_exact_failover = true;
+  cfg.backoff.base = microseconds(50);
+  cfg.backoff.cap = microseconds(500);
+  cfg.supervision.supervise = true;
+  cfg.supervision.breaker.window = 8;
+  cfg.supervision.breaker.min_samples = 4;
+  cfg.supervision.breaker.trip_failure_rate = 0.5;
+  cfg.supervision.breaker.cooldown = milliseconds(30);
+  cfg.supervision.probe_samples = 6;
+  cfg.supervision.probe_tolerance = 0;
+  // Reinstatement at tolerance 0 needs the replica's own clean
+  // predictions as the reference, not the exact table's.
+  cfg.supervision.probe_self_reference = true;
+  cfg.integrity.enabled = true;
+  cfg.integrity.scrub_on_trip = true;
+  cfg.integrity.pages_per_sec = 0.0;  // no background thread: every
+                                      // repair is attributable to the
+                                      // trip scrub under test
+  return cfg;
+}
+
+// Saturating memflip: every approximate MAC flips one random bit of
+// the live table, so corruption accumulates fast enough that the
+// plausibility detector (p > pmax) makes batches suspect within a
+// handful of requests.
+void arm_memflip(util::u64 seed) {
+  fault::FaultPlan plan;
+  plan.inject(fault::Site::kNnMul, fault::Model::kMemFlip, 1.0);
+  fault::Injector::instance().arm(plan, seed);
+}
+
+void expect_invariant(const Server::Stats& st) {
+  EXPECT_EQ(st.served + st.rejected + st.shed, st.submitted)
+      << "served=" << st.served << " rejected=" << st.rejected
+      << " shed=" << st.shed << " submitted=" << st.submitted;
+}
+
+TEST(IntegrityServe, TripScrubRepairsAndReinstatesCorruptedReplica) {
+  std::shared_ptr<const ax::ApproxMult8> gen =
+      std::move(ax::table2_multipliers().front());
+  const nn::MulTable exact;
+
+  auto cfg = integrity_config(&exact);
+  // Retained generator => regenerable replica, the repair-driven path.
+  cfg.mul_factory = [gen] { return std::make_shared<const nn::MulTable>(gen); };
+  // Reinstatement is the assertion; make retirement unreachable so a
+  // probe unlucky enough to race fresh corruption only reopens.
+  cfg.supervision.breaker.max_probe_failures = 1000;
+
+  Server srv(cfg);
+  srv.start();
+  // Clean warmup FIRST: the worker captures its self-reference before
+  // any flip can land.
+  pump_until(srv, [] { return false; }, 3);
+
+  arm_memflip(4242);
+  pump_until(srv, [&] { return srv.guard_stats().breaker_trips >= 1; }, 200);
+  ASSERT_GE(srv.guard_stats().breaker_trips, 1u)
+      << "persistent LUT corruption must trip the breaker";
+  // Stop corrupting; the accumulated damage is still in the table, and
+  // only the trip scrub can clear it for the probe.
+  fault::Injector::instance().disarm();
+  pump_until(srv, [&] { return srv.guard_stats().breaker_reinstated >= 1; },
+             200, milliseconds(10));
+  srv.drain();
+
+  const auto gs = srv.guard_stats();
+  EXPECT_GE(gs.trip_scrubs, 1u);
+  EXPECT_GE(gs.scrub_repaired, 1u)
+      << "the deep scrub must have regenerated corrupted pages";
+  EXPECT_GE(gs.breaker_reinstated, 1u)
+      << "a repaired replica must probe clean and return to service";
+  EXPECT_EQ(gs.scrub_unreproducible, 0u);
+  EXPECT_FALSE(gs.breaker_retired);
+  expect_invariant(srv.stats());
+}
+
+TEST(IntegrityServe, UnrepairableReplicaIsRetiredNotReinstated) {
+  const auto mults = ax::table2_multipliers();
+  const nn::MulTable exact;
+
+  auto cfg = integrity_config(&exact);
+  // Borrowed-generator tables retain nothing: corrupt pages are
+  // kNoGenerator, the trip scrub cannot restore them, and kRetired is
+  // exactly the state reserved for unreproducible corruption.
+  const ax::ApproxMult8* borrowed = mults.front().get();
+  cfg.mul_factory = [borrowed] {
+    return std::make_shared<const nn::MulTable>(*borrowed);
+  };
+  cfg.supervision.breaker.max_probe_failures = 2;
+
+  Server srv(cfg);
+  srv.start();
+  pump_until(srv, [] { return false; }, 3);
+
+  arm_memflip(99);
+  pump_until(srv, [&] { return srv.guard_stats().breaker_trips >= 1; }, 200);
+  ASSERT_GE(srv.guard_stats().breaker_trips, 1u);
+  fault::Injector::instance().disarm();
+  pump_until(srv, [&] { return srv.guard_stats().breaker_retired >= 1; }, 200,
+             milliseconds(10));
+  srv.drain();
+
+  const auto gs = srv.guard_stats();
+  EXPECT_GE(gs.trip_scrubs, 2u) << "each probe attempt deep-scrubs first";
+  EXPECT_GE(gs.scrub_unreproducible, 1u);
+  EXPECT_EQ(gs.scrub_repaired, 0u) << "nothing is repairable without a "
+                                      "generator";
+  EXPECT_GE(gs.breaker_retired, 1u);
+  EXPECT_EQ(gs.breaker_reinstated, 0u);
+  // Retired = permanent exact path; requests keep being served.
+  const auto st = srv.stats();
+  EXPECT_GT(st.served, 0u);
+  expect_invariant(st);
+}
+
+// The probe's trip scrub (worker thread) racing the background scrub
+// rotation (scrubber thread) racing MAC readers and fresh corruption:
+// the TSan leg runs this to prove the whole integrity path is
+// data-race-free under live traffic.
+TEST(IntegrityProbeRace, DeepScrubRacesBackgroundScrubberUnderTraffic) {
+  std::shared_ptr<const ax::ApproxMult8> gen =
+      std::move(ax::table2_multipliers().front());
+  const nn::MulTable exact;
+
+  auto cfg = integrity_config(&exact);
+  cfg.workers = 2;
+  cfg.mul_factory = [gen] { return std::make_shared<const nn::MulTable>(gen); };
+  cfg.supervision.breaker.max_probe_failures = 1000;
+  cfg.integrity.pages_per_sec = 50000.0;  // background thread ON, hot
+
+  Server srv(cfg);
+  srv.start();
+  pump_until(srv, [] { return false; }, 3);
+  arm_memflip(7);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 60; ++i) {
+    futs.push_back(srv.submit(make_input(i), milliseconds(5000)));
+    if (i % 8 == 7) std::this_thread::sleep_for(milliseconds(5));
+  }
+  for (auto& f : futs) (void)f.get();
+  fault::Injector::instance().disarm();
+  srv.drain();
+
+  expect_invariant(srv.stats());
+  EXPECT_FALSE(integrity::Scrubber::instance().running())
+      << "drain must stop the scrubber thread the server started";
+}
+
+// Watchdog replacement mid-corruption: the wedged victim's table is
+// unregistered with its worker, the replacement registers a fresh one,
+// and the redelivered batch keeps the drain invariant exact.
+TEST(IntegrityServe, WorkerReplacementMidScrubKeepsAccounting) {
+  std::shared_ptr<const ax::ApproxMult8> gen =
+      std::move(ax::table2_multipliers().front());
+  const nn::MulTable exact;
+
+  auto cfg = integrity_config(&exact);
+  cfg.mul_factory = [gen] { return std::make_shared<const nn::MulTable>(gen); };
+  cfg.supervision.breaker.max_probe_failures = 1000;
+  cfg.supervision.watchdog.check_interval = milliseconds(10);
+  cfg.supervision.watchdog.max_exec = milliseconds(60);
+  cfg.supervision.watchdog.min_timeout = milliseconds(1);
+  const auto count0 = integrity::Scrubber::instance().table_count();
+
+  Server srv(cfg);
+  srv.start();
+  pump_until(srv, [] { return false; }, 2);
+  // Wedge the single worker with an injected hang long enough for the
+  // watchdog to cancel + replace it while memflips are landing.
+  fault::FaultPlan plan;
+  plan.inject(fault::Site::kNnMul, fault::Model::kMemFlip, 0.5);
+  plan.inject(fault::Site::kNnExec, fault::Model::kHang, 0.05);
+  plan.with_delay(fault::Site::kNnExec, 400.0);
+  fault::Injector::instance().arm(plan, 31);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 40; ++i)
+    futs.push_back(srv.submit(make_input(i), milliseconds(8000)));
+  for (auto& f : futs) (void)f.get();
+  fault::Injector::instance().disarm();
+  srv.drain();
+
+  expect_invariant(srv.stats());
+  EXPECT_EQ(integrity::Scrubber::instance().table_count(), count0)
+      << "every worker generation must unregister its table on exit";
+}
+
+}  // namespace
+}  // namespace nga::serve
+
+#endif  // NGA_FAULT

@@ -182,6 +182,26 @@ def compare(base: dict, fresh: dict, exempt=(), log=print):
                     f"{favail} fresh (hw availability differs; not a "
                     f"regression)")
 
+    # The additive "integrity" section (scrub telemetry): the scalar
+    # totals are machine-independent shape and must survive; per-table
+    # entries are keyed by lane name and run-dependent, so only the
+    # presence of the tables map is checked, never its keys.
+    if "integrity" in base:
+        if "integrity" not in fresh:
+            failures.append("integrity: committed snapshot has the "
+                            "integrity section, fresh run does not")
+        else:
+            bi, fi = base["integrity"], fresh["integrity"]
+            for k in sorted(bi):
+                if k in ("tables", "running"):
+                    continue
+                if k not in fi:
+                    failures.append(f"integrity: key vanished: {k}")
+            if bi.get("tables") and "tables" not in fi:
+                failures.append("integrity: committed snapshot attributes "
+                                "per-table state, fresh run lost the "
+                                "tables map")
+
     # Claim floors: a committed >=99% success-rate family must still
     # clear the floor in the fresh run, for every instance swept.
     bg, fg = families(base.get("gauges", {})), families(fresh.get("gauges", {}))
@@ -199,6 +219,29 @@ def compare(base: dict, fresh: dict, exempt=(), log=print):
                     f"(committed family {fam} held it)")
 
     return failures, new_families
+
+
+def check_required_sections(base, fresh, required):
+    """--require-section verdicts, role-labelled.
+
+    Returns (stale, failures): `stale` lists required additive sections
+    the COMMITTED snapshot predates — a usage-class error (exit 2) with
+    a regenerate-and-commit instruction, not a bare KeyError; `failures`
+    lists sections the FRESH run dropped, which is a plain regression
+    (exit 1)."""
+    stale, failures = [], []
+    for name in required:
+        if name not in base:
+            stale.append(
+                f"committed snapshot predates the required additive "
+                f"section {name!r} — regenerate the committed BENCH_*.json "
+                f"with the bench's --json flag and commit it alongside "
+                f"this change")
+        elif name not in fresh:
+            failures.append(
+                f"{name}: required section present in the committed "
+                f"snapshot but missing from the fresh run")
+    return stale, failures
 
 
 def self_test() -> int:
@@ -269,6 +312,18 @@ def self_test() -> int:
          doc(gauges={"prof.mul_EXACT.layer.0.conv.cycles_per_mac": 9.0,
                      "prof.counters_available": 1.0}),
          doc(), (), 0),
+        ("vanished integrity section is a regression",
+         dict(base, integrity={"pages_scanned": 9, "tables": {}}),
+         base, (), 1),
+        ("vanished integrity scalar key is a regression",
+         dict(base, integrity={"pages_scanned": 9, "pages_repaired": 1}),
+         dict(base, integrity={"pages_scanned": 2}), (), 1),
+        ("per-table lane names are run-dependent, only the map matters",
+         dict(base, integrity={"pages_scanned": 9,
+                               "tables": {"serve.worker.0": {"pages": 32}}}),
+         dict(base, integrity={"pages_scanned": 2,
+                               "tables": {"serve.worker.2.g1":
+                                          {"pages": 32}}}), (), 0),
     ]
     bad = 0
     for name, b, f, exempt, want in cases:
@@ -278,7 +333,28 @@ def self_test() -> int:
         bad += got != want
         print(f"  [{status}] {name}" +
               (f" (want {want}, got {got}: {failures})" if got != want else ""))
-    print(f"bench_diff --self-test: {len(cases) - bad}/{len(cases)} ok")
+
+    # --require-section verdicts, which split by ROLE rather than value.
+    with_integrity = dict(base, integrity={"pages_scanned": 9})
+    req_cases = [
+        ("required section present on both sides",
+         with_integrity, with_integrity, 0),
+        ("stale committed snapshot is a labelled usage error, not exit 1",
+         base, with_integrity, 2),
+        ("fresh run dropping a required section is a regression",
+         with_integrity, base, 1),
+    ]
+    for name, b, f, want in req_cases:
+        stale, failures = check_required_sections(b, f, ["integrity"])
+        got = 2 if stale else (1 if failures else 0)
+        ok = got == want and (not stale or "predates" in stale[0])
+        status = "ok" if ok else "FAIL"
+        bad += not ok
+        print(f"  [{status}] {name}" +
+              ("" if ok else f" (want {want}, got {got})"))
+
+    total = len(cases) + len(req_cases)
+    print(f"bench_diff --self-test: {total - bad}/{total} ok")
     return 1 if bad else 0
 
 
@@ -290,6 +366,11 @@ def main() -> int:
     ap.add_argument("--allow-missing", action="append", default=[],
                     help="family regex exempt from the coverage check "
                          "(e.g. a section gated off in this build)")
+    ap.add_argument("--require-section", action="append", default=[],
+                    help="additive top-level section that must exist in "
+                         "BOTH snapshots; a committed snapshot that "
+                         "predates it is reported as such (exit 2), a "
+                         "fresh run that dropped it is a regression")
     ap.add_argument("--self-test", action="store_true",
                     help="run the checker against synthetic documents")
     args = ap.parse_args()
@@ -301,8 +382,15 @@ def main() -> int:
 
     base = load(args.committed, "committed")
     fresh = load(args.fresh, "fresh")
+    stale, required_failures = check_required_sections(
+        base, fresh, args.require_section)
+    if stale:
+        for s in stale:
+            print(f"bench_diff: {args.committed}: {s}", file=sys.stderr)
+        return 2
     exempt = [re.compile(p) for p in args.allow_missing]
     failures, new_families = compare(base, fresh, exempt)
+    failures = required_failures + failures
 
     print(f"bench_diff: {args.committed} vs {args.fresh}")
     print(f"  committed: {sum(len(base.get(s, {})) for s in ('counters', 'gauges', 'metrics'))} metrics"
