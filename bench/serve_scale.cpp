@@ -1,0 +1,469 @@
+// Serve scale — the overload-graceful-degradation claim, measured.
+//
+// The soak bench (serve_soak) drives the server CLOSED-loop: every
+// burst waits for the previous one, so offered load can never outrun
+// service capacity and queueing collapse is structurally invisible.
+// This bench closes that gap with nga::load's OPEN-loop generator:
+// Poisson arrivals on a fixed schedule that never waits for the
+// server, exactly like independent users.
+//
+// Protocol (fully self-calibrating — no machine-specific constants):
+//   1. train the small KWS net once, quantize onto the lowest-MRE
+//      approximate multiplier (the soak's serving stack);
+//   2. probe capacity closed-loop (saturating bursts for a fraction of
+//      a second) to seed the sweep ladder;
+//   3. sweep offered RPS open-loop against the UNCONTROLLED server
+//      (no CoDel, no brownout) and locate the KNEE: the highest
+//      offered rate still served near-linearly (load/frontier.hpp);
+//   4. run targeted points at the knee and at 1.5x the knee, twice
+//      each: brownout OFF (plain bounded queue + deadlines) and
+//      brownout ON (CoDel sojourn control + the overload ladder:
+//      linger shrink -> cheaper approximate tables -> fractional
+//      shed at the door).
+//
+// Asserted claims (skipped under --smoke, where sanitizer slowdowns
+// make wall-clock meaningless):
+//   * goodput retention at 1.5x knee — served-within-deadline rate
+//     relative to the same config's knee goodput — stays >= 80% with
+//     the ladder ON;
+//   * the OFF run demonstrably collapses (< 80% retention): past the
+//     knee an uncontrolled FIFO burns its capacity executing requests
+//     whose deadlines are already doomed;
+//   * the ladder actually engaged during the ON overload run
+//     (escalations >= 1) and the per-tier traffic mix is reported;
+//   * after every run: served + rejected + shed == submitted.
+//
+// The committed BENCH_serve_scale.json carries the frontier and both
+// retention gauges; tools/bench_diff.py re-asserts the ON floor (and
+// the "overload" JSON section's shape) against every fresh run.
+// Flags: --quick (CI-sized sweep), --smoke (implies --quick; shutdown
+// invariant only).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "approx/multipliers.hpp"
+#include "load/frontier.hpp"
+#include "load/loadgen.hpp"
+#include "nn/data.hpp"
+#include "nn/model.hpp"
+#include "serve/serve.hpp"
+#include "util/table.hpp"
+
+#define NGA_BENCH_EXTRA_FLAGS {"--quick", "--smoke"}
+#include "bench_main.hpp"
+
+using namespace nga;
+using namespace nga::nn;
+using namespace nga::serve;
+
+namespace {
+
+constexpr int kT = 16, kMel = 12;
+
+/// One open-loop measurement: a server, a Poisson schedule, the result.
+struct PointResult {
+  load::FrontierPoint pt;   ///< offered (achieved) + goodput + latency
+  Server::Stats stats;
+  double served_frac = 0.0;  ///< served / submitted (NOT a success_rate
+                             ///< gauge: past the knee this SHOULD fall)
+  double max_lag_ms = 0.0;   ///< generator schedule lag (see loadgen.hpp)
+  double wall_s = 0.0;       ///< first submit -> last future resolved
+  bool invariant_ok = false;
+  OverloadController::Stats os;  ///< ladder motion during this run
+};
+
+PointResult run_point(const ServerConfig& cfg, const Dataset& test_set,
+                      double offered_rps, double duration_s,
+                      double deadline_ms, util::u64 seed) {
+  Server srv(cfg);
+  srv.start();
+
+  load::LoadGenConfig lg;
+  lg.rps = offered_rps;
+  lg.arrivals = std::max<std::size_t>(
+      40, std::size_t(offered_rps * duration_s));
+  lg.seed = seed;
+
+  std::vector<std::future<Response>> futs;
+  futs.reserve(lg.arrivals);
+  const auto budget =
+      std::chrono::microseconds(long(deadline_ms * 1000.0));
+  int cursor = 0;
+  const auto t0 = load::Clock::now();
+  const auto rep = load::LoadGen(lg).run(
+      [&](std::size_t, load::Clock::time_point) {
+        const Sample& s = test_set[std::size_t(cursor)];
+        cursor = (cursor + 1) % int(test_set.size());
+        futs.push_back(srv.submit(s.x, budget));
+      });
+
+  std::vector<double> lat;
+  std::size_t served = 0;
+  for (auto& f : futs) {
+    const Response resp = f.get();
+    if (resp.outcome == Outcome::kServed) {
+      ++served;
+      lat.push_back(resp.latency_ms);
+    }
+  }
+  // Goodput is charged for the whole episode including the tail the
+  // queue still owed when the schedule ended — a config that hoards a
+  // deep queue pays for it here.
+  const double wall = std::chrono::duration<double>(
+      load::Clock::now() - t0).count();
+
+  PointResult r;
+  r.os = srv.overload_stats();
+  srv.drain();
+  r.stats = srv.stats();
+  r.pt.offered_rps = rep.achieved_rps;
+  r.pt.goodput_rps = wall > 0.0 ? double(served) / wall : 0.0;
+  r.pt.p50_ms = load::percentile(lat, 0.50);
+  r.pt.p99_ms = load::percentile(lat, 0.99);
+  r.pt.p999_ms = load::percentile(lat, 0.999);
+  r.served_frac = r.stats.submitted
+                      ? double(served) / double(r.stats.submitted)
+                      : 0.0;
+  r.max_lag_ms = rep.max_lag_ms;
+  r.wall_s = wall;
+  r.invariant_ok = r.stats.served + r.stats.rejected + r.stats.shed ==
+                   r.stats.submitted;
+  return r;
+}
+
+std::string point_prefix(bool brownout, double offered_rps) {
+  return std::string("scale.") + (brownout ? "on" : "off") + ".offered_" +
+         std::to_string(int(std::lround(offered_rps)));
+}
+
+void export_point(obs::MetricsRegistry& reg, bool brownout,
+                  double planned_rps, const PointResult& r) {
+  const std::string p = point_prefix(brownout, planned_rps);
+  reg.gauge(p + ".offered_rps").set(r.pt.offered_rps);
+  reg.gauge(p + ".goodput_rps").set(r.pt.goodput_rps);
+  reg.gauge(p + ".p50_ms").set(r.pt.p50_ms);
+  reg.gauge(p + ".p99_ms").set(r.pt.p99_ms);
+  reg.gauge(p + ".p999_ms").set(r.pt.p999_ms);
+  reg.gauge(p + ".served").set(double(r.stats.served));
+  reg.gauge(p + ".rejected").set(double(r.stats.rejected));
+  reg.gauge(p + ".shed").set(double(r.stats.shed));
+  reg.gauge(p + ".served_frac").set(r.served_frac);
+  reg.gauge(p + ".codel_dropped").set(double(r.stats.codel_dropped));
+  reg.gauge(p + ".overload_shed").set(double(r.stats.overload_shed));
+  reg.gauge(p + ".max_lag_ms").set(r.max_lag_ms);
+}
+
+void add_row(util::Table& t, const char* label, bool brownout,
+             const PointResult& r) {
+  t.add_row({label, brownout ? "on" : "off",
+             util::cell(r.pt.offered_rps, 1), util::cell(r.pt.goodput_rps, 1),
+             std::to_string(r.stats.submitted),
+             std::to_string(r.stats.served),
+             std::to_string(r.stats.codel_dropped),
+             std::to_string(r.stats.overload_shed),
+             std::to_string(r.stats.shed), util::cell(r.pt.p50_ms, 2),
+             util::cell(r.pt.p99_ms, 2),
+             std::to_string(r.os.escalations + r.os.deescalations),
+             r.invariant_ok ? "ok" : "VIOLATED"});
+}
+
+}  // namespace
+
+int nga_bench_main(int argc, char** argv) {
+  bool quick = false, smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  quick = quick || smoke;
+
+  std::printf("== Serve scale: open-loop overload, brownout ladder "
+              "on vs off ==\n");
+
+  auto& reg = obs::MetricsRegistry::instance();
+
+  const Dataset train_set = make_synth_kws(quick ? 192 : 320, kT, kMel, 1);
+  const Dataset test_set = make_synth_kws(quick ? 96 : 200, kT, kMel, 2);
+  Model trained = make_kws_cnn1(kT, kMel, 3);
+  {
+    obs::TimedSection t("train");
+    TrainConfig tc;
+    tc.epochs = quick ? 8 : 14;
+    tc.lr = 0.08f;
+    tc.lr_late = 0.03f;
+    tc.seed = 4;
+    train(trained, train_set, tc);
+    calibrate(trained, train_set, 96);
+  }
+  const auto snap = trained.snapshot();
+
+  auto mults = ax::table2_multipliers();
+  // Serving table: the lowest-MRE multiplier. Brownout rungs walk the
+  // sweep toward its cheap end — cheapest (highest-error) LAST, per
+  // the ServerConfig::brownout_tables contract.
+  const std::shared_ptr<const ax::ApproxMult8> mult0 =
+      std::move(mults.front());
+  const std::shared_ptr<const ax::ApproxMult8> mult_mid =
+      std::move(mults[mults.size() / 2]);
+  const std::shared_ptr<const ax::ApproxMult8> mult_cheap =
+      std::move(mults.back());
+  const MulTable exact;
+
+  const auto factory = [&snap, &train_set] {
+    auto m = std::make_unique<Model>(make_kws_cnn1(kT, kMel, 3));
+    m->restore(snap);
+    calibrate(*m, train_set, 96);
+    return m;
+  };
+
+  // Deadline: the SLO every goodput number is measured against. Under
+  // --smoke the sanitizer slowdown would turn any realistic SLO into
+  // pure noise, so it is relaxed and no wall-clock claim is made.
+  const double deadline_ms = smoke ? 2000.0 : 80.0;
+
+  const auto make_cfg = [&](bool brownout) {
+    ServerConfig cfg;
+    cfg.workers = 2;
+    cfg.queue_capacity = 512;  // deep enough for a standing queue to form
+    cfg.max_batch = 8;
+    cfg.batch_linger = std::chrono::microseconds(300);
+    cfg.in_c = 1;
+    cfg.in_h = kT;
+    cfg.in_w = kMel;
+    cfg.mode = Mode::kQuantApprox;
+    cfg.mul_factory = [mult0] {
+      return std::make_shared<const MulTable>(mult0);
+    };
+    cfg.exact_fallback = &exact;
+    cfg.max_attempts = 1;  // no retries: overload dynamics, isolated
+    cfg.seed = 42;
+    cfg.model_factory = factory;
+    if (brownout) {
+      cfg.codel.enabled = true;
+      // Tight sojourn control: at 1.5x capacity the queue grows at half
+      // the service rate, and CoDel's drop cadence (interval/sqrt(n))
+      // only ramps usefully when the interval is short relative to the
+      // deadline. Target ~5% of the SLO, interval ~15%.
+      cfg.codel.target = std::chrono::milliseconds(4);
+      cfg.codel.interval = std::chrono::milliseconds(12);
+      cfg.overload.enabled = true;
+      // Engage AT the CoDel target: when CoDel is holding sojourn at
+      // ~target the system is already saturated, which is exactly when
+      // the ladder should be on a rung, not at Normal.
+      cfg.overload.enter_ms = 4.0;
+      cfg.overload.exit_ms = 1.0;
+      cfg.overload.dwell = std::chrono::milliseconds(80);
+      // Slow EWMA: the ladder should ride out the sawtooth the door
+      // shed itself creates (shed -> drain -> re-grow) instead of
+      // surfing it.
+      cfg.overload.ewma_alpha = 0.15;
+      cfg.overload.shed_fraction = 0.5;
+      cfg.brownout_tables = {
+          [mult_mid] { return std::make_shared<const MulTable>(mult_mid); },
+          [mult_cheap] {
+            return std::make_shared<const MulTable>(mult_cheap);
+          }};
+    }
+    return cfg;
+  };
+
+  // ---- capacity probe: closed-loop saturation, seeds the sweep ------
+  //
+  // Bursts of max_batch*workers*2 with a huge deadline, each awaited
+  // before the next: the server runs flat out without queueing losses.
+  double capacity_rps = 0.0;
+  {
+    obs::TimedSection t("scale.capacity_probe");
+    ServerConfig cfg = make_cfg(false);
+    Server srv(cfg);
+    srv.start();
+    const int burst = int(cfg.max_batch) * cfg.workers * 2;
+    const auto probe_budget = std::chrono::microseconds(60'000'000);
+    int cursor = 0;
+    std::size_t served = 0;
+    const auto t0 = load::Clock::now();
+    const double probe_s = smoke ? 0.2 : (quick ? 0.5 : 1.0);
+    while (std::chrono::duration<double>(load::Clock::now() - t0).count() <
+           probe_s) {
+      std::vector<std::future<Response>> futs;
+      for (int i = 0; i < burst; ++i) {
+        const Sample& s = test_set[std::size_t(cursor)];
+        cursor = (cursor + 1) % int(test_set.size());
+        futs.push_back(srv.submit(s.x, probe_budget));
+      }
+      for (auto& f : futs)
+        served += f.get().outcome == Outcome::kServed ? 1 : 0;
+    }
+    const double el =
+        std::chrono::duration<double>(load::Clock::now() - t0).count();
+    srv.drain();
+    capacity_rps = el > 0.0 ? double(served) / el : 0.0;
+  }
+  reg.gauge("scale.capacity_rps").set(capacity_rps);
+  reg.gauge("scale.deadline_ms").set(deadline_ms);
+  std::printf("closed-loop capacity probe: %.1f req/s\n", capacity_rps);
+  if (capacity_rps <= 0.0) {
+    std::printf("capacity probe served nothing — aborting\n");
+    return 1;
+  }
+
+  util::Table t({"point", "ladder", "offered", "goodput", "submitted",
+                 "served", "codel", "doorshed", "shed", "p50 [ms]",
+                 "p99 [ms]", "moves", "invariant"});
+  bool invariants_ok = true;
+
+  // ---- frontier sweep (uncontrolled server) -> knee -----------------
+  const double sweep_s = smoke ? 0.3 : (quick ? 1.2 : 2.5);
+  const double targeted_s = smoke ? 0.3 : (quick ? 1.8 : 3.5);
+  std::vector<double> sweep_mults =
+      smoke ? std::vector<double>{0.5, 1.0}
+            : std::vector<double>{0.4, 0.6, 0.8, 1.0, 1.15, 1.3};
+  std::vector<load::FrontierPoint> frontier;
+  {
+    obs::TimedSection ts("scale.sweep");
+    util::u64 seed = 100;
+    for (const double m : sweep_mults) {
+      const double offered = m * capacity_rps;
+      const PointResult r = run_point(make_cfg(false), test_set, offered,
+                                      sweep_s, deadline_ms, seed++);
+      frontier.push_back(r.pt);
+      invariants_ok = invariants_ok && r.invariant_ok;
+      export_point(reg, false, offered, r);
+      char label[32];
+      std::snprintf(label, sizeof label, "sweep %.2fx", m);
+      add_row(t, label, false, r);
+    }
+  }
+  const double knee = load::knee_rps(frontier);
+  reg.gauge("scale.knee_rps").set(knee);
+
+  // ---- targeted runs: knee and 1.5x knee, ladder off vs on ----------
+  //
+  // Retention is per-config: goodput at 1.5x knee over the SAME
+  // config's goodput at the knee — each config is judged against its
+  // own plateau, so the comparison isolates overload behaviour from
+  // any base-throughput difference the control machinery costs.
+  struct Targeted {
+    PointResult at_knee, at_over;
+    double retention = 0.0;
+  };
+  Targeted runs[2];  // [0] = off, [1] = on
+  const double over_rps = 1.5 * knee;
+  util::u64 tier_req_before[16] = {0};
+  int max_tier = 0;
+  {
+    obs::TimedSection ts("scale.targeted");
+    util::u64 seed = 500;
+    for (const bool brownout : {false, true}) {
+      Targeted& tr = runs[brownout ? 1 : 0];
+      const ServerConfig cfg = make_cfg(brownout);
+      if (brownout) {
+        // Snapshot the process-wide per-tier counters so the mix can
+        // be attributed to the overload run alone.
+        max_tier = 2 + int(cfg.brownout_tables.size());
+        tr.at_knee = run_point(cfg, test_set, knee, targeted_s,
+                               deadline_ms, seed++);
+        for (int k = 0; k <= max_tier && k < 16; ++k)
+          tier_req_before[k] =
+              reg.counter("serve.overload.tier." + std::to_string(k) +
+                          ".requests").value();
+        tr.at_over = run_point(cfg, test_set, over_rps, targeted_s,
+                               deadline_ms, seed++);
+      } else {
+        tr.at_knee = run_point(cfg, test_set, knee, targeted_s,
+                               deadline_ms, seed++);
+        tr.at_over = run_point(cfg, test_set, over_rps, targeted_s,
+                               deadline_ms, seed++);
+      }
+      invariants_ok =
+          invariants_ok && tr.at_knee.invariant_ok && tr.at_over.invariant_ok;
+      tr.retention = tr.at_knee.pt.goodput_rps > 0.0
+                         ? tr.at_over.pt.goodput_rps /
+                               tr.at_knee.pt.goodput_rps
+                         : 0.0;
+      export_point(reg, brownout, knee, tr.at_knee);
+      export_point(reg, brownout, over_rps, tr.at_over);
+      add_row(t, "knee", brownout, tr.at_knee);
+      add_row(t, "1.5x knee", brownout, tr.at_over);
+      reg.gauge(std::string("scale.brownout_") + (brownout ? "on" : "off") +
+                ".goodput_retention").set(tr.retention);
+    }
+  }
+  t.print(std::cout);
+
+  // ---- per-tier traffic mix of the ON overload run ------------------
+  const Targeted& on = runs[1];
+  const Targeted& off = runs[0];
+  {
+    util::u64 tier_req[16] = {0}, total = 0;
+    for (int k = 0; k <= max_tier && k < 16; ++k) {
+      const util::u64 now =
+          reg.counter("serve.overload.tier." + std::to_string(k) +
+                      ".requests").value();
+      tier_req[k] = now - tier_req_before[k];
+      total += tier_req[k];
+    }
+    std::printf("\n-- overload ladder at 1.5x knee: per-tier traffic mix "
+                "(tiers 2..%d run %s, %s) --\n", max_tier - 1,
+                mult_mid->name().c_str(), mult_cheap->name().c_str());
+    util::Table mix({"tier", "meaning", "requests", "mix [%]"});
+    const char* meaning[] = {"normal", "linger off", "brownout table 1",
+                             "brownout table 2", "shed at door"};
+    for (int k = 0; k <= max_tier && k < 16; ++k) {
+      const double frac = total ? double(tier_req[k]) / double(total) : 0.0;
+      mix.add_row({std::to_string(k),
+                   k < 5 ? meaning[k] : "brownout", std::to_string(tier_req[k]),
+                   util::cell(100.0 * frac, 2)});
+      const std::string p = "scale.mix.tier_" + std::to_string(k);
+      reg.gauge(p + ".requests").set(double(tier_req[k]));
+      reg.gauge(p + ".frac").set(frac);
+    }
+    mix.print(std::cout);
+  }
+  reg.gauge("scale.overload.escalations")
+      .set(double(on.at_over.os.escalations));
+  reg.gauge("scale.overload.deescalations")
+      .set(double(on.at_over.os.deescalations));
+
+  std::printf("\nknee %.1f req/s (capacity probe %.1f); goodput retention "
+              "at 1.5x knee: ladder ON %.1f%%, OFF %.1f%%\n",
+              knee, capacity_rps, 100.0 * on.retention,
+              100.0 * off.retention);
+
+  if (!invariants_ok) {
+    std::printf("\nshutdown invariant VIOLATED: requests were silently "
+                "dropped\n");
+    return 1;
+  }
+  std::printf("shutdown invariant (served + rejected + shed == submitted): "
+              "holds in every run\n");
+
+  if (smoke) {
+    std::printf("\n--smoke: wall-clock claims skipped (sanitizer-friendly "
+                "mode)\n");
+    return 0;
+  }
+
+  // ---- the claims ---------------------------------------------------
+  const bool knee_found = knee > 0.0;
+  const bool retained = on.retention >= 0.80;
+  const bool collapsed = off.retention < 0.80;
+  const bool engaged = on.at_over.os.escalations >= 1;
+  std::printf("\nscale claims: knee found: %s; ladder-on retention %.1f%% "
+              ">= 80%%: %s; ladder-off retention %.1f%% < 80%%: %s; ladder "
+              "engaged under overload (%llu escalations): %s\n",
+              knee_found ? "ok" : "FAIL", 100.0 * on.retention,
+              retained ? "ok" : "FAIL", 100.0 * off.retention,
+              collapsed ? "ok" : "FAIL",
+              (unsigned long long)on.at_over.os.escalations,
+              engaged ? "ok" : "FAIL");
+  const bool ok = knee_found && retained && collapsed && engaged;
+  std::printf("scale claims: %s\n", ok ? "HOLD" : "VIOLATED");
+  return ok ? 0 : 1;
+}

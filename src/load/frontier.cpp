@@ -1,0 +1,40 @@
+#include "load/frontier.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nga::load {
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::size_t k =
+      std::min(v.size() - 1, std::size_t(std::ceil(q * double(v.size()))));
+  std::nth_element(v.begin(), v.begin() + long(k), v.end());
+  return v[k];
+}
+
+double knee_rps(const std::vector<FrontierPoint>& points, double efficiency) {
+  double knee = 0.0;
+  bool found = false;
+  for (const auto& p : points) {
+    if (p.offered_rps <= 0.0) continue;
+    if (p.goodput_rps >= efficiency * p.offered_rps &&
+        p.offered_rps > knee) {
+      knee = p.offered_rps;
+      found = true;
+    }
+  }
+  if (found) return knee;
+  // Every point is past the knee: fall back to the best goodput seen.
+  double best_goodput = -1.0;
+  for (const auto& p : points)
+    if (p.goodput_rps > best_goodput) {
+      best_goodput = p.goodput_rps;
+      knee = p.offered_rps;
+    }
+  return knee;
+}
+
+}  // namespace nga::load

@@ -1,0 +1,40 @@
+// Throughput/latency frontier bookkeeping for open-loop sweeps.
+//
+// A sweep offers a ladder of arrival rates and records, per point, the
+// goodput (requests served within their deadline per second) and the
+// latency distribution of the served requests. The KNEE is where the
+// frontier stops scaling: the highest offered rate the server still
+// serves near-linearly. Past the knee an open-loop server is in
+// overload — what happens to goodput THERE is the whole point of the
+// serve_scale bench (a well-controlled server holds its plateau; an
+// uncontrolled one burns its capacity on requests that are already
+// doomed and collapses).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nga::load {
+
+/// One point of the offered-load sweep.
+struct FrontierPoint {
+  double offered_rps = 0.0;  ///< achieved open-loop arrival rate
+  double goodput_rps = 0.0;  ///< served-within-deadline per second
+  double p50_ms = 0.0;       ///< latency of served requests
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+};
+
+/// Quantile of @p v (q in [0,1]; 0.99 = p99). Non-destructive copy,
+/// nth_element underneath; 0 for an empty sample.
+double percentile(std::vector<double> v, double q);
+
+/// Knee of the frontier: the highest offered rate whose goodput is
+/// still >= efficiency * offered (near-linear scaling). Points may
+/// arrive in any order. When even the lowest point is past the knee
+/// (nothing scales linearly) the point with the best goodput wins —
+/// the least-bad estimate of capacity.
+double knee_rps(const std::vector<FrontierPoint>& points,
+                double efficiency = 0.9);
+
+}  // namespace nga::load

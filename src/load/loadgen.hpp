@@ -1,0 +1,118 @@
+// nga::load — open-loop load generation for the serving layer.
+//
+// The chaos soak drives the server CLOSED-loop: each burst waits for
+// the previous one's futures before pumping more, so offered load can
+// never exceed service capacity and queueing collapse is structurally
+// invisible (ROADMAP item 2). An open-loop generator is the opposite
+// contract: arrivals follow a Poisson process whose schedule is fixed
+// up front and never waits for the server. When the server falls
+// behind, requests keep arriving — exactly like real traffic from
+// millions of independent users, where one user's pending request does
+// not stop the others from clicking.
+//
+// PoissonProcess draws exponential interarrival gaps (seeded, fully
+// deterministic: the same seed yields the same arrival schedule on any
+// machine — only the wall-clock realization differs). LoadGen walks
+// the schedule with sleep_until, firing the submit callback once per
+// arrival; when the generator itself is behind schedule (a slow submit
+// path, a descheduled thread) it fires immediately and STAYS behind
+// rather than silently stretching the schedule — the lag is reported,
+// never absorbed.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <thread>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace nga::load {
+
+using Clock = std::chrono::steady_clock;
+using util::u64;
+
+/// Exponential interarrival gaps at a fixed mean rate: the arrival
+/// process of `rps` independent users per second. Deterministic per
+/// (rps, seed).
+class PoissonProcess {
+ public:
+  PoissonProcess(double rps, u64 seed) : rate_(rps), rng_(seed) {}
+
+  /// Next interarrival gap, Exp(rate). Mean 1/rate, CV 1 (the fixture
+  /// tests pin both). Never returns a negative or zero-length gap.
+  std::chrono::nanoseconds next() {
+    // u in [0,1) => 1-u in (0,1], so the log argument never hits 0.
+    const double u = rng_.uniform();
+    const double sec = -std::log(1.0 - u) / rate_;
+    const double ns = std::ceil(sec * 1e9);
+    return std::chrono::nanoseconds(
+        ns < 1.0 ? 1 : static_cast<long long>(ns));
+  }
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  util::Xoshiro256 rng_;
+};
+
+struct LoadGenConfig {
+  double rps = 100.0;        ///< offered arrival rate
+  std::size_t arrivals = 0;  ///< total arrivals to schedule
+  u64 seed = 1;              ///< arrival-schedule seed
+};
+
+/// What the generator actually achieved, against what it planned.
+struct LoadGenReport {
+  double planned_rps = 0.0;
+  double achieved_rps = 0.0;  ///< arrivals / wall duration
+  std::size_t arrivals = 0;
+  double duration_s = 0.0;
+  /// Worst schedule lag (how late an arrival fired, ms). Persistent
+  /// lag means the GENERATOR could not keep up — the sweep point is
+  /// then reporting generator saturation, not server saturation.
+  double max_lag_ms = 0.0;
+};
+
+/// Open-loop driver: fires `submit(i, scheduled)` once per scheduled
+/// arrival. Single-threaded by design — the schedule is the load.
+class LoadGen {
+ public:
+  explicit LoadGen(LoadGenConfig cfg) : cfg_(cfg) {}
+
+  template <class SubmitFn>
+  LoadGenReport run(SubmitFn&& submit) {
+    PoissonProcess arrivals(cfg_.rps, cfg_.seed);
+    const auto start = Clock::now();
+    auto due = start;
+    double max_lag_ms = 0.0;
+    for (std::size_t i = 0; i < cfg_.arrivals; ++i) {
+      due += arrivals.next();
+      const auto now = Clock::now();
+      if (due > now) {
+        std::this_thread::sleep_until(due);
+      } else {
+        const double lag =
+            std::chrono::duration<double, std::milli>(now - due).count();
+        if (lag > max_lag_ms) max_lag_ms = lag;
+      }
+      submit(i, due);
+    }
+    const auto end = Clock::now();
+    LoadGenReport r;
+    r.planned_rps = cfg_.rps;
+    r.arrivals = cfg_.arrivals;
+    r.duration_s = std::chrono::duration<double>(end - start).count();
+    r.achieved_rps =
+        r.duration_s > 0.0 ? double(cfg_.arrivals) / r.duration_s : 0.0;
+    r.max_lag_ms = max_lag_ms;
+    return r;
+  }
+
+ private:
+  LoadGenConfig cfg_;
+};
+
+}  // namespace nga::load

@@ -1,0 +1,98 @@
+#include "serve/overload.hpp"
+
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+
+namespace nga::serve {
+
+namespace {
+
+struct TierCounters {
+  obs::Counter* requests = nullptr;
+  obs::Counter* batches = nullptr;
+};
+
+// Node-stable per-tier counter cache (tier index -> registry refs).
+// Guarded by OverloadTelemetry::m_; grows, never shrinks.
+std::vector<TierCounters>& tier_counters() {
+  static std::vector<TierCounters> v;
+  return v;
+}
+
+TierCounters& tier_at(int tier) {
+  auto& v = tier_counters();
+  while (int(v.size()) <= tier) {
+    const int k = int(v.size());
+    auto& reg = obs::MetricsRegistry::instance();
+    TierCounters tc;
+    tc.requests =
+        &reg.counter("serve.overload.tier." + std::to_string(k) + ".requests",
+                     "requests executed while the ladder was on this tier");
+    tc.batches =
+        &reg.counter("serve.overload.tier." + std::to_string(k) + ".batches",
+                     "batches executed while the ladder was on this tier");
+    v.push_back(tc);
+  }
+  return v[std::size_t(tier)];
+}
+
+}  // namespace
+
+OverloadTelemetry& OverloadTelemetry::instance() {
+  static OverloadTelemetry t;
+  return t;
+}
+
+OverloadTelemetry::OverloadTelemetry() {
+  auto& reg = obs::MetricsRegistry::instance();
+  escalations_ = &reg.counter("serve.overload.escalations",
+                              "ladder moves toward cheaper tiers");
+  deescalations_ = &reg.counter("serve.overload.deescalations",
+                                "ladder moves back toward Normal");
+  shed_ = &reg.counter("serve.overload.shed",
+                       "requests shed at the door on the Shed rung");
+  codel_dropped_ = &reg.counter(
+      "serve.codel.dropped",
+      "requests CoDel cut from the front of a standing queue");
+  tier_gauge_ =
+      &reg.gauge("serve.overload.tier", "current overload-ladder tier");
+  obs::register_json_section(
+      "overload", [](std::ostream& os) { instance().write_json(os); });
+}
+
+void OverloadTelemetry::ensure_tiers(int max_tier) {
+  std::lock_guard<std::mutex> lk(m_);
+  tier_at(max_tier);
+  if (max_tier > max_tier_) max_tier_ = max_tier;
+}
+
+void OverloadTelemetry::record_batch(int tier, util::u64 n) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto& tc = tier_at(tier);
+  tc.requests->inc(n);
+  tc.batches->inc();
+}
+
+void OverloadTelemetry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(m_);
+  os << "{\"ladder_engaged\":"
+     << (escalations_->value() > 0 ? "true" : "false")
+     << ",\"escalations\":" << escalations_->value()
+     << ",\"deescalations\":" << deescalations_->value()
+     << ",\"shed_rejected\":" << shed_->value()
+     << ",\"codel_dropped\":" << codel_dropped_->value()
+     << ",\"tier\":" << tier_gauge_->value() << ",\"tiers\":{";
+  const auto& v = tier_counters();
+  bool first = true;
+  for (std::size_t k = 0; k < v.size(); ++k) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << k << "\":{\"requests\":" << v[k].requests->value()
+       << ",\"batches\":" << v[k].batches->value() << "}";
+  }
+  os << "}}";
+}
+
+}  // namespace nga::serve

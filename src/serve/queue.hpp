@@ -1,5 +1,5 @@
-// Bounded MPMC admission queue with explicit backpressure and batch
-// pops.
+// Bounded MPMC admission queue with explicit backpressure, batch pops,
+// and CoDel-style sojourn control.
 //
 // Push never blocks: a full queue is an immediate kFull — the server
 // turns that into a typed Overloaded rejection instead of buffering
@@ -7,33 +7,73 @@
 // Pop is the batching point: a consumer blocks for the first item, then
 // lingers briefly to let a batch coalesce, and drains up to max_n.
 //
+// A bounded queue alone does not prevent congestion collapse: under
+// sustained overload the queue sits pinned at capacity, every request
+// waits the full queue's worth of delay, and by the time a worker picks
+// it up its deadline slack is gone — the server burns execution on
+// requests that expire mid-flight. The CoDel discipline (Nichols &
+// Jacobson, "Controlling Queue Delay") attacks the *standing* queue:
+// when the minimum sojourn time stays above `target` for a full
+// `interval`, the queue starts dropping from the FRONT — the oldest,
+// most-doomed request — at a rate that increases with sqrt(count)
+// until sojourn dips back under target. Bursts shorter than `interval`
+// are never touched; only queues that refuse to drain get cut.
+//
 // close() stops admission but NOT consumption — consumers keep draining
 // what is queued and see `false` only when the queue is closed AND
 // empty. That ordering is what makes Server::drain() graceful: every
-// admitted request is still handed to a worker.
+// admitted request is still handed to a worker. CoDel never fires on a
+// closed queue (drain handles expiry itself), and "dropped" items are
+// handed back to the consumer, never destroyed — the caller owns the
+// accounting (the drain invariant requires every request finished).
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <vector>
 
 namespace nga::serve {
 
+/// CoDel knobs. Defaults follow the paper's rule of thumb (target ≈
+/// 5% of interval; interval ≈ a worst-case RTT — here, a worst-case
+/// client deadline) scaled to a local inference queue.
+struct CoDelConfig {
+  bool enabled = false;
+  /// Acceptable standing sojourn. Below this the queue is "good".
+  std::chrono::microseconds target{5'000};
+  /// How long min-sojourn must stay above target before dropping
+  /// starts. Bursts shorter than this are never dropped.
+  std::chrono::microseconds interval{100'000};
+};
+
 template <class T>
 class BoundedQueue {
  public:
   enum class Push { kOk, kFull, kClosed };
+  using Clock = std::chrono::steady_clock;
 
-  explicit BoundedQueue(std::size_t capacity) : cap_(capacity ? capacity : 1) {}
+  explicit BoundedQueue(std::size_t capacity, CoDelConfig codel = {})
+      : cap_(capacity ? capacity : 1), codel_(codel) {}
+
+  /// Teach the queue to read an item's deadline so pop_batch can stop
+  /// lingering early when the earliest deadline in the coalescing
+  /// batch would expire inside the linger window (a full linger must
+  /// never turn a servable request into a shed one). Set before
+  /// consumers start; not synchronized against concurrent pops.
+  void set_deadline_of(std::function<Clock::time_point(const T&)> fn) {
+    deadline_of_ = std::move(fn);
+  }
 
   Push try_push(T&& item) {
     {
       std::lock_guard<std::mutex> lk(m_);
       if (closed_) return Push::kClosed;
       if (q_.size() >= cap_) return Push::kFull;
-      q_.push_back(std::move(item));
+      q_.push_back(Entry{std::move(item), Clock::now()});
     }
     cv_.notify_one();
     return Push::kOk;
@@ -49,7 +89,7 @@ class BoundedQueue {
     {
       std::lock_guard<std::mutex> lk(m_);
       if (closed_) return Push::kClosed;
-      q_.push_front(std::move(item));
+      q_.push_front(Entry{std::move(item), Clock::now()});
     }
     cv_.notify_one();
     return Push::kOk;
@@ -58,26 +98,58 @@ class BoundedQueue {
   /// Blocks until an item is available or the queue is closed and
   /// drained (then returns false: no work will ever come again). Once
   /// the first item is in hand, waits up to @p linger for the batch to
-  /// fill, then moves up to @p max_n items into @p out.
+  /// fill — but no longer than the earliest deadline among the items
+  /// already waiting allows (see set_deadline_of) — then moves up to
+  /// @p max_n items into @p out.
+  ///
   /// @p first_at (optional) receives the instant the first item was in
   /// hand — the boundary between a request's queue-wait and the batch
   /// coalescing (linger) it then waits through.
+  /// @p dropped (optional) receives items the CoDel discipline cut
+  /// from the front; the caller must still account for them (finish
+  /// with a queue-delay rejection). Null disables dropping even when
+  /// CoDel is configured.
+  /// @p min_sojourn_ms (optional) receives the minimum queue sojourn
+  /// across the items transferred this call (out + dropped), in ms —
+  /// the congestion signal the overload controller feeds on. Left
+  /// untouched when nothing was transferred.
+  ///
+  /// Returns true when any item was transferred (out and/or dropped);
+  /// `out` may legitimately come back empty if the only item in hand
+  /// was dropped.
   bool pop_batch(std::size_t max_n, std::chrono::microseconds linger,
                  std::vector<T>& out,
-                 std::chrono::steady_clock::time_point* first_at = nullptr) {
+                 Clock::time_point* first_at = nullptr,
+                 std::vector<T>* dropped = nullptr,
+                 double* min_sojourn_ms = nullptr) {
     std::unique_lock<std::mutex> lk(m_);
     cv_.wait(lk, [&] { return !q_.empty() || closed_; });
     if (q_.empty()) return false;
-    if (first_at) *first_at = std::chrono::steady_clock::now();
-    if (linger.count() > 0 && q_.size() < max_n && !closed_)
-      cv_.wait_for(lk, linger, [&] { return q_.size() >= max_n || closed_; });
-    const std::size_t n = std::min(max_n ? max_n : 1, q_.size());
-    out.clear();
-    out.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      out.push_back(std::move(q_.front()));
-      q_.pop_front();
+    if (first_at) *first_at = Clock::now();
+    if (linger.count() > 0 && q_.size() < max_n && !closed_) {
+      const auto wait = clamp_linger_to_deadlines(linger, max_n);
+      if (wait.count() > 0)
+        cv_.wait_for(lk, wait, [&] { return q_.size() >= max_n || closed_; });
     }
+    out.clear();
+    const std::size_t want = max_n ? max_n : 1;
+    out.reserve(std::min(want, q_.size()));
+    const auto now = Clock::now();
+    double min_soj = -1.0;
+    while (out.size() < want && !q_.empty()) {
+      Entry e = std::move(q_.front());
+      q_.pop_front();
+      const double soj_ms =
+          std::chrono::duration<double, std::milli>(now - e.enqueued).count();
+      if (min_soj < 0.0 || soj_ms < min_soj) min_soj = soj_ms;
+      if (dropped && codel_.enabled && !closed_ &&
+          codel_should_drop(now, now - e.enqueued)) {
+        dropped->push_back(std::move(e.item));
+        continue;  // drop-from-front: the newer items behind it survive
+      }
+      out.push_back(std::move(e.item));
+    }
+    if (min_sojourn_ms && min_soj >= 0.0) *min_sojourn_ms = min_soj;
     return true;
   }
 
@@ -101,11 +173,77 @@ class BoundedQueue {
   }
 
  private:
+  struct Entry {
+    T item;
+    Clock::time_point enqueued;
+  };
+
+  /// Linger is for throughput; deadlines are for goodput. Cap the
+  /// linger at the slack of the tightest deadline among the items that
+  /// would form this batch, so coalescing never expires what it holds.
+  std::chrono::microseconds clamp_linger_to_deadlines(
+      std::chrono::microseconds linger, std::size_t max_n) const {
+    if (!deadline_of_) return linger;
+    const auto now = Clock::now();
+    auto earliest = Clock::time_point::max();
+    std::size_t scan = std::min(max_n ? max_n : 1, q_.size());
+    for (std::size_t i = 0; i < scan; ++i) {
+      const auto d = deadline_of_(q_[i].item);
+      if (d < earliest) earliest = d;
+    }
+    if (earliest == Clock::time_point::max()) return linger;
+    if (earliest <= now) return std::chrono::microseconds{0};
+    const auto slack =
+        std::chrono::duration_cast<std::chrono::microseconds>(earliest - now);
+    return slack < linger ? slack : linger;
+  }
+
+  /// CoDel state machine, called once per dequeued item (m_ held).
+  /// Tracks whether the MIN sojourn has stayed above target for a full
+  /// interval; while it has, drops at interval/sqrt(count) spacing.
+  bool codel_should_drop(Clock::time_point now,
+                         Clock::duration sojourn) {
+    if (sojourn < codel_.target || q_.size() <= 1) {
+      // Min sojourn dipped under target (or queue is empty behind this
+      // item): the queue is draining — leave dropping state.
+      first_above_ = {};
+      dropping_ = false;
+      return false;
+    }
+    if (first_above_ == Clock::time_point{}) {
+      first_above_ = now + codel_.interval;
+      return false;
+    }
+    if (now < first_above_) return false;
+    if (!dropping_) {
+      dropping_ = true;
+      // Re-entering soon after the last dropping episode: resume at a
+      // higher drop rate instead of relearning from 1 (control law
+      // memory, as in the reference implementation).
+      count_ = (count_ > 2 && now - drop_next_ < 8 * codel_.interval)
+                   ? count_ - 2
+                   : 1;
+      drop_next_ = now;
+    }
+    if (now < drop_next_) return false;
+    ++count_;
+    drop_next_ = now + std::chrono::duration_cast<Clock::duration>(
+                           codel_.interval / std::sqrt(double(count_)));
+    return true;
+  }
+
   const std::size_t cap_;
+  const CoDelConfig codel_;
+  std::function<Clock::time_point(const T&)> deadline_of_;
   mutable std::mutex m_;
   std::condition_variable cv_;
-  std::deque<T> q_;
+  std::deque<Entry> q_;
   bool closed_ = false;
+  // CoDel state (guarded by m_).
+  Clock::time_point first_above_{};
+  Clock::time_point drop_next_{};
+  unsigned count_ = 0;
+  bool dropping_ = false;
 };
 
 }  // namespace nga::serve

@@ -34,6 +34,8 @@ enum class RejectReason {
   kRetriesExhausted,  ///< every attempt failed transiently
   kAdmissionLimited,  ///< over the adaptive AIMD in-flight limit (guard)
   kRedeliveryLimit,   ///< re-queued too often after worker replacement
+  kQueueDelay,        ///< CoDel cut it from the front of a standing queue
+  kBrownoutShed,      ///< overload ladder at its last rung: shed at the door
 };
 
 constexpr std::string_view reject_reason_name(RejectReason r) {
@@ -47,6 +49,8 @@ constexpr std::string_view reject_reason_name(RejectReason r) {
     case RejectReason::kRetriesExhausted: return "retries_exhausted";
     case RejectReason::kAdmissionLimited: return "admission_limited";
     case RejectReason::kRedeliveryLimit: return "redelivery_limit";
+    case RejectReason::kQueueDelay: return "queue_delay";
+    case RejectReason::kBrownoutShed: return "brownout_shed";
   }
   return "?";
 }
@@ -75,6 +79,10 @@ struct Response {
   /// the tid of its lane under the "nga.requests" process in the
   /// chrome-trace export.
   u64 trace_id = 0;
+  /// Overload-ladder tier this request executed under (0 = Normal,
+  /// i.e. the configured multiplier; higher = browner). Set only for
+  /// served requests.
+  int tier = 0;
 };
 
 /// One admitted in-flight request (internal to Server and its queue).

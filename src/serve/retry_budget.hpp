@@ -1,0 +1,73 @@
+// Token-bucket retry budget: retries may only spend capacity that
+// recent successes have earned.
+//
+// The decorrelated-jitter retry path used to retry unconditionally on
+// transient detections. Under overload that is an amplifier: every
+// failed batch re-executes, the re-execution steals capacity from
+// fresh requests, more requests miss their deadline, more retries
+// fire — a retry storm that multiplies effective queue depth exactly
+// when the server can least afford it. The classic fix (SRE lore and
+// AWS's "retry budgets") is to cap retries at a fraction of recent
+// successes: each success deposits `tokens_per_success` into a bucket
+// capped at `burst`; each retry withdraws one token. When the bucket
+// is dry the retry is refused and the request fails fast with
+// RetriesExhausted — at that point the server is doing no useful work,
+// and retrying harder is the problem, not the cure.
+//
+// The bucket starts at `burst` so isolated transient faults on a cold
+// or lightly-loaded server still get their retries; only a sustained
+// failure rate (many retries, few successes) drains it.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <mutex>
+
+namespace nga::serve {
+
+struct RetryBudgetConfig {
+  bool enabled = true;
+  /// Tokens earned per successfully served request. 0.1 means steady
+  /// state allows one retry per ten successes — enough for transient
+  /// blips, far too little to sustain a storm.
+  double tokens_per_success = 0.1;
+  /// Bucket capacity, and the initial fill: the burst of retries
+  /// allowed before any success history exists.
+  double burst = 16.0;
+};
+
+class RetryBudget {
+ public:
+  explicit RetryBudget(RetryBudgetConfig cfg)
+      : cfg_(cfg), tokens_(cfg.burst) {}
+
+  /// Spend one token for a retry attempt. False = budget exhausted;
+  /// the caller must fail fast instead of retrying.
+  bool try_spend() {
+    if (!cfg_.enabled) return true;
+    std::lock_guard<std::mutex> lk(m_);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  /// @p n requests were served: deposit the earned fraction.
+  void on_success(std::size_t n = 1) {
+    if (!cfg_.enabled) return;
+    std::lock_guard<std::mutex> lk(m_);
+    tokens_ = std::min(cfg_.burst,
+                       tokens_ + double(n) * cfg_.tokens_per_success);
+  }
+
+  double tokens() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return tokens_;
+  }
+
+ private:
+  const RetryBudgetConfig cfg_;
+  mutable std::mutex m_;
+  double tokens_;
+};
+
+}  // namespace nga::serve

@@ -80,8 +80,10 @@ util::u64 mix(util::u64 x) {
 
 Server::Server(ServerConfig cfg)
     : cfg_(std::move(cfg)),
-      queue_(cfg_.queue_capacity),
-      health_(cfg_.health) {
+      queue_(cfg_.queue_capacity, cfg_.codel),
+      health_(cfg_.health),
+      overload_(cfg_.overload, int(cfg_.brownout_tables.size())),
+      retry_budget_(cfg_.retry_budget) {
   if (!cfg_.model_factory)
     throw std::invalid_argument("ServerConfig::model_factory is required");
   if (cfg_.workers < 1) cfg_.workers = 1;
@@ -122,6 +124,24 @@ Server::Server(ServerConfig cfg)
       golden_.push_back(std::move(t));
     }
   }
+  // Deadline-aware linger (queue.hpp): the queue can read each
+  // request's deadline, so batch coalescing never out-waits the
+  // tightest deadline it is holding.
+  queue_.set_deadline_of([](const Request& rq) { return rq.deadline; });
+  if (cfg_.overload.enabled) {
+    // Bring up the process overload telemetry (counters, tier gauge,
+    // the additive "overload" JSON section) and pre-register every
+    // tier this ladder can reach — the metric schema must depend on
+    // the config, never on whether traffic actually hit a tier.
+    OverloadTelemetry::instance().ensure_tiers(overload_.max_tier());
+    overload_.set_on_change([](int from, int to) {
+      if (to > from)
+        c("serve.overload.escalations").inc();
+      else
+        c("serve.overload.deescalations").inc();
+      g("serve.overload.tier").set(double(to));
+    });
+  }
   g("serve.state").set(double(State::kStarting));
   // Help text for the headline serving counters: rendered as # HELP
   // lines in the text exposition (drain dump and the live /metrics
@@ -147,8 +167,12 @@ Server::Server(ServerConfig cfg)
         "serve.guard.breaker.probe", "serve.guard.breaker.probe_failed",
         "serve.guard.breaker.reinstated", "serve.guard.breaker.retired",
         "serve.guard.trip_scrub", "serve.guard.scrub_repaired",
-        "serve.guard.scrub_unreproducible"})
+        "serve.guard.scrub_unreproducible", "serve.codel.dropped",
+        "serve.retry.budget_exhausted"})
     c(name);
+  reg.describe("serve.retry.budget_exhausted",
+               "Retries refused because the token-bucket retry budget "
+               "was dry (the batch fails fast instead of storming).");
 }
 
 Server::~Server() { drain(); }
@@ -253,6 +277,16 @@ std::future<Response> Server::submit(nn::Tensor x, Clock::time_point deadline) {
   }
   if (deadline <= t0) {
     finish(rq, {Outcome::kShed, RejectReason::kNone});
+    return fut;
+  }
+  // Last rung of the brownout ladder: shed a deterministic fraction at
+  // the door, before the request costs an AIMD token or queue space.
+  // Every accuracy trade has already been made by the time the ladder
+  // stands here.
+  if (cfg_.overload.enabled && overload_.at_shed() && overload_.shed_due()) {
+    overload_shed_.fetch_add(1, std::memory_order_relaxed);
+    c("serve.overload.shed").inc();
+    finish(rq, {Outcome::kRejected, RejectReason::kBrownoutShed});
     return fut;
   }
   // Adaptive admission (nga::guard): refuse work beyond the AIMD
@@ -379,11 +413,42 @@ void Server::worker_main(std::shared_ptr<guard::WorkerSlot> slot) {
       golden_ref.push_back(argmax(model->forward(x, ex)));
   }
 
+  // Lazily-built brownout replicas: one table per configured rung,
+  // built the first time THIS worker enters the rung (same per-replica
+  // ownership story as own_table above).
+  std::vector<std::shared_ptr<const nn::MulTable>> brownout(
+      cfg_.brownout_tables.size());
+
   std::vector<Request> batch;
+  std::vector<Request> dropped;
   Clock::time_point first_at;
-  while (queue_.pop_batch(cfg_.max_batch, cfg_.batch_linger, batch,
-                          &first_at)) {
+  for (;;) {
+    // The ladder's first rung trades batching latency away: stop
+    // holding requests to coalesce batches the moment sojourn says the
+    // queue is standing.
+    const int pre_tier = cfg_.overload.enabled ? overload_.tier() : 0;
+    const auto linger =
+        pre_tier >= 1 ? std::chrono::microseconds{0} : cfg_.batch_linger;
+    double min_sojourn_ms = -1.0;
+    dropped.clear();
+    if (!queue_.pop_batch(cfg_.max_batch, linger, batch, &first_at, &dropped,
+                          &min_sojourn_ms))
+      break;
     g("serve.queue.depth").set(double(queue_.size()));
+    // CoDel cut these from the front of a standing queue: their slack
+    // was already gone — resolve them now as queue-delay rejections so
+    // the capacity they would have burned serves the fresher requests
+    // behind them.
+    if (!dropped.empty()) {
+      codel_dropped_.fetch_add(dropped.size(), std::memory_order_relaxed);
+      c("serve.codel.dropped").inc(dropped.size());
+      for (auto& rq : dropped)
+        finish(rq, {Outcome::kRejected, RejectReason::kQueueDelay});
+      dropped.clear();
+    }
+    if (cfg_.overload.enabled && min_sojourn_ms >= 0.0)
+      overload_.observe(min_sojourn_ms, Clock::now());
+    if (batch.empty()) continue;  // everything in hand was CoDel-cut
     if (slot->replaced.load(std::memory_order_acquire)) {
       // Cancelled in the window between finishing the previous batch
       // and popping this one: the successor owns the lane — hand the
@@ -439,8 +504,22 @@ void Server::worker_main(std::shared_ptr<guard::WorkerSlot> slot) {
           break;
       }
     }
+    // Brownout rung: swap THIS batch onto the tier's cheaper table.
+    // Normal, LingerOff, and Shed all run the configured table (Shed
+    // keeps the cheapest for what it still admits via brownout_index).
+    const int tier = cfg_.overload.enabled ? overload_.tier() : 0;
+    const nn::MulTable* tier_mul = active_mul;
+    if (cfg_.mode == nn::Mode::kQuantApprox) {
+      const int bi = overload_.brownout_index(tier);
+      if (bi >= 0 && bi < int(brownout.size())) {
+        if (!brownout[std::size_t(bi)])
+          brownout[std::size_t(bi)] = cfg_.brownout_tables[std::size_t(bi)]();
+        if (brownout[std::size_t(bi)])
+          tier_mul = brownout[std::size_t(bi)].get();
+      }
+    }
     process_batch(*model, guard.get(), backoff, health_rec, profiler.get(),
-                  batch, first_at, slot.get(), breaker.get(), active_mul);
+                  batch, first_at, slot.get(), breaker.get(), tier_mul, tier);
     batch.clear();
     if (slot->replaced.load(std::memory_order_acquire)) break;
   }
@@ -504,7 +583,7 @@ void Server::process_batch(nn::Model& model, nn::ResilienceGuard* guard,
                            Clock::time_point first_at,
                            guard::WorkerSlot* slot,
                            guard::CircuitBreaker* breaker,
-                           const nn::MulTable* active_mul) {
+                           const nn::MulTable* active_mul, int tier) {
   NGA_PROF_SCOPE("process_batch");
   // Shed before batching: a request whose deadline already passed must
   // not burn model time.
@@ -519,6 +598,10 @@ void Server::process_batch(nn::Model& model, nn::ResilienceGuard* guard,
   }
   if (live.empty()) return;
   s("serve.batch_size").add(double(live.size()));
+  // Per-tier traffic mix: how much of the served load ran on which
+  // rung of the ladder — the auditable accuracy cost of a brownout.
+  if (cfg_.overload.enabled)
+    OverloadTelemetry::instance().record_batch(tier, util::u64(live.size()));
 
   // Stage attribution: queue_wait ends when the first batch item was in
   // the worker's hand; everything from there to dispatch (linger, the
@@ -662,18 +745,24 @@ void Server::process_batch(nn::Model& model, nn::ResilienceGuard* guard,
       backoff.reset();
       merge_numeric(health_rec, attempt, failovers);
       now = Clock::now();
+      std::size_t served_n = 0;
       for (std::size_t i = 0; i < live.size(); ++i) {
         Response r;
         r.attempts = attempt;
+        r.tier = tier;
         if (live[i].deadline <= now) {
           // Shed after batching: computed too late to honour the SLO.
           r.outcome = Outcome::kShed;
         } else {
           r.outcome = Outcome::kServed;
           r.predicted = argmax(ys[i]);
+          ++served_n;
         }
         finish(live[i], std::move(r));
       }
+      // Successes fund the retry budget: the bucket refills only while
+      // the server is actually doing useful work.
+      if (served_n > 0) retry_budget_.on_success(served_n);
       return;
     }
 
@@ -690,6 +779,34 @@ void Server::process_batch(nn::Model& model, nn::ResilienceGuard* guard,
       return;
     }
 
+    // Retry budget (token bucket): a SPECULATIVE retry — re-executing
+    // the same suspect path hoping the transient passed — may only
+    // spend capacity recent successes earned. The final exact-table
+    // failover is exempt: it switches to the known-good unit, which is
+    // repair, not amplification. So a dry bucket stops the speculation:
+    // jump straight to the failover when one is configured, fail fast
+    // otherwise. Either way a fault storm can no longer multiply the
+    // exec load by max_attempts.
+    const bool next_is_failover = cfg_.retry_exact_failover &&
+                                  cfg_.exact_fallback &&
+                                  attempt + 1 == cfg_.max_attempts;
+    if (!next_is_failover && !retry_budget_.try_spend()) {
+      budget_exhausted_.fetch_add(1, std::memory_order_relaxed);
+      c("serve.retry.budget_exhausted").inc();
+      if (cfg_.retry_exact_failover && cfg_.exact_fallback) {
+        attempt = cfg_.max_attempts - 1;  // next loop runs the failover
+      } else {
+        merge_numeric(health_rec, attempt, failovers);
+        for (auto& rq : live) {
+          Response r;
+          r.outcome = Outcome::kRejected;
+          r.reason = RejectReason::kRetriesExhausted;
+          r.attempts = attempt;
+          finish(rq, std::move(r));
+        }
+        return;
+      }
+    }
     retries_.fetch_add(1, std::memory_order_relaxed);
     c("serve.retries").inc();
     const auto backoff_from = Clock::now();
@@ -853,6 +970,9 @@ Server::Stats Server::stats() const {
   st.shed = shed_.load(std::memory_order_relaxed);
   st.retries = retries_.load(std::memory_order_relaxed);
   st.batches = batches_.load(std::memory_order_relaxed);
+  st.codel_dropped = codel_dropped_.load(std::memory_order_relaxed);
+  st.overload_shed = overload_shed_.load(std::memory_order_relaxed);
+  st.budget_exhausted = budget_exhausted_.load(std::memory_order_relaxed);
   return st;
 }
 

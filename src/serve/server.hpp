@@ -73,8 +73,10 @@
 #include "prof/prof.hpp"
 #include "serve/backoff.hpp"
 #include "serve/health.hpp"
+#include "serve/overload.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
+#include "serve/retry_budget.hpp"
 
 namespace nga::serve {
 
@@ -164,6 +166,31 @@ struct ServerConfig {
   /// recovery from PR 2, composing with the batch-level retry here).
   bool use_guard = false;
 
+  /// CoDel-style sojourn control on the admission queue (queue.hpp):
+  /// when the minimum queue delay stays above codel.target for a full
+  /// codel.interval, the oldest requests are cut from the front
+  /// (finished as kQueueDelay) so a standing queue cannot form. Off by
+  /// default.
+  CoDelConfig codel;
+
+  /// Token-bucket retry budget: retries spend tokens that successes
+  /// earn, so a retry storm cannot amplify overload (retry_budget.hpp).
+  /// Enabled by default — the bucket's initial burst keeps isolated
+  /// transient faults retryable exactly as before.
+  RetryBudgetConfig retry_budget;
+
+  /// Brownout ladder (overload.hpp). When overload.enabled, workers
+  /// feed queue sojourn into an OverloadController and follow its tier:
+  /// linger shrink, then progressively cheaper tables from
+  /// brownout_tables, then fractional shed at the door.
+  OverloadConfig overload;
+  /// Cheaper approximate tables for the brownout rungs, one factory
+  /// per rung, cheapest (highest-error) LAST. Same per-worker-replica
+  /// contract as mul_factory; replicas are built lazily the first time
+  /// a worker enters the rung.
+  std::vector<std::function<std::shared_ptr<const nn::MulTable>()>>
+      brownout_tables;
+
   /// Total batch executions a request may ride in; 1 disables retry.
   int max_attempts = 3;
   /// Run the last attempt on exact_fallback (when configured).
@@ -241,8 +268,17 @@ class Server {
     util::u64 shed = 0;
     util::u64 retries = 0;  ///< extra batch executions beyond the first
     util::u64 batches = 0;  ///< batch executions, retries included
+    util::u64 codel_dropped = 0;  ///< cut from the queue front (kQueueDelay)
+    util::u64 overload_shed = 0;  ///< shed at the door on the Shed rung
+    util::u64 budget_exhausted = 0;  ///< retries refused by the budget
   };
   Stats stats() const;
+
+  /// Current overload-ladder tier (0 = Normal; see overload.hpp).
+  int overload_tier() const { return overload_.tier(); }
+  OverloadController::Stats overload_stats() const {
+    return overload_.stats();
+  }
 
   /// Aggregated numeric-health accounting across all workers since
   /// start(): per-layer event counts (forward order, keyed
@@ -316,13 +352,16 @@ class Server {
   /// even when every argmax survives it).
   bool run_probe(nn::Model& model, const std::vector<int>& ref,
                  const nn::MulTable* mul);
+  /// @p tier is the overload-ladder tier this batch executes under;
+  /// @p active_mul is already the tier's table (worker_main resolves
+  /// the rung's replica before dispatch).
   void process_batch(nn::Model& model, nn::ResilienceGuard* guard,
                      DecorrelatedBackoff& backoff,
                      nn::LayerHealthRecorder& health_rec,
                      prof::LayerProfiler* prof, std::vector<Request>& batch,
                      Clock::time_point first_at, guard::WorkerSlot* slot,
                      guard::CircuitBreaker* breaker,
-                     const nn::MulTable* active_mul);
+                     const nn::MulTable* active_mul, int tier = 0);
   /// Hand a cancelled batch's live requests back to the queue (bounded
   /// redelivery); called by a worker that is being replaced.
   void requeue_batch(std::vector<Request>& live);
@@ -338,6 +377,8 @@ class Server {
   ServerConfig cfg_;
   BoundedQueue<Request> queue_;
   HealthTracker health_;
+  OverloadController overload_;
+  RetryBudget retry_budget_;
   mutable std::mutex workers_m_;  ///< workers_ (watchdog replacement races drain)
   std::vector<WorkerHandle> workers_;
   std::unique_ptr<guard::Watchdog> watchdog_;
@@ -350,6 +391,7 @@ class Server {
   std::atomic<u64> next_id_{1};
   std::atomic<u64> submitted_{0}, served_{0}, rejected_{0}, shed_{0},
       retries_{0}, batches_{0};
+  std::atomic<u64> codel_dropped_{0}, overload_shed_{0}, budget_exhausted_{0};
   // Guard accounting (atomics: workers, monitor, and submitters race).
   std::atomic<u64> hangs_detected_{0}, workers_replaced_{0}, requeues_{0},
       redelivery_rejects_{0}, admission_rejects_{0}, quarantined_batches_{0},

@@ -1,0 +1,130 @@
+#include "load/loadgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "load/frontier.hpp"
+
+namespace nga::load {
+namespace {
+
+using std::chrono::microseconds;
+
+// ---------------------------------------------------------------- Poisson
+
+TEST(LoadGenPoisson, InterarrivalMeanAndCVWithinTolerance) {
+  // Exp(rate) has mean 1/rate and CV exactly 1. With 40k draws the
+  // sample mean and CV are within a few percent of that for any fixed
+  // seed; 5% bounds keep the test deterministic, not flaky.
+  const double rps = 1000.0;
+  PoissonProcess p(rps, 42);
+  const int n = 40000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double ms =
+        std::chrono::duration<double, std::milli>(p.next()).count();
+    sum += ms;
+    sumsq += ms * ms;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  const double cv = std::sqrt(var) / mean;
+  EXPECT_NEAR(mean, 1.0, 0.05) << "mean interarrival at 1000 rps is 1 ms";
+  EXPECT_NEAR(cv, 1.0, 0.05) << "exponential interarrivals have CV 1";
+}
+
+TEST(LoadGenPoisson, DeterministicPerSeed) {
+  PoissonProcess a(250.0, 7), b(250.0, 7), c(250.0, 8);
+  bool any_differs = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto ga = a.next();
+    EXPECT_EQ(ga.count(), b.next().count()) << "same seed, same schedule";
+    any_differs = any_differs || ga.count() != c.next().count();
+  }
+  EXPECT_TRUE(any_differs) << "different seeds must differ somewhere";
+}
+
+TEST(LoadGenPoisson, GapsAreStrictlyPositive) {
+  PoissonProcess p(1e9, 3);  // absurd rate: gaps round down toward zero
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(p.next().count(), 0);
+}
+
+// --------------------------------------------------------------- LoadGen
+
+TEST(LoadGen, OpenLoopFiresEveryScheduledArrival) {
+  LoadGenConfig cfg;
+  cfg.rps = 20000.0;
+  cfg.arrivals = 200;
+  cfg.seed = 11;
+  LoadGen gen(cfg);
+  std::size_t fired = 0;
+  const auto rep = gen.run([&](std::size_t i, Clock::time_point) {
+    EXPECT_EQ(i, fired);
+    ++fired;
+  });
+  EXPECT_EQ(fired, cfg.arrivals);
+  EXPECT_EQ(rep.arrivals, cfg.arrivals);
+  EXPECT_DOUBLE_EQ(rep.planned_rps, cfg.rps);
+  EXPECT_GT(rep.achieved_rps, 0.0);
+}
+
+TEST(LoadGen, SlowSubmitDoesNotStretchTheSchedule) {
+  // A submit path slower than the interarrival gap puts the generator
+  // behind schedule. Open-loop contract: it reports the lag instead of
+  // silently slowing down — the achieved rate falls and max_lag grows.
+  LoadGenConfig cfg;
+  cfg.rps = 50000.0;  // 20 µs mean gap, far below the submit cost
+  cfg.arrivals = 50;
+  cfg.seed = 5;
+  LoadGen gen(cfg);
+  const auto rep = gen.run([&](std::size_t, Clock::time_point) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  EXPECT_GT(rep.max_lag_ms, 0.0) << "the generator must notice it is behind";
+  EXPECT_LT(rep.achieved_rps, cfg.rps);
+}
+
+// -------------------------------------------------------------- frontier
+
+TEST(LoadGenFrontier, PercentileBasics) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(double(i));
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 100.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 51.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.99), 100.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(LoadGenFrontier, KneeIsHighestNearLinearPoint) {
+  // Classic frontier: scales to 400, collapses past it.
+  std::vector<FrontierPoint> pts;
+  pts.push_back({100, 99});    // 0.99 efficiency
+  pts.push_back({200, 196});   // 0.98
+  pts.push_back({400, 380});   // 0.95
+  pts.push_back({800, 420});   // 0.53 — past the knee
+  pts.push_back({1600, 180});  // collapse
+  EXPECT_DOUBLE_EQ(knee_rps(pts), 400.0);
+}
+
+TEST(LoadGenFrontier, KneeUnorderedPointsAndFallback) {
+  // Order must not matter.
+  std::vector<FrontierPoint> pts;
+  pts.push_back({800, 400});
+  pts.push_back({200, 195});
+  pts.push_back({400, 390});
+  EXPECT_DOUBLE_EQ(knee_rps(pts), 400.0);
+  // Every point past the knee: the best-goodput point is the estimate.
+  std::vector<FrontierPoint> over;
+  over.push_back({400, 200});
+  over.push_back({800, 260});
+  over.push_back({1600, 120});
+  EXPECT_DOUBLE_EQ(knee_rps(over), 800.0);
+  EXPECT_DOUBLE_EQ(knee_rps({}), 0.0);
+}
+
+}  // namespace
+}  // namespace nga::load

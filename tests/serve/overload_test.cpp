@@ -1,0 +1,150 @@
+// OverloadController ladder mechanics: escalation order, hysteresis,
+// dwell-bounded rate of change (no flapping), deterministic shedding.
+// All with injected time — no sleeps, no wall-clock dependence.
+#include "serve/overload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+namespace nga::serve {
+namespace {
+
+using Clock = OverloadController::Clock;
+using std::chrono::milliseconds;
+
+OverloadConfig base_cfg() {
+  OverloadConfig cfg;
+  cfg.enabled = true;
+  cfg.enter_ms = 5.0;
+  cfg.exit_ms = 1.0;
+  cfg.dwell = milliseconds(100);
+  cfg.ewma_alpha = 0.5;
+  cfg.shed_fraction = 0.25;
+  return cfg;
+}
+
+Clock::time_point t0() { return Clock::time_point{} + milliseconds(1000); }
+
+TEST(OverloadController, DisabledNeverMoves) {
+  OverloadConfig cfg = base_cfg();
+  cfg.enabled = false;
+  OverloadController c(cfg, 2);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(c.observe(1000.0, t0() + milliseconds(200 * i)), 0);
+  EXPECT_FALSE(c.engaged());
+}
+
+TEST(OverloadController, EscalatesOneRungPerDwellUpToShed) {
+  OverloadController c(base_cfg(), 2);  // ladder: 0,1,2,3,shed=4
+  EXPECT_EQ(c.max_tier(), 4);
+  auto now = t0();
+  // Sustained high sojourn: one rung per dwell, never a jump.
+  int prev = c.tier();
+  for (int step = 0; step < 12; ++step) {
+    now += milliseconds(110);
+    const int t = c.observe(50.0, now);
+    EXPECT_LE(t - prev, 1) << "at most one rung per dwell";
+    prev = t;
+  }
+  EXPECT_EQ(c.tier(), 4);
+  EXPECT_TRUE(c.at_shed());
+  EXPECT_TRUE(c.engaged());
+  const auto st = c.stats();
+  EXPECT_EQ(st.escalations, 4u);
+  EXPECT_EQ(st.deescalations, 0u);
+}
+
+TEST(OverloadController, DwellBlocksBackToBackChanges) {
+  OverloadController c(base_cfg(), 0);
+  auto now = t0();
+  EXPECT_EQ(c.observe(50.0, now), 1) << "first change needs no dwell history";
+  // A storm of high samples inside the dwell window moves nothing.
+  for (int i = 1; i <= 9; ++i)
+    EXPECT_EQ(c.observe(50.0, now + milliseconds(10 * i)), 1);
+  EXPECT_EQ(c.observe(50.0, now + milliseconds(101)), 2);
+}
+
+TEST(OverloadController, HysteresisBandHoldsTierSteady) {
+  OverloadController c(base_cfg(), 1);
+  auto now = t0();
+  now += milliseconds(110);
+  // Engage with a sample just past the threshold, so the EWMA sits
+  // near the top of the band rather than far above it.
+  ASSERT_EQ(c.observe(6.0, now), 1);
+  // Sojourn settles INSIDE the band (exit 1.0 < x < enter 5.0): the
+  // ladder must hold, not flap, no matter how long this lasts.
+  for (int i = 0; i < 50; ++i) {
+    now += milliseconds(110);
+    EXPECT_EQ(c.observe(3.0, now), 1);
+  }
+  const auto st = c.stats();
+  EXPECT_EQ(st.escalations, 1u);
+  EXPECT_EQ(st.deescalations, 0u);
+}
+
+TEST(OverloadController, NoFlappingUnderOscillatingLoad) {
+  // Raw samples oscillate wildly every observe; EWMA + dwell +
+  // hysteresis must bound tier changes to at most one per dwell, and
+  // far fewer in practice.
+  OverloadConfig cfg = base_cfg();
+  cfg.ewma_alpha = 0.2;
+  OverloadController c(cfg, 2);
+  auto now = t0();
+  int changes = 0;
+  int prev = c.tier();
+  const int kSteps = 400;
+  const auto kGap = milliseconds(10);  // samples 10x faster than dwell
+  for (int i = 0; i < kSteps; ++i) {
+    now += kGap;
+    const double sojourn = (i % 2 == 0) ? 20.0 : 0.0;  // violent oscillation
+    const int t = c.observe(sojourn, now);
+    if (t != prev) ++changes;
+    prev = t;
+  }
+  const int elapsed_dwells =
+      int((kGap * kSteps) / base_cfg().dwell);  // = 40
+  EXPECT_LE(changes, elapsed_dwells)
+      << "dwell must bound the rate of tier changes";
+  // The EWMA of the oscillation sits around 10 ms — above enter — so
+  // the ladder should settle high and mostly stay, not ping-pong.
+  const auto st = c.stats();
+  EXPECT_LE(st.escalations + st.deescalations, util::u64(elapsed_dwells));
+  EXPECT_GE(c.tier(), 1) << "sustained mean overload must engage the ladder";
+}
+
+TEST(OverloadController, DeescalatesBackToNormalWhenLoadClears) {
+  OverloadController c(base_cfg(), 1);  // max_tier = 3
+  auto now = t0();
+  for (int i = 0; i < 5; ++i) now += milliseconds(110), c.observe(50.0, now);
+  ASSERT_EQ(c.tier(), 3);
+  for (int i = 0; i < 20 && c.tier() > 0; ++i)
+    now += milliseconds(110), c.observe(0.0, now);
+  EXPECT_EQ(c.tier(), 0);
+  EXPECT_FALSE(c.engaged());
+  const auto st = c.stats();
+  EXPECT_EQ(st.deescalations, 3u);
+}
+
+TEST(OverloadController, BrownoutIndexMapsTiersToTables) {
+  OverloadController c(base_cfg(), 2);  // tiers 0,1 run normal; 2,3 brown; 4 shed
+  EXPECT_EQ(c.brownout_index(0), -1);
+  EXPECT_EQ(c.brownout_index(1), -1);
+  EXPECT_EQ(c.brownout_index(2), 0);
+  EXPECT_EQ(c.brownout_index(3), 1);
+  EXPECT_EQ(c.brownout_index(4), 1) << "Shed keeps the cheapest table";
+  OverloadController none(base_cfg(), 0);  // 0,1,shed=2
+  EXPECT_EQ(none.max_tier(), 2);
+  EXPECT_EQ(none.brownout_index(2), -1) << "no tables configured";
+}
+
+TEST(OverloadController, ShedFractionIsExactOverAWindow) {
+  OverloadController c(base_cfg(), 0);  // shed_fraction 0.25
+  int shed = 0;
+  for (int i = 0; i < 1000; ++i) shed += c.shed_due() ? 1 : 0;
+  EXPECT_EQ(shed, 250) << "fixed-point accumulator: exact, not stochastic";
+}
+
+}  // namespace
+}  // namespace nga::serve

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -93,6 +95,126 @@ TEST(BoundedQueue, MpmcPreservesEveryItemExactlyOnce) {
   const long n = kProducers * kPerProducer;
   EXPECT_EQ(popped.load(), n);
   EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// ------------------------------------------------ CoDel sojourn control
+
+TEST(BoundedQueue, CoDelDropsOldestFromStandingQueue) {
+  CoDelConfig codel;
+  codel.enabled = true;
+  codel.target = std::chrono::microseconds(1000);
+  codel.interval = std::chrono::microseconds(3000);
+  Q q(128, codel);
+  for (int i = 0; i < 60; ++i) ASSERT_EQ(q.try_push(int(i)), Q::Push::kOk);
+  // Let every queued item age past target: this is a STANDING queue,
+  // the case CoDel exists for.
+  std::this_thread::sleep_for(std::chrono::milliseconds(8));
+  std::vector<int> served, dropped;
+  std::vector<int> out, drops;
+  while (q.size() > 0) {
+    out.clear();
+    drops.clear();
+    ASSERT_TRUE(
+        q.pop_batch(1, std::chrono::microseconds(0), out, nullptr, &drops));
+    served.insert(served.end(), out.begin(), out.end());
+    dropped.insert(dropped.end(), drops.begin(), drops.end());
+    // Spread the pops past codel.interval so min-sojourn stays above
+    // target for a full interval and the dropping state engages.
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+  }
+  EXPECT_GT(dropped.size(), 0u) << "a standing queue must be cut";
+  EXPECT_GT(served.size(), 0u) << "CoDel trims the queue, never empties it";
+  EXPECT_EQ(served.size() + dropped.size(), 60u) << "nothing vanishes";
+  // Drop-from-front: every dropped item is older (smaller) than the
+  // newest item that still got served.
+  EXPECT_LT(*std::min_element(dropped.begin(), dropped.end()),
+            *std::max_element(served.begin(), served.end()));
+}
+
+TEST(BoundedQueue, CoDelLeavesShortBurstsAlone) {
+  // Sojourn above target but shorter than a full interval: burst
+  // tolerance — nothing may be dropped.
+  CoDelConfig codel;
+  codel.enabled = true;
+  codel.target = std::chrono::microseconds(1000);
+  codel.interval = std::chrono::seconds(10);
+  Q q(64, codel);
+  for (int i = 0; i < 20; ++i) ASSERT_EQ(q.try_push(int(i)), Q::Push::kOk);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  std::vector<int> out, drops;
+  std::size_t got = 0;
+  while (q.size() > 0) {
+    out.clear();
+    ASSERT_TRUE(
+        q.pop_batch(1, std::chrono::microseconds(0), out, nullptr, &drops));
+    got += out.size();
+  }
+  EXPECT_TRUE(drops.empty());
+  EXPECT_EQ(got, 20u);
+}
+
+TEST(BoundedQueue, CoDelNeedsADropSink) {
+  // Passing no `dropped` vector disables dropping even when CoDel is
+  // configured — the caller owns the accounting, so without a sink the
+  // queue must not destroy items.
+  CoDelConfig codel;
+  codel.enabled = true;
+  codel.target = std::chrono::microseconds(100);
+  codel.interval = std::chrono::microseconds(200);
+  Q q(64, codel);
+  for (int i = 0; i < 10; ++i) ASSERT_EQ(q.try_push(int(i)), Q::Push::kOk);
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  std::vector<int> out;
+  std::size_t got = 0;
+  while (q.size() > 0) {
+    out.clear();
+    ASSERT_TRUE(q.pop_batch(1, std::chrono::microseconds(0), out));
+    got += out.size();
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  EXPECT_EQ(got, 10u);
+}
+
+// ------------------------------------------- deadline-aware linger fix
+
+TEST(BoundedQueue, LingerStopsEarlyWhenDeadlineWouldExpireInside) {
+  // Regression: a deadline tighter than batch_linger. The old queue
+  // lingered the full window regardless, turning a servable request
+  // into a shed one; now the linger is clamped to the deadline slack.
+  Q q(8);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(2);
+  q.set_deadline_of(
+      [deadline](const int&) { return deadline; });
+  ASSERT_EQ(q.try_push(1), Q::Push::kOk);
+  std::vector<int> out;
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(q.pop_batch(8, std::chrono::milliseconds(500), out));
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_LT(waited, std::chrono::milliseconds(250))
+      << "coalescing must stop at the deadline, not out-wait it";
+  EXPECT_LT(std::chrono::steady_clock::now(),
+            deadline + std::chrono::milliseconds(200))
+      << "the request must still be servable when handed over";
+}
+
+TEST(BoundedQueue, LingerStillCoalescesWhenDeadlinesAreSlack) {
+  Q q(8);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  q.set_deadline_of([deadline](const int&) { return deadline; });
+  ASSERT_EQ(q.try_push(1), Q::Push::kOk);
+  std::thread filler([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_EQ(q.try_push(2), Q::Push::kOk);
+  });
+  std::vector<int> out;
+  // Ample slack: the linger window stays open and the second item
+  // coalesces into the batch.
+  ASSERT_TRUE(q.pop_batch(2, std::chrono::milliseconds(300), out));
+  filler.join();
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
 }
 
 }  // namespace

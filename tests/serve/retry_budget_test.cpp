@@ -1,0 +1,148 @@
+// Token-bucket retry budget: unit mechanics, and the regression the
+// satellite fix exists for — a sustained fault storm must no longer
+// multiply the exec/queue load by max_attempts.
+#include "serve/retry_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "approx/multipliers.hpp"
+#include "fault/fault.hpp"
+#include "nn/layers.hpp"
+#include "serve/serve.hpp"
+
+namespace nga::serve {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+TEST(RetryBudget, BurstSpendsDownThenRefuses) {
+  RetryBudgetConfig cfg;
+  cfg.tokens_per_success = 0.1;
+  cfg.burst = 3.0;
+  RetryBudget b(cfg);
+  EXPECT_TRUE(b.try_spend());
+  EXPECT_TRUE(b.try_spend());
+  EXPECT_TRUE(b.try_spend());
+  EXPECT_FALSE(b.try_spend()) << "burst exhausted, no successes yet";
+  EXPECT_DOUBLE_EQ(b.tokens(), 0.0);
+}
+
+TEST(RetryBudget, SuccessesFundRetriesAtTheConfiguredRatio) {
+  RetryBudgetConfig cfg;
+  cfg.tokens_per_success = 0.1;
+  cfg.burst = 1.0;
+  RetryBudget b(cfg);
+  ASSERT_TRUE(b.try_spend());
+  ASSERT_FALSE(b.try_spend());
+  b.on_success(9);  // 0.9 tokens: still short of one retry
+  EXPECT_FALSE(b.try_spend());
+  b.on_success();  // the 10th success buys the retry
+  EXPECT_TRUE(b.try_spend());
+  EXPECT_FALSE(b.try_spend()) << "one retry per ten successes, exactly";
+}
+
+TEST(RetryBudget, BucketCapsAtBurst) {
+  RetryBudgetConfig cfg;
+  cfg.tokens_per_success = 1.0;
+  cfg.burst = 2.0;
+  RetryBudget b(cfg);
+  b.on_success(100);  // cannot hoard beyond the burst
+  EXPECT_DOUBLE_EQ(b.tokens(), 2.0);
+}
+
+TEST(RetryBudget, DisabledAlwaysAllows) {
+  RetryBudgetConfig cfg;
+  cfg.enabled = false;
+  cfg.burst = 0.0;
+  RetryBudget b(cfg);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(b.try_spend());
+}
+
+#if NGA_FAULT
+
+constexpr int kC = 1, kH = 4, kW = 4;
+
+nn::Tensor make_input(int i) {
+  nn::Tensor x(kC, kH, kW);
+  for (std::size_t j = 0; j < x.v.size(); ++j)
+    x.v[j] = float((i * 31 + int(j) * 7) % 17) / 17.f;
+  return x;
+}
+
+std::unique_ptr<nn::Model> make_model() {
+  util::Xoshiro256 rng(7);
+  auto m = std::make_unique<nn::Model>("retry-budget-test");
+  m->add(std::make_unique<nn::Dense>(kC * kH * kW, 10, rng));
+  return m;
+}
+
+// Regression for the retry-storm amplification bug: before the budget,
+// a sustained fault plan made EVERY batch retry max_attempts times —
+// the server multiplied its own load exactly when it had no capacity
+// to spare. With the budget (and no failover table to repair onto),
+// speculative retries are capped at burst + ratio * successes, the
+// rest fail fast, and the queue never holds the storm's amplification.
+TEST(RetryBudgetStorm, StormNoLongerMultipliesExecLoad) {
+  const auto mults = ax::table2_multipliers();
+  const nn::MulTable approx(*mults.front());
+
+  fault::FaultPlan plan;
+  plan.inject(fault::Site::kNnMul, fault::Model::kBitFlip, 0.25);
+  fault::Injector::instance().arm(plan, 99);
+
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 128;
+  cfg.max_batch = 4;
+  cfg.batch_linger = microseconds(100);
+  cfg.in_c = kC;
+  cfg.in_h = kH;
+  cfg.in_w = kW;
+  cfg.mode = nn::Mode::kQuantApprox;
+  cfg.mul = &approx;
+  cfg.model_factory = make_model;
+  cfg.max_attempts = 5;            // plenty of rope for a storm...
+  cfg.retry_exact_failover = false;  // ...and no golden unit to save it
+  cfg.backoff.base = microseconds(50);
+  cfg.backoff.cap = microseconds(500);
+  cfg.retry_budget.tokens_per_success = 0.1;
+  cfg.retry_budget.burst = 4.0;
+
+  Server srv(cfg);
+  srv.start();
+  std::vector<std::future<Response>> futs;
+  const int kRequests = 60;
+  for (int i = 0; i < kRequests; ++i)
+    futs.push_back(srv.submit(make_input(i), milliseconds(5000)));
+  for (auto& f : futs) f.get();
+  srv.drain();
+  fault::Injector::instance().disarm();
+
+  const auto st = srv.stats();
+  EXPECT_EQ(st.served + st.rejected + st.shed, st.submitted)
+      << "drain invariant";
+  EXPECT_GT(st.budget_exhausted, 0u)
+      << "a sustained storm must run the bucket dry";
+  // The cap itself: every retry spent a token, tokens come only from
+  // the burst and from successes.
+  EXPECT_LE(double(st.retries),
+            cfg.retry_budget.burst +
+                cfg.retry_budget.tokens_per_success * double(st.served))
+      << "retries bounded by the budget, not by max_attempts";
+  // Amplification bound: without the budget this workload executes
+  // ~max_attempts batches per popped batch; with it, total execs stay
+  // within one extra attempt's worth of the batch count.
+  const util::u64 first_attempts = st.batches - st.retries;
+  EXPECT_LT(st.batches, 2 * first_attempts + util::u64(cfg.max_attempts))
+      << "exec load must not multiply under the storm";
+}
+
+#endif  // NGA_FAULT
+
+}  // namespace
+}  // namespace nga::serve

@@ -15,8 +15,9 @@ value. What MUST hold regardless of machine or run size:
     stage that stopped reporting;
   * claim floors — committed success_rate-style gauges that held a >=99%
     floor must still hold it fresh (the robustness claim, which IS
-    machine-independent), and committed invariant-ish gauges stay
-    present.
+    machine-independent), committed goodput_retention gauges that held
+    the >=80% overload-graceful floor must still hold it, and committed
+    invariant-ish gauges stay present.
 
 Values of counters, wall times, and latency gauges are reported for the
 human but never gated: they are run-size and machine dependent.
@@ -39,11 +40,18 @@ _NORMALIZERS = [
     # Per-multiplier prof scopes (mul_EXACT, mul_DRUM4, ...): one family
     # per layer across the whole multiplier sweep.
     (re.compile(r"\bmul_[A-Za-z0-9_]+"), "mul_*"),
+    # serve_scale sweep points are keyed by absolute offered RPS, which
+    # is machine-dependent by design (the bench self-calibrates).
+    (re.compile(r"\boffered_[0-9]+"), "offered_*"),
 ]
 
-# Gauge families whose committed floor is a machine-independent claim.
-_FLOOR_SUFFIXES = ("success_rate",)
-_FLOOR = 0.99
+# Gauge families whose committed floor is a machine-independent claim:
+# suffix -> floor. A committed instance below the floor made no claim
+# there, so only families that HELD the floor are re-asserted fresh.
+_FLOORS = {
+    "success_rate": 0.99,        # served/submitted under chaos (soak)
+    "goodput_retention": 0.80,   # goodput at 1.5x knee vs at the knee
+}
 
 # Sparse families: per-layer health counters are only mirrored when an
 # event actually fired, so individual signals (nar on layer 3, ...) come
@@ -202,20 +210,42 @@ def compare(base: dict, fresh: dict, exempt=(), log=print):
                                 "per-table state, fresh run lost the "
                                 "tables map")
 
-    # Claim floors: a committed >=99% success-rate family must still
-    # clear the floor in the fresh run, for every instance swept.
+    # The additive "overload" section (brownout-ladder telemetry): the
+    # scalar keys are machine-independent shape and must survive;
+    # per-tier entries are keyed by ladder depth and config-dependent,
+    # so only the presence of the tiers map is checked, never its keys.
+    if "overload" in base:
+        if "overload" not in fresh:
+            failures.append("overload: committed snapshot has the overload "
+                            "section, fresh run does not")
+        else:
+            bo, fo = base["overload"], fresh["overload"]
+            for k in sorted(bo):
+                if k == "tiers":
+                    continue
+                if k not in fo:
+                    failures.append(f"overload: key vanished: {k}")
+            if bo.get("tiers") and "tiers" not in fo:
+                failures.append("overload: committed snapshot attributes "
+                                "per-tier traffic, fresh run lost the "
+                                "tiers map")
+
+    # Claim floors: a committed family that held its suffix's floor
+    # must still clear it in the fresh run, for every instance swept.
     bg, fg = families(base.get("gauges", {})), families(fresh.get("gauges", {}))
     for fam, binst in sorted(bg.items()):
-        if not fam.endswith(_FLOOR_SUFFIXES):
+        floor = next((f for sfx, f in _FLOORS.items()
+                      if fam.endswith(sfx)), None)
+        if floor is None:
             continue
         if fam not in fg:
             continue  # already reported by the coverage check
-        if min(v for _, v in binst) < _FLOOR:
+        if min(v for _, v in binst) < floor:
             continue  # the committed run made no floor claim here
         for key, v in fg[fam]:
-            if v < _FLOOR:
+            if v < floor:
                 failures.append(
-                    f"floor broken: {key} = {v:.4f} < {_FLOOR} "
+                    f"floor broken: {key} = {v:.4f} < {floor} "
                     f"(committed family {fam} held it)")
 
     return failures, new_families
@@ -324,6 +354,31 @@ def self_test() -> int:
          dict(base, integrity={"pages_scanned": 2,
                                "tables": {"serve.worker.2.g1":
                                           {"pages": 32}}}), (), 0),
+        ("held goodput-retention floor must hold fresh",
+         doc(gauges={"scale.brownout_on.goodput_retention": 0.93}),
+         doc(gauges={"scale.brownout_on.goodput_retention": 0.55}), (), 1),
+        ("a committed retention below the floor claims nothing",
+         doc(gauges={"scale.brownout_off.goodput_retention": 0.07}),
+         doc(gauges={"scale.brownout_off.goodput_retention": 0.02}), (), 0),
+        ("retention above the floor on both sides passes",
+         doc(gauges={"scale.brownout_on.goodput_retention": 0.93}),
+         doc(gauges={"scale.brownout_on.goodput_retention": 0.85}), (), 0),
+        ("machine-dependent offered rates fold into one family",
+         doc(gauges={"scale.off.offered_1053.goodput_rps": 998.0}),
+         doc(gauges={"scale.off.offered_611.goodput_rps": 580.0}), (), 0),
+        ("vanished overload section is a regression",
+         dict(base, overload={"ladder_engaged": True, "escalations": 3,
+                              "tiers": {"0": {"requests": 9}}}),
+         base, (), 1),
+        ("vanished overload scalar key is a regression",
+         dict(base, overload={"ladder_engaged": True, "escalations": 3}),
+         dict(base, overload={"ladder_engaged": True}), (), 1),
+        ("per-tier keys are config-dependent, only the map matters",
+         dict(base, overload={"escalations": 3,
+                              "tiers": {"0": {"requests": 9},
+                                        "4": {"requests": 2}}}),
+         dict(base, overload={"escalations": 1,
+                              "tiers": {"0": {"requests": 5}}}), (), 0),
     ]
     bad = 0
     for name, b, f, exempt, want in cases:
