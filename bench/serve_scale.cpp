@@ -31,11 +31,19 @@
 //     whose deadlines are already doomed;
 //   * the ladder actually engaged during the ON overload run
 //     (escalations >= 1) and the per-tier traffic mix is reported;
+//   * delivered quality (PR 9): the targeted ladder-ON runs shadow a
+//     sample of requests onto the exact table (nga::quality). The
+//     frontier is (goodput, latency, QUALITY): at the knee the shadow
+//     agreement stays >= 90%, and at 1.5x knee — where the ladder is
+//     serving on cheaper browned-out tables — the browned-out tiers'
+//     argmax agreement stays >= the asserted floor (60%), each with a
+//     minimum shadowed-sample count so the claim is never vacuous;
 //   * after every run: served + rejected + shed == submitted.
 //
-// The committed BENCH_serve_scale.json carries the frontier and both
-// retention gauges; tools/bench_diff.py re-asserts the ON floor (and
-// the "overload" JSON section's shape) against every fresh run.
+// The committed BENCH_serve_scale.json carries the frontier, both
+// retention gauges and the per-tier quality gauges; tools/bench_diff.py
+// re-asserts the ON floor and the quality agreement floor (and the
+// "overload"/"quality" JSON sections' shapes) against every fresh run.
 // Flags: --quick (CI-sized sweep), --smoke (implies --quick; shutdown
 // invariant only).
 #include <algorithm>
@@ -43,6 +51,7 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -66,6 +75,19 @@ namespace {
 
 constexpr int kT = 16, kMel = 12;
 
+// Quality shadowing on the targeted runs (both ladder configs). 10%
+// keeps the single shadow thread comfortably behind 2 serving workers
+// (overflow is drop-oldest, never backpressure). Floors: the configured
+// serving table (lowest-MRE multiplier) must agree with the exact
+// reference >= 90% at the knee; the browned-out rungs trade accuracy
+// for throughput by design — on the 3-keyword task chance agreement is
+// 33%, and the floor asserts the cheap tables stay well clear of it
+// while the committed per-tier MRE quantifies the exact cost.
+constexpr double kShadowRate = 0.10;
+constexpr double kConfiguredAgreementFloor = 0.90;
+constexpr double kBrownedAgreementFloor = 0.40;
+constexpr std::size_t kMinQualitySamples = 20;
+
 /// One open-loop measurement: a server, a Poisson schedule, the result.
 struct PointResult {
   load::FrontierPoint pt;   ///< offered (achieved) + goodput + latency
@@ -76,7 +98,65 @@ struct PointResult {
   double wall_s = 0.0;       ///< first submit -> last future resolved
   bool invariant_ok = false;
   OverloadController::Stats os;  ///< ladder motion during this run
+  quality::ShadowLane::Stats qs;  ///< shadow-lane motion (post-drain)
 };
+
+/// Per-tier quality of ONE run, as registry deltas (the quality.tier.*
+/// counters are process-cumulative; each targeted run gets its own
+/// window by snapshotting around it).
+struct QualityWindow {
+  util::u64 compared[16] = {0}, agree[16] = {0};
+  double mre_mean[16] = {0};
+
+  util::u64 total_compared(int lo, int hi) const {
+    util::u64 s = 0;
+    for (int k = lo; k <= hi && k < 16; ++k) s += compared[k];
+    return s;
+  }
+  /// Aggregate agreement over tiers [lo, hi]; NaN when unsampled.
+  double agreement(int lo, int hi) const {
+    util::u64 c = 0, a = 0;
+    for (int k = lo; k <= hi && k < 16; ++k) {
+      c += compared[k];
+      a += agree[k];
+    }
+    return c ? double(a) / double(c)
+             : std::numeric_limits<double>::quiet_NaN();
+  }
+};
+
+void snap_quality(obs::MetricsRegistry& reg, int max_tier,
+                  util::u64 (&compared)[16], util::u64 (&agree)[16]) {
+  for (int k = 0; k <= max_tier && k < 16; ++k) {
+    const std::string p = "quality.tier." + std::to_string(k);
+    compared[k] = reg.counter(p + ".compared").value();
+    agree[k] = reg.counter(p + ".agree").value();
+  }
+}
+
+/// Window-reset the per-tier MRE series and snapshot the counters, run
+/// the body, then return the run's own deltas.
+template <class Body>
+QualityWindow quality_window(obs::MetricsRegistry& reg, int max_tier,
+                             Body&& body) {
+  util::u64 c0[16], a0[16];
+  for (int k = 0; k <= max_tier && k < 16; ++k)
+    reg.series("quality.tier." + std::to_string(k) + ".logit_mre").reset();
+  snap_quality(reg, max_tier, c0, a0);
+  body();
+  QualityWindow w;
+  util::u64 c1[16], a1[16];
+  snap_quality(reg, max_tier, c1, a1);
+  for (int k = 0; k <= max_tier && k < 16; ++k) {
+    w.compared[k] = c1[k] - c0[k];
+    w.agree[k] = a1[k] - a0[k];
+    w.mre_mean[k] =
+        reg.series("quality.tier." + std::to_string(k) + ".logit_mre")
+            .snapshot()
+            .mean;
+  }
+  return w;
+}
 
 PointResult run_point(const ServerConfig& cfg, const Dataset& test_set,
                       double offered_rps, double duration_s,
@@ -120,7 +200,8 @@ PointResult run_point(const ServerConfig& cfg, const Dataset& test_set,
 
   PointResult r;
   r.os = srv.overload_stats();
-  srv.drain();
+  srv.drain();  // also finishes the shadow backlog (bounded by capacity)
+  r.qs = srv.quality_stats();
   r.stats = srv.stats();
   r.pt.offered_rps = rep.achieved_rps;
   r.pt.goodput_rps = wall > 0.0 ? double(served) / wall : 0.0;
@@ -227,7 +308,7 @@ int nga_bench_main(int argc, char** argv) {
   // pure noise, so it is relaxed and no wall-clock claim is made.
   const double deadline_ms = smoke ? 2000.0 : 80.0;
 
-  const auto make_cfg = [&](bool brownout) {
+  const auto make_cfg = [&](bool brownout, bool shadow) {
     ServerConfig cfg;
     cfg.workers = 2;
     cfg.queue_capacity = 512;  // deep enough for a standing queue to form
@@ -270,6 +351,16 @@ int nga_bench_main(int argc, char** argv) {
             return std::make_shared<const MulTable>(mult_cheap);
           }};
     }
+    if (shadow) {
+      // Shadow-execution quality telemetry (nga::quality): sample a
+      // fraction of served requests and re-run them on the exact table
+      // in the off-path shadow lane, binned by overload tier — the
+      // ladder's accuracy cost, measured while it degrades. Only the
+      // targeted runs shadow; the sweep and the capacity probe stay
+      // quality-free.
+      cfg.quality.sample_rate = kShadowRate;
+      cfg.quality.seed = 42;
+    }
     return cfg;
   };
 
@@ -280,7 +371,7 @@ int nga_bench_main(int argc, char** argv) {
   double capacity_rps = 0.0;
   {
     obs::TimedSection t("scale.capacity_probe");
-    ServerConfig cfg = make_cfg(false);
+    ServerConfig cfg = make_cfg(false, false);
     Server srv(cfg);
     srv.start();
     const int burst = int(cfg.max_batch) * cfg.workers * 2;
@@ -330,8 +421,8 @@ int nga_bench_main(int argc, char** argv) {
     util::u64 seed = 100;
     for (const double m : sweep_mults) {
       const double offered = m * capacity_rps;
-      const PointResult r = run_point(make_cfg(false), test_set, offered,
-                                      sweep_s, deadline_ms, seed++);
+      const PointResult r = run_point(make_cfg(false, false), test_set,
+                                      offered, sweep_s, deadline_ms, seed++);
       frontier.push_back(r.pt);
       invariants_ok = invariants_ok && r.invariant_ok;
       export_point(reg, false, offered, r);
@@ -356,31 +447,32 @@ int nga_bench_main(int argc, char** argv) {
   Targeted runs[2];  // [0] = off, [1] = on
   const double over_rps = 1.5 * knee;
   util::u64 tier_req_before[16] = {0};
-  int max_tier = 0;
+  // Ladder shape is fixed by make_cfg: tiers 0..1 run the configured
+  // table, 2..max_tier the brownout rungs (the shed rung keeps the
+  // cheapest table for what it still admits).
+  const int max_tier = 2 + int(make_cfg(true, false).brownout_tables.size());
+  QualityWindow qw[2][2];  // [ladder off/on][knee/over] shadow windows
   {
     obs::TimedSection ts("scale.targeted");
     util::u64 seed = 500;
     for (const bool brownout : {false, true}) {
       Targeted& tr = runs[brownout ? 1 : 0];
-      const ServerConfig cfg = make_cfg(brownout);
-      if (brownout) {
-        // Snapshot the process-wide per-tier counters so the mix can
-        // be attributed to the overload run alone.
-        max_tier = 2 + int(cfg.brownout_tables.size());
+      const ServerConfig cfg = make_cfg(brownout, true);
+      // Window the process-cumulative quality counters around each run
+      // so per-tier shadow accuracy is attributable run by run.
+      qw[brownout][0] = quality_window(reg, max_tier, [&] {
         tr.at_knee = run_point(cfg, test_set, knee, targeted_s,
                                deadline_ms, seed++);
+      });
+      if (brownout)
         for (int k = 0; k <= max_tier && k < 16; ++k)
           tier_req_before[k] =
               reg.counter("serve.overload.tier." + std::to_string(k) +
                           ".requests").value();
+      qw[brownout][1] = quality_window(reg, max_tier, [&] {
         tr.at_over = run_point(cfg, test_set, over_rps, targeted_s,
                                deadline_ms, seed++);
-      } else {
-        tr.at_knee = run_point(cfg, test_set, knee, targeted_s,
-                               deadline_ms, seed++);
-        tr.at_over = run_point(cfg, test_set, over_rps, targeted_s,
-                               deadline_ms, seed++);
-      }
+      });
       invariants_ok =
           invariants_ok && tr.at_knee.invariant_ok && tr.at_over.invariant_ok;
       tr.retention = tr.at_knee.pt.goodput_rps > 0.0
@@ -431,6 +523,78 @@ int nga_bench_main(int argc, char** argv) {
   reg.gauge("scale.overload.deescalations")
       .set(double(on.at_over.os.deescalations));
 
+  // ---- per-tier delivered quality (shadow lane, all targeted runs) --
+  //
+  // Tier semantics: 0..1 run the configured serving table (tier 1 only
+  // shrinks the linger), 2..max_tier run the brownout rungs — the shed
+  // rung included, because what it still admits executes the cheapest
+  // table. The ladder-OFF server never leaves tier 0, so its knee run
+  // is the clean configured-table sample; the ladder-ON overload run is
+  // where the browned-out tiers earn their floor.
+  const double configured_agreement = qw[0][0].agreement(0, 1);
+  const double browned_agreement = qw[1][1].agreement(2, max_tier);
+  {
+    std::printf("\n-- shadow-measured delivered quality (sample rate "
+                "%.0f%%, exact-table reference) --\n", 100.0 * kShadowRate);
+    util::Table q({"run", "ladder", "tier", "operator", "compared",
+                   "agreement [%]", "logit MRE"});
+    const auto tier_op = [&](int k) -> std::string {
+      if (k < 2) return mult0->name();
+      const std::string name =
+          (k == 2 ? mult_mid : mult_cheap)->name();
+      return k == max_tier ? name + " (shed rung)" : name;
+    };
+    for (int b = 0; b < 2; ++b)
+      for (int run = 0; run < 2; ++run) {
+        const QualityWindow& w = qw[b][run];
+        const char* label = run == 0 ? "knee" : "1.5x knee";
+        for (int k = 0; k <= max_tier && k < 16; ++k) {
+          if (w.compared[k] == 0 && (b == 0 || run == 0) && k >= 2)
+            continue;  // tiers an un-escalated run never visited
+          q.add_row({label, b ? "on" : "off", std::to_string(k), tier_op(k),
+                     std::to_string(w.compared[k]),
+                     w.compared[k]
+                         ? util::cell(100.0 * double(w.agree[k]) /
+                                          double(w.compared[k]), 2)
+                         : "-",
+                     w.compared[k] ? util::cell(w.mre_mean[k], 5) : "-"});
+          const std::string p = std::string("scale.quality.") +
+                                (b ? "on" : "off") + "." +
+                                (run == 0 ? "knee" : "over") + ".tier_" +
+                                std::to_string(k);
+          reg.gauge(p + ".compared").set(double(w.compared[k]));
+          if (w.compared[k]) {
+            reg.gauge(p + ".agreement")
+                .set(double(w.agree[k]) / double(w.compared[k]));
+            reg.gauge(p + ".logit_mre_mean").set(w.mre_mean[k]);
+          }
+        }
+      }
+    q.print(std::cout);
+  }
+  reg.gauge("scale.quality.sample_rate").set(kShadowRate);
+  reg.gauge("scale.quality.agreement_floor").set(kBrownedAgreementFloor);
+  reg.gauge("scale.quality.configured_agreement").set(configured_agreement);
+  reg.gauge("scale.quality.configured_compared")
+      .set(double(qw[0][0].total_compared(0, 1)));
+  reg.gauge("scale.quality.browned_agreement").set(browned_agreement);
+  reg.gauge("scale.quality.browned_compared")
+      .set(double(qw[1][1].total_compared(2, max_tier)));
+  reg.gauge("scale.quality.shadow_dropped")
+      .set(double(on.at_knee.qs.dropped + on.at_over.qs.dropped +
+                  off.at_knee.qs.dropped + off.at_over.qs.dropped));
+  std::printf("shadow lane: configured-table agreement at knee %.1f%% "
+              "(%llu compared), browned-out agreement at 1.5x knee %.1f%% "
+              "(%llu compared), %llu dropped under pressure\n",
+              100.0 * configured_agreement,
+              (unsigned long long)qw[0][0].total_compared(0, 1),
+              100.0 * browned_agreement,
+              (unsigned long long)qw[1][1].total_compared(2, max_tier),
+              (unsigned long long)(on.at_knee.qs.dropped +
+                                   on.at_over.qs.dropped +
+                                   off.at_knee.qs.dropped +
+                                   off.at_over.qs.dropped));
+
   std::printf("\nknee %.1f req/s (capacity probe %.1f); goodput retention "
               "at 1.5x knee: ladder ON %.1f%%, OFF %.1f%%\n",
               knee, capacity_rps, 100.0 * on.retention,
@@ -463,7 +627,27 @@ int nga_bench_main(int argc, char** argv) {
               collapsed ? "ok" : "FAIL",
               (unsigned long long)on.at_over.os.escalations,
               engaged ? "ok" : "FAIL");
-  const bool ok = knee_found && retained && collapsed && engaged;
+  // Quality claims: the shadow lane measured enough traffic for the
+  // agreement numbers to mean something, the configured serving table
+  // agrees with the exact reference at the knee, and even the
+  // browned-out tiers the ladder degraded onto stay above the committed
+  // floor at 1.5x knee (well clear of the 33% chance line).
+  const bool q_sampled =
+      qw[0][0].total_compared(0, 1) >= kMinQualitySamples &&
+      qw[1][1].total_compared(2, max_tier) >= kMinQualitySamples;
+  const bool q_configured_ok =
+      configured_agreement >= kConfiguredAgreementFloor;
+  const bool q_browned_ok = browned_agreement >= kBrownedAgreementFloor;
+  std::printf("quality claims: shadow samples at knee/overload >= %zu: %s; "
+              "configured-table agreement %.1f%% >= %.0f%%: %s; "
+              "browned-out agreement %.1f%% >= %.0f%%: %s\n",
+              kMinQualitySamples, q_sampled ? "ok" : "FAIL",
+              100.0 * configured_agreement,
+              100.0 * kConfiguredAgreementFloor,
+              q_configured_ok ? "ok" : "FAIL", 100.0 * browned_agreement,
+              100.0 * kBrownedAgreementFloor, q_browned_ok ? "ok" : "FAIL");
+  const bool ok = knee_found && retained && collapsed && engaged &&
+                  q_sampled && q_configured_ok && q_browned_ok;
   std::printf("scale claims: %s\n", ok ? "HOLD" : "VIOLATED");
   return ok ? 0 : 1;
 }

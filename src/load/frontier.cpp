@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace nga::load {
 
 double percentile(std::vector<double> v, double q) {
-  if (v.empty()) return 0.0;
+  // NaN, not 0.0: an empty sample has no quantiles, and a fake zero
+  // silently poisons downstream aggregation (a per-tier quality bin at
+  // low offered load can legitimately be empty). NaN propagates and the
+  // JSON writers render non-finite as null/0 explicitly.
+  if (v.empty()) return std::numeric_limits<double>::quiet_NaN();
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
   const std::size_t k =

@@ -26,7 +26,9 @@ struct FrontierPoint {
 };
 
 /// Quantile of @p v (q in [0,1]; 0.99 = p99). Non-destructive copy,
-/// nth_element underneath; 0 for an empty sample.
+/// nth_element underneath; NaN for an empty sample — there is no
+/// quantile to report, and a fake 0 would corrupt whatever aggregates
+/// it (empty per-tier quality bins at low offered load are normal).
 double percentile(std::vector<double> v, double q);
 
 /// Knee of the frontier: the highest offered rate whose goodput is

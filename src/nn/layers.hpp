@@ -57,6 +57,11 @@ struct Exec {
   /// a progressing (if slow) forward is distinguishable from a hung
   /// one.
   std::atomic<util::u64>* heartbeat = nullptr;
+  /// Per-layer activation capture: when set, Model::forward appends a
+  /// copy of every layer's output here (forward order). Used by the
+  /// nga::quality shadow lane's dual-run error attribution — never set
+  /// on the serving hot path, where the null check is the whole cost.
+  std::vector<Tensor>* capture = nullptr;
 };
 
 class Layer {

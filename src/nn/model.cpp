@@ -39,6 +39,7 @@ Tensor Model::forward(const Tensor& x, const Exec& ex) {
       t = l->forward(t, ex);
       NGA_PROF_LAYER_END(ex, l, in_elems, t.v.size());
       tick(ex);
+      if (ex.capture) ex.capture->push_back(t);
       if (ex.health) ex.health->end_layer(l->name());
     }
     return t;
@@ -73,6 +74,7 @@ Tensor Model::forward(const Tensor& x, const Exec& ex) {
     // hidden).
     NGA_PROF_LAYER_END(cur, l, in_elems, y.v.size());
     tick(cur);
+    if (cur.capture) cur.capture->push_back(y);
     if (cur.health) cur.health->end_layer(l->name());
     t = std::move(y);
   }
@@ -103,6 +105,13 @@ void Model::backward(const Tensor& dlogits) {
 
 void Model::step(float lr, float momentum, float batch_inv) {
   for (auto& l : layers_) l->step(lr, momentum, batch_inv);
+}
+
+std::vector<std::string> Model::layer_names() const {
+  std::vector<std::string> out;
+  out.reserve(layers_.size());
+  for (const auto& l : layers_) out.push_back(l->name());
+  return out;
 }
 
 std::size_t Model::param_count() const {

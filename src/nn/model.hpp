@@ -44,6 +44,9 @@ class Model {
   std::size_t param_count() const;
   util::u64 macs() const;  ///< per-inference MACs (after one forward)
   const std::string& name() const { return name_; }
+  /// Layer names in forward order — the keys Exec::capture activations
+  /// and the health/quality per-layer channels attribute to.
+  std::vector<std::string> layer_names() const;
 
   /// Snapshot/restore of all weights and optimizer state — lets one
   /// pre-trained model seed many retraining experiments (Fig. 5).

@@ -1,0 +1,283 @@
+#include "quality/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/export.hpp"
+
+namespace nga::quality {
+
+Comparison compare_logits(const std::vector<float>& approx,
+                          const std::vector<float>& exact) {
+  Comparison c;
+  const std::size_t n = std::min(approx.size(), exact.size());
+  if (n == 0) return c;
+  constexpr double kEps = 1e-6;
+  double sum_rel = 0.0, sum_abs = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = double(approx[i]), e = double(exact[i]);
+    const double d = std::abs(a - e);
+    sum_abs += d;
+    sum_rel += d / std::max(std::abs(e), kEps);
+  }
+  c.mre = sum_rel / double(n);
+  c.mae = sum_abs / double(n);
+  c.approx_top = int(std::max_element(approx.begin(), approx.begin() + long(n)) -
+                     approx.begin());
+  c.exact_top = int(std::max_element(exact.begin(), exact.begin() + long(n)) -
+                    exact.begin());
+  c.agree = c.approx_top == c.exact_top;
+  return c;
+}
+
+// ------------------------------------------------------- SLO tracker
+
+QualitySloTracker::QualitySloTracker(const QualityConfig& cfg) : cfg_(cfg) {
+  fast_.ring.assign(std::max<std::size_t>(1, cfg_.slo_fast_window), 0);
+  slow_.ring.assign(std::max<std::size_t>(1, cfg_.slo_slow_window), 0);
+}
+
+void QualitySloTracker::Window::add(bool agree) {
+  if (fill == ring.size()) {
+    agree_in_window -= std::size_t(ring[next]);
+  } else {
+    ++fill;
+  }
+  ring[next] = char(agree);
+  agree_in_window += std::size_t(agree);
+  next = (next + 1) % ring.size();
+}
+
+QualitySloTracker::Verdict QualitySloTracker::record(bool agree) {
+  fast_.add(agree);
+  slow_.add(agree);
+  ++verdict_.samples;
+  verdict_.fast_agreement = fast_.agreement();
+  verdict_.slow_agreement = slow_.agreement();
+  if (verdict_.samples >= cfg_.slo_min_samples) {
+    // Hysteresis per window: breach below the floor, recover only once
+    // agreement climbs back past floor + margin — a window hovering at
+    // the floor cannot flap the verdict.
+    if (!verdict_.fast_breached &&
+        verdict_.fast_agreement < cfg_.slo_fast_floor)
+      verdict_.fast_breached = true;
+    else if (verdict_.fast_breached &&
+             verdict_.fast_agreement >=
+                 cfg_.slo_fast_floor + cfg_.slo_recover_margin)
+      verdict_.fast_breached = false;
+    if (!verdict_.slow_breached &&
+        verdict_.slow_agreement < cfg_.slo_slow_floor)
+      verdict_.slow_breached = true;
+    else if (verdict_.slow_breached &&
+             verdict_.slow_agreement >=
+                 cfg_.slo_slow_floor + cfg_.slo_recover_margin)
+      verdict_.slow_breached = false;
+  }
+  return verdict_;
+}
+
+// --------------------------------------------------------- telemetry
+
+namespace {
+
+obs::MetricsRegistry& reg() { return obs::MetricsRegistry::instance(); }
+
+// One JSON number that tolerates empty bins: non-finite (an empty
+// series' mean, load::percentile of an empty sample) emits null, so
+// low-load runs with empty per-tier bins stay valid JSON.
+void jnum(std::ostream& os, double v) {
+  if (std::isfinite(v))
+    os << v;
+  else
+    os << "null";
+}
+
+void jseries(std::ostream& os, const obs::ValueSeries* s) {
+  const auto sn = s->snapshot();
+  os << "{\"count\":" << sn.count << ",\"mean\":";
+  jnum(os, sn.count ? sn.mean : std::nan(""));
+  os << ",\"max\":";
+  jnum(os, sn.count ? sn.max : std::nan(""));
+  os << "}";
+}
+
+}  // namespace
+
+QualityTelemetry& QualityTelemetry::instance() {
+  static QualityTelemetry t;
+  return t;
+}
+
+QualityTelemetry::QualityTelemetry() : slo_(QualityConfig{}) {
+  auto& r = reg();
+  r.counter("quality.shadow.sampled",
+            "served requests the seeded head-sampler marked for shadow "
+            "re-execution");
+  r.counter("quality.shadow.enqueued",
+            "shadow jobs accepted by the bounded shadow queue");
+  r.counter("quality.shadow.dropped",
+            "oldest shadow jobs dropped on queue pressure (the lane "
+            "lags; it never backpressures serving)");
+  r.counter("quality.shadow.compared",
+            "shadow re-executions compared against the served logits");
+  r.counter("quality.shadow.skipped_exact",
+            "sampled requests served by the golden exact path "
+            "(failover/quarantine) — excluded from approx-vs-exact bins");
+  r.counter("quality.attribution.runs",
+            "shadow comparisons that also dual-ran per-layer "
+            "activation capture");
+  r.gauge("quality.shadow.queue_depth", "shadow jobs currently queued");
+  flips_ = &r.counter("quality.shadow.flips",
+                      "shadow comparisons whose top-1 class flipped "
+                      "(argmax disagreement), all tiers");
+  slo_fast_g_ = &r.gauge("quality.slo.fast_agreement",
+                         "rolling argmax agreement, fast window");
+  slo_slow_g_ = &r.gauge("quality.slo.slow_agreement",
+                         "rolling argmax agreement, slow window");
+  slo_breached_g_ =
+      &r.gauge("quality.slo.breached",
+               "1 while either SLO window is breached (observe-only "
+               "verdict channel; nothing acts on it yet)");
+  slo_fast_breaches_ = &r.counter(
+      "quality.slo.fast_breaches", "fast-window breach transitions");
+  slo_slow_breaches_ = &r.counter(
+      "quality.slo.slow_breaches", "slow-window breach transitions");
+  obs::register_json_section(
+      "quality", [](std::ostream& os) { instance().write_json(os); });
+}
+
+QualityTelemetry::TierMetrics& QualityTelemetry::tier_at(int tier) {
+  if (tier < 0) tier = 0;
+  while (int(tiers_.size()) <= tier) {
+    const std::string base =
+        "quality.tier." + std::to_string(tiers_.size()) + ".";
+    TierMetrics tm;
+    tm.compared = &reg().counter(
+        base + "compared", "shadow comparisons attributed to this tier");
+    tm.agree = &reg().counter(base + "agree",
+                              "comparisons whose argmax agreed with exact");
+    tm.flips =
+        &reg().counter(base + "flips", "comparisons whose top-1 flipped");
+    tm.mre = &reg().series(base + "logit_mre",
+                           "per-request mean relative logit error vs exact");
+    tm.mae = &reg().series(base + "logit_mae",
+                           "per-request mean absolute logit error vs exact");
+    tiers_.push_back(std::move(tm));
+  }
+  return tiers_[std::size_t(tier)];
+}
+
+void QualityTelemetry::configure(const QualityConfig& cfg) {
+  std::lock_guard<std::mutex> lk(m_);
+  slo_ = QualitySloTracker(cfg);
+}
+
+void QualityTelemetry::ensure_tiers(int max_tier) {
+  std::lock_guard<std::mutex> lk(m_);
+  tier_at(max_tier);
+}
+
+void QualityTelemetry::set_tier_operator(int tier, std::string op) {
+  std::lock_guard<std::mutex> lk(m_);
+  tier_at(tier).op = std::move(op);
+}
+
+void QualityTelemetry::record_comparison(int tier, const Comparison& c) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto& tm = tier_at(tier);
+  tm.compared->inc();
+  tm.mre->add(c.mre);
+  tm.mae->add(c.mae);
+  if (c.agree) {
+    tm.agree->inc();
+  } else {
+    tm.flips->inc();
+    flips_->inc();
+  }
+  const auto before = slo_.verdict();
+  const auto v = slo_.record(c.agree);
+  slo_fast_g_->set(v.fast_agreement);
+  slo_slow_g_->set(v.slow_agreement);
+  slo_breached_g_->set(v.breached() ? 1.0 : 0.0);
+  if (v.fast_breached && !before.fast_breached) slo_fast_breaches_->inc();
+  if (v.slow_breached && !before.slow_breached) slo_slow_breaches_->inc();
+}
+
+void QualityTelemetry::record_attribution(int tier, const std::string& layer,
+                                          double mre) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto& tm = tier_at(tier);
+  auto it = tm.layers.find(layer);
+  if (it == tm.layers.end()) {
+    auto* s = &reg().series(
+        "quality.tier." + std::to_string(tier) + ".layer." + layer + ".mre",
+        "activation MRE of this layer under the tier's table vs exact");
+    it = tm.layers.emplace(layer, s).first;
+  }
+  it->second->add(mre);
+}
+
+QualitySloTracker::Verdict QualityTelemetry::slo() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return slo_.verdict();
+}
+
+void QualityTelemetry::reset_slo() {
+  std::lock_guard<std::mutex> lk(m_);
+  slo_ = QualitySloTracker(QualityConfig{});
+  slo_breached_g_->set(0.0);
+  slo_fast_g_->set(0.0);
+  slo_slow_g_->set(0.0);
+}
+
+void QualityTelemetry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(m_);
+  auto& r = reg();
+  const auto v = slo_.verdict();
+  os << "{\"sampled\":" << r.counter("quality.shadow.sampled").value()
+     << ",\"enqueued\":" << r.counter("quality.shadow.enqueued").value()
+     << ",\"dropped\":" << r.counter("quality.shadow.dropped").value()
+     << ",\"compared\":" << r.counter("quality.shadow.compared").value()
+     << ",\"skipped_exact\":"
+     << r.counter("quality.shadow.skipped_exact").value()
+     << ",\"flips\":" << flips_->value()
+     << ",\"attribution_runs\":"
+     << r.counter("quality.attribution.runs").value() << ",\"slo\":{"
+     << "\"samples\":" << v.samples << ",\"fast_agreement\":";
+  jnum(os, v.samples ? v.fast_agreement : std::nan(""));
+  os << ",\"slow_agreement\":";
+  jnum(os, v.samples ? v.slow_agreement : std::nan(""));
+  os << ",\"breached\":" << (v.breached() ? "true" : "false")
+     << ",\"fast_breaches\":" << slo_fast_breaches_->value()
+     << ",\"slow_breaches\":" << slo_slow_breaches_->value()
+     << "},\"tiers\":{";
+  for (std::size_t k = 0; k < tiers_.size(); ++k) {
+    const auto& tm = tiers_[k];
+    if (k) os << ",";
+    const auto compared = tm.compared->value();
+    os << "\"" << k << "\":{\"operator\":\"" << tm.op
+       << "\",\"compared\":" << compared << ",\"agree\":"
+       << tm.agree->value() << ",\"flips\":" << tm.flips->value()
+       << ",\"agreement\":";
+    // An empty bin (tier never reached at this offered load) reports
+    // null, never a fake 1.0 or 0.0.
+    jnum(os, compared ? double(tm.agree->value()) / double(compared)
+                      : std::nan(""));
+    os << ",\"logit_mre\":";
+    jseries(os, tm.mre);
+    os << ",\"logit_mae\":";
+    jseries(os, tm.mae);
+    os << ",\"layers\":{";
+    bool first = true;
+    for (const auto& [name, series] : tm.layers) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << name << "\":";
+      jseries(os, series);
+    }
+    os << "}}";
+  }
+  os << "}}";
+}
+
+}  // namespace nga::quality

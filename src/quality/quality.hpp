@@ -1,0 +1,212 @@
+// nga::quality — shadow-execution quality observatory for nga::serve.
+//
+// The serving stack spends accuracy to buy throughput (brownout ladder,
+// approximate multipliers), but delivered accuracy was never a
+// production signal: offline accuracy lives in src/accuracy, and the
+// numeric-health channel sees NaR/saturation pressure, not error
+// magnitude. This module measures delivered quality on live traffic:
+//
+//   * a seeded head-sampler (shadow_sampled) marks a configurable
+//     fraction of requests for shadowing. The decision is a PURE
+//     function of (seed, request id) — unlike the thread-local RNG the
+//     trace sampler uses, the shadowed set is identical across runs and
+//     worker interleavings, which the bench_diff contract depends on;
+//   * after the approximate reply has resolved, the request is
+//     re-executed on the golden exact MulTable in a low-priority shadow
+//     lane (shadow.hpp) — never on the serving path;
+//   * each shadow comparison produces end-to-end deltas (logit MRE/MAE,
+//     argmax agreement, top-1 flips) binned per overload tier, keyed
+//     off the Response::tier stamp, plus — for a deterministic
+//     sub-sample — per-layer error attribution via dual-run activation
+//     capture (nn::Exec::capture);
+//   * a windowed quality-SLO tracker (QualitySloTracker) keeps rolling
+//     argmax agreement over fast/slow burn-rate windows and yields a
+//     HealthTracker-compatible verdict — observe-only this PR: it is
+//     exported as telemetry, it never drives Serving <-> Degraded.
+//
+// Everything surfaces through the existing pipeline: quality.* registry
+// counters/gauges/series, the additive "quality" nga-bench-v1 section
+// (register_json_section), the Prometheus text exposition, and
+// chrome-trace shadow-lane spans.
+//
+// Zero-cost contract: with QualityConfig::sample_rate == 0 nothing in
+// this module runs — no QualityTelemetry instance, no quality.* metric
+// is ever registered, no allocation happens on the serving path. CI
+// asserts the absence of quality.* families on a rate-0 run.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "util/bits.hpp"
+
+namespace nga::quality {
+
+using util::u64;
+
+struct QualityConfig {
+  /// Fraction of SERVED requests shadow-re-executed on the exact table.
+  /// 0 disables the whole subsystem (provably zero-cost: no shadow
+  /// lane, no quality.* metrics, no per-request sampling arithmetic).
+  double sample_rate = 0.0;
+  /// Seeds the shadow head-sampler. Same seed + same request-id stream
+  /// => the same shadowed set, regardless of worker interleavings.
+  u64 seed = 1;
+  /// Bounded shadow-queue capacity. On pressure the OLDEST queued job
+  /// is dropped (quality.shadow.dropped) — the lane lags, it never
+  /// backpressures the serving path.
+  std::size_t queue_capacity = 256;
+  /// Every Nth compared shadow also dual-runs the request (approximate
+  /// tier table vs exact) with per-layer activation capture, charging
+  /// error to the layer where it arises. 0 disables attribution.
+  int attribution_every = 8;
+
+  // --- quality SLO (rolling argmax agreement over shadowed requests) —
+  // two windows in the burn-rate style: the fast window pages on a
+  // sharp quality collapse, the slow window on sustained erosion.
+  std::size_t slo_fast_window = 32;
+  std::size_t slo_slow_window = 256;
+  /// No verdict before this many shadowed comparisons.
+  std::size_t slo_min_samples = 16;
+  /// Window breaches when its agreement falls BELOW the floor...
+  double slo_fast_floor = 0.50;
+  double slo_slow_floor = 0.80;
+  /// ...and recovers once agreement climbs back above floor + margin
+  /// (hysteresis, like HealthTracker's degrade/recover pairs).
+  double slo_recover_margin = 0.05;
+};
+
+/// Seeded head-sampling decision for one request. Pure splitmix64
+/// threshold test — no RNG state, so the shadowed set is a function of
+/// (seed, id) alone and two runs over the same id stream shadow
+/// exactly the same requests.
+inline bool shadow_sampled(u64 seed, u64 request_id, double rate) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  u64 x = seed + request_id * 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return double(x >> 11) * 0x1.0p-53 < rate;
+}
+
+/// End-to-end delta between the served (approximate) logits and the
+/// shadow (exact) logits.
+struct Comparison {
+  double mre = 0.0;  ///< mean over classes of |a-e| / max(|e|, eps)
+  double mae = 0.0;  ///< mean over classes of |a-e|
+  bool agree = false;  ///< argmax(approx) == argmax(exact)
+  int approx_top = -1;
+  int exact_top = -1;
+};
+
+/// Compare logit vectors; empty/mismatched sizes compare over the
+/// common prefix (and agree==false when either argmax is undefined).
+Comparison compare_logits(const std::vector<float>& approx,
+                          const std::vector<float>& exact);
+
+/// Rolling argmax-agreement SLO over the shadowed sub-stream. Two ring
+/// windows (fast/slow) with hysteresis, shaped like one HealthTracker
+/// channel: record() returns the verdict after the sample, breached
+/// verdicts are sticky until agreement recovers past floor + margin.
+/// Observe-only: callers export the verdict, nothing acts on it yet.
+/// Not internally locked — QualityTelemetry serializes access.
+class QualitySloTracker {
+ public:
+  explicit QualitySloTracker(const QualityConfig& cfg);
+
+  struct Verdict {
+    std::size_t samples = 0;  ///< comparisons recorded (monotone)
+    double fast_agreement = 1.0;  ///< window mean; 1.0 before min_samples
+    double slow_agreement = 1.0;
+    bool fast_breached = false;
+    bool slow_breached = false;
+    /// The channel verdict, OR of the windows (HealthTracker style).
+    bool breached() const { return fast_breached || slow_breached; }
+  };
+
+  Verdict record(bool agree);
+  Verdict verdict() const { return verdict_; }
+
+ private:
+  struct Window {
+    std::vector<char> ring;
+    std::size_t next = 0, fill = 0, agree_in_window = 0;
+    double agreement() const {
+      return fill ? double(agree_in_window) / double(fill) : 1.0;
+    }
+    void add(bool agree);
+  };
+
+  QualityConfig cfg_;
+  Window fast_, slow_;
+  Verdict verdict_;
+};
+
+/// Process-wide quality telemetry: quality.* registry metrics plus the
+/// additive "quality" JSON section, modeled on OverloadTelemetry.
+/// Instantiated on FIRST USE — a process that never enables shadowing
+/// (sample_rate 0) never constructs it and keeps its exact metric
+/// schema. Counter/gauge/series values live in the MetricsRegistry, so
+/// registry reset() zeroes them; reset_slo() restarts the tracker
+/// (tests and multi-run benches).
+class QualityTelemetry {
+ public:
+  static QualityTelemetry& instance();
+
+  /// Adopt the SLO windows/floors of @p cfg (ShadowLane calls this; the
+  /// last configured lane wins — one serving stack per process).
+  void configure(const QualityConfig& cfg);
+
+  /// Pre-register the per-tier comparison metrics for tiers
+  /// 0..max_tier, so the schema depends on the ladder config, never on
+  /// which tiers traffic actually reached.
+  void ensure_tiers(int max_tier);
+
+  /// Label the multiplier a tier executes ("configured", "brownout.0",
+  /// ...); lands in the per-tier JSON so bins are self-describing.
+  void set_tier_operator(int tier, std::string op);
+
+  void record_comparison(int tier, const Comparison& c);
+  /// Per-layer attribution sample: activation MRE of @p layer under
+  /// @p tier's table vs exact.
+  void record_attribution(int tier, const std::string& layer, double mre);
+
+  QualitySloTracker::Verdict slo() const;
+  void reset_slo();
+
+  void write_json(std::ostream& os) const;
+
+ private:
+  QualityTelemetry();
+
+  struct TierMetrics {
+    obs::Counter* compared = nullptr;
+    obs::Counter* agree = nullptr;
+    obs::Counter* flips = nullptr;
+    obs::ValueSeries* mre = nullptr;
+    obs::ValueSeries* mae = nullptr;
+    std::string op;  ///< multiplier label, "" until set_tier_operator
+    /// layer name -> activation-MRE series (attribution sub-sample).
+    std::map<std::string, obs::ValueSeries*> layers;
+  };
+  TierMetrics& tier_at(int tier);  ///< callers hold m_
+
+  obs::Counter* flips_ = nullptr;  ///< total top-1 flips, all tiers
+  obs::Gauge* slo_fast_g_ = nullptr;
+  obs::Gauge* slo_slow_g_ = nullptr;
+  obs::Gauge* slo_breached_g_ = nullptr;
+  obs::Counter* slo_fast_breaches_ = nullptr;
+  obs::Counter* slo_slow_breaches_ = nullptr;
+
+  mutable std::mutex m_;
+  std::vector<TierMetrics> tiers_;
+  QualitySloTracker slo_;
+};
+
+}  // namespace nga::quality

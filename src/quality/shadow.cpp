@@ -1,0 +1,214 @@
+#include "quality/shadow.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#if defined(__linux__)
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include "obs/obs.hpp"
+
+namespace nga::quality {
+
+namespace {
+
+obs::Counter& c(const char* name) {
+  return obs::MetricsRegistry::instance().counter(name);
+}
+
+// Best-effort low scheduling priority for the calling thread. On Linux
+// nice is per-thread and a thread may always lower its own priority, so
+// on a core-starved host the serving workers preempt the shadow lane
+// instead of sharing timeslices with it. Elsewhere this is a no-op and
+// the bounded drop-oldest queue remains the isolation mechanism.
+void lower_thread_priority() {
+#if defined(__linux__)
+  setpriority(PRIO_PROCESS, static_cast<id_t>(::syscall(SYS_gettid)), 19);
+#endif
+}
+obs::Gauge& depth_gauge() {
+  return obs::MetricsRegistry::instance().gauge("quality.shadow.queue_depth");
+}
+
+// Mean relative error between two activation tensors (element-wise,
+// exact as the reference).
+double activation_mre(const nn::Tensor& a, const nn::Tensor& e) {
+  const std::size_t n = std::min(a.v.size(), e.v.size());
+  if (n == 0) return 0.0;
+  constexpr double kEps = 1e-6;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    sum += std::abs(double(a.v[i]) - double(e.v[i])) /
+           std::max(std::abs(double(e.v[i])), kEps);
+  return sum / double(n);
+}
+
+}  // namespace
+
+ShadowLane::ShadowLane(ShadowLaneConfig cfg) : cfg_(std::move(cfg)) {
+  if (!cfg_.model_factory)
+    throw std::invalid_argument("ShadowLane needs a model_factory");
+  if (cfg_.mode != nn::Mode::kFloat && !cfg_.exact)
+    throw std::invalid_argument(
+        "ShadowLane needs the golden exact table in a quantized mode "
+        "(shadowing against nothing would measure nothing)");
+  if (cfg_.quality.queue_capacity < 1) cfg_.quality.queue_capacity = 1;
+  // First touch of QualityTelemetry in the process: registers the
+  // quality.* metric families and the "quality" JSON section. A rate-0
+  // server never constructs a lane, so never gets here.
+  QualityTelemetry::instance().configure(cfg_.quality);
+}
+
+ShadowLane::~ShadowLane() { drain_and_stop(); }
+
+void ShadowLane::start() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (closed_ || thread_.joinable()) return;
+  }
+  thread_ = std::thread(&ShadowLane::run, this);
+}
+
+bool ShadowLane::enqueue(ShadowJob job) {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (closed_) return false;
+    if (q_.size() >= cfg_.quality.queue_capacity) {
+      // Drop-oldest: under pressure the lane keeps the freshest
+      // traffic; the serving path never waits for shadow capacity.
+      q_.pop_front();
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      c("quality.shadow.dropped").inc();
+    }
+    q_.push_back(std::move(job));
+    enqueued_.fetch_add(1, std::memory_order_relaxed);
+    c("quality.shadow.enqueued").inc();
+    depth_gauge().set(double(q_.size()));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void ShadowLane::drain_and_stop() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Never started: the queued jobs are dead weight, not data — a lane
+  // that never ran compared nothing.
+  std::lock_guard<std::mutex> lk(m_);
+  q_.clear();
+  depth_gauge().set(0.0);
+}
+
+void ShadowLane::run() {
+  lower_thread_priority();
+  obs::TraceBuffer::instance().set_thread_name("quality.shadow");
+  auto model = cfg_.model_factory();
+  for (;;) {
+    ShadowJob job;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_.wait(lk, [&] { return closed_ || !q_.empty(); });
+      if (q_.empty()) break;  // closed and fully drained
+      // Scavenge: with a busy probe, start a shadow forward only when
+      // the serving path is idle. Re-checked before every forward (see
+      // wait_for_idle); during drain the backlog runs unconditionally.
+      while (!closed_ && cfg_.busy && cfg_.busy())
+        cv_.wait_for(lk, std::chrono::microseconds(500));
+      if (closed_ && q_.empty()) break;
+      if (q_.empty()) continue;
+      job = std::move(q_.front());
+      q_.pop_front();
+      depth_gauge().set(double(q_.size()));
+    }
+    process(job, *model);
+    // Best-effort low priority: the lane gives the scheduler every
+    // chance to run serving threads first. Its real isolation is the
+    // bounded drop-oldest queue, not the yield.
+    std::this_thread::yield();
+  }
+}
+
+void ShadowLane::wait_for_idle() {
+  if (!cfg_.busy) return;
+  std::unique_lock<std::mutex> lk(m_);
+  while (!closed_ && cfg_.busy())
+    cv_.wait_for(lk, std::chrono::microseconds(500));
+}
+
+void ShadowLane::process(ShadowJob& job, nn::Model& model) {
+  // TimedSection: wall time accumulates into the quality.shadow.exec
+  // section AND each shadow re-execution lands as a span on the
+  // "quality.shadow" lane of the chrome-trace export.
+  obs::TimedSection ts("quality.shadow.exec");
+  nn::Exec ex;
+  ex.mode = cfg_.mode;
+  ex.mul = cfg_.exact;
+  const nn::Tensor exact_logits = model.forward(job.x, ex);
+  const Comparison cmp = compare_logits(job.approx_logits, exact_logits.v);
+  QualityTelemetry::instance().record_comparison(job.tier, cmp);
+  const u64 n = compared_.fetch_add(1, std::memory_order_relaxed) + 1;
+  c("quality.shadow.compared").inc();
+  const int every = cfg_.quality.attribution_every;
+  if (every > 0 && cfg_.tier_table && (n - 1) % u64(every) == 0)
+    attribute(job, model);
+}
+
+void ShadowLane::attribute(const ShadowJob& job, nn::Model& model) {
+  const nn::MulTable* tier_mul = cfg_.tier_table(job.tier);
+  if (!tier_mul && cfg_.mode != nn::Mode::kFloat) return;
+  // Each of the two capture runs waits for a serving-path idle gap of
+  // its own — an attribution spanning a burst boundary would otherwise
+  // time-share its second forward with live requests. The second wait
+  // lands inside the timed section, so quality.shadow.attribution wall
+  // time includes any mid-attribution stall (which is what the lane
+  // actually spent).
+  wait_for_idle();
+  obs::TimedSection ts("quality.shadow.attribution");
+  // Dual run with activation capture: the same input down the tier's
+  // approximate table and down the exact table, diffed layer by layer,
+  // so end-to-end error is charged to the layer where it arises.
+  std::vector<nn::Tensor> approx_acts, exact_acts;
+  nn::Exec ex;
+  ex.mode = cfg_.mode;
+  ex.mul = tier_mul;
+  ex.capture = &approx_acts;
+  model.forward(job.x, ex);
+  wait_for_idle();
+  ex.mul = cfg_.exact;
+  ex.capture = &exact_acts;
+  model.forward(job.x, ex);
+  attributions_.fetch_add(1, std::memory_order_relaxed);
+  c("quality.attribution.runs").inc();
+  const auto names = model.layer_names();
+  const std::size_t layers =
+      std::min({approx_acts.size(), exact_acts.size(), names.size()});
+  auto& telemetry = QualityTelemetry::instance();
+  for (std::size_t i = 0; i < layers; ++i)
+    telemetry.record_attribution(
+        job.tier, std::to_string(i) + "." + names[i],
+        activation_mre(approx_acts[i], exact_acts[i]));
+}
+
+ShadowLane::Stats ShadowLane::stats() const {
+  Stats st;
+  st.enqueued = enqueued_.load(std::memory_order_relaxed);
+  st.dropped = dropped_.load(std::memory_order_relaxed);
+  st.compared = compared_.load(std::memory_order_relaxed);
+  st.attribution_runs = attributions_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(m_);
+  st.queue_depth = q_.size();
+  return st;
+}
+
+}  // namespace nga::quality

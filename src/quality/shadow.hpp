@@ -1,0 +1,124 @@
+// The shadow lane: low-priority re-execution of sampled requests on
+// the golden exact MulTable, strictly OFF the serving path.
+//
+// Data flow (see DESIGN.md "Quality observability"):
+//
+//   worker (process_batch, reply already resolved)
+//      └─ enqueue {input, served logits, tier}     <- bounded, lock
+//             │     full => drop OLDEST job          held O(1), never
+//             ▼                                      blocks, never
+//   ShadowLane thread ("quality.shadow")             allocates beyond
+//      ├─ forward(input) on the EXACT table          the job itself
+//      ├─ compare_logits -> per-tier bins + SLO
+//      └─ every Nth: dual-run attribution
+//         (tier table + exact, activation capture)
+//
+// The lane owns its own model replica and its own tier-table replicas
+// (same per-replica contract as the workers), so it shares no mutable
+// state with the serving path. Enqueue works before start(): jobs pile
+// up to capacity and are processed once the lane runs — tests use this
+// for deterministic drop-oldest coverage.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "nn/model.hpp"
+#include "quality/quality.hpp"
+
+namespace nga::quality {
+
+/// One sampled request, snapshot at reply time.
+struct ShadowJob {
+  u64 id = 0;
+  nn::Tensor x;                      ///< the request input (moved in)
+  std::vector<float> approx_logits;  ///< what the serving path returned
+  int tier = 0;                      ///< Response::tier stamp
+};
+
+struct ShadowLaneConfig {
+  QualityConfig quality;
+  nn::Mode mode = nn::Mode::kQuantApprox;
+  /// Builds the lane's own model replica (required).
+  std::function<std::unique_ptr<nn::Model>()> model_factory;
+  /// The golden exact table the shadow runs on (required unless mode
+  /// is kFloat, where the forward needs no table).
+  const nn::MulTable* exact = nullptr;
+  /// tier -> the approximate table that tier executes, for the
+  /// attribution dual-run. Null disables attribution regardless of
+  /// attribution_every. Must stay valid for the lane lifetime
+  /// (owned_tables below keeps lane-owned replicas alive).
+  std::function<const nn::MulTable*(int tier)> tier_table;
+  /// Keep-alive for the replicas tier_table points into.
+  std::vector<std::shared_ptr<const nn::MulTable>> owned_tables;
+  /// Optional "serving path has in-flight work" probe. When set, the
+  /// lane scavenges idle cycles: it holds queued jobs while the probe
+  /// reports busy and runs them in the gaps, so on a core-starved host
+  /// shadow forwards never time-share with a live request. Bounded by
+  /// the drop-oldest queue — a saturated server sheds shadow coverage,
+  /// never latency. Ignored during drain (the backlog always runs).
+  std::function<bool()> busy;
+};
+
+class ShadowLane {
+ public:
+  /// Validates the config and configures QualityTelemetry's SLO
+  /// windows. Throws std::invalid_argument on a config that cannot
+  /// shadow (no model factory; no exact table in a quantized mode).
+  explicit ShadowLane(ShadowLaneConfig cfg);
+  ~ShadowLane();  ///< drain_and_stop() if still running
+
+  ShadowLane(const ShadowLane&) = delete;
+  ShadowLane& operator=(const ShadowLane&) = delete;
+
+  /// Launch the lane thread (builds the model replica there — model
+  /// construction cost lands on the lane, not the caller).
+  void start();
+
+  /// Hand one job to the lane. Never blocks: when the queue is at
+  /// capacity the OLDEST job is dropped (quality.shadow.dropped) to
+  /// make room — under pressure the lane keeps the freshest traffic.
+  /// Returns false only after close (drain_and_stop began).
+  bool enqueue(ShadowJob job);
+
+  /// Process every queued job, then stop and join. Bounded work: the
+  /// queue holds at most queue_capacity jobs and enqueue() is refused
+  /// from the first moment of the drain. Idempotent.
+  void drain_and_stop();
+
+  struct Stats {
+    u64 enqueued = 0;
+    u64 dropped = 0;
+    u64 compared = 0;
+    u64 attribution_runs = 0;
+    std::size_t queue_depth = 0;
+  };
+  Stats stats() const;
+
+  QualitySloTracker::Verdict slo() const {
+    return QualityTelemetry::instance().slo();
+  }
+
+ private:
+  void run();
+  void wait_for_idle();  ///< block while cfg_.busy reports in-flight work
+  void process(ShadowJob& job, nn::Model& model);
+  void attribute(const ShadowJob& job, nn::Model& model);
+
+  ShadowLaneConfig cfg_;
+  mutable std::mutex m_;
+  std::deque<ShadowJob> q_;
+  std::condition_variable cv_;
+  bool closed_ = false;
+  std::thread thread_;
+  std::atomic<u64> enqueued_{0}, dropped_{0}, compared_{0}, attributions_{0};
+};
+
+}  // namespace nga::quality

@@ -83,6 +83,12 @@ struct Response {
   /// i.e. the configured multiplier; higher = browner). Set only for
   /// served requests.
   int tier = 0;
+  /// True when the serving attempt actually ran on the golden exact
+  /// table (retry-with-exact-failover or breaker quarantine) rather
+  /// than the tier's approximate table. Such requests are excluded from
+  /// per-tier quality bins — an exact-vs-exact shadow comparison would
+  /// silently inflate a brownout tier's measured agreement.
+  bool exact_path = false;
 };
 
 /// One admitted in-flight request (internal to Server and its queue).

@@ -96,6 +96,12 @@ Server::Server(ServerConfig cfg)
     throw std::invalid_argument(
         "use_guard needs exact_fallback (a guard without a fallback "
         "reports recovery it cannot perform)");
+  if (cfg_.quality.sample_rate > 0.0 &&
+      (cfg_.mode != nn::Mode::kQuantApprox || !cfg_.exact_fallback))
+    throw std::invalid_argument(
+        "quality shadowing needs kQuantApprox mode and exact_fallback "
+        "(the shadow compares the approximate path against the golden "
+        "exact table)");
 
   const SupervisionConfig& sup = cfg_.supervision;
   // Breakers need the suspect/golden table split: quarantine means
@@ -141,6 +147,23 @@ Server::Server(ServerConfig cfg)
         c("serve.overload.deescalations").inc();
       g("serve.overload.tier").set(double(to));
     });
+  }
+  if (cfg_.quality.sample_rate > 0.0) {
+    // First touch of the quality telemetry in the process (rate 0 never
+    // gets here — the quality.* schema stays absent, which CI asserts).
+    // Pre-register every tier bin the ladder can reach and label each
+    // with the multiplier it executes, so the schema and the operator
+    // keys depend on the config, never on traffic.
+    auto& qt = quality::QualityTelemetry::instance();
+    const int max_tier = cfg_.overload.enabled ? overload_.max_tier() : 0;
+    qt.ensure_tiers(max_tier);
+    for (int t = 0; t <= max_tier; ++t) {
+      const int bi = overload_.brownout_index(t);
+      qt.set_tier_operator(
+          t, bi >= 0 && bi < int(cfg_.brownout_tables.size())
+                 ? "brownout." + std::to_string(bi)
+                 : "configured");
+    }
   }
   g("serve.state").set(double(State::kStarting));
   // Help text for the headline serving counters: rendered as # HELP
@@ -203,6 +226,52 @@ void Server::start() {
   if (cfg_.supervision.sampler_hz > 0.0) {
     sampler_ = std::make_unique<prof::Sampler>();
     sampler_->start(cfg_.supervision.sampler_hz);
+  }
+  // Quality shadow lane (nga::quality): its own model replica and its
+  // own tier-table replicas, built off the serving path. Workers hand
+  // it sampled (input, served logits, tier) snapshots after the reply
+  // resolves; it re-executes them on the golden exact table.
+  if (cfg_.quality.sample_rate > 0.0) {
+    quality::ShadowLaneConfig lc;
+    lc.quality = cfg_.quality;
+    lc.mode = cfg_.mode;
+    lc.model_factory = cfg_.model_factory;
+    lc.exact = cfg_.exact_fallback;
+    if (cfg_.quality.attribution_every > 0) {
+      // Lane-owned replicas of the tier tables for the attribution
+      // dual-run (same per-replica ownership story as the workers).
+      const nn::MulTable* base = cfg_.mul;
+      if (cfg_.mul_factory) {
+        auto owned = cfg_.mul_factory();
+        if (owned) {
+          base = owned.get();
+          lc.owned_tables.push_back(std::move(owned));
+        }
+      }
+      std::vector<const nn::MulTable*> rungs;
+      for (const auto& f : cfg_.brownout_tables) {
+        auto owned = f ? f() : nullptr;
+        rungs.push_back(owned ? owned.get() : nullptr);
+        if (owned) lc.owned_tables.push_back(std::move(owned));
+      }
+      lc.tier_table = [this, base, rungs](int tier) -> const nn::MulTable* {
+        const int bi = overload_.brownout_index(tier);
+        if (bi >= 0 && bi < int(rungs.size()) && rungs[std::size_t(bi)])
+          return rungs[std::size_t(bi)];
+        return base;
+      };
+    }
+    // In-flight probe: the lane defers shadow forwards while a request
+    // is anywhere between submit and reply, scavenging idle gaps —
+    // four relaxed atomic loads, no locks.
+    lc.busy = [this] {
+      const u64 done = served_.load(std::memory_order_relaxed) +
+                       rejected_.load(std::memory_order_relaxed) +
+                       shed_.load(std::memory_order_relaxed);
+      return submitted_.load(std::memory_order_relaxed) > done;
+    };
+    shadow_ = std::make_unique<quality::ShadowLane>(std::move(lc));
+    shadow_->start();
   }
   // Background scrubbing for the serving lifetime. The Scrubber is
   // process-wide; this server only claims the thread it started.
@@ -746,19 +815,47 @@ void Server::process_batch(nn::Model& model, nn::ResilienceGuard* guard,
       merge_numeric(health_rec, attempt, failovers);
       now = Clock::now();
       std::size_t served_n = 0;
+      // This attempt ran on the golden exact table, not the tier's
+      // approximate one: quality attribution must know (exact-vs-exact
+      // shadows would inflate the tier's measured agreement).
+      const bool exact_path = failover || quarantined;
+      quality::ShadowLane* lane = shadow_.get();
       for (std::size_t i = 0; i < live.size(); ++i) {
         Response r;
         r.attempts = attempt;
         r.tier = tier;
+        r.exact_path = exact_path;
+        bool served_now = false;
         if (live[i].deadline <= now) {
           // Shed after batching: computed too late to honour the SLO.
           r.outcome = Outcome::kShed;
         } else {
           r.outcome = Outcome::kServed;
           r.predicted = argmax(ys[i]);
+          served_now = true;
           ++served_n;
         }
+        const u64 rq_id = live[i].id;
         finish(live[i], std::move(r));
+        // Shadow sampling, AFTER the reply resolved: the lane gets a
+        // snapshot (input moved out of the finished request, logits
+        // moved out of ys) and the serving path moves on. With quality
+        // off, lane is null and this whole block is one branch.
+        if (lane && served_now &&
+            quality::shadow_sampled(cfg_.quality.seed, rq_id,
+                                    cfg_.quality.sample_rate)) {
+          c("quality.shadow.sampled").inc();
+          if (exact_path) {
+            c("quality.shadow.skipped_exact").inc();
+          } else {
+            quality::ShadowJob job;
+            job.id = rq_id;
+            job.x = std::move(live[i].x);
+            job.approx_logits = std::move(ys[i].v);
+            job.tier = tier;
+            lane->enqueue(std::move(job));
+          }
+        }
       }
       // Successes fund the retry budget: the bucket refills only while
       // the server is actually doing useful work.
@@ -910,6 +1007,12 @@ void Server::drain() {
     integrity::Scrubber::instance().stop();
     scrubber_started_ = false;
   }
+  // Shadow lane: the workers (its only producers) are joined, so the
+  // queue is final — process every remaining job, then stop. The final
+  // exposition and bench JSON below therefore carry the complete
+  // shadow-measured quality of the run (and a fixed request stream
+  // yields an identical "quality" section, which bench_diff relies on).
+  if (shadow_) shadow_->drain_and_stop();
   drained_.store(true);
   state_.store(State::kStopped, std::memory_order_release);
   g("serve.state").set(double(State::kStopped));

@@ -71,6 +71,7 @@
 #include "nn/model.hpp"
 #include "nn/resilience.hpp"
 #include "prof/prof.hpp"
+#include "quality/shadow.hpp"
 #include "serve/backoff.hpp"
 #include "serve/health.hpp"
 #include "serve/overload.hpp"
@@ -232,6 +233,15 @@ struct ServerConfig {
 
   SupervisionConfig supervision;
   IntegrityConfig integrity;
+
+  /// Shadow-execution quality telemetry (nga::quality). With
+  /// quality.sample_rate > 0 (requires kQuantApprox + exact_fallback),
+  /// a seeded fraction of served requests is re-executed on the golden
+  /// exact table in a low-priority shadow lane AFTER their reply
+  /// resolves, and per-tier delivered-accuracy bins land in quality.*
+  /// metrics and the "quality" JSON section. Rate 0 (the default) is
+  /// zero-cost: no lane, no sampling arithmetic, no quality.* metrics.
+  quality::QualityConfig quality;
 };
 
 class Server {
@@ -278,6 +288,17 @@ class Server {
   int overload_tier() const { return overload_.tier(); }
   OverloadController::Stats overload_stats() const {
     return overload_.stats();
+  }
+
+  /// Shadow-lane accounting since start(); all zero with quality off.
+  quality::ShadowLane::Stats quality_stats() const {
+    return shadow_ ? shadow_->stats() : quality::ShadowLane::Stats{};
+  }
+  /// The quality-SLO verdict channel (observe-only: exported, never fed
+  /// into the Serving <-> Degraded state machine this PR). The default
+  /// verdict (no samples, nothing breached) when quality is off.
+  quality::QualitySloTracker::Verdict quality_slo() const {
+    return shadow_ ? shadow_->slo() : quality::QualitySloTracker::Verdict{};
   }
 
   /// Aggregated numeric-health accounting across all workers since
@@ -405,6 +426,9 @@ class Server {
   // Performance-attribution attachments (nga::prof), both optional.
   std::unique_ptr<prof::ExpositionServer> metrics_server_;
   std::unique_ptr<prof::Sampler> sampler_;
+  /// Shadow-execution quality lane (nga::quality); null at rate 0 — the
+  /// null check is the serving path's entire quality cost.
+  std::unique_ptr<quality::ShadowLane> shadow_;
 };
 
 }  // namespace nga::serve

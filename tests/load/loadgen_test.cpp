@@ -96,7 +96,18 @@ TEST(LoadGenFrontier, PercentileBasics) {
   EXPECT_DOUBLE_EQ(percentile(v, 1.0), 100.0);
   EXPECT_DOUBLE_EQ(percentile(v, 0.5), 51.0);
   EXPECT_DOUBLE_EQ(percentile(v, 0.99), 100.0);
-  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(LoadGenFrontier, PercentileOfEmptySampleIsNaN) {
+  // Regression: this used to return 0.0, a fake quantile that poisoned
+  // any aggregation over it. An empty sample (e.g. a per-tier quality
+  // bin no traffic reached) has NO percentile — NaN propagates where a
+  // silent zero would lie.
+  EXPECT_TRUE(std::isnan(percentile({}, 0.5)));
+  EXPECT_TRUE(std::isnan(percentile({}, 0.0)));
+  EXPECT_TRUE(std::isnan(percentile({}, 1.0)));
+  // One sample is still a distribution.
+  EXPECT_DOUBLE_EQ(percentile({3.5}, 0.99), 3.5);
 }
 
 TEST(LoadGenFrontier, KneeIsHighestNearLinearPoint) {

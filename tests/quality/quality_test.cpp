@@ -1,0 +1,210 @@
+// nga::quality unit contract:
+//   * the shadow head-sampler is a pure function of (seed, id) — the
+//     shadowed set is identical across runs and thread interleavings;
+//   * logit comparison math is exact on known vectors;
+//   * the SLO tracker breaches below its floors, with hysteresis, and
+//     never judges before min_samples;
+//   * the "quality" JSON section reports empty per-tier bins as null,
+//     never as a fake agreement value.
+#include "quality/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace nga::quality {
+namespace {
+
+// ------------------------------------------------------------ sampler
+
+TEST(QualitySampler, PureFunctionOfSeedAndId) {
+  std::set<util::u64> first, second;
+  for (util::u64 id = 1; id <= 5000; ++id) {
+    if (shadow_sampled(42, id, 0.3)) first.insert(id);
+    if (shadow_sampled(42, id, 0.3)) second.insert(id);
+  }
+  EXPECT_EQ(first, second) << "no hidden RNG state: the decision must "
+                              "depend on (seed, id) alone";
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(QualitySampler, DifferentSeedsShadowDifferentSets) {
+  std::set<util::u64> a, b;
+  for (util::u64 id = 1; id <= 2000; ++id) {
+    if (shadow_sampled(1, id, 0.3)) a.insert(id);
+    if (shadow_sampled(2, id, 0.3)) b.insert(id);
+  }
+  EXPECT_NE(a, b);
+}
+
+TEST(QualitySampler, RateEdgesAndFraction) {
+  int hits = 0;
+  for (util::u64 id = 1; id <= 20000; ++id) {
+    EXPECT_FALSE(shadow_sampled(7, id, 0.0));
+    EXPECT_FALSE(shadow_sampled(7, id, -1.0));
+    EXPECT_TRUE(shadow_sampled(7, id, 1.0));
+    EXPECT_TRUE(shadow_sampled(7, id, 2.0));
+    if (shadow_sampled(7, id, 0.25)) ++hits;
+  }
+  const double frac = double(hits) / 20000.0;
+  EXPECT_NEAR(frac, 0.25, 0.02) << "splitmix threshold must hit ~rate";
+}
+
+// --------------------------------------------------------- comparison
+
+TEST(QualityCompare, IdenticalLogitsAgreeWithZeroError) {
+  const std::vector<float> l{0.1f, 2.0f, -1.0f};
+  const auto c = compare_logits(l, l);
+  EXPECT_TRUE(c.agree);
+  EXPECT_DOUBLE_EQ(c.mre, 0.0);
+  EXPECT_DOUBLE_EQ(c.mae, 0.0);
+  EXPECT_EQ(c.approx_top, 1);
+  EXPECT_EQ(c.exact_top, 1);
+}
+
+TEST(QualityCompare, KnownDeltasAndFlip) {
+  // exact = {1, 2}; approx = {2.5, 2} flips the argmax (0 vs 1) with
+  // mae = (1.5 + 0)/2 and mre = (1.5/1 + 0/2)/2.
+  const auto c = compare_logits({2.5f, 2.0f}, {1.0f, 2.0f});
+  EXPECT_FALSE(c.agree);
+  EXPECT_EQ(c.approx_top, 0);
+  EXPECT_EQ(c.exact_top, 1);
+  EXPECT_DOUBLE_EQ(c.mae, 0.75);
+  EXPECT_DOUBLE_EQ(c.mre, 0.75);
+}
+
+TEST(QualityCompare, EmptyVectorsNeverAgree) {
+  const auto c = compare_logits({}, {});
+  EXPECT_FALSE(c.agree);
+  EXPECT_EQ(c.approx_top, -1);
+}
+
+// --------------------------------------------------------------- SLO
+
+QualityConfig slo_cfg() {
+  QualityConfig cfg;
+  cfg.slo_fast_window = 4;
+  cfg.slo_slow_window = 10;
+  cfg.slo_min_samples = 4;
+  cfg.slo_fast_floor = 0.5;
+  cfg.slo_slow_floor = 0.8;
+  cfg.slo_recover_margin = 0.1;
+  return cfg;
+}
+
+TEST(QualitySlo, NoVerdictBeforeMinSamples) {
+  QualitySloTracker t(slo_cfg());
+  for (int i = 0; i < 3; ++i) {
+    const auto v = t.record(false);  // total disagreement
+    EXPECT_FALSE(v.breached()) << "no judgement before min_samples";
+  }
+  EXPECT_TRUE(t.record(false).breached());
+}
+
+TEST(QualitySlo, FastWindowBreachesOnSharpCollapseAndRecovers) {
+  QualitySloTracker t(slo_cfg());
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(t.record(true).breached());
+  // 4 straight flips: fast window (size 4) agreement hits 0 < 0.5.
+  t.record(false);
+  t.record(false);
+  t.record(false);
+  const auto v = t.record(false);
+  EXPECT_TRUE(v.fast_breached);
+  // Recovery needs agreement past floor + margin (hysteresis).
+  t.record(true);
+  t.record(true);
+  EXPECT_TRUE(t.verdict().fast_breached) << "0.5 is not past 0.5+0.1";
+  const auto r = t.record(true);
+  EXPECT_FALSE(r.fast_breached) << "3/4 = 0.75 >= 0.6 recovers";
+}
+
+TEST(QualitySlo, SlowWindowBreachesOnSustainedErosion) {
+  QualityConfig cfg = slo_cfg();
+  QualitySloTracker t(cfg);
+  // Alternate agree/flip: fast window sits at 0.5 (>= its floor), slow
+  // window converges to 0.5 < 0.8 — only the slow channel breaches.
+  QualitySloTracker::Verdict v;
+  for (int i = 0; i < 20; ++i) v = t.record(i % 2 == 0);
+  EXPECT_FALSE(v.fast_breached);
+  EXPECT_TRUE(v.slow_breached);
+  EXPECT_TRUE(v.breached());
+  EXPECT_EQ(v.samples, 20u);
+}
+
+// -------------------------------------------------------- telemetry
+
+TEST(QualityTelemetryJson, EmptyTierBinsReportNullAgreement) {
+  obs::MetricsRegistry::instance().reset();
+  auto& qt = QualityTelemetry::instance();
+  qt.reset_slo();
+  qt.ensure_tiers(2);
+  qt.set_tier_operator(0, "configured");
+  qt.set_tier_operator(2, "brownout.0");
+
+  Comparison agree;
+  agree.agree = true;
+  agree.mre = 0.125;
+  agree.mae = 0.5;
+  qt.record_comparison(0, agree);
+  Comparison flip;
+  flip.agree = false;
+  flip.mre = 1.5;
+  flip.mae = 3.0;
+  qt.record_comparison(0, flip);
+
+  std::ostringstream ss;
+  qt.write_json(ss);
+  const std::string j = ss.str();
+  // Touched bin: agreement 1/2.
+  EXPECT_NE(j.find("\"0\":{\"operator\":\"configured\",\"compared\":2,"
+                   "\"agree\":1,\"flips\":1,\"agreement\":0.5"),
+            std::string::npos)
+      << j;
+  // Untouched bin: agreement null, never a fake number (the JSON-side
+  // face of load::percentile's empty-sample NaN contract).
+  EXPECT_NE(j.find("\"2\":{\"operator\":\"brownout.0\",\"compared\":0,"
+                   "\"agree\":0,\"flips\":0,\"agreement\":null"),
+            std::string::npos)
+      << j;
+  EXPECT_NE(j.find("\"flips\":1"), std::string::npos);
+  // Balanced braces — cheap structural sanity for the section writer.
+  int depth = 0;
+  for (char ch : j) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0) << j;
+}
+
+TEST(QualityTelemetryJson, MetricsLandInRegistryFamilies) {
+  obs::MetricsRegistry::instance().reset();
+  auto& qt = QualityTelemetry::instance();
+  qt.reset_slo();
+  Comparison c;
+  c.agree = false;
+  c.mre = 0.25;
+  c.mae = 1.0;
+  qt.record_comparison(1, c);
+  qt.record_attribution(1, "0.dense", 0.03125);
+
+  auto& reg = obs::MetricsRegistry::instance();
+  EXPECT_EQ(reg.counter("quality.tier.1.compared").value(), 1u);
+  EXPECT_EQ(reg.counter("quality.tier.1.flips").value(), 1u);
+  EXPECT_EQ(reg.counter("quality.shadow.flips").value(), 1u);
+  const auto s = reg.series("quality.tier.1.logit_mre").snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.25);
+  const auto a = reg.series("quality.tier.1.layer.0.dense.mre").snapshot();
+  EXPECT_EQ(a.count, 1u);
+  EXPECT_DOUBLE_EQ(a.mean, 0.03125);
+}
+
+}  // namespace
+}  // namespace nga::quality

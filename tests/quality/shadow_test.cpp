@@ -1,0 +1,355 @@
+// ShadowLane / server-integration contract:
+//   * the lane never blocks a producer — at capacity it drops the
+//     OLDEST job and says so in quality.shadow.dropped;
+//   * shadow comparisons land in the per-tier bins and the attribution
+//     dual-run charges error to named layers;
+//   * the shadowed set is a pure function of (seed, id): two identical
+//     runs produce byte-identical "quality" sections;
+//   * exact-failover replies are never attributed to approximate-tier
+//     quality bins (they would inflate agreement);
+//   * sample_rate 0 leaves the quality namespace untouched — the
+//     serving path must be provably unshadowed by default.
+#include "quality/shadow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "approx/multipliers.hpp"
+#include "fault/fault.hpp"
+#include "nn/layers.hpp"
+#include "obs/obs.hpp"
+#include "serve/serve.hpp"
+
+namespace nga::quality {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+constexpr int kC = 1, kH = 4, kW = 4;
+
+nn::Tensor make_input(int i) {
+  nn::Tensor x(kC, kH, kW);
+  for (std::size_t j = 0; j < x.v.size(); ++j)
+    x.v[j] = float((i * 31 + int(j) * 7) % 17) / 17.f;
+  return x;
+}
+
+// Same seed everywhere: the lane's replica computes the same function
+// as the reference model built here.
+std::unique_ptr<nn::Model> make_model() {
+  util::Xoshiro256 rng(7);
+  auto m = std::make_unique<nn::Model>("quality-test");
+  m->add(std::make_unique<nn::Dense>(kC * kH * kW, 10, rng));
+  return m;
+}
+
+std::vector<float> forward_logits(const nn::MulTable& mul, int i) {
+  auto m = make_model();
+  nn::Exec ex;
+  ex.mode = nn::Mode::kQuantApprox;
+  ex.mul = &mul;
+  return m->forward(make_input(i), ex).v;
+}
+
+ShadowLaneConfig lane_config(const nn::MulTable& exact) {
+  ShadowLaneConfig lc;
+  lc.mode = nn::Mode::kQuantApprox;
+  lc.model_factory = make_model;
+  lc.exact = &exact;
+  lc.quality.sample_rate = 1.0;
+  lc.quality.attribution_every = 0;  // off unless a test opts in
+  return lc;
+}
+
+ShadowJob make_job(int i, int tier, std::vector<float> approx_logits) {
+  ShadowJob job;
+  job.id = util::u64(i) + 1;
+  job.x = make_input(i);
+  job.approx_logits = std::move(approx_logits);
+  job.tier = tier;
+  return job;
+}
+
+// ------------------------------------------------------------- lane
+
+TEST(ShadowLane, RejectsUnshadowableConfig) {
+  const nn::MulTable exact;
+  ShadowLaneConfig no_model = lane_config(exact);
+  no_model.model_factory = nullptr;
+  EXPECT_THROW(ShadowLane{std::move(no_model)}, std::invalid_argument);
+
+  ShadowLaneConfig no_exact = lane_config(exact);
+  no_exact.exact = nullptr;
+  EXPECT_THROW(ShadowLane{std::move(no_exact)}, std::invalid_argument);
+}
+
+TEST(ShadowLane, DropOldestKeepsTheFreshestJobs) {
+  obs::MetricsRegistry::instance().reset();
+  const nn::MulTable exact;
+  ShadowLaneConfig lc = lane_config(exact);
+  lc.quality.queue_capacity = 4;
+  ShadowLane lane(std::move(lc));
+
+  // Enqueue BEFORE start: the queue fills deterministically. Jobs 0-5
+  // (tier 0) must be displaced by jobs 6-9 (tier 1) — drop-oldest.
+  for (int i = 0; i < 10; ++i)
+    EXPECT_TRUE(
+        lane.enqueue(make_job(i, i < 6 ? 0 : 1, forward_logits(exact, i))));
+  lane.start();
+  lane.drain_and_stop();
+
+  const auto st = lane.stats();
+  EXPECT_EQ(st.enqueued, 10u);
+  EXPECT_EQ(st.dropped, 6u);
+  EXPECT_EQ(st.compared, 4u);
+  EXPECT_EQ(st.queue_depth, 0u);
+
+  auto& reg = obs::MetricsRegistry::instance();
+  EXPECT_EQ(reg.counter("quality.shadow.dropped").value(), 6u);
+  EXPECT_EQ(reg.counter("quality.tier.1.compared").value(), 4u)
+      << "the four surviving jobs are the NEWEST four";
+  EXPECT_EQ(reg.counter("quality.tier.0.compared").value(), 0u)
+      << "displaced jobs must not be compared";
+  // The approx logits handed in WERE the exact logits: perfect
+  // agreement, zero flips.
+  EXPECT_EQ(reg.counter("quality.tier.1.agree").value(), 4u);
+  EXPECT_EQ(reg.counter("quality.shadow.flips").value(), 0u);
+  EXPECT_FALSE(lane.enqueue(make_job(11, 0, {}))) << "closed after drain";
+}
+
+TEST(ShadowLane, AttributionChargesErrorToNamedLayers) {
+  obs::MetricsRegistry::instance().reset();
+  const auto mults = ax::table2_multipliers();
+  const nn::MulTable approx(*mults.front());
+  const nn::MulTable exact;
+
+  ShadowLaneConfig lc = lane_config(exact);
+  lc.quality.attribution_every = 2;  // jobs 1 and 3 of 4
+  lc.tier_table = [&approx](int) { return &approx; };
+  ShadowLane lane(std::move(lc));
+  lane.start();
+  for (int i = 0; i < 4; ++i)
+    lane.enqueue(make_job(i, 0, forward_logits(approx, i)));
+  lane.drain_and_stop();
+
+  const auto st = lane.stats();
+  EXPECT_EQ(st.compared, 4u);
+  EXPECT_EQ(st.attribution_runs, 2u) << "every 2nd comparison attributes";
+  auto& reg = obs::MetricsRegistry::instance();
+  EXPECT_EQ(reg.counter("quality.attribution.runs").value(), 2u);
+  // The model is a single Dense layer: error lands on "0.dense".
+  const auto s = reg.series("quality.tier.0.layer.0.dense.mre").snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_GE(s.mean, 0.0);
+  // The lane timed its work: shadow spans exist for the trace export.
+  EXPECT_GT(reg.section("quality.shadow.exec").value(), 0u);
+  EXPECT_GT(reg.section("quality.shadow.attribution").value(), 0u);
+}
+
+// ------------------------------------------------- server integration
+
+serve::ServerConfig shadow_server_config(const nn::MulTable& approx,
+                                         const nn::MulTable& exact) {
+  serve::ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 64;
+  cfg.max_batch = 4;
+  cfg.batch_linger = microseconds(100);
+  cfg.in_c = kC;
+  cfg.in_h = kH;
+  cfg.in_w = kW;
+  cfg.mode = nn::Mode::kQuantApprox;
+  cfg.mul = &approx;
+  cfg.exact_fallback = &exact;
+  cfg.model_factory = make_model;
+  cfg.quality.sample_rate = 1.0;
+  cfg.quality.seed = 9;
+  return cfg;
+}
+
+TEST(ShadowServe, RequiresQuantModeAndExactFallback) {
+  const auto mults = ax::table2_multipliers();
+  const nn::MulTable approx(*mults.front());
+  const nn::MulTable exact;
+  auto cfg = shadow_server_config(approx, exact);
+  cfg.exact_fallback = nullptr;
+  EXPECT_THROW(serve::Server{cfg}, std::invalid_argument);
+  cfg = shadow_server_config(approx, exact);
+  cfg.mode = nn::Mode::kFloat;
+  cfg.mul = nullptr;
+  EXPECT_THROW(serve::Server{cfg}, std::invalid_argument);
+}
+
+TEST(ShadowServe, EveryServedRequestIsShadowedAtRateOne) {
+  obs::MetricsRegistry::instance().reset();
+  const auto mults = ax::table2_multipliers();
+  const nn::MulTable approx(*mults.front());
+  const nn::MulTable exact;
+
+  serve::Server srv(shadow_server_config(approx, exact));
+  srv.start();
+  for (int i = 0; i < 24; ++i) {
+    const auto r = srv.submit(make_input(i), milliseconds(2000)).get();
+    ASSERT_EQ(r.outcome, serve::Outcome::kServed);
+    EXPECT_FALSE(r.exact_path) << "no faults armed: the approx path serves";
+  }
+  srv.drain();
+
+  const auto qs = srv.quality_stats();
+  EXPECT_EQ(qs.enqueued, 24u);
+  EXPECT_EQ(qs.dropped, 0u);
+  EXPECT_EQ(qs.compared, 24u) << "drain() finishes the shadow backlog";
+  auto& reg = obs::MetricsRegistry::instance();
+  EXPECT_EQ(reg.counter("quality.shadow.sampled").value(), 24u);
+  EXPECT_EQ(reg.counter("quality.shadow.skipped_exact").value(), 0u);
+  EXPECT_EQ(reg.counter("quality.tier.0.compared").value(), 24u);
+  EXPECT_EQ(srv.quality_slo().samples, 24u);
+
+  // The "quality" section rides the nga-bench-v1 exposition.
+  std::ostringstream ss;
+  obs::write_metrics_json(ss, "shadow-test");
+  EXPECT_NE(ss.str().find("\"quality\":{\"sampled\":24"), std::string::npos)
+      << ss.str();
+}
+
+// Satellite: seeded determinism. The shadow sampler has no hidden
+// state, the lane is a single FIFO thread, and drain() completes the
+// backlog — so one (seed, id-stream) pins the entire "quality" section.
+std::string quality_section_for_run(util::u64 seed) {
+  obs::MetricsRegistry::instance().reset();
+  const auto mults = ax::table2_multipliers();
+  const nn::MulTable approx(*mults.front());
+  const nn::MulTable exact;
+
+  auto cfg = shadow_server_config(approx, exact);
+  cfg.workers = 1;  // single worker: submission order IS service order
+  cfg.quality.sample_rate = 0.5;
+  cfg.quality.seed = seed;
+  cfg.quality.attribution_every = 4;
+  serve::Server srv(cfg);
+  srv.start();
+  for (int i = 0; i < 30; ++i) {
+    const auto r = srv.submit(make_input(i), milliseconds(2000)).get();
+    EXPECT_EQ(r.outcome, serve::Outcome::kServed);
+  }
+  srv.drain();
+  std::ostringstream ss;
+  QualityTelemetry::instance().write_json(ss);
+  return ss.str();
+}
+
+TEST(ShadowServe, SeededShadowSetIsDeterministicAcrossRuns) {
+  const std::string a = quality_section_for_run(42);
+  const std::string b = quality_section_for_run(42);
+  EXPECT_EQ(a, b) << "same seed + same id stream => byte-identical "
+                     "quality section";
+  const std::string c = quality_section_for_run(43);
+  EXPECT_NE(a, c) << "a different seed shadows a different subset";
+  // Rate 0.5 over 30 ids: some but not all shadowed. The section opens
+  // with {"sampled":N, — read N back out.
+  const std::string prefix = "{\"sampled\":";
+  ASSERT_EQ(a.rfind(prefix, 0), 0u) << a;
+  const int sampled = std::stoi(a.substr(prefix.size()));
+  EXPECT_GT(sampled, 0) << a;
+  EXPECT_LT(sampled, 30) << a;
+}
+
+TEST(ShadowServe, RateZeroLeavesTheQualityNamespaceUntouched) {
+  auto& reg = obs::MetricsRegistry::instance();
+  const auto counters_before = reg.counters_snapshot();
+  const auto gauges_before = reg.gauges_snapshot();
+  const auto series_before = reg.series_snapshot();
+
+  const auto mults = ax::table2_multipliers();
+  const nn::MulTable approx(*mults.front());
+  const nn::MulTable exact;
+  auto cfg = shadow_server_config(approx, exact);
+  cfg.quality = QualityConfig{};  // default: sample_rate 0
+  serve::Server srv(cfg);
+  srv.start();
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(srv.submit(make_input(i), milliseconds(2000)).get().outcome,
+              serve::Outcome::kServed);
+  srv.drain();
+
+  const auto qs = srv.quality_stats();
+  EXPECT_EQ(qs.enqueued + qs.dropped + qs.compared, 0u);
+  // No quality.* family appeared and none moved: byte-for-byte the same
+  // counters, gauges and series as before the server existed.
+  const auto counters_after = reg.counters_snapshot();
+  const auto gauges_after = reg.gauges_snapshot();
+  const auto series_after = reg.series_snapshot();
+  const auto only_quality = [](const auto& m) {
+    std::map<std::string, std::string> out;
+    for (const auto& [k, v] : m)
+      if (k.rfind("quality.", 0) == 0) {
+        std::ostringstream os;
+        if constexpr (std::is_same_v<std::decay_t<decltype(v)>,
+                                     obs::SeriesSnapshot>)
+          os << v.count << ":" << v.mean << ":" << v.max;
+        else
+          os << v;
+        out[k] = os.str();
+      }
+    return out;
+  };
+  EXPECT_EQ(only_quality(counters_before), only_quality(counters_after));
+  EXPECT_EQ(only_quality(gauges_before), only_quality(gauges_after));
+  EXPECT_EQ(only_quality(series_before), only_quality(series_after));
+}
+
+#if NGA_FAULT
+
+// Satellite: replies that failed over to the golden exact table are
+// NOT quality samples for the approximate tier — counting them would
+// inflate per-tier agreement with comparisons of exact against exact.
+TEST(ShadowServe, ExactFailoverIsExcludedFromTierBins) {
+  obs::MetricsRegistry::instance().reset();
+  const auto mults = ax::table2_multipliers();
+  const nn::MulTable approx(*mults.front());
+  const nn::MulTable exact;
+
+  fault::FaultPlan plan;
+  plan.inject(fault::Site::kNnMul, fault::Model::kBitFlip, 0.25);
+  fault::Injector::instance().arm(plan, 4321);
+
+  auto cfg = shadow_server_config(approx, exact);
+  cfg.max_attempts = 3;
+  cfg.retry_exact_failover = true;
+  cfg.backoff.base = microseconds(50);
+  cfg.backoff.cap = microseconds(500);
+  serve::Server srv(cfg);
+  srv.start();
+  std::vector<std::future<serve::Response>> futs;
+  for (int i = 0; i < 40; ++i)
+    futs.push_back(srv.submit(make_input(i), milliseconds(5000)));
+  util::u64 exact_served = 0;
+  for (auto& f : futs) {
+    const auto r = f.get();
+    ASSERT_EQ(r.outcome, serve::Outcome::kServed);
+    if (r.exact_path) ++exact_served;
+  }
+  fault::Injector::instance().disarm();
+  srv.drain();
+
+  ASSERT_GT(exact_served, 0u) << "a 25% MAC fault rate must force failovers";
+  auto& reg = obs::MetricsRegistry::instance();
+  EXPECT_EQ(reg.counter("quality.shadow.sampled").value(), 40u);
+  EXPECT_EQ(reg.counter("quality.shadow.skipped_exact").value(), exact_served);
+  EXPECT_EQ(srv.quality_stats().compared, 40u - exact_served);
+  EXPECT_EQ(reg.counter("quality.tier.0.compared").value(),
+            40u - exact_served)
+      << "only genuinely approximate replies land in the tier bin";
+}
+
+#endif  // NGA_FAULT
+
+}  // namespace
+}  // namespace nga::quality

@@ -16,8 +16,10 @@ value. What MUST hold regardless of machine or run size:
   * claim floors — committed success_rate-style gauges that held a >=99%
     floor must still hold it fresh (the robustness claim, which IS
     machine-independent), committed goodput_retention gauges that held
-    the >=80% overload-graceful floor must still hold it, and committed
-    invariant-ish gauges stay present.
+    the >=80% overload-graceful floor must still hold it, committed
+    shadow-measured agreement gauges (configured_agreement >=90%,
+    browned_agreement >=40%) that held their floors must still hold
+    them, and committed invariant-ish gauges stay present.
 
 Values of counters, wall times, and latency gauges are reported for the
 human but never gated: they are run-size and machine dependent.
@@ -43,14 +45,24 @@ _NORMALIZERS = [
     # serve_scale sweep points are keyed by absolute offered RPS, which
     # is machine-dependent by design (the bench self-calibrates).
     (re.compile(r"\boffered_[0-9]+"), "offered_*"),
+    # Per-tier gauges (brownout mix, shadow-measured quality): which
+    # ladder tiers a run visits depends on where escalation lands on
+    # that machine, so tiers fold into one family per metric.
+    (re.compile(r"\btier_[0-9]+"), "tier_*"),
 ]
 
 # Gauge families whose committed floor is a machine-independent claim:
 # suffix -> floor. A committed instance below the floor made no claim
 # there, so only families that HELD the floor are re-asserted fresh.
 _FLOORS = {
-    "success_rate": 0.99,        # served/submitted under chaos (soak)
-    "goodput_retention": 0.80,   # goodput at 1.5x knee vs at the knee
+    "success_rate": 0.99,          # served/submitted under chaos (soak)
+    "goodput_retention": 0.80,     # goodput at 1.5x knee vs at the knee
+    # Shadow-measured delivered accuracy (argmax agreement vs the golden
+    # exact table). The configured operator must stay near-exact; the
+    # brownout rungs trade accuracy for throughput by design, so their
+    # floor only asserts "well above chance", matching serve_scale.
+    "configured_agreement": 0.90,
+    "browned_agreement": 0.40,
 }
 
 # Sparse families: per-layer health counters are only mirrored when an
@@ -230,6 +242,30 @@ def compare(base: dict, fresh: dict, exempt=(), log=print):
                                 "per-tier traffic, fresh run lost the "
                                 "tiers map")
 
+    # The additive "quality" section (shadow-execution telemetry): the
+    # scalar totals are machine-independent shape and must survive; the
+    # per-tier bins are keyed by ladder depth and config-dependent and
+    # the SLO verdict is run-dependent, so only the presence of those
+    # two maps is checked, never their keys or values.
+    if "quality" in base:
+        if "quality" not in fresh:
+            failures.append("quality: committed snapshot has the quality "
+                            "section, fresh run does not")
+        else:
+            bq, fq = base["quality"], fresh["quality"]
+            for k in sorted(bq):
+                if k in ("tiers", "slo"):
+                    continue
+                if k not in fq:
+                    failures.append(f"quality: key vanished: {k}")
+            if bq.get("tiers") and "tiers" not in fq:
+                failures.append("quality: committed snapshot attributes "
+                                "per-tier accuracy, fresh run lost the "
+                                "tiers map")
+            if "slo" in bq and "slo" not in fq:
+                failures.append("quality: committed snapshot carries the "
+                                "SLO verdict, fresh run lost it")
+
     # Claim floors: a committed family that held its suffix's floor
     # must still clear it in the fresh run, for every instance swept.
     bg, fg = families(base.get("gauges", {})), families(fresh.get("gauges", {}))
@@ -379,6 +415,35 @@ def self_test() -> int:
                                         "4": {"requests": 2}}}),
          dict(base, overload={"escalations": 1,
                               "tiers": {"0": {"requests": 5}}}), (), 0),
+        ("vanished quality section is a regression",
+         dict(base, quality={"sampled": 40, "compared": 38, "tiers": {}}),
+         base, (), 1),
+        ("vanished quality scalar key is a regression",
+         dict(base, quality={"sampled": 40, "dropped": 2}),
+         dict(base, quality={"sampled": 7}), (), 1),
+        ("quality tier bins and SLO verdict are run-dependent maps",
+         dict(base, quality={"sampled": 40, "slo": {"breached": False},
+                             "tiers": {"0": {"agreement": 1.0},
+                                       "3": {"agreement": 0.8}}}),
+         dict(base, quality={"sampled": 3, "slo": {"breached": True},
+                             "tiers": {"1": {"agreement": 0.9}}}), (), 0),
+        ("losing the quality tiers map is a regression",
+         dict(base, quality={"sampled": 40,
+                             "tiers": {"0": {"agreement": 1.0}}}),
+         dict(base, quality={"sampled": 3}), (), 1),
+        ("held configured-agreement floor must hold fresh",
+         doc(gauges={"scale.quality.configured_agreement": 0.999}),
+         doc(gauges={"scale.quality.configured_agreement": 0.71}), (), 1),
+        ("held browned-agreement floor must hold fresh",
+         doc(gauges={"scale.quality.browned_agreement": 0.83}),
+         doc(gauges={"scale.quality.browned_agreement": 0.22}), (), 1),
+        ("a committed browned agreement below its floor claims nothing",
+         doc(gauges={"scale.quality.browned_agreement": 0.31}),
+         doc(gauges={"scale.quality.browned_agreement": 0.05}), (), 0),
+        ("visited ladder tiers differ by machine, one family per metric",
+         doc(gauges={"scale.quality.on.knee.tier_3.agreement": 0.91,
+                     "scale.quality.on.knee.tier_2.agreement": 0.94}),
+         doc(gauges={"scale.quality.on.knee.tier_1.agreement": 1.0}), (), 0),
     ]
     bad = 0
     for name, b, f, exempt, want in cases:
@@ -393,14 +458,16 @@ def self_test() -> int:
     with_integrity = dict(base, integrity={"pages_scanned": 9})
     req_cases = [
         ("required section present on both sides",
-         with_integrity, with_integrity, 0),
+         with_integrity, with_integrity, ["integrity"], 0),
         ("stale committed snapshot is a labelled usage error, not exit 1",
-         base, with_integrity, 2),
+         base, with_integrity, ["integrity"], 2),
         ("fresh run dropping a required section is a regression",
-         with_integrity, base, 1),
+         with_integrity, base, ["integrity"], 1),
+        ("required quality section missing from both sides is stale",
+         base, base, ["quality"], 2),
     ]
-    for name, b, f, want in req_cases:
-        stale, failures = check_required_sections(b, f, ["integrity"])
+    for name, b, f, req, want in req_cases:
+        stale, failures = check_required_sections(b, f, req)
         got = 2 if stale else (1 if failures else 0)
         ok = got == want and (not stale or "predates" in stale[0])
         status = "ok" if ok else "FAIL"
