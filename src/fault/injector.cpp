@@ -104,6 +104,16 @@ void Injector::arm(const FaultPlan& plan, u64 seed) {
     st.totals = {};
     memflip_on_[i].store(st.spec.enabled && st.spec.model == Model::kMemFlip,
                          std::memory_order_relaxed);
+    unsigned gate = 0;
+    if (st.spec.enabled) {
+      if (st.spec.model == Model::kOpSkip)
+        gate = kGateSkip;
+      else if (is_delay_model(st.spec.model))
+        gate = kGateDelay;
+      else if (st.spec.model != Model::kMemFlip)
+        gate = kGateBits;
+    }
+    site_gate_[i].store(gate, std::memory_order_relaxed);
   }
   armed_.store(plan.any_enabled(), std::memory_order_relaxed);
 }

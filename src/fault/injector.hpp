@@ -57,14 +57,21 @@ class Injector {
 
   /// Hot-path bits filter: possibly corrupt the low @p width bits of
   /// @p bits. Identity while disarmed or when the site is not enabled.
+  /// Like filter_memflip, each filter screens its site through a
+  /// lock-free gate first: a plan that arms SOME sites must not make
+  /// every other instrumented site pay the injector mutex — nn.mul
+  /// runs once per MAC, and a per-MAC lock collapses serving
+  /// throughput for every worker in the process.
   u64 filter_bits(Site site, unsigned width, u64 bits) {
     if (!armed()) return bits;
+    if (!gate_open(site, kGateBits)) return bits;
     return corrupt(site, width, bits);
   }
 
   /// Hot-path op filter: true => the caller should drop the operation.
   bool filter_skip(Site site) {
     if (!armed()) return false;
+    if (!gate_open(site, kGateSkip)) return false;
     return skip(site);
   }
 
@@ -105,6 +112,7 @@ class Injector {
   /// true — a hung worker wakes the moment its watchdog cancels it.
   void filter_delay(Site site) {
     if (!armed()) return;
+    if (!gate_open(site, kGateDelay)) return;
     delay(site);
   }
 
@@ -130,6 +138,14 @@ class Injector {
 
  private:
   Injector();
+
+  // One bit per filter family; a site's gate opens only for the family
+  // its armed model belongs to (kMemFlip keeps its dedicated flag).
+  enum : unsigned { kGateBits = 1u, kGateSkip = 2u, kGateDelay = 4u };
+  bool gate_open(Site site, unsigned family) const {
+    return (site_gate_[std::size_t(site)].load(std::memory_order_relaxed) &
+            family) != 0;
+  }
 
   struct SiteState {
     SiteSpec spec;
@@ -158,6 +174,14 @@ class Injector {
   /// Per-site "armed with kMemFlip" flags, mirrored from the plan in
   /// arm(): the memflip filter's lock-free gate (see filter_memflip).
   std::array<std::atomic<bool>, kSiteCount> memflip_on_{};
+  /// Per-site filter-family gates (kGate* bits), mirrored from the
+  /// plan in arm() like memflip_on_: sites the plan leaves disabled —
+  /// or armed with a model some other filter handles — early-out
+  /// before the mutex. Near an arm() race a call may consult a gate
+  /// from the adjacent plan; the locked screen re-checks, so the only
+  /// effect is one filter call counted against old-plan semantics —
+  /// the same contract arm() already documents.
+  std::array<std::atomic<unsigned>, kSiteCount> site_gate_{};
   // Aggregates across sites, also cached.
   obs::Counter* injected_all_ = nullptr;
   obs::Counter* masked_all_ = nullptr;

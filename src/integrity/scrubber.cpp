@@ -40,7 +40,7 @@ Scrubber::Scrubber() {
 }
 
 void Scrubber::register_table(std::shared_ptr<const nn::MulTable> table,
-                              std::string name) {
+                              std::string name, std::string scope) {
   if (!table) return;
   std::lock_guard<std::mutex> lk(m_);
   for (const auto& e : entries_)
@@ -48,17 +48,19 @@ void Scrubber::register_table(std::shared_ptr<const nn::MulTable> table,
   Entry e;
   e.table = std::move(table);
   e.name = std::move(name);
+  e.scope = std::move(scope);
   entries_.push_back(std::move(e));
   tables_g_->set(double(entries_.size()));
 }
 
-void Scrubber::register_unowned(const nn::MulTable* table, std::string name) {
+void Scrubber::register_unowned(const nn::MulTable* table, std::string name,
+                                std::string scope) {
   if (!table) return;
   // Aliasing shared_ptr with a no-op deleter: the registry machinery
   // stays uniform, ownership stays with the caller.
   register_table(std::shared_ptr<const nn::MulTable>(table,
                                                      [](const nn::MulTable*) {}),
-                 std::move(name));
+                 std::move(name), std::move(scope));
 }
 
 void Scrubber::unregister_table(const nn::MulTable* table) {
@@ -72,9 +74,31 @@ void Scrubber::unregister_table(const nn::MulTable* table) {
   tables_g_->set(double(entries_.size()));
 }
 
+std::size_t Scrubber::unregister_scope(std::string_view scope) {
+  if (scope.empty()) return 0;
+  std::lock_guard<std::mutex> lk(m_);
+  const std::size_t before = entries_.size();
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& e) {
+                                  return e.scope == scope;
+                                }),
+                 entries_.end());
+  if (rr_ >= entries_.size()) rr_ = 0;
+  tables_g_->set(double(entries_.size()));
+  return before - entries_.size();
+}
+
 std::size_t Scrubber::table_count() const {
   std::lock_guard<std::mutex> lk(m_);
   return entries_.size();
+}
+
+std::size_t Scrubber::scope_count(std::string_view scope) const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::size_t n = 0;
+  for (const auto& e : entries_)
+    if (e.scope == scope) ++n;
+  return n;
 }
 
 void Scrubber::start(ScrubberConfig cfg) {

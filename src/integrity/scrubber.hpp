@@ -79,14 +79,25 @@ class Scrubber {
 
   /// Register @p table for background scanning under @p name (shown in
   /// telemetry). The scrubber shares ownership, so a table may outlive
-  /// its registrant until unregister_table().
+  /// its registrant until unregister_table(). @p scope is an optional
+  /// fault-domain tag (e.g. "shard3"): every registration a shard's
+  /// workers make carries the shard's scope, and unregister_scope()
+  /// purges them all at once when that shard drains — registrations can
+  /// never outlive their fault domain, whatever order its worker
+  /// threads died in.
   void register_table(std::shared_ptr<const nn::MulTable> table,
-                      std::string name);
+                      std::string name, std::string scope = "");
   /// Register a table the caller guarantees outlives the registration
   /// (stack-owned tables in tests and benches).
-  void register_unowned(const nn::MulTable* table, std::string name);
+  void register_unowned(const nn::MulTable* table, std::string name,
+                       std::string scope = "");
   void unregister_table(const nn::MulTable* table);
+  /// Remove EVERY registration tagged with @p scope (no-op for "").
+  /// Returns the number of entries removed.
+  std::size_t unregister_scope(std::string_view scope);
   std::size_t table_count() const;
+  /// Registrations currently tagged with @p scope.
+  std::size_t scope_count(std::string_view scope) const;
 
   /// Start/stop the background thread. start() on a running scrubber
   /// re-configures the pacing; stop() joins and is idempotent.
@@ -137,6 +148,7 @@ class Scrubber {
   struct Entry {
     std::shared_ptr<const nn::MulTable> table;
     std::string name;
+    std::string scope;  ///< fault-domain tag; "" = unscoped
     std::size_t cursor = 0;         ///< next page in the rotation
     u64 last_full_verify_ns = 0;    ///< 0 = never completed a rotation
     bool quarantined = false;

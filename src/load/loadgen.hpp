@@ -20,6 +20,7 @@
 // never absorbed.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstddef>
@@ -62,6 +63,10 @@ struct LoadGenConfig {
   double rps = 100.0;        ///< offered arrival rate
   std::size_t arrivals = 0;  ///< total arrivals to schedule
   u64 seed = 1;              ///< arrival-schedule seed
+  /// Optional early-stop flag (chaos scripts end an episode from
+  /// another thread). Checked before each arrival; the report's
+  /// `arrivals` then counts what actually fired, not the plan.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// What the generator actually achieved, against what it planned.
@@ -88,7 +93,9 @@ class LoadGen {
     const auto start = Clock::now();
     auto due = start;
     double max_lag_ms = 0.0;
+    std::size_t fired = 0;
     for (std::size_t i = 0; i < cfg_.arrivals; ++i) {
+      if (cfg_.stop && cfg_.stop->load(std::memory_order_acquire)) break;
       due += arrivals.next();
       const auto now = Clock::now();
       if (due > now) {
@@ -99,14 +106,14 @@ class LoadGen {
         if (lag > max_lag_ms) max_lag_ms = lag;
       }
       submit(i, due);
+      ++fired;
     }
     const auto end = Clock::now();
     LoadGenReport r;
     r.planned_rps = cfg_.rps;
-    r.arrivals = cfg_.arrivals;
+    r.arrivals = fired;
     r.duration_s = std::chrono::duration<double>(end - start).count();
-    r.achieved_rps =
-        r.duration_s > 0.0 ? double(cfg_.arrivals) / r.duration_s : 0.0;
+    r.achieved_rps = r.duration_s > 0.0 ? double(fired) / r.duration_s : 0.0;
     r.max_lag_ms = max_lag_ms;
     return r;
   }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <future>
 #include <string_view>
 
@@ -36,6 +37,9 @@ enum class RejectReason {
   kRedeliveryLimit,   ///< re-queued too often after worker replacement
   kQueueDelay,        ///< CoDel cut it from the front of a standing queue
   kBrownoutShed,      ///< overload ladder at its last rung: shed at the door
+  kTenantLimited,     ///< over the caller tenant's AIMD budget (nga::shard);
+                      ///< distinct from kAdmissionLimited (per-shard limit)
+                      ///< so tenant-budget sheds are attributable per tenant
 };
 
 constexpr std::string_view reject_reason_name(RejectReason r) {
@@ -51,6 +55,7 @@ constexpr std::string_view reject_reason_name(RejectReason r) {
     case RejectReason::kRedeliveryLimit: return "redelivery_limit";
     case RejectReason::kQueueDelay: return "queue_delay";
     case RejectReason::kBrownoutShed: return "brownout_shed";
+    case RejectReason::kTenantLimited: return "tenant_limited";
   }
   return "?";
 }
@@ -104,6 +109,12 @@ struct Request {
   int redeliveries = 0;
   /// Holds an AIMD admission token that finish() must release.
   bool admitted = false;
+  /// Layer-above completion hook (nga::shard uses it to release tenant
+  /// budget tokens). Runs in finish() — the single accounting choke
+  /// point — with the fully populated Response, BEFORE the promise is
+  /// resolved, on every terminal path including door rejects. Must not
+  /// call back into the Server.
+  std::function<void(const Response&)> on_finish;
   std::promise<Response> promise;
 };
 

@@ -315,6 +315,12 @@ std::future<Response> Server::submit(nn::Tensor x,
 }
 
 std::future<Response> Server::submit(nn::Tensor x, Clock::time_point deadline) {
+  return submit(std::move(x), deadline, {});
+}
+
+std::future<Response> Server::submit(
+    nn::Tensor x, Clock::time_point deadline,
+    std::function<void(const Response&)> on_finish) {
   const auto t0 = Clock::now();
   submitted_.fetch_add(1, std::memory_order_relaxed);
   c("serve.submitted").inc();
@@ -325,6 +331,7 @@ std::future<Response> Server::submit(nn::Tensor x, Clock::time_point deadline) {
   rq.submit_time = t0;
   rq.deadline = deadline;
   rq.trace = obs::start_trace(cfg_.trace_sample_rate);
+  rq.on_finish = std::move(on_finish);
   auto fut = rq.promise.get_future();
 
   if (!accepting_.load(std::memory_order_acquire)) {
@@ -405,6 +412,10 @@ void Server::finish(Request& rq, Response r) {
         to_ns(rq.submit_time), to_ns(now) - to_ns(rq.submit_time),
         /*parent_span=*/0, rq.trace.root_span);
   }
+  // Layer-above hook (nga::shard tenant budgets): the Response is
+  // final here, and this is the one choke point every terminal path
+  // funnels through — the hook sees door rejects and drains too.
+  if (rq.on_finish) rq.on_finish(r);
   switch (r.outcome) {
     case Outcome::kServed:
       served_.fetch_add(1, std::memory_order_relaxed);
@@ -447,7 +458,11 @@ void Server::worker_main(std::shared_ptr<guard::WorkerSlot> slot) {
   }
   auto& scrubber = integrity::Scrubber::instance();
   const bool scrub_registered = cfg_.integrity.enabled && own_table != nullptr;
-  if (scrub_registered) scrubber.register_table(own_table, lane);
+  if (scrub_registered) {
+    const std::string reg_name =
+        cfg_.integrity.scope.empty() ? lane : cfg_.integrity.scope + "." + lane;
+    scrubber.register_table(own_table, reg_name, cfg_.integrity.scope);
+  }
   std::unique_ptr<nn::ResilienceGuard> guard;
   if (cfg_.use_guard)
     guard = std::make_unique<nn::ResilienceGuard>(cfg_.exact_fallback);
@@ -1001,6 +1016,12 @@ void Server::drain() {
   }
   for (auto& h : workers)
     if (h.thread.joinable()) h.thread.join();
+  // Scope backstop (nga::shard): purge every scrub registration this
+  // fault domain made. Workers unregister on clean exit, but a killed
+  // shard's registrations must not outlive it regardless of how its
+  // threads died.
+  if (cfg_.integrity.enabled && !cfg_.integrity.scope.empty())
+    integrity::Scrubber::instance().unregister_scope(cfg_.integrity.scope);
   // The scrub thread outlives the workers (tables may still be
   // registered by others), but this server only stops what it started.
   if (scrubber_started_) {

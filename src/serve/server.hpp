@@ -139,6 +139,12 @@ struct IntegrityConfig {
   /// > 0: start() launches the background scrub thread at this
   /// pages/sec budget and drain() stops it.
   double pages_per_sec = 0.0;
+  /// Fault-domain tag for every scrub registration this server's
+  /// workers make (nga::shard sets "shard<i>"). drain() purges the
+  /// whole scope from the process Scrubber as a backstop, so a killed
+  /// or failed-over shard can never leak registry entries — whatever
+  /// order its worker threads exited in.
+  std::string scope;
 };
 
 struct ServerConfig {
@@ -261,6 +267,12 @@ class Server {
   std::future<Response> submit(nn::Tensor x,
                                std::chrono::microseconds budget);
   std::future<Response> submit(nn::Tensor x, Clock::time_point deadline);
+  /// As above, with a completion hook the layer above owns (see
+  /// Request::on_finish): runs in finish() with the final Response on
+  /// every terminal path, door rejects included. nga::shard uses it to
+  /// release per-tenant budget tokens.
+  std::future<Response> submit(nn::Tensor x, Clock::time_point deadline,
+                               std::function<void(const Response&)> on_finish);
 
   /// Graceful shutdown: stop admission (further submits reject with
   /// kDraining), finish or shed every queued request, join the workers.

@@ -1,0 +1,54 @@
+#include "shard/registry.hpp"
+
+#include <stdexcept>
+
+namespace nga::shard {
+
+void ModelRegistry::add(Variant v) {
+  if (!v.model_factory)
+    throw std::invalid_argument("shard: variant '" + v.name +
+                                "' has no model_factory");
+  std::lock_guard<std::mutex> lk(m_);
+  for (const auto& e : variants_)
+    if (e->name == v.name)
+      throw std::invalid_argument("shard: duplicate variant '" + v.name + "'");
+  variants_.push_back(std::make_unique<Variant>(std::move(v)));
+}
+
+const Variant* ModelRegistry::find(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(m_);
+  for (const auto& e : variants_)
+    if (e->name == name) return e.get();
+  return nullptr;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::vector<std::string> out;
+  out.reserve(variants_.size());
+  for (const auto& e : variants_) out.push_back(e->name);
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return variants_.size();
+}
+
+serve::ServerConfig ModelRegistry::server_config(std::string_view name) const {
+  const Variant* v = find(name);
+  if (!v)
+    throw std::out_of_range("shard: unknown variant '" + std::string(name) +
+                            "'");
+  serve::ServerConfig c;
+  c.mode = v->mode;
+  c.in_c = v->in_c;
+  c.in_h = v->in_h;
+  c.in_w = v->in_w;
+  c.model_factory = v->model_factory;
+  c.mul_factory = v->mul_factory;
+  c.exact_fallback = v->exact_fallback;
+  return c;
+}
+
+}  // namespace nga::shard

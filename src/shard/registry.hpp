@@ -1,0 +1,68 @@
+// nga::shard — ModelRegistry: named (model × MulTable × precision)
+// serving variants.
+//
+// The paper's edge premise has many model/multiplier/precision
+// combinations co-resident on one box (and the Dynamic-Reconfiguration
+// line of work hosts several multiplier configurations side by side).
+// A Variant captures everything a shard needs to build independent
+// replicas of one such combination: the input shape, the numeric mode,
+// a model factory (trained weights restored, calibration done), a
+// per-worker approximate-table factory, and the golden exact fallback.
+// ShardedServer asks the registry for a ServerConfig prototype and
+// decorates it with per-shard capacity/guard knobs — the registry owns
+// WHAT is served, the shard layer owns HOW.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace nga::shard {
+
+/// One named serving variant. The factories must be thread-safe and
+/// callable many times: every worker of every shard incarnation builds
+/// its own replica through them (restarts included).
+struct Variant {
+  std::string name;
+  nn::Mode mode = nn::Mode::kQuantApprox;
+  int in_c = 0, in_h = 0, in_w = 0;
+  /// Builds one model replica (required).
+  std::function<std::unique_ptr<nn::Model>()> model_factory;
+  /// Builds one approximate table per worker (kQuantApprox); captured
+  /// generator makes the tables regenerable for integrity scrubbing.
+  std::function<std::shared_ptr<const nn::MulTable>()> mul_factory;
+  /// Golden exact table: retry failover and breaker quarantine target.
+  const nn::MulTable* exact_fallback = nullptr;
+};
+
+class ModelRegistry {
+ public:
+  /// Register a variant. Throws std::invalid_argument on a duplicate
+  /// name or a variant without a model factory.
+  void add(Variant v);
+
+  /// nullptr when @p name is not registered.
+  const Variant* find(std::string_view name) const;
+
+  std::vector<std::string> names() const;
+  std::size_t size() const;
+
+  /// ServerConfig prototype for @p name: shape, mode, factories and
+  /// fallback filled in; capacity/guard/integrity knobs left at their
+  /// defaults for the caller to decorate. Throws std::out_of_range on
+  /// an unknown name.
+  serve::ServerConfig server_config(std::string_view name) const;
+
+ private:
+  mutable std::mutex m_;
+  // Deque-like stability is not needed: find() returns pointers into
+  // a vector that only grows, and add() is a setup-time operation.
+  std::vector<std::unique_ptr<Variant>> variants_;
+};
+
+}  // namespace nga::shard

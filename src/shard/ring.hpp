@@ -1,0 +1,124 @@
+// nga::shard — seeded consistent-hash ring.
+//
+// Routes (tenant, request) keys onto shard ids with the classic
+// virtual-node construction: every member shard contributes `vnodes`
+// points hashed from (seed, shard, vnode) onto a u64 circle, and a key
+// routes to the first point clockwise from its own hash. Properties
+// the sharding layer leans on (tests/shard/ring_test.cpp):
+//
+//   * determinism — the ring is a pure function of (seed, vnodes,
+//     member set); two rings built the same way route every key the
+//     same, across processes and runs;
+//   * minimal movement — removing a shard only moves the keys that
+//     shard owned (everyone else's points are untouched), ≈ keys/n of
+//     the space; re-adding it restores the exact original mapping.
+//     That is what makes failover cheap: the survivors keep their
+//     keys, the victim's keys spill, and they come home on restart;
+//   * bounded skew — with enough vnodes the per-shard share
+//     concentrates around 1/n (skew shrinks ~1/sqrt(vnodes)).
+//
+// This is a plain value type with no locking; ShardedServer guards its
+// rings with its own mutex.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace nga::shard {
+
+using util::u64;
+
+/// splitmix64 finalizer: cheap, well-distributed, and constexpr — the
+/// same mix everywhere keeps ring placement reproducible by seed.
+constexpr u64 mix64(u64 z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(u64 seed = 1, int vnodes = 128)
+      : seed_(seed), vnodes_(vnodes < 1 ? 1 : vnodes) {}
+
+  /// Stable 64-bit identity of a tenant name (FNV-1a, then mixed):
+  /// the routing key for tenant-affine placement.
+  static constexpr u64 tenant_key(std::string_view tenant) {
+    u64 h = 0xCBF29CE484222325ull;
+    for (char ch : tenant) {
+      h ^= u64(static_cast<unsigned char>(ch));
+      h *= 0x100000001B3ull;
+    }
+    return mix64(h);
+  }
+
+  /// Key for one request. spread <= 1 gives pure tenant affinity
+  /// (every request of a tenant lands on one shard); larger spreads
+  /// fan a tenant's requests over up to `spread` distinct keys.
+  static constexpr u64 request_key(std::string_view tenant, u64 request_id,
+                                   u64 spread = 1) {
+    const u64 base = tenant_key(tenant);
+    if (spread <= 1) return base;
+    return mix64(base + request_id % spread);
+  }
+
+  void add(int shard) {
+    if (contains(shard)) return;
+    members_.push_back(shard);
+    for (int v = 0; v < vnodes_; ++v)
+      points_.push_back({point_hash(shard, v), shard});
+    std::sort(points_.begin(), points_.end());
+  }
+
+  void remove(int shard) {
+    members_.erase(std::remove(members_.begin(), members_.end(), shard),
+                   members_.end());
+    points_.erase(std::remove_if(points_.begin(), points_.end(),
+                                 [&](const Point& p) {
+                                   return p.shard == shard;
+                                 }),
+                  points_.end());
+  }
+
+  bool contains(int shard) const {
+    return std::find(members_.begin(), members_.end(), shard) !=
+           members_.end();
+  }
+
+  std::size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+
+  /// Shard owning @p key; -1 on an empty ring.
+  int route(u64 key) const {
+    if (points_.empty()) return -1;
+    auto it = std::lower_bound(points_.begin(), points_.end(),
+                               Point{key, -1});
+    if (it == points_.end()) it = points_.begin();  // wrap the circle
+    return it->shard;
+  }
+
+ private:
+  struct Point {
+    u64 hash;
+    int shard;
+    bool operator<(const Point& o) const {
+      return hash != o.hash ? hash < o.hash : shard < o.shard;
+    }
+  };
+
+  u64 point_hash(int shard, int vnode) const {
+    return mix64(seed_ ^ mix64(u64(shard) * 0x10001ull + u64(vnode)));
+  }
+
+  std::vector<Point> points_;  ///< sorted by hash
+  std::vector<int> members_;
+  u64 seed_;
+  int vnodes_;
+};
+
+}  // namespace nga::shard

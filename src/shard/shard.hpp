@@ -1,0 +1,12 @@
+// nga::shard — umbrella header: multi-tenant fault-domain sharding.
+//
+//   ring.hpp      seeded consistent-hash ring (routing + failover math)
+//   registry.hpp  ModelRegistry of named (model × MulTable × precision)
+//                 serving variants
+//   sharded.hpp   ShardedServer: shared-nothing shards, per-tenant AIMD
+//                 budgets, shard failover under a bounded spill budget
+#pragma once
+
+#include "shard/registry.hpp"
+#include "shard/ring.hpp"
+#include "shard/sharded.hpp"

@@ -1,0 +1,582 @@
+#include "shard/sharded.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+
+namespace nga::shard {
+
+using serve::Outcome;
+using serve::RejectReason;
+using serve::Response;
+
+namespace {
+
+obs::Counter& c(std::string_view name) {
+  return obs::MetricsRegistry::instance().counter(name);
+}
+obs::Gauge& g(std::string_view name) {
+  return obs::MetricsRegistry::instance().gauge(name);
+}
+
+void add_stats(serve::Server::Stats& into, const serve::Server::Stats& s) {
+  into.submitted += s.submitted;
+  into.served += s.served;
+  into.rejected += s.rejected;
+  into.shed += s.shed;
+  into.retries += s.retries;
+  into.batches += s.batches;
+  into.codel_dropped += s.codel_dropped;
+  into.overload_shed += s.overload_shed;
+  into.budget_exhausted += s.budget_exhausted;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- telemetry
+
+ShardTelemetry& ShardTelemetry::instance() {
+  // Leaked on purpose: the registered JSON section may run during
+  // static destruction (same lifetime discipline as the Scrubber).
+  static ShardTelemetry* t = new ShardTelemetry();
+  return *t;
+}
+
+ShardTelemetry::ShardTelemetry() {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("shard.submitted", "Requests entering the sharding layer.");
+  reg.counter("shard.routed", "Requests handed to a shard incarnation.");
+  reg.counter("shard.rerouted",
+              "Requests served by a non-primary shard (failover spill).");
+  reg.counter("shard.spill_rejected",
+              "Rerouted requests refused past the spill token budget.");
+  reg.counter("shard.tenant_limited",
+              "Requests refused over their tenant's AIMD budget.");
+  reg.counter("shard.no_shard", "Requests arriving while no shard was up.");
+  reg.counter("shard.failovers", "Shard failovers (ring eviction + drain).");
+  reg.counter("shard.restarts", "Fresh shard incarnations after failover.");
+  reg.counter("shard.kills", "Injected shard kills (chaos hook).");
+  reg.gauge("shard.shards", "Configured shard count of the live topology.");
+  reg.gauge("shard.up", "Shards currently Up in the live ring.");
+  obs::register_json_section(
+      "shard", [](std::ostream& os) { instance().write_json(os); });
+}
+
+void ShardTelemetry::on_submit(std::string_view tenant) {
+  c("shard.submitted").inc();
+  std::lock_guard<std::mutex> lk(m_);
+  ++submitted_;
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(std::string(tenant), TenantRow{}).first;
+    // Per-tenant attribution counters, registered on first sight so
+    // the exposition carries them even for tenants that were never
+    // limited.
+    auto& reg = obs::MetricsRegistry::instance();
+    const std::string base = "shard.tenant." + it->first;
+    reg.counter(base + ".submitted", "Requests submitted by this tenant.");
+    reg.counter(base + ".limited",
+                "Requests refused over this tenant's AIMD budget.");
+  }
+  ++it->second.submitted;
+  c("shard.tenant." + it->first + ".submitted").inc();
+}
+
+void ShardTelemetry::on_tenant_limited(std::string_view tenant) {
+  c("shard.tenant_limited").inc();
+  std::lock_guard<std::mutex> lk(m_);
+  ++tenant_limited_;
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) {
+    ++it->second.limited;
+    c("shard.tenant." + it->first + ".limited").inc();
+  }
+}
+
+void ShardTelemetry::on_routed() {
+  c("shard.routed").inc();
+  std::lock_guard<std::mutex> lk(m_);
+  ++routed_;
+}
+
+void ShardTelemetry::on_rerouted() {
+  c("shard.rerouted").inc();
+  std::lock_guard<std::mutex> lk(m_);
+  ++rerouted_;
+}
+
+void ShardTelemetry::on_spill_rejected() {
+  c("shard.spill_rejected").inc();
+  std::lock_guard<std::mutex> lk(m_);
+  ++spill_rejected_;
+}
+
+void ShardTelemetry::on_no_shard() {
+  c("shard.no_shard").inc();
+  std::lock_guard<std::mutex> lk(m_);
+  ++no_shard_;
+}
+
+void ShardTelemetry::on_failover(int shard) {
+  c("shard.failovers").inc();
+  std::lock_guard<std::mutex> lk(m_);
+  ++failovers_;
+  ++shards_[shard].failovers;
+}
+
+void ShardTelemetry::on_restart(int shard) {
+  c("shard.restarts").inc();
+  std::lock_guard<std::mutex> lk(m_);
+  ++restarts_;
+  ++shards_[shard].restarts;
+}
+
+void ShardTelemetry::on_kill(int shard) {
+  c("shard.kills").inc();
+  std::lock_guard<std::mutex> lk(m_);
+  ++kills_;
+  ++shards_[shard].kills;
+}
+
+void ShardTelemetry::set_topology(int shards, int up) {
+  g("shard.shards").set(double(shards));
+  g("shard.up").set(double(up));
+  std::lock_guard<std::mutex> lk(m_);
+  topo_shards_ = shards;
+  topo_up_ = up;
+}
+
+void ShardTelemetry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(m_);
+  os << "{\"shards\":" << topo_shards_ << ",\"up\":" << topo_up_
+     << ",\"submitted\":" << submitted_
+     << ",\"tenant_limited\":" << tenant_limited_ << ",\"routed\":" << routed_
+     << ",\"rerouted\":" << rerouted_
+     << ",\"spill_rejected\":" << spill_rejected_
+     << ",\"no_shard\":" << no_shard_ << ",\"failovers\":" << failovers_
+     << ",\"restarts\":" << restarts_ << ",\"kills\":" << kills_
+     << ",\"tenants\":{";
+  bool first = true;
+  for (const auto& [name, row] : tenants_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << obs::json::escape(name) << "\":{\"submitted\":"
+       << row.submitted << ",\"limited\":" << row.limited << "}";
+  }
+  os << "},\"per_shard\":{";
+  first = true;
+  for (const auto& [id, row] : shards_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << id << "\":{\"failovers\":" << row.failovers
+       << ",\"restarts\":" << row.restarts << ",\"kills\":" << row.kills
+       << "}";
+  }
+  os << "}}";
+}
+
+// ------------------------------------------------------------ ShardedServer
+
+ShardedServer::ShardedServer(ShardedConfig cfg) : cfg_(std::move(cfg)) {}
+
+ShardedServer::~ShardedServer() { drain(); }
+
+serve::ServerConfig ShardedServer::make_config(int shard) const {
+  serve::ServerConfig c;
+  if (cfg_.shard_config)
+    c = cfg_.shard_config(shard);
+  else
+    c = cfg_.registry->server_config(cfg_.variant);
+  if (cfg_.tune) cfg_.tune(shard, c);
+  // Decorrelate per-shard randomness (backoff jitter, trace sampling)
+  // deterministically from the topology seed.
+  c.seed = mix64(cfg_.seed ^ mix64(u64(shard) + 0x51AB'1EDu)) | 1u;
+  // Every scrub registration this shard's workers make carries the
+  // shard's fault-domain scope, so failover can purge them wholesale.
+  if (c.integrity.scope.empty())
+    c.integrity.scope = "shard" + std::to_string(shard);
+  return c;
+}
+
+void ShardedServer::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  if (cfg_.shards < 1)
+    throw std::invalid_argument("shard: need at least one shard");
+  if (!cfg_.shard_config && !(cfg_.registry && !cfg_.variant.empty()))
+    throw std::invalid_argument(
+        "shard: need registry+variant or a shard_config factory");
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    full_ring_ = ConsistentHashRing(cfg_.seed, cfg_.vnodes);
+    live_ring_ = ConsistentHashRing(cfg_.seed, cfg_.vnodes);
+    slots_.clear();
+    slots_.reserve(std::size_t(cfg_.shards));
+    for (int i = 0; i < cfg_.shards; ++i) {
+      Slot s;
+      s.id = i;
+      s.proto = make_config(i);
+      s.server = std::make_shared<serve::Server>(s.proto);
+      slots_.push_back(std::move(s));
+    }
+    for (auto& s : slots_) {
+      s.server->start();
+      full_ring_.add(s.id);
+      live_ring_.add(s.id);
+    }
+    spill_tokens_ = cfg_.failover.spill_burst;
+    spill_refill_at_ = Clock::now();
+  }
+  running_.store(true, std::memory_order_release);
+  ShardTelemetry::instance().set_topology(cfg_.shards, cfg_.shards);
+  if (cfg_.failover.enabled && cfg_.failover.check_every.count() > 0)
+    monitor_ = std::thread(&ShardedServer::monitor_main, this);
+}
+
+std::future<Response> ShardedServer::submit(std::string_view tenant,
+                                            nn::Tensor x,
+                                            std::chrono::microseconds budget) {
+  return submit(tenant, std::move(x), Clock::now() + budget);
+}
+
+std::future<Response> ShardedServer::submit(std::string_view tenant,
+                                            nn::Tensor x,
+                                            Clock::time_point deadline) {
+  const u64 seq = submitted_.fetch_add(1, std::memory_order_relaxed);
+  auto& tel = ShardTelemetry::instance();
+  tel.on_submit(tenant);
+  TenantState* ts = tenant_state(tenant);
+  if (ts) ts->submitted.fetch_add(1, std::memory_order_relaxed);
+  if (draining_.load(std::memory_order_acquire))
+    return reject(RejectReason::kDraining);
+  if (!running_.load(std::memory_order_acquire))
+    return reject(RejectReason::kNotServing);
+  // Per-tenant budget FIRST: a storming tenant is refused before it
+  // can touch any shard's queue or another tenant's capacity.
+  guard::AimdLimiter* lim = ts ? &ts->limiter : nullptr;
+  if (lim && !lim->try_acquire()) {
+    ts->limited.fetch_add(1, std::memory_order_relaxed);
+    tenant_limited_.fetch_add(1, std::memory_order_relaxed);
+    tel.on_tenant_limited(tenant);
+    return reject(RejectReason::kTenantLimited);
+  }
+  const u64 key =
+      ConsistentHashRing::request_key(tenant, seq, cfg_.tenant_spread);
+  std::shared_ptr<serve::Server> target;
+  bool spilled = false;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    const int primary = full_ring_.route(key);
+    const int live = live_ring_.route(key);
+    if (live < 0) {
+      no_shard_.fetch_add(1, std::memory_order_relaxed);
+      tel.on_no_shard();
+      if (lim) lim->release(0.0, false);
+      return reject(RejectReason::kNotServing);
+    }
+    spilled = (live != primary);
+    if (spilled && !spill_take_locked(Clock::now())) {
+      spill_rejected_.fetch_add(1, std::memory_order_relaxed);
+      tel.on_spill_rejected();
+      if (lim) lim->release(0.0, false);
+      return reject(RejectReason::kOverloaded);
+    }
+    target = slots_[std::size_t(live)].server;
+  }
+  if (spilled) {
+    rerouted_.fetch_add(1, std::memory_order_relaxed);
+    tel.on_rerouted();
+  }
+  routed_.fetch_add(1, std::memory_order_relaxed);
+  tel.on_routed();
+  std::function<void(const Response&)> hook;
+  if (lim)
+    hook = [lim](const Response& r) {
+      lim->release(r.latency_ms, r.outcome == Outcome::kShed);
+    };
+  // From here the request is the shard incarnation's: its drain
+  // invariant accounts for it, whatever happens next (the incarnation
+  // is preserved in the retired list across failover).
+  return target->submit(std::move(x), deadline, std::move(hook));
+}
+
+std::future<Response> ShardedServer::reject(RejectReason why) {
+  layer_rejected_.fetch_add(1, std::memory_order_relaxed);
+  std::promise<Response> p;
+  auto fut = p.get_future();
+  Response r;
+  r.outcome = Outcome::kRejected;
+  r.reason = why;
+  p.set_value(std::move(r));
+  return fut;
+}
+
+ShardedServer::TenantState* ShardedServer::tenant_state(
+    std::string_view tenant) {
+  if (!cfg_.tenant.enabled) return nullptr;
+  std::lock_guard<std::mutex> lk(tenants_m_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    auto acfg = cfg_.tenant.admission;
+    acfg.enabled = true;
+    it = tenants_
+             .emplace(std::string(tenant), std::make_unique<TenantState>(acfg))
+             .first;
+  }
+  return it->second.get();
+}
+
+bool ShardedServer::spill_take_locked(Clock::time_point now) {
+  if (cfg_.failover.spill_burst <= 0.0) return true;  // unbounded spill
+  const double dt =
+      std::chrono::duration<double>(now - spill_refill_at_).count();
+  spill_refill_at_ = now;
+  spill_tokens_ = std::min(cfg_.failover.spill_burst,
+                           spill_tokens_ + dt * cfg_.failover.spill_per_sec);
+  if (spill_tokens_ >= 1.0) {
+    spill_tokens_ -= 1.0;
+    return true;
+  }
+  return false;
+}
+
+int ShardedServer::shard_of(std::string_view tenant) const {
+  std::lock_guard<std::mutex> lk(m_);
+  return full_ring_.route(ConsistentHashRing::tenant_key(tenant));
+}
+
+int ShardedServer::live_shard_of(std::string_view tenant) const {
+  std::lock_guard<std::mutex> lk(m_);
+  return live_ring_.route(ConsistentHashRing::tenant_key(tenant));
+}
+
+void ShardedServer::kill_shard(int shard) {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (shard < 0 || std::size_t(shard) >= slots_.size()) return;
+    slots_[std::size_t(shard)].kill_requested = true;
+    ++slots_[std::size_t(shard)].kills;
+  }
+  kills_.fetch_add(1, std::memory_order_relaxed);
+  ShardTelemetry::instance().on_kill(shard);
+}
+
+void ShardedServer::poll_health() { health_pass(); }
+
+void ShardedServer::health_pass() {
+  if (!cfg_.failover.enabled) return;
+  if (!running_.load(std::memory_order_acquire) ||
+      draining_.load(std::memory_order_acquire))
+    return;
+  std::vector<int> due;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    for (auto& s : slots_) {
+      if (s.health != ShardHealth::kUp || s.failing_over || !s.server)
+        continue;
+      bool fail = s.kill_requested;
+      if (s.server->state() == serve::State::kDegraded) {
+        if (++s.degraded_streak >= cfg_.failover.degraded_polls) fail = true;
+      } else {
+        s.degraded_streak = 0;
+      }
+      if (!fail) {
+        const auto gs = s.server->guard_stats();
+        if (cfg_.failover.all_retired_fails && s.proto.workers > 0 &&
+            gs.breaker_retired >= u64(s.proto.workers))
+          fail = true;
+        if (cfg_.failover.max_worker_replacements > 0 &&
+            gs.workers_replaced >= cfg_.failover.max_worker_replacements)
+          fail = true;
+      }
+      if (fail) {
+        s.failing_over = true;
+        due.push_back(s.id);
+      }
+    }
+  }
+  for (int idx : due) fail_over(idx);
+}
+
+void ShardedServer::fail_over(int idx) {
+  auto& tel = ShardTelemetry::instance();
+  std::shared_ptr<serve::Server> victim;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    Slot& s = slots_[std::size_t(idx)];
+    s.kill_requested = false;
+    s.degraded_streak = 0;
+    s.health = ShardHealth::kDown;
+    victim = s.server;
+    live_ring_.remove(idx);
+    ++s.failovers;
+    tel.set_topology(cfg_.shards, up_shards_locked());
+  }
+  failovers_.fetch_add(1, std::memory_order_relaxed);
+  tel.on_failover(idx);
+  // Graceful victim teardown OUTSIDE the routing lock: the ring
+  // already evicted it, so new traffic spills to survivors while every
+  // request the victim had accepted still resolves (drain invariant).
+  if (victim) victim->drain();
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    Slot& s = slots_[std::size_t(idx)];
+    if (victim) s.retired.push_back(std::move(victim));
+    s.server.reset();
+  }
+  bool restarted = false;
+  if (cfg_.failover.restart && !draining_.load(std::memory_order_acquire)) {
+    if (cfg_.failover.restart_hold.count() > 0) {
+      // Interruptible hold: drain() must not wait out a long reboot.
+      std::unique_lock<std::mutex> mlk(monitor_m_);
+      monitor_cv_.wait_for(mlk, cfg_.failover.restart_hold,
+                           [this] { return monitor_stop_; });
+    }
+    if (!draining_.load(std::memory_order_acquire)) {
+      auto fresh =
+          std::make_shared<serve::Server>(slots_[std::size_t(idx)].proto);
+      fresh->start();
+      {
+        std::lock_guard<std::mutex> lk(m_);
+        Slot& s = slots_[std::size_t(idx)];
+        s.server = std::move(fresh);
+        s.health = ShardHealth::kUp;
+        live_ring_.add(idx);
+        ++s.restarts;
+      }
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      tel.on_restart(idx);
+      restarted = true;
+    }
+  }
+  (void)restarted;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    slots_[std::size_t(idx)].failing_over = false;
+    tel.set_topology(cfg_.shards, up_shards_locked());
+  }
+}
+
+void ShardedServer::monitor_main() {
+  std::unique_lock<std::mutex> mlk(monitor_m_);
+  while (!monitor_stop_) {
+    monitor_cv_.wait_for(mlk, cfg_.failover.check_every,
+                         [this] { return monitor_stop_; });
+    if (monitor_stop_) break;
+    mlk.unlock();
+    health_pass();
+    mlk.lock();
+  }
+}
+
+int ShardedServer::up_shards_locked() const {
+  int up = 0;
+  for (const auto& s : slots_)
+    if (s.health == ShardHealth::kUp) ++up;
+  return up;
+}
+
+void ShardedServer::drain() {
+  std::lock_guard<std::mutex> dlk(drain_m_);
+  if (drained_.load(std::memory_order_acquire)) return;
+  draining_.store(true, std::memory_order_release);
+  if (monitor_.joinable()) {
+    {
+      std::lock_guard<std::mutex> mlk(monitor_m_);
+      monitor_stop_ = true;
+    }
+    monitor_cv_.notify_all();
+    monitor_.join();
+  }
+  std::vector<std::shared_ptr<serve::Server>> live;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    for (auto& s : slots_)
+      if (s.server) live.push_back(s.server);
+  }
+  for (auto& sv : live) sv->drain();
+  running_.store(false, std::memory_order_release);
+  drained_.store(true, std::memory_order_release);
+  ShardTelemetry::instance().set_topology(cfg_.shards, 0);
+}
+
+ShardHealth ShardedServer::shard_health(int shard) const {
+  std::lock_guard<std::mutex> lk(m_);
+  if (shard < 0 || std::size_t(shard) >= slots_.size())
+    return ShardHealth::kDown;
+  return slots_[std::size_t(shard)].health;
+}
+
+serve::Server::Stats ShardedServer::shard_stats(int shard) const {
+  serve::Server::Stats total{};
+  std::lock_guard<std::mutex> lk(m_);
+  if (shard < 0 || std::size_t(shard) >= slots_.size()) return total;
+  const Slot& s = slots_[std::size_t(shard)];
+  for (const auto& r : s.retired) add_stats(total, r->stats());
+  if (s.server) add_stats(total, s.server->stats());
+  return total;
+}
+
+serve::Server::GuardStats ShardedServer::shard_guard_stats(int shard) const {
+  std::lock_guard<std::mutex> lk(m_);
+  if (shard < 0 || std::size_t(shard) >= slots_.size()) return {};
+  const Slot& s = slots_[std::size_t(shard)];
+  if (!s.server) return {};
+  return s.server->guard_stats();
+}
+
+ShardedServer::Stats ShardedServer::stats() const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.routed = routed_.load(std::memory_order_relaxed);
+  s.layer_rejected = layer_rejected_.load(std::memory_order_relaxed);
+  s.tenant_limited = tenant_limited_.load(std::memory_order_relaxed);
+  s.spill_rejected = spill_rejected_.load(std::memory_order_relaxed);
+  s.no_shard = no_shard_.load(std::memory_order_relaxed);
+  s.rerouted = rerouted_.load(std::memory_order_relaxed);
+  s.failovers = failovers_.load(std::memory_order_relaxed);
+  s.restarts = restarts_.load(std::memory_order_relaxed);
+  s.kills = kills_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<std::pair<std::string, ShardedServer::TenantStats>>
+ShardedServer::tenant_stats() const {
+  std::vector<std::pair<std::string, TenantStats>> out;
+  std::lock_guard<std::mutex> lk(tenants_m_);
+  for (const auto& [name, st] : tenants_) {
+    TenantStats row;
+    row.submitted = st->submitted.load(std::memory_order_relaxed);
+    row.limited = st->limited.load(std::memory_order_relaxed);
+    out.emplace_back(name, row);
+  }
+  return out;
+}
+
+ShardedServer::Accounting ShardedServer::accounting() const {
+  Accounting a;
+  a.submitted = submitted_.load(std::memory_order_relaxed);
+  a.layer_rejected = layer_rejected_.load(std::memory_order_relaxed);
+  a.routed = routed_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(m_);
+  for (const auto& s : slots_) {
+    auto check = [&](const serve::Server& sv) {
+      const auto st = sv.stats();
+      a.shard_submitted += st.submitted;
+      a.shard_served += st.served;
+      a.shard_rejected += st.rejected;
+      a.shard_shed += st.shed;
+      if (st.served + st.rejected + st.shed != st.submitted)
+        a.per_shard_ok = false;
+    };
+    for (const auto& r : s.retired) check(*r);
+    if (s.server) check(*s.server);
+  }
+  a.global_ok = (a.submitted == a.layer_rejected + a.routed) &&
+                (a.routed == a.shard_submitted);
+  return a;
+}
+
+}  // namespace nga::shard

@@ -1,0 +1,297 @@
+// nga::shard — ShardedServer: shared-nothing fault-domain sharding
+// over nga::serve.
+//
+// One serve::Server is already a complete fault domain: it owns its
+// admission queue, worker pool with per-worker model + MulTable
+// replicas, watchdog, circuit breakers, overload ladder, and integrity
+// scrub registrations. ShardedServer composes N of them into one
+// multi-tenant service:
+//
+//   routing    a seeded consistent-hash ring maps (tenant, request)
+//              keys to shards; tenants are affine to "their" shard so
+//              a blast stays inside one domain;
+//   tenants    per-tenant AIMD budgets (guard::AimdLimiter) sit ABOVE
+//              the ring: a tenant over its adaptive in-flight budget
+//              is refused at the door with kTenantLimited — one
+//              tenant's storm cannot occupy another tenant's shard
+//              capacity. Tokens return through Request::on_finish at
+//              the Server's single accounting choke point;
+//   failover   a monitor (or manual poll_health()) watches each
+//              shard: an injected kill, a Degraded health streak,
+//              every replica breaker-retired, or watchdog worker
+//              replacements past a cap marks the shard Down. Its keys
+//              reroute to the survivors under a bounded spill token
+//              budget (so a dying shard cannot stampede the healthy
+//              ones) while the victim drains — every queued request
+//              still resolves — and restarts fresh; on rejoin its
+//              keys come home (ring minimal-movement property).
+//
+// Accounting: the Server drain invariant holds per shard incarnation
+// by construction; this layer adds its own — every submit either
+// resolves here (typed layer reject) or is handed to exactly one
+// shard incarnation, so
+//   submitted == layer_rejected + sum(incarnation.submitted)
+// and accounting() checks both after drain().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "guard/admission.hpp"
+#include "serve/server.hpp"
+#include "shard/registry.hpp"
+#include "shard/ring.hpp"
+
+namespace nga::shard {
+
+enum class ShardHealth { kUp, kDown };
+
+constexpr std::string_view shard_health_name(ShardHealth h) {
+  switch (h) {
+    case ShardHealth::kUp: return "up";
+    case ShardHealth::kDown: return "down";
+  }
+  return "?";
+}
+
+struct FailoverConfig {
+  bool enabled = true;
+  /// Monitor cadence; 0 = no monitor thread, callers drive
+  /// poll_health() themselves (tests).
+  std::chrono::milliseconds check_every{10};
+  /// Consecutive polls observing serve::State::kDegraded before the
+  /// shard fails over (hysteresis against a transient dip).
+  int degraded_polls = 3;
+  /// Fail over when every replica's breaker has permanently retired
+  /// (the shard can only serve on the exact path, or not at all).
+  bool all_retired_fails = true;
+  /// > 0: fail over after this many watchdog worker replacements in
+  /// one incarnation (the pool is churning, not healing).
+  util::u64 max_worker_replacements = 0;
+  /// Restart a failed-over shard with a fresh incarnation (after
+  /// restart_hold); false leaves it Down until restart_shard().
+  bool restart = true;
+  /// Injected downtime between drain and restart — models the real
+  /// cost of a reboot and is what the shared-everything baseline pays
+  /// across ALL tenants in the chaos bench.
+  std::chrono::milliseconds restart_hold{0};
+  /// Spill token bucket bounding rerouted traffic: a failed shard's
+  /// keys may land on survivors at this burst/refill budget; beyond
+  /// it they are rejected (kOverloaded) instead of stampeding the
+  /// healthy shards.
+  double spill_burst = 256.0;
+  double spill_per_sec = 128.0;
+};
+
+struct TenantConfig {
+  bool enabled = false;
+  /// Per-tenant AIMD budget parameters (one independent AimdLimiter
+  /// per tenant name; the `enabled` field inside is ignored).
+  guard::AdmissionConfig admission;
+};
+
+struct ShardedConfig {
+  int shards = 2;
+  int vnodes = 128;
+  util::u64 seed = 1;
+
+  /// WHAT to serve: a registry variant...
+  const ModelRegistry* registry = nullptr;
+  std::string variant;
+  /// ...or a per-shard config factory (takes precedence when set).
+  std::function<serve::ServerConfig(int shard)> shard_config;
+  /// Decorates the per-shard ServerConfig (capacity, guard, integrity
+  /// knobs) after the prototype is built, before the shard starts.
+  std::function<void(int shard, serve::ServerConfig&)> tune;
+
+  /// Requests of one tenant fan over up to this many ring keys;
+  /// 1 = pure tenant affinity (the default, and what the blast-radius
+  /// story wants: a tenant lives in one fault domain).
+  util::u64 tenant_spread = 1;
+
+  TenantConfig tenant;
+  FailoverConfig failover;
+};
+
+/// Process-wide sharding telemetry (obs counters + the "shard" bench
+/// JSON section), cumulative across ShardedServer instances like the
+/// other nga telemetry singletons.
+class ShardTelemetry {
+ public:
+  static ShardTelemetry& instance();
+
+  void on_submit(std::string_view tenant);
+  void on_tenant_limited(std::string_view tenant);
+  void on_routed();
+  void on_rerouted();
+  void on_spill_rejected();
+  void on_no_shard();
+  void on_failover(int shard);
+  void on_restart(int shard);
+  void on_kill(int shard);
+  void set_topology(int shards, int up);
+
+  void write_json(std::ostream& os) const;
+
+ private:
+  ShardTelemetry();
+  ~ShardTelemetry() = delete;  // process-lifetime singleton
+
+  struct TenantRow {
+    util::u64 submitted = 0, limited = 0;
+  };
+  struct ShardRow {
+    util::u64 failovers = 0, restarts = 0, kills = 0;
+  };
+
+  mutable std::mutex m_;
+  std::map<std::string, TenantRow, std::less<>> tenants_;
+  std::map<int, ShardRow> shards_;
+  util::u64 submitted_ = 0, tenant_limited_ = 0, routed_ = 0, rerouted_ = 0,
+            spill_rejected_ = 0, no_shard_ = 0, failovers_ = 0, restarts_ = 0,
+            kills_ = 0;
+  int topo_shards_ = 0, topo_up_ = 0;
+};
+
+class ShardedServer {
+ public:
+  using Clock = serve::Clock;
+
+  explicit ShardedServer(ShardedConfig cfg);
+  ~ShardedServer();  // drains
+
+  /// Build and start every shard, the rings, and (with a failover
+  /// cadence) the health monitor.
+  void start();
+
+  std::future<serve::Response> submit(std::string_view tenant, nn::Tensor x,
+                                      std::chrono::microseconds budget);
+  std::future<serve::Response> submit(std::string_view tenant, nn::Tensor x,
+                                      Clock::time_point deadline);
+
+  /// Stop the monitor, drain every shard incarnation. Idempotent.
+  void drain();
+
+  /// Primary shard assignment of @p tenant (full ring — where the
+  /// tenant lives when every shard is up).
+  int shard_of(std::string_view tenant) const;
+  /// Where @p tenant routes RIGHT NOW (live ring); -1 when no shard
+  /// is up.
+  int live_shard_of(std::string_view tenant) const;
+
+  /// Inject a shard kill: the next health pass fails the shard over
+  /// (chaos hook; also the operator's "restart that shard" button).
+  void kill_shard(int shard);
+  /// One synchronous health pass (what the monitor runs each tick) —
+  /// lets tests drive failover deterministically.
+  void poll_health();
+
+  ShardHealth shard_health(int shard) const;
+  /// Totals across ALL incarnations of @p shard (retired + live).
+  serve::Server::Stats shard_stats(int shard) const;
+  /// Guard stats of the LIVE incarnation ({} while Down).
+  serve::Server::GuardStats shard_guard_stats(int shard) const;
+
+  struct Stats {
+    util::u64 submitted = 0;
+    util::u64 routed = 0;          ///< handed to a shard incarnation
+    util::u64 layer_rejected = 0;  ///< resolved here, typed below:
+    util::u64 tenant_limited = 0;  ///< kTenantLimited (per-tenant AIMD)
+    util::u64 spill_rejected = 0;  ///< reroute past the spill budget
+    util::u64 no_shard = 0;        ///< live ring empty
+    util::u64 rerouted = 0;        ///< served by a non-primary shard
+    util::u64 failovers = 0;
+    util::u64 restarts = 0;
+    util::u64 kills = 0;
+  };
+  Stats stats() const;
+
+  struct TenantStats {
+    util::u64 submitted = 0, limited = 0;
+  };
+  std::vector<std::pair<std::string, TenantStats>> tenant_stats() const;
+
+  /// The two-level drain invariant, checked after drain():
+  ///   per shard incarnation: served + rejected + shed == submitted
+  ///   globally: submitted == layer_rejected + sum(incarnation.submitted)
+  struct Accounting {
+    util::u64 submitted = 0, layer_rejected = 0, routed = 0;
+    util::u64 shard_submitted = 0, shard_served = 0, shard_rejected = 0,
+              shard_shed = 0;
+    bool per_shard_ok = true;
+    bool global_ok = true;
+    bool ok() const { return per_shard_ok && global_ok; }
+  };
+  Accounting accounting() const;
+
+  int shards() const { return cfg_.shards; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  struct TenantState {
+    explicit TenantState(const guard::AdmissionConfig& cfg) : limiter(cfg) {}
+    guard::AimdLimiter limiter;
+    std::atomic<util::u64> submitted{0}, limited{0};
+  };
+
+  struct Slot {
+    int id = 0;
+    serve::ServerConfig proto;  ///< rebuilt identically on restart
+    std::shared_ptr<serve::Server> server;  ///< live incarnation
+    /// Drained incarnations, kept so accounting() can sum the stats
+    /// of every request this shard ever accepted.
+    std::vector<std::shared_ptr<serve::Server>> retired;
+    ShardHealth health = ShardHealth::kUp;
+    bool kill_requested = false;
+    bool failing_over = false;  ///< monitor owns the slot right now
+    int degraded_streak = 0;
+    util::u64 failovers = 0, restarts = 0, kills = 0;
+  };
+
+  serve::ServerConfig make_config(int shard) const;
+  std::future<serve::Response> reject(serve::RejectReason why);
+  TenantState* tenant_state(std::string_view tenant);
+  bool spill_take_locked(Clock::time_point now);
+  /// Decide + execute failover for due shards; called by the monitor
+  /// thread and poll_health().
+  void health_pass();
+  void fail_over(int idx);
+  void monitor_main();
+  int up_shards_locked() const;
+
+  ShardedConfig cfg_;
+
+  mutable std::mutex m_;  ///< slots_, rings, spill bucket
+  std::vector<Slot> slots_;
+  ConsistentHashRing full_ring_;  ///< all shards; fixed after start()
+  ConsistentHashRing live_ring_;  ///< Up shards only
+  double spill_tokens_ = 0.0;
+  Clock::time_point spill_refill_at_{};
+
+  mutable std::mutex tenants_m_;
+  std::map<std::string, std::unique_ptr<TenantState>, std::less<>> tenants_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<util::u64> submitted_{0}, routed_{0}, rerouted_{0},
+      layer_rejected_{0}, tenant_limited_{0}, spill_rejected_{0}, no_shard_{0},
+      failovers_{0}, restarts_{0}, kills_{0};
+
+  std::thread monitor_;
+  std::mutex monitor_m_;
+  std::condition_variable monitor_cv_;
+  bool monitor_stop_ = false;
+  std::mutex drain_m_;
+  std::atomic<bool> drained_{false};
+};
+
+}  // namespace nga::shard

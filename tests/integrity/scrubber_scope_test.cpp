@@ -1,0 +1,60 @@
+// Scope-tagged scrub registrations (ISSUE 10 satellite): a fault
+// domain registers its tables under one scope and unregister_scope()
+// purges them wholesale — the shard-failover teardown primitive.
+#include <gtest/gtest.h>
+
+#include "integrity/scrubber.hpp"
+
+namespace nga::integrity {
+namespace {
+
+TEST(IntegrityScope, UnregisterScopePurgesExactlyThatScope) {
+  auto& s = Scrubber::instance();
+  const std::size_t baseline = s.table_count();
+
+  const nn::MulTable a, b, c, d;
+  s.register_unowned(&a, "scope-test.a", "domA");
+  s.register_unowned(&b, "scope-test.b", "domA");
+  s.register_unowned(&c, "scope-test.c", "domB");
+  s.register_unowned(&d, "scope-test.d");  // unscoped
+  EXPECT_EQ(s.table_count(), baseline + 4);
+  EXPECT_EQ(s.scope_count("domA"), 2u);
+  EXPECT_EQ(s.scope_count("domB"), 1u);
+
+  // "" is never a purgeable scope: unscoped registrations belong to
+  // their individual registrants.
+  EXPECT_EQ(s.unregister_scope(""), 0u);
+  EXPECT_EQ(s.table_count(), baseline + 4);
+
+  EXPECT_EQ(s.unregister_scope("domA"), 2u);
+  EXPECT_EQ(s.table_count(), baseline + 2);
+  EXPECT_EQ(s.scope_count("domA"), 0u);
+  EXPECT_EQ(s.scope_count("domB"), 1u);
+  // Idempotent: a second purge finds nothing.
+  EXPECT_EQ(s.unregister_scope("domA"), 0u);
+
+  // Scanning still works against the survivors after the purge (the
+  // round-robin cursor was clamped).
+  s.scan_pages(4);
+
+  EXPECT_EQ(s.unregister_scope("domB"), 1u);
+  s.unregister_table(&d);
+  EXPECT_EQ(s.table_count(), baseline);
+}
+
+TEST(IntegrityScope, ReregistrationAfterPurgeIsClean) {
+  auto& s = Scrubber::instance();
+  const std::size_t baseline = s.table_count();
+  const nn::MulTable t;
+  s.register_unowned(&t, "scope-test.re", "domR");
+  EXPECT_EQ(s.unregister_scope("domR"), 1u);
+  // The same table can re-register under a new incarnation's scope —
+  // the dedup-by-pointer check must not see a stale entry.
+  s.register_unowned(&t, "scope-test.re2", "domR2");
+  EXPECT_EQ(s.scope_count("domR2"), 1u);
+  EXPECT_EQ(s.unregister_scope("domR2"), 1u);
+  EXPECT_EQ(s.table_count(), baseline);
+}
+
+}  // namespace
+}  // namespace nga::integrity

@@ -1,0 +1,42 @@
+// LoadGen early-stop (ISSUE 10): chaos scripts end an episode from
+// another thread; the report counts what actually fired.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "load/loadgen.hpp"
+
+namespace nga::load {
+namespace {
+
+TEST(LoadGenStop, StopsEarlyAndReportsFiredArrivals) {
+  std::atomic<bool> stop{false};
+  LoadGenConfig cfg;
+  cfg.rps = 2000.0;
+  cfg.arrivals = 10000;
+  cfg.seed = 3;
+  cfg.stop = &stop;
+  LoadGen gen(cfg);
+  std::size_t fired = 0;
+  const auto rep = gen.run([&](std::size_t, Clock::time_point) {
+    if (++fired == 25) stop.store(true, std::memory_order_release);
+  });
+  EXPECT_EQ(fired, 25u);
+  EXPECT_EQ(rep.arrivals, 25u) << "report must count fired, not planned";
+  EXPECT_LT(rep.duration_s, 5.0);
+}
+
+TEST(LoadGenStop, NullStopRunsTheFullSchedule) {
+  LoadGenConfig cfg;
+  cfg.rps = 50000.0;
+  cfg.arrivals = 100;
+  cfg.seed = 3;
+  LoadGen gen(cfg);
+  std::size_t fired = 0;
+  const auto rep = gen.run([&](std::size_t, Clock::time_point) { ++fired; });
+  EXPECT_EQ(fired, 100u);
+  EXPECT_EQ(rep.arrivals, 100u);
+}
+
+}  // namespace
+}  // namespace nga::load

@@ -1,0 +1,76 @@
+// ModelRegistry: named (model × MulTable × precision) variants and the
+// ServerConfig prototypes shards are built from.
+#include "shard/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nn/layers.hpp"
+
+namespace nga::shard {
+namespace {
+
+std::unique_ptr<nn::Model> tiny_model() {
+  util::Xoshiro256 rng(7);
+  auto m = std::make_unique<nn::Model>("registry-test");
+  m->add(std::make_unique<nn::Dense>(16, 4, rng));
+  return m;
+}
+
+Variant float_variant(std::string name) {
+  Variant v;
+  v.name = std::move(name);
+  v.mode = nn::Mode::kFloat;
+  v.in_c = 1;
+  v.in_h = 4;
+  v.in_w = 4;
+  v.model_factory = tiny_model;
+  return v;
+}
+
+TEST(ShardRegistry, AddFindNamesAndConfigPrototype) {
+  ModelRegistry reg;
+  EXPECT_EQ(reg.size(), 0u);
+  reg.add(float_variant("kws.float"));
+  auto approx = float_variant("kws.mitchell");
+  approx.mode = nn::Mode::kQuantApprox;
+  static const nn::MulTable exact;
+  approx.exact_fallback = &exact;
+  approx.mul_factory = [] {
+    return std::make_shared<const nn::MulTable>();
+  };
+  reg.add(std::move(approx));
+
+  EXPECT_EQ(reg.size(), 2u);
+  ASSERT_NE(reg.find("kws.float"), nullptr);
+  EXPECT_EQ(reg.find("nope"), nullptr);
+  const auto names = reg.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "kws.float");
+  EXPECT_EQ(names[1], "kws.mitchell");
+
+  const auto cfg = reg.server_config("kws.mitchell");
+  EXPECT_EQ(cfg.mode, nn::Mode::kQuantApprox);
+  EXPECT_EQ(cfg.in_c, 1);
+  EXPECT_EQ(cfg.in_h, 4);
+  EXPECT_EQ(cfg.in_w, 4);
+  EXPECT_EQ(cfg.exact_fallback, &exact);
+  ASSERT_TRUE(static_cast<bool>(cfg.model_factory));
+  ASSERT_TRUE(static_cast<bool>(cfg.mul_factory));
+  EXPECT_NE(cfg.model_factory(), nullptr);
+  EXPECT_NE(cfg.mul_factory(), nullptr);
+}
+
+TEST(ShardRegistry, DuplicateAndMissingVariantsThrow) {
+  ModelRegistry reg;
+  reg.add(float_variant("v"));
+  EXPECT_THROW(reg.add(float_variant("v")), std::invalid_argument);
+  Variant broken;
+  broken.name = "no-factory";
+  EXPECT_THROW(reg.add(std::move(broken)), std::invalid_argument);
+  EXPECT_THROW(reg.server_config("missing"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace nga::shard

@@ -1,0 +1,114 @@
+// ConsistentHashRing contract (ISSUE 10 satellite):
+//   * determinism under a fixed seed — placement is a pure function of
+//     (seed, vnodes, member set);
+//   * minimal key movement when a shard leaves (≤ ceil(keys/shards) +
+//     slack) and EXACT mapping restoration when it rejoins;
+//   * bounded distribution skew (< 15 %) across 8 shards.
+#include "shard/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace nga::shard {
+namespace {
+
+constexpr int kShards = 8;
+constexpr int kVnodes = 256;
+constexpr std::size_t kKeys = 50000;
+
+ConsistentHashRing make_ring(u64 seed, int shards, int vnodes = kVnodes) {
+  ConsistentHashRing r(seed, vnodes);
+  for (int s = 0; s < shards; ++s) r.add(s);
+  return r;
+}
+
+u64 key_at(std::size_t i) { return mix64(u64(i) * 0x2545F4914F6CDD1Dull); }
+
+TEST(ShardRing, DeterministicUnderFixedSeed) {
+  const auto a = make_ring(42, kShards);
+  const auto b = make_ring(42, kShards);
+  bool seed_differs = false;
+  const auto c = make_ring(43, kShards);
+  for (std::size_t i = 0; i < 10000; ++i) {
+    const u64 k = key_at(i);
+    ASSERT_EQ(a.route(k), b.route(k)) << "same seed must route the same";
+    if (a.route(k) != c.route(k)) seed_differs = true;
+  }
+  EXPECT_TRUE(seed_differs) << "a different seed should move some keys";
+}
+
+TEST(ShardRing, EmptyRingRoutesNowhere) {
+  ConsistentHashRing r(1, 64);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.route(12345), -1);
+  r.add(0);
+  EXPECT_EQ(r.route(12345), 0);
+  r.remove(0);
+  EXPECT_EQ(r.route(12345), -1);
+}
+
+TEST(ShardRing, TenantKeysAreStableAndDistinct) {
+  const u64 a1 = ConsistentHashRing::tenant_key("tenant-a");
+  const u64 a2 = ConsistentHashRing::tenant_key("tenant-a");
+  const u64 b = ConsistentHashRing::tenant_key("tenant-b");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  // spread=1 pins every request of a tenant to one key (affinity);
+  // spread>1 fans requests over distinct keys.
+  EXPECT_EQ(ConsistentHashRing::request_key("tenant-a", 0, 1),
+            ConsistentHashRing::request_key("tenant-a", 99, 1));
+  EXPECT_NE(ConsistentHashRing::request_key("tenant-a", 0, 8),
+            ConsistentHashRing::request_key("tenant-a", 1, 8));
+}
+
+TEST(ShardRing, RemovalMovesOnlyTheVictimsKeysAndRejoinRestores) {
+  auto ring = make_ring(7, kShards);
+  std::vector<int> before(kKeys);
+  std::size_t on_victim = 0;
+  const int victim = 3;
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    before[i] = ring.route(key_at(i));
+    if (before[i] == victim) ++on_victim;
+  }
+  ring.remove(victim);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    const int now = ring.route(key_at(i));
+    if (now != before[i]) {
+      ++moved;
+      // Only keys the victim owned may move — survivors keep theirs.
+      ASSERT_EQ(before[i], victim)
+          << "key " << i << " moved from surviving shard " << before[i];
+      ASSERT_NE(now, victim);
+    }
+  }
+  EXPECT_EQ(moved, on_victim) << "every victim key must find a survivor";
+  // Movement bound: ceil(keys/shards) + 20 % slack for hash skew.
+  const auto bound = std::size_t(
+      std::ceil(double(kKeys) / kShards) * 1.20);
+  EXPECT_LE(moved, bound);
+  // Rejoin restores the EXACT original mapping (determinism again).
+  ring.add(victim);
+  for (std::size_t i = 0; i < kKeys; ++i)
+    ASSERT_EQ(ring.route(key_at(i)), before[i]) << "key " << i;
+}
+
+TEST(ShardRing, SkewUnder15PercentAcross8Shards) {
+  const auto ring = make_ring(42, kShards);
+  std::map<int, std::size_t> share;
+  for (std::size_t i = 0; i < kKeys; ++i) ++share[ring.route(key_at(i))];
+  ASSERT_EQ(share.size(), std::size_t(kShards)) << "every shard owns keys";
+  const double mean = double(kKeys) / kShards;
+  for (const auto& [shard, n] : share) {
+    EXPECT_LT(double(n), mean * 1.15)
+        << "shard " << shard << " holds " << n << " of " << kKeys;
+    EXPECT_GT(double(n), mean * 0.85)
+        << "shard " << shard << " holds " << n << " of " << kKeys;
+  }
+}
+
+}  // namespace
+}  // namespace nga::shard

@@ -1,0 +1,373 @@
+// ShardedServer contract:
+//   * deterministic tenant→shard routing, shared-nothing serving;
+//   * per-tenant AIMD budgets refuse a storm with kTenantLimited while
+//     a quiet tenant sails through;
+//   * injected shard kill → failover: ring eviction, graceful victim
+//     drain, reroute-under-spill-budget to survivors, restart brings
+//     the keys home;
+//   * the two-level drain invariant holds across all of it
+//     (per shard incarnation AND globally);
+//   * integrity scrub registrations are shard-scoped: the registry
+//     returns to baseline after a shard kill/restart cycle (ISSUE 10
+//     satellite regression).
+#include "shard/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "approx/multipliers.hpp"
+#include "integrity/integrity.hpp"
+#include "nn/layers.hpp"
+
+namespace nga::shard {
+namespace {
+
+using serve::Outcome;
+using serve::RejectReason;
+using serve::Response;
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+constexpr int kC = 1, kH = 4, kW = 4;
+
+nn::Tensor make_input(int i) {
+  nn::Tensor x(kC, kH, kW);
+  for (std::size_t j = 0; j < x.v.size(); ++j)
+    x.v[j] = float((i * 31 + int(j) * 7) % 17) / 17.f;
+  return x;
+}
+
+// Burns wall time so per-tenant in-flight budgets bind deterministically.
+class SleepLayer final : public nn::Layer {
+ public:
+  explicit SleepLayer(microseconds d) : d_(d) {}
+  nn::Tensor forward(const nn::Tensor& x, const nn::Exec&) override {
+    std::this_thread::sleep_for(d_);
+    return x;
+  }
+  nn::Tensor backward(const nn::Tensor& dy) override { return dy; }
+  std::string name() const override { return "sleep"; }
+
+ private:
+  microseconds d_;
+};
+
+std::unique_ptr<nn::Model> make_float_model(microseconds sleep) {
+  util::Xoshiro256 rng(7);
+  auto m = std::make_unique<nn::Model>("shard-test");
+  if (sleep.count() > 0) m->add(std::make_unique<SleepLayer>(sleep));
+  m->add(std::make_unique<nn::Dense>(kC * kH * kW, 10, rng));
+  return m;
+}
+
+serve::ServerConfig float_config(microseconds sleep = microseconds(0)) {
+  serve::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 64;
+  cfg.max_batch = 4;
+  cfg.batch_linger = microseconds(100);
+  cfg.in_c = kC;
+  cfg.in_h = kH;
+  cfg.in_w = kW;
+  cfg.mode = nn::Mode::kFloat;
+  cfg.model_factory = [sleep] { return make_float_model(sleep); };
+  return cfg;
+}
+
+ShardedConfig manual_sharded(int shards,
+                             microseconds sleep = microseconds(0)) {
+  ShardedConfig sc;
+  sc.shards = shards;
+  sc.vnodes = 64;
+  sc.seed = 7;
+  sc.shard_config = [sleep](int) { return float_config(sleep); };
+  sc.failover.enabled = true;
+  sc.failover.check_every = milliseconds(0);  // manual poll_health()
+  sc.failover.restart_hold = milliseconds(0);
+  return sc;
+}
+
+// First two tenant names whose primary shards differ.
+std::pair<std::string, std::string> two_tenants(const ShardedServer& ss) {
+  std::string a = "t0";
+  const int sa = ss.shard_of(a);
+  for (int i = 1; i < 256; ++i) {
+    std::string b = "t" + std::to_string(i);
+    if (ss.shard_of(b) != sa) return {a, b};
+  }
+  ADD_FAILURE() << "no tenant pair with distinct shards in 256 candidates";
+  return {a, a};
+}
+
+void expect_accounting(const ShardedServer& ss) {
+  const auto a = ss.accounting();
+  EXPECT_TRUE(a.per_shard_ok)
+      << "an incarnation broke served+rejected+shed == submitted";
+  EXPECT_TRUE(a.global_ok)
+      << "submitted=" << a.submitted << " layer_rejected=" << a.layer_rejected
+      << " routed=" << a.routed << " shard_submitted=" << a.shard_submitted;
+  EXPECT_EQ(a.shard_served + a.shard_rejected + a.shard_shed,
+            a.shard_submitted);
+}
+
+TEST(ShardedServer, RoutesTenantsDeterministicallyAcrossShardNothingShards) {
+  ModelRegistry reg;
+  Variant v;
+  v.name = "kws.float";
+  v.mode = nn::Mode::kFloat;
+  v.in_c = kC;
+  v.in_h = kH;
+  v.in_w = kW;
+  v.model_factory = [] { return make_float_model(microseconds(0)); };
+  reg.add(std::move(v));
+
+  ShardedConfig sc;
+  sc.shards = 2;
+  sc.vnodes = 64;
+  sc.seed = 7;
+  sc.registry = &reg;
+  sc.variant = "kws.float";
+  sc.tune = [](int, serve::ServerConfig& c) {
+    c.workers = 1;
+    c.queue_capacity = 64;
+  };
+  sc.failover.check_every = milliseconds(0);
+  ShardedServer ss(sc);
+  ss.start();
+
+  const auto [ta, tb] = two_tenants(ss);
+  EXPECT_EQ(ss.shard_of(ta), ss.live_shard_of(ta));
+  EXPECT_NE(ss.shard_of(ta), ss.shard_of(tb));
+
+  for (int i = 0; i < 8; ++i) {
+    auto ra = ss.submit(ta, make_input(i), milliseconds(5000)).get();
+    auto rb = ss.submit(tb, make_input(i), milliseconds(5000)).get();
+    ASSERT_EQ(ra.outcome, Outcome::kServed);
+    ASSERT_EQ(rb.outcome, Outcome::kServed);
+  }
+  // Shared-nothing: each tenant's traffic landed only on its shard.
+  EXPECT_EQ(ss.shard_stats(ss.shard_of(ta)).submitted, 8u);
+  EXPECT_EQ(ss.shard_stats(ss.shard_of(tb)).submitted, 8u);
+  ss.drain();
+  expect_accounting(ss);
+  const auto st = ss.stats();
+  EXPECT_EQ(st.submitted, 16u);
+  EXPECT_EQ(st.routed, 16u);
+  EXPECT_EQ(st.rerouted, 0u);
+  EXPECT_EQ(st.failovers, 0u);
+}
+
+TEST(ShardedServer, TenantBudgetShedsStormWithTypedReasonNotTheNeighbor) {
+  auto sc = manual_sharded(1, microseconds(2000));
+  sc.tenant.enabled = true;
+  sc.tenant.admission.initial_limit = 2;
+  sc.tenant.admission.min_limit = 2;
+  sc.tenant.admission.max_limit = 2;
+  ShardedServer ss(sc);
+  ss.start();
+
+  // Storm: 40 submits without waiting — at most the in-flight budget
+  // (plus releases racing in) gets through; the rest are refused with
+  // the ATTRIBUTABLE tenant reason, not a shard-level one.
+  std::vector<std::future<Response>> storm;
+  storm.reserve(40);
+  for (int i = 0; i < 40; ++i)
+    storm.push_back(ss.submit("noisy", make_input(i), milliseconds(5000)));
+  // Quiet tenant, closed loop: never over its own budget.
+  for (int i = 0; i < 5; ++i) {
+    auto r = ss.submit("quiet", make_input(i), milliseconds(5000)).get();
+    ASSERT_EQ(r.outcome, Outcome::kServed) << "quiet tenant starved";
+  }
+  std::size_t limited = 0, served = 0;
+  for (auto& f : storm) {
+    const auto r = f.get();
+    if (r.outcome == Outcome::kServed) ++served;
+    if (r.outcome == Outcome::kRejected) {
+      ASSERT_EQ(r.reason, RejectReason::kTenantLimited);
+      ++limited;
+    }
+  }
+  EXPECT_GT(limited, 0u);
+  EXPECT_GT(served, 0u);
+  ss.drain();
+  const auto st = ss.stats();
+  EXPECT_EQ(st.tenant_limited, limited);
+  bool saw_noisy = false;
+  for (const auto& [name, ts] : ss.tenant_stats()) {
+    if (name == "noisy") {
+      saw_noisy = true;
+      EXPECT_EQ(ts.limited, limited);
+      EXPECT_EQ(ts.submitted, 40u);
+    }
+    if (name == "quiet") {
+      EXPECT_EQ(ts.limited, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_noisy);
+  expect_accounting(ss);
+}
+
+TEST(ShardedServer, KillReroutesToSurvivorsUnderSpillBudget) {
+  auto sc = manual_sharded(2);
+  sc.failover.restart = false;  // stay down: reroute path under test
+  sc.failover.spill_burst = 5;
+  sc.failover.spill_per_sec = 0.0;  // no refill: the bound is exact
+  ShardedServer ss(sc);
+  ss.start();
+  const auto [ta, tb] = two_tenants(ss);
+  const int victim = ss.shard_of(ta);
+
+  ss.kill_shard(victim);
+  ss.poll_health();  // drains the victim inline; no restart
+  EXPECT_EQ(ss.shard_health(victim), ShardHealth::kDown);
+  EXPECT_EQ(ss.live_shard_of(ta), ss.shard_of(tb));
+
+  // 30 victim-tenant requests: exactly the spill burst crosses to the
+  // survivor, the rest are refused — a dying shard's keys cannot
+  // stampede the healthy one.
+  std::size_t crossed = 0, refused = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto r = ss.submit(ta, make_input(i), milliseconds(5000)).get();
+    if (r.outcome == Outcome::kServed) ++crossed;
+    if (r.outcome == Outcome::kRejected &&
+        r.reason == RejectReason::kOverloaded)
+      ++refused;
+  }
+  EXPECT_EQ(crossed, 5u);
+  EXPECT_EQ(refused, 25u);
+  const auto st = ss.stats();
+  EXPECT_EQ(st.failovers, 1u);
+  EXPECT_EQ(st.kills, 1u);
+  EXPECT_EQ(st.restarts, 0u);
+  EXPECT_EQ(st.rerouted, 5u);
+  EXPECT_EQ(st.spill_rejected, 25u);
+  // The non-victim tenant is untouched by the spill budget.
+  auto rb = ss.submit(tb, make_input(0), milliseconds(5000)).get();
+  EXPECT_EQ(rb.outcome, Outcome::kServed);
+
+  // Kill the survivor too: no shard up → typed layer reject.
+  ss.kill_shard(ss.shard_of(tb));
+  ss.poll_health();
+  auto r = ss.submit(ta, make_input(0), milliseconds(5000)).get();
+  EXPECT_EQ(r.outcome, Outcome::kRejected);
+  EXPECT_EQ(r.reason, RejectReason::kNotServing);
+  EXPECT_GE(ss.stats().no_shard, 1u);
+  ss.drain();
+  expect_accounting(ss);
+}
+
+TEST(ShardedServer, RestartBringsTheVictimsKeysHome) {
+  auto sc = manual_sharded(2);
+  ShardedServer ss(sc);
+  ss.start();
+  const auto [ta, tb] = two_tenants(ss);
+  const int victim = ss.shard_of(ta);
+
+  for (int i = 0; i < 4; ++i)
+    ASSERT_EQ(ss.submit(ta, make_input(i), milliseconds(5000)).get().outcome,
+              Outcome::kServed);
+  ss.kill_shard(victim);
+  ss.poll_health();  // fail over AND restart inline (hold = 0)
+  EXPECT_EQ(ss.shard_health(victim), ShardHealth::kUp);
+  EXPECT_EQ(ss.live_shard_of(ta), victim) << "keys must come home";
+  auto r = ss.submit(ta, make_input(9), milliseconds(5000)).get();
+  EXPECT_EQ(r.outcome, Outcome::kServed);
+
+  const auto st = ss.stats();
+  EXPECT_EQ(st.failovers, 1u);
+  EXPECT_EQ(st.restarts, 1u);
+  // Pre-kill traffic lives in the retired incarnation, post-restart
+  // traffic in the fresh one; shard_stats sums both.
+  EXPECT_EQ(ss.shard_stats(victim).submitted, 5u);
+  EXPECT_EQ(ss.shard_stats(ss.shard_of(tb)).submitted, 0u);
+  ss.drain();
+  expect_accounting(ss);
+}
+
+TEST(ShardedServer, MonitorThreadFailsOverWithoutPolling) {
+  auto sc = manual_sharded(2);
+  sc.failover.check_every = milliseconds(5);
+  ShardedServer ss(sc);
+  ss.start();
+  const auto [ta, tb] = two_tenants(ss);
+  (void)tb;
+  const int victim = ss.shard_of(ta);
+  ss.kill_shard(victim);
+  // The monitor owns detection + drain + restart; just wait for it.
+  const auto deadline = std::chrono::steady_clock::now() + milliseconds(3000);
+  while (ss.stats().restarts == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(milliseconds(5));
+  EXPECT_EQ(ss.stats().failovers, 1u);
+  EXPECT_EQ(ss.stats().restarts, 1u);
+  EXPECT_EQ(ss.shard_health(victim), ShardHealth::kUp);
+  ss.drain();
+  expect_accounting(ss);
+}
+
+// ---- ISSUE 10 satellite: shard-scoped scrub deregistration ----------
+
+TEST(ShardScrubScope, RegistryReturnsToBaselineAfterKillRestartAndDrain) {
+  auto& scrubber = integrity::Scrubber::instance();
+  const std::size_t baseline = scrubber.table_count();
+
+  std::shared_ptr<const ax::ApproxMult8> gen =
+      std::move(ax::table2_multipliers().front());
+  static const nn::MulTable exact;
+
+  auto sc = manual_sharded(2);
+  sc.shard_config = [gen](int) {
+    auto cfg = float_config();
+    cfg.mode = nn::Mode::kQuantApprox;
+    cfg.exact_fallback = &exact;
+    cfg.mul_factory = [gen] {
+      return std::make_shared<const nn::MulTable>(gen);
+    };
+    cfg.integrity.enabled = true;
+    cfg.integrity.scrub_on_trip = false;
+    return cfg;
+  };
+  ShardedServer ss(sc);
+  ss.start();
+
+  // Worker registration is asynchronous (it happens on the worker
+  // thread); wait for both shards' single workers to appear.
+  const auto wait_count = [&](std::size_t want) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + milliseconds(3000);
+    while (scrubber.table_count() != want &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(milliseconds(2));
+    return scrubber.table_count();
+  };
+  ASSERT_EQ(wait_count(baseline + 2), baseline + 2);
+  EXPECT_EQ(scrubber.scope_count("shard0"), 1u);
+  EXPECT_EQ(scrubber.scope_count("shard1"), 1u);
+
+  // Kill/restart cycle: the dead incarnation's registration is purged
+  // (scope backstop on drain), the fresh incarnation re-registers —
+  // no leak, no double-count.
+  ss.kill_shard(0);
+  ss.poll_health();
+  ASSERT_EQ(wait_count(baseline + 2), baseline + 2)
+      << "restarted shard must re-register exactly its own tables";
+  EXPECT_EQ(scrubber.scope_count("shard0"), 1u);
+
+  // Serve a little through the restarted topology, then drain: every
+  // scoped registration is gone, the registry is back to baseline.
+  for (int i = 0; i < 4; ++i)
+    (void)ss.submit("t0", make_input(i), milliseconds(5000)).get();
+  ss.drain();
+  EXPECT_EQ(scrubber.table_count(), baseline);
+  EXPECT_EQ(scrubber.scope_count("shard0"), 0u);
+  EXPECT_EQ(scrubber.scope_count("shard1"), 0u);
+  expect_accounting(ss);
+}
+
+}  // namespace
+}  // namespace nga::shard

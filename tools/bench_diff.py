@@ -49,6 +49,12 @@ _NORMALIZERS = [
     # ladder tiers a run visits depends on where escalation lands on
     # that machine, so tiers fold into one family per metric.
     (re.compile(r"\btier_[0-9]+"), "tier_*"),
+    # Per-tenant shard counters (shard.tenant.<name>.submitted, ...):
+    # tenant names are bench-script choices (the chaos bench picks its
+    # bystander off the ring), so they fold into one family per metric.
+    (re.compile(r"\btenant\.[A-Za-z0-9-]+\."), "tenant.*."),
+    # Per-shard scopes, should any surface as flat metric names.
+    (re.compile(r"\bshard_[0-9]+\b"), "shard_*"),
 ]
 
 # Gauge families whose committed floor is a machine-independent claim:
@@ -266,6 +272,31 @@ def compare(base: dict, fresh: dict, exempt=(), log=print):
                 failures.append("quality: committed snapshot carries the "
                                 "SLO verdict, fresh run lost it")
 
+    # The additive "shard" section (fault-domain telemetry): the scalar
+    # totals are machine-independent shape and must survive; the
+    # per-tenant and per-shard maps are keyed by bench-chosen tenant
+    # names and topology-dependent shard indices, so only the presence
+    # of each non-empty committed map is checked, never its keys.
+    if "shard" in base:
+        if "shard" not in fresh:
+            failures.append("shard: committed snapshot has the shard "
+                            "section, fresh run does not")
+        else:
+            bs, fs = base["shard"], fresh["shard"]
+            for k in sorted(bs):
+                if k in ("tenants", "per_shard"):
+                    continue
+                if k not in fs:
+                    failures.append(f"shard: key vanished: {k}")
+            if bs.get("tenants") and "tenants" not in fs:
+                failures.append("shard: committed snapshot attributes "
+                                "per-tenant admission, fresh run lost the "
+                                "tenants map")
+            if bs.get("per_shard") and "per_shard" not in fs:
+                failures.append("shard: committed snapshot attributes "
+                                "per-shard lifecycle, fresh run lost the "
+                                "per_shard map")
+
     # Claim floors: a committed family that held its suffix's floor
     # must still clear it in the fresh run, for every instance swept.
     bg, fg = families(base.get("gauges", {})), families(fresh.get("gauges", {}))
@@ -444,6 +475,33 @@ def self_test() -> int:
          doc(gauges={"scale.quality.on.knee.tier_3.agreement": 0.91,
                      "scale.quality.on.knee.tier_2.agreement": 0.94}),
          doc(gauges={"scale.quality.on.knee.tier_1.agreement": 1.0}), (), 0),
+        ("vanished shard section is a regression",
+         dict(base, shard={"submitted": 90, "failovers": 2, "tenants": {}}),
+         base, (), 1),
+        ("vanished shard scalar key is a regression",
+         dict(base, shard={"submitted": 90, "failovers": 2}),
+         dict(base, shard={"submitted": 12}), (), 1),
+        ("shard tenant names and shard indices are run-dependent maps",
+         dict(base, shard={"failovers": 2,
+                           "tenants": {"tenant-blue": {"submitted": 40}},
+                           "per_shard": {"0": {"kills": 1}}}),
+         dict(base, shard={"failovers": 1,
+                           "tenants": {"tenant-9": {"submitted": 3}},
+                           "per_shard": {"1": {"kills": 1}}}), (), 0),
+        ("losing the shard tenants map is a regression",
+         dict(base, shard={"failovers": 2,
+                           "tenants": {"tenant-blue": {"submitted": 40}}}),
+         dict(base, shard={"failovers": 1}), (), 1),
+        ("tenant-named counter families fold into one family",
+         doc(counters={"shard.tenant.tenant-blue.limited": 3,
+                       "shard.tenant.tenant-4.limited": 0}),
+         doc(counters={"shard.tenant.tenant-noisy.limited": 9}), (), 0),
+        ("held bystander success floor must hold fresh",
+         doc(gauges={"chaos.iso_on.nonvictim.success_rate": 1.0}),
+         doc(gauges={"chaos.iso_on.nonvictim.success_rate": 0.84}), (), 1),
+        ("a committed victim rate below the floor claims nothing",
+         doc(gauges={"chaos.iso_on.victim.success_rate": 0.90}),
+         doc(gauges={"chaos.iso_on.victim.success_rate": 0.31}), (), 0),
     ]
     bad = 0
     for name, b, f, exempt, want in cases:
